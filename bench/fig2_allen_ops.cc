@@ -1,0 +1,105 @@
+// Reproduces FIGURE 2 operationally: all thirteen elementary temporal
+// relationships, each executed (i) by the appropriate stream algorithm of
+// Section 4 and (ii) by the conventional nested-loop join of Section 3.
+// Both must produce identical outputs; the table reports costs, showing
+// the stream approach reading each input once versus the nested loop's
+// |X| passes over Y.
+
+#include <memory>
+
+#include "bench_util.h"
+#include "datagen/interval_gen.h"
+#include "join/allen_sweep_join.h"
+#include "join/before_join.h"
+#include "join/nested_loop.h"
+
+namespace tempus {
+namespace bench {
+namespace {
+
+std::unique_ptr<TupleStream> MakeStreamPlan(const TemporalRelation& x,
+                                            const TemporalRelation& y,
+                                            AllenRelation rel) {
+  if (rel == AllenRelation::kBefore) {
+    BeforeJoinOptions options;
+    options.right_presorted = false;
+    return ValueOrDie(BeforeJoinStream::Create(VectorStream::Scan(x),
+                                               VectorStream::Scan(y),
+                                               options),
+                      "before join");
+  }
+  if (rel == AllenRelation::kAfter) {
+    // X after Y == Y before X with the output sides swapped; for the cost
+    // comparison we run the buffered-inner join with roles exchanged.
+    BeforeJoinOptions options;
+    return ValueOrDie(BeforeJoinStream::Create(VectorStream::Scan(y),
+                                               VectorStream::Scan(x),
+                                               options),
+                      "after join");
+  }
+  AllenSweepJoinOptions options;
+  options.mask = AllenMask::Single(rel);
+  return ValueOrDie(AllenSweepJoin::Create(VectorStream::Scan(x),
+                                           VectorStream::Scan(y), options),
+                    "sweep join");
+}
+
+void Run() {
+  Banner("FIGURE 2 — the 13 temporal operators, stream vs nested-loop",
+         "Both implementations must emit the same number of tuples; "
+         "passes(Y)\nshows the conventional rescanning cost the stream "
+         "approach removes.");
+
+  IntervalWorkloadConfig config;
+  config.count = 3000;
+  config.mean_interarrival = 2.0;
+  config.mean_duration = 10.0;
+  config.seed = 21;
+  TemporalRelation x =
+      ValueOrDie(GenerateIntervalRelation("X", config), "gen X");
+  config.seed = 22;
+  TemporalRelation y =
+      ValueOrDie(GenerateIntervalRelation("Y", config), "gen Y");
+  const SortSpec from_asc = ValueOrDie(
+      kByValidFromAsc.ToSortSpec(x.schema()), "spec");
+  x.SortBy(from_asc);
+  y.SortBy(from_asc);
+
+  TablePrinter table({"operator", "output", "stream time", "stream cmps",
+                      "NL time", "NL cmps", "NL passes(Y)", "match"});
+  for (AllenRelation rel : AllAllenRelations()) {
+    std::unique_ptr<TupleStream> stream_plan = MakeStreamPlan(x, y, rel);
+    const RunStats stream_stats = RunPipeline(stream_plan.get());
+
+    PairPredicate pred = ValueOrDie(
+        MakeIntervalPairPredicate(x.schema(), y.schema(),
+                                  AllenMask::Single(rel)),
+        "predicate");
+    std::unique_ptr<NestedLoopJoin> nl = ValueOrDie(
+        NestedLoopJoin::Create(VectorStream::Scan(x), VectorStream::Scan(y),
+                               std::move(pred)),
+        "nested loop");
+    const RunStats nl_stats = RunPipeline(nl.get());
+
+    table.AddRow({std::string(AllenRelationName(rel)),
+                  HumanCount(stream_stats.output_tuples),
+                  Millis(stream_stats.seconds),
+                  HumanCount(stream_stats.plan_metrics.comparisons),
+                  Millis(nl_stats.seconds),
+                  HumanCount(nl_stats.plan_metrics.comparisons),
+                  HumanCount(nl_stats.plan_metrics.passes_right),
+                  stream_stats.output_tuples == nl_stats.output_tuples
+                      ? "yes"
+                      : "MISMATCH"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tempus
+
+int main() {
+  tempus::bench::Run();
+  return 0;
+}

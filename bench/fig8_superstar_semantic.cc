@@ -1,0 +1,140 @@
+// Reproduces FIGURE 8 / Section 5: semantic optimization of the Superstar
+// query.
+//   - redundant-predicate elimination: theta' shrinks from four
+//     inequalities to two once the Rank chronology is known;
+//   - recognition: the surviving less-than join IS a Contained-semijoin,
+//     evaluated by the two-buffer stream algorithm over the derived
+//     "associate period" gap interval (Figure 8b);
+//   - plan D: under continuous employment the whole query collapses to the
+//     single-scan self Contained-semijoin over associate tuples.
+
+#include "bench_util.h"
+#include "datagen/faculty_gen.h"
+#include "exec/engine.h"
+
+namespace tempus {
+namespace bench {
+namespace {
+
+constexpr const char* kSuperstarQuery = R"(
+  range of f1 is Faculty
+  range of f2 is Faculty
+  range of f3 is Faculty
+  retrieve unique into Stars (f1.Name, f1.ValidFrom, f2.ValidTo)
+  where f1.Name = f2.Name
+    and f1.Rank = "Assistant" and f2.Rank = "Full"
+    and f3.Rank = "Associate"
+    and (f1 overlap f3) and (f2 overlap f3)
+)";
+
+constexpr const char* kTransformedQuery = R"(
+  range of i is Faculty
+  range of j is Faculty
+  retrieve unique into Stars (i.Name, i.ValidFrom, i.ValidTo)
+  where i.Rank = "Associate" and j.Rank = "Associate" and i during j
+)";
+
+void Run() {
+  Banner("FIGURE 8 — semantic optimization of the Superstar query",
+         "B: conventional, no semantics.  B': conventional + redundant-\n"
+         "predicate elimination.  C: recognized Contained-semijoin "
+         "(Figure 8b).\nD: transformed single-scan self-semijoin "
+         "(continuous employment).");
+
+  // Show the predicate analysis once.
+  {
+    FacultyWorkloadConfig config;
+    config.faculty_count = 100;
+    config.continuous = true;
+    config.complete_careers = true;
+    TemporalRelation faculty =
+        ValueOrDie(GenerateFaculty("Faculty", config), "gen");
+    Engine engine;
+    CheckOk(engine.mutable_integrity()->AddChronologicalDomain(
+                "Faculty", FacultyRankDomain(true)),
+            "domain");
+    CheckOk(engine.RegisterValidated(std::move(faculty)), "register");
+    PlannedQuery plan = ValueOrDie(engine.Prepare(kSuperstarQuery), "plan");
+    std::printf("semantic analysis of theta':\n");
+    std::printf("  injected integrity constraints: %zu\n",
+                plan.analysis.injected.size());
+    for (const std::string& s : plan.analysis.injected) {
+      std::printf("    %s\n", s.c_str());
+    }
+    std::printf("  redundant predicates eliminated: %zu of 4\n",
+                plan.analysis.redundant.size());
+    std::printf("\nEXPLAIN (plan C):\n%s\n\n", plan.explain.c_str());
+  }
+
+  TablePrinter table({"faculty", "stars", "B time", "B cmps", "B' cmps",
+                      "C time", "C cmps", "C peak ws", "D time", "D cmps"});
+  for (size_t n : {500, 1000, 2000, 4000, 8000, 16000}) {
+    FacultyWorkloadConfig config;
+    config.faculty_count = n;
+    config.continuous = true;
+    config.complete_careers = true;  // Plan D's idealized setting.
+    config.seed = 77;
+    TemporalRelation faculty =
+        ValueOrDie(GenerateFaculty("Faculty", config), "gen");
+    Engine engine;
+    CheckOk(engine.mutable_integrity()->AddChronologicalDomain(
+                "Faculty", FacultyRankDomain(true)),
+            "domain");
+    CheckOk(engine.RegisterValidated(std::move(faculty)), "register");
+
+    PlannerOptions conventional;
+    conventional.style = PlanStyle::kConventional;
+    conventional.enable_semantic = false;
+    PlannerOptions conventional_reduced;  // B': only predicate elimination.
+    conventional_reduced.style = PlanStyle::kConventional;
+    conventional_reduced.enable_semantic = true;
+    PlannerOptions stream;  // C.
+
+    PlannedQuery plan_c =
+        ValueOrDie(engine.Prepare(kSuperstarQuery, stream), "C");
+    PlannedQuery plan_d =
+        ValueOrDie(engine.Prepare(kTransformedQuery, stream), "D");
+    const RunStats c = RunPipeline(plan_c.root.get());
+    const RunStats d = RunPipeline(plan_d.root.get());
+
+    // The conventional plans are quadratic; keep the sweep fast by
+    // stopping them at n=4000 (the trend is unambiguous by then).
+    std::string b_time = "-", b_cmps = "-", b2_cmps = "-";
+    if (n <= 4000) {
+      PlannedQuery plan_b =
+          ValueOrDie(engine.Prepare(kSuperstarQuery, conventional), "B");
+      PlannedQuery plan_b2 = ValueOrDie(
+          engine.Prepare(kSuperstarQuery, conventional_reduced), "B'");
+      const RunStats b = RunPipeline(plan_b.root.get());
+      const RunStats b2 = RunPipeline(plan_b2.root.get());
+      if (b.output_tuples != c.output_tuples ||
+          b2.output_tuples != c.output_tuples) {
+        std::printf("RESULT MISMATCH at n=%zu\n", n);
+      }
+      b_time = Millis(b.seconds);
+      b_cmps = HumanCount(b.plan_metrics.comparisons);
+      b2_cmps = HumanCount(b2.plan_metrics.comparisons);
+    }
+    table.AddRow({StrFormat("%zu", n),
+                  StrFormat("%zu", c.output_tuples), b_time, b_cmps,
+                  b2_cmps, Millis(c.seconds),
+                  HumanCount(c.plan_metrics.comparisons),
+                  StrFormat("%zu", c.plan_metrics.peak_workspace_tuples),
+                  Millis(d.seconds),
+                  HumanCount(d.plan_metrics.comparisons)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: C's comparisons grow linearly (sorts dominate) while "
+      "B/B' grow\nquadratically in the associate count; D is a single "
+      "scan with one state tuple.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tempus
+
+int main() {
+  tempus::bench::Run();
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Microbenchmarks (google-benchmark): throughput of the stream temporal
+// operators against the nested-loop baseline across input sizes — the
+// crossover study behind the paper's Section 3 observation that
+// conventional less-than join processing incurs "severe performance
+// penalties".
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.h"
+#include "datagen/interval_gen.h"
+#include "join/allen_sweep_join.h"
+#include "join/contain_join.h"
+#include "join/containment_semijoin.h"
+#include "join/nested_loop.h"
+#include "join/self_semijoin.h"
+#include "stream/basic_ops.h"
+
+namespace tempus {
+namespace bench {
+namespace {
+
+struct Workload {
+  TemporalRelation x;
+  TemporalRelation y;
+};
+
+const Workload& SharedWorkload(size_t n) {
+  static auto* cache = new std::map<size_t, Workload>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    IntervalWorkloadConfig config;
+    config.count = n;
+    config.seed = 7;
+    config.mean_interarrival = 4.0;
+    config.mean_duration = 32.0;
+    TemporalRelation x =
+        ValueOrDie(GenerateIntervalRelation("X", config), "gen X");
+    config.seed = 8;
+    config.mean_duration = 6.0;
+    TemporalRelation y =
+        ValueOrDie(GenerateIntervalRelation("Y", config), "gen Y");
+    const SortSpec spec =
+        ValueOrDie(kByValidFromAsc.ToSortSpec(x.schema()), "spec");
+    x.SortBy(spec);
+    y.SortBy(spec);
+    it = cache->emplace(n, Workload{std::move(x), std::move(y)}).first;
+  }
+  return it->second;
+}
+
+void BM_ContainJoin_Sweep(benchmark::State& state) {
+  const Workload& w = SharedWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::unique_ptr<ContainJoinStream> join = ValueOrDie(
+        ContainJoinStream::Create(VectorStream::Scan(w.x),
+                                  VectorStream::Scan(w.y), {}),
+        "join");
+    benchmark::DoNotOptimize(ValueOrDie(DrainCount(join.get()), "drain"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_ContainJoin_Sweep)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_ContainJoin_NestedLoop(benchmark::State& state) {
+  const Workload& w = SharedWorkload(static_cast<size_t>(state.range(0)));
+  PairPredicate pred = ValueOrDie(
+      MakeIntervalPairPredicate(w.x.schema(), w.y.schema(),
+                                AllenMask::Single(AllenRelation::kContains)),
+      "pred");
+  for (auto _ : state) {
+    std::unique_ptr<NestedLoopJoin> join = ValueOrDie(
+        NestedLoopJoin::Create(VectorStream::Scan(w.x),
+                               VectorStream::Scan(w.y), pred),
+        "join");
+    benchmark::DoNotOptimize(ValueOrDie(DrainCount(join.get()), "drain"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_ContainJoin_NestedLoop)->Arg(1000)->Arg(4000);
+
+void BM_ContainSemijoin_TwoBuffer(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Workload& w = SharedWorkload(n);
+  const TemporalRelation ys = w.y.SortedBy(
+      ValueOrDie(kByValidToAsc.ToSortSpec(w.y.schema()), "spec"));
+  for (auto _ : state) {
+    std::unique_ptr<TupleStream> semi = ValueOrDie(
+        MakeContainSemijoin(VectorStream::Scan(w.x), VectorStream::Scan(ys),
+                            {kByValidFromAsc, kByValidToAsc, true, false}),
+        "semi");
+    benchmark::DoNotOptimize(ValueOrDie(DrainCount(semi.get()), "drain"));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_ContainSemijoin_TwoBuffer)->Arg(1000)->Arg(16000);
+
+void BM_SelfContainedSemijoin_SingleScan(benchmark::State& state) {
+  const Workload& w = SharedWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::unique_ptr<TupleStream> semi = ValueOrDie(
+        MakeSelfContainedSemijoin(VectorStream::Scan(w.x), {}), "semi");
+    benchmark::DoNotOptimize(ValueOrDie(DrainCount(semi.get()), "drain"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelfContainedSemijoin_SingleScan)->Arg(1000)->Arg(16000);
+
+void BM_OverlapSweepJoin(benchmark::State& state) {
+  const Workload& w = SharedWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::unique_ptr<AllenSweepJoin> join = ValueOrDie(
+        MakeOverlapJoin(VectorStream::Scan(w.x), VectorStream::Scan(w.y)),
+        "join");
+    benchmark::DoNotOptimize(ValueOrDie(DrainCount(join.get()), "drain"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_OverlapSweepJoin)->Arg(1000)->Arg(8000);
+
+void BM_SortEnforcer(benchmark::State& state) {
+  const Workload& w = SharedWorkload(static_cast<size_t>(state.range(0)));
+  const SortSpec spec =
+      ValueOrDie(kByValidToAsc.ToSortSpec(w.x.schema()), "spec");
+  for (auto _ : state) {
+    SortStream sort(VectorStream::Scan(w.x), spec);
+    benchmark::DoNotOptimize(ValueOrDie(DrainCount(&sort), "drain"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortEnforcer)->Arg(16000);
+
+}  // namespace
+}  // namespace bench
+}  // namespace tempus

@@ -1,0 +1,106 @@
+// Interactive TQL shell over a demo catalog. Reads statements from stdin
+// (terminated by a blank line or EOF) and prints the plan and result.
+//
+//   $ ./tql_shell
+//   tql> range of f1 is Faculty
+//   ...> retrieve (f1.Name) where f1.Rank = "Full"
+//   ...> <blank line>
+//
+// Commands: \tables   \explain on|off   \quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "datagen/faculty_gen.h"
+#include "datagen/interval_gen.h"
+#include "exec/engine.h"
+
+namespace {
+
+tempus::Engine MakeDemoEngine() {
+  using namespace tempus;
+  Engine engine;
+  FacultyWorkloadConfig faculty_config;
+  faculty_config.faculty_count = 500;
+  faculty_config.continuous = true;
+  Result<TemporalRelation> faculty =
+      GenerateFaculty("Faculty", faculty_config);
+  if (faculty.ok()) {
+    (void)engine.mutable_integrity()->AddChronologicalDomain(
+        "Faculty", FacultyRankDomain(true));
+    (void)engine.RegisterValidated(std::move(faculty).value());
+  }
+  IntervalWorkloadConfig events_config;
+  events_config.count = 2000;
+  Result<TemporalRelation> events =
+      GenerateIntervalRelation("Events", events_config);
+  if (events.ok()) {
+    (void)engine.mutable_catalog()->Register(std::move(events).value());
+  }
+  return engine;
+}
+
+}  // namespace
+
+int main() {
+  tempus::Engine engine = MakeDemoEngine();
+  bool show_explain = true;
+
+  std::printf("tempus TQL shell — demo catalog: Faculty, Events\n");
+  std::printf("finish a statement with a blank line; \\quit to exit\n");
+
+  std::string buffer;
+  std::string line;
+  std::printf("tql> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\tables") {
+      for (const std::string& name : engine.catalog().Names()) {
+        const tempus::TemporalRelation* rel =
+            engine.catalog().Lookup(name).value();
+        std::printf("  %s %s [%zu tuples]\n", name.c_str(),
+                    rel->schema().ToString().c_str(), rel->size());
+      }
+      std::printf("tql> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (line == "\\explain on" || line == "\\explain off") {
+      show_explain = line.back() == 'n';
+      std::printf("tql> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (!line.empty()) {
+      buffer += line + "\n";
+      std::printf("...> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (buffer.empty()) {
+      std::printf("tql> ");
+      std::fflush(stdout);
+      continue;
+    }
+    // Execute the accumulated statement.
+    if (show_explain) {
+      tempus::Result<std::string> explain = engine.Explain(buffer);
+      if (explain.ok()) {
+        std::printf("-- plan --\n%s\n", explain->c_str());
+      }
+    }
+    tempus::Result<tempus::TemporalRelation> result = engine.Run(buffer);
+    if (result.ok()) {
+      std::printf("%s", result->ToString(25).c_str());
+    } else {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+    }
+    buffer.clear();
+    std::printf("tql> ");
+    std::fflush(stdout);
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

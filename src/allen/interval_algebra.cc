@@ -1,0 +1,314 @@
+#include "allen/interval_algebra.h"
+
+#include <array>
+
+#include "common/string_util.h"
+
+namespace tempus {
+
+const std::vector<AllenRelation>& AllAllenRelations() {
+  static const std::vector<AllenRelation>& relations =
+      *new std::vector<AllenRelation>{
+          AllenRelation::kEqual,      AllenRelation::kBefore,
+          AllenRelation::kAfter,      AllenRelation::kMeets,
+          AllenRelation::kMetBy,      AllenRelation::kOverlaps,
+          AllenRelation::kOverlappedBy, AllenRelation::kStarts,
+          AllenRelation::kStartedBy,  AllenRelation::kDuring,
+          AllenRelation::kContains,   AllenRelation::kFinishes,
+          AllenRelation::kFinishedBy};
+  return relations;
+}
+
+std::string_view AllenRelationName(AllenRelation rel) {
+  switch (rel) {
+    case AllenRelation::kEqual:
+      return "equal";
+    case AllenRelation::kBefore:
+      return "before";
+    case AllenRelation::kAfter:
+      return "after";
+    case AllenRelation::kMeets:
+      return "meets";
+    case AllenRelation::kMetBy:
+      return "met-by";
+    case AllenRelation::kOverlaps:
+      return "overlaps";
+    case AllenRelation::kOverlappedBy:
+      return "overlapped-by";
+    case AllenRelation::kStarts:
+      return "starts";
+    case AllenRelation::kStartedBy:
+      return "started-by";
+    case AllenRelation::kDuring:
+      return "during";
+    case AllenRelation::kContains:
+      return "contains";
+    case AllenRelation::kFinishes:
+      return "finishes";
+    case AllenRelation::kFinishedBy:
+      return "finished-by";
+  }
+  return "?";
+}
+
+Result<AllenRelation> AllenRelationFromName(std::string_view name) {
+  for (AllenRelation rel : AllAllenRelations()) {
+    if (EqualsIgnoreCase(AllenRelationName(rel), name)) {
+      return rel;
+    }
+  }
+  return Status::NotFound("unknown Allen relation: " + std::string(name));
+}
+
+AllenRelation AllenInverse(AllenRelation rel) {
+  switch (rel) {
+    case AllenRelation::kEqual:
+      return AllenRelation::kEqual;
+    case AllenRelation::kBefore:
+      return AllenRelation::kAfter;
+    case AllenRelation::kAfter:
+      return AllenRelation::kBefore;
+    case AllenRelation::kMeets:
+      return AllenRelation::kMetBy;
+    case AllenRelation::kMetBy:
+      return AllenRelation::kMeets;
+    case AllenRelation::kOverlaps:
+      return AllenRelation::kOverlappedBy;
+    case AllenRelation::kOverlappedBy:
+      return AllenRelation::kOverlaps;
+    case AllenRelation::kStarts:
+      return AllenRelation::kStartedBy;
+    case AllenRelation::kStartedBy:
+      return AllenRelation::kStarts;
+    case AllenRelation::kDuring:
+      return AllenRelation::kContains;
+    case AllenRelation::kContains:
+      return AllenRelation::kDuring;
+    case AllenRelation::kFinishes:
+      return AllenRelation::kFinishedBy;
+    case AllenRelation::kFinishedBy:
+      return AllenRelation::kFinishes;
+  }
+  return AllenRelation::kEqual;
+}
+
+AllenRelation AllenMirror(AllenRelation rel) {
+  switch (rel) {
+    case AllenRelation::kEqual:
+      return AllenRelation::kEqual;
+    case AllenRelation::kBefore:
+      return AllenRelation::kAfter;
+    case AllenRelation::kAfter:
+      return AllenRelation::kBefore;
+    case AllenRelation::kMeets:
+      return AllenRelation::kMetBy;
+    case AllenRelation::kMetBy:
+      return AllenRelation::kMeets;
+    case AllenRelation::kOverlaps:
+      return AllenRelation::kOverlappedBy;
+    case AllenRelation::kOverlappedBy:
+      return AllenRelation::kOverlaps;
+    case AllenRelation::kStarts:
+      return AllenRelation::kFinishes;
+    case AllenRelation::kFinishes:
+      return AllenRelation::kStarts;
+    case AllenRelation::kStartedBy:
+      return AllenRelation::kFinishedBy;
+    case AllenRelation::kFinishedBy:
+      return AllenRelation::kStartedBy;
+    case AllenRelation::kDuring:
+      return AllenRelation::kDuring;
+    case AllenRelation::kContains:
+      return AllenRelation::kContains;
+  }
+  return AllenRelation::kEqual;
+}
+
+AllenRelation Classify(const Interval& x, const Interval& y) {
+  if (x.start == y.start) {
+    if (x.end == y.end) return AllenRelation::kEqual;
+    return x.end < y.end ? AllenRelation::kStarts
+                         : AllenRelation::kStartedBy;
+  }
+  if (x.end == y.end) {
+    return x.start > y.start ? AllenRelation::kFinishes
+                             : AllenRelation::kFinishedBy;
+  }
+  if (x.end == y.start) return AllenRelation::kMeets;
+  if (y.end == x.start) return AllenRelation::kMetBy;
+  if (x.end < y.start) return AllenRelation::kBefore;
+  if (y.end < x.start) return AllenRelation::kAfter;
+  // All endpoint equalities ruled out; strict order everywhere.
+  if (x.start < y.start) {
+    return x.end < y.end ? AllenRelation::kOverlaps
+                         : AllenRelation::kContains;
+  }
+  return x.end < y.end ? AllenRelation::kDuring
+                       : AllenRelation::kOverlappedBy;
+}
+
+bool Holds(AllenRelation rel, const Interval& x, const Interval& y) {
+  return Classify(x, y) == rel;
+}
+
+AllenMask AllenMask::Intersecting() {
+  return AllenMask({AllenRelation::kEqual, AllenRelation::kOverlaps,
+                    AllenRelation::kOverlappedBy, AllenRelation::kStarts,
+                    AllenRelation::kStartedBy, AllenRelation::kDuring,
+                    AllenRelation::kContains, AllenRelation::kFinishes,
+                    AllenRelation::kFinishedBy});
+}
+
+int AllenMask::Count() const {
+  int count = 0;
+  for (uint16_t b = bits_; b != 0; b &= static_cast<uint16_t>(b - 1)) {
+    ++count;
+  }
+  return count;
+}
+
+AllenMask AllenMask::Inverted() const {
+  AllenMask out;
+  for (AllenRelation rel : AllAllenRelations()) {
+    if (Contains(rel)) out.Add(AllenInverse(rel));
+  }
+  return out;
+}
+
+AllenMask AllenMask::Mirrored() const {
+  AllenMask out;
+  for (AllenRelation rel : AllAllenRelations()) {
+    if (Contains(rel)) out.Add(AllenMirror(rel));
+  }
+  return out;
+}
+
+std::string AllenMask::ToString() const {
+  std::vector<std::string> names;
+  for (AllenRelation rel : AllAllenRelations()) {
+    if (Contains(rel)) names.emplace_back(AllenRelationName(rel));
+  }
+  return "{" + Join(names, ", ") + "}";
+}
+
+namespace {
+
+// The 13x13 composition table, derived by exhaustive enumeration over a
+// small endpoint domain. Allen relations are invariant under monotone
+// transformations of the time axis, so any realizable order type of the six
+// endpoints is realizable with values in [0, 9); enumerating all interval
+// triples over that domain yields the complete table.
+class CompositionTable {
+ public:
+  static const CompositionTable& Get() {
+    static const CompositionTable& table = *new CompositionTable();
+    return table;
+  }
+
+  AllenMask Lookup(AllenRelation a, AllenRelation b) const {
+    return table_[static_cast<size_t>(a)][static_cast<size_t>(b)];
+  }
+
+ private:
+  CompositionTable() {
+    std::vector<Interval> intervals;
+    for (TimePoint s = 0; s < 9; ++s) {
+      for (TimePoint e = s + 1; e <= 9; ++e) {
+        intervals.emplace_back(s, e);
+      }
+    }
+    for (const Interval& x : intervals) {
+      for (const Interval& y : intervals) {
+        const auto xy = static_cast<size_t>(Classify(x, y));
+        for (const Interval& z : intervals) {
+          const auto yz = static_cast<size_t>(Classify(y, z));
+          table_[xy][yz].Add(Classify(x, z));
+        }
+      }
+    }
+  }
+
+  std::array<std::array<AllenMask, kAllenRelationCount>, kAllenRelationCount>
+      table_;
+};
+
+}  // namespace
+
+AllenMask Compose(AllenRelation a, AllenRelation b) {
+  return CompositionTable::Get().Lookup(a, b);
+}
+
+std::string EndpointTerm::ToString() const {
+  std::string out = operand == Operand::kX ? "X." : "Y.";
+  out += endpoint == EndpointKind::kStart ? "TS" : "TE";
+  return out;
+}
+
+bool EndpointConstraint::Evaluate(const Interval& x, const Interval& y) const {
+  auto term_value = [&x, &y](const EndpointTerm& t) {
+    const Interval& iv = t.operand == Operand::kX ? x : y;
+    return t.endpoint == EndpointKind::kStart ? iv.start : iv.end;
+  };
+  const TimePoint a = term_value(lhs);
+  const TimePoint b = term_value(rhs);
+  switch (order) {
+    case EndpointOrder::kLess:
+      return a < b;
+    case EndpointOrder::kLessEqual:
+      return a <= b;
+    case EndpointOrder::kEqual:
+      return a == b;
+  }
+  return false;
+}
+
+std::string EndpointConstraint::ToString() const {
+  const char* op = order == EndpointOrder::kLess
+                       ? " < "
+                       : (order == EndpointOrder::kLessEqual ? " <= " : " = ");
+  return lhs.ToString() + op + rhs.ToString();
+}
+
+std::vector<EndpointConstraint> ExplicitConstraints(AllenRelation rel) {
+  constexpr EndpointTerm kXs{Operand::kX, EndpointKind::kStart};
+  constexpr EndpointTerm kXe{Operand::kX, EndpointKind::kEnd};
+  constexpr EndpointTerm kYs{Operand::kY, EndpointKind::kStart};
+  constexpr EndpointTerm kYe{Operand::kY, EndpointKind::kEnd};
+  auto lt = [](EndpointTerm a, EndpointTerm b) {
+    return EndpointConstraint{a, EndpointOrder::kLess, b};
+  };
+  auto eq = [](EndpointTerm a, EndpointTerm b) {
+    return EndpointConstraint{a, EndpointOrder::kEqual, b};
+  };
+  switch (rel) {
+    case AllenRelation::kEqual:  // Figure 2 (1)
+      return {eq(kXs, kYs), eq(kXe, kYe)};
+    case AllenRelation::kMeets:  // Figure 2 (2)
+      return {eq(kXe, kYs)};
+    case AllenRelation::kMetBy:
+      return {eq(kYe, kXs)};
+    case AllenRelation::kStarts:  // Figure 2 (3)
+      return {eq(kXs, kYs), lt(kXe, kYe)};
+    case AllenRelation::kStartedBy:
+      return {eq(kXs, kYs), lt(kYe, kXe)};
+    case AllenRelation::kFinishes:  // Figure 2 (4)
+      return {eq(kXe, kYe), lt(kYs, kXs)};
+    case AllenRelation::kFinishedBy:
+      return {eq(kXe, kYe), lt(kXs, kYs)};
+    case AllenRelation::kDuring:  // Figure 2 (5)
+      return {lt(kYs, kXs), lt(kXe, kYe)};
+    case AllenRelation::kContains:
+      return {lt(kXs, kYs), lt(kYe, kXe)};
+    case AllenRelation::kOverlaps:  // Figure 2 (6)
+      return {lt(kXs, kYs), lt(kYs, kXe), lt(kXe, kYe)};
+    case AllenRelation::kOverlappedBy:
+      return {lt(kYs, kXs), lt(kXs, kYe), lt(kYe, kXe)};
+    case AllenRelation::kBefore:  // Figure 2 (7)
+      return {lt(kXe, kYs)};
+    case AllenRelation::kAfter:
+      return {lt(kYe, kXs)};
+  }
+  return {};
+}
+
+}  // namespace tempus

@@ -1,0 +1,170 @@
+#ifndef TEMPUS_ALLEN_INTERVAL_ALGEBRA_H_
+#define TEMPUS_ALLEN_INTERVAL_ALGEBRA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/result.h"
+
+namespace tempus {
+
+/// Allen's thirteen elementary temporal relationships between intervals
+/// (Allen 1983; the paper's Figure 2 lists seven, the rest are inverses).
+/// Exactly one relation holds between any two valid intervals.
+enum class AllenRelation : uint8_t {
+  kEqual = 0,      ///< X.TS=Y.TS and X.TE=Y.TE
+  kBefore,         ///< X.TE<Y.TS
+  kAfter,          ///< inverse of kBefore
+  kMeets,          ///< X.TE=Y.TS
+  kMetBy,          ///< inverse of kMeets
+  kOverlaps,       ///< X.TS<Y.TS and X.TE>Y.TS and X.TE<Y.TE
+  kOverlappedBy,   ///< inverse of kOverlaps
+  kStarts,         ///< X.TS=Y.TS and X.TE<Y.TE
+  kStartedBy,      ///< inverse of kStarts
+  kDuring,         ///< X.TS>Y.TS and X.TE<Y.TE
+  kContains,       ///< inverse of kDuring
+  kFinishes,       ///< X.TE=Y.TE and X.TS>Y.TS
+  kFinishedBy,     ///< inverse of kFinishes
+};
+
+inline constexpr int kAllenRelationCount = 13;
+
+/// All 13 relations, in enum order; convenient for iteration.
+const std::vector<AllenRelation>& AllAllenRelations();
+
+std::string_view AllenRelationName(AllenRelation rel);
+Result<AllenRelation> AllenRelationFromName(std::string_view name);
+
+/// The converse relation: Inverse(r) holds for (Y,X) iff r holds for (X,Y).
+AllenRelation AllenInverse(AllenRelation rel);
+
+/// The time-reflected relation: Mirror(r) holds between the reflections
+/// m([s,e)) = [-e,-s) of X and Y iff r holds between X and Y. The paper's
+/// Table 1 observation that "sorting both relations on ValidTo in
+/// descending order would have the same effect as sorting them on
+/// ValidFrom in ascending order because of symmetry" is this map: before
+/// <-> after, meets <-> met-by, starts <-> finishes, overlaps <->
+/// overlapped-by; equal/during/contains are self-mirrored.
+AllenRelation AllenMirror(AllenRelation rel);
+
+/// Classifies the (unique) relation holding between two valid intervals.
+AllenRelation Classify(const Interval& x, const Interval& y);
+
+/// True iff `rel` holds between x and y.
+bool Holds(AllenRelation rel, const Interval& x, const Interval& y);
+
+/// A set of Allen relations, i.e. a (possibly disjunctive) interval
+/// predicate. The paper's TQuel-style `overlap` operator is the mask of the
+/// nine intersecting relations; a query predicate reduced by the semantic
+/// optimizer is in general a mask.
+class AllenMask {
+ public:
+  constexpr AllenMask() = default;
+  constexpr explicit AllenMask(uint16_t bits) : bits_(bits) {}
+  AllenMask(std::initializer_list<AllenRelation> relations) {
+    for (AllenRelation r : relations) Add(r);
+  }
+
+  static constexpr AllenMask None() { return AllenMask(0); }
+  static constexpr AllenMask All() {
+    return AllenMask((uint16_t{1} << kAllenRelationCount) - 1);
+  }
+  static AllenMask Single(AllenRelation rel) {
+    AllenMask m;
+    m.Add(rel);
+    return m;
+  }
+  /// TQuel's general `overlap` (Section 3, footnote 6): the two lifespans
+  /// share at least one time point. Equal / starts / finishes / during /
+  /// overlaps and all their inverses; excludes before, after, meets, met-by
+  /// (half-open lifespans touching at an endpoint share no point).
+  static AllenMask Intersecting();
+
+  void Add(AllenRelation rel) { bits_ |= Bit(rel); }
+  void Remove(AllenRelation rel) { bits_ &= ~Bit(rel); }
+  bool Contains(AllenRelation rel) const { return (bits_ & Bit(rel)) != 0; }
+  bool IsEmpty() const { return bits_ == 0; }
+  int Count() const;
+  uint16_t bits() const { return bits_; }
+
+  AllenMask Union(AllenMask other) const {
+    return AllenMask(static_cast<uint16_t>(bits_ | other.bits_));
+  }
+  AllenMask Intersect(AllenMask other) const {
+    return AllenMask(static_cast<uint16_t>(bits_ & other.bits_));
+  }
+  /// The mask holding for (Y,X) whenever this holds for (X,Y).
+  AllenMask Inverted() const;
+
+  /// The mask holding between time-reflected intervals (see AllenMirror).
+  AllenMask Mirrored() const;
+
+  /// True iff the relation between x and y is in the mask.
+  bool HoldsBetween(const Interval& x, const Interval& y) const {
+    return Contains(Classify(x, y));
+  }
+
+  friend bool operator==(AllenMask a, AllenMask b) {
+    return a.bits_ == b.bits_;
+  }
+
+  /// "{during, contains}".
+  std::string ToString() const;
+
+ private:
+  static constexpr uint16_t Bit(AllenRelation rel) {
+    return static_cast<uint16_t>(uint16_t{1} << static_cast<uint8_t>(rel));
+  }
+  uint16_t bits_ = 0;
+};
+
+/// Composition: given rel(X,Y)=a and rel(Y,Z)=b, the mask of possible
+/// rel(X,Z). The table is derived once, at first use, by exhaustive
+/// enumeration over a small endpoint domain (sound and complete because
+/// Allen relations depend only on the order type of the endpoints).
+AllenMask Compose(AllenRelation a, AllenRelation b);
+
+// ---------------------------------------------------------------------------
+// Inequality normal form (the "explicit constraints" column of Figure 2).
+// ---------------------------------------------------------------------------
+
+/// Which operand of a binary temporal predicate.
+enum class Operand : uint8_t { kX = 0, kY = 1 };
+
+/// Which lifespan endpoint.
+enum class EndpointKind : uint8_t { kStart = 0, kEnd = 1 };  // TS / TE
+
+enum class EndpointOrder : uint8_t { kLess, kLessEqual, kEqual };
+
+/// One endpoint of one operand, e.g. "X.TE".
+struct EndpointTerm {
+  Operand operand = Operand::kX;
+  EndpointKind endpoint = EndpointKind::kStart;
+
+  friend bool operator==(const EndpointTerm& a, const EndpointTerm& b) {
+    return a.operand == b.operand && a.endpoint == b.endpoint;
+  }
+  std::string ToString() const;
+};
+
+/// An atomic endpoint inequality, e.g. "X.TS < Y.TE".
+struct EndpointConstraint {
+  EndpointTerm lhs;
+  EndpointOrder order = EndpointOrder::kLess;
+  EndpointTerm rhs;
+
+  bool Evaluate(const Interval& x, const Interval& y) const;
+  std::string ToString() const;
+};
+
+/// The explicit constraints of Figure 2 for `rel`: a conjunction of
+/// endpoint (in)equalities which, together with the intra-tuple integrity
+/// constraints X.TS<X.TE and Y.TS<Y.TE, is equivalent to `rel`.
+std::vector<EndpointConstraint> ExplicitConstraints(AllenRelation rel);
+
+}  // namespace tempus
+
+#endif  // TEMPUS_ALLEN_INTERVAL_ALGEBRA_H_

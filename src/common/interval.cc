@@ -1,0 +1,12 @@
+#include "common/interval.h"
+
+#include "common/string_util.h"
+
+namespace tempus {
+
+std::string Interval::ToString() const {
+  return StrFormat("[%lld, %lld)", static_cast<long long>(start),
+                   static_cast<long long>(end));
+}
+
+}  // namespace tempus

@@ -1,0 +1,131 @@
+#ifndef TEMPUS_COMMON_INTERVAL_H_
+#define TEMPUS_COMMON_INTERVAL_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace tempus {
+
+/// Discrete time: "a sequence of discrete, consecutive, equally-distanced
+/// points ... isomorphic to the natural numbers" (paper, Section 2). The
+/// unit is unspecified; we use a signed 64-bit tick count.
+using TimePoint = int64_t;
+
+/// Sentinels for open-ended scans and statistics seeds.
+inline constexpr TimePoint kMinTime = std::numeric_limits<TimePoint>::min();
+inline constexpr TimePoint kMaxTime = std::numeric_limits<TimePoint>::max();
+
+/// The lifespan [ValidFrom, ValidTo) of a temporal tuple: half-open, with
+/// the intra-tuple integrity constraint ValidFrom < ValidTo (paper, Sec. 2).
+///
+/// Predicates below implement the *explicit constraints* of the paper's
+/// Figure 2 exactly (all strict inequalities as printed). The full 13-way
+/// Allen classification lives in allen/interval_algebra.h; Interval keeps
+/// only the relations the paper's operators are built from.
+struct Interval {
+  TimePoint start = 0;  ///< ValidFrom (abbreviated TS in the paper).
+  TimePoint end = 1;    ///< ValidTo (abbreviated TE in the paper).
+
+  constexpr Interval() = default;
+  constexpr Interval(TimePoint valid_from, TimePoint valid_to)
+      : start(valid_from), end(valid_to) {}
+
+  /// Intra-tuple integrity constraint: TS < TE.
+  constexpr bool IsValid() const { return start < end; }
+
+  /// Number of time points covered by [start, end).
+  constexpr TimePoint Duration() const { return end - start; }
+
+  /// True iff time point t lies within [start, end).
+  constexpr bool ContainsPoint(TimePoint t) const {
+    return start <= t && t < end;
+  }
+
+  /// Figure 2 (1): X equal Y == X.TS=Y.TS and X.TE=Y.TE.
+  constexpr bool Equals(const Interval& other) const {
+    return start == other.start && end == other.end;
+  }
+
+  /// Figure 2 (2): X meets Y == X.TE=Y.TS.
+  constexpr bool Meets(const Interval& other) const {
+    return end == other.start;
+  }
+
+  /// Figure 2 (3): X starts Y == X.TS=Y.TS and X.TE<Y.TE.
+  constexpr bool Starts(const Interval& other) const {
+    return start == other.start && end < other.end;
+  }
+
+  /// Figure 2 (4): X finishes Y == X.TE=Y.TE and X.TS>Y.TS.
+  constexpr bool Finishes(const Interval& other) const {
+    return end == other.end && start > other.start;
+  }
+
+  /// Figure 2 (5): X during Y == X.TS>Y.TS and X.TE<Y.TE.
+  /// This is the condition of the paper's Contained-semijoin/Contain-join.
+  constexpr bool During(const Interval& other) const {
+    return start > other.start && end < other.end;
+  }
+
+  /// The converse of During: this interval's lifespan strictly contains
+  /// `other` (the Contain-join(X,Y) output condition, Section 4.2.1).
+  constexpr bool StrictlyContains(const Interval& other) const {
+    return other.During(*this);
+  }
+
+  /// Figure 2 (6): X overlaps Y == X.TS<Y.TS and X.TE>Y.TS and X.TE<Y.TE.
+  /// Allen's strict "overlaps".
+  constexpr bool AllenOverlaps(const Interval& other) const {
+    return start < other.start && end > other.start && end < other.end;
+  }
+
+  /// TQuel's general `overlap` used in the Superstar query (Section 3,
+  /// footnote 6): X.TS<Y.TE and Y.TS<X.TE. Subsumes equal / starts /
+  /// finishes / during / overlaps and their inverses — i.e., the two
+  /// half-open lifespans intersect.
+  constexpr bool Intersects(const Interval& other) const {
+    return start < other.end && other.start < end;
+  }
+
+  /// Figure 2 (7): X before Y == X.TE<Y.TS.
+  constexpr bool Before(const Interval& other) const {
+    return end < other.start;
+  }
+
+  friend constexpr bool operator==(const Interval& a, const Interval& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+
+  /// "[start, end)".
+  std::string ToString() const;
+};
+
+/// Strict-weak orders used as sort keys throughout the stream operators.
+/// The paper's Table 1 considers primary orders on ValidFrom or ValidTo,
+/// ascending or descending; ties are broken by the other endpoint so that
+/// sorts are total (Section 4.2.3 relies on the secondary order).
+struct OrderByStartAsc {
+  constexpr bool operator()(const Interval& a, const Interval& b) const {
+    return a.start != b.start ? a.start < b.start : a.end < b.end;
+  }
+};
+struct OrderByStartDesc {
+  constexpr bool operator()(const Interval& a, const Interval& b) const {
+    return a.start != b.start ? a.start > b.start : a.end > b.end;
+  }
+};
+struct OrderByEndAsc {
+  constexpr bool operator()(const Interval& a, const Interval& b) const {
+    return a.end != b.end ? a.end < b.end : a.start < b.start;
+  }
+};
+struct OrderByEndDesc {
+  constexpr bool operator()(const Interval& a, const Interval& b) const {
+    return a.end != b.end ? a.end > b.end : a.start > b.start;
+  }
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_COMMON_INTERVAL_H_

@@ -1,0 +1,96 @@
+#ifndef TEMPUS_COMMON_RESULT_H_
+#define TEMPUS_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace tempus {
+
+/// Result<T> is either a value of type T or a non-OK Status, in the style of
+/// arrow::Result / absl::StatusOr. Accessing the value of an errored Result
+/// aborts the process with the status message (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common return path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. Must not be OK: an OK
+  /// status carries no value and would leave the Result unusable.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      Fail("Result constructed from OK status without a value");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// Returns the error status, or OK if a value is present.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      Fail(status_.ToString().c_str());
+    }
+  }
+  [[noreturn]] static void Fail(const char* what) {
+    std::fprintf(stderr, "tempus::Result: %s\n", what);
+    std::abort();
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tempus
+
+/// Evaluates `expr` (a Result<T>), propagating its error, else assigns the
+/// value to `lhs`. `lhs` may be a declaration, e.g.
+///   TEMPUS_ASSIGN_OR_RETURN(auto rel, catalog.Lookup("Faculty"));
+#define TEMPUS_ASSIGN_OR_RETURN(lhs, expr)                   \
+  TEMPUS_ASSIGN_OR_RETURN_IMPL_(                             \
+      TEMPUS_CONCAT_(tempus_result_tmp_, __LINE__), lhs, expr)
+
+#define TEMPUS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+#define TEMPUS_CONCAT_(a, b) TEMPUS_CONCAT_IMPL_(a, b)
+#define TEMPUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // TEMPUS_COMMON_RESULT_H_

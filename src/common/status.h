@@ -1,0 +1,96 @@
+#ifndef TEMPUS_COMMON_STATUS_H_
+#define TEMPUS_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tempus {
+
+/// Error categories used across the library. Modeled after the RocksDB /
+/// Abseil status idiom: library code never throws across API boundaries;
+/// fallible operations return Status (or Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying an error code and message.
+///
+/// Usage:
+///   Status s = relation.Insert(tuple);
+///   if (!s.ok()) return s;
+/// or with the helper macro:
+///   TEMPUS_RETURN_IF_ERROR(relation.Insert(tuple));
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace tempus
+
+/// Propagates a non-OK Status from the enclosing function.
+#define TEMPUS_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::tempus::Status tempus_status_tmp_ = (expr);     \
+    if (!tempus_status_tmp_.ok()) {                   \
+      return tempus_status_tmp_;                      \
+    }                                                 \
+  } while (false)
+
+#endif  // TEMPUS_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+#ifndef TEMPUS_COMMON_STRING_UTIL_H_
+#define TEMPUS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tempus {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Splits `text` on `separator`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Case-insensitive ASCII equality (used by the TQL keyword scanner).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Lowercases ASCII characters.
+std::string ToLower(std::string_view text);
+
+}  // namespace tempus
+
+#endif  // TEMPUS_COMMON_STRING_UTIL_H_

@@ -1,0 +1,53 @@
+#include "datagen/faculty_gen.h"
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace tempus {
+
+Schema FacultySchema() {
+  return Schema::Canonical("Name", ValueType::kString, "Rank",
+                           ValueType::kString);
+}
+
+ChronologicalDomain FacultyRankDomain(bool continuous) {
+  ChronologicalDomain domain;
+  domain.attribute = "Rank";
+  domain.surrogate_attribute = "Name";
+  domain.ordered_values = {Value::Str("Assistant"), Value::Str("Associate"),
+                           Value::Str("Full")};
+  domain.continuous = continuous;
+  return domain;
+}
+
+Result<TemporalRelation> GenerateFaculty(
+    const std::string& name, const FacultyWorkloadConfig& config) {
+  if (config.min_tenure < 1 || config.max_tenure < config.min_tenure) {
+    return Status::InvalidArgument("invalid tenure range");
+  }
+  Rng rng(config.seed);
+  TemporalRelation relation(name, FacultySchema());
+  static const char* kRanks[] = {"Assistant", "Associate", "Full"};
+  for (size_t i = 0; i < config.faculty_count; ++i) {
+    const std::string who = StrFormat("F%06zu", i);
+    TimePoint cursor = rng.UniformInt(0, config.hire_spread - 1);
+    for (int rank = 0; rank < 3; ++rank) {
+      const TimePoint tenure =
+          rng.UniformInt(config.min_tenure, config.max_tenure);
+      TEMPUS_RETURN_IF_ERROR(relation.AppendRow(
+          Value::Str(who), Value::Str(kRanks[rank]), cursor,
+          cursor + tenure));
+      cursor += tenure;
+      if (!config.complete_careers && rank < 2 &&
+          !rng.Bernoulli(config.promotion_probability)) {
+        break;
+      }
+      if (!config.continuous && rank < 2) {
+        cursor += rng.UniformInt(0, config.max_gap);
+      }
+    }
+  }
+  return relation;
+}
+
+}  // namespace tempus

@@ -1,0 +1,54 @@
+#ifndef TEMPUS_DATAGEN_FACULTY_GEN_H_
+#define TEMPUS_DATAGEN_FACULTY_GEN_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relation/temporal_relation.h"
+#include "semantic/integrity.h"
+
+namespace tempus {
+
+/// Workload generator for the paper's running example: the
+/// Faculty(Name, Rank, ValidFrom, ValidTo) relation with the chronological
+/// Rank chain Assistant -> Associate -> Full (Sections 2, 3, 5).
+struct FacultyWorkloadConfig {
+  size_t faculty_count = 1000;
+  uint64_t seed = 7;
+  /// Continuous employment (Section 5): each career abuts exactly, starts
+  /// at Assistant, and reaches the highest attained rank with no gaps.
+  /// With false, careers may have gaps between ranks (no re-ordering,
+  /// still chronological).
+  bool continuous = true;
+  /// Probability that a faculty member is promoted to the next rank.
+  double promotion_probability = 0.75;
+  /// Every career runs Assistant -> Associate -> Full (the idealized
+  /// setting of the paper's Section 5 query transformation, where holding
+  /// the Associate rank implies an eventual promotion to Full). Overrides
+  /// promotion_probability.
+  bool complete_careers = false;
+  /// Hire dates are uniform in [0, hire_spread).
+  TimePoint hire_spread = 10000;
+  /// Rank tenures are uniform in [min_tenure, max_tenure].
+  TimePoint min_tenure = 1;
+  TimePoint max_tenure = 400;
+  /// Max gap between ranks when !continuous.
+  TimePoint max_gap = 50;
+};
+
+/// The canonical Faculty schema: (Name STRING, Rank STRING, ValidFrom,
+/// ValidTo) with the lifespan designated.
+Schema FacultySchema();
+
+/// The Rank chronological-ordering constraint for the integrity catalog.
+ChronologicalDomain FacultyRankDomain(bool continuous);
+
+/// Generates a Faculty instance satisfying the Rank chronology (and, when
+/// configured, the continuous-employment constraint). Deterministic in the
+/// seed. Faculty names are "F000001"-style strings.
+Result<TemporalRelation> GenerateFaculty(const std::string& name,
+                                         const FacultyWorkloadConfig& config);
+
+}  // namespace tempus
+
+#endif  // TEMPUS_DATAGEN_FACULTY_GEN_H_

@@ -1,0 +1,99 @@
+#include "datagen/interval_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace tempus {
+
+Result<TemporalRelation> GenerateIntervalRelation(
+    const std::string& name, const IntervalWorkloadConfig& config) {
+  if (config.mean_interarrival < 0 || config.mean_duration <= 0 ||
+      config.min_duration < 1 || config.duration_ramp_start <= 0 ||
+      config.duration_ramp_end <= 0) {
+    return Status::InvalidArgument("invalid interval workload config");
+  }
+  Rng rng(config.seed);
+  TemporalRelation relation(
+      name, Schema::Canonical("S", ValueType::kInt64, "V",
+                              ValueType::kInt64));
+  TimePoint cursor = config.start_time;
+  for (size_t i = 0; i < config.count; ++i) {
+    // Jittered arrivals with the requested mean gap.
+    const TimePoint gap = static_cast<TimePoint>(
+        rng.UniformInt(0, std::max<int64_t>(
+                              0, std::llround(2 * config.mean_interarrival))));
+    cursor += gap;
+    const double ramp =
+        config.count <= 1
+            ? config.duration_ramp_start
+            : config.duration_ramp_start +
+                  (config.duration_ramp_end - config.duration_ramp_start) *
+                      (static_cast<double>(i) /
+                       static_cast<double>(config.count - 1));
+    const double mean_duration = config.mean_duration * ramp;
+    double duration = static_cast<double>(config.min_duration);
+    switch (config.duration_model) {
+      case DurationModel::kUniform: {
+        const double hi = std::max<double>(
+            static_cast<double>(config.min_duration),
+            2 * mean_duration - static_cast<double>(config.min_duration));
+        duration = static_cast<double>(
+            rng.UniformInt(config.min_duration,
+                           static_cast<int64_t>(std::llround(hi))));
+        break;
+      }
+      case DurationModel::kExponential:
+        duration = rng.Exponential(mean_duration);
+        break;
+      case DurationModel::kPareto: {
+        // Pareto(scale, 1.5) has mean 3*scale; pick scale for the target.
+        const double scale = mean_duration / 3.0;
+        duration = rng.Pareto(std::max(scale, 1.0), 1.5);
+        break;
+      }
+    }
+    const TimePoint d = std::max<TimePoint>(
+        config.min_duration, static_cast<TimePoint>(std::llround(duration)));
+    TEMPUS_RETURN_IF_ERROR(relation.AppendRow(
+        Value::Int(rng.UniformInt(0, config.surrogate_count - 1)),
+        Value::Int(rng.UniformInt(0, config.value_count - 1)), cursor,
+        cursor + d));
+  }
+  return relation;
+}
+
+Result<TemporalRelation> GenerateNestedIntervals(const std::string& name,
+                                                 size_t chain_count,
+                                                 size_t depth,
+                                                 uint64_t seed) {
+  if (depth == 0) {
+    return Status::InvalidArgument("nesting depth must be >= 1");
+  }
+  Rng rng(seed);
+  TemporalRelation relation(
+      name, Schema::Canonical("S", ValueType::kInt64, "V",
+                              ValueType::kInt64));
+  TimePoint cursor = 0;
+  for (size_t chain = 0; chain < chain_count; ++chain) {
+    // Outermost interval wide enough to nest `depth` levels strictly.
+    const TimePoint width = static_cast<TimePoint>(2 * depth + 2 +
+                                                   rng.UniformInt(0, 16));
+    TimePoint lo = cursor + rng.UniformInt(0, 8);
+    TimePoint hi = lo + width;
+    for (size_t level = 0; level < depth; ++level) {
+      TEMPUS_RETURN_IF_ERROR(relation.AppendRow(
+          Value::Int(static_cast<int64_t>(chain)),
+          Value::Int(static_cast<int64_t>(level)), lo, hi));
+      // Strictly nested successor.
+      if (hi - lo <= 2) break;
+      ++lo;
+      --hi;
+    }
+    cursor = hi + 1;
+  }
+  return relation;
+}
+
+}  // namespace tempus

@@ -1,0 +1,63 @@
+#ifndef TEMPUS_DATAGEN_INTERVAL_GEN_H_
+#define TEMPUS_DATAGEN_INTERVAL_GEN_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relation/temporal_relation.h"
+
+namespace tempus {
+
+/// Distribution of lifespan durations.
+enum class DurationModel {
+  kUniform,      ///< Uniform in [min_duration, 2*mean - min_duration].
+  kExponential,  ///< Exponential with the given mean (floor at min).
+  kPareto,       ///< Pareto(shape=1.5) scaled to the mean — heavy tails
+                 ///< that stress the workspace bounds.
+};
+
+/// Synthetic temporal workload knobs. These are exactly the statistics the
+/// paper's analysis is parameterized by (Section 4.2.1): consecutive
+/// ValidFrom values are `mean_interarrival` (= 1/lambda) apart on average,
+/// and the overlap density — hence every Table 1/2 state bound — is
+/// mean_duration / mean_interarrival.
+struct IntervalWorkloadConfig {
+  size_t count = 1000;
+  uint64_t seed = 42;
+  /// Mean gap between consecutive start times (1/lambda). Gaps are
+  /// uniform in [0, 2*mean_interarrival], so starts arrive jittered.
+  double mean_interarrival = 4.0;
+  DurationModel duration_model = DurationModel::kExponential;
+  double mean_duration = 16.0;
+  TimePoint min_duration = 1;
+  /// Non-stationary workloads: the duration mean for tuple i is
+  /// mean_duration * lerp(duration_ramp_start, duration_ramp_end, i/n).
+  /// Ramps make "tuples alive at t" drift over the relation — the case
+  /// where the two appropriate Contain-join orderings genuinely diverge
+  /// (Section 4.1's instance-statistics discussion). 1.0/1.0 = stationary.
+  double duration_ramp_start = 1.0;
+  double duration_ramp_end = 1.0;
+  /// Surrogate ids drawn uniformly from [0, surrogate_count).
+  int64_t surrogate_count = 100;
+  /// Integer payload values drawn uniformly from [0, value_count).
+  int64_t value_count = 1000;
+  TimePoint start_time = 0;
+};
+
+/// Generates a canonical <S:INT64, V:INT64, ValidFrom, ValidTo> relation
+/// per the config. Deterministic in the seed. Tuples are produced in
+/// ValidFrom order but the relation's order is NOT declared (callers sort
+/// explicitly; that cost is part of what the benchmarks measure).
+Result<TemporalRelation> GenerateIntervalRelation(
+    const std::string& name, const IntervalWorkloadConfig& config);
+
+/// Generates `count` intervals forming nesting chains of the given depth:
+/// each chain is `depth` strictly nested lifespans — the adversarial
+/// workload for the self-semijoins (Table 3) and containment operators.
+Result<TemporalRelation> GenerateNestedIntervals(const std::string& name,
+                                                 size_t chain_count,
+                                                 size_t depth, uint64_t seed);
+
+}  // namespace tempus
+
+#endif  // TEMPUS_DATAGEN_INTERVAL_GEN_H_

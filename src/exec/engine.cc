@@ -1,0 +1,54 @@
+#include "exec/engine.h"
+
+#include <fstream>
+
+#include "relation/csv.h"
+
+namespace tempus {
+
+Result<PlannedQuery> Engine::Prepare(const std::string& tql,
+                                     const PlannerOptions& options) const {
+  TEMPUS_ASSIGN_OR_RETURN(ConjunctiveQuery query, ParseTql(tql));
+  Planner planner(&catalog_, &integrity_);
+  return planner.Plan(query, options);
+}
+
+Result<TemporalRelation> Engine::Run(const std::string& tql,
+                                     const PlannerOptions& options) const {
+  TEMPUS_ASSIGN_OR_RETURN(PlannedQuery planned, Prepare(tql, options));
+  return planned.Execute();
+}
+
+Result<std::string> Engine::Explain(const std::string& tql,
+                                    const PlannerOptions& options) const {
+  TEMPUS_ASSIGN_OR_RETURN(PlannedQuery planned, Prepare(tql, options));
+  return planned.explain;
+}
+
+Status Engine::RegisterValidated(TemporalRelation relation) {
+  TEMPUS_RETURN_IF_ERROR(integrity_.Validate(relation));
+  return catalog_.Register(std::move(relation));
+}
+
+Status Engine::LoadCsv(const std::string& name, const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  TEMPUS_ASSIGN_OR_RETURN(TemporalRelation relation, ReadCsv(name, &in));
+  return RegisterValidated(std::move(relation));
+}
+
+Status Engine::SaveCsv(const std::string& name,
+                       const std::string& path) const {
+  TEMPUS_ASSIGN_OR_RETURN(const TemporalRelation* relation,
+                          catalog_.Lookup(name));
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open CSV file for writing: " +
+                                   path);
+  }
+  return WriteCsv(*relation, &out);
+}
+
+}  // namespace tempus

@@ -1,0 +1,58 @@
+#ifndef TEMPUS_EXEC_ENGINE_H_
+#define TEMPUS_EXEC_ENGINE_H_
+
+#include <string>
+
+#include "plan/planner.h"
+#include "relation/catalog.h"
+#include "semantic/integrity.h"
+#include "tql/parser.h"
+
+namespace tempus {
+
+/// The top-level facade: a catalog of relations, an integrity catalog, and
+/// TQL execution. This is the five-line entry point of the quickstart:
+///
+///   Engine engine;
+///   engine.mutable_catalog()->Register(my_relation);
+///   auto result = engine.Run("range of x is R ... retrieve (...) ...");
+class Engine {
+ public:
+  Catalog* mutable_catalog() { return &catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  IntegrityCatalog* mutable_integrity() { return &integrity_; }
+  const IntegrityCatalog& integrity() const { return integrity_; }
+
+  /// Parses and plans `tql` without executing it.
+  Result<PlannedQuery> Prepare(const std::string& tql,
+                               const PlannerOptions& options = {}) const;
+
+  /// Parses, plans, and executes `tql`, returning the result relation.
+  Result<TemporalRelation> Run(const std::string& tql,
+                               const PlannerOptions& options = {}) const;
+
+  /// Returns the plan tree (with semantic-optimization annotations) that
+  /// `tql` would execute under.
+  Result<std::string> Explain(const std::string& tql,
+                              const PlannerOptions& options = {}) const;
+
+  /// Registers `relation` and validates it against the integrity catalog's
+  /// constraints for its name.
+  Status RegisterValidated(TemporalRelation relation);
+
+  /// Loads a relation named `name` from a CSV file (see relation/csv.h for
+  /// the format), validates it against the integrity catalog, and
+  /// registers it.
+  Status LoadCsv(const std::string& name, const std::string& path);
+
+  /// Writes a registered relation to a CSV file.
+  Status SaveCsv(const std::string& name, const std::string& path) const;
+
+ private:
+  Catalog catalog_;
+  IntegrityCatalog integrity_;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_EXEC_ENGINE_H_

@@ -1,0 +1,230 @@
+#include "join/allen_sweep_join.h"
+
+namespace tempus {
+
+AllenSweepJoin::AllenSweepJoin(std::unique_ptr<TupleStream> left,
+                               std::unique_ptr<TupleStream> right,
+                               AllenSweepJoinOptions options,
+                               SweepFrame frame, AllenMask frame_mask,
+                               Schema schema, LifespanRef left_ref,
+                               LifespanRef right_ref)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      options_(std::move(options)),
+      frame_(frame),
+      frame_mask_(frame_mask),
+      schema_(std::move(schema)),
+      left_ref_(left_ref),
+      right_ref_(right_ref) {
+  // An x in state survives for future y exactly while some mask relation
+  // can still hold; `meets` is the only one alive at x.end == y.start.
+  keep_left_touch_ = frame_mask_.Contains(AllenRelation::kMeets);
+  keep_right_touch_ = frame_mask_.Contains(AllenRelation::kMetBy);
+  if (options_.verify_input_order) {
+    left_validator_ = std::make_unique<OrderValidator>(
+        left_ref_, options_.left_order, "allen sweep join left input");
+    right_validator_ = std::make_unique<OrderValidator>(
+        right_ref_, options_.right_order, "allen sweep join right input");
+  }
+}
+
+Result<std::unique_ptr<AllenSweepJoin>> AllenSweepJoin::Create(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    AllenSweepJoinOptions options) {
+  if (options.mask.IsEmpty()) {
+    return Status::InvalidArgument("sweep join mask is empty");
+  }
+  if (options.mask.Contains(AllenRelation::kBefore) ||
+      options.mask.Contains(AllenRelation::kAfter)) {
+    return Status::FailedPrecondition(
+        "before/after admit no garbage-collection criterion under any sort "
+        "ordering (Section 4.2.4); use BeforeJoinStream");
+  }
+  SweepFrame frame;
+  if (options.left_order == kByValidFromAsc &&
+      options.right_order == kByValidFromAsc) {
+    frame.mirrored = false;
+  } else if (options.left_order == kByValidToDesc &&
+             options.right_order == kByValidToDesc) {
+    frame.mirrored = true;
+  } else {
+    return Status::FailedPrecondition(
+        "sort ordering (" + options.left_order.ToString() + ", " +
+        options.right_order.ToString() +
+        ") is not appropriate for the sweep join (Table 2): both inputs "
+        "must be ValidFrom^ (or both ValidTo v)");
+  }
+  const AllenMask frame_mask =
+      frame.mirrored ? options.mask.Mirrored() : options.mask;
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef left_ref,
+                          LifespanRef::ForSchema(left->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef right_ref,
+                          LifespanRef::ForSchema(right->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(
+      Schema schema,
+      MakeJoinOutputSchema(left->schema(), right->schema(), options.naming));
+  return std::unique_ptr<AllenSweepJoin>(new AllenSweepJoin(
+      std::move(left), std::move(right), std::move(options), frame,
+      frame_mask, std::move(schema), left_ref, right_ref));
+}
+
+Status AllenSweepJoin::Open() {
+  TEMPUS_RETURN_IF_ERROR(left_->Open());
+  TEMPUS_RETURN_IF_ERROR(right_->Open());
+  ++metrics_.passes_left;
+  ++metrics_.passes_right;
+  left_state_.clear();
+  right_state_.clear();
+  metrics_.workspace_tuples = 0;
+  left_has_peek_ = right_has_peek_ = false;
+  left_done_ = right_done_ = false;
+  probing_ = false;
+  if (left_validator_) left_validator_->Reset();
+  if (right_validator_) right_validator_->Reset();
+  return Status::Ok();
+}
+
+Result<bool> AllenSweepJoin::FillPeek(bool left_side) {
+  TupleStream* stream = left_side ? left_.get() : right_.get();
+  Tuple* peek = left_side ? &left_peek_ : &right_peek_;
+  TEMPUS_ASSIGN_OR_RETURN(bool has, stream->Next(peek));
+  if (!has) {
+    (left_side ? left_done_ : right_done_) = true;
+    return false;
+  }
+  OrderValidator* validator =
+      left_side ? left_validator_.get() : right_validator_.get();
+  if (validator != nullptr) {
+    TEMPUS_RETURN_IF_ERROR(validator->Check(*peek));
+  }
+  const LifespanRef& ref = left_side ? left_ref_ : right_ref_;
+  if (left_side) {
+    left_peek_span_ = frame_.Map(ref.Of(*peek));
+    left_has_peek_ = true;
+    ++metrics_.tuples_read_left;
+  } else {
+    right_peek_span_ = frame_.Map(ref.Of(*peek));
+    right_has_peek_ = true;
+    ++metrics_.tuples_read_right;
+  }
+  return true;
+}
+
+void AllenSweepJoin::CollectGarbage() {
+  auto sweep = [this](std::vector<StateEntry>* state, auto&& dead) {
+    size_t kept = 0;
+    for (size_t i = 0; i < state->size(); ++i) {
+      if (!dead((*state)[i])) {
+        if (kept != i) (*state)[kept] = std::move((*state)[i]);
+        ++kept;
+      }
+    }
+    metrics_.SubWorkspace(state->size() - kept);
+    state->resize(kept);
+  };
+
+  if (right_done_ && !right_has_peek_) {
+    metrics_.SubWorkspace(left_state_.size());
+    left_state_.clear();
+  } else if (right_has_peek_) {
+    const TimePoint bound = right_peek_span_.start;
+    const bool keep_touch = keep_left_touch_;
+    sweep(&left_state_, [bound, keep_touch](const StateEntry& e) {
+      return keep_touch ? e.span.end < bound : e.span.end <= bound;
+    });
+  }
+  if (left_done_ && !left_has_peek_) {
+    metrics_.SubWorkspace(right_state_.size());
+    right_state_.clear();
+  } else if (left_has_peek_) {
+    const TimePoint bound = left_peek_span_.start;
+    const bool keep_touch = keep_right_touch_;
+    sweep(&right_state_, [bound, keep_touch](const StateEntry& e) {
+      return keep_touch ? e.span.end < bound : e.span.end <= bound;
+    });
+  }
+}
+
+Result<bool> AllenSweepJoin::Advance() {
+  if (!left_has_peek_ && !left_done_) {
+    TEMPUS_ASSIGN_OR_RETURN(bool filled, FillPeek(/*left_side=*/true));
+    (void)filled;
+  }
+  if (!right_has_peek_ && !right_done_) {
+    TEMPUS_ASSIGN_OR_RETURN(bool filled, FillPeek(/*left_side=*/false));
+    (void)filled;
+  }
+  CollectGarbage();
+  if (!left_has_peek_ && !right_has_peek_) return false;
+  if (!left_has_peek_ && left_state_.empty()) return false;
+  if (!right_has_peek_ && right_state_.empty()) return false;
+
+  bool use_left;
+  if (!left_has_peek_) {
+    use_left = false;
+  } else if (!right_has_peek_) {
+    use_left = true;
+  } else {
+    use_left = left_peek_span_.start <= right_peek_span_.start;
+  }
+
+  if (use_left) {
+    probe_ = std::move(left_peek_);
+    probe_span_ = left_peek_span_;
+    left_has_peek_ = false;
+  } else {
+    probe_ = std::move(right_peek_);
+    probe_span_ = right_peek_span_;
+    right_has_peek_ = false;
+  }
+  probe_is_left_ = use_left;
+  probe_pos_ = 0;
+  probing_ = true;
+  return true;
+}
+
+Result<bool> AllenSweepJoin::Next(Tuple* out) {
+  while (true) {
+    if (probing_) {
+      const std::vector<StateEntry>& targets =
+          probe_is_left_ ? right_state_ : left_state_;
+      while (probe_pos_ < targets.size()) {
+        const StateEntry& other = targets[probe_pos_++];
+        ++metrics_.comparisons;
+        const Interval& x = probe_is_left_ ? probe_span_ : other.span;
+        const Interval& y = probe_is_left_ ? other.span : probe_span_;
+        if (frame_mask_.HoldsBetween(x, y)) {
+          *out = probe_is_left_ ? Tuple::Concat(probe_, other.tuple)
+                                : Tuple::Concat(other.tuple, probe_);
+          ++metrics_.tuples_emitted;
+          return true;
+        }
+      }
+      const bool opposite_finished = probe_is_left_
+                                         ? (right_done_ && !right_has_peek_)
+                                         : (left_done_ && !left_has_peek_);
+      if (!opposite_finished) {
+        (probe_is_left_ ? left_state_ : right_state_)
+            .push_back({std::move(probe_), probe_span_});
+        metrics_.AddWorkspace();
+      }
+      probing_ = false;
+    }
+    TEMPUS_ASSIGN_OR_RETURN(bool more, Advance());
+    if (!more) return false;
+  }
+}
+
+Result<std::unique_ptr<AllenSweepJoin>> MakeOverlapJoin(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    TemporalSortOrder order, JoinNaming naming) {
+  AllenSweepJoinOptions options;
+  options.mask = AllenMask::Intersecting();
+  options.left_order = order;
+  options.right_order = order;
+  options.naming = std::move(naming);
+  return AllenSweepJoin::Create(std::move(left), std::move(right),
+                                std::move(options));
+}
+
+}  // namespace tempus

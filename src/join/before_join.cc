@@ -1,0 +1,156 @@
+#include "join/before_join.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace tempus {
+
+BeforeJoinStream::BeforeJoinStream(std::unique_ptr<TupleStream> left,
+                                   std::unique_ptr<TupleStream> right,
+                                   BeforeJoinOptions options, Schema schema,
+                                   LifespanRef left_ref,
+                                   LifespanRef right_ref)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      options_(std::move(options)),
+      schema_(std::move(schema)),
+      left_ref_(left_ref),
+      right_ref_(right_ref) {}
+
+Result<std::unique_ptr<BeforeJoinStream>> BeforeJoinStream::Create(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    BeforeJoinOptions options) {
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef left_ref,
+                          LifespanRef::ForSchema(left->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef right_ref,
+                          LifespanRef::ForSchema(right->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(
+      Schema schema,
+      MakeJoinOutputSchema(left->schema(), right->schema(), options.naming));
+  return std::unique_ptr<BeforeJoinStream>(new BeforeJoinStream(
+      std::move(left), std::move(right), std::move(options),
+      std::move(schema), left_ref, right_ref));
+}
+
+Status BeforeJoinStream::Open() {
+  TEMPUS_RETURN_IF_ERROR(right_->Open());
+  ++metrics_.passes_right;
+  inner_.clear();
+  inner_from_.clear();
+  metrics_.workspace_tuples = 0;
+  Tuple t;
+  TimePoint previous_from = kMinTime;
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool has, right_->Next(&t));
+    if (!has) break;
+    ++metrics_.tuples_read_right;
+    const TimePoint from = right_ref_.Of(t).start;
+    if (options_.right_presorted && options_.verify_input_order &&
+        from < previous_from) {
+      return Status::FailedPrecondition(
+          "before-join inner input is not sorted by ValidFrom ascending");
+    }
+    previous_from = from;
+    inner_.push_back(std::move(t));
+    metrics_.AddWorkspace();
+    t = Tuple();
+  }
+  if (!options_.right_presorted) {
+    std::vector<size_t> order(inner_.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [this](size_t a, size_t b) {
+                       return right_ref_.Of(inner_[a]).start <
+                              right_ref_.Of(inner_[b]).start;
+                     });
+    std::vector<Tuple> sorted;
+    sorted.reserve(inner_.size());
+    for (size_t ix : order) sorted.push_back(std::move(inner_[ix]));
+    inner_ = std::move(sorted);
+  }
+  inner_from_.reserve(inner_.size());
+  for (const Tuple& tuple : inner_) {
+    inner_from_.push_back(right_ref_.Of(tuple).start);
+  }
+
+  TEMPUS_RETURN_IF_ERROR(left_->Open());
+  ++metrics_.passes_left;
+  have_left_ = false;
+  return Status::Ok();
+}
+
+Result<bool> BeforeJoinStream::Next(Tuple* out) {
+  while (true) {
+    if (!have_left_) {
+      TEMPUS_ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));
+      if (!has) return false;
+      ++metrics_.tuples_read_left;
+      // First inner tuple with ValidFrom > current.ValidTo; everything
+      // from there to the end satisfies X.TE < Y.TS.
+      const TimePoint bound = left_ref_.Of(current_left_).end;
+      inner_pos_ = static_cast<size_t>(
+          std::upper_bound(inner_from_.begin(), inner_from_.end(), bound) -
+          inner_from_.begin());
+      metrics_.comparisons += inner_.empty()
+                                  ? 0
+                                  : static_cast<uint64_t>(
+                                        std::bit_width(inner_.size()));
+      have_left_ = true;
+    }
+    if (inner_pos_ < inner_.size()) {
+      *out = Tuple::Concat(current_left_, inner_[inner_pos_++]);
+      ++metrics_.tuples_emitted;
+      return true;
+    }
+    have_left_ = false;
+  }
+}
+
+BeforeSemijoin::BeforeSemijoin(std::unique_ptr<TupleStream> x,
+                               std::unique_ptr<TupleStream> y,
+                               LifespanRef x_ref, LifespanRef y_ref)
+    : x_(std::move(x)), y_(std::move(y)), x_ref_(x_ref), y_ref_(y_ref) {}
+
+Result<std::unique_ptr<BeforeSemijoin>> BeforeSemijoin::Create(
+    std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y) {
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef x_ref,
+                          LifespanRef::ForSchema(x->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef y_ref,
+                          LifespanRef::ForSchema(y->schema()));
+  return std::unique_ptr<BeforeSemijoin>(
+      new BeforeSemijoin(std::move(x), std::move(y), x_ref, y_ref));
+}
+
+Status BeforeSemijoin::Open() {
+  TEMPUS_RETURN_IF_ERROR(y_->Open());
+  ++metrics_.passes_right;
+  max_y_from_ = kMinTime;
+  y_empty_ = true;
+  Tuple t;
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool has, y_->Next(&t));
+    if (!has) break;
+    ++metrics_.tuples_read_right;
+    max_y_from_ = std::max(max_y_from_, y_ref_.Of(t).start);
+    y_empty_ = false;
+  }
+  TEMPUS_RETURN_IF_ERROR(x_->Open());
+  ++metrics_.passes_left;
+  return Status::Ok();
+}
+
+Result<bool> BeforeSemijoin::Next(Tuple* out) {
+  if (y_empty_) return false;
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool has, x_->Next(out));
+    if (!has) return false;
+    ++metrics_.tuples_read_left;
+    ++metrics_.comparisons;
+    if (x_ref_.Of(*out).end < max_y_from_) {
+      ++metrics_.tuples_emitted;
+      return true;
+    }
+  }
+}
+
+}  // namespace tempus

@@ -1,0 +1,95 @@
+#ifndef TEMPUS_JOIN_BEFORE_JOIN_H_
+#define TEMPUS_JOIN_BEFORE_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/interval.h"
+#include "join/join_common.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+struct BeforeJoinOptions {
+  /// If true, the right input is promised to be sorted ValidFrom^ and is
+  /// only buffered; otherwise it is buffered AND sorted on Open().
+  bool right_presorted = false;
+  bool verify_input_order = true;
+  JoinNaming naming;
+};
+
+/// Before-join(X, Y): emits x ++ y whenever X.TE < Y.TS (Figure 2 (7)).
+///
+/// The paper observes that "there is no sort ordering that would
+/// significantly limit the amount of state information" for a pure stream
+/// implementation, and that nested-loop is the right strategy — but also
+/// that "with proper sort orders, nested-loop join can avoid scanning the
+/// inner relation in its entirety". This operator is that refinement: the
+/// inner (right) relation is buffered sorted by ValidFrom; each outer
+/// tuple binary-searches its first match and emits the tail run. The
+/// buffered inner relation is reported as workspace.
+class BeforeJoinStream : public TupleStream {
+ public:
+  static Result<std::unique_ptr<BeforeJoinStream>> Create(
+      std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+      BeforeJoinOptions options = {});
+
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  BeforeJoinStream(std::unique_ptr<TupleStream> left,
+                   std::unique_ptr<TupleStream> right,
+                   BeforeJoinOptions options, Schema schema,
+                   LifespanRef left_ref, LifespanRef right_ref);
+
+  std::unique_ptr<TupleStream> left_;
+  std::unique_ptr<TupleStream> right_;
+  BeforeJoinOptions options_;
+  Schema schema_;
+  LifespanRef left_ref_;
+  LifespanRef right_ref_;
+
+  std::vector<Tuple> inner_;           // Sorted by ValidFrom ascending.
+  std::vector<TimePoint> inner_from_;  // Parallel ValidFrom keys.
+  Tuple current_left_;
+  bool have_left_ = false;
+  size_t inner_pos_ = 0;
+};
+
+/// Before-semijoin(X, Y): emits each x with X.TE < Y.TS for some y.
+/// As the paper notes, this "scans both operand relations only once and is
+/// independent of any sort orderings": one pass over Y computes
+/// max(Y.ValidFrom); one pass over X emits every x ending before it.
+class BeforeSemijoin : public TupleStream {
+ public:
+  static Result<std::unique_ptr<BeforeSemijoin>> Create(
+      std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y);
+
+  const Schema& schema() const override { return x_->schema(); }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {x_.get(), y_.get()};
+  }
+
+ private:
+  BeforeSemijoin(std::unique_ptr<TupleStream> x,
+                 std::unique_ptr<TupleStream> y, LifespanRef x_ref,
+                 LifespanRef y_ref);
+
+  std::unique_ptr<TupleStream> x_;
+  std::unique_ptr<TupleStream> y_;
+  LifespanRef x_ref_;
+  LifespanRef y_ref_;
+  TimePoint max_y_from_ = kMinTime;
+  bool y_empty_ = true;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_JOIN_BEFORE_JOIN_H_

@@ -1,0 +1,289 @@
+#include "join/contain_join.h"
+
+#include <cmath>
+
+namespace tempus {
+
+ContainJoinStream::ContainJoinStream(std::unique_ptr<TupleStream> left,
+                                     std::unique_ptr<TupleStream> right,
+                                     ContainJoinOptions options, Mode mode,
+                                     SweepFrame frame, Schema schema,
+                                     LifespanRef left_ref,
+                                     LifespanRef right_ref)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      options_(std::move(options)),
+      mode_(mode),
+      frame_(frame),
+      schema_(std::move(schema)),
+      left_ref_(left_ref),
+      right_ref_(right_ref) {
+  if (options_.verify_input_order) {
+    left_validator_ = std::make_unique<OrderValidator>(
+        left_ref_, options_.left_order, "contain-join left input (X)");
+    right_validator_ = std::make_unique<OrderValidator>(
+        right_ref_, options_.right_order, "contain-join right input (Y)");
+  }
+}
+
+Result<std::unique_ptr<ContainJoinStream>> ContainJoinStream::Create(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    ContainJoinOptions options) {
+  Mode mode;
+  SweepFrame frame;
+  const TemporalSortOrder& lo = options.left_order;
+  const TemporalSortOrder& ro = options.right_order;
+  if (lo == kByValidFromAsc && ro == kByValidFromAsc) {
+    mode = Mode::kBothByStart;
+    frame.mirrored = false;
+  } else if (lo == kByValidToDesc && ro == kByValidToDesc) {
+    mode = Mode::kBothByStart;
+    frame.mirrored = true;
+  } else if (lo == kByValidFromAsc && ro == kByValidToAsc) {
+    mode = Mode::kContaineeByEnd;
+    frame.mirrored = false;
+  } else if (lo == kByValidToDesc && ro == kByValidFromDesc) {
+    mode = Mode::kContaineeByEnd;
+    frame.mirrored = true;
+  } else {
+    return Status::FailedPrecondition(
+        "sort ordering (" + lo.ToString() + ", " + ro.ToString() +
+        ") is not appropriate for the stream Contain-join: no "
+        "garbage-collection criteria (Table 1); use NoGcStreamJoin or "
+        "re-sort the inputs");
+  }
+  if (options.read_policy == ContainJoinReadPolicy::kLambdaHeuristic &&
+      !(mode == Mode::kBothByStart)) {
+    return Status::FailedPrecondition(
+        "the lambda read-policy heuristic applies to the (ValidFrom^, "
+        "ValidFrom^) ordering only");
+  }
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef left_ref,
+                          LifespanRef::ForSchema(left->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef right_ref,
+                          LifespanRef::ForSchema(right->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(
+      Schema schema,
+      MakeJoinOutputSchema(left->schema(), right->schema(), options.naming));
+  return std::unique_ptr<ContainJoinStream>(new ContainJoinStream(
+      std::move(left), std::move(right), std::move(options), mode, frame,
+      std::move(schema), left_ref, right_ref));
+}
+
+Status ContainJoinStream::Open() {
+  TEMPUS_RETURN_IF_ERROR(left_->Open());
+  TEMPUS_RETURN_IF_ERROR(right_->Open());
+  ++metrics_.passes_left;
+  ++metrics_.passes_right;
+  left_state_.clear();
+  right_state_.clear();
+  metrics_.workspace_tuples = 0;
+  left_has_peek_ = right_has_peek_ = false;
+  left_done_ = right_done_ = false;
+  probing_ = false;
+  left_reads_ = right_reads_ = 0;
+  if (left_validator_) left_validator_->Reset();
+  if (right_validator_) right_validator_->Reset();
+  return Status::Ok();
+}
+
+Result<bool> ContainJoinStream::FillPeek(bool left_side) {
+  TupleStream* stream = left_side ? left_.get() : right_.get();
+  Tuple* peek = left_side ? &left_peek_ : &right_peek_;
+  TEMPUS_ASSIGN_OR_RETURN(bool has, stream->Next(peek));
+  if (!has) {
+    (left_side ? left_done_ : right_done_) = true;
+    return false;
+  }
+  OrderValidator* validator =
+      left_side ? left_validator_.get() : right_validator_.get();
+  if (validator != nullptr) {
+    TEMPUS_RETURN_IF_ERROR(validator->Check(*peek));
+  }
+  const LifespanRef& ref = left_side ? left_ref_ : right_ref_;
+  const Interval span = frame_.Map(ref.Of(*peek));
+  if (left_side) {
+    left_peek_span_ = span;
+    left_has_peek_ = true;
+    if (left_reads_ == 0) left_first_key_ = span.start;
+    ++left_reads_;
+    ++metrics_.tuples_read_left;
+  } else {
+    right_peek_span_ = span;
+    right_has_peek_ = true;
+    const TimePoint key =
+        mode_ == Mode::kBothByStart ? span.start : span.end;
+    if (right_reads_ == 0) right_first_key_ = key;
+    ++right_reads_;
+    ++metrics_.tuples_read_right;
+  }
+  return true;
+}
+
+void ContainJoinStream::CollectGarbage() {
+  // Containers (X state): dead once no future containee can end inside
+  // them. In kBothByStart the earliest future containee end is
+  // > right-peek start; in kContaineeByEnd it is >= right-peek end.
+  auto sweep = [this](std::vector<StateEntry>* state, auto&& dead) {
+    size_t kept = 0;
+    for (size_t i = 0; i < state->size(); ++i) {
+      ++metrics_.comparisons;
+      if (!dead((*state)[i])) {
+        if (kept != i) (*state)[kept] = std::move((*state)[i]);
+        ++kept;
+      }
+    }
+    metrics_.SubWorkspace(state->size() - kept);
+    state->resize(kept);
+  };
+
+  if (right_done_ && !right_has_peek_) {
+    metrics_.SubWorkspace(left_state_.size());
+    left_state_.clear();
+  } else if (right_has_peek_) {
+    const TimePoint bound = mode_ == Mode::kBothByStart
+                                ? right_peek_span_.start
+                                : right_peek_span_.end;
+    sweep(&left_state_,
+          [bound](const StateEntry& e) { return e.span.end <= bound; });
+  }
+
+  // Containees (Y state): dead once no future container can start before
+  // them (X.TS < Y.TS required and X starts are nondecreasing).
+  if (left_done_ && !left_has_peek_) {
+    metrics_.SubWorkspace(right_state_.size());
+    right_state_.clear();
+  } else if (left_has_peek_) {
+    const TimePoint bound = left_peek_span_.start;
+    sweep(&right_state_,
+          [bound](const StateEntry& e) { return e.span.start <= bound; });
+  }
+}
+
+size_t ContainJoinStream::EstimateDisposals(bool read_left) const {
+  // kLambdaHeuristic scoring, kBothByStart mode only (Section 4.2.1):
+  // project the next head position one mean inter-arrival ahead and count
+  // the opposite-state tuples that would become disposable.
+  auto mean_gap = [](double configured, uint64_t reads, TimePoint first,
+                     TimePoint last) {
+    if (configured > 0.0) return configured;
+    if (reads < 2) return 0.0;
+    return static_cast<double>(last - first) /
+           static_cast<double>(reads - 1);
+  };
+  size_t count = 0;
+  if (read_left) {
+    if (!left_has_peek_) return 0;
+    const double gap =
+        mean_gap(options_.left_mean_interarrival, left_reads_,
+                 left_first_key_, left_peek_span_.start);
+    const TimePoint bound =
+        left_peek_span_.start + static_cast<TimePoint>(std::llround(gap));
+    for (const StateEntry& e : right_state_) {
+      if (e.span.start <= bound) ++count;
+    }
+  } else {
+    if (!right_has_peek_) return 0;
+    const double gap =
+        mean_gap(options_.right_mean_interarrival, right_reads_,
+                 right_first_key_, right_peek_span_.start);
+    const TimePoint bound =
+        right_peek_span_.start + static_cast<TimePoint>(std::llround(gap));
+    for (const StateEntry& e : left_state_) {
+      if (e.span.end <= bound) ++count;
+    }
+  }
+  return count;
+}
+
+Result<bool> ContainJoinStream::Advance() {
+  // Refill peeks.
+  if (!left_has_peek_ && !left_done_) {
+    TEMPUS_ASSIGN_OR_RETURN(bool filled, FillPeek(/*left_side=*/true));
+    (void)filled;
+  }
+  if (!right_has_peek_ && !right_done_) {
+    TEMPUS_ASSIGN_OR_RETURN(bool filled, FillPeek(/*left_side=*/false));
+    (void)filled;
+  }
+  CollectGarbage();
+  if (!left_has_peek_ && !right_has_peek_) return false;
+  // Termination (Section 4.2.1, step 5): a stream is exhausted and there
+  // is no corresponding state for the other stream's tuples to join with.
+  if (!left_has_peek_ && left_state_.empty()) return false;
+  if (!right_has_peek_ && right_state_.empty()) return false;
+
+  bool use_left;
+  if (!left_has_peek_) {
+    use_left = false;
+  } else if (!right_has_peek_) {
+    use_left = true;
+  } else if (options_.read_policy == ContainJoinReadPolicy::kLambdaHeuristic) {
+    const size_t left_gain = EstimateDisposals(/*read_left=*/true);
+    const size_t right_gain = EstimateDisposals(/*read_left=*/false);
+    if (left_gain != right_gain) {
+      use_left = left_gain > right_gain;
+    } else {
+      use_left = left_peek_span_.start <= right_peek_span_.start;
+    }
+  } else {
+    const TimePoint right_key = mode_ == Mode::kBothByStart
+                                    ? right_peek_span_.start
+                                    : right_peek_span_.end;
+    use_left = left_peek_span_.start <= right_key;
+  }
+
+  if (use_left) {
+    probe_ = std::move(left_peek_);
+    probe_span_ = left_peek_span_;
+    left_has_peek_ = false;
+  } else {
+    probe_ = std::move(right_peek_);
+    probe_span_ = right_peek_span_;
+    right_has_peek_ = false;
+  }
+  probe_is_left_ = use_left;
+  probe_pos_ = 0;
+  probing_ = true;
+  return true;
+}
+
+Result<bool> ContainJoinStream::Next(Tuple* out) {
+  while (true) {
+    if (probing_) {
+      const std::vector<StateEntry>& targets =
+          probe_is_left_ ? right_state_ : left_state_;
+      while (probe_pos_ < targets.size()) {
+        const StateEntry& other = targets[probe_pos_++];
+        ++metrics_.comparisons;
+        // Join condition: containee during container (strict, Figure 2).
+        const Interval& container =
+            probe_is_left_ ? probe_span_ : other.span;
+        const Interval& containee =
+            probe_is_left_ ? other.span : probe_span_;
+        if (container.start < containee.start &&
+            containee.end < container.end) {
+          *out = probe_is_left_ ? Tuple::Concat(probe_, other.tuple)
+                                : Tuple::Concat(other.tuple, probe_);
+          ++metrics_.tuples_emitted;
+          return true;
+        }
+      }
+      // Retain the probe unless the opposite side can produce no more
+      // tuples (then it could never be joined again).
+      const bool opposite_finished = probe_is_left_
+                                         ? (right_done_ && !right_has_peek_)
+                                         : (left_done_ && !left_has_peek_);
+      if (!opposite_finished) {
+        (probe_is_left_ ? left_state_ : right_state_)
+            .push_back({std::move(probe_), probe_span_});
+        metrics_.AddWorkspace();
+      }
+      probing_ = false;
+    }
+    TEMPUS_ASSIGN_OR_RETURN(bool more, Advance());
+    if (!more) return false;
+  }
+}
+
+}  // namespace tempus

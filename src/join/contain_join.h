@@ -1,0 +1,141 @@
+#ifndef TEMPUS_JOIN_CONTAIN_JOIN_H_
+#define TEMPUS_JOIN_CONTAIN_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "join/join_common.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+/// How the Contain-join interleaves reads from its two inputs (the "read
+/// phase" of Section 4.2.1). Both policies are correct — the emission rule
+/// (a newly read tuple joins against the opposite state) and the
+/// garbage-collection rules are policy-independent — but they retain
+/// different amounts of state, which the ablation benchmark measures.
+enum class ContainJoinReadPolicy {
+  /// Read the stream whose next tuple comes first in sweep coordinates
+  /// (ties: the container side first). Keeps the containee state minimal.
+  kTimestampSweep,
+  /// The paper's heuristic: read the stream expected to allow more state
+  /// tuples to be discarded, estimated with the mean inter-arrival times
+  /// 1/lambda_x and 1/lambda_y (Section 4.2.1, read phase). Only available
+  /// for the (ValidFrom^, ValidFrom^) ordering, as in the paper.
+  kLambdaHeuristic,
+};
+
+struct ContainJoinOptions {
+  /// Promised input orders. Supported combinations (others are the "-"
+  /// cells of Table 1 — use NoGcStreamJoin to run those):
+  ///   X: ValidFrom^, Y: ValidFrom^   (Table 1 row 1, state (a))
+  ///   X: ValidFrom^, Y: ValidTo^     (Table 1 row 3, state (b))
+  ///   X: ValidTo v,  Y: ValidTo v    (mirror of row 1)
+  ///   X: ValidTo v,  Y: ValidFrom v  (mirror of row 3)
+  TemporalSortOrder left_order = kByValidFromAsc;
+  TemporalSortOrder right_order = kByValidFromAsc;
+  ContainJoinReadPolicy read_policy = ContainJoinReadPolicy::kTimestampSweep;
+  /// Mean inter-arrival (1/lambda) estimates for the heuristic policy;
+  /// values <= 0 mean "estimate online from the observed stream heads".
+  double left_mean_interarrival = 0.0;
+  double right_mean_interarrival = 0.0;
+  /// Verify the promised orders while streaming; violations fail the run.
+  bool verify_input_order = true;
+  JoinNaming naming;
+};
+
+/// Contain-join(X, Y) (Section 4.2.1): emits the concatenation of x and y
+/// whenever the lifespan of x strictly contains that of y, i.e.
+/// X.TS < Y.TS and Y.TE < X.TE (Y `during` X). Single pass over both
+/// sorted inputs; local workspace per Table 1:
+///   (ValidFrom^, ValidFrom^): X tuples spanning the current Y ValidFrom,
+///       plus (under the lambda policy) Y tuples read ahead.
+///   (ValidFrom^, ValidTo^):   X tuples spanning the current Y ValidTo,
+///       plus Y tuples contained in the current X lifespan.
+/// Note Contain-join(X,Y) and Contain-join(Y,X) are not equivalent.
+class ContainJoinStream : public TupleStream {
+ public:
+  /// Fails with FailedPrecondition for unsupported order combinations
+  /// ("the sort ordering is not appropriate for stream processing").
+  static Result<std::unique_ptr<ContainJoinStream>> Create(
+      std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+      ContainJoinOptions options = {});
+
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  /// Which endpoint keys the containee stream in sweep coordinates.
+  enum class Mode { kBothByStart, kContaineeByEnd };
+
+  struct StateEntry {
+    Tuple tuple;
+    Interval span;  // In sweep coordinates.
+  };
+
+  ContainJoinStream(std::unique_ptr<TupleStream> left,
+                    std::unique_ptr<TupleStream> right,
+                    ContainJoinOptions options, Mode mode, SweepFrame frame,
+                    Schema schema, LifespanRef left_ref,
+                    LifespanRef right_ref);
+
+  /// Refills the peek buffer for one side; records pass/read metrics.
+  Result<bool> FillPeek(bool left_side);
+
+  /// Applies the garbage-collection rules against the current peeks.
+  void CollectGarbage();
+
+  /// Chooses a side per the read policy, consumes its peek into the probe,
+  /// and adds it to its state. Returns false when fully drained.
+  Result<bool> Advance();
+
+  /// Estimated state tuples freed by reading the given side next
+  /// (the lambda heuristic's scoring function).
+  size_t EstimateDisposals(bool read_left) const;
+
+  std::unique_ptr<TupleStream> left_;
+  std::unique_ptr<TupleStream> right_;
+  ContainJoinOptions options_;
+  Mode mode_;
+  SweepFrame frame_;
+  Schema schema_;
+  LifespanRef left_ref_;
+  LifespanRef right_ref_;
+
+  std::vector<StateEntry> left_state_;
+  std::vector<StateEntry> right_state_;
+
+  // Peek buffers (the paper's <Buffer-x, Buffer-y>).
+  Tuple left_peek_;
+  Interval left_peek_span_;
+  bool left_has_peek_ = false;
+  bool left_done_ = false;
+  Tuple right_peek_;
+  Interval right_peek_span_;
+  bool right_has_peek_ = false;
+  bool right_done_ = false;
+
+  // Probe cursor: the most recently read tuple vs the opposite state.
+  Tuple probe_;
+  Interval probe_span_;
+  bool probe_is_left_ = false;
+  size_t probe_pos_ = 0;
+  bool probing_ = false;
+
+  // Online inter-arrival estimation for the lambda policy.
+  uint64_t left_reads_ = 0;
+  uint64_t right_reads_ = 0;
+  TimePoint left_first_key_ = 0;
+  TimePoint right_first_key_ = 0;
+
+  std::unique_ptr<OrderValidator> left_validator_;
+  std::unique_ptr<OrderValidator> right_validator_;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_JOIN_CONTAIN_JOIN_H_

@@ -1,0 +1,177 @@
+#ifndef TEMPUS_JOIN_CONTAINMENT_SEMIJOIN_H_
+#define TEMPUS_JOIN_CONTAINMENT_SEMIJOIN_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "join/join_common.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+/// Options shared by the containment semijoins (Section 4.2.2).
+struct TemporalSemijoinOptions {
+  /// Promised order of the left operand X (the emitted side).
+  TemporalSortOrder left_order = kByValidFromAsc;
+  /// Promised order of the right operand Y.
+  TemporalSortOrder right_order = kByValidToAsc;
+  bool verify_input_order = true;
+  /// Extension (not in the paper): for the (ValidFrom^, ValidFrom^)
+  /// Contained-semijoin, keep only the Pareto frontier of containers
+  /// (non-dominated lifespans) instead of all containers spanning the
+  /// sweep point. Same output, strictly smaller state; the ablation
+  /// benchmark quantifies the difference.
+  bool use_frontier_state = false;
+};
+
+/// Contain-semijoin(X, Y): emits each X tuple whose lifespan strictly
+/// contains the lifespan of at least one Y tuple (Section 4.2.2). Output
+/// preserves the X order. Supported orderings:
+///   (X ValidFrom^, Y ValidTo^)  — the paper's two-buffer algorithm,
+///                                  workspace = <Buffer-x, Buffer-y> only
+///   (X ValidTo v, Y ValidFrom v) — its mirror image
+///   (X ValidFrom^, Y ValidFrom^) — sweep variant, state (c) of Table 1
+///   (X ValidTo v,  Y ValidTo v)  — its mirror image
+Result<std::unique_ptr<TupleStream>> MakeContainSemijoin(
+    std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
+    TemporalSemijoinOptions options = {.left_order = kByValidFromAsc,
+                                       .right_order = kByValidToAsc});
+
+/// Contained-semijoin(X, Y): emits each X tuple whose lifespan is strictly
+/// contained in the lifespan of at least one Y tuple. Supported orderings:
+///   (X ValidTo^,   Y ValidFrom^) — two-buffer algorithm (Table 1 (d))
+///   (X ValidFrom v, Y ValidTo v) — its mirror image
+///   (X ValidFrom^, Y ValidFrom^) — sweep variant, state (c)
+///   (X ValidTo v,  Y ValidTo v)  — its mirror image
+Result<std::unique_ptr<TupleStream>> MakeContainedSemijoin(
+    std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
+    TemporalSemijoinOptions options = {.left_order = kByValidToAsc,
+                                       .right_order = kByValidFromAsc});
+
+namespace internal {
+
+/// The paper's optimized two-buffer semijoin (Section 4.2.2). In sweep
+/// coordinates the container stream is keyed by ValidFrom ascending and
+/// the containee stream by ValidTo ascending; the workspace is exactly one
+/// buffered tuple per stream.
+class TwoBufferContainmentSemijoin : public TupleStream {
+ public:
+  /// `emit_container` selects Contain-semijoin (true: output containers)
+  /// vs Contained-semijoin (false: output containees).
+  static Result<std::unique_ptr<TwoBufferContainmentSemijoin>> Create(
+      std::unique_ptr<TupleStream> container,
+      std::unique_ptr<TupleStream> containee, bool emit_container,
+      SweepFrame frame, TemporalSortOrder container_order,
+      TemporalSortOrder containee_order, bool verify_order);
+
+  const Schema& schema() const override {
+    return emit_container_ ? container_->schema() : containee_->schema();
+  }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {container_.get(), containee_.get()};
+  }
+
+ private:
+  TwoBufferContainmentSemijoin(std::unique_ptr<TupleStream> container,
+                               std::unique_ptr<TupleStream> containee,
+                               bool emit_container, SweepFrame frame,
+                               LifespanRef container_ref,
+                               LifespanRef containee_ref);
+
+  Result<bool> FillContainer();
+  Result<bool> FillContainee();
+
+  std::unique_ptr<TupleStream> container_;
+  std::unique_ptr<TupleStream> containee_;
+  bool emit_container_;
+  SweepFrame frame_;
+  LifespanRef container_ref_;
+  LifespanRef containee_ref_;
+  std::unique_ptr<OrderValidator> container_validator_;
+  std::unique_ptr<OrderValidator> containee_validator_;
+
+  Tuple container_buf_;
+  Interval container_span_;
+  bool container_valid_ = false;
+  bool container_done_ = false;
+  Tuple containee_buf_;
+  Interval containee_span_;
+  bool containee_valid_ = false;
+  bool containee_done_ = false;
+};
+
+/// The sweep variant for inputs both keyed by ValidFrom ascending (in
+/// sweep coordinates): state is bounded by the containers spanning the
+/// sweep position — characterization (c) of Table 1.
+class SweepContainmentSemijoin : public TupleStream {
+ public:
+  static Result<std::unique_ptr<SweepContainmentSemijoin>> Create(
+      std::unique_ptr<TupleStream> container,
+      std::unique_ptr<TupleStream> containee, bool emit_container,
+      SweepFrame frame, TemporalSortOrder container_order,
+      TemporalSortOrder containee_order, bool verify_order,
+      bool use_frontier_state);
+
+  const Schema& schema() const override {
+    return emit_container_ ? container_->schema() : containee_->schema();
+  }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {container_.get(), containee_.get()};
+  }
+
+ private:
+  struct PendingContainer {
+    Tuple tuple;
+    Interval span;
+    bool matched = false;
+  };
+
+  SweepContainmentSemijoin(std::unique_ptr<TupleStream> container,
+                           std::unique_ptr<TupleStream> containee,
+                           bool emit_container, SweepFrame frame,
+                           LifespanRef container_ref,
+                           LifespanRef containee_ref,
+                           bool use_frontier_state);
+
+  Result<bool> FillContainer();
+  Result<bool> FillContainee();
+
+  /// emit_container mode: pops decided containers off the front of the
+  /// pending queue into *out; returns true if one was emitted.
+  bool PopDecided(Tuple* out);
+
+  std::unique_ptr<TupleStream> container_;
+  std::unique_ptr<TupleStream> containee_;
+  bool emit_container_;
+  SweepFrame frame_;
+  LifespanRef container_ref_;
+  LifespanRef containee_ref_;
+  bool use_frontier_state_;
+  std::unique_ptr<OrderValidator> container_validator_;
+  std::unique_ptr<OrderValidator> containee_validator_;
+
+  /// Containers read but not yet decided/GC'd. In emit_containee mode the
+  /// tuples of dead entries are irrelevant (only spans are consulted); in
+  /// frontier mode this holds the Pareto staircase (starts and ends both
+  /// increasing front to back).
+  std::deque<PendingContainer> state_;
+
+  Tuple container_peek_;
+  Interval container_peek_span_;
+  bool container_has_peek_ = false;
+  bool container_done_ = false;
+  Tuple containee_peek_;
+  Interval containee_peek_span_;
+  bool containee_has_peek_ = false;
+  bool containee_done_ = false;
+};
+
+}  // namespace internal
+}  // namespace tempus
+
+#endif  // TEMPUS_JOIN_CONTAINMENT_SEMIJOIN_H_

@@ -1,0 +1,116 @@
+#include "join/hash_join.h"
+
+namespace tempus {
+
+HashEquiJoin::HashEquiJoin(std::unique_ptr<TupleStream> left,
+                           std::unique_ptr<TupleStream> right,
+                           std::vector<size_t> left_keys,
+                           std::vector<size_t> right_keys,
+                           PairPredicate residual, Schema schema)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      residual_(std::move(residual)),
+      schema_(std::move(schema)) {}
+
+Result<std::unique_ptr<HashEquiJoin>> HashEquiJoin::Create(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    std::vector<size_t> left_keys, std::vector<size_t> right_keys,
+    PairPredicate residual, JoinNaming naming) {
+  if (left_keys.size() != right_keys.size() || left_keys.empty()) {
+    return Status::InvalidArgument(
+        "hash join requires equally many (>=1) keys on both sides");
+  }
+  for (size_t k : left_keys) {
+    if (k >= left->schema().attribute_count()) {
+      return Status::OutOfRange("left join key index out of range");
+    }
+  }
+  for (size_t k : right_keys) {
+    if (k >= right->schema().attribute_count()) {
+      return Status::OutOfRange("right join key index out of range");
+    }
+  }
+  TEMPUS_ASSIGN_OR_RETURN(
+      Schema schema,
+      MakeJoinOutputSchema(left->schema(), right->schema(), naming));
+  return std::unique_ptr<HashEquiJoin>(new HashEquiJoin(
+      std::move(left), std::move(right), std::move(left_keys),
+      std::move(right_keys), std::move(residual), std::move(schema)));
+}
+
+uint64_t HashEquiJoin::KeyHash(const Tuple& t,
+                               const std::vector<size_t>& keys) const {
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t k : keys) {
+    h ^= t[k].Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool HashEquiJoin::KeysEqual(const Tuple& l, const Tuple& r) const {
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    if (!l[left_keys_[i]].Equals(r[right_keys_[i]])) return false;
+  }
+  return true;
+}
+
+Status HashEquiJoin::Open() {
+  table_.clear();
+  metrics_.workspace_tuples = 0;
+  have_left_ = false;
+  current_bucket_ = nullptr;
+  bucket_pos_ = 0;
+
+  TEMPUS_RETURN_IF_ERROR(right_->Open());
+  ++metrics_.passes_right;
+  Tuple t;
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool has, right_->Next(&t));
+    if (!has) break;
+    ++metrics_.tuples_read_right;
+    table_[KeyHash(t, right_keys_)].push_back(std::move(t));
+    metrics_.AddWorkspace();
+    t = Tuple();
+  }
+  TEMPUS_RETURN_IF_ERROR(left_->Open());
+  ++metrics_.passes_left;
+  return Status::Ok();
+}
+
+Result<bool> HashEquiJoin::Next(Tuple* out) {
+  while (true) {
+    if (!have_left_) {
+      TEMPUS_ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));
+      if (!has) return false;
+      ++metrics_.tuples_read_left;
+      auto it = table_.find(KeyHash(current_left_, left_keys_));
+      current_bucket_ = it == table_.end() ? nullptr : &it->second;
+      bucket_pos_ = 0;
+      have_left_ = true;
+    }
+    if (current_bucket_ != nullptr) {
+      while (bucket_pos_ < current_bucket_->size()) {
+        const Tuple& candidate = (*current_bucket_)[bucket_pos_++];
+        ++metrics_.comparisons;
+        if (!KeysEqual(current_left_, candidate)) continue;
+        bool matches = true;
+        if (residual_ != nullptr) {
+          ++metrics_.comparisons;
+          TEMPUS_ASSIGN_OR_RETURN(matches,
+                                  residual_(current_left_, candidate));
+        }
+        if (matches) {
+          *out = Tuple::Concat(current_left_, candidate);
+          ++metrics_.tuples_emitted;
+          return true;
+        }
+      }
+    }
+    have_left_ = false;
+  }
+}
+
+}  // namespace tempus

@@ -1,0 +1,62 @@
+#ifndef TEMPUS_JOIN_HASH_JOIN_H_
+#define TEMPUS_JOIN_HASH_JOIN_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "join/join_common.h"
+#include "join/nested_loop.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+/// Classic in-memory hash equi-join on arbitrary attribute columns, with an
+/// optional residual predicate. Used by the "conventionally optimized"
+/// Superstar plan for the f1.Name = f2.Name equi-join (Figure 3(b)); the
+/// paper notes this join "can be efficiently implemented ... using a
+/// conventional approach".
+///
+/// The right input is built into a hash table on Open() (workspace = |Y|,
+/// visible in metrics); the left input is streamed and probed.
+class HashEquiJoin : public TupleStream {
+ public:
+  /// `left_keys` / `right_keys` are parallel lists of attribute indices.
+  static Result<std::unique_ptr<HashEquiJoin>> Create(
+      std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+      std::vector<size_t> left_keys, std::vector<size_t> right_keys,
+      PairPredicate residual = nullptr, JoinNaming naming = {});
+
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  HashEquiJoin(std::unique_ptr<TupleStream> left,
+               std::unique_ptr<TupleStream> right,
+               std::vector<size_t> left_keys, std::vector<size_t> right_keys,
+               PairPredicate residual, Schema schema);
+
+  uint64_t KeyHash(const Tuple& t, const std::vector<size_t>& keys) const;
+  bool KeysEqual(const Tuple& l, const Tuple& r) const;
+
+  std::unique_ptr<TupleStream> left_;
+  std::unique_ptr<TupleStream> right_;
+  std::vector<size_t> left_keys_;
+  std::vector<size_t> right_keys_;
+  PairPredicate residual_;
+  Schema schema_;
+
+  std::unordered_map<uint64_t, std::vector<Tuple>> table_;
+  Tuple current_left_;
+  bool have_left_ = false;
+  const std::vector<Tuple>* current_bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_JOIN_HASH_JOIN_H_

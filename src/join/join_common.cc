@@ -1,0 +1,80 @@
+#include "join/join_common.h"
+
+namespace tempus {
+
+std::string TemporalSortOrder::ToString() const {
+  return std::string(TemporalFieldName(field)) +
+         std::string(SortDirectionArrow(direction));
+}
+
+Result<SortSpec> TemporalSortOrder::ToSortSpec(const Schema& schema) const {
+  return SortSpec::ByLifespan(schema, field, direction);
+}
+
+const std::vector<TemporalSortOrder>& AllTemporalSortOrders() {
+  static const std::vector<TemporalSortOrder>& orders =
+      *new std::vector<TemporalSortOrder>{
+          kByValidFromAsc, kByValidFromDesc, kByValidToAsc, kByValidToDesc};
+  return orders;
+}
+
+TemporalSortOrder SweepFrame::RequiredInputOrder(
+    TemporalField field_in_frame) const {
+  if (!mirrored) {
+    return {field_in_frame, SortDirection::kAscending};
+  }
+  // Ascending on m(iv).start = -iv.end is descending on iv.end, and
+  // ascending on m(iv).end = -iv.start is descending on iv.start.
+  const TemporalField flipped = field_in_frame == TemporalField::kValidFrom
+                                    ? TemporalField::kValidTo
+                                    : TemporalField::kValidFrom;
+  return {flipped, SortDirection::kDescending};
+}
+
+OrderValidator::OrderValidator(LifespanRef lifespan, TemporalSortOrder order,
+                               std::string stream_label)
+    : lifespan_(lifespan),
+      order_(order),
+      stream_label_(std::move(stream_label)) {}
+
+Status OrderValidator::Check(const Tuple& t) {
+  const Interval current = lifespan_.Of(t);
+  if (previous_.has_value()) {
+    const Interval& prev = *previous_;
+    const bool primary_is_start = order_.field == TemporalField::kValidFrom;
+    TimePoint prev_primary = primary_is_start ? prev.start : prev.end;
+    TimePoint cur_primary = primary_is_start ? current.start : current.end;
+    TimePoint prev_secondary = primary_is_start ? prev.end : prev.start;
+    TimePoint cur_secondary = primary_is_start ? current.end : current.start;
+    if (order_.direction == SortDirection::kDescending) {
+      std::swap(prev_primary, cur_primary);
+      std::swap(prev_secondary, cur_secondary);
+    }
+    const bool ordered =
+        prev_primary < cur_primary ||
+        (prev_primary == cur_primary && prev_secondary <= cur_secondary);
+    if (!ordered) {
+      return Status::FailedPrecondition(
+          stream_label_ + " is not sorted by " + order_.ToString() + ": " +
+          prev.ToString() + " precedes " + current.ToString());
+    }
+  }
+  previous_ = current;
+  return Status::Ok();
+}
+
+Result<Schema> MakeJoinOutputSchema(const Schema& left, const Schema& right,
+                                    const JoinNaming& naming) {
+  if (naming.left_prefix.empty() && naming.right_prefix.empty()) {
+    Result<Schema> unprefixed = Schema::Concat(left, right, "", "");
+    if (unprefixed.ok()) {
+      return unprefixed;
+    }
+    // Name collision; fall back to the conventional x/y range names.
+    return Schema::Concat(left, right, "x", "y");
+  }
+  return Schema::Concat(left, right, naming.left_prefix,
+                        naming.right_prefix);
+}
+
+}  // namespace tempus

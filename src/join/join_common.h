@@ -1,0 +1,97 @@
+#ifndef TEMPUS_JOIN_JOIN_COMMON_H_
+#define TEMPUS_JOIN_JOIN_COMMON_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/interval.h"
+#include "common/result.h"
+#include "relation/sort_spec.h"
+#include "relation/tuple.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+/// A stream's promised temporal sort order: primary endpoint + direction
+/// (ties broken by the other endpoint in the same direction, per
+/// SortSpec::ByLifespan). These are the row/column labels of Tables 1-3.
+struct TemporalSortOrder {
+  TemporalField field = TemporalField::kValidFrom;
+  SortDirection direction = SortDirection::kAscending;
+
+  friend bool operator==(const TemporalSortOrder& a,
+                         const TemporalSortOrder& b) {
+    return a.field == b.field && a.direction == b.direction;
+  }
+
+  /// "ValidFrom^" / "ValidTo v".
+  std::string ToString() const;
+
+  /// The SortSpec realizing this order on `schema`.
+  Result<SortSpec> ToSortSpec(const Schema& schema) const;
+};
+
+inline constexpr TemporalSortOrder kByValidFromAsc{
+    TemporalField::kValidFrom, SortDirection::kAscending};
+inline constexpr TemporalSortOrder kByValidFromDesc{
+    TemporalField::kValidFrom, SortDirection::kDescending};
+inline constexpr TemporalSortOrder kByValidToAsc{TemporalField::kValidTo,
+                                                 SortDirection::kAscending};
+inline constexpr TemporalSortOrder kByValidToDesc{TemporalField::kValidTo,
+                                                  SortDirection::kDescending};
+
+/// The four canonical orders, for benchmark sweeps over Table rows.
+const std::vector<TemporalSortOrder>& AllTemporalSortOrders();
+
+/// Maps lifespans into "sweep coordinates". The ascending-order algorithms
+/// are written once; the descending variants run them on time-reflected
+/// intervals m([s,e)) = [-e,-s) — the paper's Table 1 mirror symmetry.
+/// A descending-ValidTo input is an ascending-ValidFrom input after
+/// reflection, and containment/intersection are reflection-invariant.
+struct SweepFrame {
+  bool mirrored = false;
+
+  Interval Map(const Interval& iv) const {
+    return mirrored ? Interval(-iv.end, -iv.start) : iv;
+  }
+
+  /// The order a stream must have so that Map()ed lifespans come out in
+  /// ascending `field` order.
+  TemporalSortOrder RequiredInputOrder(TemporalField field_in_frame) const;
+};
+
+/// Incrementally verifies that a stream of tuples respects a promised
+/// lexicographic lifespan order; operators use this to fail fast (rather
+/// than emit wrong answers) when handed mis-sorted inputs.
+class OrderValidator {
+ public:
+  OrderValidator(LifespanRef lifespan, TemporalSortOrder order,
+                 std::string stream_label);
+
+  /// Checks t against the previously seen tuple.
+  Status Check(const Tuple& t);
+
+  void Reset() { previous_.reset(); }
+
+ private:
+  LifespanRef lifespan_;
+  TemporalSortOrder order_;
+  std::string stream_label_;
+  std::optional<Interval> previous_;
+};
+
+/// Naming of join output attributes. When both prefixes are empty and the
+/// input schemas have colliding attribute names, "x"/"y" are used.
+struct JoinNaming {
+  std::string left_prefix;
+  std::string right_prefix;
+};
+
+/// Builds the concatenated output schema for a join, applying JoinNaming.
+Result<Schema> MakeJoinOutputSchema(const Schema& left, const Schema& right,
+                                    const JoinNaming& naming);
+
+}  // namespace tempus
+
+#endif  // TEMPUS_JOIN_JOIN_COMMON_H_

@@ -1,0 +1,166 @@
+#include "join/merge_equi_join.h"
+
+namespace tempus {
+
+EndpointMergeJoin::EndpointMergeJoin(std::unique_ptr<TupleStream> left,
+                                     std::unique_ptr<TupleStream> right,
+                                     EndpointMergeJoinOptions options,
+                                     Schema schema, LifespanRef left_ref,
+                                     LifespanRef right_ref)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      options_(std::move(options)),
+      schema_(std::move(schema)),
+      left_ref_(left_ref),
+      right_ref_(right_ref) {}
+
+Result<std::unique_ptr<EndpointMergeJoin>> EndpointMergeJoin::Create(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    EndpointMergeJoinOptions options) {
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef left_ref,
+                          LifespanRef::ForSchema(left->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef right_ref,
+                          LifespanRef::ForSchema(right->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(
+      Schema schema,
+      MakeJoinOutputSchema(left->schema(), right->schema(), options.naming));
+  return std::unique_ptr<EndpointMergeJoin>(new EndpointMergeJoin(
+      std::move(left), std::move(right), std::move(options),
+      std::move(schema), left_ref, right_ref));
+}
+
+Result<std::unique_ptr<EndpointMergeJoin>> EndpointMergeJoin::Equal(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    JoinNaming naming) {
+  return Create(std::move(left), std::move(right),
+                {TemporalField::kValidFrom, TemporalField::kValidFrom,
+                 AllenMask::Single(AllenRelation::kEqual), true,
+                 std::move(naming)});
+}
+
+Result<std::unique_ptr<EndpointMergeJoin>> EndpointMergeJoin::Meets(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    JoinNaming naming) {
+  return Create(std::move(left), std::move(right),
+                {TemporalField::kValidTo, TemporalField::kValidFrom,
+                 AllenMask::Single(AllenRelation::kMeets), true,
+                 std::move(naming)});
+}
+
+Result<std::unique_ptr<EndpointMergeJoin>> EndpointMergeJoin::Starts(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    JoinNaming naming) {
+  return Create(std::move(left), std::move(right),
+                {TemporalField::kValidFrom, TemporalField::kValidFrom,
+                 AllenMask::Single(AllenRelation::kStarts), true,
+                 std::move(naming)});
+}
+
+Result<std::unique_ptr<EndpointMergeJoin>> EndpointMergeJoin::Finishes(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    JoinNaming naming) {
+  return Create(std::move(left), std::move(right),
+                {TemporalField::kValidTo, TemporalField::kValidTo,
+                 AllenMask::Single(AllenRelation::kFinishes), true,
+                 std::move(naming)});
+}
+
+TimePoint EndpointMergeJoin::LeftKey(const Tuple& t) const {
+  const Interval iv = left_ref_.Of(t);
+  return options_.left_key == TemporalField::kValidFrom ? iv.start : iv.end;
+}
+
+TimePoint EndpointMergeJoin::RightKey(const Tuple& t) const {
+  const Interval iv = right_ref_.Of(t);
+  return options_.right_key == TemporalField::kValidFrom ? iv.start
+                                                         : iv.end;
+}
+
+Status EndpointMergeJoin::Open() {
+  TEMPUS_RETURN_IF_ERROR(left_->Open());
+  TEMPUS_RETURN_IF_ERROR(right_->Open());
+  ++metrics_.passes_left;
+  ++metrics_.passes_right;
+  group_.clear();
+  metrics_.workspace_tuples = 0;
+  group_loaded_ = false;
+  right_has_peek_ = false;
+  right_done_ = false;
+  have_left_ = false;
+  previous_left_key_ = kMinTime;
+  previous_right_key_ = kMinTime;
+  return Status::Ok();
+}
+
+Status EndpointMergeJoin::LoadGroup(TimePoint key) {
+  if (group_loaded_ && group_key_ == key) return Status::Ok();
+  // A smaller key would mean the left input regressed; guarded in Next().
+  metrics_.SubWorkspace(group_.size());
+  group_.clear();
+  group_key_ = key;
+  group_loaded_ = true;
+  while (true) {
+    if (!right_has_peek_) {
+      if (right_done_) return Status::Ok();
+      TEMPUS_ASSIGN_OR_RETURN(bool has, right_->Next(&right_peek_));
+      if (!has) {
+        right_done_ = true;
+        return Status::Ok();
+      }
+      ++metrics_.tuples_read_right;
+      const TimePoint k = RightKey(right_peek_);
+      if (options_.verify_input_order && k < previous_right_key_) {
+        return Status::FailedPrecondition(
+            "merge join right input is not sorted ascending on its key "
+            "endpoint");
+      }
+      previous_right_key_ = k;
+      right_has_peek_ = true;
+    }
+    const TimePoint k = RightKey(right_peek_);
+    ++metrics_.comparisons;
+    if (k < key) {
+      right_has_peek_ = false;  // Skip: no left key can match it anymore.
+    } else if (k == key) {
+      group_.push_back(std::move(right_peek_));
+      metrics_.AddWorkspace();
+      right_has_peek_ = false;
+    } else {
+      return Status::Ok();  // Peek belongs to a future group.
+    }
+  }
+}
+
+Result<bool> EndpointMergeJoin::Next(Tuple* out) {
+  while (true) {
+    if (!have_left_) {
+      TEMPUS_ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));
+      if (!has) return false;
+      ++metrics_.tuples_read_left;
+      const TimePoint k = LeftKey(current_left_);
+      if (options_.verify_input_order && k < previous_left_key_) {
+        return Status::FailedPrecondition(
+            "merge join left input is not sorted ascending on its key "
+            "endpoint");
+      }
+      previous_left_key_ = k;
+      TEMPUS_RETURN_IF_ERROR(LoadGroup(k));
+      group_pos_ = 0;
+      have_left_ = true;
+    }
+    const Interval left_span = left_ref_.Of(current_left_);
+    while (group_pos_ < group_.size()) {
+      const Tuple& candidate = group_[group_pos_++];
+      ++metrics_.comparisons;
+      if (options_.residual.HoldsBetween(left_span,
+                                         right_ref_.Of(candidate))) {
+        *out = Tuple::Concat(current_left_, candidate);
+        ++metrics_.tuples_emitted;
+        return true;
+      }
+    }
+    have_left_ = false;
+  }
+}
+
+}  // namespace tempus

@@ -1,0 +1,99 @@
+#ifndef TEMPUS_JOIN_MERGE_EQUI_JOIN_H_
+#define TEMPUS_JOIN_MERGE_EQUI_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "allen/interval_algebra.h"
+#include "join/join_common.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+struct EndpointMergeJoinOptions {
+  /// Which lifespan endpoint keys each side; inputs must be sorted
+  /// ascending on their key endpoint.
+  TemporalField left_key = TemporalField::kValidFrom;
+  TemporalField right_key = TemporalField::kValidFrom;
+  /// Residual Allen-mask filter applied to key-equal pairs.
+  AllenMask residual = AllenMask::All();
+  bool verify_input_order = true;
+  JoinNaming naming;
+};
+
+/// Merge join on a lifespan-endpoint equality, the strategy of the paper's
+/// footnote 8 for the non-inequality temporal operators: "sorting both
+/// relations on attributes that are involved in the equalities followed by
+/// a conventional merge-join (and perhaps combined with filtering using
+/// inequality constraints)". Covers:
+///   equal      — keys (TS, TS), residual {equal}
+///   meets      — keys (TE, TS), residual {meets}
+///   starts     — keys (TS, TS), residual {starts}
+///   finishes   — keys (TE, TE), residual {finishes}
+/// and their inverses with residual inverted. Workspace is the current
+/// right-side key group.
+class EndpointMergeJoin : public TupleStream {
+ public:
+  static Result<std::unique_ptr<EndpointMergeJoin>> Create(
+      std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+      EndpointMergeJoinOptions options = {});
+
+  /// Convenience factories for the four equality-bearing Figure 2
+  /// operators (inputs must be sorted ascending on the stated keys).
+  static Result<std::unique_ptr<EndpointMergeJoin>> Equal(
+      std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+      JoinNaming naming = {});
+  static Result<std::unique_ptr<EndpointMergeJoin>> Meets(
+      std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+      JoinNaming naming = {});
+  static Result<std::unique_ptr<EndpointMergeJoin>> Starts(
+      std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+      JoinNaming naming = {});
+  static Result<std::unique_ptr<EndpointMergeJoin>> Finishes(
+      std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+      JoinNaming naming = {});
+
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  EndpointMergeJoin(std::unique_ptr<TupleStream> left,
+                    std::unique_ptr<TupleStream> right,
+                    EndpointMergeJoinOptions options, Schema schema,
+                    LifespanRef left_ref, LifespanRef right_ref);
+
+  TimePoint LeftKey(const Tuple& t) const;
+  TimePoint RightKey(const Tuple& t) const;
+
+  /// Loads the right-side group with key == `key` (consuming smaller keys).
+  Status LoadGroup(TimePoint key);
+
+  std::unique_ptr<TupleStream> left_;
+  std::unique_ptr<TupleStream> right_;
+  EndpointMergeJoinOptions options_;
+  Schema schema_;
+  LifespanRef left_ref_;
+  LifespanRef right_ref_;
+
+  std::vector<Tuple> group_;
+  TimePoint group_key_ = kMinTime;
+  bool group_loaded_ = false;
+
+  Tuple right_peek_;
+  bool right_has_peek_ = false;
+  bool right_done_ = false;
+  TimePoint previous_right_key_ = kMinTime;
+
+  Tuple current_left_;
+  bool have_left_ = false;
+  TimePoint previous_left_key_ = kMinTime;
+  size_t group_pos_ = 0;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_JOIN_MERGE_EQUI_JOIN_H_

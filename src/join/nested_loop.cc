@@ -1,0 +1,117 @@
+#include "join/nested_loop.h"
+
+namespace tempus {
+
+Result<PairPredicate> MakeIntervalPairPredicate(const Schema& left,
+                                                const Schema& right,
+                                                AllenMask mask) {
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef left_ref, LifespanRef::ForSchema(left));
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef right_ref,
+                          LifespanRef::ForSchema(right));
+  return PairPredicate(
+      [left_ref, right_ref, mask](const Tuple& l,
+                                  const Tuple& r) -> Result<bool> {
+        return mask.HoldsBetween(left_ref.Of(l), right_ref.Of(r));
+      });
+}
+
+NestedLoopJoin::NestedLoopJoin(std::unique_ptr<TupleStream> left,
+                               std::unique_ptr<TupleStream> right,
+                               PairPredicate predicate, Schema schema)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)),
+      schema_(std::move(schema)) {}
+
+Result<std::unique_ptr<NestedLoopJoin>> NestedLoopJoin::Create(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    PairPredicate predicate, JoinNaming naming) {
+  TEMPUS_ASSIGN_OR_RETURN(
+      Schema schema,
+      MakeJoinOutputSchema(left->schema(), right->schema(), naming));
+  return std::unique_ptr<NestedLoopJoin>(
+      new NestedLoopJoin(std::move(left), std::move(right),
+                         std::move(predicate), std::move(schema)));
+}
+
+Status NestedLoopJoin::Open() {
+  TEMPUS_RETURN_IF_ERROR(left_->Open());
+  ++metrics_.passes_left;
+  have_left_ = false;
+  done_ = false;
+  return Status::Ok();
+}
+
+Result<bool> NestedLoopJoin::Next(Tuple* out) {
+  if (done_) return false;
+  while (true) {
+    if (!have_left_) {
+      TEMPUS_ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));
+      if (!has) {
+        done_ = true;
+        return false;
+      }
+      ++metrics_.tuples_read_left;
+      have_left_ = true;
+      TEMPUS_RETURN_IF_ERROR(right_->Open());
+      ++metrics_.passes_right;
+    }
+    Tuple right_tuple;
+    while (true) {
+      TEMPUS_ASSIGN_OR_RETURN(bool has, right_->Next(&right_tuple));
+      if (!has) {
+        have_left_ = false;
+        break;
+      }
+      ++metrics_.tuples_read_right;
+      bool matches = true;
+      if (predicate_ != nullptr) {
+        ++metrics_.comparisons;
+        TEMPUS_ASSIGN_OR_RETURN(matches,
+                                predicate_(current_left_, right_tuple));
+      }
+      if (matches) {
+        *out = Tuple::Concat(current_left_, right_tuple);
+        ++metrics_.tuples_emitted;
+        return true;
+      }
+    }
+  }
+}
+
+NestedLoopSemijoin::NestedLoopSemijoin(std::unique_ptr<TupleStream> left,
+                                       std::unique_ptr<TupleStream> right,
+                                       PairPredicate predicate)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)) {}
+
+Status NestedLoopSemijoin::Open() {
+  TEMPUS_RETURN_IF_ERROR(left_->Open());
+  ++metrics_.passes_left;
+  return Status::Ok();
+}
+
+Result<bool> NestedLoopSemijoin::Next(Tuple* out) {
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool has_left, left_->Next(out));
+    if (!has_left) return false;
+    ++metrics_.tuples_read_left;
+    TEMPUS_RETURN_IF_ERROR(right_->Open());
+    ++metrics_.passes_right;
+    Tuple right_tuple;
+    while (true) {
+      TEMPUS_ASSIGN_OR_RETURN(bool has_right, right_->Next(&right_tuple));
+      if (!has_right) break;
+      ++metrics_.tuples_read_right;
+      ++metrics_.comparisons;
+      TEMPUS_ASSIGN_OR_RETURN(bool matches, predicate_(*out, right_tuple));
+      if (matches) {
+        ++metrics_.tuples_emitted;
+        return true;
+      }
+    }
+  }
+}
+
+}  // namespace tempus

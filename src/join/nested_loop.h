@@ -1,0 +1,79 @@
+#ifndef TEMPUS_JOIN_NESTED_LOOP_H_
+#define TEMPUS_JOIN_NESTED_LOOP_H_
+
+#include <functional>
+#include <memory>
+
+#include "allen/interval_algebra.h"
+#include "join/join_common.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+/// Pairwise join predicate. Returning an error aborts execution.
+using PairPredicate =
+    std::function<Result<bool>(const Tuple& left, const Tuple& right)>;
+
+/// Builds a PairPredicate testing the Allen-mask relation between the two
+/// tuples' lifespans (both schemas must be temporal).
+Result<PairPredicate> MakeIntervalPairPredicate(const Schema& left,
+                                                const Schema& right,
+                                                AllenMask mask);
+
+/// The conventional nested-loop join (Section 3): for every left tuple,
+/// rescan the right stream and test the predicate. This is the baseline the
+/// paper's "less-than join" discussion targets — correct for any predicate
+/// and any input order, at the cost of |X| passes over Y. A predicate of
+/// nullptr yields the Cartesian product.
+class NestedLoopJoin : public TupleStream {
+ public:
+  static Result<std::unique_ptr<NestedLoopJoin>> Create(
+      std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+      PairPredicate predicate, JoinNaming naming = {});
+
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  NestedLoopJoin(std::unique_ptr<TupleStream> left,
+                 std::unique_ptr<TupleStream> right, PairPredicate predicate,
+                 Schema schema);
+
+  std::unique_ptr<TupleStream> left_;
+  std::unique_ptr<TupleStream> right_;
+  PairPredicate predicate_;
+  Schema schema_;
+  Tuple current_left_;
+  bool have_left_ = false;
+  bool done_ = false;
+};
+
+/// Nested-loop semijoin: emits each left tuple that has at least one
+/// matching right tuple (rescanning the right stream per left tuple, with
+/// early exit on first match).
+class NestedLoopSemijoin : public TupleStream {
+ public:
+  NestedLoopSemijoin(std::unique_ptr<TupleStream> left,
+                     std::unique_ptr<TupleStream> right,
+                     PairPredicate predicate);
+
+  const Schema& schema() const override { return left_->schema(); }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  std::unique_ptr<TupleStream> left_;
+  std::unique_ptr<TupleStream> right_;
+  PairPredicate predicate_;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_JOIN_NESTED_LOOP_H_

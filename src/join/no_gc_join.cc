@@ -1,0 +1,95 @@
+#include "join/no_gc_join.h"
+
+namespace tempus {
+
+NoGcStreamJoin::NoGcStreamJoin(std::unique_ptr<TupleStream> left,
+                               std::unique_ptr<TupleStream> right,
+                               PairPredicate predicate, Schema schema)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)),
+      schema_(std::move(schema)) {}
+
+Result<std::unique_ptr<NoGcStreamJoin>> NoGcStreamJoin::Create(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    PairPredicate predicate, JoinNaming naming) {
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("NoGcStreamJoin requires a predicate");
+  }
+  TEMPUS_ASSIGN_OR_RETURN(
+      Schema schema,
+      MakeJoinOutputSchema(left->schema(), right->schema(), naming));
+  return std::unique_ptr<NoGcStreamJoin>(
+      new NoGcStreamJoin(std::move(left), std::move(right),
+                         std::move(predicate), std::move(schema)));
+}
+
+Status NoGcStreamJoin::Open() {
+  TEMPUS_RETURN_IF_ERROR(left_->Open());
+  TEMPUS_RETURN_IF_ERROR(right_->Open());
+  ++metrics_.passes_left;
+  ++metrics_.passes_right;
+  left_state_.clear();
+  right_state_.clear();
+  metrics_.workspace_tuples = 0;
+  left_done_ = right_done_ = false;
+  read_left_next_ = true;
+  probing_ = false;
+  return Status::Ok();
+}
+
+Result<bool> NoGcStreamJoin::Advance() {
+  // Alternate sides; fall through to the other side when one is exhausted.
+  while (!(left_done_ && right_done_)) {
+    bool use_left = read_left_next_;
+    if (use_left && left_done_) use_left = false;
+    if (!use_left && right_done_) use_left = true;
+
+    TupleStream* stream = use_left ? left_.get() : right_.get();
+    TEMPUS_ASSIGN_OR_RETURN(bool has, stream->Next(&probe_));
+    read_left_next_ = !use_left;
+    if (!has) {
+      (use_left ? left_done_ : right_done_) = true;
+      continue;
+    }
+    if (use_left) {
+      ++metrics_.tuples_read_left;
+    } else {
+      ++metrics_.tuples_read_right;
+    }
+    probe_is_left_ = use_left;
+    probe_targets_ = use_left ? &right_state_ : &left_state_;
+    probe_pos_ = 0;
+    probing_ = true;
+    return true;
+  }
+  return false;
+}
+
+Result<bool> NoGcStreamJoin::Next(Tuple* out) {
+  while (true) {
+    if (probing_) {
+      while (probe_pos_ < probe_targets_->size()) {
+        const Tuple& other = (*probe_targets_)[probe_pos_++];
+        const Tuple& l = probe_is_left_ ? probe_ : other;
+        const Tuple& r = probe_is_left_ ? other : probe_;
+        ++metrics_.comparisons;
+        TEMPUS_ASSIGN_OR_RETURN(bool matches, predicate_(l, r));
+        if (matches) {
+          *out = Tuple::Concat(l, r);
+          ++metrics_.tuples_emitted;
+          return true;
+        }
+      }
+      // Probe finished: retain the tuple in its state forever (no GC).
+      (probe_is_left_ ? left_state_ : right_state_).push_back(probe_);
+      metrics_.AddWorkspace();
+      probing_ = false;
+    }
+    if (left_done_ && right_done_) return false;
+    TEMPUS_ASSIGN_OR_RETURN(bool more, Advance());
+    if (!more) return false;
+  }
+}
+
+}  // namespace tempus

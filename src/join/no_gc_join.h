@@ -1,0 +1,66 @@
+#ifndef TEMPUS_JOIN_NO_GC_JOIN_H_
+#define TEMPUS_JOIN_NO_GC_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "join/join_common.h"
+#include "join/nested_loop.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+/// Single-pass stream join WITHOUT garbage collection: every tuple read is
+/// retained in the state for the rest of the run, and each newly read tuple
+/// is joined against the entire opposite state. Correct for any predicate
+/// and any input ordering, with workspace growing to |X| + |Y|.
+///
+/// This operator exists to make the "-" cells of Tables 1 and 2 executable:
+/// for sort-order combinations where "the sort ordering is not appropriate
+/// for stream processing — no garbage-collection criteria", this is what a
+/// one-pass stream processor degenerates to, and the benchmark harness
+/// reports its measured (unbounded) workspace next to the bounded cells.
+class NoGcStreamJoin : public TupleStream {
+ public:
+  static Result<std::unique_ptr<NoGcStreamJoin>> Create(
+      std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+      PairPredicate predicate, JoinNaming naming = {});
+
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  NoGcStreamJoin(std::unique_ptr<TupleStream> left,
+                 std::unique_ptr<TupleStream> right, PairPredicate predicate,
+                 Schema schema);
+
+  /// Reads one tuple, alternating sides until exhaustion; the newly read
+  /// tuple becomes the probe against the opposite state.
+  Result<bool> Advance();
+
+  std::unique_ptr<TupleStream> left_;
+  std::unique_ptr<TupleStream> right_;
+  PairPredicate predicate_;
+  Schema schema_;
+
+  std::vector<Tuple> left_state_;
+  std::vector<Tuple> right_state_;
+  bool left_done_ = false;
+  bool right_done_ = false;
+  bool read_left_next_ = true;
+
+  // Probe cursor: current tuple vs opposite state.
+  Tuple probe_;
+  bool probe_is_left_ = false;
+  const std::vector<Tuple>* probe_targets_ = nullptr;
+  size_t probe_pos_ = 0;
+  bool probing_ = false;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_JOIN_NO_GC_JOIN_H_

@@ -1,0 +1,107 @@
+#include "join/overlap_semijoin.h"
+
+namespace tempus {
+
+OverlapSemijoin::OverlapSemijoin(std::unique_ptr<TupleStream> x,
+                                 std::unique_ptr<TupleStream> y,
+                                 SweepFrame frame, LifespanRef x_ref,
+                                 LifespanRef y_ref)
+    : x_(std::move(x)),
+      y_(std::move(y)),
+      frame_(frame),
+      x_ref_(x_ref),
+      y_ref_(y_ref) {}
+
+Result<std::unique_ptr<OverlapSemijoin>> OverlapSemijoin::Create(
+    std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
+    OverlapSemijoinOptions options) {
+  SweepFrame frame;
+  if (options.order == kByValidFromAsc) {
+    frame.mirrored = false;
+  } else if (options.order == kByValidToDesc) {
+    frame.mirrored = true;
+  } else {
+    return Status::FailedPrecondition(
+        "Overlap-semijoin requires both inputs sorted ValidFrom^ (or "
+        "mirror ValidTo v); got " +
+        options.order.ToString());
+  }
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef x_ref,
+                          LifespanRef::ForSchema(x->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef y_ref,
+                          LifespanRef::ForSchema(y->schema()));
+  auto stream = std::unique_ptr<OverlapSemijoin>(new OverlapSemijoin(
+      std::move(x), std::move(y), frame, x_ref, y_ref));
+  if (options.verify_input_order) {
+    stream->x_validator_ = std::make_unique<OrderValidator>(
+        x_ref, options.order, "overlap semijoin X input");
+    stream->y_validator_ = std::make_unique<OrderValidator>(
+        y_ref, options.order, "overlap semijoin Y input");
+  }
+  return stream;
+}
+
+Status OverlapSemijoin::Open() {
+  TEMPUS_RETURN_IF_ERROR(x_->Open());
+  TEMPUS_RETURN_IF_ERROR(y_->Open());
+  ++metrics_.passes_left;
+  ++metrics_.passes_right;
+  x_valid_ = y_valid_ = false;
+  x_done_ = y_done_ = false;
+  if (x_validator_) x_validator_->Reset();
+  if (y_validator_) y_validator_->Reset();
+  return Status::Ok();
+}
+
+Result<bool> OverlapSemijoin::Next(Tuple* out) {
+  while (true) {
+    if (!x_valid_) {
+      if (x_done_) return false;
+      TEMPUS_ASSIGN_OR_RETURN(bool has, x_->Next(&x_buf_));
+      if (!has) {
+        x_done_ = true;
+        return false;
+      }
+      ++metrics_.tuples_read_left;
+      if (x_validator_) {
+        TEMPUS_RETURN_IF_ERROR(x_validator_->Check(x_buf_));
+      }
+      x_span_ = frame_.Map(x_ref_.Of(x_buf_));
+      x_valid_ = true;
+    }
+    if (!y_valid_) {
+      if (y_done_) return false;  // No witness can exist for any future x.
+      TEMPUS_ASSIGN_OR_RETURN(bool has, y_->Next(&y_buf_));
+      if (!has) {
+        y_done_ = true;
+        return false;
+      }
+      ++metrics_.tuples_read_right;
+      if (y_validator_) {
+        TEMPUS_RETURN_IF_ERROR(y_validator_->Check(y_buf_));
+      }
+      y_span_ = frame_.Map(y_ref_.Of(y_buf_));
+      y_valid_ = true;
+    }
+    ++metrics_.comparisons;
+    if (x_span_.start < y_span_.end && y_span_.start < x_span_.end) {
+      // Lifespans intersect: emit x once; the y buffer may witness
+      // further x tuples.
+      *out = x_buf_;
+      x_valid_ = false;
+      ++metrics_.tuples_emitted;
+      return true;
+    }
+    if (y_span_.end <= x_span_.start) {
+      // y ends at/before every remaining x starts (x starts are
+      // nondecreasing): discard y.
+      y_valid_ = false;
+    } else {
+      // x ends at/before y starts; future y start even later: x has no
+      // witness.
+      x_valid_ = false;
+    }
+  }
+}
+
+}  // namespace tempus

@@ -1,0 +1,61 @@
+#ifndef TEMPUS_JOIN_OVERLAP_SEMIJOIN_H_
+#define TEMPUS_JOIN_OVERLAP_SEMIJOIN_H_
+
+#include <memory>
+
+#include "join/join_common.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+struct OverlapSemijoinOptions {
+  /// Both inputs must share this order: ValidFrom^ or mirror ValidTo v
+  /// (Table 2 lists no other appropriate ordering).
+  TemporalSortOrder order = kByValidFromAsc;
+  bool verify_input_order = true;
+};
+
+/// Overlap-semijoin(X, Y) (Section 4.2.4): emits each X tuple whose
+/// lifespan shares at least one time point with some Y tuple (TQuel
+/// `overlap`). With both inputs sorted ValidFrom ascending the local
+/// workspace is just the two input buffers — Table 2, characterization
+/// (b). Output preserves the X order; single pass over both inputs.
+class OverlapSemijoin : public TupleStream {
+ public:
+  static Result<std::unique_ptr<OverlapSemijoin>> Create(
+      std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
+      OverlapSemijoinOptions options = {});
+
+  const Schema& schema() const override { return x_->schema(); }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {x_.get(), y_.get()};
+  }
+
+ private:
+  OverlapSemijoin(std::unique_ptr<TupleStream> x,
+                  std::unique_ptr<TupleStream> y, SweepFrame frame,
+                  LifespanRef x_ref, LifespanRef y_ref);
+
+  std::unique_ptr<TupleStream> x_;
+  std::unique_ptr<TupleStream> y_;
+  SweepFrame frame_;
+  LifespanRef x_ref_;
+  LifespanRef y_ref_;
+  std::unique_ptr<OrderValidator> x_validator_;
+  std::unique_ptr<OrderValidator> y_validator_;
+
+  Tuple x_buf_;
+  Interval x_span_;
+  bool x_valid_ = false;
+  bool x_done_ = false;
+  Tuple y_buf_;
+  Interval y_span_;
+  bool y_valid_ = false;
+  bool y_done_ = false;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_JOIN_OVERLAP_SEMIJOIN_H_

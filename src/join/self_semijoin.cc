@@ -1,0 +1,258 @@
+#include "join/self_semijoin.h"
+
+namespace tempus {
+namespace internal {
+
+SingleStateSelfContained::SingleStateSelfContained(
+    std::unique_ptr<TupleStream> x, SweepFrame frame, LifespanRef ref,
+    std::unique_ptr<OrderValidator> validator)
+    : x_(std::move(x)),
+      frame_(frame),
+      ref_(ref),
+      validator_(std::move(validator)) {}
+
+Status SingleStateSelfContained::Open() {
+  TEMPUS_RETURN_IF_ERROR(x_->Open());
+  ++metrics_.passes_left;
+  state_valid_ = false;
+  metrics_.workspace_tuples = 0;
+  if (validator_) validator_->Reset();
+  return Status::Ok();
+}
+
+Result<bool> SingleStateSelfContained::Next(Tuple* out) {
+  // Section 4.2.3: one state tuple x_s; each arrival either replaces it or
+  // is emitted as contained within it.
+  Tuple buf;
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool has, x_->Next(&buf));
+    if (!has) return false;
+    ++metrics_.tuples_read_left;
+    if (validator_) {
+      TEMPUS_RETURN_IF_ERROR(validator_->Check(buf));
+    }
+    const Interval span = frame_.Map(ref_.Of(buf));
+    if (!state_valid_) {
+      state_span_ = span;
+      state_valid_ = true;
+      metrics_.AddWorkspace();
+      continue;
+    }
+    ++metrics_.comparisons;
+    if (state_span_.start == span.start) {
+      // Secondary order guarantees span.end >= state end: equal starts
+      // never nest strictly, and the longer lifespan covers more future
+      // arrivals.
+      state_span_ = span;
+      continue;
+    }
+    if (state_span_.end <= span.end) {
+      // The newcomer reaches at least as far right while starting later:
+      // anything it would contain, it contains "more tightly" than the old
+      // state (see DESIGN.md correctness note) -- replace.
+      state_span_ = span;
+      continue;
+    }
+    // state.start < span.start and span.end < state.end: strictly inside.
+    *out = std::move(buf);
+    ++metrics_.tuples_emitted;
+    return true;
+  }
+}
+
+SingleStateSelfContain::SingleStateSelfContain(
+    std::unique_ptr<TupleStream> x, SweepFrame frame, LifespanRef ref,
+    std::unique_ptr<OrderValidator> validator)
+    : x_(std::move(x)),
+      frame_(frame),
+      ref_(ref),
+      validator_(std::move(validator)) {}
+
+Status SingleStateSelfContain::Open() {
+  TEMPUS_RETURN_IF_ERROR(x_->Open());
+  ++metrics_.passes_left;
+  state_valid_ = false;
+  metrics_.workspace_tuples = 0;
+  if (validator_) validator_->Reset();
+  return Status::Ok();
+}
+
+Result<bool> SingleStateSelfContain::Next(Tuple* out) {
+  // Mirror image of the Contained(X,X) algorithm: with starts arriving in
+  // DESCENDING order, containees precede their containers, and the
+  // minimum-end tuple seen so far is a universal witness: if any earlier
+  // tuple is strictly inside the arrival, the minimum-end one is (ties on
+  // end keep the earlier = larger-start tuple).
+  Tuple buf;
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool has, x_->Next(&buf));
+    if (!has) return false;
+    ++metrics_.tuples_read_left;
+    if (validator_) {
+      TEMPUS_RETURN_IF_ERROR(validator_->Check(buf));
+    }
+    const Interval span = frame_.Map(ref_.Of(buf));
+    if (!state_valid_) {
+      state_span_ = span;
+      state_valid_ = true;
+      metrics_.AddWorkspace();
+      continue;
+    }
+    ++metrics_.comparisons;
+    const bool contains_witness =
+        state_span_.start > span.start && state_span_.end < span.end;
+    if (contains_witness) {
+      *out = std::move(buf);
+      ++metrics_.tuples_emitted;
+      return true;
+    }
+    if (span.end < state_span_.end) {
+      state_span_ = span;
+    }
+  }
+}
+
+SweepSelfContain::SweepSelfContain(std::unique_ptr<TupleStream> x,
+                                   SweepFrame frame, LifespanRef ref,
+                                   std::unique_ptr<OrderValidator> validator)
+    : x_(std::move(x)),
+      frame_(frame),
+      ref_(ref),
+      validator_(std::move(validator)) {}
+
+Status SweepSelfContain::Open() {
+  TEMPUS_RETURN_IF_ERROR(x_->Open());
+  ++metrics_.passes_left;
+  pending_.clear();
+  metrics_.workspace_tuples = 0;
+  has_peek_ = false;
+  done_ = false;
+  if (validator_) validator_->Reset();
+  return Status::Ok();
+}
+
+bool SweepSelfContain::PopDecided(Tuple* out) {
+  while (!pending_.empty()) {
+    Pending& front = pending_.front();
+    if (front.matched) {
+      *out = std::move(front.tuple);
+      pending_.pop_front();
+      metrics_.SubWorkspace();
+      ++metrics_.tuples_emitted;
+      return true;
+    }
+    const bool dead =
+        (done_ && !has_peek_) ||
+        (has_peek_ && front.span.end <= peek_span_.start);
+    if (!dead) break;
+    pending_.pop_front();
+    metrics_.SubWorkspace();
+  }
+  return false;
+}
+
+Result<bool> SweepSelfContain::Next(Tuple* out) {
+  while (true) {
+    if (!has_peek_ && !done_) {
+      TEMPUS_ASSIGN_OR_RETURN(bool has, x_->Next(&peek_));
+      if (has) {
+        ++metrics_.tuples_read_left;
+        if (validator_) {
+          TEMPUS_RETURN_IF_ERROR(validator_->Check(peek_));
+        }
+        peek_span_ = frame_.Map(ref_.Of(peek_));
+        has_peek_ = true;
+      } else {
+        done_ = true;
+      }
+    }
+    if (PopDecided(out)) return true;
+    if (!has_peek_) {
+      // Stream exhausted; PopDecided drained everything decidable.
+      if (pending_.empty()) return false;
+      continue;
+    }
+    // The arrival is a witness for every pending container enclosing it...
+    for (Pending& p : pending_) {
+      ++metrics_.comparisons;
+      if (!p.matched && p.span.start < peek_span_.start &&
+          p.span.end > peek_span_.end) {
+        p.matched = true;
+      }
+    }
+    // ...and a candidate container for future arrivals.
+    pending_.push_back({std::move(peek_), peek_span_, false});
+    metrics_.AddWorkspace();
+    has_peek_ = false;
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+struct SelfFrame {
+  SweepFrame frame;
+  bool ok = false;
+};
+
+SelfFrame FrameForAscending(const TemporalSortOrder& order) {
+  // The algorithm wants (start^, end^) in sweep coordinates.
+  if (order == kByValidFromAsc) return {SweepFrame{false}, true};
+  if (order == kByValidToDesc) return {SweepFrame{true}, true};
+  return {};
+}
+
+SelfFrame FrameForDescending(const TemporalSortOrder& order) {
+  // The algorithm wants (start v, end v) in sweep coordinates.
+  if (order == kByValidFromDesc) return {SweepFrame{false}, true};
+  if (order == kByValidToAsc) return {SweepFrame{true}, true};
+  return {};
+}
+
+std::unique_ptr<OrderValidator> MaybeValidator(
+    const LifespanRef& ref, const SelfSemijoinOptions& options,
+    const char* label) {
+  if (!options.verify_input_order) return nullptr;
+  return std::make_unique<OrderValidator>(ref, options.order, label);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TupleStream>> MakeSelfContainedSemijoin(
+    std::unique_ptr<TupleStream> x, SelfSemijoinOptions options) {
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef ref,
+                          LifespanRef::ForSchema(x->schema()));
+  const SelfFrame sf = FrameForAscending(options.order);
+  if (!sf.ok) {
+    return Status::FailedPrecondition(
+        "Contained-semijoin(X,X) requires ValidFrom^ (or mirror ValidTo v) "
+        "ordering; got " +
+        options.order.ToString());
+  }
+  auto validator = MaybeValidator(ref, options, "Contained-semijoin(X,X)");
+  return std::unique_ptr<TupleStream>(new internal::SingleStateSelfContained(
+      std::move(x), sf.frame, ref, std::move(validator)));
+}
+
+Result<std::unique_ptr<TupleStream>> MakeSelfContainSemijoin(
+    std::unique_ptr<TupleStream> x, SelfSemijoinOptions options) {
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef ref,
+                          LifespanRef::ForSchema(x->schema()));
+  auto validator = MaybeValidator(ref, options, "Contain-semijoin(X,X)");
+  const SelfFrame desc = FrameForDescending(options.order);
+  if (desc.ok) {
+    return std::unique_ptr<TupleStream>(new internal::SingleStateSelfContain(
+        std::move(x), desc.frame, ref, std::move(validator)));
+  }
+  const SelfFrame asc = FrameForAscending(options.order);
+  if (asc.ok) {
+    return std::unique_ptr<TupleStream>(new internal::SweepSelfContain(
+        std::move(x), asc.frame, ref, std::move(validator)));
+  }
+  return Status::FailedPrecondition(
+      "Contain-semijoin(X,X): unsupported ordering " +
+      options.order.ToString());
+}
+
+}  // namespace tempus

@@ -1,0 +1,133 @@
+#ifndef TEMPUS_JOIN_SELF_SEMIJOIN_H_
+#define TEMPUS_JOIN_SELF_SEMIJOIN_H_
+
+#include <deque>
+#include <memory>
+
+#include "join/join_common.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+struct SelfSemijoinOptions {
+  /// Promised order of the single operand stream.
+  TemporalSortOrder order = kByValidFromAsc;
+  bool verify_input_order = true;
+};
+
+/// Contained-semijoin(X, X) (Section 4.2.3): emits each tuple whose
+/// lifespan is strictly contained in that of ANOTHER tuple of the same
+/// stream, scanning the operand once with a single state tuple plus the
+/// input buffer. Supported orders: ValidFrom^ (primary ValidFrom,
+/// secondary ValidTo, both ascending — the paper's Figure 7 setting) and
+/// its mirror ValidTo v. The secondary order is load-bearing: among equal
+/// ValidFrom values, shorter lifespans must arrive first.
+///
+/// This is the operator the semantically optimized Superstar query reduces
+/// to (Section 5): "a single scan of tuples and the local workspace is
+/// composed of only a state tuple and an input buffer".
+Result<std::unique_ptr<TupleStream>> MakeSelfContainedSemijoin(
+    std::unique_ptr<TupleStream> x, SelfSemijoinOptions options = {});
+
+/// Contain-semijoin(X, X): emits each tuple whose lifespan strictly
+/// contains that of another tuple of the same stream.
+///   - ValidFrom v (or mirror ValidTo^): single state tuple (Table 3,
+///     row 2 — containees precede their containers, so one running
+///     minimum-ValidTo tuple decides every arrival).
+///   - ValidFrom^ (or mirror ValidTo v): containers precede their
+///     containees; the operator must hold containers until a witness
+///     arrives, and the state grows to the set of tuples overlapping the
+///     scan position (Table 3, row 1, characterization (b)). Output
+///     preserves the input order.
+Result<std::unique_ptr<TupleStream>> MakeSelfContainSemijoin(
+    std::unique_ptr<TupleStream> x, SelfSemijoinOptions options = {});
+
+namespace internal {
+
+/// Single-state Contained-semijoin(X,X); input keyed (start^, end^) in
+/// sweep coordinates.
+class SingleStateSelfContained : public TupleStream {
+ public:
+  SingleStateSelfContained(std::unique_ptr<TupleStream> x, SweepFrame frame,
+                           LifespanRef ref,
+                           std::unique_ptr<OrderValidator> validator);
+
+  const Schema& schema() const override { return x_->schema(); }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {x_.get()};
+  }
+
+ private:
+  std::unique_ptr<TupleStream> x_;
+  SweepFrame frame_;
+  LifespanRef ref_;
+  std::unique_ptr<OrderValidator> validator_;
+  Interval state_span_;
+  bool state_valid_ = false;
+};
+
+/// Single-state Contain-semijoin(X,X); input keyed (start v, end v) in
+/// sweep coordinates — the state is the minimum-end tuple seen so far.
+class SingleStateSelfContain : public TupleStream {
+ public:
+  SingleStateSelfContain(std::unique_ptr<TupleStream> x, SweepFrame frame,
+                         LifespanRef ref,
+                         std::unique_ptr<OrderValidator> validator);
+
+  const Schema& schema() const override { return x_->schema(); }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {x_.get()};
+  }
+
+ private:
+  std::unique_ptr<TupleStream> x_;
+  SweepFrame frame_;
+  LifespanRef ref_;
+  std::unique_ptr<OrderValidator> validator_;
+  Interval state_span_;
+  bool state_valid_ = false;
+};
+
+/// Pending-queue Contain-semijoin(X,X) for the "wrong" order (start^):
+/// Table 3 row 1 (b). Emits containers in input order.
+class SweepSelfContain : public TupleStream {
+ public:
+  SweepSelfContain(std::unique_ptr<TupleStream> x, SweepFrame frame,
+                   LifespanRef ref,
+                   std::unique_ptr<OrderValidator> validator);
+
+  const Schema& schema() const override { return x_->schema(); }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {x_.get()};
+  }
+
+ private:
+  struct Pending {
+    Tuple tuple;
+    Interval span;
+    bool matched = false;
+  };
+
+  bool PopDecided(Tuple* out);
+
+  std::unique_ptr<TupleStream> x_;
+  SweepFrame frame_;
+  LifespanRef ref_;
+  std::unique_ptr<OrderValidator> validator_;
+  std::deque<Pending> pending_;
+  Tuple peek_;
+  Interval peek_span_;
+  bool has_peek_ = false;
+  bool done_ = false;
+};
+
+}  // namespace internal
+}  // namespace tempus
+
+#endif  // TEMPUS_JOIN_SELF_SEMIJOIN_H_

@@ -1,0 +1,64 @@
+#include "plan/cost_model.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace tempus {
+
+double ExpectedConcurrency(const RelationStats& stats) {
+  if (stats.tuple_count == 0) return 0.0;
+  if (stats.mean_interarrival <= 0.0) {
+    // All tuples share one start: the whole relation can be alive at once.
+    return static_cast<double>(stats.tuple_count);
+  }
+  const double c = stats.mean_duration / stats.mean_interarrival;
+  return std::min(c, static_cast<double>(stats.tuple_count));
+}
+
+WorkspaceEstimate EstimateContainJoinFromFrom(const RelationStats& x,
+                                              const RelationStats& y) {
+  (void)y;  // The (From^, From^) state is containers-only (Table 1 (a)).
+  const double cx = ExpectedConcurrency(x);
+  return {cx + 1.0,
+          StrFormat("X spanning y.TS: dur(X)/gap(X) = %.1f (+1 transient Y)",
+                    cx)};
+}
+
+WorkspaceEstimate EstimateContainJoinFromTo(const RelationStats& x,
+                                            const RelationStats& y) {
+  const double cx = ExpectedConcurrency(x);
+  // Y tuples whose lifespan falls inside the current X lifespan: Y
+  // arrivals over an X duration, thinned by the chance a Y fits inside.
+  const double arrivals =
+      y.mean_interarrival <= 0.0
+          ? static_cast<double>(y.tuple_count)
+          : x.mean_duration / y.mean_interarrival;
+  const double fit = x.mean_duration <= 0.0
+                         ? 0.0
+                         : std::max(0.0, 1.0 - y.mean_duration /
+                                              x.mean_duration);
+  const double contained = arrivals * fit;
+  return {cx + contained,
+          StrFormat("X spanning y.TE = %.1f + Y inside current X = %.1f",
+                    cx, contained)};
+}
+
+WorkspaceEstimate EstimateSweepJoin(const RelationStats& x,
+                                    const RelationStats& y) {
+  const double cx = ExpectedConcurrency(x);
+  const double cy = ExpectedConcurrency(y);
+  return {cx + cy, StrFormat("active X = %.1f + active Y = %.1f", cx, cy)};
+}
+
+WorkspaceEstimate EstimateSweepSemijoin(const RelationStats& containers) {
+  const double c = ExpectedConcurrency(containers);
+  return {c, StrFormat("containers spanning sweep point = %.1f", c)};
+}
+
+WorkspaceEstimate EstimateSort(const RelationStats& input) {
+  return {static_cast<double>(input.tuple_count),
+          StrFormat("buffered input = %zu", input.tuple_count)};
+}
+
+}  // namespace tempus

@@ -1,0 +1,53 @@
+#ifndef TEMPUS_PLAN_COST_MODEL_H_
+#define TEMPUS_PLAN_COST_MODEL_H_
+
+#include <string>
+
+#include "relation/temporal_relation.h"
+
+namespace tempus {
+
+/// Analytic workspace estimates for the stream operators, computed from
+/// instance statistics — the paper's "future work" item made concrete:
+/// "in addition to conventional statistical information ... estimating
+/// the amount of local workspace becomes necessary" (Section 6).
+///
+/// The estimates assume stationary arrivals with rate lambda = 1 /
+/// mean_interarrival and independent durations; then the expected number
+/// of lifespans covering a time point (Little's law) is
+///     concurrency(R) = mean_duration(R) / mean_interarrival(R),
+/// which instantiates every Table 1/2 state characterization.
+struct WorkspaceEstimate {
+  double tuples = 0;
+  /// Human-readable derivation, for EXPLAIN and benchmarks.
+  std::string basis;
+};
+
+/// Expected number of lifespans of R alive at a random time point.
+double ExpectedConcurrency(const RelationStats& stats);
+
+/// Contain-join(X,Y), both inputs ValidFrom ascending (Table 1 (a)):
+/// state = X tuples spanning the current Y ValidFrom (+ transient Y).
+WorkspaceEstimate EstimateContainJoinFromFrom(const RelationStats& x,
+                                              const RelationStats& y);
+
+/// Contain-join(X,Y), X ValidFrom / Y ValidTo ascending (Table 1 (b)):
+/// state = X tuples spanning the current Y ValidTo + Y tuples contained
+/// in the current X lifespan (expected: Y arrivals during an X lifespan).
+WorkspaceEstimate EstimateContainJoinFromTo(const RelationStats& x,
+                                            const RelationStats& y);
+
+/// Sweep join over coexisting relations (Table 2 (a)): both active sets.
+WorkspaceEstimate EstimateSweepJoin(const RelationStats& x,
+                                    const RelationStats& y);
+
+/// Sweep containment semijoin (Table 1 (c)): containers spanning the
+/// sweep point.
+WorkspaceEstimate EstimateSweepSemijoin(const RelationStats& containers);
+
+/// Buffering sort enforcer: the whole input.
+WorkspaceEstimate EstimateSort(const RelationStats& input);
+
+}  // namespace tempus
+
+#endif  // TEMPUS_PLAN_COST_MODEL_H_

@@ -1,0 +1,1379 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/string_util.h"
+#include "join/allen_sweep_join.h"
+#include "join/before_join.h"
+#include "join/contain_join.h"
+#include "join/containment_semijoin.h"
+#include "join/hash_join.h"
+#include "join/nested_loop.h"
+#include "join/overlap_semijoin.h"
+#include "join/self_semijoin.h"
+#include "plan/cost_model.h"
+#include "stream/basic_ops.h"
+
+namespace tempus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Internal planning state
+// ---------------------------------------------------------------------------
+
+struct Selection {
+  size_t attr_index;
+  CmpOp op;
+  Value literal;
+  std::string display;
+};
+
+struct EquiLink {
+  size_t var1;
+  size_t attr1;  // Attribute index in var1's relation schema.
+  size_t var2;
+  size_t attr2;
+};
+
+/// A predicate deferred to generic evaluation: either a Comparison or a
+/// TemporalAtom, over >=1 range variables.
+struct Deferred {
+  std::optional<Comparison> comparison;
+  std::optional<TemporalAtom> atom;
+  std::set<size_t> vars;
+  std::string display;
+};
+
+/// A partially built pipeline covering a set of range variables.
+struct SubPlan {
+  std::unique_ptr<TupleStream> stream;
+  /// var index -> column offset of that var's attributes in the stream
+  /// schema (join outputs are prefixed concatenations, so a var's
+  /// attributes stay contiguous).
+  std::map<size_t, size_t> var_offsets;
+  std::string explain;
+  /// Known lifespan order of the FIRST var's lifespan columns (join
+  /// outputs inherit the left lifespan designation).
+  std::optional<TemporalSortOrder> order;
+};
+
+std::string Indent(const std::string& block) {
+  std::string out;
+  size_t begin = 0;
+  while (begin < block.size()) {
+    size_t end = block.find('\n', begin);
+    if (end == std::string::npos) end = block.size();
+    out += "  " + block.substr(begin, end - begin) + "\n";
+    begin = end + 1;
+  }
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+class PlanBuilder {
+ public:
+  PlanBuilder(const Catalog* catalog, const IntegrityCatalog* integrity,
+              const ConjunctiveQuery& query, const PlannerOptions& options)
+      : catalog_(catalog),
+        integrity_(integrity),
+        query_(query),
+        options_(options) {}
+
+  Result<PlannedQuery> Build();
+
+ private:
+  // --- resolution helpers -------------------------------------------------
+  Result<size_t> VarIndex(const std::string& name) const;
+  Result<size_t> AttrIndex(size_t var, const std::string& attr) const;
+  bool IsEndpoint(size_t var, size_t attr_ix) const;
+  EndpointKind EndpointOf(size_t var, size_t attr_ix) const;
+
+  // --- phases --------------------------------------------------------------
+  Status Resolve();
+  Status Classify();
+  Status Analyze();
+  Result<SubPlan> BuildBase(size_t var) const;
+  Result<SubPlan> EnsureOrder(SubPlan plan, TemporalSortOrder order) const;
+  Result<SubPlan> PlanTwoVarStream(SubPlan left, SubPlan right, size_t lv,
+                                   size_t rv);
+  Result<std::optional<SubPlan>> TrySuperstar();
+  Result<SubPlan> PlanCascade();
+  Result<SubPlan> Finalize(SubPlan plan);
+
+  // Compiles every still-unapplied deferred/essential predicate that is
+  // fully contained in `plan`'s variables into a filter.
+  Result<SubPlan> ApplyPending(SubPlan plan);
+
+  PairPredicate CompilePairPredicate(const SubPlan& left_layout,
+                                     size_t right_var,
+                                     std::vector<size_t> pending_ids) const;
+
+  const Catalog* catalog_;
+  const IntegrityCatalog* integrity_;
+  const ConjunctiveQuery& query_;
+  const PlannerOptions& options_;
+
+  std::vector<const TemporalRelation*> relations_;
+  std::vector<std::string> var_names_;
+
+  std::vector<std::vector<Selection>> selections_;  // Per var.
+  std::vector<EquiLink> equi_links_;
+  std::vector<bool> equi_applied_;
+  std::vector<TemporalPredicate> analyzed_preds_;
+  std::vector<Deferred> deferred_;
+  std::vector<bool> deferred_applied_;
+
+  SemanticAnalysis analysis_;
+  // Essential predicates that still must be evaluated by the chosen plan
+  // (two-var stream plans subsume them in the operator mask).
+  std::vector<TemporalPredicate> pending_essential_;
+  std::vector<bool> essential_applied_;
+
+  std::string notes_;
+};
+
+Result<size_t> PlanBuilder::VarIndex(const std::string& name) const {
+  for (size_t i = 0; i < var_names_.size(); ++i) {
+    if (var_names_[i] == name) return i;
+  }
+  return Status::NotFound("unknown range variable: " + name);
+}
+
+Result<size_t> PlanBuilder::AttrIndex(size_t var,
+                                      const std::string& attr) const {
+  const size_t ix = relations_[var]->schema().IndexOf(attr);
+  if (ix == kNoAttribute) {
+    return Status::NotFound("relation " + relations_[var]->name() +
+                            " has no attribute " + attr);
+  }
+  return ix;
+}
+
+bool PlanBuilder::IsEndpoint(size_t var, size_t attr_ix) const {
+  const Schema& s = relations_[var]->schema();
+  return s.has_lifespan() &&
+         (attr_ix == s.valid_from_index() || attr_ix == s.valid_to_index());
+}
+
+EndpointKind PlanBuilder::EndpointOf(size_t var, size_t attr_ix) const {
+  return attr_ix == relations_[var]->schema().valid_from_index()
+             ? EndpointKind::kStart
+             : EndpointKind::kEnd;
+}
+
+Status PlanBuilder::Resolve() {
+  if (query_.range_vars.empty()) {
+    return Status::InvalidArgument("query declares no range variables");
+  }
+  std::set<std::string> seen;
+  for (const RangeVarDecl& rv : query_.range_vars) {
+    if (!seen.insert(rv.name).second) {
+      return Status::InvalidArgument("duplicate range variable: " + rv.name);
+    }
+    TEMPUS_ASSIGN_OR_RETURN(const TemporalRelation* rel,
+                            catalog_->Lookup(rv.relation));
+    relations_.push_back(rel);
+    var_names_.push_back(rv.name);
+  }
+  selections_.resize(var_names_.size());
+  return Status::Ok();
+}
+
+Status PlanBuilder::Classify() {
+  for (const Comparison& cmp : query_.comparisons) {
+    const bool lc = cmp.lhs.is_column;
+    const bool rc = cmp.rhs.is_column;
+    if (!lc && !rc) {
+      // Constant comparison: fold.
+      if (!EvaluateCmp(cmp.lhs.literal, cmp.op, cmp.rhs.literal)) {
+        analysis_.contradiction = true;
+      }
+      continue;
+    }
+    if (lc != rc) {
+      // Column vs literal: a selection; endpoint selections additionally
+      // feed the constraint system.
+      const ScalarTerm& col = lc ? cmp.lhs : cmp.rhs;
+      const ScalarTerm& lit = lc ? cmp.rhs : cmp.lhs;
+      CmpOp op = cmp.op;
+      if (!lc) {
+        // literal op column  ==  column op' literal.
+        switch (op) {
+          case CmpOp::kLt: op = CmpOp::kGt; break;
+          case CmpOp::kLe: op = CmpOp::kGe; break;
+          case CmpOp::kGt: op = CmpOp::kLt; break;
+          case CmpOp::kGe: op = CmpOp::kLe; break;
+          default: break;
+        }
+      }
+      TEMPUS_ASSIGN_OR_RETURN(size_t var, VarIndex(col.column.range_var));
+      TEMPUS_ASSIGN_OR_RETURN(size_t attr, AttrIndex(var,
+                                                     col.column.attribute));
+      selections_[var].push_back({attr, op, lit.literal, cmp.ToString()});
+      if (IsEndpoint(var, attr) &&
+          lit.literal.kind() == Value::Kind::kInt && op != CmpOp::kNe) {
+        const TemporalTerm ep =
+            TemporalTerm::Endpoint(var, EndpointOf(var, attr));
+        const TemporalTerm l = TemporalTerm::Literal(lit.literal.int_value());
+        switch (op) {
+          case CmpOp::kLt:
+            analyzed_preds_.push_back({ep, PredOp::kLess, l});
+            break;
+          case CmpOp::kLe:
+            analyzed_preds_.push_back({ep, PredOp::kLessEqual, l});
+            break;
+          case CmpOp::kGt:
+            analyzed_preds_.push_back({l, PredOp::kLess, ep});
+            break;
+          case CmpOp::kGe:
+            analyzed_preds_.push_back({l, PredOp::kLessEqual, ep});
+            break;
+          case CmpOp::kEq:
+            analyzed_preds_.push_back({ep, PredOp::kEqual, l});
+            break;
+          default:
+            break;
+        }
+      }
+      continue;
+    }
+    // Column vs column.
+    TEMPUS_ASSIGN_OR_RETURN(size_t lv, VarIndex(cmp.lhs.column.range_var));
+    TEMPUS_ASSIGN_OR_RETURN(size_t rv, VarIndex(cmp.rhs.column.range_var));
+    TEMPUS_ASSIGN_OR_RETURN(size_t la,
+                            AttrIndex(lv, cmp.lhs.column.attribute));
+    TEMPUS_ASSIGN_OR_RETURN(size_t ra,
+                            AttrIndex(rv, cmp.rhs.column.attribute));
+    const bool both_endpoints = IsEndpoint(lv, la) && IsEndpoint(rv, ra);
+    if (both_endpoints && cmp.op != CmpOp::kNe) {
+      const TemporalTerm l = TemporalTerm::Endpoint(lv, EndpointOf(lv, la));
+      const TemporalTerm r = TemporalTerm::Endpoint(rv, EndpointOf(rv, ra));
+      switch (cmp.op) {
+        case CmpOp::kLt:
+          analyzed_preds_.push_back({l, PredOp::kLess, r});
+          break;
+        case CmpOp::kLe:
+          analyzed_preds_.push_back({l, PredOp::kLessEqual, r});
+          break;
+        case CmpOp::kGt:
+          analyzed_preds_.push_back({r, PredOp::kLess, l});
+          break;
+        case CmpOp::kGe:
+          analyzed_preds_.push_back({r, PredOp::kLessEqual, l});
+          break;
+        case CmpOp::kEq:
+          analyzed_preds_.push_back({l, PredOp::kEqual, r});
+          break;
+        default:
+          break;
+      }
+      continue;
+    }
+    if (cmp.op == CmpOp::kEq && lv != rv) {
+      equi_links_.push_back({lv, la, rv, ra});
+      continue;
+    }
+    Deferred d;
+    d.comparison = cmp;
+    d.vars = {lv, rv};
+    d.display = cmp.ToString();
+    deferred_.push_back(std::move(d));
+  }
+
+  for (const TemporalAtom& atom : query_.temporal_atoms) {
+    TEMPUS_ASSIGN_OR_RETURN(size_t lv, VarIndex(atom.left_var));
+    TEMPUS_ASSIGN_OR_RETURN(size_t rv, VarIndex(atom.right_var));
+    if (!relations_[lv]->schema().has_lifespan() ||
+        !relations_[rv]->schema().has_lifespan()) {
+      return Status::FailedPrecondition(
+          "temporal operator over non-temporal relation in " +
+          atom.ToString());
+    }
+    if (atom.mask == AllenMask::Intersecting()) {
+      // TQuel overlap == X.TS < Y.TE and Y.TS < X.TE (Section 3).
+      analyzed_preds_.push_back(
+          {TemporalTerm::Endpoint(lv, EndpointKind::kStart), PredOp::kLess,
+           TemporalTerm::Endpoint(rv, EndpointKind::kEnd)});
+      analyzed_preds_.push_back(
+          {TemporalTerm::Endpoint(rv, EndpointKind::kStart), PredOp::kLess,
+           TemporalTerm::Endpoint(lv, EndpointKind::kEnd)});
+      continue;
+    }
+    if (atom.mask.Count() == 1) {
+      for (AllenRelation rel : AllAllenRelations()) {
+        if (!atom.mask.Contains(rel)) continue;
+        for (const EndpointConstraint& c : ExplicitConstraints(rel)) {
+          auto term = [&](const EndpointTerm& t) {
+            const size_t var = t.operand == Operand::kX ? lv : rv;
+            return TemporalTerm::Endpoint(var, t.endpoint);
+          };
+          const PredOp op = c.order == EndpointOrder::kLess
+                                ? PredOp::kLess
+                                : (c.order == EndpointOrder::kLessEqual
+                                       ? PredOp::kLessEqual
+                                       : PredOp::kEqual);
+          analyzed_preds_.push_back({term(c.lhs), op, term(c.rhs)});
+        }
+      }
+      continue;
+    }
+    Deferred d;
+    d.atom = atom;
+    d.vars = {lv, rv};
+    d.display = atom.ToString();
+    deferred_.push_back(std::move(d));
+  }
+  equi_applied_.assign(equi_links_.size(), false);
+  deferred_applied_.assign(deferred_.size(), false);
+  return Status::Ok();
+}
+
+Status PlanBuilder::Analyze() {
+  std::vector<RangeVarBinding> bindings;
+  bindings.reserve(var_names_.size());
+  for (size_t i = 0; i < var_names_.size(); ++i) {
+    RangeVarBinding b;
+    b.name = var_names_[i];
+    b.relation = relations_[i]->name();
+    for (const Selection& sel : selections_[i]) {
+      if (sel.op == CmpOp::kEq) {
+        b.bound_values[relations_[i]->schema().attribute(sel.attr_index)
+                           .name] = sel.literal;
+      }
+    }
+    bindings.push_back(std::move(b));
+  }
+  std::vector<SurrogateLink> links;
+  for (const EquiLink& link : equi_links_) {
+    links.push_back({link.var1,
+                     relations_[link.var1]->schema().attribute(link.attr1)
+                         .name,
+                     link.var2,
+                     relations_[link.var2]->schema().attribute(link.attr2)
+                         .name});
+  }
+  const IntegrityCatalog* catalog =
+      options_.enable_semantic ? integrity_ : nullptr;
+  SemanticAnalyzer analyzer(catalog);
+  TEMPUS_ASSIGN_OR_RETURN(SemanticAnalysis result,
+                          analyzer.Analyze(bindings, links, analyzed_preds_));
+  if (analysis_.contradiction) result.contradiction = true;
+  analysis_ = std::move(result);
+  if (!options_.eliminate_redundant_predicates) {
+    // Keep every predicate as essential.
+    analysis_.essential = analyzed_preds_;
+    analysis_.redundant.clear();
+  }
+  pending_essential_ = analysis_.essential;
+  essential_applied_.assign(pending_essential_.size(), false);
+  return Status::Ok();
+}
+
+Result<SubPlan> PlanBuilder::BuildBase(size_t var) const {
+  SubPlan plan;
+  const TemporalRelation* rel = relations_[var];
+  std::unique_ptr<TupleStream> stream = VectorStream::Scan(*rel);
+  plan.explain = "Scan " + rel->name() + StrFormat(" [%zu tuples]",
+                                                   rel->size());
+  // Known base order (if it matches one of the four canonical temporal
+  // orders).
+  if (rel->known_order().has_value() && rel->schema().has_lifespan()) {
+    for (const TemporalSortOrder& o : AllTemporalSortOrders()) {
+      Result<SortSpec> spec = o.ToSortSpec(rel->schema());
+      if (spec.ok() && spec.value().SatisfiedBy(*rel->known_order())) {
+        plan.order = o;
+        break;
+      }
+    }
+  }
+  if (!selections_[var].empty()) {
+    const std::vector<Selection>& sels = selections_[var];
+    std::vector<std::string> displays;
+    for (const Selection& s : sels) displays.push_back(s.display);
+    auto predicate = [sels](const Tuple& t) -> Result<bool> {
+      for (const Selection& s : sels) {
+        if (!EvaluateCmp(t[s.attr_index], s.op, s.literal)) return false;
+      }
+      return true;
+    };
+    stream = std::make_unique<FilterStream>(std::move(stream), predicate,
+                                            sels.size());
+    plan.explain =
+        "Select [" + Join(displays, " and ") + "]\n" + Indent(plan.explain);
+  }
+  plan.stream = std::move(stream);
+  plan.var_offsets[var] = 0;
+  return plan;
+}
+
+Result<SubPlan> PlanBuilder::EnsureOrder(SubPlan plan,
+                                         TemporalSortOrder order) const {
+  if (plan.order.has_value() && *plan.order == order) return plan;
+  TEMPUS_ASSIGN_OR_RETURN(SortSpec spec,
+                          order.ToSortSpec(plan.stream->schema()));
+  plan.stream = std::make_unique<SortStream>(std::move(plan.stream), spec);
+  plan.explain =
+      "Sort [" + order.ToString() + "]\n" + Indent(plan.explain);
+  plan.order = order;
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Deferred predicate compilation
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Evaluates a Deferred predicate against a composite tuple, given a
+/// resolver from (var, attribute index) to column position.
+struct DeferredEval {
+  const Deferred* deferred;
+  // Resolved positions.
+  size_t l_col = 0, r_col = 0;                 // Comparison columns.
+  bool lhs_is_column = false, rhs_is_column = false;
+  Value l_lit, r_lit;
+  CmpOp op = CmpOp::kEq;
+  // Atom lifespans.
+  bool is_atom = false;
+  size_t l_from = 0, l_to = 0, r_from = 0, r_to = 0;
+  AllenMask mask;
+
+  bool Evaluate(const Tuple& t) const {
+    if (is_atom) {
+      const Interval x(t[l_from].time_value(), t[l_to].time_value());
+      const Interval y(t[r_from].time_value(), t[r_to].time_value());
+      return mask.HoldsBetween(x, y);
+    }
+    const Value& a = lhs_is_column ? t[l_col] : l_lit;
+    const Value& b = rhs_is_column ? t[r_col] : r_lit;
+    return EvaluateCmp(a, op, b);
+  }
+};
+
+}  // namespace detail
+
+Result<SubPlan> PlanBuilder::ApplyPending(SubPlan plan) {
+  auto column_of = [this, &plan](size_t var, size_t attr) {
+    return plan.var_offsets.at(var) + attr;
+  };
+  auto covers = [&plan](const std::set<size_t>& vars) {
+    for (size_t v : vars) {
+      if (plan.var_offsets.count(v) == 0) return false;
+    }
+    return true;
+  };
+
+  std::vector<detail::DeferredEval> evals;
+  std::vector<std::string> displays;
+
+  // Deferred comparisons/atoms.
+  for (size_t i = 0; i < deferred_.size(); ++i) {
+    if (deferred_applied_[i] || !covers(deferred_[i].vars)) continue;
+    const Deferred& d = deferred_[i];
+    detail::DeferredEval e;
+    e.deferred = &d;
+    if (d.atom.has_value()) {
+      e.is_atom = true;
+      TEMPUS_ASSIGN_OR_RETURN(size_t lv, VarIndex(d.atom->left_var));
+      TEMPUS_ASSIGN_OR_RETURN(size_t rv, VarIndex(d.atom->right_var));
+      const Schema& ls = relations_[lv]->schema();
+      const Schema& rs = relations_[rv]->schema();
+      e.l_from = column_of(lv, ls.valid_from_index());
+      e.l_to = column_of(lv, ls.valid_to_index());
+      e.r_from = column_of(rv, rs.valid_from_index());
+      e.r_to = column_of(rv, rs.valid_to_index());
+      e.mask = d.atom->mask;
+    } else {
+      const Comparison& c = *d.comparison;
+      e.op = c.op;
+      e.lhs_is_column = c.lhs.is_column;
+      e.rhs_is_column = c.rhs.is_column;
+      if (c.lhs.is_column) {
+        TEMPUS_ASSIGN_OR_RETURN(size_t v, VarIndex(c.lhs.column.range_var));
+        TEMPUS_ASSIGN_OR_RETURN(size_t a,
+                                AttrIndex(v, c.lhs.column.attribute));
+        e.l_col = column_of(v, a);
+      } else {
+        e.l_lit = c.lhs.literal;
+      }
+      if (c.rhs.is_column) {
+        TEMPUS_ASSIGN_OR_RETURN(size_t v, VarIndex(c.rhs.column.range_var));
+        TEMPUS_ASSIGN_OR_RETURN(size_t a,
+                                AttrIndex(v, c.rhs.column.attribute));
+        e.r_col = column_of(v, a);
+      } else {
+        e.r_lit = c.rhs.literal;
+      }
+    }
+    evals.push_back(e);
+    displays.push_back(d.display);
+    deferred_applied_[i] = true;
+  }
+
+  // Pending essential temporal predicates (multi-var plans evaluate them
+  // explicitly; two-var stream plans mark them applied instead).
+  struct EssentialEval {
+    size_t l_col = 0, r_col = 0;
+    bool l_lit = false, r_lit = false;
+    TimePoint l_value = 0, r_value = 0;
+    PredOp op = PredOp::kLess;
+    bool Evaluate(const Tuple& t) const {
+      const TimePoint a = l_lit ? l_value : t[l_col].time_value();
+      const TimePoint b = r_lit ? r_value : t[r_col].time_value();
+      switch (op) {
+        case PredOp::kLess:
+          return a < b;
+        case PredOp::kLessEqual:
+          return a <= b;
+        case PredOp::kEqual:
+          return a == b;
+      }
+      return false;
+    }
+  };
+  std::vector<EssentialEval> essential_evals;
+  for (size_t i = 0; i < pending_essential_.size(); ++i) {
+    if (essential_applied_[i]) continue;
+    const TemporalPredicate& p = pending_essential_[i];
+    std::set<size_t> vars;
+    if (!p.lhs.is_literal) vars.insert(p.lhs.var);
+    if (!p.rhs.is_literal) vars.insert(p.rhs.var);
+    if (!covers(vars)) continue;
+    EssentialEval e;
+    e.op = p.op;
+    auto fill = [this, &column_of](const TemporalTerm& term, size_t* col,
+                                   bool* lit, TimePoint* value) {
+      if (term.is_literal) {
+        *lit = true;
+        *value = term.literal;
+        return;
+      }
+      const Schema& s = relations_[term.var]->schema();
+      const size_t attr = term.endpoint == EndpointKind::kStart
+                              ? s.valid_from_index()
+                              : s.valid_to_index();
+      *col = column_of(term.var, attr);
+    };
+    fill(p.lhs, &e.l_col, &e.l_lit, &e.l_value);
+    fill(p.rhs, &e.r_col, &e.r_lit, &e.r_value);
+    essential_evals.push_back(e);
+    displays.push_back(p.ToString(var_names_));
+    essential_applied_[i] = true;
+  }
+
+  // Equi links inside the composite that were not used by a hash join.
+  struct EquiEval {
+    size_t a, b;
+  };
+  std::vector<EquiEval> equi_evals;
+  for (size_t i = 0; i < equi_links_.size(); ++i) {
+    if (equi_applied_[i]) continue;
+    const EquiLink& link = equi_links_[i];
+    if (plan.var_offsets.count(link.var1) == 0 ||
+        plan.var_offsets.count(link.var2) == 0) {
+      continue;
+    }
+    equi_evals.push_back({column_of(link.var1, link.attr1),
+                          column_of(link.var2, link.attr2)});
+    displays.push_back(var_names_[link.var1] + "." +
+                       relations_[link.var1]->schema().attribute(link.attr1)
+                           .name +
+                       " = " + var_names_[link.var2] + "." +
+                       relations_[link.var2]->schema().attribute(link.attr2)
+                           .name);
+    equi_applied_[i] = true;
+  }
+
+  if (evals.empty() && essential_evals.empty() && equi_evals.empty()) {
+    return plan;
+  }
+  auto predicate = [evals, essential_evals,
+                    equi_evals](const Tuple& t) -> Result<bool> {
+    for (const auto& e : equi_evals) {
+      if (!t[e.a].Equals(t[e.b])) return false;
+    }
+    for (const auto& e : essential_evals) {
+      if (!e.Evaluate(t)) return false;
+    }
+    for (const auto& e : evals) {
+      if (!e.Evaluate(t)) return false;
+    }
+    return true;
+  };
+  const uint64_t atom_count = static_cast<uint64_t>(
+      evals.size() + essential_evals.size() + equi_evals.size());
+  plan.stream = std::make_unique<FilterStream>(std::move(plan.stream),
+                                               predicate, atom_count);
+  plan.explain =
+      "Filter [" + Join(displays, " and ") + "]\n" + Indent(plan.explain);
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Two-variable stream plans
+// ---------------------------------------------------------------------------
+
+Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
+                                              size_t lv, size_t rv) {
+  const AllenMask mask = analysis_.MaskBetween(lv, rv);
+  const Schema& lschema = relations_[lv]->schema();
+  const Schema& rschema = relations_[rv]->schema();
+  // Mark pair-only essential predicates as subsumed by the mask operator.
+  auto subsume_pair_predicates = [this, lv, rv]() {
+    for (size_t i = 0; i < pending_essential_.size(); ++i) {
+      const TemporalPredicate& p = pending_essential_[i];
+      if (p.lhs.is_literal || p.rhs.is_literal) continue;
+      const std::set<size_t> vars = {p.lhs.var, p.rhs.var};
+      if (vars == std::set<size_t>{lv, rv} ||
+          vars == std::set<size_t>{lv} || vars == std::set<size_t>{rv}) {
+        essential_applied_[i] = true;
+      }
+    }
+  };
+
+  // Semijoin opportunity: distinct output referencing only the left var,
+  // and no deferred predicates over the pair.
+  bool outputs_left_only = query_.distinct && !query_.outputs.empty();
+  for (const OutputItem& item : query_.outputs) {
+    Result<size_t> v = VarIndex(item.column.range_var);
+    if (!v.ok() || v.value() != lv) outputs_left_only = false;
+  }
+  bool has_deferred_pair = false;
+  for (size_t i = 0; i < deferred_.size(); ++i) {
+    if (!deferred_applied_[i]) has_deferred_pair = true;
+  }
+  // Any equi link between the pair disables the pure temporal-operator
+  // plan (the cascade handles it).
+  bool has_equi = false;
+  for (size_t i = 0; i < equi_links_.size(); ++i) {
+    if (!equi_applied_[i]) has_equi = true;
+  }
+
+  const TemporalSemijoinOptions semi_base{
+      kByValidFromAsc, kByValidToAsc, options_.verify_sorted_inputs, false};
+
+  if (outputs_left_only && !has_deferred_pair && !has_equi) {
+    // ----- semijoin plans; output schema = left schema -----
+    const bool self_pair =
+        relations_[lv] == relations_[rv] &&
+        [this, lv, rv] {
+          if (selections_[lv].size() != selections_[rv].size()) return false;
+          for (size_t i = 0; i < selections_[lv].size(); ++i) {
+            const Selection& a = selections_[lv][i];
+            const Selection& b = selections_[rv][i];
+            if (a.attr_index != b.attr_index || a.op != b.op ||
+                !a.literal.Equals(b.literal)) {
+              return false;
+            }
+          }
+          return true;
+        }();
+    if (self_pair && mask == AllenMask::Single(AllenRelation::kDuring)) {
+      // Section 4.2.3/5: single-scan self Contained-semijoin.
+      TEMPUS_ASSIGN_OR_RETURN(SubPlan sorted,
+                              EnsureOrder(std::move(left), kByValidFromAsc));
+      SelfSemijoinOptions options;
+      options.order = kByValidFromAsc;
+      options.verify_input_order = options_.verify_sorted_inputs;
+      TEMPUS_ASSIGN_OR_RETURN(
+          auto stream,
+          MakeSelfContainedSemijoin(std::move(sorted.stream), options));
+      subsume_pair_predicates();
+      SubPlan plan;
+      plan.stream = std::move(stream);
+      plan.var_offsets = sorted.var_offsets;
+      plan.order = kByValidFromAsc;
+      plan.explain = "Contained-semijoin(X,X) [single scan, 1 state tuple]\n" +
+                     Indent(sorted.explain);
+      return plan;
+    }
+    if (self_pair && mask == AllenMask::Single(AllenRelation::kContains)) {
+      TEMPUS_ASSIGN_OR_RETURN(SubPlan sorted,
+                              EnsureOrder(std::move(left), kByValidFromDesc));
+      SelfSemijoinOptions options;
+      options.order = kByValidFromDesc;
+      options.verify_input_order = options_.verify_sorted_inputs;
+      TEMPUS_ASSIGN_OR_RETURN(
+          auto stream,
+          MakeSelfContainSemijoin(std::move(sorted.stream), options));
+      subsume_pair_predicates();
+      SubPlan plan;
+      plan.stream = std::move(stream);
+      plan.var_offsets = sorted.var_offsets;
+      plan.order = kByValidFromDesc;
+      plan.explain = "Contain-semijoin(X,X) [single scan, 1 state tuple]\n" +
+                     Indent(sorted.explain);
+      return plan;
+    }
+    if (mask == AllenMask::Single(AllenRelation::kDuring)) {
+      TEMPUS_ASSIGN_OR_RETURN(SubPlan l,
+                              EnsureOrder(std::move(left), kByValidToAsc));
+      TEMPUS_ASSIGN_OR_RETURN(SubPlan r,
+                              EnsureOrder(std::move(right), kByValidFromAsc));
+      TemporalSemijoinOptions options = semi_base;
+      options.left_order = kByValidToAsc;
+      options.right_order = kByValidFromAsc;
+      TEMPUS_ASSIGN_OR_RETURN(
+          auto stream, MakeContainedSemijoin(std::move(l.stream),
+                                             std::move(r.stream), options));
+      subsume_pair_predicates();
+      SubPlan plan;
+      plan.stream = std::move(stream);
+      plan.var_offsets = l.var_offsets;
+      plan.order = kByValidToAsc;
+      plan.explain = "Contained-semijoin [two buffers]\n" +
+                     Indent(l.explain) + "\n" + Indent(r.explain);
+      return plan;
+    }
+    if (mask == AllenMask::Single(AllenRelation::kContains)) {
+      TEMPUS_ASSIGN_OR_RETURN(SubPlan l,
+                              EnsureOrder(std::move(left), kByValidFromAsc));
+      TEMPUS_ASSIGN_OR_RETURN(SubPlan r,
+                              EnsureOrder(std::move(right), kByValidToAsc));
+      TemporalSemijoinOptions options = semi_base;
+      options.left_order = kByValidFromAsc;
+      options.right_order = kByValidToAsc;
+      TEMPUS_ASSIGN_OR_RETURN(
+          auto stream, MakeContainSemijoin(std::move(l.stream),
+                                           std::move(r.stream), options));
+      subsume_pair_predicates();
+      SubPlan plan;
+      plan.stream = std::move(stream);
+      plan.var_offsets = l.var_offsets;
+      plan.order = kByValidFromAsc;
+      plan.explain = "Contain-semijoin [two buffers]\n" + Indent(l.explain) +
+                     "\n" + Indent(r.explain);
+      return plan;
+    }
+    if (mask == AllenMask::Intersecting()) {
+      TEMPUS_ASSIGN_OR_RETURN(SubPlan l,
+                              EnsureOrder(std::move(left), kByValidFromAsc));
+      TEMPUS_ASSIGN_OR_RETURN(SubPlan r,
+                              EnsureOrder(std::move(right), kByValidFromAsc));
+      OverlapSemijoinOptions options;
+      options.order = kByValidFromAsc;
+      options.verify_input_order = options_.verify_sorted_inputs;
+      TEMPUS_ASSIGN_OR_RETURN(
+          auto stream, OverlapSemijoin::Create(std::move(l.stream),
+                                               std::move(r.stream), options));
+      subsume_pair_predicates();
+      SubPlan plan;
+      plan.stream = std::move(stream);
+      plan.var_offsets = l.var_offsets;
+      plan.order = kByValidFromAsc;
+      plan.explain = "Overlap-semijoin [two buffers]\n" + Indent(l.explain) +
+                     "\n" + Indent(r.explain);
+      return plan;
+    }
+    if (mask == AllenMask::Single(AllenRelation::kBefore)) {
+      TEMPUS_ASSIGN_OR_RETURN(
+          auto stream,
+          BeforeSemijoin::Create(std::move(left.stream),
+                                 std::move(right.stream)));
+      subsume_pair_predicates();
+      SubPlan plan;
+      plan.stream = std::move(stream);
+      plan.var_offsets = left.var_offsets;
+      plan.order = left.order;
+      plan.explain = "Before-semijoin [order independent]\n" +
+                     Indent(left.explain) + "\n" + Indent(right.explain);
+      return plan;
+    }
+    // Generic semijoin fallback.
+    TEMPUS_ASSIGN_OR_RETURN(
+        PairPredicate pred,
+        MakeIntervalPairPredicate(lschema, rschema, mask));
+    auto stream = std::make_unique<NestedLoopSemijoin>(
+        std::move(left.stream), std::move(right.stream), std::move(pred));
+    subsume_pair_predicates();
+    SubPlan plan;
+    plan.var_offsets = left.var_offsets;
+    plan.order = left.order;
+    plan.stream = std::move(stream);
+    plan.explain = "Nested-loop semijoin [" + mask.ToString() + "]\n" +
+                   Indent(left.explain) + "\n" + Indent(right.explain);
+    return plan;
+  }
+
+  // ----- join plans -----
+  JoinNaming naming{var_names_[lv], var_names_[rv]};
+  const bool coexist_only = !mask.Contains(AllenRelation::kBefore) &&
+                            !mask.Contains(AllenRelation::kAfter) &&
+                            !has_equi;
+  if (coexist_only && !mask.IsEmpty()) {
+    if (mask == AllenMask::Single(AllenRelation::kContains)) {
+      // The two appropriate right-side orderings (Table 1 (a) vs (b))
+      // retain different state; pick by the analytic workspace estimate
+      // (Section 6's "estimating the amount of local workspace") unless
+      // the input is already sorted one way.
+      TemporalSortOrder right_order = kByValidFromAsc;
+      std::string order_note;
+      if (right.order.has_value() &&
+          (*right.order == kByValidFromAsc ||
+           *right.order == kByValidToAsc)) {
+        right_order = *right.order;  // Reuse the free interesting order.
+      } else {
+        Result<RelationStats> xs = relations_[lv]->ComputeStats();
+        Result<RelationStats> ys = relations_[rv]->ComputeStats();
+        if (xs.ok() && ys.ok()) {
+          const WorkspaceEstimate from_from =
+              EstimateContainJoinFromFrom(*xs, *ys);
+          const WorkspaceEstimate from_to =
+              EstimateContainJoinFromTo(*xs, *ys);
+          right_order = from_to.tuples < from_from.tuples ? kByValidToAsc
+                                                          : kByValidFromAsc;
+          order_note = StrFormat(
+              "cost model: ws(From^,From^)=%.1f vs ws(From^,To^)=%.1f",
+              from_from.tuples, from_to.tuples);
+        }
+      }
+      TEMPUS_ASSIGN_OR_RETURN(SubPlan l,
+                              EnsureOrder(std::move(left), kByValidFromAsc));
+      TEMPUS_ASSIGN_OR_RETURN(SubPlan r,
+                              EnsureOrder(std::move(right), right_order));
+      ContainJoinOptions options;
+      options.left_order = kByValidFromAsc;
+      options.right_order = right_order;
+      options.verify_input_order = options_.verify_sorted_inputs;
+      options.naming = naming;
+      if (!order_note.empty()) {
+        notes_ += order_note + "\n";
+      }
+      TEMPUS_ASSIGN_OR_RETURN(
+          auto stream,
+          ContainJoinStream::Create(std::move(l.stream), std::move(r.stream),
+                                    std::move(options)));
+      subsume_pair_predicates();
+      SubPlan plan;
+      plan.var_offsets[lv] = 0;
+      plan.var_offsets[rv] = lschema.attribute_count();
+      plan.stream = std::move(stream);
+      plan.explain = "Contain-join [sweep, (ValidFrom^, " +
+                     std::string(right_order == kByValidToAsc
+                                     ? "ValidTo^"
+                                     : "ValidFrom^") +
+                     ")]\n" + Indent(l.explain) + "\n" + Indent(r.explain);
+      return ApplyPending(std::move(plan));
+    }
+    TEMPUS_ASSIGN_OR_RETURN(SubPlan l,
+                            EnsureOrder(std::move(left), kByValidFromAsc));
+    TEMPUS_ASSIGN_OR_RETURN(SubPlan r,
+                            EnsureOrder(std::move(right), kByValidFromAsc));
+    AllenSweepJoinOptions options;
+    options.mask = mask;
+    options.left_order = kByValidFromAsc;
+    options.right_order = kByValidFromAsc;
+    options.verify_input_order = options_.verify_sorted_inputs;
+    options.naming = naming;
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream,
+        AllenSweepJoin::Create(std::move(l.stream), std::move(r.stream),
+                               std::move(options)));
+    subsume_pair_predicates();
+    SubPlan plan;
+    plan.var_offsets[lv] = 0;
+    plan.var_offsets[rv] = lschema.attribute_count();
+    plan.stream = std::move(stream);
+    plan.explain = "Allen-sweep join " + mask.ToString() + "\n" +
+                   Indent(l.explain) + "\n" + Indent(r.explain);
+    return ApplyPending(std::move(plan));
+  }
+  if (mask == AllenMask::Single(AllenRelation::kBefore) && !has_equi) {
+    BeforeJoinOptions options;
+    options.naming = naming;
+    options.verify_input_order = options_.verify_sorted_inputs;
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream,
+        BeforeJoinStream::Create(std::move(left.stream),
+                                 std::move(right.stream),
+                                 std::move(options)));
+    subsume_pair_predicates();
+    SubPlan plan;
+    plan.var_offsets[lv] = 0;
+    plan.var_offsets[rv] = lschema.attribute_count();
+    plan.stream = std::move(stream);
+    plan.explain = "Before-join [buffered inner, binary search]\n" +
+                   Indent(left.explain) + "\n" + Indent(right.explain);
+    return ApplyPending(std::move(plan));
+  }
+
+  // Fallback: hash join on equi links if any, else nested loop with the
+  // mask predicate.
+  std::vector<size_t> lkeys, rkeys;
+  for (size_t i = 0; i < equi_links_.size(); ++i) {
+    const EquiLink& link = equi_links_[i];
+    const bool forward = link.var1 == lv && link.var2 == rv;
+    const bool backward = link.var1 == rv && link.var2 == lv;
+    if (!forward && !backward) continue;
+    lkeys.push_back(forward ? link.attr1 : link.attr2);
+    rkeys.push_back(forward ? link.attr2 : link.attr1);
+    equi_applied_[i] = true;
+  }
+  TEMPUS_ASSIGN_OR_RETURN(PairPredicate mask_pred,
+                          MakeIntervalPairPredicate(lschema, rschema, mask));
+  SubPlan plan;
+  plan.var_offsets[lv] = 0;
+  plan.var_offsets[rv] = lschema.attribute_count();
+  if (!lkeys.empty() && options_.style != PlanStyle::kNaive) {
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream,
+        HashEquiJoin::Create(std::move(left.stream), std::move(right.stream),
+                             std::move(lkeys), std::move(rkeys),
+                             mask == AllenMask::All() ? nullptr
+                                                      : std::move(mask_pred),
+                             naming));
+    subsume_pair_predicates();
+    plan.stream = std::move(stream);
+    plan.explain = "Hash equi-join [+ mask " + mask.ToString() + "]\n" +
+                   Indent(left.explain) + "\n" + Indent(right.explain);
+    return ApplyPending(std::move(plan));
+  }
+  PairPredicate pred = std::move(mask_pred);
+  if (!lkeys.empty()) {
+    // Naive style: evaluate equality inside the nested loop.
+    PairPredicate inner = std::move(pred);
+    auto lk = lkeys;
+    auto rk = rkeys;
+    pred = [inner, lk, rk](const Tuple& l, const Tuple& r) -> Result<bool> {
+      for (size_t i = 0; i < lk.size(); ++i) {
+        if (!l[lk[i]].Equals(r[rk[i]])) return false;
+      }
+      return inner(l, r);
+    };
+  }
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto stream,
+      NestedLoopJoin::Create(std::move(left.stream), std::move(right.stream),
+                             std::move(pred), naming));
+  subsume_pair_predicates();
+  plan.stream = std::move(stream);
+  plan.explain = "Nested-loop join [" + mask.ToString() + "]\n" +
+                 Indent(left.explain) + "\n" + Indent(right.explain);
+  return ApplyPending(std::move(plan));
+}
+
+// ---------------------------------------------------------------------------
+// Superstar pattern (Section 5, Figure 8)
+// ---------------------------------------------------------------------------
+
+Result<std::optional<SubPlan>> PlanBuilder::TrySuperstar() {
+  if (var_names_.size() != 3 || !query_.distinct) return std::optional<SubPlan>();
+  if (options_.style != PlanStyle::kStream) return std::optional<SubPlan>();
+  // Identify (a, b, c): essential cross predicates exactly
+  //   c.TS < a.TE   and   b.TS < c.TE
+  // with an equi link a-b and a.TE <= b.TS implied (mask(a,b) within
+  // {before, meets}).
+  for (size_t c = 0; c < 3; ++c) {
+    const size_t a_candidates[2] = {(c + 1) % 3, (c + 2) % 3};
+    for (size_t ai = 0; ai < 2; ++ai) {
+      const size_t a = a_candidates[ai];
+      const size_t b = a_candidates[1 - ai];
+      // Check essential predicates referencing c.
+      size_t c_preds = 0;
+      bool found1 = false, found2 = false;
+      for (size_t i = 0; i < pending_essential_.size(); ++i) {
+        const TemporalPredicate& p = pending_essential_[i];
+        if (p.lhs.is_literal || p.rhs.is_literal) continue;
+        const bool touches_c = p.lhs.var == c || p.rhs.var == c;
+        if (!touches_c) continue;
+        ++c_preds;
+        if (p.op == PredOp::kLess && p.lhs.var == c &&
+            p.lhs.endpoint == EndpointKind::kStart && p.rhs.var == a &&
+            p.rhs.endpoint == EndpointKind::kEnd) {
+          found1 = true;
+        }
+        if (p.op == PredOp::kLess && p.lhs.var == b &&
+            p.lhs.endpoint == EndpointKind::kStart && p.rhs.var == c &&
+            p.rhs.endpoint == EndpointKind::kEnd) {
+          found2 = true;
+        }
+      }
+      if (!found1 || !found2 || c_preds != 2) continue;
+      // Output must not reference c.
+      bool output_clean = !query_.outputs.empty();
+      for (const OutputItem& item : query_.outputs) {
+        TEMPUS_ASSIGN_OR_RETURN(size_t v, VarIndex(item.column.range_var));
+        if (v == c) output_clean = false;
+      }
+      if (!output_clean) continue;
+      // a.TE <= b.TS implied?
+      const AllenMask ab = analysis_.MaskBetween(a, b);
+      AllenMask allowed({AllenRelation::kBefore, AllenRelation::kMeets});
+      if (ab.Intersect(allowed) != ab) continue;
+      // Equi link between a and b?
+      std::vector<size_t> lkeys, rkeys;
+      for (size_t i = 0; i < equi_links_.size(); ++i) {
+        const EquiLink& link = equi_links_[i];
+        const bool forward = link.var1 == a && link.var2 == b;
+        const bool backward = link.var1 == b && link.var2 == a;
+        if (!forward && !backward) continue;
+        lkeys.push_back(forward ? link.attr1 : link.attr2);
+        rkeys.push_back(forward ? link.attr2 : link.attr1);
+        equi_applied_[i] = true;
+      }
+      if (lkeys.empty()) continue;
+
+      // ---- Build plan C: equi-join, derived gap, Contained-semijoin ----
+      TEMPUS_ASSIGN_OR_RETURN(SubPlan pa, BuildBase(a));
+      TEMPUS_ASSIGN_OR_RETURN(SubPlan pb, BuildBase(b));
+      TEMPUS_ASSIGN_OR_RETURN(SubPlan pc, BuildBase(c));
+      JoinNaming naming{var_names_[a], var_names_[b]};
+      TEMPUS_ASSIGN_OR_RETURN(
+          auto joined,
+          HashEquiJoin::Create(std::move(pa.stream), std::move(pb.stream),
+                               std::move(lkeys), std::move(rkeys), nullptr,
+                               naming));
+      SubPlan ab_plan;
+      ab_plan.var_offsets[a] = 0;
+      ab_plan.var_offsets[b] = relations_[a]->schema().attribute_count();
+      ab_plan.stream = std::move(joined);
+      ab_plan.explain = "Hash equi-join\n" + Indent(pa.explain) + "\n" +
+                        Indent(pb.explain);
+      // Residual a-b temporal predicates (if chronology was off, the
+      // ordering predicate may still be essential).
+      TEMPUS_ASSIGN_OR_RETURN(ab_plan, ApplyPending(std::move(ab_plan)));
+
+      // Derived gap lifespan in doubled time coordinates:
+      // gap = [2*a.TE - 1, 2*b.TS + 1). Strict containment of the gap in
+      // the doubled c lifespan is exactly c.TS < a.TE and b.TS < c.TE, and
+      // the gap is a valid interval whenever a.TE <= b.TS.
+      const Schema& ab_schema = ab_plan.stream->schema();
+      std::vector<AttributeDef> gap_attrs = ab_schema.attributes();
+      gap_attrs.push_back({"__gap_from", ValueType::kTime});
+      gap_attrs.push_back({"__gap_to", ValueType::kTime});
+      TEMPUS_ASSIGN_OR_RETURN(
+          Schema gap_schema,
+          Schema::CreateTemporal(std::move(gap_attrs), "__gap_from",
+                                 "__gap_to"));
+      const size_t a_te = ab_plan.var_offsets[a] +
+                          relations_[a]->schema().valid_to_index();
+      const size_t b_ts = ab_plan.var_offsets[b] +
+                          relations_[b]->schema().valid_from_index();
+      auto transform = [a_te, b_ts](const Tuple& t) -> Result<Tuple> {
+        std::vector<Value> values = t.values();
+        values.push_back(Value::Time(2 * t[a_te].time_value() - 1));
+        values.push_back(Value::Time(2 * t[b_ts].time_value() + 1));
+        return Tuple(std::move(values));
+      };
+      auto gap_stream = std::make_unique<MapStream>(
+          std::move(ab_plan.stream), gap_schema, transform);
+      SubPlan gap_plan;
+      gap_plan.var_offsets = ab_plan.var_offsets;
+      gap_plan.stream = std::move(gap_stream);
+      gap_plan.explain =
+          "Derive gap lifespan [2*" + var_names_[a] + ".TE-1, 2*" +
+          var_names_[b] + ".TS+1)\n" + Indent(ab_plan.explain);
+      TEMPUS_ASSIGN_OR_RETURN(gap_plan,
+                              EnsureOrder(std::move(gap_plan),
+                                          kByValidToAsc));
+
+      // c side, doubled.
+      const Schema& c_schema = relations_[c]->schema();
+      const size_t c_ts = c_schema.valid_from_index();
+      const size_t c_te = c_schema.valid_to_index();
+      auto double_c = [c_ts, c_te](const Tuple& t) -> Result<Tuple> {
+        std::vector<Value> values = t.values();
+        values[c_ts] = Value::Time(2 * t[c_ts].time_value());
+        values[c_te] = Value::Time(2 * t[c_te].time_value());
+        return Tuple(std::move(values));
+      };
+      auto c_stream = std::make_unique<MapStream>(std::move(pc.stream),
+                                                  c_schema, double_c);
+      SubPlan c_plan;
+      c_plan.var_offsets[c] = 0;
+      c_plan.stream = std::move(c_stream);
+      c_plan.explain = "Double time coordinates\n" + Indent(pc.explain);
+      TEMPUS_ASSIGN_OR_RETURN(c_plan,
+                              EnsureOrder(std::move(c_plan),
+                                          kByValidFromAsc));
+
+      TemporalSemijoinOptions semi;
+      semi.left_order = kByValidToAsc;
+      semi.right_order = kByValidFromAsc;
+      semi.verify_input_order = options_.verify_sorted_inputs;
+      TEMPUS_ASSIGN_OR_RETURN(
+          auto semijoin,
+          MakeContainedSemijoin(std::move(gap_plan.stream),
+                                std::move(c_plan.stream), semi));
+      // Mark the two recognized predicates applied.
+      for (size_t i = 0; i < pending_essential_.size(); ++i) {
+        const TemporalPredicate& p = pending_essential_[i];
+        if (p.lhs.is_literal || p.rhs.is_literal) continue;
+        if (p.lhs.var == c || p.rhs.var == c) essential_applied_[i] = true;
+      }
+      SubPlan plan;
+      plan.var_offsets = gap_plan.var_offsets;
+      plan.stream = std::move(semijoin);
+      plan.explain =
+          "Contained-semijoin [recognized less-than join, Figure 8]\n" +
+          Indent(gap_plan.explain) + "\n" + Indent(c_plan.explain);
+      notes_ += "recognized Superstar pattern: less-than join -> "
+                "Contained-semijoin\n";
+      return std::optional<SubPlan>(std::move(plan));
+    }
+  }
+  return std::optional<SubPlan>();
+}
+
+// ---------------------------------------------------------------------------
+// Generic cascade
+// ---------------------------------------------------------------------------
+
+Result<SubPlan> PlanBuilder::PlanCascade() {
+  TEMPUS_ASSIGN_OR_RETURN(SubPlan part, BuildBase(0));
+  TEMPUS_ASSIGN_OR_RETURN(part, ApplyPending(std::move(part)));
+  for (size_t k = 1; k < var_names_.size(); ++k) {
+    TEMPUS_ASSIGN_OR_RETURN(SubPlan base, BuildBase(k));
+    JoinNaming naming;
+    if (part.var_offsets.size() == 1) {
+      naming.left_prefix = var_names_[part.var_offsets.begin()->first];
+    }
+    naming.right_prefix = var_names_[k];
+    // Hash join when an equi link connects the parts (unless naive).
+    std::vector<size_t> lkeys, rkeys;
+    if (options_.style != PlanStyle::kNaive) {
+      for (size_t i = 0; i < equi_links_.size(); ++i) {
+        if (equi_applied_[i]) continue;
+        const EquiLink& link = equi_links_[i];
+        const bool forward =
+            part.var_offsets.count(link.var1) > 0 && link.var2 == k;
+        const bool backward =
+            part.var_offsets.count(link.var2) > 0 && link.var1 == k;
+        if (!forward && !backward) continue;
+        if (forward) {
+          lkeys.push_back(part.var_offsets.at(link.var1) + link.attr1);
+          rkeys.push_back(link.attr2);
+        } else {
+          lkeys.push_back(part.var_offsets.at(link.var2) + link.attr2);
+          rkeys.push_back(link.attr1);
+        }
+        equi_applied_[i] = true;
+      }
+    }
+    const size_t left_width = part.stream->schema().attribute_count();
+    SubPlan next;
+    next.var_offsets = part.var_offsets;
+    next.var_offsets[k] = left_width;
+    if (!lkeys.empty()) {
+      TEMPUS_ASSIGN_OR_RETURN(
+          auto stream,
+          HashEquiJoin::Create(std::move(part.stream), std::move(base.stream),
+                               std::move(lkeys), std::move(rkeys), nullptr,
+                               naming));
+      next.stream = std::move(stream);
+      next.explain = "Hash equi-join\n" + Indent(part.explain) + "\n" +
+                     Indent(base.explain);
+    } else {
+      TEMPUS_ASSIGN_OR_RETURN(
+          auto stream,
+          NestedLoopJoin::Create(std::move(part.stream),
+                                 std::move(base.stream), nullptr, naming));
+      next.stream = std::move(stream);
+      next.explain = "Nested-loop product\n" + Indent(part.explain) + "\n" +
+                     Indent(base.explain);
+    }
+    TEMPUS_ASSIGN_OR_RETURN(part, ApplyPending(std::move(next)));
+  }
+  return part;
+}
+
+// ---------------------------------------------------------------------------
+// Finalization: projection, dedup
+// ---------------------------------------------------------------------------
+
+Result<SubPlan> PlanBuilder::Finalize(SubPlan plan) {
+  // Safety net: everything must have been applied.
+  TEMPUS_ASSIGN_OR_RETURN(plan, ApplyPending(std::move(plan)));
+  for (size_t i = 0; i < deferred_applied_.size(); ++i) {
+    if (!deferred_applied_[i]) {
+      return Status::Internal("unapplied predicate: " +
+                              deferred_[i].display);
+    }
+  }
+  for (size_t i = 0; i < essential_applied_.size(); ++i) {
+    if (!essential_applied_[i]) {
+      return Status::Internal("unapplied temporal predicate: " +
+                              pending_essential_[i].ToString(var_names_));
+    }
+  }
+
+  if (!query_.outputs.empty()) {
+    std::vector<size_t> indices;
+    std::vector<std::string> names;
+    for (const OutputItem& item : query_.outputs) {
+      TEMPUS_ASSIGN_OR_RETURN(size_t v, VarIndex(item.column.range_var));
+      TEMPUS_ASSIGN_OR_RETURN(size_t a,
+                              AttrIndex(v, item.column.attribute));
+      if (plan.var_offsets.count(v) == 0) {
+        return Status::Internal("output variable not in plan: " +
+                                item.column.ToString());
+      }
+      indices.push_back(plan.var_offsets.at(v) + a);
+      names.push_back(item.alias.empty() ? item.column.ToString()
+                                         : item.alias);
+    }
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto project,
+        ProjectStream::Create(std::move(plan.stream), indices));
+    // Rename to aliases (or qualified names) via a schema substitution.
+    const Schema& proj_schema = project->schema();
+    std::vector<AttributeDef> attrs;
+    for (size_t i = 0; i < proj_schema.attribute_count(); ++i) {
+      attrs.push_back({names[i], proj_schema.attribute(i).type});
+    }
+    Result<Schema> renamed = Schema::Create(attrs);
+    if (renamed.ok()) {
+      Schema target = std::move(renamed).value();
+      if (proj_schema.has_lifespan()) {
+        // Preserve lifespan designation positionally.
+        (void)target.SetLifespan(
+            attrs[proj_schema.valid_from_index()].name,
+            attrs[proj_schema.valid_to_index()].name);
+      }
+      auto identity = [](const Tuple& t) -> Result<Tuple> { return t; };
+      plan.stream = std::make_unique<MapStream>(std::move(project), target,
+                                                identity);
+    } else {
+      plan.stream = std::move(project);
+    }
+    plan.explain = "Project [" + Join(names, ", ") + "]\n" +
+                   Indent(plan.explain);
+    plan.var_offsets.clear();
+  }
+  if (query_.distinct) {
+    plan.stream = std::make_unique<DedupStream>(std::move(plan.stream));
+    plan.explain = "Dedup\n" + Indent(plan.explain);
+  }
+  if (!query_.order_by.empty()) {
+    std::vector<SortKey> keys;
+    std::vector<std::string> displays;
+    for (const OrderByItem& item : query_.order_by) {
+      size_t column = kNoAttribute;
+      if (!query_.outputs.empty()) {
+        for (size_t i = 0; i < query_.outputs.size(); ++i) {
+          const OutputItem& out_item = query_.outputs[i];
+          if (out_item.column.range_var == item.column.range_var &&
+              out_item.column.attribute == item.column.attribute) {
+            column = i;
+            break;
+          }
+        }
+        if (column == kNoAttribute) {
+          return Status::InvalidArgument(
+              "order by column must appear in the target list: " +
+              item.column.ToString());
+        }
+      } else {
+        TEMPUS_ASSIGN_OR_RETURN(size_t v, VarIndex(item.column.range_var));
+        TEMPUS_ASSIGN_OR_RETURN(size_t a,
+                                AttrIndex(v, item.column.attribute));
+        if (plan.var_offsets.count(v) == 0) {
+          return Status::Internal("order by variable not in plan");
+        }
+        column = plan.var_offsets.at(v) + a;
+      }
+      keys.push_back({column, item.ascending ? SortDirection::kAscending
+                                             : SortDirection::kDescending});
+      displays.push_back(item.column.ToString() +
+                         (item.ascending ? "" : " desc"));
+    }
+    plan.stream = std::make_unique<SortStream>(std::move(plan.stream),
+                                               SortSpec(std::move(keys)));
+    plan.explain =
+        "OrderBy [" + Join(displays, ", ") + "]\n" + Indent(plan.explain);
+  }
+  return plan;
+}
+
+Result<PlannedQuery> PlanBuilder::Build() {
+  TEMPUS_RETURN_IF_ERROR(Resolve());
+  TEMPUS_RETURN_IF_ERROR(Classify());
+  TEMPUS_RETURN_IF_ERROR(Analyze());
+
+  PlannedQuery out;
+  out.into = query_.into;
+
+  if (analysis_.contradiction) {
+    // Empty result with the correct schema: take the cascade's schema
+    // shape cheaply by projecting an empty stream; simplest is an owning
+    // empty VectorStream over the concatenated prefixed schema.
+    Schema schema;
+    for (size_t i = 0; i < var_names_.size(); ++i) {
+      if (i == 0) {
+        Result<Schema> first =
+            var_names_.size() == 1
+                ? Result<Schema>(relations_[0]->schema())
+                : Schema::Concat(relations_[0]->schema(), Schema(),
+                                 var_names_[0], "");
+        schema = std::move(first).value();
+      } else {
+        TEMPUS_ASSIGN_OR_RETURN(
+            schema, Schema::Concat(schema, relations_[i]->schema(), "",
+                                   var_names_[i]));
+      }
+    }
+    out.root = VectorStream::Owning(schema, {});
+    out.explain =
+        "Empty [semantic contradiction: query predicates are "
+        "unsatisfiable]";
+    out.analysis = std::move(analysis_);
+    return out;
+  }
+
+  SubPlan plan;
+  bool planned = false;
+  if (options_.style == PlanStyle::kStream && var_names_.size() == 2) {
+    TEMPUS_ASSIGN_OR_RETURN(SubPlan left, BuildBase(0));
+    TEMPUS_ASSIGN_OR_RETURN(SubPlan right, BuildBase(1));
+    TEMPUS_ASSIGN_OR_RETURN(
+        plan, PlanTwoVarStream(std::move(left), std::move(right), 0, 1));
+    planned = true;
+  } else if (var_names_.size() >= 3) {
+    TEMPUS_ASSIGN_OR_RETURN(std::optional<SubPlan> superstar,
+                            TrySuperstar());
+    if (superstar.has_value()) {
+      plan = std::move(*superstar);
+      planned = true;
+    }
+  }
+  if (!planned) {
+    TEMPUS_ASSIGN_OR_RETURN(plan, PlanCascade());
+  }
+  TEMPUS_ASSIGN_OR_RETURN(plan, Finalize(std::move(plan)));
+
+  out.root = std::move(plan.stream);
+  std::string header;
+  if (!analysis_.injected.empty()) {
+    header += "-- integrity constraints used: " +
+              Join(analysis_.injected, "; ") + "\n";
+  }
+  if (!analysis_.redundant.empty()) {
+    std::vector<std::string> reds;
+    for (const TemporalPredicate& p : analysis_.redundant) {
+      reds.push_back(p.ToString(var_names_));
+    }
+    header += "-- redundant predicates eliminated: " + Join(reds, "; ") +
+              "\n";
+  }
+  if (!notes_.empty()) header += "-- " + notes_;
+  out.explain = header + plan.explain;
+  out.analysis = std::move(analysis_);
+  return out;
+}
+
+}  // namespace
+
+Result<TemporalRelation> PlannedQuery::Execute() {
+  return Materialize(root.get(), into);
+}
+
+Result<PlannedQuery> Planner::Plan(const ConjunctiveQuery& query,
+                                   const PlannerOptions& options) const {
+  PlanBuilder builder(catalog_, integrity_, query, options);
+  return builder.Build();
+}
+
+}  // namespace tempus

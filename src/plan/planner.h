@@ -1,0 +1,77 @@
+#ifndef TEMPUS_PLAN_PLANNER_H_
+#define TEMPUS_PLAN_PLANNER_H_
+
+#include <memory>
+#include <string>
+
+#include "relation/catalog.h"
+#include "plan/query.h"
+#include "semantic/analyzer.h"
+#include "semantic/integrity.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+/// How aggressively the planner uses the paper's machinery; the benchmark
+/// harness sweeps these to reproduce the conventional-vs-stream-vs-semantic
+/// comparisons of Sections 3 and 5.
+enum class PlanStyle {
+  /// Stream temporal operators + semijoin recognition (Sections 4 and 5).
+  kStream,
+  /// "Conventionally optimized" (Figure 3(b)): selections pushed, hash
+  /// join for equi-predicates, nested loop for inequality joins.
+  kConventional,
+  /// Nested-loop everything (no hash joins).
+  kNaive,
+};
+
+struct PlannerOptions {
+  PlanStyle style = PlanStyle::kStream;
+  /// Inject integrity-catalog knowledge (chronological orderings) into the
+  /// analysis — the Section 5 semantic optimization. Without it the
+  /// analyzer still knows the intra-tuple constraints.
+  bool enable_semantic = true;
+  /// Drop query predicates implied by the rest of the constraint system.
+  bool eliminate_redundant_predicates = true;
+  /// Stream operators verify their inputs' promised sort orders at run
+  /// time (small per-tuple cost; invaluable during development).
+  bool verify_sorted_inputs = true;
+};
+
+/// An executable plan: a stream-processor network plus diagnostics.
+struct PlannedQuery {
+  std::unique_ptr<TupleStream> root;
+  std::string explain;
+  SemanticAnalysis analysis;
+  std::string into;
+
+  /// Runs the plan to completion, materializing the result relation.
+  Result<TemporalRelation> Execute();
+};
+
+/// Rule-based planner for conjunctive temporal queries. Capabilities:
+///   - selections pushed below joins; contradiction => constant-empty plan
+///   - two-variable queries: the pairwise Allen mask chooses among the
+///     stream operators (sweep join, Contain-join, containment semijoins,
+///     overlap semijoin, before join/semijoin, single-scan self-semijoins)
+///     with sort enforcers inserted as needed
+///   - the Superstar pattern (Section 5): equi-linked chronologically
+///     ordered pair + interval variable => derived-gap Contained-semijoin
+///   - general fallback: left-deep hash/nested-loop cascade
+class Planner {
+ public:
+  /// Neither pointer is owned; `integrity` may be null.
+  Planner(const Catalog* catalog, const IntegrityCatalog* integrity)
+      : catalog_(catalog), integrity_(integrity) {}
+
+  Result<PlannedQuery> Plan(const ConjunctiveQuery& query,
+                            const PlannerOptions& options = {}) const;
+
+ private:
+  const Catalog* catalog_;
+  const IntegrityCatalog* integrity_;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_PLAN_PLANNER_H_

@@ -1,0 +1,84 @@
+#include "plan/query.h"
+
+#include "common/string_util.h"
+
+namespace tempus {
+
+std::string_view CmpOpSymbol(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvaluateCmp(const Value& a, CmpOp op, const Value& b) {
+  const int c = a.Compare(b);
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+std::string Comparison::ToString() const {
+  return lhs.ToString() + " " + std::string(CmpOpSymbol(op)) + " " +
+         rhs.ToString();
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out;
+  for (const RangeVarDecl& rv : range_vars) {
+    out += "range of " + rv.name + " is " + rv.relation + "\n";
+  }
+  out += "retrieve ";
+  if (distinct) out += "unique ";
+  out += "into " + into + " (";
+  if (outputs.empty()) {
+    out += "*";
+  } else {
+    std::vector<std::string> items;
+    for (const OutputItem& item : outputs) {
+      items.push_back(item.alias.empty()
+                          ? item.column.ToString()
+                          : item.column.ToString() + " as " + item.alias);
+    }
+    out += Join(items, ", ");
+  }
+  out += ")\nwhere ";
+  std::vector<std::string> preds;
+  for (const Comparison& c : comparisons) preds.push_back(c.ToString());
+  for (const TemporalAtom& a : temporal_atoms) preds.push_back(a.ToString());
+  out += preds.empty() ? "true" : Join(preds, " and ");
+  if (!order_by.empty()) {
+    std::vector<std::string> keys;
+    for (const OrderByItem& item : order_by) {
+      keys.push_back(item.column.ToString() +
+                     (item.ascending ? "" : " desc"));
+    }
+    out += "\norder by " + Join(keys, ", ");
+  }
+  return out;
+}
+
+}  // namespace tempus

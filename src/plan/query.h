@@ -1,0 +1,109 @@
+#ifndef TEMPUS_PLAN_QUERY_H_
+#define TEMPUS_PLAN_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "allen/interval_algebra.h"
+#include "relation/value.h"
+
+namespace tempus {
+
+/// A reference to one range variable's attribute, e.g. f1.Name.
+struct ColumnRef {
+  std::string range_var;
+  std::string attribute;
+
+  std::string ToString() const { return range_var + "." + attribute; }
+};
+
+/// A scalar term: a column reference or a literal value.
+struct ScalarTerm {
+  bool is_column = true;
+  ColumnRef column;
+  Value literal;
+
+  static ScalarTerm Column(std::string range_var, std::string attribute) {
+    ScalarTerm t;
+    t.column = {std::move(range_var), std::move(attribute)};
+    return t;
+  }
+  static ScalarTerm Lit(Value v) {
+    ScalarTerm t;
+    t.is_column = false;
+    t.literal = std::move(v);
+    return t;
+  }
+  std::string ToString() const {
+    return is_column ? column.ToString() : literal.ToString();
+  }
+};
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CmpOpSymbol(CmpOp op);
+
+/// Evaluates `a op b` under Value::Compare's total order.
+bool EvaluateCmp(const Value& a, CmpOp op, const Value& b);
+
+/// An atomic scalar comparison in the WHERE conjunction.
+struct Comparison {
+  ScalarTerm lhs;
+  CmpOp op = CmpOp::kEq;
+  ScalarTerm rhs;
+
+  std::string ToString() const;
+};
+
+/// A binary temporal operator application, e.g. "f1 overlap f3" or
+/// "f2 during f1": the pair's lifespans must stand in one of the mask's
+/// Allen relations.
+struct TemporalAtom {
+  std::string left_var;
+  std::string right_var;
+  AllenMask mask;
+  /// Surface syntax name, kept for EXPLAIN ("overlap", "during", ...).
+  std::string op_name;
+
+  std::string ToString() const {
+    return left_var + " " + op_name + " " + right_var;
+  }
+};
+
+/// One item of the target list; empty alias = derive from the column.
+struct OutputItem {
+  ColumnRef column;
+  std::string alias;
+};
+
+/// One key of the optional result ordering ("order by f1.ValidFrom desc").
+struct OrderByItem {
+  ColumnRef column;
+  bool ascending = true;
+};
+
+struct RangeVarDecl {
+  std::string name;
+  std::string relation;
+};
+
+/// A conjunctive temporal query — the common shape of the paper's
+/// examples: range declarations, a conjunction of comparisons and
+/// temporal atoms, and a target list.
+struct ConjunctiveQuery {
+  std::vector<RangeVarDecl> range_vars;
+  /// Empty = every attribute of every range variable.
+  std::vector<OutputItem> outputs;
+  /// True = set semantics ("retrieve unique ..."); enables semijoin plans.
+  bool distinct = false;
+  std::string into = "Result";
+  std::vector<Comparison> comparisons;
+  std::vector<TemporalAtom> temporal_atoms;
+  std::vector<OrderByItem> order_by;
+
+  std::string ToString() const;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_PLAN_QUERY_H_

@@ -1,0 +1,122 @@
+#include "relation/bitemporal.h"
+
+namespace tempus {
+
+BitemporalTable::BitemporalTable(std::string name, Schema valid_schema,
+                                 Schema history_schema)
+    : name_(std::move(name)),
+      valid_schema_(std::move(valid_schema)),
+      history_schema_(std::move(history_schema)) {}
+
+Result<BitemporalTable> BitemporalTable::Create(std::string name,
+                                                Schema valid_schema) {
+  if (!valid_schema.has_lifespan()) {
+    return Status::FailedPrecondition(
+        "bitemporal table requires a valid-time lifespan in the schema");
+  }
+  if (valid_schema.IndexOf("TxStart") != kNoAttribute ||
+      valid_schema.IndexOf("TxEnd") != kNoAttribute) {
+    return Status::InvalidArgument(
+        "schema already contains TxStart/TxEnd attributes");
+  }
+  std::vector<AttributeDef> attrs = valid_schema.attributes();
+  attrs.push_back({"TxStart", ValueType::kTime});
+  attrs.push_back({"TxEnd", ValueType::kTime});
+  TEMPUS_ASSIGN_OR_RETURN(Schema history_schema,
+                          Schema::Create(std::move(attrs)));
+  TEMPUS_RETURN_IF_ERROR(history_schema.SetLifespan(
+      valid_schema.attribute(valid_schema.valid_from_index()).name,
+      valid_schema.attribute(valid_schema.valid_to_index()).name));
+  return BitemporalTable(std::move(name), std::move(valid_schema),
+                         std::move(history_schema));
+}
+
+Status BitemporalTable::CheckTransaction(TimePoint tx) const {
+  if (tx < last_tx_) {
+    return Status::FailedPrecondition(
+        "transaction times must be non-decreasing");
+  }
+  return Status::Ok();
+}
+
+Status BitemporalTable::Insert(Tuple valid_tuple, TimePoint tx) {
+  TEMPUS_RETURN_IF_ERROR(CheckTransaction(tx));
+  // Validate against the valid schema by round-tripping through a scratch
+  // relation (arity, types, intra-tuple constraint).
+  TemporalRelation scratch(name_, valid_schema_);
+  TEMPUS_RETURN_IF_ERROR(scratch.Append(valid_tuple));
+  rows_.push_back({std::move(valid_tuple), tx, kUntilChanged});
+  last_tx_ = tx;
+  return Status::Ok();
+}
+
+Result<size_t> BitemporalTable::Delete(
+    const std::function<Result<bool>(const Tuple&)>& predicate,
+    TimePoint tx) {
+  TEMPUS_RETURN_IF_ERROR(CheckTransaction(tx));
+  size_t closed = 0;
+  for (VersionedRow& row : rows_) {
+    if (row.tx_end != kUntilChanged) continue;
+    TEMPUS_ASSIGN_OR_RETURN(bool matches, predicate(row.valid_tuple));
+    if (matches) {
+      row.tx_end = tx;
+      ++closed;
+    }
+  }
+  if (closed > 0) last_tx_ = tx;
+  return closed;
+}
+
+Result<size_t> BitemporalTable::Update(
+    const std::function<Result<bool>(const Tuple&)>& predicate,
+    const std::function<Result<Tuple>(const Tuple&)>& replacement,
+    TimePoint tx) {
+  TEMPUS_RETURN_IF_ERROR(CheckTransaction(tx));
+  std::vector<Tuple> replacements;
+  for (VersionedRow& row : rows_) {
+    if (row.tx_end != kUntilChanged) continue;
+    TEMPUS_ASSIGN_OR_RETURN(bool matches, predicate(row.valid_tuple));
+    if (!matches) continue;
+    TEMPUS_ASSIGN_OR_RETURN(Tuple next, replacement(row.valid_tuple));
+    row.tx_end = tx;
+    replacements.push_back(std::move(next));
+  }
+  for (Tuple& t : replacements) {
+    TEMPUS_RETURN_IF_ERROR(Insert(std::move(t), tx));
+  }
+  return replacements.size();
+}
+
+Result<TemporalRelation> BitemporalTable::AsOfTransaction(
+    TimePoint tx) const {
+  TemporalRelation out(name_, valid_schema_);
+  for (const VersionedRow& row : rows_) {
+    if (row.tx_start <= tx && tx < row.tx_end) {
+      TEMPUS_RETURN_IF_ERROR(out.Append(row.valid_tuple));
+    }
+  }
+  return out;
+}
+
+Result<TemporalRelation> BitemporalTable::Current() const {
+  TemporalRelation out(name_, valid_schema_);
+  for (const VersionedRow& row : rows_) {
+    if (row.tx_end == kUntilChanged) {
+      TEMPUS_RETURN_IF_ERROR(out.Append(row.valid_tuple));
+    }
+  }
+  return out;
+}
+
+Result<TemporalRelation> BitemporalTable::History() const {
+  TemporalRelation out(name_ + "_history", history_schema_);
+  for (const VersionedRow& row : rows_) {
+    std::vector<Value> values = row.valid_tuple.values();
+    values.push_back(Value::Time(row.tx_start));
+    values.push_back(Value::Time(row.tx_end));
+    TEMPUS_RETURN_IF_ERROR(out.Append(Tuple(std::move(values))));
+  }
+  return out;
+}
+
+}  // namespace tempus

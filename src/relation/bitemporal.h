@@ -1,0 +1,91 @@
+#ifndef TEMPUS_RELATION_BITEMPORAL_H_
+#define TEMPUS_RELATION_BITEMPORAL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/temporal_relation.h"
+
+namespace tempus {
+
+/// Bitemporal storage: valid time plus transaction time — the paper's
+/// Section 6 extension ("in the TQuel data model, two other temporal
+/// attributes (TransactionStart and TransactionStop) can be augmented to
+/// relational tables to capture the 'rollback' capability").
+///
+/// Every stored row carries the user-visible valid-time tuple plus a
+/// transaction period [TxStart, TxEnd): the span of transaction times
+/// during which the row was part of the believed state. Rows are never
+/// physically removed; a logical delete closes the transaction period.
+/// AsOfTransaction(t) reconstructs the valid-time relation exactly as it
+/// was known at transaction time t, ready for the stream operators.
+class BitemporalTable {
+ public:
+  /// Transaction end marking "still current".
+  static constexpr TimePoint kUntilChanged = kMaxTime;
+
+  /// `valid_schema` must designate a valid-time lifespan and must not
+  /// already contain TxStart/TxEnd attributes.
+  static Result<BitemporalTable> Create(std::string name,
+                                        Schema valid_schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& valid_schema() const { return valid_schema_; }
+
+  /// Total stored versions (including logically deleted ones).
+  size_t version_count() const { return rows_.size(); }
+
+  /// Last transaction time applied.
+  TimePoint last_transaction() const { return last_tx_; }
+
+  /// Records `valid_tuple` (validated against valid_schema) as inserted
+  /// by transaction `tx`. Transaction times must be non-decreasing.
+  Status Insert(Tuple valid_tuple, TimePoint tx);
+
+  /// Logically deletes every CURRENT row matching `predicate`, stamping
+  /// TxEnd = tx. Returns the number of rows closed.
+  Result<size_t> Delete(
+      const std::function<Result<bool>(const Tuple&)>& predicate,
+      TimePoint tx);
+
+  /// Updates current rows matching `predicate`: closes them at `tx` and
+  /// inserts `replacement(old)` as of `tx`. Returns rows updated.
+  Result<size_t> Update(
+      const std::function<Result<bool>(const Tuple&)>& predicate,
+      const std::function<Result<Tuple>(const Tuple&)>& replacement,
+      TimePoint tx);
+
+  /// The valid-time relation as known at transaction time `tx`
+  /// (TxStart <= tx < TxEnd) — the rollback query.
+  Result<TemporalRelation> AsOfTransaction(TimePoint tx) const;
+
+  /// The currently believed valid-time relation (TxEnd = kUntilChanged).
+  Result<TemporalRelation> Current() const;
+
+  /// The complete bitemporal history as a relation with the valid schema
+  /// plus TxStart/TxEnd columns (valid lifespan stays designated).
+  Result<TemporalRelation> History() const;
+
+ private:
+  struct VersionedRow {
+    Tuple valid_tuple;
+    TimePoint tx_start;
+    TimePoint tx_end;
+  };
+
+  BitemporalTable(std::string name, Schema valid_schema, Schema history_schema);
+
+  Status CheckTransaction(TimePoint tx) const;
+
+  std::string name_;
+  Schema valid_schema_;
+  Schema history_schema_;
+  std::vector<VersionedRow> rows_;
+  TimePoint last_tx_ = kMinTime;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_RELATION_BITEMPORAL_H_

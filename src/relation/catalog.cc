@@ -1,0 +1,39 @@
+#include "relation/catalog.h"
+
+namespace tempus {
+
+Status Catalog::Register(TemporalRelation relation) {
+  const std::string name = relation.name();
+  if (relations_.count(name) > 0) {
+    return Status::AlreadyExists("relation already registered: " + name);
+  }
+  relations_.emplace(name, std::move(relation));
+  return Status::Ok();
+}
+
+void Catalog::RegisterOrReplace(TemporalRelation relation) {
+  const std::string name = relation.name();
+  relations_.insert_or_assign(name, std::move(relation));
+}
+
+Result<const TemporalRelation*> Catalog::Lookup(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("unknown relation: " + name);
+  }
+  return &it->second;
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+}  // namespace tempus

@@ -1,0 +1,35 @@
+#ifndef TEMPUS_RELATION_CATALOG_H_
+#define TEMPUS_RELATION_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/temporal_relation.h"
+
+namespace tempus {
+
+/// A named collection of in-memory relations — what query range variables
+/// resolve against ("range of f1 is Faculty").
+class Catalog {
+ public:
+  /// Registers `relation` under its name; fails on duplicates.
+  Status Register(TemporalRelation relation);
+
+  /// Registers or replaces.
+  void RegisterOrReplace(TemporalRelation relation);
+
+  Result<const TemporalRelation*> Lookup(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, TemporalRelation> relations_;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_RELATION_CATALOG_H_

@@ -1,0 +1,226 @@
+#include "relation/csv.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/string_util.h"
+
+namespace tempus {
+namespace {
+
+/// Quotes a string cell ("" escaping).
+std::string QuoteCell(const std::string& raw) {
+  std::string out = "\"";
+  for (char c : raw) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// One parsed CSV cell: its text plus whether it was quoted (a quoted
+/// NULL is the string "NULL"; an unquoted NULL is a null value).
+struct CsvCell {
+  std::string text;
+  bool quoted = false;
+};
+
+/// Splits one CSV line honoring quotes. Returns an error on unbalanced
+/// quoting.
+Result<std::vector<CsvCell>> SplitCsvLine(const std::string& line,
+                                          size_t line_number) {
+  std::vector<CsvCell> cells;
+  CsvCell cell;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell.text += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.text += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      cell.quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell = CsvCell();
+    } else {
+      cell.text += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument(
+        StrFormat("unterminated quote on line %zu", line_number));
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+Result<ValueType> ParseType(const std::string& token, size_t line) {
+  if (token == "INT64") return ValueType::kInt64;
+  if (token == "DOUBLE") return ValueType::kDouble;
+  if (token == "STRING") return ValueType::kString;
+  if (token == "TIME") return ValueType::kTime;
+  return Status::InvalidArgument(
+      StrFormat("unknown type '%s' in CSV header (line %zu)",
+                token.c_str(), line));
+}
+
+}  // namespace
+
+Status WriteCsv(const TemporalRelation& relation, std::ostream* out) {
+  const Schema& schema = relation.schema();
+  std::vector<std::string> header;
+  for (size_t i = 0; i < schema.attribute_count(); ++i) {
+    std::string cell = schema.attribute(i).name + ":" +
+                       std::string(ValueTypeName(schema.attribute(i).type));
+    if (schema.has_lifespan()) {
+      if (i == schema.valid_from_index()) cell += "[TS]";
+      if (i == schema.valid_to_index()) cell += "[TE]";
+    }
+    header.push_back(std::move(cell));
+  }
+  *out << Join(header, ",") << "\n";
+  for (const Tuple& t : relation.tuples()) {
+    std::vector<std::string> cells;
+    for (size_t i = 0; i < t.size(); ++i) {
+      const Value& v = t[i];
+      switch (v.kind()) {
+        case Value::Kind::kNull:
+          cells.push_back("NULL");
+          break;
+        case Value::Kind::kInt:
+          cells.push_back(
+              StrFormat("%lld", static_cast<long long>(v.int_value())));
+          break;
+        case Value::Kind::kDouble:
+          cells.push_back(StrFormat("%.17g", v.double_value()));
+          break;
+        case Value::Kind::kString:
+          cells.push_back(QuoteCell(v.string_value()));
+          break;
+      }
+    }
+    *out << Join(cells, ",") << "\n";
+  }
+  if (!out->good()) {
+    return Status::Internal("CSV write failed");
+  }
+  return Status::Ok();
+}
+
+Result<TemporalRelation> ReadCsv(const std::string& name,
+                                 std::istream* in) {
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::InvalidArgument("empty CSV input (no header)");
+  }
+  TEMPUS_ASSIGN_OR_RETURN(std::vector<CsvCell> header,
+                          SplitCsvLine(line, 1));
+  std::vector<AttributeDef> attrs;
+  std::string valid_from;
+  std::string valid_to;
+  for (const CsvCell& header_cell : header) {
+    std::string cell = header_cell.text;
+    bool is_from = false;
+    bool is_to = false;
+    if (cell.size() > 4 && cell.substr(cell.size() - 4) == "[TS]") {
+      is_from = true;
+      cell = cell.substr(0, cell.size() - 4);
+    } else if (cell.size() > 4 && cell.substr(cell.size() - 4) == "[TE]") {
+      is_to = true;
+      cell = cell.substr(0, cell.size() - 4);
+    }
+    const size_t colon = cell.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("malformed CSV header cell: " + cell);
+    }
+    TEMPUS_ASSIGN_OR_RETURN(ValueType type,
+                            ParseType(cell.substr(colon + 1), 1));
+    AttributeDef attr{cell.substr(0, colon), type};
+    if (is_from) valid_from = attr.name;
+    if (is_to) valid_to = attr.name;
+    attrs.push_back(std::move(attr));
+  }
+  Schema schema;
+  if (!valid_from.empty() && !valid_to.empty()) {
+    TEMPUS_ASSIGN_OR_RETURN(
+        schema, Schema::CreateTemporal(std::move(attrs), valid_from,
+                                       valid_to));
+  } else if (valid_from.empty() != valid_to.empty()) {
+    return Status::InvalidArgument(
+        "CSV header designates only one lifespan endpoint");
+  } else {
+    TEMPUS_ASSIGN_OR_RETURN(schema, Schema::Create(std::move(attrs)));
+  }
+
+  TemporalRelation relation(name, schema);
+  size_t line_number = 1;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    TEMPUS_ASSIGN_OR_RETURN(std::vector<CsvCell> cells,
+                            SplitCsvLine(line, line_number));
+    if (cells.size() != schema.attribute_count()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu has %zu cells, expected %zu", line_number,
+                    cells.size(), schema.attribute_count()));
+    }
+    std::vector<Value> values;
+    values.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const std::string& cell = cells[i].text;
+      if (!cells[i].quoted && cell == "NULL") {
+        values.push_back(Value::Null());
+        continue;
+      }
+      switch (schema.attribute(i).type) {
+        case ValueType::kString:
+          values.push_back(Value::Str(cell));
+          break;
+        case ValueType::kDouble: {
+          char* end = nullptr;
+          const double v = std::strtod(cell.c_str(), &end);
+          if (end == cell.c_str() || *end != '\0') {
+            return Status::InvalidArgument(
+                StrFormat("bad DOUBLE '%s' on line %zu", cell.c_str(),
+                          line_number));
+          }
+          values.push_back(Value::Real(v));
+          break;
+        }
+        case ValueType::kInt64:
+        case ValueType::kTime: {
+          char* end = nullptr;
+          const long long v = std::strtoll(cell.c_str(), &end, 10);
+          if (end == cell.c_str() || *end != '\0') {
+            return Status::InvalidArgument(
+                StrFormat("bad integer '%s' on line %zu", cell.c_str(),
+                          line_number));
+          }
+          values.push_back(Value::Int(v));
+          break;
+        }
+      }
+    }
+    Status append = relation.Append(Tuple(std::move(values)));
+    if (!append.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: %s", line_number,
+                    append.ToString().c_str()));
+    }
+  }
+  return relation;
+}
+
+}  // namespace tempus

@@ -1,0 +1,33 @@
+#ifndef TEMPUS_RELATION_CSV_H_
+#define TEMPUS_RELATION_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "relation/temporal_relation.h"
+
+namespace tempus {
+
+/// CSV persistence for temporal relations.
+///
+/// Format: a self-describing header row of `name:TYPE` cells, where TYPE
+/// is INT64 | DOUBLE | STRING | TIME, optionally suffixed `[TS]` / `[TE]`
+/// on the lifespan pair; then one row per tuple. Strings are
+/// double-quoted with `""` escaping; the unquoted literal NULL denotes a
+/// null value.
+///
+///   Name:STRING,Rank:STRING,ValidFrom:TIME[TS],ValidTo:TIME[TE]
+///   "Smith","Assistant",0,10
+///
+/// Round-trips exactly through ReadCsv/WriteCsv (tuple order preserved).
+Status WriteCsv(const TemporalRelation& relation, std::ostream* out);
+
+/// Parses a relation named `name` from CSV; validates every tuple against
+/// the header schema (including the intra-tuple lifespan constraint) and
+/// reports errors with 1-based line numbers.
+Result<TemporalRelation> ReadCsv(const std::string& name, std::istream* in);
+
+}  // namespace tempus
+
+#endif  // TEMPUS_RELATION_CSV_H_

@@ -1,0 +1,150 @@
+#include "relation/schema.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace tempus {
+
+Result<Schema> Schema::Create(std::vector<AttributeDef> attributes) {
+  std::unordered_set<std::string> seen;
+  for (const AttributeDef& attr : attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " +
+                                     attr.name);
+    }
+  }
+  Schema schema;
+  schema.attributes_ = std::move(attributes);
+  return schema;
+}
+
+Result<Schema> Schema::CreateTemporal(std::vector<AttributeDef> attributes,
+                                      const std::string& valid_from,
+                                      const std::string& valid_to) {
+  TEMPUS_ASSIGN_OR_RETURN(Schema schema, Create(std::move(attributes)));
+  TEMPUS_RETURN_IF_ERROR(schema.SetLifespan(valid_from, valid_to));
+  return schema;
+}
+
+Schema Schema::Canonical(const std::string& surrogate_name,
+                         ValueType surrogate_type,
+                         const std::string& value_name,
+                         ValueType value_type) {
+  Result<Schema> schema = CreateTemporal(
+      {{surrogate_name, surrogate_type},
+       {value_name, value_type},
+       {"ValidFrom", ValueType::kTime},
+       {"ValidTo", ValueType::kTime}},
+      "ValidFrom", "ValidTo");
+  // Static construction with fixed names cannot fail.
+  return std::move(schema).value();
+}
+
+size_t Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return kNoAttribute;
+}
+
+Status Schema::SetLifespan(const std::string& valid_from,
+                           const std::string& valid_to) {
+  const size_t from_ix = IndexOf(valid_from);
+  const size_t to_ix = IndexOf(valid_to);
+  if (from_ix == kNoAttribute || to_ix == kNoAttribute) {
+    return Status::NotFound("lifespan attribute not found: " + valid_from +
+                            " / " + valid_to);
+  }
+  if (from_ix == to_ix) {
+    return Status::InvalidArgument(
+        "ValidFrom and ValidTo must be distinct attributes");
+  }
+  if (attributes_[from_ix].type != ValueType::kTime ||
+      attributes_[to_ix].type != ValueType::kTime) {
+    return Status::InvalidArgument("lifespan attributes must have type TIME");
+  }
+  valid_from_index_ = from_ix;
+  valid_to_index_ = to_ix;
+  return Status::Ok();
+}
+
+Result<Schema> Schema::Concat(const Schema& left, const Schema& right,
+                              const std::string& left_prefix,
+                              const std::string& right_prefix) {
+  std::vector<AttributeDef> attrs;
+  attrs.reserve(left.attribute_count() + right.attribute_count());
+  auto prefixed = [](const std::string& prefix, const std::string& name) {
+    return prefix.empty() ? name : prefix + "." + name;
+  };
+  for (const AttributeDef& a : left.attributes()) {
+    attrs.push_back({prefixed(left_prefix, a.name), a.type});
+  }
+  for (const AttributeDef& a : right.attributes()) {
+    attrs.push_back({prefixed(right_prefix, a.name), a.type});
+  }
+  TEMPUS_ASSIGN_OR_RETURN(Schema schema, Create(std::move(attrs)));
+  if (left.has_lifespan()) {
+    schema.valid_from_index_ = left.valid_from_index();
+    schema.valid_to_index_ = left.valid_to_index();
+  }
+  return schema;
+}
+
+Result<Schema> Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<AttributeDef> attrs;
+  attrs.reserve(indices.size());
+  for (size_t ix : indices) {
+    if (ix >= attributes_.size()) {
+      return Status::OutOfRange(
+          StrFormat("projection index %zu out of range (%zu attributes)", ix,
+                    attributes_.size()));
+    }
+    attrs.push_back(attributes_[ix]);
+  }
+  TEMPUS_ASSIGN_OR_RETURN(Schema schema, Create(std::move(attrs)));
+  // Preserve the lifespan designation when both endpoints survive.
+  if (has_lifespan()) {
+    size_t new_from = kNoAttribute;
+    size_t new_to = kNoAttribute;
+    for (size_t out = 0; out < indices.size(); ++out) {
+      if (indices[out] == valid_from_index_) new_from = out;
+      if (indices[out] == valid_to_index_) new_to = out;
+    }
+    if (new_from != kNoAttribute && new_to != kNoAttribute) {
+      schema.valid_from_index_ = new_from;
+      schema.valid_to_index_ = new_to;
+    }
+  }
+  return schema;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name != other.attributes_[i].name ||
+        attributes_[i].type != other.attributes_[i].type) {
+      return false;
+    }
+  }
+  return valid_from_index_ == other.valid_from_index_ &&
+         valid_to_index_ == other.valid_to_index_;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(attributes_.size());
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    std::string s = attributes_[i].name + ":" +
+                    std::string(ValueTypeName(attributes_[i].type));
+    if (i == valid_from_index_) s += "[TS]";
+    if (i == valid_to_index_) s += "[TE]";
+    parts.push_back(std::move(s));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace tempus

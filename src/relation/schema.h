@@ -1,0 +1,89 @@
+#ifndef TEMPUS_RELATION_SCHEMA_H_
+#define TEMPUS_RELATION_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relation/value.h"
+
+namespace tempus {
+
+/// Sentinel for "attribute not present".
+inline constexpr size_t kNoAttribute = static_cast<size_t>(-1);
+
+/// A named, typed attribute.
+struct AttributeDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+/// Relation schema, following the paper's temporal data model (Section 2):
+/// a temporal relation is a set of tuples <S, V, ..., ValidFrom, ValidTo>
+/// where the pair of TIME attributes designated as the lifespan carries the
+/// half-open validity period. Non-temporal schemas (no lifespan) are also
+/// supported so intermediate join results can be represented.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Creates a schema; names must be unique and non-empty.
+  static Result<Schema> Create(std::vector<AttributeDef> attributes);
+
+  /// Creates a schema and designates `valid_from` / `valid_to` (which must
+  /// exist and have type kTime) as the lifespan pair.
+  static Result<Schema> CreateTemporal(std::vector<AttributeDef> attributes,
+                                       const std::string& valid_from,
+                                       const std::string& valid_to);
+
+  /// Convenience: the paper's canonical 4-tuple <S, V, ValidFrom, ValidTo>
+  /// with the given surrogate/value names and types.
+  static Schema Canonical(const std::string& surrogate_name,
+                          ValueType surrogate_type,
+                          const std::string& value_name,
+                          ValueType value_type);
+
+  size_t attribute_count() const { return attributes_.size(); }
+  const AttributeDef& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+
+  /// Index of the attribute with this name, or kNoAttribute.
+  size_t IndexOf(const std::string& name) const;
+
+  bool has_lifespan() const { return valid_from_index_ != kNoAttribute; }
+  size_t valid_from_index() const { return valid_from_index_; }
+  size_t valid_to_index() const { return valid_to_index_; }
+
+  /// Re-designates the lifespan attributes by name.
+  Status SetLifespan(const std::string& valid_from,
+                     const std::string& valid_to);
+
+  /// Concatenation for join outputs. Attribute names from each side are
+  /// prefixed ("<prefix>.<name>") when a non-empty prefix is supplied; any
+  /// remaining duplicates fail. The result has the LEFT lifespan if the
+  /// left side has one (the paper's join outputs keep both lifespans as
+  /// plain attributes; retaining the left designation lets pipelines
+  /// compose).
+  static Result<Schema> Concat(const Schema& left, const Schema& right,
+                               const std::string& left_prefix,
+                               const std::string& right_prefix);
+
+  /// Schema of a projection onto the given attribute indices.
+  Result<Schema> Project(const std::vector<size_t>& indices) const;
+
+  bool Equals(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<AttributeDef> attributes_;
+  size_t valid_from_index_ = kNoAttribute;
+  size_t valid_to_index_ = kNoAttribute;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_RELATION_SCHEMA_H_

@@ -1,0 +1,85 @@
+#include "relation/sort_spec.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace tempus {
+
+std::string_view TemporalFieldName(TemporalField field) {
+  return field == TemporalField::kValidFrom ? "ValidFrom" : "ValidTo";
+}
+
+std::string_view SortDirectionArrow(SortDirection dir) {
+  return dir == SortDirection::kAscending ? "^" : "v";
+}
+
+Result<SortSpec> SortSpec::ByLifespan(const Schema& schema,
+                                      TemporalField field,
+                                      SortDirection direction) {
+  if (!schema.has_lifespan()) {
+    return Status::FailedPrecondition(
+        "temporal sort order requires a schema with a lifespan: " +
+        schema.ToString());
+  }
+  const size_t from_ix = schema.valid_from_index();
+  const size_t to_ix = schema.valid_to_index();
+  const size_t primary =
+      field == TemporalField::kValidFrom ? from_ix : to_ix;
+  const size_t secondary =
+      field == TemporalField::kValidFrom ? to_ix : from_ix;
+  return SortSpec({{primary, direction}, {secondary, direction}});
+}
+
+SortSpec SortSpec::ByAttribute(size_t attribute_index,
+                               SortDirection direction) {
+  return SortSpec({{attribute_index, direction}});
+}
+
+int SortSpec::Compare(const Tuple& a, const Tuple& b) const {
+  for (const SortKey& key : keys_) {
+    int c = a[key.attribute_index].Compare(b[key.attribute_index]);
+    if (key.direction == SortDirection::kDescending) c = -c;
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+bool SortSpec::Less(const Tuple& a, const Tuple& b) const {
+  return Compare(a, b) < 0;
+}
+
+bool SortSpec::SatisfiedBy(const SortSpec& finer) const {
+  if (keys_.size() > finer.keys_.size()) return false;
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (!(keys_[i] == finer.keys_[i])) return false;
+  }
+  return true;
+}
+
+std::string SortSpec::ToString(const Schema& schema) const {
+  std::vector<std::string> parts;
+  parts.reserve(keys_.size());
+  for (const SortKey& key : keys_) {
+    const std::string name = key.attribute_index < schema.attribute_count()
+                                 ? schema.attribute(key.attribute_index).name
+                                 : StrFormat("#%zu", key.attribute_index);
+    parts.push_back(name + std::string(SortDirectionArrow(key.direction)));
+  }
+  return Join(parts, ", ");
+}
+
+void SortTuples(std::vector<Tuple>* tuples, const SortSpec& spec) {
+  std::stable_sort(
+      tuples->begin(), tuples->end(),
+      [&spec](const Tuple& a, const Tuple& b) { return spec.Less(a, b); });
+}
+
+bool IsSorted(const std::vector<Tuple>& tuples, const SortSpec& spec) {
+  for (size_t i = 1; i < tuples.size(); ++i) {
+    if (spec.Compare(tuples[i - 1], tuples[i]) > 0) return false;
+  }
+  return true;
+}
+
+}  // namespace tempus

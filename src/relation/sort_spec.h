@@ -1,0 +1,85 @@
+#ifndef TEMPUS_RELATION_SORT_SPEC_H_
+#define TEMPUS_RELATION_SORT_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/schema.h"
+#include "relation/tuple.h"
+
+namespace tempus {
+
+/// Which lifespan endpoint a temporal sort order targets (Table 1 uses the
+/// four combinations of {ValidFrom, ValidTo} x {ascending, descending}).
+enum class TemporalField { kValidFrom, kValidTo };
+
+enum class SortDirection { kAscending, kDescending };
+
+std::string_view TemporalFieldName(TemporalField field);
+std::string_view SortDirectionArrow(SortDirection dir);
+
+/// One key of a lexicographic sort order.
+struct SortKey {
+  size_t attribute_index = kNoAttribute;
+  SortDirection direction = SortDirection::kAscending;
+
+  friend bool operator==(const SortKey& a, const SortKey& b) {
+    return a.attribute_index == b.attribute_index &&
+           a.direction == b.direction;
+  }
+};
+
+/// A lexicographic sort order over a schema's attributes. The paper's
+/// stream algorithms key on a primary lifespan endpoint; we always add the
+/// other endpoint as secondary key (same direction) so orders are total on
+/// lifespans — Section 4.2.3's single-state self-semijoin depends on the
+/// secondary ordering of ties.
+class SortSpec {
+ public:
+  SortSpec() = default;
+  explicit SortSpec(std::vector<SortKey> keys) : keys_(std::move(keys)) {}
+
+  /// The canonical temporal sort order: primary on `field`, secondary on
+  /// the other endpoint, both in `direction`.
+  static Result<SortSpec> ByLifespan(const Schema& schema,
+                                     TemporalField field,
+                                     SortDirection direction);
+
+  /// Single-attribute order (ties unspecified).
+  static SortSpec ByAttribute(size_t attribute_index,
+                              SortDirection direction);
+
+  const std::vector<SortKey>& keys() const { return keys_; }
+  bool empty() const { return keys_.empty(); }
+
+  /// Strict-weak "less-than" under this order.
+  bool Less(const Tuple& a, const Tuple& b) const;
+
+  /// Three-way comparison: -1/0/+1.
+  int Compare(const Tuple& a, const Tuple& b) const;
+
+  /// True iff this order's keys start with `prefix`'s keys (an order
+  /// satisfying a finer spec also satisfies a coarser prefix — used by the
+  /// planner's interesting-order reasoning).
+  bool SatisfiedBy(const SortSpec& finer) const;
+
+  friend bool operator==(const SortSpec& a, const SortSpec& b) {
+    return a.keys_ == b.keys_;
+  }
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<SortKey> keys_;
+};
+
+/// Stable-sorts tuples in place under `spec`.
+void SortTuples(std::vector<Tuple>* tuples, const SortSpec& spec);
+
+/// True iff `tuples` is non-decreasing under `spec`.
+bool IsSorted(const std::vector<Tuple>& tuples, const SortSpec& spec);
+
+}  // namespace tempus
+
+#endif  // TEMPUS_RELATION_SORT_SPEC_H_

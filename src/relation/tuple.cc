@@ -1,0 +1,63 @@
+#include "relation/tuple.h"
+
+#include "common/string_util.h"
+
+namespace tempus {
+
+Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
+  std::vector<Value> values;
+  values.reserve(left.size() + right.size());
+  values.insert(values.end(), left.values_.begin(), left.values_.end());
+  values.insert(values.end(), right.values_.begin(), right.values_.end());
+  return Tuple(std::move(values));
+}
+
+bool Tuple::Equals(const Tuple& other) const {
+  if (values_.size() != other.values_.size()) return false;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (!values_[i].Equals(other.values_[i])) return false;
+  }
+  return true;
+}
+
+uint64_t Tuple::Hash() const {
+  uint64_t h = 14695981039346656037ULL;
+  for (const Value& v : values_) {
+    h ^= v.Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const Value& v : values_) {
+    parts.push_back(v.ToString());
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+Result<LifespanRef> LifespanRef::ForSchema(const Schema& schema) {
+  if (!schema.has_lifespan()) {
+    return Status::FailedPrecondition(
+        "schema has no designated lifespan attributes: " + schema.ToString());
+  }
+  LifespanRef ref;
+  ref.valid_from_index = schema.valid_from_index();
+  ref.valid_to_index = schema.valid_to_index();
+  return ref;
+}
+
+Tuple MakeTemporalTuple(Value surrogate, Value value, TimePoint valid_from,
+                        TimePoint valid_to) {
+  std::vector<Value> values;
+  values.reserve(4);
+  values.push_back(std::move(surrogate));
+  values.push_back(std::move(value));
+  values.push_back(Value::Time(valid_from));
+  values.push_back(Value::Time(valid_to));
+  return Tuple(std::move(values));
+}
+
+}  // namespace tempus

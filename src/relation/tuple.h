@@ -1,0 +1,69 @@
+#ifndef TEMPUS_RELATION_TUPLE_H_
+#define TEMPUS_RELATION_TUPLE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/result.h"
+#include "relation/schema.h"
+#include "relation/value.h"
+
+namespace tempus {
+
+/// A row of attribute values. Tuples are plain data; schema conformance is
+/// enforced at relation boundaries (TemporalRelation::Append) and trusted
+/// inside operator pipelines.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const Value& at(size_t i) const { return values_[i]; }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  void Set(size_t i, Value v) { values_[i] = std::move(v); }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Concatenates two tuples (join output).
+  static Tuple Concat(const Tuple& left, const Tuple& right);
+
+  bool Equals(const Tuple& other) const;
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.Equals(b);
+  }
+
+  uint64_t Hash() const;
+
+  /// Renders as "(v1, v2, ...)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Resolved lifespan attribute positions for a schema; precomputed once per
+/// operator so per-tuple interval extraction is two vector loads.
+struct LifespanRef {
+  size_t valid_from_index = kNoAttribute;
+  size_t valid_to_index = kNoAttribute;
+
+  static Result<LifespanRef> ForSchema(const Schema& schema);
+
+  Interval Of(const Tuple& t) const {
+    return Interval(t[valid_from_index].time_value(),
+                    t[valid_to_index].time_value());
+  }
+};
+
+/// Builds the paper's canonical 4-tuple <S, V, TS, TE>.
+Tuple MakeTemporalTuple(Value surrogate, Value value, TimePoint valid_from,
+                        TimePoint valid_to);
+
+}  // namespace tempus
+
+#endif  // TEMPUS_RELATION_TUPLE_H_

@@ -1,0 +1,122 @@
+#include "relation/value.h"
+
+#include "common/string_util.h"
+
+namespace tempus {
+
+std::string_view ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kTime:
+      return "TIME";
+  }
+  return "UNKNOWN";
+}
+
+bool Value::MatchesType(ValueType type) const {
+  switch (kind()) {
+    case Kind::kNull:
+      return true;
+    case Kind::kInt:
+      return type == ValueType::kInt64 || type == ValueType::kTime;
+    case Kind::kDouble:
+      return type == ValueType::kDouble;
+    case Kind::kString:
+      return type == ValueType::kString;
+  }
+  return false;
+}
+
+int Value::Compare(const Value& other) const {
+  const bool a_num = kind() == Kind::kInt || kind() == Kind::kDouble;
+  const bool b_num =
+      other.kind() == Kind::kInt || other.kind() == Kind::kDouble;
+  if (a_num && b_num) {
+    if (kind() == Kind::kInt && other.kind() == Kind::kInt) {
+      const int64_t a = int_value();
+      const int64_t b = other.int_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = AsDouble();
+    const double b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  // Rank by kind: null < numeric < string.
+  auto rank = [](Kind k) {
+    switch (k) {
+      case Kind::kNull:
+        return 0;
+      case Kind::kInt:
+      case Kind::kDouble:
+        return 1;
+      case Kind::kString:
+        return 2;
+    }
+    return 3;
+  };
+  const int ra = rank(kind());
+  const int rb = rank(other.kind());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (kind() == Kind::kString) {
+    const int c = string_value().compare(other.string_value());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return 0;  // Both null.
+}
+
+uint64_t Value::Hash() const {
+  // FNV-1a over a kind tag plus the canonical byte representation.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  switch (kind()) {
+    case Kind::kNull:
+      mix("\x00", 1);
+      break;
+    case Kind::kInt: {
+      // Hash ints via their double-equal canonical form when integral
+      // doubles must collide; keep it simple: ints hash as int64 bytes.
+      const int64_t v = int_value();
+      mix("\x01", 1);
+      mix(&v, sizeof(v));
+      break;
+    }
+    case Kind::kDouble: {
+      const double v = double_value();
+      mix("\x02", 1);
+      mix(&v, sizeof(v));
+      break;
+    }
+    case Kind::kString:
+      mix("\x03", 1);
+      mix(string_value().data(), string_value().size());
+      break;
+  }
+  return h;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kInt:
+      return StrFormat("%lld", static_cast<long long>(int_value()));
+    case Kind::kDouble:
+      return StrFormat("%g", double_value());
+    case Kind::kString:
+      return "\"" + string_value() + "\"";
+  }
+  return "?";
+}
+
+}  // namespace tempus

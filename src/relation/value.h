@@ -1,0 +1,87 @@
+#ifndef TEMPUS_RELATION_VALUE_H_
+#define TEMPUS_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/interval.h"
+
+namespace tempus {
+
+/// Declared attribute types. kTime is representationally an int64 tick
+/// count (see common/interval.h) but is kept distinct in schemas so the
+/// planner can recognize temporal attributes and printers can label them.
+enum class ValueType {
+  kInt64,
+  kDouble,
+  kString,
+  kTime,
+};
+
+std::string_view ValueTypeName(ValueType type);
+
+/// A dynamically-typed attribute value. Null is represented explicitly so
+/// relations can carry optional attributes; the temporal lifespan attributes
+/// are never null (enforced by TemporalRelation::Append).
+class Value {
+ public:
+  enum class Kind { kNull, kInt, kDouble, kString };
+
+  /// Null value.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Real(double v) { return Value(Rep(v)); }
+  static Value Str(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Time(TimePoint t) { return Value(Rep(int64_t{t})); }
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  Kind kind() const { return static_cast<Kind>(rep_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+
+  /// Accessors require the matching kind; callers check kind() first.
+  int64_t int_value() const { return std::get<int64_t>(rep_); }
+  double double_value() const { return std::get<double>(rep_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(rep_);
+  }
+  TimePoint time_value() const { return std::get<int64_t>(rep_); }
+
+  /// Numeric widening for mixed int/double comparisons.
+  double AsDouble() const {
+    return kind() == Kind::kInt ? static_cast<double>(int_value())
+                                : double_value();
+  }
+
+  /// True iff the value's kind is compatible with the declared type.
+  bool MatchesType(ValueType type) const;
+
+  /// Total order across all kinds (nulls first, then numerics compared
+  /// numerically, then strings lexicographically). Returns -1/0/+1.
+  int Compare(const Value& other) const;
+
+  bool Equals(const Value& other) const { return Compare(other) == 0; }
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Equals(b);
+  }
+
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  using Rep = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_RELATION_VALUE_H_

@@ -1,0 +1,192 @@
+#include "semantic/analyzer.h"
+
+#include "common/string_util.h"
+
+namespace tempus {
+
+namespace {
+
+std::string TermToString(const TemporalTerm& term,
+                         const std::vector<std::string>& var_names) {
+  if (term.is_literal) {
+    return StrFormat("%lld", static_cast<long long>(term.literal));
+  }
+  const std::string base = term.var < var_names.size()
+                               ? var_names[term.var]
+                               : StrFormat("v%zu", term.var);
+  return base + (term.endpoint == EndpointKind::kStart ? ".TS" : ".TE");
+}
+
+}  // namespace
+
+std::string TemporalPredicate::ToString(
+    const std::vector<std::string>& var_names) const {
+  const char* op_str =
+      op == PredOp::kLess ? " < " : (op == PredOp::kLessEqual ? " <= " : " = ");
+  return TermToString(lhs, var_names) + op_str + TermToString(rhs, var_names);
+}
+
+AllenMask SemanticAnalysis::MaskBetween(size_t var1, size_t var2) const {
+  for (const PairMask& pm : pair_masks) {
+    if (pm.var1 == var1 && pm.var2 == var2) return pm.mask;
+    if (pm.var1 == var2 && pm.var2 == var1) return pm.mask.Inverted();
+  }
+  return AllenMask::All();
+}
+
+Result<SemanticAnalysis> SemanticAnalyzer::Analyze(
+    const std::vector<RangeVarBinding>& vars,
+    const std::vector<SurrogateLink>& links,
+    const std::vector<TemporalPredicate>& predicates) const {
+  SemanticAnalysis analysis;
+  ConstraintGraph graph;
+
+  std::vector<std::string> var_names;
+  var_names.reserve(vars.size());
+  for (const RangeVarBinding& v : vars) var_names.push_back(v.name);
+
+  // Endpoint nodes + intra-tuple integrity (TS < TE).
+  std::vector<ConstraintGraph::NodeId> ts_node(vars.size());
+  std::vector<ConstraintGraph::NodeId> te_node(vars.size());
+  for (size_t i = 0; i < vars.size(); ++i) {
+    ts_node[i] = graph.AddVariable(vars[i].name + ".TS");
+    te_node[i] = graph.AddVariable(vars[i].name + ".TE");
+    graph.AddLess(ts_node[i], te_node[i]);
+  }
+
+  // Chronological-domain injection (Section 5): for two range variables
+  // over the same relation, bound to ordered values of a declared chain
+  // and linked on the chain's surrogate, the earlier-valued tuple's
+  // lifespan precedes the later-valued tuple's.
+  if (catalog_ != nullptr) {
+    auto linked_on = [&links](size_t i, size_t j, const std::string& attr) {
+      for (const SurrogateLink& link : links) {
+        const bool forward =
+            link.var1 == i && link.var2 == j && link.attr1 == attr &&
+            link.attr2 == attr;
+        const bool backward =
+            link.var1 == j && link.var2 == i && link.attr1 == attr &&
+            link.attr2 == attr;
+        if (forward || backward) return true;
+      }
+      return false;
+    };
+    for (size_t i = 0; i < vars.size(); ++i) {
+      for (size_t j = 0; j < vars.size(); ++j) {
+        if (i == j || vars[i].relation != vars[j].relation) continue;
+        for (const ChronologicalDomain& domain :
+             catalog_->DomainsFor(vars[i].relation)) {
+          auto vi = vars[i].bound_values.find(domain.attribute);
+          auto vj = vars[j].bound_values.find(domain.attribute);
+          if (vi == vars[i].bound_values.end() ||
+              vj == vars[j].bound_values.end()) {
+            continue;
+          }
+          const int pi = domain.PositionOf(vi->second);
+          const int pj = domain.PositionOf(vj->second);
+          if (pi < 0 || pj < 0 || pi >= pj) continue;
+          if (!linked_on(i, j, domain.surrogate_attribute)) continue;
+          if (domain.continuous && pj == pi + 1) {
+            graph.AddEqual(te_node[i], ts_node[j]);
+            analysis.injected.push_back(vars[i].name + ".TE = " +
+                                        vars[j].name + ".TS (chronology, "
+                                        "continuous)");
+          } else if (domain.continuous) {
+            // Every intermediate chain value is held for >= 1 tick.
+            graph.AddDifference(te_node[i], ts_node[j], -(pj - pi - 1));
+            analysis.injected.push_back(
+                StrFormat("%s.TE <= %s.TS - %d (chronology, continuous)",
+                          vars[i].name.c_str(), vars[j].name.c_str(),
+                          pj - pi - 1));
+          } else {
+            graph.AddLessEqual(te_node[i], ts_node[j]);
+            analysis.injected.push_back(vars[i].name + ".TE <= " +
+                                        vars[j].name + ".TS (chronology)");
+          }
+        }
+      }
+    }
+  }
+
+  // Query predicates.
+  auto node_of = [&graph, &ts_node, &te_node](const TemporalTerm& term) {
+    if (term.is_literal) return graph.AddConstant(term.literal);
+    return term.endpoint == EndpointKind::kStart ? ts_node[term.var]
+                                                 : te_node[term.var];
+  };
+  std::vector<ConstraintGraph::ConstraintId> pred_constraint;
+  pred_constraint.reserve(predicates.size());
+  for (const TemporalPredicate& pred : predicates) {
+    const auto a = node_of(pred.lhs);
+    const auto b = node_of(pred.rhs);
+    switch (pred.op) {
+      case PredOp::kLess:
+        pred_constraint.push_back(graph.AddLess(a, b));
+        break;
+      case PredOp::kLessEqual:
+        pred_constraint.push_back(graph.AddLessEqual(a, b));
+        break;
+      case PredOp::kEqual:
+        pred_constraint.push_back(graph.AddEqual(a, b));
+        break;
+    }
+  }
+
+  graph.Close();
+  if (graph.HasContradiction()) {
+    analysis.contradiction = true;
+    return analysis;
+  }
+
+  // Redundancy elimination: greedily drop each query predicate implied by
+  // the rest of the (still enabled) system.
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (graph.IsRedundant(pred_constraint[i])) {
+      graph.SetEnabled(pred_constraint[i], false);
+      analysis.redundant.push_back(predicates[i]);
+    } else {
+      analysis.essential.push_back(predicates[i]);
+    }
+  }
+  graph.Close();
+
+  // Pairwise possible-relation masks: relation r remains possible iff the
+  // system stays satisfiable after asserting r's explicit constraints
+  // (Figure 2) between the pair.
+  for (size_t i = 0; i < vars.size(); ++i) {
+    for (size_t j = i + 1; j < vars.size(); ++j) {
+      PairMask pm;
+      pm.var1 = i;
+      pm.var2 = j;
+      for (AllenRelation rel : AllAllenRelations()) {
+        ConstraintGraph probe = graph;  // Small graphs; copying is cheap.
+        for (const EndpointConstraint& c : ExplicitConstraints(rel)) {
+          auto endpoint_node = [&](const EndpointTerm& t) {
+            const size_t var = t.operand == Operand::kX ? i : j;
+            return t.endpoint == EndpointKind::kStart ? ts_node[var]
+                                                      : te_node[var];
+          };
+          const auto a = endpoint_node(c.lhs);
+          const auto b = endpoint_node(c.rhs);
+          switch (c.order) {
+            case EndpointOrder::kLess:
+              probe.AddLess(a, b);
+              break;
+            case EndpointOrder::kLessEqual:
+              probe.AddLessEqual(a, b);
+              break;
+            case EndpointOrder::kEqual:
+              probe.AddEqual(a, b);
+              break;
+          }
+        }
+        probe.Close();
+        if (!probe.HasContradiction()) pm.mask.Add(rel);
+      }
+      analysis.pair_masks.push_back(pm);
+    }
+  }
+  return analysis;
+}
+
+}  // namespace tempus

@@ -1,0 +1,149 @@
+#include "semantic/constraint_graph.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace tempus {
+namespace {
+
+/// Saturating addition over bounds (kUnbounded acts as +infinity).
+int64_t SatAdd(int64_t a, int64_t b) {
+  if (a == ConstraintGraph::kUnbounded || b == ConstraintGraph::kUnbounded) {
+    return ConstraintGraph::kUnbounded;
+  }
+  return a + b;
+}
+
+}  // namespace
+
+ConstraintGraph::NodeId ConstraintGraph::AddVariable(std::string name) {
+  names_.push_back(std::move(name));
+  closed_ = false;
+  return names_.size() - 1;
+}
+
+ConstraintGraph::NodeId ConstraintGraph::AddConstant(TimePoint value) {
+  for (const auto& [node, v] : constants_) {
+    if (v == value) return node;
+  }
+  const NodeId node =
+      AddVariable(StrFormat("const(%lld)", static_cast<long long>(value)));
+  // Exact difference edges against every existing constant keep the
+  // numeric order of literals visible to the closure.
+  for (const auto& [other, v] : constants_) {
+    Constraint forward{node, other, value - v, true, SIZE_MAX};
+    Constraint backward{other, node, v - value, true, SIZE_MAX};
+    constraints_.push_back(forward);
+    constraints_.push_back(backward);
+  }
+  constants_.emplace_back(node, value);
+  closed_ = false;
+  return node;
+}
+
+ConstraintGraph::ConstraintId ConstraintGraph::AddDifference(NodeId a,
+                                                             NodeId b,
+                                                             int64_t w) {
+  constraints_.push_back({a, b, w, true, SIZE_MAX});
+  closed_ = false;
+  return constraints_.size() - 1;
+}
+
+ConstraintGraph::ConstraintId ConstraintGraph::AddEqual(NodeId a, NodeId b) {
+  const ConstraintId first = AddDifference(a, b, 0);
+  const ConstraintId second = AddDifference(b, a, 0);
+  constraints_[first].twin = second;
+  constraints_[second].twin = first;
+  return first;
+}
+
+void ConstraintGraph::SetEnabled(ConstraintId id, bool enabled) {
+  constraints_[id].enabled = enabled;
+  if (constraints_[id].twin != SIZE_MAX) {
+    constraints_[constraints_[id].twin].enabled = enabled;
+  }
+  closed_ = false;
+}
+
+bool ConstraintGraph::IsEnabled(ConstraintId id) const {
+  return constraints_[id].enabled;
+}
+
+void ConstraintGraph::Close() {
+  const size_t n = names_.size();
+  dist_.assign(n * n, kUnbounded);
+  for (size_t i = 0; i < n; ++i) {
+    dist_[i * n + i] = 0;
+  }
+  for (const Constraint& c : constraints_) {
+    if (!c.enabled) continue;
+    int64_t& slot = dist_[c.a * n + c.b];
+    slot = std::min(slot, c.w);
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t dik = dist_[i * n + k];
+      if (dik == kUnbounded) continue;
+      for (size_t j = 0; j < n; ++j) {
+        const int64_t cand = SatAdd(dik, dist_[k * n + j]);
+        int64_t& slot = dist_[i * n + j];
+        if (cand < slot) slot = cand;
+      }
+    }
+  }
+  contradiction_ = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (dist_[i * n + i] < 0) {
+      contradiction_ = true;
+      break;
+    }
+  }
+  closed_ = true;
+}
+
+int64_t ConstraintGraph::UpperBound(NodeId a, NodeId b) const {
+  return dist_[a * names_.size() + b];
+}
+
+bool ConstraintGraph::Implies(NodeId a, NodeId b, int64_t w) const {
+  if (contradiction_) return true;  // Ex falso quodlibet.
+  const int64_t bound = UpperBound(a, b);
+  return bound != kUnbounded && bound <= w;
+}
+
+bool ConstraintGraph::IsRedundant(ConstraintId id) {
+  const Constraint c = constraints_[id];
+  if (!c.enabled) return false;
+  SetEnabled(id, false);
+  Close();
+  bool implied = Implies(c.a, c.b, c.w);
+  if (implied && c.twin != SIZE_MAX) {
+    const Constraint& t = constraints_[c.twin];
+    implied = Implies(t.a, t.b, t.w);
+  }
+  SetEnabled(id, true);
+  Close();
+  return implied;
+}
+
+bool ConstraintGraph::ConsistentWith(NodeId a, NodeId b, int64_t w) const {
+  if (contradiction_) return false;
+  // Adding a - b <= w creates a negative cycle iff dist(b, a) + w < 0.
+  const int64_t back = UpperBound(b, a);
+  if (back == kUnbounded) return true;
+  return SatAdd(back, w) >= 0;
+}
+
+std::string ConstraintGraph::ToString() const {
+  std::vector<std::string> parts;
+  for (const Constraint& c : constraints_) {
+    if (!c.enabled) continue;
+    parts.push_back(StrFormat("%s - %s <= %lld", names_[c.a].c_str(),
+                              names_[c.b].c_str(),
+                              static_cast<long long>(c.w)));
+  }
+  return Join(parts, "; ");
+}
+
+}  // namespace tempus

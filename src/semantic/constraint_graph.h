@@ -1,0 +1,121 @@
+#ifndef TEMPUS_SEMANTIC_CONSTRAINT_GRAPH_H_
+#define TEMPUS_SEMANTIC_CONSTRAINT_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/result.h"
+
+namespace tempus {
+
+/// A system of difference constraints over discrete-time variables — the
+/// inference engine behind the paper's Section 5 semantic optimization.
+///
+/// Each constraint has the form  a - b <= w  for variables a, b and an
+/// integer bound w. Because time is discrete (Section 2), the strict
+/// inequality a < b is exactly a - b <= -1, so conjunctions of the paper's
+/// endpoint inequalities (Figure 2) embed losslessly. The all-pairs
+/// shortest-path closure then answers:
+///   - contradiction: some negative cycle exists (query result is empty);
+///   - implication:  is `a - b <= w` entailed? (redundant-predicate
+///     elimination: "these inequalities are subsumed by other
+///     inequalities");
+///   - tightest bounds between any two endpoints (Allen-mask derivation).
+///
+/// Graphs in query analysis have a handful of nodes; closure is
+/// Floyd-Warshall with saturating arithmetic.
+class ConstraintGraph {
+ public:
+  using NodeId = size_t;
+  using ConstraintId = size_t;
+
+  /// Bound value meaning "no constraint".
+  static constexpr int64_t kUnbounded = INT64_MAX;
+
+  /// Adds a variable node (e.g. "f1.TS").
+  NodeId AddVariable(std::string name);
+
+  /// Adds (or reuses) a node pinned to a literal time point. Exact
+  /// difference edges are maintained between all constant nodes.
+  NodeId AddConstant(TimePoint value);
+
+  size_t node_count() const { return names_.size(); }
+  const std::string& node_name(NodeId n) const { return names_[n]; }
+
+  /// Adds `a - b <= w`; returns an id usable with IsRedundant/Disable.
+  ConstraintId AddDifference(NodeId a, NodeId b, int64_t w);
+  /// a <= b.
+  ConstraintId AddLessEqual(NodeId a, NodeId b) {
+    return AddDifference(a, b, 0);
+  }
+  /// a < b (== a <= b - 1 on discrete time).
+  ConstraintId AddLess(NodeId a, NodeId b) { return AddDifference(a, b, -1); }
+  /// a == b (two difference constraints; returns the first's id — both are
+  /// enabled/disabled together).
+  ConstraintId AddEqual(NodeId a, NodeId b);
+
+  size_t constraint_count() const { return constraints_.size(); }
+
+  /// Enables/disables a constraint without removing it (redundancy tests
+  /// re-close the system with one constraint masked out).
+  void SetEnabled(ConstraintId id, bool enabled);
+  bool IsEnabled(ConstraintId id) const;
+
+  /// Recomputes the closure over the enabled constraints. Call after any
+  /// mutation and before the query methods below.
+  void Close();
+
+  /// True iff the enabled constraints are unsatisfiable.
+  bool HasContradiction() const { return contradiction_; }
+
+  /// Tightest implied bound on (a - b), or kUnbounded.
+  int64_t UpperBound(NodeId a, NodeId b) const;
+
+  /// Is `a - b <= w` implied by the (closed) system?
+  bool Implies(NodeId a, NodeId b, int64_t w) const;
+  bool ImpliesLessEqual(NodeId a, NodeId b) const {
+    return Implies(a, b, 0);
+  }
+  bool ImpliesLess(NodeId a, NodeId b) const { return Implies(a, b, -1); }
+  bool ImpliesEqual(NodeId a, NodeId b) const {
+    return ImpliesLessEqual(a, b) && ImpliesLessEqual(b, a);
+  }
+
+  /// True iff constraint `id` is implied by the OTHER enabled constraints
+  /// (i.e. it can be dropped from the query qualification). Leaves the
+  /// closure recomputed over the same enabled set it found.
+  bool IsRedundant(ConstraintId id);
+
+  /// True iff adding `a - b <= w` keeps the system satisfiable (used for
+  /// possible-Allen-relation masks).
+  bool ConsistentWith(NodeId a, NodeId b, int64_t w) const;
+
+  /// Debug rendering of the enabled constraints.
+  std::string ToString() const;
+
+ private:
+  struct Constraint {
+    NodeId a;
+    NodeId b;
+    int64_t w;
+    bool enabled = true;
+    /// Paired constraint for equalities (or SIZE_MAX).
+    size_t twin = SIZE_MAX;
+  };
+
+  std::vector<std::string> names_;
+  std::vector<Constraint> constraints_;
+  // Constants: node id + pinned value.
+  std::vector<std::pair<NodeId, TimePoint>> constants_;
+
+  // Closure matrix (row-major, node_count^2), rebuilt by Close().
+  std::vector<int64_t> dist_;
+  bool contradiction_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_SEMANTIC_CONSTRAINT_GRAPH_H_

@@ -1,0 +1,109 @@
+#include "semantic/integrity.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace tempus {
+
+int ChronologicalDomain::PositionOf(const Value& v) const {
+  for (size_t i = 0; i < ordered_values.size(); ++i) {
+    if (ordered_values[i].Equals(v)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status IntegrityCatalog::AddChronologicalDomain(
+    const std::string& relation_name, ChronologicalDomain domain) {
+  if (domain.ordered_values.size() < 2) {
+    return Status::InvalidArgument(
+        "a chronological domain needs at least two ordered values");
+  }
+  if (domain.attribute.empty() || domain.surrogate_attribute.empty()) {
+    return Status::InvalidArgument(
+        "chronological domain requires attribute and surrogate names");
+  }
+  domains_[relation_name].push_back(std::move(domain));
+  return Status::Ok();
+}
+
+const std::vector<ChronologicalDomain>& IntegrityCatalog::DomainsFor(
+    const std::string& relation_name) const {
+  static const std::vector<ChronologicalDomain>& empty =
+      *new std::vector<ChronologicalDomain>();
+  auto it = domains_.find(relation_name);
+  return it == domains_.end() ? empty : it->second;
+}
+
+Status IntegrityCatalog::Validate(const TemporalRelation& relation) const {
+  const auto& domains = DomainsFor(relation.name());
+  if (domains.empty()) return Status::Ok();
+  const Schema& schema = relation.schema();
+  if (!schema.has_lifespan()) {
+    return Status::FailedPrecondition(
+        "chronological domains require a temporal relation");
+  }
+  for (const ChronologicalDomain& domain : domains) {
+    const size_t attr_ix = schema.IndexOf(domain.attribute);
+    const size_t surr_ix = schema.IndexOf(domain.surrogate_attribute);
+    if (attr_ix == kNoAttribute || surr_ix == kNoAttribute) {
+      return Status::NotFound("domain attributes not found in " +
+                              relation.name());
+    }
+    // Collect (surrogate-hash ordered) tuples per surrogate.
+    struct Entry {
+      const Tuple* tuple;
+      Interval span;
+      int position;
+    };
+    std::map<std::string, std::vector<Entry>> histories;
+    for (size_t i = 0; i < relation.size(); ++i) {
+      const Tuple& t = relation.tuple(i);
+      const int pos = domain.PositionOf(t[attr_ix]);
+      if (pos < 0) {
+        return Status::FailedPrecondition(
+            "value " + t[attr_ix].ToString() + " is not in the " +
+            domain.attribute + " chronological chain");
+      }
+      histories[t[surr_ix].ToString()].push_back(
+          {&t, relation.LifespanOf(i), pos});
+    }
+    for (auto& [surrogate, entries] : histories) {
+      std::sort(entries.begin(), entries.end(),
+                [](const Entry& a, const Entry& b) {
+                  return a.position < b.position;
+                });
+      for (size_t i = 1; i < entries.size(); ++i) {
+        const Entry& prev = entries[i - 1];
+        const Entry& cur = entries[i];
+        if (prev.position == cur.position) {
+          return Status::FailedPrecondition(
+              "surrogate " + surrogate + " holds " +
+              domain.ordered_values[prev.position].ToString() + " twice");
+        }
+        if (prev.span.end > cur.span.start) {
+          return Status::FailedPrecondition(StrFormat(
+              "chronological ordering violated for surrogate %s: %s "
+              "overlaps or follows %s",
+              surrogate.c_str(), prev.span.ToString().c_str(),
+              cur.span.ToString().c_str()));
+        }
+        if (domain.continuous && cur.position == prev.position + 1 &&
+            prev.span.end != cur.span.start) {
+          return Status::FailedPrecondition(
+              "continuity violated for surrogate " + surrogate + ": gap " +
+              prev.span.ToString() + " -> " + cur.span.ToString());
+        }
+      }
+      if (domain.continuous && !entries.empty() &&
+          entries.front().position != 0) {
+        return Status::FailedPrecondition(
+            "continuity requires surrogate " + surrogate +
+            " to start at the first chain value");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tempus

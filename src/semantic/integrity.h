@@ -1,0 +1,59 @@
+#ifndef TEMPUS_SEMANTIC_INTEGRITY_H_
+#define TEMPUS_SEMANTIC_INTEGRITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/temporal_relation.h"
+#include "relation/value.h"
+
+namespace tempus {
+
+/// A chronological ordering of the values a time-varying attribute can
+/// assume (Section 5): for tuples of the same surrogate, a tuple carrying
+/// an earlier value in the chain must end no later than a tuple carrying a
+/// later value begins (ValidTo_i <= ValidFrom_j). With `continuous` set,
+/// consecutive values in the chain abut exactly (ValidTo_i == ValidFrom_j
+/// for adjacent chain positions) — the paper's "continuous employment"
+/// assumption — and every surrogate history starts at the first value.
+///
+/// The running example: Faculty.Rank with chain Assistant -> Associate ->
+/// Full, keyed by surrogate Name.
+struct ChronologicalDomain {
+  std::string attribute;
+  std::string surrogate_attribute;
+  std::vector<Value> ordered_values;
+  bool continuous = false;
+
+  /// Position of `v` in the chain, or -1.
+  int PositionOf(const Value& v) const;
+};
+
+/// Per-relation semantic integrity constraints available to the optimizer.
+/// The intra-tuple constraint ValidFrom < ValidTo is universal (enforced
+/// by TemporalRelation::Append) and always assumed.
+class IntegrityCatalog {
+ public:
+  /// Registers a chronological domain for `relation_name`. Fails if the
+  /// chain has fewer than two values.
+  Status AddChronologicalDomain(const std::string& relation_name,
+                                ChronologicalDomain domain);
+
+  /// Domains registered for a relation (empty if none).
+  const std::vector<ChronologicalDomain>& DomainsFor(
+      const std::string& relation_name) const;
+
+  /// Verifies that a relation instance satisfies every domain registered
+  /// under its name: per surrogate, values appear in chain order without
+  /// lifespan overlap, abutting exactly when `continuous`.
+  Status Validate(const TemporalRelation& relation) const;
+
+ private:
+  std::map<std::string, std::vector<ChronologicalDomain>> domains_;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_SEMANTIC_INTEGRITY_H_

@@ -1,0 +1,186 @@
+#include "storage/external_sort.h"
+
+#include <algorithm>
+
+namespace tempus {
+
+ExternalSortStream::ExternalSortStream(std::unique_ptr<TupleStream> child,
+                                       SortSpec spec, size_t tuples_per_page,
+                                       size_t workspace_pages,
+                                       PageIoCounter* io)
+    : child_(std::move(child)),
+      spec_(std::move(spec)),
+      tuples_per_page_(tuples_per_page),
+      workspace_pages_(workspace_pages),
+      io_(io) {}
+
+Result<std::unique_ptr<ExternalSortStream>> ExternalSortStream::Create(
+    std::unique_ptr<TupleStream> child, SortSpec spec,
+    size_t tuples_per_page, size_t workspace_pages, PageIoCounter* io) {
+  if (tuples_per_page == 0) {
+    return Status::InvalidArgument("tuples_per_page must be positive");
+  }
+  if (workspace_pages < 3) {
+    // Fan-in is workspace_pages - 1; a fan-in of 1 cannot make progress
+    // (the classic B >= 3 requirement for external merge sort).
+    return Status::InvalidArgument(
+        "external sort needs at least 3 workspace pages");
+  }
+  return std::unique_ptr<ExternalSortStream>(
+      new ExternalSortStream(std::move(child), std::move(spec),
+                             tuples_per_page, workspace_pages, io));
+}
+
+PagedRelation ExternalSortStream::MergeRuns(
+    std::vector<PagedRelation> runs) {
+  PagedRelation out(runs.front().name(), runs.front().schema(),
+                    tuples_per_page_);
+  struct MergeCursor {
+    const PagedRelation* run;
+    size_t page = 0;
+    size_t slot = 0;
+    bool page_charged = false;
+  };
+  std::vector<MergeCursor> cursors;
+  cursors.reserve(runs.size());
+  for (const PagedRelation& run : runs) {
+    cursors.push_back({&run});
+  }
+  while (true) {
+    int best = -1;
+    const Tuple* best_tuple = nullptr;
+    for (size_t i = 0; i < cursors.size(); ++i) {
+      MergeCursor& c = cursors[i];
+      while (c.page < c.run->page_count() &&
+             c.slot >= c.run->page(c.page).size()) {
+        ++c.page;
+        c.slot = 0;
+        c.page_charged = false;
+      }
+      if (c.page >= c.run->page_count()) continue;
+      if (!c.page_charged) {
+        if (io_ != nullptr) io_->CountRead();
+        c.page_charged = true;
+      }
+      const Tuple& candidate = c.run->page(c.page)[c.slot];
+      if (best < 0 || spec_.Less(candidate, *best_tuple)) {
+        best = static_cast<int>(i);
+        best_tuple = &candidate;
+      }
+    }
+    if (best < 0) break;
+    out.Append(*best_tuple, io_);
+    ++cursors[best].slot;
+  }
+  out.FlushTail(io_);
+  return out;
+}
+
+Status ExternalSortStream::Open() {
+  ++metrics_.passes_left;
+  runs_.clear();
+  cursors_.clear();
+  passes_ = 0;
+  metrics_.workspace_tuples = 0;
+
+  // Run generation: fill the workspace, sort, spill.
+  TEMPUS_RETURN_IF_ERROR(child_->Open());
+  const size_t run_capacity = workspace_pages_ * tuples_per_page_;
+  std::vector<Tuple> buffer;
+  buffer.reserve(run_capacity);
+  Tuple tuple;
+  bool more = true;
+  while (more) {
+    TEMPUS_ASSIGN_OR_RETURN(bool has, child_->Next(&tuple));
+    if (has) {
+      ++metrics_.tuples_read_left;
+      buffer.push_back(std::move(tuple));
+      metrics_.AddWorkspace();
+      tuple = Tuple();
+    } else {
+      more = false;
+    }
+    if (buffer.size() == run_capacity || (!more && !buffer.empty())) {
+      SortTuples(&buffer, spec_);
+      PagedRelation run("run", child_->schema(), tuples_per_page_);
+      for (Tuple& t : buffer) {
+        run.Append(std::move(t), io_);
+      }
+      run.FlushTail(io_);
+      buffer.clear();
+      metrics_.workspace_tuples = 0;
+      runs_.push_back(std::move(run));
+    }
+  }
+  initial_run_count_ = runs_.size();
+  passes_ = runs_.empty() ? 0 : 1;  // Run generation read+wrote everything.
+
+  // Merge levels: fan-in limited by workspace (one page per input run
+  // plus the output page). The last <= fan_in runs are NOT materialized;
+  // they stream out through the final-merge cursors below.
+  const size_t fan_in = workspace_pages_ - 1;
+  while (runs_.size() > fan_in) {
+    std::vector<PagedRelation> next_level;
+    for (size_t i = 0; i < runs_.size(); i += fan_in) {
+      const size_t end = std::min(runs_.size(), i + fan_in);
+      if (end - i == 1) {
+        next_level.push_back(std::move(runs_[i]));
+        continue;
+      }
+      std::vector<PagedRelation> group;
+      for (size_t j = i; j < end; ++j) {
+        group.push_back(std::move(runs_[j]));
+      }
+      metrics_.AddWorkspace(fan_in * tuples_per_page_);
+      next_level.push_back(MergeRuns(std::move(group)));
+      metrics_.SubWorkspace(fan_in * tuples_per_page_);
+    }
+    runs_ = std::move(next_level);
+    ++passes_;
+  }
+
+  // Arm the final-merge cursors.
+  cursors_.clear();
+  for (const PagedRelation& run : runs_) {
+    cursors_.push_back({&run});
+  }
+  if (!runs_.empty()) ++passes_;  // The final streaming read.
+  metrics_.AddWorkspace(
+      std::min(cursors_.size(), workspace_pages_) * tuples_per_page_);
+  emitting_ = true;
+  return Status::Ok();
+}
+
+Result<bool> ExternalSortStream::Next(Tuple* out) {
+  if (!emitting_) {
+    return Status::FailedPrecondition("ExternalSortStream::Next before Open");
+  }
+  int best = -1;
+  const Tuple* best_tuple = nullptr;
+  for (size_t i = 0; i < cursors_.size(); ++i) {
+    Cursor& c = cursors_[i];
+    while (c.page < c.run->page_count() &&
+           c.slot >= c.run->page(c.page).size()) {
+      ++c.page;
+      c.slot = 0;
+      c.page_charged = false;
+    }
+    if (c.page >= c.run->page_count()) continue;
+    if (!c.page_charged) {
+      if (io_ != nullptr) io_->CountRead();
+      c.page_charged = true;
+    }
+    const Tuple& candidate = c.run->page(c.page)[c.slot];
+    if (best < 0 || spec_.Less(candidate, *best_tuple)) {
+      best = static_cast<int>(i);
+      best_tuple = &candidate;
+    }
+  }
+  if (best < 0) return false;
+  *out = *best_tuple;
+  ++cursors_[best].slot;
+  ++metrics_.tuples_emitted;
+  return true;
+}
+
+}  // namespace tempus

@@ -1,0 +1,75 @@
+#ifndef TEMPUS_STORAGE_EXTERNAL_SORT_H_
+#define TEMPUS_STORAGE_EXTERNAL_SORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "relation/sort_spec.h"
+#include "storage/paged_relation.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+/// Workspace-limited external merge sort over simulated pages: the cost
+/// of ACQUIRING an interesting order when memory is scarce — the third
+/// leg of the paper's Section 4.1 tradeoff triangle (workspace vs sort
+/// order vs passes/disk accesses).
+///
+/// On Open() the child is consumed into sorted initial runs of
+/// `workspace_pages` pages each (one read + one write per page), then
+/// runs are merged `workspace_pages - 1` at a time, each merge level
+/// costing one read and one write per page, until one run remains; the
+/// final merge streams out without a write. Page I/O is charged to the
+/// shared counter; peak workspace (in tuples) is reported in metrics.
+class ExternalSortStream : public TupleStream {
+ public:
+  /// `workspace_pages` >= 3 (one output page + a merge fan-in of at least
+  /// two). `io` is not owned and may be null (no accounting).
+  static Result<std::unique_ptr<ExternalSortStream>> Create(
+      std::unique_ptr<TupleStream> child, SortSpec spec,
+      size_t tuples_per_page, size_t workspace_pages, PageIoCounter* io);
+
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {child_.get()};
+  }
+
+  /// Number of full read+write passes over the data performed by the last
+  /// Open() (run generation counts as the first pass).
+  size_t passes() const { return passes_; }
+  size_t initial_run_count() const { return initial_run_count_; }
+
+ private:
+  ExternalSortStream(std::unique_ptr<TupleStream> child, SortSpec spec,
+                     size_t tuples_per_page, size_t workspace_pages,
+                     PageIoCounter* io);
+
+  /// Merges up to `fan_in` runs into one, charging I/O.
+  PagedRelation MergeRuns(std::vector<PagedRelation> runs);
+
+  std::unique_ptr<TupleStream> child_;
+  SortSpec spec_;
+  size_t tuples_per_page_;
+  size_t workspace_pages_;
+  PageIoCounter* io_;
+
+  std::vector<PagedRelation> runs_;
+  size_t passes_ = 0;
+  size_t initial_run_count_ = 0;
+
+  // Final-merge emission state.
+  struct Cursor {
+    const PagedRelation* run;
+    size_t page = 0;
+    size_t slot = 0;
+    bool page_charged = false;
+  };
+  std::vector<Cursor> cursors_;
+  bool emitting_ = false;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_STORAGE_EXTERNAL_SORT_H_

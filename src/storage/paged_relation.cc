@@ -1,0 +1,48 @@
+#include "storage/paged_relation.h"
+
+namespace tempus {
+
+Result<PagedRelation> PagedRelation::FromRelation(
+    const TemporalRelation& relation, size_t tuples_per_page) {
+  if (tuples_per_page == 0) {
+    return Status::InvalidArgument("tuples_per_page must be positive");
+  }
+  PagedRelation paged(relation.name(), relation.schema(), tuples_per_page);
+  for (const Tuple& t : relation.tuples()) {
+    paged.Append(t, nullptr);
+  }
+  paged.FlushTail(nullptr);
+  return paged;
+}
+
+PagedRelation::PagedRelation(std::string name, Schema schema,
+                             size_t tuples_per_page)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      tuples_per_page_(tuples_per_page == 0 ? 1 : tuples_per_page) {}
+
+void PagedRelation::Append(Tuple tuple, PageIoCounter* io) {
+  if (pages_.empty() || pages_.back().size() == tuples_per_page_) {
+    if (tail_open_ && io != nullptr) {
+      io->CountWrite();
+    }
+    pages_.emplace_back();
+    pages_.back().reserve(tuples_per_page_);
+    tail_open_ = true;
+  }
+  pages_.back().push_back(std::move(tuple));
+  ++tuple_count_;
+  if (pages_.back().size() == tuples_per_page_ && io != nullptr) {
+    io->CountWrite();
+    tail_open_ = false;
+  }
+}
+
+void PagedRelation::FlushTail(PageIoCounter* io) {
+  if (tail_open_) {
+    if (io != nullptr) io->CountWrite();
+    tail_open_ = false;
+  }
+}
+
+}  // namespace tempus

@@ -1,0 +1,67 @@
+#ifndef TEMPUS_STORAGE_PAGED_RELATION_H_
+#define TEMPUS_STORAGE_PAGED_RELATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/temporal_relation.h"
+
+namespace tempus {
+
+/// Counts simulated disk transfers. The paper's third tradeoff axis
+/// (Section 4.1) is "multiple passes over input streams (i.e. the number
+/// of disk accesses)"; the storage layer makes that axis measurable: all
+/// data lives in memory, but every page-granular transfer is charged here.
+class PageIoCounter {
+ public:
+  void CountRead(uint64_t pages = 1) { reads_ += pages; }
+  void CountWrite(uint64_t pages = 1) { writes_ += pages; }
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t total() const { return reads_ + writes_; }
+  void Reset() { reads_ = writes_ = 0; }
+
+ private:
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+/// A relation stored as fixed-capacity pages of tuples, the unit of
+/// simulated I/O.
+class PagedRelation {
+ public:
+  /// Splits `relation` into pages of `tuples_per_page` (> 0).
+  static Result<PagedRelation> FromRelation(const TemporalRelation& relation,
+                                            size_t tuples_per_page);
+
+  /// Builds an empty paged relation (used as a spill target).
+  PagedRelation(std::string name, Schema schema, size_t tuples_per_page);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t tuples_per_page() const { return tuples_per_page_; }
+  size_t page_count() const { return pages_.size(); }
+  size_t tuple_count() const { return tuple_count_; }
+
+  const std::vector<Tuple>& page(size_t i) const { return pages_[i]; }
+
+  /// Appends a tuple, charging a page write to `io` each time a page
+  /// fills (call FlushTail when done to charge the partial last page).
+  void Append(Tuple tuple, PageIoCounter* io);
+  void FlushTail(PageIoCounter* io);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  size_t tuples_per_page_;
+  std::vector<std::vector<Tuple>> pages_;
+  size_t tuple_count_ = 0;
+  bool tail_open_ = false;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_STORAGE_PAGED_RELATION_H_

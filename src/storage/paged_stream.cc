@@ -1,0 +1,40 @@
+#include "storage/paged_stream.h"
+
+namespace tempus {
+
+PagedScanStream::PagedScanStream(const PagedRelation* relation,
+                                 PageIoCounter* io)
+    : relation_(relation), io_(io) {}
+
+Status PagedScanStream::Open() {
+  page_index_ = 0;
+  slot_index_ = 0;
+  page_charged_ = false;
+  opened_ = true;
+  ++metrics_.passes_left;
+  return Status::Ok();
+}
+
+Result<bool> PagedScanStream::Next(Tuple* out) {
+  if (!opened_) {
+    return Status::FailedPrecondition("PagedScanStream::Next before Open");
+  }
+  while (page_index_ < relation_->page_count()) {
+    const std::vector<Tuple>& page = relation_->page(page_index_);
+    if (!page_charged_) {
+      if (io_ != nullptr) io_->CountRead();
+      page_charged_ = true;
+    }
+    if (slot_index_ < page.size()) {
+      *out = page[slot_index_++];
+      ++metrics_.tuples_read_left;
+      return true;
+    }
+    ++page_index_;
+    slot_index_ = 0;
+    page_charged_ = false;
+  }
+  return false;
+}
+
+}  // namespace tempus

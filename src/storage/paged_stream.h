@@ -1,0 +1,35 @@
+#ifndef TEMPUS_STORAGE_PAGED_STREAM_H_
+#define TEMPUS_STORAGE_PAGED_STREAM_H_
+
+#include <memory>
+
+#include "storage/paged_relation.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+/// Scans a PagedRelation, charging one page read to the shared counter
+/// per page touched (and per re-pass after Open() is called again). This
+/// is the stream source the I/O-tradeoff benchmarks feed to the join
+/// operators: a stream operator that rescans its input pays for it here.
+class PagedScanStream : public TupleStream {
+ public:
+  /// Neither pointer is owned; both must outlive the stream.
+  PagedScanStream(const PagedRelation* relation, PageIoCounter* io);
+
+  const Schema& schema() const override { return relation_->schema(); }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  const PagedRelation* relation_;
+  PageIoCounter* io_;
+  size_t page_index_ = 0;
+  size_t slot_index_ = 0;
+  bool page_charged_ = false;
+  bool opened_ = false;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_STORAGE_PAGED_STREAM_H_

@@ -1,0 +1,152 @@
+#include "stream/basic_ops.h"
+
+#include <utility>
+
+namespace tempus {
+
+FilterStream::FilterStream(std::unique_ptr<TupleStream> child,
+                           TuplePredicate predicate,
+                           uint64_t comparison_weight)
+    : child_(std::move(child)),
+      predicate_(std::move(predicate)),
+      comparison_weight_(comparison_weight) {}
+
+Status FilterStream::Open() {
+  ++metrics_.passes_left;
+  return child_->Open();
+}
+
+Result<bool> FilterStream::Next(Tuple* out) {
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    ++metrics_.tuples_read_left;
+    metrics_.comparisons += comparison_weight_;
+    TEMPUS_ASSIGN_OR_RETURN(bool keep, predicate_(*out));
+    if (keep) {
+      ++metrics_.tuples_emitted;
+      return true;
+    }
+  }
+}
+
+Result<std::unique_ptr<ProjectStream>> ProjectStream::Create(
+    std::unique_ptr<TupleStream> child, std::vector<size_t> indices) {
+  TEMPUS_ASSIGN_OR_RETURN(Schema schema,
+                          child->schema().Project(indices));
+  return std::unique_ptr<ProjectStream>(new ProjectStream(
+      std::move(child), std::move(indices), std::move(schema)));
+}
+
+ProjectStream::ProjectStream(std::unique_ptr<TupleStream> child,
+                             std::vector<size_t> indices, Schema schema)
+    : child_(std::move(child)),
+      indices_(std::move(indices)),
+      schema_(std::move(schema)) {}
+
+Status ProjectStream::Open() {
+  ++metrics_.passes_left;
+  return child_->Open();
+}
+
+Result<bool> ProjectStream::Next(Tuple* out) {
+  Tuple row;
+  TEMPUS_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+  if (!has) return false;
+  ++metrics_.tuples_read_left;
+  std::vector<Value> values;
+  values.reserve(indices_.size());
+  for (size_t ix : indices_) {
+    values.push_back(row[ix]);
+  }
+  *out = Tuple(std::move(values));
+  ++metrics_.tuples_emitted;
+  return true;
+}
+
+SortStream::SortStream(std::unique_ptr<TupleStream> child, SortSpec spec)
+    : child_(std::move(child)), spec_(std::move(spec)) {}
+
+Status SortStream::Open() {
+  ++metrics_.passes_left;
+  sorted_.clear();
+  metrics_.workspace_tuples = 0;
+  TEMPUS_RETURN_IF_ERROR(child_->Open());
+  Tuple tuple;
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool has, child_->Next(&tuple));
+    if (!has) break;
+    ++metrics_.tuples_read_left;
+    sorted_.push_back(std::move(tuple));
+    metrics_.AddWorkspace();
+    tuple = Tuple();
+  }
+  SortTuples(&sorted_, spec_);
+  next_index_ = 0;
+  return Status::Ok();
+}
+
+Result<bool> SortStream::Next(Tuple* out) {
+  if (next_index_ >= sorted_.size()) return false;
+  *out = sorted_[next_index_++];
+  ++metrics_.tuples_emitted;
+  return true;
+}
+
+MapStream::MapStream(std::unique_ptr<TupleStream> child, Schema output_schema,
+                     Transform transform)
+    : child_(std::move(child)),
+      schema_(std::move(output_schema)),
+      transform_(std::move(transform)) {}
+
+Status MapStream::Open() {
+  ++metrics_.passes_left;
+  return child_->Open();
+}
+
+Result<bool> MapStream::Next(Tuple* out) {
+  Tuple row;
+  TEMPUS_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+  if (!has) return false;
+  ++metrics_.tuples_read_left;
+  TEMPUS_ASSIGN_OR_RETURN(*out, transform_(row));
+  ++metrics_.tuples_emitted;
+  return true;
+}
+
+DedupStream::DedupStream(std::unique_ptr<TupleStream> child)
+    : child_(std::move(child)) {}
+
+Status DedupStream::Open() {
+  ++metrics_.passes_left;
+  buckets_.assign(1024, {});
+  emitted_ = 0;
+  metrics_.workspace_tuples = 0;
+  return child_->Open();
+}
+
+Result<bool> DedupStream::Next(Tuple* out) {
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    ++metrics_.tuples_read_left;
+    std::vector<Tuple>& bucket = buckets_[out->Hash() % buckets_.size()];
+    bool seen = false;
+    for (const Tuple& t : bucket) {
+      ++metrics_.comparisons;
+      if (t.Equals(*out)) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      bucket.push_back(*out);
+      metrics_.AddWorkspace();
+      ++emitted_;
+      ++metrics_.tuples_emitted;
+      return true;
+    }
+  }
+}
+
+}  // namespace tempus

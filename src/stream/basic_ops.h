@@ -1,0 +1,132 @@
+#ifndef TEMPUS_STREAM_BASIC_OPS_H_
+#define TEMPUS_STREAM_BASIC_OPS_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "relation/sort_spec.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+/// Row predicate used by FilterStream. Returning an error aborts the scan.
+using TuplePredicate = std::function<Result<bool>(const Tuple&)>;
+
+/// Emits the child's tuples satisfying `predicate` (relational selection).
+/// Order-preserving.
+class FilterStream : public TupleStream {
+ public:
+  /// `comparison_weight` is the number of atomic comparisons the predicate
+  /// models per evaluation (a conjunction of k atoms costs k); it feeds
+  /// the comparisons metric so benchmarks can expose the "overhead due to
+  /// testing redundant qualification" the paper's Section 5 discusses.
+  FilterStream(std::unique_ptr<TupleStream> child, TuplePredicate predicate,
+               uint64_t comparison_weight = 1);
+
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  std::unique_ptr<TupleStream> child_;
+  TuplePredicate predicate_;
+  uint64_t comparison_weight_;
+};
+
+/// Projects the child onto the given attribute indices. Order-preserving.
+class ProjectStream : public TupleStream {
+ public:
+  /// Fails if any index is out of range for the child schema.
+  static Result<std::unique_ptr<ProjectStream>> Create(
+      std::unique_ptr<TupleStream> child, std::vector<size_t> indices);
+
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  ProjectStream(std::unique_ptr<TupleStream> child,
+                std::vector<size_t> indices, Schema schema);
+
+  std::unique_ptr<TupleStream> child_;
+  std::vector<size_t> indices_;
+  Schema schema_;
+};
+
+/// Materializes and sorts the child on Open(), then emits in order. The
+/// sort enforcer the planner inserts when a stream operator needs an order
+/// the input does not already satisfy. Workspace is the full input
+/// (reflected in metrics), which is exactly the cost Table 1 trades against.
+class SortStream : public TupleStream {
+ public:
+  SortStream(std::unique_ptr<TupleStream> child, SortSpec spec);
+
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {child_.get()};
+  }
+
+  const SortSpec& spec() const { return spec_; }
+
+ private:
+  std::unique_ptr<TupleStream> child_;
+  SortSpec spec_;
+  std::vector<Tuple> sorted_;
+  size_t next_index_ = 0;
+};
+
+/// Per-tuple transform producing rows of an explicitly supplied schema
+/// (computed columns, e.g. the derived "gap" lifespan [f1.TE, f2.TS+1) of
+/// the semantically optimized Superstar plan). Order-preserving with
+/// respect to any key the transform copies through.
+class MapStream : public TupleStream {
+ public:
+  using Transform = std::function<Result<Tuple>(const Tuple&)>;
+
+  MapStream(std::unique_ptr<TupleStream> child, Schema output_schema,
+            Transform transform);
+
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  std::unique_ptr<TupleStream> child_;
+  Schema schema_;
+  Transform transform_;
+};
+
+/// Removes duplicate tuples (set projection semantics). Workspace is a hash
+/// set of emitted tuples. Order-preserving on first occurrences.
+class DedupStream : public TupleStream {
+ public:
+  explicit DedupStream(std::unique_ptr<TupleStream> child);
+
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  std::unique_ptr<TupleStream> child_;
+  std::vector<std::vector<Tuple>> buckets_;  // Open-addressed by hash % size.
+  size_t emitted_ = 0;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_STREAM_BASIC_OPS_H_

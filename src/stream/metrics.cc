@@ -1,0 +1,32 @@
+#include "stream/metrics.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace tempus {
+
+void OperatorMetrics::Absorb(const OperatorMetrics& child) {
+  tuples_read_left += child.tuples_read_left;
+  tuples_read_right += child.tuples_read_right;
+  tuples_emitted += child.tuples_emitted;
+  comparisons += child.comparisons;
+  passes_left += child.passes_left;
+  passes_right += child.passes_right;
+  peak_workspace_tuples =
+      std::max(peak_workspace_tuples, child.peak_workspace_tuples);
+}
+
+std::string OperatorMetrics::ToString() const {
+  return StrFormat(
+      "read=(%llu,%llu) emitted=%llu cmps=%llu passes=(%llu,%llu) "
+      "peak_ws=%zu",
+      static_cast<unsigned long long>(tuples_read_left),
+      static_cast<unsigned long long>(tuples_read_right),
+      static_cast<unsigned long long>(tuples_emitted),
+      static_cast<unsigned long long>(comparisons),
+      static_cast<unsigned long long>(passes_left),
+      static_cast<unsigned long long>(passes_right), peak_workspace_tuples);
+}
+
+}  // namespace tempus

@@ -1,0 +1,50 @@
+#ifndef TEMPUS_STREAM_METRICS_H_
+#define TEMPUS_STREAM_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tempus {
+
+/// Cost and state accounting for a stream operator. These counters realize
+/// the three tradeoff axes of Section 4.1:
+///   1. local workspace size      -> workspace_tuples / peak_workspace_tuples
+///   2. sort order of inputs      -> recorded by the plan, not here
+///   3. passes over input streams -> passes_left / passes_right
+/// Input buffers (the paper's <Buffer-x, Buffer-y>) are NOT counted as
+/// workspace; workspace counts state tuples only, matching the paper's
+/// accounting ("the local workspace is composed of only a state tuple and
+/// an input buffer").
+struct OperatorMetrics {
+  uint64_t tuples_read_left = 0;
+  uint64_t tuples_read_right = 0;
+  uint64_t tuples_emitted = 0;
+  /// Predicate / key comparisons evaluated (the conventional-vs-stream cost
+  /// proxy used by the Figure 8 benchmark).
+  uint64_t comparisons = 0;
+  uint64_t passes_left = 0;
+  uint64_t passes_right = 0;
+  size_t workspace_tuples = 0;
+  size_t peak_workspace_tuples = 0;
+
+  void AddWorkspace(size_t n = 1) {
+    workspace_tuples += n;
+    if (workspace_tuples > peak_workspace_tuples) {
+      peak_workspace_tuples = workspace_tuples;
+    }
+  }
+  void SubWorkspace(size_t n = 1) {
+    workspace_tuples = n > workspace_tuples ? 0 : workspace_tuples - n;
+  }
+
+  /// Merges a child operator's counters into this one (used when a
+  /// composite plan reports a single rollup).
+  void Absorb(const OperatorMetrics& child);
+
+  std::string ToString() const;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_STREAM_METRICS_H_

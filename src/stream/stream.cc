@@ -1,0 +1,97 @@
+#include "stream/stream.h"
+
+namespace tempus {
+
+VectorStream::VectorStream(Schema schema, const std::vector<Tuple>* borrowed,
+                           std::vector<Tuple> owned)
+    : schema_(std::move(schema)), owned_(std::move(owned)) {
+  tuples_ = borrowed != nullptr ? borrowed : &owned_;
+}
+
+std::unique_ptr<VectorStream> VectorStream::Borrowing(
+    const Schema& schema, const std::vector<Tuple>* tuples) {
+  return std::unique_ptr<VectorStream>(
+      new VectorStream(schema, tuples, {}));
+}
+
+std::unique_ptr<VectorStream> VectorStream::Owning(const Schema& schema,
+                                                   std::vector<Tuple> tuples) {
+  return std::unique_ptr<VectorStream>(
+      new VectorStream(schema, nullptr, std::move(tuples)));
+}
+
+std::unique_ptr<VectorStream> VectorStream::Scan(
+    const TemporalRelation& relation) {
+  return Borrowing(relation.schema(), &relation.tuples());
+}
+
+Status VectorStream::Open() {
+  next_index_ = 0;
+  opened_ = true;
+  ++metrics_.passes_left;
+  return Status::Ok();
+}
+
+Result<bool> VectorStream::Next(Tuple* out) {
+  if (!opened_) {
+    return Status::FailedPrecondition("VectorStream::Next before Open");
+  }
+  if (next_index_ >= tuples_->size()) {
+    return false;
+  }
+  *out = (*tuples_)[next_index_++];
+  ++metrics_.tuples_read_left;
+  return true;
+}
+
+Result<TemporalRelation> Materialize(TupleStream* stream,
+                                     const std::string& name) {
+  TEMPUS_RETURN_IF_ERROR(stream->Open());
+  TemporalRelation out(name, stream->schema());
+  Tuple tuple;
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool has, stream->Next(&tuple));
+    if (!has) break;
+    TEMPUS_RETURN_IF_ERROR(out.Append(std::move(tuple)));
+    tuple = Tuple();
+  }
+  return out;
+}
+
+namespace {
+
+void CollectInto(const TupleStream& node, OperatorMetrics* total) {
+  const OperatorMetrics& m = node.metrics();
+  total->tuples_read_left += m.tuples_read_left;
+  total->tuples_read_right += m.tuples_read_right;
+  total->tuples_emitted += m.tuples_emitted;
+  total->comparisons += m.comparisons;
+  total->passes_left += m.passes_left;
+  total->passes_right += m.passes_right;
+  total->peak_workspace_tuples += m.peak_workspace_tuples;
+  for (const TupleStream* child : node.children()) {
+    CollectInto(*child, total);
+  }
+}
+
+}  // namespace
+
+OperatorMetrics CollectPlanMetrics(const TupleStream& root) {
+  OperatorMetrics total;
+  CollectInto(root, &total);
+  return total;
+}
+
+Result<size_t> DrainCount(TupleStream* stream) {
+  TEMPUS_RETURN_IF_ERROR(stream->Open());
+  size_t count = 0;
+  Tuple tuple;
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool has, stream->Next(&tuple));
+    if (!has) break;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace tempus

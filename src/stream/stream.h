@@ -1,0 +1,97 @@
+#ifndef TEMPUS_STREAM_STREAM_H_
+#define TEMPUS_STREAM_STREAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relation/schema.h"
+#include "relation/temporal_relation.h"
+#include "relation/tuple.h"
+#include "stream/metrics.h"
+
+namespace tempus {
+
+/// A stream is "an ordered sequence of data objects" (Section 4.1). All
+/// operators in the library — scans, sorts, and the temporal joins — are
+/// pull-based TupleStreams, so networks of stream processors compose by
+/// ownership.
+///
+/// Protocol: Open() must be called before the first Next(); calling Open()
+/// again rewinds the stream (another pass — implementations count passes in
+/// their metrics). Next() produces tuples until it returns false.
+class TupleStream {
+ public:
+  virtual ~TupleStream() = default;
+
+  TupleStream(const TupleStream&) = delete;
+  TupleStream& operator=(const TupleStream&) = delete;
+
+  /// Schema of produced tuples; valid before Open().
+  virtual const Schema& schema() const = 0;
+
+  /// Starts (or restarts) the stream.
+  virtual Status Open() = 0;
+
+  /// Produces the next tuple into *out. Returns false at end-of-stream.
+  virtual Result<bool> Next(Tuple* out) = 0;
+
+  /// Operator cost counters; zeroed by Open() only where documented.
+  virtual const OperatorMetrics& metrics() const { return metrics_; }
+
+  /// Child operators (inputs) of this stream, for plan-wide metric
+  /// rollups and tree printing. Leaves return {}.
+  virtual std::vector<const TupleStream*> children() const { return {}; }
+
+ protected:
+  TupleStream() = default;
+  OperatorMetrics metrics_;
+};
+
+/// Streams tuples from an in-memory vector; either borrowing (caller keeps
+/// the storage alive) or owning.
+class VectorStream : public TupleStream {
+ public:
+  /// Borrows `tuples`; the pointee must outlive the stream.
+  static std::unique_ptr<VectorStream> Borrowing(
+      const Schema& schema, const std::vector<Tuple>* tuples);
+
+  /// Takes ownership of `tuples`.
+  static std::unique_ptr<VectorStream> Owning(const Schema& schema,
+                                              std::vector<Tuple> tuples);
+
+  /// Borrows the tuples of `relation` (which must outlive the stream).
+  static std::unique_ptr<VectorStream> Scan(const TemporalRelation& relation);
+
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  VectorStream(Schema schema, const std::vector<Tuple>* borrowed,
+               std::vector<Tuple> owned);
+
+  Schema schema_;
+  std::vector<Tuple> owned_;
+  const std::vector<Tuple>* tuples_;  // Points at owned_ or the borrowed vec.
+  size_t next_index_ = 0;
+  bool opened_ = false;
+};
+
+/// Drains `stream` into a relation named `name`.
+Result<TemporalRelation> Materialize(TupleStream* stream,
+                                     const std::string& name);
+
+/// Drains `stream`, discarding tuples; returns the count (used by benches
+/// that only need cost counters).
+Result<size_t> DrainCount(TupleStream* stream);
+
+/// Aggregates metrics over the whole operator tree rooted at `root`:
+/// counters are summed; peak workspace is summed across operators (each
+/// operator holds its state simultaneously during a pipelined run).
+OperatorMetrics CollectPlanMetrics(const TupleStream& root);
+
+}  // namespace tempus
+
+#endif  // TEMPUS_STREAM_STREAM_H_

@@ -1,0 +1,140 @@
+#include "stream/temporal_ops.h"
+
+#include <algorithm>
+
+#include "stream/basic_ops.h"
+
+namespace tempus {
+
+CoalesceStream::CoalesceStream(std::unique_ptr<TupleStream> child,
+                               LifespanRef lifespan,
+                               std::vector<size_t> group_attrs)
+    : child_(std::move(child)),
+      lifespan_(lifespan),
+      group_attrs_(std::move(group_attrs)) {}
+
+Result<std::unique_ptr<CoalesceStream>> CoalesceStream::Create(
+    std::unique_ptr<TupleStream> child) {
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef lifespan,
+                          LifespanRef::ForSchema(child->schema()));
+  std::vector<size_t> group_attrs;
+  for (size_t i = 0; i < child->schema().attribute_count(); ++i) {
+    if (i != lifespan.valid_from_index && i != lifespan.valid_to_index) {
+      group_attrs.push_back(i);
+    }
+  }
+  return std::unique_ptr<CoalesceStream>(new CoalesceStream(
+      std::move(child), lifespan, std::move(group_attrs)));
+}
+
+bool CoalesceStream::SameGroup(const Tuple& a, const Tuple& b) const {
+  for (size_t ix : group_attrs_) {
+    if (!a[ix].Equals(b[ix])) return false;
+  }
+  return true;
+}
+
+Status CoalesceStream::Open() {
+  ++metrics_.passes_left;
+  has_pending_ = false;
+  done_ = false;
+  metrics_.workspace_tuples = 0;
+  return child_->Open();
+}
+
+Result<bool> CoalesceStream::Next(Tuple* out) {
+  while (true) {
+    if (done_) {
+      if (has_pending_) {
+        *out = std::move(pending_);
+        out->Set(lifespan_.valid_from_index,
+                 Value::Time(pending_span_.start));
+        out->Set(lifespan_.valid_to_index, Value::Time(pending_span_.end));
+        has_pending_ = false;
+        metrics_.SubWorkspace();
+        ++metrics_.tuples_emitted;
+        return true;
+      }
+      return false;
+    }
+    Tuple next;
+    TEMPUS_ASSIGN_OR_RETURN(bool has, child_->Next(&next));
+    if (!has) {
+      done_ = true;
+      continue;  // Flush the pending tuple above.
+    }
+    ++metrics_.tuples_read_left;
+    const Interval span = lifespan_.Of(next);
+    if (!has_pending_) {
+      pending_ = std::move(next);
+      pending_span_ = span;
+      has_pending_ = true;
+      metrics_.AddWorkspace();
+      continue;
+    }
+    ++metrics_.comparisons;
+    const bool same_group = SameGroup(pending_, next);
+    if (same_group && span.start < pending_span_.start) {
+      return Status::FailedPrecondition(
+          "coalesce input not sorted by (group, ValidFrom^): " +
+          span.ToString() + " after " + pending_span_.ToString());
+    }
+    if (same_group && span.start <= pending_span_.end) {
+      // Meets or intersects: extend the pending period.
+      pending_span_.end = std::max(pending_span_.end, span.end);
+      continue;
+    }
+    // Group change or gap: emit the pending maximal period.
+    *out = pending_;
+    out->Set(lifespan_.valid_from_index, Value::Time(pending_span_.start));
+    out->Set(lifespan_.valid_to_index, Value::Time(pending_span_.end));
+    pending_ = std::move(next);
+    pending_span_ = span;
+    ++metrics_.tuples_emitted;
+    return true;
+  }
+}
+
+Result<std::unique_ptr<TupleStream>> MakeTimeSlice(
+    std::unique_ptr<TupleStream> child, TimePoint at) {
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef lifespan,
+                          LifespanRef::ForSchema(child->schema()));
+  auto predicate = [lifespan, at](const Tuple& t) -> Result<bool> {
+    return lifespan.Of(t).ContainsPoint(at);
+  };
+  return std::unique_ptr<TupleStream>(
+      new FilterStream(std::move(child), predicate));
+}
+
+Result<std::unique_ptr<TupleStream>> MakeWindowClip(
+    std::unique_ptr<TupleStream> child, Interval window) {
+  if (!window.IsValid()) {
+    return Status::InvalidArgument("clip window must satisfy TS < TE: " +
+                                   window.ToString());
+  }
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef lifespan,
+                          LifespanRef::ForSchema(child->schema()));
+  const Schema schema = child->schema();
+  auto transform = [lifespan, window](const Tuple& t) -> Result<Tuple> {
+    const Interval span = lifespan.Of(t);
+    const Interval clipped(std::max(span.start, window.start),
+                           std::min(span.end, window.end));
+    if (!clipped.IsValid()) {
+      // Marker for "outside the window"; filtered below.
+      return Tuple();
+    }
+    Tuple out = t;
+    out.Set(lifespan.valid_from_index, Value::Time(clipped.start));
+    out.Set(lifespan.valid_to_index, Value::Time(clipped.end));
+    return out;
+  };
+  auto mapped = std::make_unique<MapStream>(std::move(child), schema,
+                                            transform);
+  auto predicate = [](const Tuple& t) -> Result<bool> {
+    return !t.empty();
+  };
+  return std::unique_ptr<TupleStream>(
+      new FilterStream(std::move(mapped), predicate));
+}
+
+}  // namespace tempus

@@ -1,0 +1,150 @@
+#include "tql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace tempus {
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t line = 1;
+  size_t column = 1;
+  size_t i = 0;
+  auto advance = [&](size_t n = 1) {
+    for (size_t k = 0; k < n && i < source.size(); ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  while (i < source.size()) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '#') {
+      while (i < source.size() && source[i] != '\n') advance();
+      continue;
+    }
+    Token token;
+    token.line = line;
+    token.column = column;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t begin = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        advance();
+      }
+      token.kind = TokenKind::kIdent;
+      token.text = source.substr(begin, i - begin);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < source.size() &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t begin = i;
+      advance();  // Sign or first digit.
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        advance();
+      }
+      token.kind = TokenKind::kNumber;
+      token.number = std::stoll(source.substr(begin, i - begin));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '"') {
+      advance();
+      std::string text;
+      bool closed = false;
+      while (i < source.size()) {
+        if (source[i] == '"') {
+          closed = true;
+          advance();
+          break;
+        }
+        text += source[i];
+        advance();
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at line %zu", token.line));
+      }
+      token.kind = TokenKind::kString;
+      token.text = std::move(text);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    auto two = [&](char second) {
+      return i + 1 < source.size() && source[i + 1] == second;
+    };
+    switch (c) {
+      case '=':
+        token.kind = TokenKind::kEquals;
+        advance();
+        break;
+      case '!':
+        if (!two('=')) {
+          return Status::InvalidArgument(
+              StrFormat("stray '!' at line %zu:%zu", line, column));
+        }
+        token.kind = TokenKind::kNotEquals;
+        advance(2);
+        break;
+      case '<':
+        if (two('=')) {
+          token.kind = TokenKind::kLessEq;
+          advance(2);
+        } else {
+          token.kind = TokenKind::kLess;
+          advance();
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          token.kind = TokenKind::kGreaterEq;
+          advance(2);
+        } else {
+          token.kind = TokenKind::kGreater;
+          advance();
+        }
+        break;
+      case '(':
+        token.kind = TokenKind::kLParen;
+        advance();
+        break;
+      case ')':
+        token.kind = TokenKind::kRParen;
+        advance();
+        break;
+      case ',':
+        token.kind = TokenKind::kComma;
+        advance();
+        break;
+      case '.':
+        token.kind = TokenKind::kDot;
+        advance();
+        break;
+      default:
+        return Status::InvalidArgument(StrFormat(
+            "unexpected character '%c' at line %zu:%zu", c, line, column));
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace tempus

@@ -1,0 +1,46 @@
+#ifndef TEMPUS_TQL_LEXER_H_
+#define TEMPUS_TQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tempus {
+
+/// Token kinds of the TQL surface language (a Quel-flavored syntax after
+/// the paper's Section 3 examples).
+enum class TokenKind {
+  kIdent,    // range variables, relation/attribute names, keywords
+  kNumber,   // integer literal
+  kString,   // "double quoted"
+  kEquals,   // =
+  kNotEquals,  // !=
+  kLess,       // <
+  kLessEq,     // <=
+  kGreater,    // >
+  kGreaterEq,  // >=
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // Identifier or string contents.
+  int64_t number = 0;   // For kNumber.
+  size_t line = 1;      // 1-based source line, for diagnostics.
+  size_t column = 1;
+};
+
+/// Tokenizes TQL source. Identifiers are [A-Za-z_][A-Za-z0-9_]*;
+/// '#'-to-end-of-line comments are skipped; fails on unterminated strings
+/// or stray characters, with line/column in the message.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace tempus
+
+#endif  // TEMPUS_TQL_LEXER_H_

@@ -1,0 +1,246 @@
+#include "tql/parser.h"
+
+#include "allen/interval_algebra.h"
+#include "common/string_util.h"
+#include "tql/lexer.h"
+
+namespace tempus {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ConjunctiveQuery> Parse();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Peek2() const {
+    return tokens_[pos_ + 1 < tokens_.size() ? pos_ + 1 : pos_];
+  }
+  Token Take() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool PeekKeyword(std::string_view kw) const {
+    return Peek().kind == TokenKind::kIdent &&
+           EqualsIgnoreCase(Peek().text, kw);
+  }
+  bool ConsumeKeyword(std::string_view kw) {
+    if (!PeekKeyword(kw)) return false;
+    Take();
+    return true;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!ConsumeKeyword(kw)) {
+      return Error(std::string("expected keyword '") + std::string(kw) + "'");
+    }
+    return Status::Ok();
+  }
+  Result<Token> Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) return Error(std::string("expected ") + what);
+    return Take();
+  }
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrFormat("TQL parse error at line %zu:%zu: %s", Peek().line,
+                  Peek().column, message.c_str()));
+  }
+
+  Result<ColumnRef> ParseColumn();
+  Result<ScalarTerm> ParseTerm();
+  Status ParseTargets(ConjunctiveQuery* query);
+  Status ParseWhere(ConjunctiveQuery* query);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+/// Maps a TQL temporal operator identifier to an Allen mask, accepting
+/// underscores for hyphens ("met_by" == "met-by"). "overlap" (singular) is
+/// TQuel's general overlap.
+Result<AllenMask> TemporalOpMask(const std::string& ident) {
+  if (EqualsIgnoreCase(ident, "overlap")) {
+    return AllenMask::Intersecting();
+  }
+  std::string name = ToLower(ident);
+  for (char& c : name) {
+    if (c == '_') c = '-';
+  }
+  TEMPUS_ASSIGN_OR_RETURN(AllenRelation rel, AllenRelationFromName(name));
+  return AllenMask::Single(rel);
+}
+
+bool IsTemporalOp(const std::string& ident) {
+  return TemporalOpMask(ident).ok();
+}
+
+Result<ColumnRef> Parser::ParseColumn() {
+  TEMPUS_ASSIGN_OR_RETURN(Token var, Expect(TokenKind::kIdent,
+                                            "range variable"));
+  TEMPUS_ASSIGN_OR_RETURN(Token dot, Expect(TokenKind::kDot, "'.'"));
+  (void)dot;
+  TEMPUS_ASSIGN_OR_RETURN(Token attr,
+                          Expect(TokenKind::kIdent, "attribute name"));
+  return ColumnRef{var.text, attr.text};
+}
+
+Result<ScalarTerm> Parser::ParseTerm() {
+  if (Peek().kind == TokenKind::kNumber) {
+    return ScalarTerm::Lit(Value::Int(Take().number));
+  }
+  if (Peek().kind == TokenKind::kString) {
+    return ScalarTerm::Lit(Value::Str(Take().text));
+  }
+  TEMPUS_ASSIGN_OR_RETURN(ColumnRef col, ParseColumn());
+  return ScalarTerm::Column(col.range_var, col.attribute);
+}
+
+Status Parser::ParseTargets(ConjunctiveQuery* query) {
+  TEMPUS_ASSIGN_OR_RETURN(Token lp, Expect(TokenKind::kLParen, "'('"));
+  (void)lp;
+  while (true) {
+    OutputItem item;
+    // Quel-style "Alias = f1.Attr" or "f1.Attr [as Alias]".
+    if (Peek().kind == TokenKind::kIdent &&
+        Peek2().kind == TokenKind::kEquals) {
+      item.alias = Take().text;
+      Take();  // '='
+      TEMPUS_ASSIGN_OR_RETURN(item.column, ParseColumn());
+    } else {
+      TEMPUS_ASSIGN_OR_RETURN(item.column, ParseColumn());
+      if (ConsumeKeyword("as")) {
+        TEMPUS_ASSIGN_OR_RETURN(Token alias,
+                                Expect(TokenKind::kIdent, "alias"));
+        item.alias = alias.text;
+      }
+    }
+    query->outputs.push_back(std::move(item));
+    if (Peek().kind == TokenKind::kComma) {
+      Take();
+      continue;
+    }
+    break;
+  }
+  TEMPUS_ASSIGN_OR_RETURN(Token rp, Expect(TokenKind::kRParen, "')'"));
+  (void)rp;
+  return Status::Ok();
+}
+
+Status Parser::ParseWhere(ConjunctiveQuery* query) {
+  while (true) {
+    // Parenthesized temporal atom: "(f1 overlap f3)".
+    size_t parens = 0;
+    while (Peek().kind == TokenKind::kLParen) {
+      Take();
+      ++parens;
+    }
+    if (Peek().kind == TokenKind::kIdent &&
+        Peek2().kind == TokenKind::kIdent && IsTemporalOp(Peek2().text)) {
+      // Temporal atom: var OP var.
+      Token left = Take();
+      Token op = Take();
+      TEMPUS_ASSIGN_OR_RETURN(Token right, Expect(TokenKind::kIdent,
+                                                  "range variable"));
+      TemporalAtom atom;
+      atom.left_var = left.text;
+      atom.right_var = right.text;
+      atom.op_name = ToLower(op.text);
+      TEMPUS_ASSIGN_OR_RETURN(atom.mask, TemporalOpMask(op.text));
+      query->temporal_atoms.push_back(std::move(atom));
+    } else {
+      Comparison cmp;
+      TEMPUS_ASSIGN_OR_RETURN(cmp.lhs, ParseTerm());
+      switch (Peek().kind) {
+        case TokenKind::kEquals:
+          cmp.op = CmpOp::kEq;
+          break;
+        case TokenKind::kNotEquals:
+          cmp.op = CmpOp::kNe;
+          break;
+        case TokenKind::kLess:
+          cmp.op = CmpOp::kLt;
+          break;
+        case TokenKind::kLessEq:
+          cmp.op = CmpOp::kLe;
+          break;
+        case TokenKind::kGreater:
+          cmp.op = CmpOp::kGt;
+          break;
+        case TokenKind::kGreaterEq:
+          cmp.op = CmpOp::kGe;
+          break;
+        default:
+          return Error("expected comparison operator");
+      }
+      Take();
+      TEMPUS_ASSIGN_OR_RETURN(cmp.rhs, ParseTerm());
+      query->comparisons.push_back(std::move(cmp));
+    }
+    for (; parens > 0; --parens) {
+      TEMPUS_ASSIGN_OR_RETURN(Token rp, Expect(TokenKind::kRParen, "')'"));
+      (void)rp;
+    }
+    if (ConsumeKeyword("and")) continue;
+    break;
+  }
+  return Status::Ok();
+}
+
+Result<ConjunctiveQuery> Parser::Parse() {
+  ConjunctiveQuery query;
+  while (PeekKeyword("range")) {
+    Take();
+    TEMPUS_RETURN_IF_ERROR(ExpectKeyword("of"));
+    TEMPUS_ASSIGN_OR_RETURN(Token var, Expect(TokenKind::kIdent,
+                                              "range variable name"));
+    TEMPUS_RETURN_IF_ERROR(ExpectKeyword("is"));
+    TEMPUS_ASSIGN_OR_RETURN(Token rel,
+                            Expect(TokenKind::kIdent, "relation name"));
+    query.range_vars.push_back({var.text, rel.text});
+  }
+  if (query.range_vars.empty()) {
+    return Error("query must start with 'range of <var> is <relation>'");
+  }
+  TEMPUS_RETURN_IF_ERROR(ExpectKeyword("retrieve"));
+  if (ConsumeKeyword("unique")) query.distinct = true;
+  if (ConsumeKeyword("into")) {
+    TEMPUS_ASSIGN_OR_RETURN(Token into,
+                            Expect(TokenKind::kIdent, "result name"));
+    query.into = into.text;
+  }
+  TEMPUS_RETURN_IF_ERROR(ParseTargets(&query));
+  if (ConsumeKeyword("where")) {
+    TEMPUS_RETURN_IF_ERROR(ParseWhere(&query));
+  }
+  if (ConsumeKeyword("order")) {
+    TEMPUS_RETURN_IF_ERROR(ExpectKeyword("by"));
+    while (true) {
+      OrderByItem item;
+      TEMPUS_ASSIGN_OR_RETURN(item.column, ParseColumn());
+      if (ConsumeKeyword("desc")) {
+        item.ascending = false;
+      } else {
+        (void)ConsumeKeyword("asc");
+      }
+      query.order_by.push_back(std::move(item));
+      if (Peek().kind == TokenKind::kComma) {
+        Take();
+        continue;
+      }
+      break;
+    }
+  }
+  if (Peek().kind != TokenKind::kEnd) {
+    return Error("unexpected trailing input");
+  }
+  return query;
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseTql(const std::string& source) {
+  TEMPUS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace tempus

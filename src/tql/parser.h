@@ -1,0 +1,40 @@
+#ifndef TEMPUS_TQL_PARSER_H_
+#define TEMPUS_TQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "plan/query.h"
+
+namespace tempus {
+
+/// Parses one TQL query — a Quel-flavored surface syntax after the paper's
+/// Section 3 examples:
+///
+///   range of f1 is Faculty
+///   range of f2 is Faculty
+///   range of f3 is Faculty
+///   retrieve unique into Stars (f1.Name, f1.ValidFrom, f2.ValidTo)
+///   where f1.Name = f2.Name and f1.Rank = "Assistant"
+///     and f2.Rank = "Full" and f3.Rank = "Associate"
+///     and (f1 overlap f3) and (f2 overlap f3)
+///
+/// Grammar (keywords case-insensitive, '#' comments):
+///   query      := range_decl+ retrieve
+///   range_decl := 'range' 'of' IDENT 'is' IDENT
+///   retrieve   := 'retrieve' ['unique'] ['into' IDENT]
+///                 '(' target (',' target)* ')' ['where' conjunct]
+///   target     := IDENT '=' col | col ['as' IDENT]
+///   col        := IDENT '.' IDENT
+///   conjunct   := atom ('and' atom)*
+///   atom       := '(' atom ')' | col-or-literal CMP col-or-literal
+///               | IDENT TEMPORAL_OP IDENT
+///   TEMPORAL_OP := 'overlap' (TQuel general overlap) or any Allen relation
+///                  name: equal, before, after, meets, met_by, overlaps,
+///                  overlapped_by, starts, started_by, during, contains,
+///                  finishes, finished_by
+Result<ConjunctiveQuery> ParseTql(const std::string& source);
+
+}  // namespace tempus
+
+#endif  // TEMPUS_TQL_PARSER_H_

@@ -1,0 +1,212 @@
+#include "allen/interval_algebra.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tempus {
+namespace {
+
+/// All intervals over the endpoint domain [0, limit].
+std::vector<Interval> Domain(TimePoint limit) {
+  std::vector<Interval> out;
+  for (TimePoint s = 0; s < limit; ++s) {
+    for (TimePoint e = s + 1; e <= limit; ++e) {
+      out.emplace_back(s, e);
+    }
+  }
+  return out;
+}
+
+TEST(AllenTest, ThirteenRelations) {
+  EXPECT_EQ(AllAllenRelations().size(), 13u);
+  EXPECT_EQ(kAllenRelationCount, 13);
+}
+
+TEST(AllenTest, ClassifyKnownCases) {
+  EXPECT_EQ(Classify({1, 5}, {1, 5}), AllenRelation::kEqual);
+  EXPECT_EQ(Classify({1, 3}, {4, 6}), AllenRelation::kBefore);
+  EXPECT_EQ(Classify({4, 6}, {1, 3}), AllenRelation::kAfter);
+  EXPECT_EQ(Classify({1, 3}, {3, 6}), AllenRelation::kMeets);
+  EXPECT_EQ(Classify({3, 6}, {1, 3}), AllenRelation::kMetBy);
+  EXPECT_EQ(Classify({1, 4}, {2, 6}), AllenRelation::kOverlaps);
+  EXPECT_EQ(Classify({2, 6}, {1, 4}), AllenRelation::kOverlappedBy);
+  EXPECT_EQ(Classify({1, 3}, {1, 6}), AllenRelation::kStarts);
+  EXPECT_EQ(Classify({1, 6}, {1, 3}), AllenRelation::kStartedBy);
+  EXPECT_EQ(Classify({2, 4}, {1, 6}), AllenRelation::kDuring);
+  EXPECT_EQ(Classify({1, 6}, {2, 4}), AllenRelation::kContains);
+  EXPECT_EQ(Classify({3, 6}, {1, 6}), AllenRelation::kFinishes);
+  EXPECT_EQ(Classify({1, 6}, {3, 6}), AllenRelation::kFinishedBy);
+}
+
+TEST(AllenTest, ExactlyOneRelationHoldsExhaustive) {
+  for (const Interval& x : Domain(7)) {
+    for (const Interval& y : Domain(7)) {
+      int holds = 0;
+      for (AllenRelation rel : AllAllenRelations()) {
+        if (Holds(rel, x, y)) ++holds;
+      }
+      ASSERT_EQ(holds, 1) << x.ToString() << " vs " << y.ToString();
+    }
+  }
+}
+
+TEST(AllenTest, InverseIsConverseExhaustive) {
+  for (const Interval& x : Domain(6)) {
+    for (const Interval& y : Domain(6)) {
+      EXPECT_EQ(AllenInverse(Classify(x, y)), Classify(y, x));
+    }
+  }
+}
+
+TEST(AllenTest, InverseIsInvolution) {
+  for (AllenRelation rel : AllAllenRelations()) {
+    EXPECT_EQ(AllenInverse(AllenInverse(rel)), rel);
+  }
+}
+
+TEST(AllenTest, MirrorMatchesReflectionExhaustive) {
+  for (const Interval& x : Domain(6)) {
+    for (const Interval& y : Domain(6)) {
+      const Interval mx(-x.end, -x.start);
+      const Interval my(-y.end, -y.start);
+      EXPECT_EQ(AllenMirror(Classify(x, y)), Classify(mx, my));
+    }
+  }
+}
+
+TEST(AllenTest, MirrorIsInvolution) {
+  for (AllenRelation rel : AllAllenRelations()) {
+    EXPECT_EQ(AllenMirror(AllenMirror(rel)), rel);
+  }
+}
+
+TEST(AllenTest, ExplicitConstraintsMatchClassification) {
+  // Figure 2's constraint column (plus intra-tuple validity) must be
+  // equivalent to the relation itself.
+  for (AllenRelation rel : AllAllenRelations()) {
+    const auto constraints = ExplicitConstraints(rel);
+    ASSERT_FALSE(constraints.empty());
+    for (const Interval& x : Domain(6)) {
+      for (const Interval& y : Domain(6)) {
+        bool all = true;
+        for (const EndpointConstraint& c : constraints) {
+          if (!c.Evaluate(x, y)) {
+            all = false;
+            break;
+          }
+        }
+        ASSERT_EQ(all, Holds(rel, x, y))
+            << AllenRelationName(rel) << " " << x.ToString() << " "
+            << y.ToString();
+      }
+    }
+  }
+}
+
+TEST(AllenTest, NamesRoundTrip) {
+  for (AllenRelation rel : AllAllenRelations()) {
+    Result<AllenRelation> back =
+        AllenRelationFromName(AllenRelationName(rel));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), rel);
+  }
+  EXPECT_TRUE(AllenRelationFromName("DURING").ok());  // Case-insensitive.
+  EXPECT_FALSE(AllenRelationFromName("sideways").ok());
+}
+
+TEST(AllenMaskTest, BasicSetOperations) {
+  AllenMask m;
+  EXPECT_TRUE(m.IsEmpty());
+  m.Add(AllenRelation::kDuring);
+  m.Add(AllenRelation::kContains);
+  EXPECT_EQ(m.Count(), 2);
+  EXPECT_TRUE(m.Contains(AllenRelation::kDuring));
+  m.Remove(AllenRelation::kDuring);
+  EXPECT_FALSE(m.Contains(AllenRelation::kDuring));
+  EXPECT_EQ(AllenMask::All().Count(), 13);
+  EXPECT_EQ(AllenMask::All().Intersect(AllenMask::None()).Count(), 0);
+  EXPECT_EQ(AllenMask::Single(AllenRelation::kBefore)
+                .Union(AllenMask::Single(AllenRelation::kAfter))
+                .Count(),
+            2);
+}
+
+TEST(AllenMaskTest, IntersectingMatchesIntervalIntersects) {
+  const AllenMask mask = AllenMask::Intersecting();
+  EXPECT_EQ(mask.Count(), 9);
+  EXPECT_FALSE(mask.Contains(AllenRelation::kBefore));
+  EXPECT_FALSE(mask.Contains(AllenRelation::kMeets));
+  for (const Interval& x : Domain(6)) {
+    for (const Interval& y : Domain(6)) {
+      EXPECT_EQ(mask.HoldsBetween(x, y), x.Intersects(y))
+          << x.ToString() << " " << y.ToString();
+    }
+  }
+}
+
+TEST(AllenMaskTest, InvertedAndMirrored) {
+  const AllenMask m({AllenRelation::kBefore, AllenRelation::kStarts});
+  EXPECT_EQ(m.Inverted(),
+            AllenMask({AllenRelation::kAfter, AllenRelation::kStartedBy}));
+  EXPECT_EQ(m.Mirrored(),
+            AllenMask({AllenRelation::kAfter, AllenRelation::kFinishes}));
+}
+
+TEST(AllenMaskTest, ToString) {
+  EXPECT_EQ(AllenMask::Single(AllenRelation::kDuring).ToString(),
+            "{during}");
+}
+
+TEST(AllenComposeTest, EqualIsIdentity) {
+  for (AllenRelation rel : AllAllenRelations()) {
+    EXPECT_EQ(Compose(AllenRelation::kEqual, rel),
+              AllenMask::Single(rel));
+    EXPECT_EQ(Compose(rel, AllenRelation::kEqual),
+              AllenMask::Single(rel));
+  }
+}
+
+TEST(AllenComposeTest, KnownEntries) {
+  EXPECT_EQ(Compose(AllenRelation::kBefore, AllenRelation::kBefore),
+            AllenMask::Single(AllenRelation::kBefore));
+  EXPECT_EQ(Compose(AllenRelation::kMeets, AllenRelation::kMeets),
+            AllenMask::Single(AllenRelation::kBefore));
+  EXPECT_EQ(Compose(AllenRelation::kDuring, AllenRelation::kDuring),
+            AllenMask::Single(AllenRelation::kDuring));
+  // before ; after = anything (the classic full-ambiguity entry).
+  EXPECT_EQ(Compose(AllenRelation::kBefore, AllenRelation::kAfter),
+            AllenMask::All());
+}
+
+TEST(AllenComposeTest, SoundExhaustive) {
+  // rel(x,z) must always be in Compose(rel(x,y), rel(y,z)).
+  for (const Interval& x : Domain(6)) {
+    for (const Interval& y : Domain(6)) {
+      for (const Interval& z : Domain(6)) {
+        const AllenMask possible = Compose(Classify(x, y), Classify(y, z));
+        ASSERT_TRUE(possible.Contains(Classify(x, z)));
+      }
+    }
+  }
+}
+
+TEST(AllenComposeTest, ConverseDuality) {
+  // Compose(a, b)^-1 == Compose(b^-1, a^-1).
+  for (AllenRelation a : AllAllenRelations()) {
+    for (AllenRelation b : AllAllenRelations()) {
+      EXPECT_EQ(Compose(a, b).Inverted(),
+                Compose(AllenInverse(b), AllenInverse(a)));
+    }
+  }
+}
+
+TEST(EndpointConstraintTest, ToString) {
+  const EndpointConstraint c{{Operand::kX, EndpointKind::kEnd},
+                             EndpointOrder::kLess,
+                             {Operand::kY, EndpointKind::kStart}};
+  EXPECT_EQ(c.ToString(), "X.TE < Y.TS");
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,111 @@
+#include "common/interval.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tempus {
+namespace {
+
+TEST(IntervalTest, ValidityIsStrict) {
+  EXPECT_TRUE(Interval(0, 1).IsValid());
+  EXPECT_FALSE(Interval(1, 1).IsValid());
+  EXPECT_FALSE(Interval(2, 1).IsValid());
+}
+
+TEST(IntervalTest, DurationAndContainsPoint) {
+  const Interval iv(3, 7);
+  EXPECT_EQ(iv.Duration(), 4);
+  EXPECT_FALSE(iv.ContainsPoint(2));
+  EXPECT_TRUE(iv.ContainsPoint(3));
+  EXPECT_TRUE(iv.ContainsPoint(6));
+  EXPECT_FALSE(iv.ContainsPoint(7));  // Half-open.
+}
+
+TEST(IntervalTest, Figure2Relationships) {
+  // X equal Y.
+  EXPECT_TRUE(Interval(1, 5).Equals(Interval(1, 5)));
+  EXPECT_FALSE(Interval(1, 5).Equals(Interval(1, 6)));
+  // X meets Y: X.TE = Y.TS.
+  EXPECT_TRUE(Interval(1, 5).Meets(Interval(5, 9)));
+  EXPECT_FALSE(Interval(1, 5).Meets(Interval(6, 9)));
+  // X starts Y: same start, X shorter.
+  EXPECT_TRUE(Interval(1, 3).Starts(Interval(1, 5)));
+  EXPECT_FALSE(Interval(1, 5).Starts(Interval(1, 5)));
+  // X finishes Y: same end, X starts later.
+  EXPECT_TRUE(Interval(3, 5).Finishes(Interval(1, 5)));
+  EXPECT_FALSE(Interval(1, 5).Finishes(Interval(1, 5)));
+  // X during Y: strictly inside.
+  EXPECT_TRUE(Interval(2, 4).During(Interval(1, 5)));
+  EXPECT_FALSE(Interval(1, 4).During(Interval(1, 5)));  // starts, not during
+  EXPECT_FALSE(Interval(2, 5).During(Interval(1, 5)));  // finishes
+  // Allen overlaps: strict partial overlap.
+  EXPECT_TRUE(Interval(1, 4).AllenOverlaps(Interval(2, 6)));
+  EXPECT_FALSE(Interval(1, 4).AllenOverlaps(Interval(4, 6)));  // meets
+  EXPECT_FALSE(Interval(2, 6).AllenOverlaps(Interval(1, 4)));  // inverse
+  // X before Y: strict gap (Figure 2 uses X.TE < Y.TS).
+  EXPECT_TRUE(Interval(1, 3).Before(Interval(4, 6)));
+  EXPECT_FALSE(Interval(1, 3).Before(Interval(3, 6)));  // meets, not before
+}
+
+TEST(IntervalTest, StrictlyContainsIsConverseOfDuring) {
+  const Interval outer(0, 10);
+  const Interval inner(3, 5);
+  EXPECT_TRUE(outer.StrictlyContains(inner));
+  EXPECT_TRUE(inner.During(outer));
+  EXPECT_FALSE(inner.StrictlyContains(outer));
+  EXPECT_FALSE(outer.StrictlyContains(outer));  // Irreflexive.
+}
+
+TEST(IntervalTest, IntersectsIsTQuelOverlap) {
+  // Shares at least one time point under half-open semantics.
+  EXPECT_TRUE(Interval(1, 5).Intersects(Interval(4, 8)));
+  EXPECT_TRUE(Interval(1, 5).Intersects(Interval(1, 5)));
+  EXPECT_TRUE(Interval(1, 10).Intersects(Interval(3, 4)));
+  // Touching endpoints share no point: [1,5) and [5,9).
+  EXPECT_FALSE(Interval(1, 5).Intersects(Interval(5, 9)));
+  EXPECT_FALSE(Interval(5, 9).Intersects(Interval(1, 5)));
+  EXPECT_FALSE(Interval(1, 3).Intersects(Interval(7, 9)));
+}
+
+TEST(IntervalTest, IntersectsIsSymmetric) {
+  for (TimePoint a = 0; a < 6; ++a) {
+    for (TimePoint b = a + 1; b <= 6; ++b) {
+      for (TimePoint c = 0; c < 6; ++c) {
+        for (TimePoint d = c + 1; d <= 6; ++d) {
+          const Interval x(a, b), y(c, d);
+          EXPECT_EQ(x.Intersects(y), y.Intersects(x));
+        }
+      }
+    }
+  }
+}
+
+TEST(IntervalTest, SortComparators) {
+  std::vector<Interval> spans = {{5, 9}, {1, 4}, {1, 2}, {3, 12}};
+  std::sort(spans.begin(), spans.end(), OrderByStartAsc());
+  EXPECT_EQ(spans[0], Interval(1, 2));   // Secondary key: end ascending.
+  EXPECT_EQ(spans[1], Interval(1, 4));
+  EXPECT_EQ(spans[2], Interval(3, 12));
+  EXPECT_EQ(spans[3], Interval(5, 9));
+
+  std::sort(spans.begin(), spans.end(), OrderByEndDesc());
+  EXPECT_EQ(spans[0], Interval(3, 12));
+  EXPECT_EQ(spans[1], Interval(5, 9));
+  EXPECT_EQ(spans[2], Interval(1, 4));
+  EXPECT_EQ(spans[3], Interval(1, 2));
+
+  std::sort(spans.begin(), spans.end(), OrderByStartDesc());
+  EXPECT_EQ(spans[0], Interval(5, 9));
+  std::sort(spans.begin(), spans.end(), OrderByEndAsc());
+  EXPECT_EQ(spans[0], Interval(1, 2));
+}
+
+TEST(IntervalTest, ToString) {
+  EXPECT_EQ(Interval(3, 9).ToString(), "[3, 9)");
+  EXPECT_EQ(Interval(-2, 1).ToString(), "[-2, 1)");
+}
+
+}  // namespace
+}  // namespace tempus

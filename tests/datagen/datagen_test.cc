@@ -1,0 +1,159 @@
+#include "datagen/faculty_gen.h"
+#include "datagen/interval_gen.h"
+
+#include <map>
+
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+TEST(IntervalGenTest, DeterministicInSeed) {
+  IntervalWorkloadConfig config;
+  config.count = 100;
+  config.seed = 5;
+  Result<TemporalRelation> a = GenerateIntervalRelation("A", config);
+  Result<TemporalRelation> b = GenerateIntervalRelation("B", config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->EqualsIgnoringOrder(*b));
+  config.seed = 6;
+  Result<TemporalRelation> c = GenerateIntervalRelation("C", config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(a->EqualsIgnoringOrder(*c));
+}
+
+TEST(IntervalGenTest, ProducesRequestedCountAndValidLifespans) {
+  for (DurationModel model : {DurationModel::kUniform,
+                              DurationModel::kExponential,
+                              DurationModel::kPareto}) {
+    IntervalWorkloadConfig config;
+    config.count = 500;
+    config.duration_model = model;
+    config.min_duration = 2;
+    Result<TemporalRelation> rel = GenerateIntervalRelation("R", config);
+    ASSERT_TRUE(rel.ok());
+    EXPECT_EQ(rel->size(), 500u);
+    for (size_t i = 0; i < rel->size(); ++i) {
+      ASSERT_GE(rel->LifespanOf(i).Duration(), 2);
+    }
+  }
+}
+
+TEST(IntervalGenTest, StartsAreNondecreasing) {
+  IntervalWorkloadConfig config;
+  config.count = 200;
+  Result<TemporalRelation> rel = GenerateIntervalRelation("R", config);
+  ASSERT_TRUE(rel.ok());
+  for (size_t i = 1; i < rel->size(); ++i) {
+    ASSERT_LE(rel->LifespanOf(i - 1).start, rel->LifespanOf(i).start);
+  }
+}
+
+TEST(IntervalGenTest, MeanStatisticsApproximateConfig) {
+  IntervalWorkloadConfig config;
+  config.count = 5000;
+  config.mean_interarrival = 6.0;
+  config.mean_duration = 24.0;
+  Result<TemporalRelation> rel = GenerateIntervalRelation("R", config);
+  ASSERT_TRUE(rel.ok());
+  Result<RelationStats> stats = rel->ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats->mean_interarrival, 6.0, 0.6);
+  EXPECT_NEAR(stats->mean_duration, 24.0, 2.5);
+}
+
+TEST(IntervalGenTest, RejectsInvalidConfig) {
+  IntervalWorkloadConfig config;
+  config.min_duration = 0;
+  EXPECT_FALSE(GenerateIntervalRelation("R", config).ok());
+}
+
+
+TEST(IntervalGenTest, DurationRampIsApplied) {
+  IntervalWorkloadConfig config;
+  config.count = 4000;
+  config.seed = 17;
+  config.mean_duration = 20.0;
+  config.duration_ramp_start = 0.25;
+  config.duration_ramp_end = 4.0;
+  Result<TemporalRelation> rel = GenerateIntervalRelation("R", config);
+  ASSERT_TRUE(rel.ok());
+  auto decile_mean = [&rel](size_t begin, size_t end) {
+    double sum = 0;
+    for (size_t i = begin; i < end; ++i) {
+      sum += static_cast<double>(rel->LifespanOf(i).Duration());
+    }
+    return sum / static_cast<double>(end - begin);
+  };
+  const double head = decile_mean(0, 400);
+  const double tail = decile_mean(3600, 4000);
+  // Means ~5 at the head vs ~80 at the tail.
+  EXPECT_GT(tail, head * 4);
+  // Invalid ramps rejected.
+  config.duration_ramp_start = 0.0;
+  EXPECT_FALSE(GenerateIntervalRelation("R", config).ok());
+}
+
+TEST(NestedGenTest, ChainsAreStrictlyNested) {
+  Result<TemporalRelation> rel = GenerateNestedIntervals("R", 10, 4, 3);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->size(), 40u);
+  // Within each chain (same S), level k+1 is during level k.
+  for (size_t i = 0; i + 1 < rel->size(); ++i) {
+    if (rel->tuple(i)[0].Equals(rel->tuple(i + 1)[0])) {
+      EXPECT_TRUE(rel->LifespanOf(i + 1).During(rel->LifespanOf(i)));
+    }
+  }
+  EXPECT_FALSE(GenerateNestedIntervals("R", 10, 0, 3).ok());
+}
+
+TEST(FacultyGenTest, SchemaAndDeterminism) {
+  FacultyWorkloadConfig config;
+  config.faculty_count = 50;
+  Result<TemporalRelation> a = GenerateFaculty("F", config);
+  Result<TemporalRelation> b = GenerateFaculty("F", config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->EqualsIgnoringOrder(*b));
+  EXPECT_TRUE(a->schema().Equals(FacultySchema()));
+  EXPECT_GE(a->size(), 50u);   // At least one rank per person.
+  EXPECT_LE(a->size(), 150u);  // At most three.
+}
+
+TEST(FacultyGenTest, EveryoneStartsAsAssistant) {
+  FacultyWorkloadConfig config;
+  config.faculty_count = 100;
+  config.seed = 9;
+  Result<TemporalRelation> f = GenerateFaculty("F", config);
+  ASSERT_TRUE(f.ok());
+  std::map<std::string, size_t> first_row;
+  for (size_t i = 0; i < f->size(); ++i) {
+    const std::string who = f->tuple(i)[0].string_value();
+    if (first_row.count(who) == 0) first_row[who] = i;
+  }
+  for (const auto& [who, row] : first_row) {
+    EXPECT_EQ(f->tuple(row)[1].string_value(), "Assistant") << who;
+  }
+}
+
+TEST(FacultyGenTest, PromotionProbabilityZeroMeansOnlyAssistants) {
+  FacultyWorkloadConfig config;
+  config.faculty_count = 40;
+  config.promotion_probability = 0.0;
+  Result<TemporalRelation> f = GenerateFaculty("F", config);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->size(), 40u);
+  for (size_t i = 0; i < f->size(); ++i) {
+    EXPECT_EQ(f->tuple(i)[1].string_value(), "Assistant");
+  }
+}
+
+TEST(FacultyGenTest, RejectsBadTenureRange) {
+  FacultyWorkloadConfig config;
+  config.min_tenure = 10;
+  config.max_tenure = 5;
+  EXPECT_FALSE(GenerateFaculty("F", config).ok());
+}
+
+}  // namespace
+}  // namespace tempus

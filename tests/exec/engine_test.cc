@@ -1,0 +1,119 @@
+#include "exec/engine.h"
+
+#include "datagen/faculty_gen.h"
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::MakeIntervals;
+
+TEST(EngineTest, RunSimpleQuery) {
+  Engine engine;
+  TEMPUS_ASSERT_OK(engine.mutable_catalog()->Register(
+      MakeIntervals("R", {{0, 10}, {5, 8}, {20, 30}})));
+  Result<TemporalRelation> result = engine.Run(
+      "range of r is R retrieve (r.S, r.ValidFrom) where r.ValidTo <= 10");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->schema().attribute(0).name, "r.S");
+}
+
+TEST(EngineTest, ExplainShowsPlan) {
+  Engine engine;
+  TEMPUS_ASSERT_OK(engine.mutable_catalog()->Register(
+      MakeIntervals("R", {{0, 10}, {5, 8}})));
+  Result<std::string> explain = engine.Explain(
+      "range of a is R range of b is R retrieve (a.S) where a during b");
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_NE(explain->find("Scan R"), std::string::npos) << *explain;
+}
+
+TEST(EngineTest, ParseErrorsPropagate) {
+  Engine engine;
+  EXPECT_FALSE(engine.Run("retrieve garbage").ok());
+}
+
+TEST(EngineTest, UnknownRelationErrors) {
+  Engine engine;
+  EXPECT_FALSE(engine.Run("range of r is Nope retrieve (r.S)").ok());
+}
+
+TEST(EngineTest, RegisterValidatedEnforcesIntegrity) {
+  Engine engine;
+  TEMPUS_ASSERT_OK(engine.mutable_integrity()->AddChronologicalDomain(
+      "Faculty", FacultyRankDomain(false)));
+  TemporalRelation bad("Faculty", FacultySchema());
+  TEMPUS_ASSERT_OK(
+      bad.AppendRow(Value::Str("A"), Value::Str("Full"), 0, 5));
+  TEMPUS_ASSERT_OK(
+      bad.AppendRow(Value::Str("A"), Value::Str("Assistant"), 5, 9));
+  EXPECT_FALSE(engine.RegisterValidated(std::move(bad)).ok());
+
+  FacultyWorkloadConfig config;
+  config.faculty_count = 20;
+  Result<TemporalRelation> good = GenerateFaculty("Faculty", config);
+  ASSERT_TRUE(good.ok());
+  TEMPUS_EXPECT_OK(engine.RegisterValidated(std::move(good).value()));
+}
+
+TEST(EngineTest, PlannerOptionsReachExecution) {
+  Engine engine;
+  TEMPUS_ASSERT_OK(engine.mutable_catalog()->Register(
+      MakeIntervals("R", {{0, 10}, {2, 4}, {3, 5}})));
+  const std::string query =
+      "range of a is R range of b is R retrieve (a.S, b.S) "
+      "where a contains b";
+  PlannerOptions stream;
+  PlannerOptions naive;
+  naive.style = PlanStyle::kNaive;
+  Result<TemporalRelation> r1 = engine.Run(query, stream);
+  Result<TemporalRelation> r2 = engine.Run(query, naive);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(r1->EqualsIgnoringOrder(*r2));
+  Result<std::string> explain1 = engine.Explain(query, stream);
+  Result<std::string> explain2 = engine.Explain(query, naive);
+  ASSERT_TRUE(explain1.ok() && explain2.ok());
+  EXPECT_NE(explain1->find("Contain-join"), std::string::npos);
+  EXPECT_EQ(explain2->find("Contain-join"), std::string::npos);
+}
+
+
+TEST(EngineTest, OrderByOnOutputs) {
+  Engine engine;
+  TEMPUS_ASSERT_OK(engine.mutable_catalog()->Register(
+      MakeIntervals("R", {{5, 9}, {0, 10}, {3, 4}})));
+  Result<TemporalRelation> result = engine.Run(
+      "range of r is R retrieve (r.S, r.ValidFrom) order by r.ValidFrom "
+      "desc");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ(result->tuple(0)[1].time_value(), 5);
+  EXPECT_EQ(result->tuple(1)[1].time_value(), 3);
+  EXPECT_EQ(result->tuple(2)[1].time_value(), 0);
+  // Order-by column must be in the target list when one is given.
+  EXPECT_FALSE(engine
+                   .Run("range of r is R retrieve (r.S) order by "
+                        "r.ValidTo")
+                   .ok());
+}
+
+
+TEST(EngineTest, CsvRoundTripThroughFiles) {
+  Engine engine;
+  TEMPUS_ASSERT_OK(engine.mutable_catalog()->Register(
+      MakeIntervals("R", {{0, 10}, {5, 8}})));
+  const std::string path = ::testing::TempDir() + "/tempus_engine_test.csv";
+  TEMPUS_ASSERT_OK(engine.SaveCsv("R", path));
+  TEMPUS_ASSERT_OK(engine.LoadCsv("R2", path));
+  Result<TemporalRelation> result =
+      engine.Run("range of r is R2 retrieve (r.S) where r.ValidTo <= 10");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_FALSE(engine.SaveCsv("Missing", path).ok());
+  EXPECT_FALSE(engine.LoadCsv("X", "/nonexistent/dir/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,81 @@
+// End-to-end TQL coverage: every temporal operator of the language runs
+// through parse -> analyze -> plan -> execute under both the stream and
+// the naive plan styles, joined and as a unique/semijoin query, and the
+// results must coincide.
+
+#include <string>
+
+#include "datagen/interval_gen.h"
+#include "exec/engine.h"
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+class TqlOperatorTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    IntervalWorkloadConfig config;
+    config.count = 150;
+    config.seed = 301;
+    config.mean_interarrival = 2.0;
+    config.mean_duration = 8.0;
+    TEMPUS_ASSERT_OK(engine_.mutable_catalog()->Register(
+        GenerateIntervalRelation("R", config).value()));
+    config.seed = 302;
+    config.mean_duration = 20.0;
+    TEMPUS_ASSERT_OK(engine_.mutable_catalog()->Register(
+        GenerateIntervalRelation("T", config).value()));
+  }
+
+  void CheckQuery(const std::string& tql) {
+    SCOPED_TRACE(tql);
+    PlannerOptions stream;
+    PlannerOptions naive;
+    naive.style = PlanStyle::kNaive;
+    Result<TemporalRelation> a = engine_.Run(tql, stream);
+    Result<TemporalRelation> b = engine_.Run(tql, naive);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_TRUE(a->EqualsIgnoringOrder(*b))
+        << "stream:\n"
+        << a->ToString(10) << "naive:\n"
+        << b->ToString(10);
+  }
+
+  Engine engine_;
+};
+
+TEST_P(TqlOperatorTest, JoinMatchesNaive) {
+  CheckQuery(std::string("range of a is R range of b is T "
+                         "retrieve (a.S, a.ValidFrom, b.S) where a ") +
+             GetParam() + " b");
+}
+
+TEST_P(TqlOperatorTest, UniqueSemijoinMatchesNaive) {
+  CheckQuery(std::string("range of a is R range of b is T "
+                         "retrieve unique (a.S, a.ValidFrom, a.ValidTo) "
+                         "where a ") +
+             GetParam() + " b");
+}
+
+TEST_P(TqlOperatorTest, SelfJoinMatchesNaive) {
+  CheckQuery(std::string("range of a is R range of b is R "
+                         "retrieve unique (a.S, a.ValidFrom, a.ValidTo) "
+                         "where a ") +
+             GetParam() + " b");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTemporalOperators, TqlOperatorTest,
+    ::testing::Values("overlap", "equal", "before", "after", "meets",
+                      "met_by", "overlaps", "overlapped_by", "starts",
+                      "started_by", "during", "contains", "finishes",
+                      "finished_by"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return std::string(info.param);
+    });
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,172 @@
+// Randomized end-to-end planner property test: generate random conjunctive
+// temporal queries and require the stream plan (with and without semantic
+// optimization) to produce exactly the naive nested-loop plan's result.
+// This exercises operator selection, sort enforcement, semijoin
+// recognition, predicate classification, and residual filtering together.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "datagen/interval_gen.h"
+#include "gtest/gtest.h"
+#include "plan/planner.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::ExpectSameTuples;
+
+class PlannerFuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    IntervalWorkloadConfig config;
+    config.count = 60;
+    config.seed = 100;
+    config.mean_interarrival = 2.0;
+    config.mean_duration = 8.0;
+    TEMPUS_ASSERT_OK(
+        catalog_.Register(GenerateIntervalRelation("R", config).value()));
+    config.seed = 200;
+    config.mean_duration = 30.0;
+    TEMPUS_ASSERT_OK(
+        catalog_.Register(GenerateIntervalRelation("T", config).value()));
+  }
+
+  Catalog catalog_;
+  IntegrityCatalog integrity_;
+};
+
+/// Builds a random conjunctive query over relations R and T.
+ConjunctiveQuery RandomQuery(Rng* rng) {
+  ConjunctiveQuery q;
+  const size_t var_count = 1 + rng->NextBounded(3);
+  for (size_t i = 0; i < var_count; ++i) {
+    q.range_vars.push_back(
+        {StrFormat("v%zu", i), rng->Bernoulli(0.5) ? "R" : "T"});
+  }
+  q.distinct = rng->Bernoulli(0.4);
+
+  // Outputs: either everything, or a random subset (possibly one var only,
+  // which makes semijoin plans eligible).
+  if (rng->Bernoulli(0.7)) {
+    const size_t out_var = rng->NextBounded(var_count);
+    const char* attrs[] = {"S", "V", "ValidFrom", "ValidTo"};
+    const size_t n_out = 1 + rng->NextBounded(3);
+    std::set<std::string> used;
+    for (size_t i = 0; i < n_out; ++i) {
+      const size_t var =
+          rng->Bernoulli(0.6) ? out_var : rng->NextBounded(var_count);
+      const std::string attr = attrs[rng->NextBounded(4)];
+      const std::string key = StrFormat("v%zu.%s", var, attr.c_str());
+      if (!used.insert(key).second) continue;
+      q.outputs.push_back({{StrFormat("v%zu", var), attr}, ""});
+    }
+  }
+
+  // Temporal atoms between random pairs.
+  const char* ops[] = {"overlap", "during",  "contains", "before",
+                       "meets",   "starts",  "finishes", "equal",
+                       "overlaps"};
+  const size_t n_atoms = var_count == 1 ? 0 : rng->NextBounded(3);
+  for (size_t i = 0; i < n_atoms; ++i) {
+    const size_t a = rng->NextBounded(var_count);
+    size_t b = rng->NextBounded(var_count);
+    if (a == b) b = (b + 1) % var_count;
+    TemporalAtom atom;
+    atom.left_var = StrFormat("v%zu", a);
+    atom.right_var = StrFormat("v%zu", b);
+    atom.op_name = ops[rng->NextBounded(9)];
+    if (atom.op_name == "overlap") {
+      atom.mask = AllenMask::Intersecting();
+    } else {
+      atom.mask =
+          AllenMask::Single(AllenRelationFromName(atom.op_name).value());
+    }
+    q.temporal_atoms.push_back(std::move(atom));
+  }
+
+  // Scalar comparisons: selections and the occasional cross-var endpoint
+  // inequality or equi-link.
+  const size_t n_cmps = rng->NextBounded(3);
+  for (size_t i = 0; i < n_cmps; ++i) {
+    const size_t a = rng->NextBounded(var_count);
+    const int kind = static_cast<int>(rng->NextBounded(3));
+    if (kind == 0) {
+      // Selection on a lifespan endpoint.
+      q.comparisons.push_back(
+          {ScalarTerm::Column(StrFormat("v%zu", a),
+                              rng->Bernoulli(0.5) ? "ValidFrom" : "ValidTo"),
+           rng->Bernoulli(0.5) ? CmpOp::kLt : CmpOp::kGe,
+           ScalarTerm::Lit(Value::Int(rng->UniformInt(0, 300)))});
+    } else if (kind == 1 && var_count > 1) {
+      // Cross-variable endpoint inequality.
+      size_t b = rng->NextBounded(var_count);
+      if (a == b) b = (b + 1) % var_count;
+      const CmpOp cmp_ops[] = {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                               CmpOp::kGe};
+      q.comparisons.push_back(
+          {ScalarTerm::Column(StrFormat("v%zu", a), "ValidTo"),
+           cmp_ops[rng->NextBounded(4)],
+           ScalarTerm::Column(StrFormat("v%zu", b), "ValidFrom")});
+    } else {
+      // Selection on the surrogate.
+      q.comparisons.push_back(
+          {ScalarTerm::Column(StrFormat("v%zu", a), "S"), CmpOp::kLt,
+           ScalarTerm::Lit(Value::Int(rng->UniformInt(1, 100)))});
+    }
+  }
+  return q;
+}
+
+TEST_P(PlannerFuzzTest, StreamPlansMatchNaivePlan) {
+  Rng rng(GetParam());
+  Planner planner(&catalog_, &integrity_);
+  for (int round = 0; round < 12; ++round) {
+    const ConjunctiveQuery q = RandomQuery(&rng);
+    SCOPED_TRACE(q.ToString());
+
+    PlannerOptions naive;
+    naive.style = PlanStyle::kNaive;
+    Result<PlannedQuery> naive_plan = planner.Plan(q, naive);
+    ASSERT_TRUE(naive_plan.ok()) << naive_plan.status().ToString();
+    Result<TemporalRelation> expected = naive_plan->Execute();
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+    for (bool semantic : {false, true}) {
+      PlannerOptions stream;
+      stream.style = PlanStyle::kStream;
+      stream.enable_semantic = semantic;
+      Result<PlannedQuery> stream_plan = planner.Plan(q, stream);
+      ASSERT_TRUE(stream_plan.ok())
+          << stream_plan.status().ToString() << "\nsemantic=" << semantic;
+      Result<TemporalRelation> actual = stream_plan->Execute();
+      ASSERT_TRUE(actual.ok())
+          << actual.status().ToString() << "\nplan:\n"
+          << stream_plan->explain;
+      ExpectSameTuples(*actual, *expected);
+      if (::testing::Test::HasFailure()) {
+        ADD_FAILURE() << "plan was:\n" << stream_plan->explain;
+        return;
+      }
+    }
+    // The conventional style must agree as well.
+    PlannerOptions conventional;
+    conventional.style = PlanStyle::kConventional;
+    Result<PlannedQuery> conv_plan = planner.Plan(q, conventional);
+    ASSERT_TRUE(conv_plan.ok());
+    Result<TemporalRelation> conv = conv_plan->Execute();
+    ASSERT_TRUE(conv.ok());
+    ExpectSameTuples(*conv, *expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerFuzzTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace tempus

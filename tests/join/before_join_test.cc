@@ -1,0 +1,121 @@
+#include "join/before_join.h"
+
+#include "datagen/interval_gen.h"
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::ExpectSameTuples;
+using ::tempus::testing::MakeIntervals;
+using ::tempus::testing::MustMaterialize;
+using ::tempus::testing::ReferenceMaskJoin;
+using ::tempus::testing::ReferenceMaskSemijoin;
+using ::tempus::testing::SortedByOrder;
+
+TEST(BeforeJoinTest, MatchesReference) {
+  const TemporalRelation x =
+      MakeIntervals("X", {{0, 3}, {5, 8}, {2, 20}});
+  const TemporalRelation y =
+      MakeIntervals("Y", {{4, 6}, {9, 11}, {1, 2}, {25, 30}});
+  Result<std::unique_ptr<BeforeJoinStream>> join = BeforeJoinStream::Create(
+      VectorStream::Scan(x), VectorStream::Scan(y));
+  ASSERT_TRUE(join.ok());
+  ExpectSameTuples(
+      MustMaterialize(join->get(), "out"),
+      ReferenceMaskJoin(x, y, AllenMask::Single(AllenRelation::kBefore)));
+}
+
+TEST(BeforeJoinTest, StrictGapSemantics) {
+  // X.TE < Y.TS strictly: meeting tuples do not join.
+  const TemporalRelation x = MakeIntervals("X", {{0, 5}});
+  const TemporalRelation y = MakeIntervals("Y", {{5, 7}, {6, 8}});
+  Result<std::unique_ptr<BeforeJoinStream>> join = BeforeJoinStream::Create(
+      VectorStream::Scan(x), VectorStream::Scan(y));
+  ASSERT_TRUE(join.ok());
+  const TemporalRelation out = MustMaterialize(join->get(), "out");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.tuple(0)[6].time_value(), 6);
+}
+
+TEST(BeforeJoinTest, PresortedInnerIsVerified) {
+  const TemporalRelation x = MakeIntervals("X", {{0, 1}});
+  const TemporalRelation y = MakeIntervals("Y", {{9, 10}, {2, 3}});
+  BeforeJoinOptions options;
+  options.right_presorted = true;  // It is not.
+  Result<std::unique_ptr<BeforeJoinStream>> join = BeforeJoinStream::Create(
+      VectorStream::Scan(x), VectorStream::Scan(y), options);
+  ASSERT_TRUE(join.ok());
+  EXPECT_FALSE((*join)->Open().ok());
+}
+
+TEST(BeforeJoinTest, RandomizedAgainstReference) {
+  IntervalWorkloadConfig config;
+  config.count = 150;
+  config.seed = 33;
+  Result<TemporalRelation> x = GenerateIntervalRelation("X", config);
+  config.seed = 34;
+  Result<TemporalRelation> y = GenerateIntervalRelation("Y", config);
+  ASSERT_TRUE(x.ok() && y.ok());
+  Result<std::unique_ptr<BeforeJoinStream>> join = BeforeJoinStream::Create(
+      VectorStream::Scan(*x), VectorStream::Scan(*y));
+  ASSERT_TRUE(join.ok());
+  ExpectSameTuples(
+      MustMaterialize(join->get(), "out"),
+      ReferenceMaskJoin(*x, *y, AllenMask::Single(AllenRelation::kBefore)));
+  // Single pass over each input; inner buffered as workspace.
+  EXPECT_EQ((*join)->metrics().passes_left, 1u);
+  EXPECT_EQ((*join)->metrics().passes_right, 1u);
+  EXPECT_EQ((*join)->metrics().peak_workspace_tuples, y->size());
+}
+
+TEST(BeforeSemijoinTest, SinglePassOrderIndependent) {
+  const TemporalRelation x =
+      MakeIntervals("X", {{7, 9}, {0, 2}, {50, 60}, {3, 10}});
+  const TemporalRelation y =
+      MakeIntervals("Y", {{30, 40}, {1, 5}, {8, 12}});
+  Result<std::unique_ptr<BeforeSemijoin>> semi =
+      BeforeSemijoin::Create(VectorStream::Scan(x), VectorStream::Scan(y));
+  ASSERT_TRUE(semi.ok());
+  const TemporalRelation out = MustMaterialize(semi->get(), "out");
+  ExpectSameTuples(out, ReferenceMaskSemijoin(
+                            x, y, AllenMask::Single(AllenRelation::kBefore)));
+  EXPECT_EQ((*semi)->metrics().passes_left, 1u);
+  EXPECT_EQ((*semi)->metrics().passes_right, 1u);
+  EXPECT_EQ((*semi)->metrics().peak_workspace_tuples, 0u);
+}
+
+TEST(BeforeSemijoinTest, EmptyRightEmitsNothing) {
+  const TemporalRelation x = MakeIntervals("X", {{0, 1}});
+  const TemporalRelation empty = MakeIntervals("E", {});
+  Result<std::unique_ptr<BeforeSemijoin>> semi = BeforeSemijoin::Create(
+      VectorStream::Scan(x), VectorStream::Scan(empty));
+  ASSERT_TRUE(semi.ok());
+  EXPECT_EQ(MustMaterialize(semi->get(), "out").size(), 0u);
+}
+
+TEST(BeforeSemijoinTest, BoundaryIsStrict) {
+  const TemporalRelation x = MakeIntervals("X", {{0, 5}, {0, 4}});
+  const TemporalRelation y = MakeIntervals("Y", {{5, 9}});
+  Result<std::unique_ptr<BeforeSemijoin>> semi =
+      BeforeSemijoin::Create(VectorStream::Scan(x), VectorStream::Scan(y));
+  ASSERT_TRUE(semi.ok());
+  const TemporalRelation out = MustMaterialize(semi->get(), "out");
+  ASSERT_EQ(out.size(), 1u);  // Only [0,4): 4 < 5.
+  EXPECT_EQ(out.LifespanOf(0), Interval(0, 4));
+}
+
+TEST(BeforeJoinTest, UnsortedRightGetsSorted) {
+  const TemporalRelation x = MakeIntervals("X", {{0, 1}, {0, 3}});
+  const TemporalRelation y = MakeIntervals("Y", {{9, 10}, {2, 4}, {5, 6}});
+  Result<std::unique_ptr<BeforeJoinStream>> join = BeforeJoinStream::Create(
+      VectorStream::Scan(x), VectorStream::Scan(y));
+  ASSERT_TRUE(join.ok());
+  ExpectSameTuples(
+      MustMaterialize(join->get(), "out"),
+      ReferenceMaskJoin(x, y, AllenMask::Single(AllenRelation::kBefore)));
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,94 @@
+#include "join/hash_join.h"
+
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::MustMaterialize;
+
+TemporalRelation Faculty(const std::string& name) {
+  TemporalRelation rel(name, Schema::Canonical("Name", ValueType::kString,
+                                               "Rank", ValueType::kString));
+  auto add = [&rel](const char* who, const char* rank, TimePoint a,
+                    TimePoint b) {
+    const Status s =
+        rel.AppendRow(Value::Str(who), Value::Str(rank), a, b);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  };
+  add("Smith", "Assistant", 0, 10);
+  add("Smith", "Full", 15, 30);
+  add("Jones", "Assistant", 5, 12);
+  add("Jones", "Full", 12, 40);
+  add("Lee", "Assistant", 3, 20);
+  return rel;
+}
+
+TEST(HashEquiJoinTest, JoinsOnStringKey) {
+  const TemporalRelation f = Faculty("F");
+  Result<std::unique_ptr<HashEquiJoin>> join = HashEquiJoin::Create(
+      VectorStream::Scan(f), VectorStream::Scan(f), {0}, {0}, nullptr,
+      {"a", "b"});
+  ASSERT_TRUE(join.ok());
+  const TemporalRelation out = MustMaterialize(join->get(), "out");
+  // Smith:2x2 + Jones:2x2 + Lee:1x1.
+  EXPECT_EQ(out.size(), 9u);
+  EXPECT_EQ((*join)->metrics().peak_workspace_tuples, 5u);  // Build side.
+}
+
+TEST(HashEquiJoinTest, ResidualPredicate) {
+  const TemporalRelation f = Faculty("F");
+  const size_t rank_ix = 1;
+  PairPredicate residual = [rank_ix](const Tuple& l,
+                                     const Tuple& r) -> Result<bool> {
+    return l[rank_ix].string_value() == "Assistant" &&
+           r[rank_ix].string_value() == "Full";
+  };
+  Result<std::unique_ptr<HashEquiJoin>> join = HashEquiJoin::Create(
+      VectorStream::Scan(f), VectorStream::Scan(f), {0}, {0}, residual,
+      {"a", "b"});
+  ASSERT_TRUE(join.ok());
+  const TemporalRelation out = MustMaterialize(join->get(), "out");
+  EXPECT_EQ(out.size(), 2u);  // Smith and Jones assistant->full pairs.
+}
+
+TEST(HashEquiJoinTest, CompositeKeys) {
+  const TemporalRelation f = Faculty("F");
+  Result<std::unique_ptr<HashEquiJoin>> join = HashEquiJoin::Create(
+      VectorStream::Scan(f), VectorStream::Scan(f), {0, 1}, {0, 1}, nullptr,
+      {"a", "b"});
+  ASSERT_TRUE(join.ok());
+  const TemporalRelation out = MustMaterialize(join->get(), "out");
+  EXPECT_EQ(out.size(), 5u);  // Each tuple matches exactly itself.
+}
+
+TEST(HashEquiJoinTest, ValidatesKeys) {
+  const TemporalRelation f = Faculty("F");
+  EXPECT_FALSE(HashEquiJoin::Create(VectorStream::Scan(f),
+                                    VectorStream::Scan(f), {}, {}, nullptr)
+                   .ok());
+  EXPECT_FALSE(HashEquiJoin::Create(VectorStream::Scan(f),
+                                    VectorStream::Scan(f), {0, 1}, {0},
+                                    nullptr)
+                   .ok());
+  EXPECT_FALSE(HashEquiJoin::Create(VectorStream::Scan(f),
+                                    VectorStream::Scan(f), {99}, {0},
+                                    nullptr)
+                   .ok());
+}
+
+TEST(HashEquiJoinTest, NoMatches) {
+  const TemporalRelation f = Faculty("F");
+  TemporalRelation other("O", f.schema());
+  TEMPUS_ASSERT_OK(other.AppendRow(Value::Str("Nobody"), Value::Str("Full"),
+                                   0, 1));
+  Result<std::unique_ptr<HashEquiJoin>> join = HashEquiJoin::Create(
+      VectorStream::Scan(f), VectorStream::Scan(other), {0}, {0}, nullptr,
+      {"a", "b"});
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ(MustMaterialize(join->get(), "out").size(), 0u);
+}
+
+}  // namespace
+}  // namespace tempus

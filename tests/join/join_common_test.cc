@@ -1,0 +1,100 @@
+#include "join/join_common.h"
+
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::MakeIntervals;
+
+TEST(TemporalSortOrderTest, ToStringAndSpec) {
+  EXPECT_EQ(kByValidFromAsc.ToString(), "ValidFrom^");
+  EXPECT_EQ(kByValidToDesc.ToString(), "ValidTov");
+  const Schema schema = Schema::Canonical("S", ValueType::kInt64, "V",
+                                          ValueType::kInt64);
+  Result<SortSpec> spec = kByValidToDesc.ToSortSpec(schema);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->keys()[0].attribute_index, schema.valid_to_index());
+  EXPECT_EQ(spec->keys()[0].direction, SortDirection::kDescending);
+  EXPECT_EQ(AllTemporalSortOrders().size(), 4u);
+}
+
+TEST(SweepFrameTest, IdentityAndMirrorMapping) {
+  const SweepFrame identity{false};
+  EXPECT_EQ(identity.Map(Interval(3, 7)), Interval(3, 7));
+  const SweepFrame mirror{true};
+  EXPECT_EQ(mirror.Map(Interval(3, 7)), Interval(-7, -3));
+  // Mapping preserves validity and containment.
+  EXPECT_TRUE(mirror.Map(Interval(3, 7)).IsValid());
+  EXPECT_TRUE(
+      mirror.Map(Interval(4, 6)).During(mirror.Map(Interval(3, 7))));
+}
+
+TEST(SweepFrameTest, RequiredInputOrder) {
+  const SweepFrame identity{false};
+  EXPECT_EQ(identity.RequiredInputOrder(TemporalField::kValidFrom),
+            kByValidFromAsc);
+  EXPECT_EQ(identity.RequiredInputOrder(TemporalField::kValidTo),
+            kByValidToAsc);
+  const SweepFrame mirror{true};
+  // Ascending m-start = descending ValidTo.
+  EXPECT_EQ(mirror.RequiredInputOrder(TemporalField::kValidFrom),
+            kByValidToDesc);
+  EXPECT_EQ(mirror.RequiredInputOrder(TemporalField::kValidTo),
+            kByValidFromDesc);
+}
+
+TEST(OrderValidatorTest, AcceptsSortedRejectsUnsorted) {
+  const TemporalRelation rel = MakeIntervals("R", {{0, 5}, {2, 9}, {2, 3}});
+  const LifespanRef ref = LifespanRef::ForSchema(rel.schema()).value();
+  OrderValidator validator(ref, kByValidFromAsc, "test stream");
+  TEMPUS_EXPECT_OK(validator.Check(rel.tuple(0)));
+  TEMPUS_EXPECT_OK(validator.Check(rel.tuple(1)));
+  // (2,3) after (2,9) violates the secondary ValidTo^ tie-break.
+  EXPECT_FALSE(validator.Check(rel.tuple(2)).ok());
+  validator.Reset();
+  TEMPUS_EXPECT_OK(validator.Check(rel.tuple(2)));
+}
+
+TEST(OrderValidatorTest, DescendingOrder) {
+  const TemporalRelation rel = MakeIntervals("R", {{9, 12}, {4, 20}, {5, 6}});
+  const LifespanRef ref = LifespanRef::ForSchema(rel.schema()).value();
+  OrderValidator validator(ref, kByValidFromDesc, "test stream");
+  TEMPUS_EXPECT_OK(validator.Check(rel.tuple(0)));  // start 9
+  TEMPUS_EXPECT_OK(validator.Check(rel.tuple(1)));  // start 4
+  EXPECT_FALSE(validator.Check(rel.tuple(2)).ok());  // start 5 regresses
+}
+
+TEST(MakeJoinOutputSchemaTest, AutoPrefixOnCollision) {
+  const Schema schema = Schema::Canonical("S", ValueType::kInt64, "V",
+                                          ValueType::kInt64);
+  Result<Schema> out = MakeJoinOutputSchema(schema, schema, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->IndexOf("x.S"), kNoAttribute);
+  EXPECT_NE(out->IndexOf("y.ValidTo"), kNoAttribute);
+}
+
+TEST(MakeJoinOutputSchemaTest, NoPrefixWhenDisjoint) {
+  const Schema a =
+      Schema::Create({{"left_id", ValueType::kInt64}}).value();
+  const Schema b =
+      Schema::Create({{"right_id", ValueType::kInt64}}).value();
+  Result<Schema> out = MakeJoinOutputSchema(a, b, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->IndexOf("left_id"), kNoAttribute);
+  EXPECT_NE(out->IndexOf("right_id"), kNoAttribute);
+}
+
+TEST(MakeJoinOutputSchemaTest, ExplicitPrefixes) {
+  const Schema schema = Schema::Canonical("S", ValueType::kInt64, "V",
+                                          ValueType::kInt64);
+  Result<Schema> out = MakeJoinOutputSchema(schema, schema, {"f1", "f2"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->IndexOf("f1.Name") == kNoAttribute,
+            out->IndexOf("f1.S") == kNoAttribute);
+  EXPECT_NE(out->IndexOf("f2.ValidFrom"), kNoAttribute);
+}
+
+}  // namespace
+}  // namespace tempus

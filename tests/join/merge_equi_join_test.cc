@@ -1,0 +1,164 @@
+#include "join/merge_equi_join.h"
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::ExpectSameTuples;
+using ::tempus::testing::MakeIntervals;
+using ::tempus::testing::MustMaterialize;
+using ::tempus::testing::ReferenceMaskJoin;
+using ::tempus::testing::SortedByOrder;
+
+/// Small random relations on a tiny time domain so endpoint equalities
+/// actually occur.
+TemporalRelation TinyDomain(uint64_t seed, int n) {
+  TemporalRelation rel("R", Schema::Canonical("S", ValueType::kInt64, "V",
+                                              ValueType::kInt64));
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const TimePoint s = rng.UniformInt(0, 12);
+    const Status st = rel.AppendRow(Value::Int(i), Value::Int(0), s,
+                                    s + rng.UniformInt(1, 6));
+    EXPECT_TRUE(st.ok());
+  }
+  return rel;
+}
+
+struct FactoryCase {
+  const char* name;
+  AllenRelation relation;
+  TemporalField left_key;
+  TemporalField right_key;
+};
+
+class EndpointMergeJoinFactoryTest
+    : public ::testing::TestWithParam<FactoryCase> {};
+
+TEST_P(EndpointMergeJoinFactoryTest, MatchesReference) {
+  const FactoryCase& c = GetParam();
+  const TemporalRelation x = TinyDomain(101, 80);
+  const TemporalRelation y = TinyDomain(202, 80);
+  const TemporalRelation xs =
+      SortedByOrder(x, {c.left_key, SortDirection::kAscending});
+  const TemporalRelation ys =
+      SortedByOrder(y, {c.right_key, SortDirection::kAscending});
+  EndpointMergeJoinOptions options;
+  options.left_key = c.left_key;
+  options.right_key = c.right_key;
+  options.residual = AllenMask::Single(c.relation);
+  Result<std::unique_ptr<EndpointMergeJoin>> join = EndpointMergeJoin::Create(
+      VectorStream::Scan(xs), VectorStream::Scan(ys), options);
+  ASSERT_TRUE(join.ok()) << join.status().ToString();
+  ExpectSameTuples(MustMaterialize(join->get(), "out"),
+                   ReferenceMaskJoin(xs, ys, AllenMask::Single(c.relation)));
+  EXPECT_EQ((*join)->metrics().passes_left, 1u);
+  EXPECT_EQ((*join)->metrics().passes_right, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure2EqualityOperators, EndpointMergeJoinFactoryTest,
+    ::testing::Values(
+        FactoryCase{"equal", AllenRelation::kEqual,
+                    TemporalField::kValidFrom, TemporalField::kValidFrom},
+        FactoryCase{"meets", AllenRelation::kMeets, TemporalField::kValidTo,
+                    TemporalField::kValidFrom},
+        FactoryCase{"met_by", AllenRelation::kMetBy,
+                    TemporalField::kValidFrom, TemporalField::kValidTo},
+        FactoryCase{"starts", AllenRelation::kStarts,
+                    TemporalField::kValidFrom, TemporalField::kValidFrom},
+        FactoryCase{"started_by", AllenRelation::kStartedBy,
+                    TemporalField::kValidFrom, TemporalField::kValidFrom},
+        FactoryCase{"finishes", AllenRelation::kFinishes,
+                    TemporalField::kValidTo, TemporalField::kValidTo},
+        FactoryCase{"finished_by", AllenRelation::kFinishedBy,
+                    TemporalField::kValidTo, TemporalField::kValidTo}),
+    [](const ::testing::TestParamInfo<FactoryCase>& info) {
+      return info.param.name;
+    });
+
+TEST(EndpointMergeJoinTest, ConvenienceFactories) {
+  const TemporalRelation x = TinyDomain(7, 60);
+  const TemporalRelation y = TinyDomain(8, 60);
+  {
+    const TemporalRelation xs = SortedByOrder(x, kByValidFromAsc);
+    const TemporalRelation ys = SortedByOrder(y, kByValidFromAsc);
+    Result<std::unique_ptr<EndpointMergeJoin>> join =
+        EndpointMergeJoin::Equal(VectorStream::Scan(xs),
+                                 VectorStream::Scan(ys));
+    ASSERT_TRUE(join.ok());
+    ExpectSameTuples(
+        MustMaterialize(join->get(), "out"),
+        ReferenceMaskJoin(xs, ys, AllenMask::Single(AllenRelation::kEqual)));
+  }
+  {
+    const TemporalRelation xs = SortedByOrder(x, kByValidToAsc);
+    const TemporalRelation ys = SortedByOrder(y, kByValidFromAsc);
+    Result<std::unique_ptr<EndpointMergeJoin>> join =
+        EndpointMergeJoin::Meets(VectorStream::Scan(xs),
+                                 VectorStream::Scan(ys));
+    ASSERT_TRUE(join.ok());
+    ExpectSameTuples(
+        MustMaterialize(join->get(), "out"),
+        ReferenceMaskJoin(xs, ys, AllenMask::Single(AllenRelation::kMeets)));
+  }
+  {
+    const TemporalRelation xs = SortedByOrder(x, kByValidFromAsc);
+    const TemporalRelation ys = SortedByOrder(y, kByValidFromAsc);
+    Result<std::unique_ptr<EndpointMergeJoin>> join =
+        EndpointMergeJoin::Starts(VectorStream::Scan(xs),
+                                  VectorStream::Scan(ys));
+    ASSERT_TRUE(join.ok());
+    ExpectSameTuples(
+        MustMaterialize(join->get(), "out"),
+        ReferenceMaskJoin(xs, ys,
+                          AllenMask::Single(AllenRelation::kStarts)));
+  }
+  {
+    const TemporalRelation xs = SortedByOrder(x, kByValidToAsc);
+    const TemporalRelation ys = SortedByOrder(y, kByValidToAsc);
+    Result<std::unique_ptr<EndpointMergeJoin>> join =
+        EndpointMergeJoin::Finishes(VectorStream::Scan(xs),
+                                    VectorStream::Scan(ys));
+    ASSERT_TRUE(join.ok());
+    ExpectSameTuples(
+        MustMaterialize(join->get(), "out"),
+        ReferenceMaskJoin(xs, ys,
+                          AllenMask::Single(AllenRelation::kFinishes)));
+  }
+}
+
+TEST(EndpointMergeJoinTest, WorkspaceIsKeyGroup) {
+  // All tuples share one ValidFrom: the group is the whole right side.
+  const TemporalRelation x =
+      MakeIntervals("X", {{5, 6}, {5, 7}, {5, 8}});
+  Result<std::unique_ptr<EndpointMergeJoin>> join = EndpointMergeJoin::Create(
+      VectorStream::Scan(x), VectorStream::Scan(x), {});
+  ASSERT_TRUE(join.ok());
+  MustMaterialize(join->get(), "out");
+  EXPECT_EQ((*join)->metrics().peak_workspace_tuples, 3u);
+}
+
+TEST(EndpointMergeJoinTest, DetectsMisSortedInputs) {
+  const TemporalRelation bad = MakeIntervals("X", {{5, 6}, {1, 2}});
+  Result<std::unique_ptr<EndpointMergeJoin>> join = EndpointMergeJoin::Create(
+      VectorStream::Scan(bad), VectorStream::Scan(bad), {});
+  ASSERT_TRUE(join.ok());
+  Result<TemporalRelation> out = Materialize(join->get(), "out");
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(EndpointMergeJoinTest, EmptyInputs) {
+  const TemporalRelation x = MakeIntervals("X", {{1, 2}});
+  const TemporalRelation empty = MakeIntervals("E", {});
+  Result<std::unique_ptr<EndpointMergeJoin>> join = EndpointMergeJoin::Create(
+      VectorStream::Scan(x), VectorStream::Scan(empty), {});
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ(MustMaterialize(join->get(), "out").size(), 0u);
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,93 @@
+#include "join/nested_loop.h"
+
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::MakeIntervals;
+using ::tempus::testing::MustMaterialize;
+
+TEST(NestedLoopJoinTest, CartesianProductWithNullPredicate) {
+  const TemporalRelation x = MakeIntervals("X", {{1, 2}, {3, 4}});
+  const TemporalRelation y = MakeIntervals("Y", {{5, 6}, {7, 8}, {9, 10}});
+  Result<std::unique_ptr<NestedLoopJoin>> join = NestedLoopJoin::Create(
+      VectorStream::Scan(x), VectorStream::Scan(y), nullptr);
+  ASSERT_TRUE(join.ok());
+  const TemporalRelation out = MustMaterialize(join->get(), "out");
+  EXPECT_EQ(out.size(), 6u);
+  EXPECT_EQ(out.schema().attribute_count(), 8u);
+  // The inner relation is rescanned once per outer tuple.
+  EXPECT_EQ((*join)->metrics().passes_right, 2u);
+  EXPECT_EQ((*join)->metrics().tuples_read_right, 6u);
+}
+
+TEST(NestedLoopJoinTest, PredicateFilters) {
+  const TemporalRelation x = MakeIntervals("X", {{0, 10}, {4, 6}});
+  const TemporalRelation y = MakeIntervals("Y", {{2, 5}, {11, 12}});
+  Result<PairPredicate> pred = MakeIntervalPairPredicate(
+      x.schema(), y.schema(), AllenMask::Single(AllenRelation::kContains));
+  ASSERT_TRUE(pred.ok());
+  Result<std::unique_ptr<NestedLoopJoin>> join = NestedLoopJoin::Create(
+      VectorStream::Scan(x), VectorStream::Scan(y), *pred);
+  ASSERT_TRUE(join.ok());
+  const TemporalRelation out = MustMaterialize(join->get(), "out");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.tuple(0)[2].time_value(), 0);   // x = [0, 10)
+  EXPECT_EQ(out.tuple(0)[6].time_value(), 2);   // y = [2, 5)
+}
+
+TEST(NestedLoopJoinTest, EmptyInputs) {
+  const TemporalRelation x = MakeIntervals("X", {});
+  const TemporalRelation y = MakeIntervals("Y", {{1, 2}});
+  Result<std::unique_ptr<NestedLoopJoin>> join = NestedLoopJoin::Create(
+      VectorStream::Scan(x), VectorStream::Scan(y), nullptr);
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ(MustMaterialize(join->get(), "out").size(), 0u);
+
+  Result<std::unique_ptr<NestedLoopJoin>> join2 = NestedLoopJoin::Create(
+      VectorStream::Scan(y), VectorStream::Scan(x), nullptr);
+  ASSERT_TRUE(join2.ok());
+  EXPECT_EQ(MustMaterialize(join2->get(), "out").size(), 0u);
+}
+
+TEST(NestedLoopSemijoinTest, EmitsEachMatchingLeftOnce) {
+  const TemporalRelation x = MakeIntervals("X", {{0, 10}, {20, 30}, {0, 9}});
+  const TemporalRelation y = MakeIntervals("Y", {{2, 5}, {3, 4}});
+  Result<PairPredicate> pred = MakeIntervalPairPredicate(
+      x.schema(), y.schema(), AllenMask::Single(AllenRelation::kContains));
+  ASSERT_TRUE(pred.ok());
+  NestedLoopSemijoin semi(VectorStream::Scan(x), VectorStream::Scan(y),
+                          *pred);
+  const TemporalRelation out = MustMaterialize(&semi, "out");
+  // Both [0,10) and [0,9) contain witnesses; each emitted exactly once.
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.schema().Equals(x.schema()));
+}
+
+TEST(NestedLoopSemijoinTest, EarlyExitReadsLessOfInner) {
+  const TemporalRelation x = MakeIntervals("X", {{0, 100}});
+  const TemporalRelation y =
+      MakeIntervals("Y", {{1, 2}, {3, 4}, {5, 6}, {7, 8}});
+  Result<PairPredicate> pred = MakeIntervalPairPredicate(
+      x.schema(), y.schema(), AllenMask::Single(AllenRelation::kContains));
+  ASSERT_TRUE(pred.ok());
+  NestedLoopSemijoin semi(VectorStream::Scan(x), VectorStream::Scan(y),
+                          *pred);
+  MustMaterialize(&semi, "out");
+  // First y matches: only one inner tuple read.
+  EXPECT_EQ(semi.metrics().tuples_read_right, 1u);
+}
+
+TEST(MakeIntervalPairPredicateTest, RequiresTemporalSchemas) {
+  Result<Schema> plain = Schema::Create({{"a", ValueType::kInt64}});
+  ASSERT_TRUE(plain.ok());
+  const Schema temporal = Schema::Canonical("S", ValueType::kInt64, "V",
+                                            ValueType::kInt64);
+  EXPECT_FALSE(
+      MakeIntervalPairPredicate(*plain, temporal, AllenMask::All()).ok());
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,89 @@
+#include "join/no_gc_join.h"
+
+#include "datagen/interval_gen.h"
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::ExpectSameTuples;
+using ::tempus::testing::MakeIntervals;
+using ::tempus::testing::MustMaterialize;
+using ::tempus::testing::ReferenceMaskJoin;
+
+TEST(NoGcStreamJoinTest, MatchesReferenceOnAnyOrder) {
+  // Deliberately unsorted inputs: the no-GC join is order-insensitive.
+  const TemporalRelation x =
+      MakeIntervals("X", {{5, 20}, {0, 3}, {7, 9}, {1, 30}});
+  const TemporalRelation y =
+      MakeIntervals("Y", {{8, 9}, {2, 3}, {6, 21}, {1, 2}});
+  const AllenMask mask = AllenMask::Single(AllenRelation::kContains);
+  Result<PairPredicate> pred =
+      MakeIntervalPairPredicate(x.schema(), y.schema(), mask);
+  ASSERT_TRUE(pred.ok());
+  Result<std::unique_ptr<NoGcStreamJoin>> join = NoGcStreamJoin::Create(
+      VectorStream::Scan(x), VectorStream::Scan(y), *pred);
+  ASSERT_TRUE(join.ok());
+  ExpectSameTuples(MustMaterialize(join->get(), "out"),
+                   ReferenceMaskJoin(x, y, mask));
+}
+
+TEST(NoGcStreamJoinTest, SinglePassOverBothInputs) {
+  const TemporalRelation x = MakeIntervals("X", {{1, 5}, {2, 6}});
+  const TemporalRelation y = MakeIntervals("Y", {{3, 4}, {0, 9}});
+  Result<PairPredicate> pred = MakeIntervalPairPredicate(
+      x.schema(), y.schema(), AllenMask::Intersecting());
+  ASSERT_TRUE(pred.ok());
+  Result<std::unique_ptr<NoGcStreamJoin>> join = NoGcStreamJoin::Create(
+      VectorStream::Scan(x), VectorStream::Scan(y), *pred);
+  ASSERT_TRUE(join.ok());
+  MustMaterialize(join->get(), "out");
+  EXPECT_EQ((*join)->metrics().passes_left, 1u);
+  EXPECT_EQ((*join)->metrics().passes_right, 1u);
+}
+
+TEST(NoGcStreamJoinTest, WorkspaceGrowsToWholeInput) {
+  // This is precisely why Table 1 marks such orderings "-": without a
+  // garbage-collection criterion the state reaches |X| + |Y|.
+  IntervalWorkloadConfig config;
+  config.count = 200;
+  config.seed = 11;
+  Result<TemporalRelation> x = GenerateIntervalRelation("X", config);
+  config.seed = 12;
+  Result<TemporalRelation> y = GenerateIntervalRelation("Y", config);
+  ASSERT_TRUE(x.ok() && y.ok());
+  Result<PairPredicate> pred = MakeIntervalPairPredicate(
+      x->schema(), y->schema(), AllenMask::Single(AllenRelation::kDuring));
+  ASSERT_TRUE(pred.ok());
+  Result<std::unique_ptr<NoGcStreamJoin>> join = NoGcStreamJoin::Create(
+      VectorStream::Scan(*x), VectorStream::Scan(*y), *pred);
+  ASSERT_TRUE(join.ok());
+  MustMaterialize(join->get(), "out");
+  EXPECT_EQ((*join)->metrics().peak_workspace_tuples, 400u);
+}
+
+TEST(NoGcStreamJoinTest, RequiresPredicate) {
+  const TemporalRelation x = MakeIntervals("X", {{1, 5}});
+  EXPECT_FALSE(NoGcStreamJoin::Create(VectorStream::Scan(x),
+                                      VectorStream::Scan(x), nullptr)
+                   .ok());
+}
+
+TEST(NoGcStreamJoinTest, AsymmetricSizes) {
+  const TemporalRelation x = MakeIntervals("X", {{0, 100}});
+  const TemporalRelation y =
+      MakeIntervals("Y", {{1, 2}, {3, 4}, {5, 6}, {99, 101}});
+  const AllenMask mask = AllenMask::Single(AllenRelation::kContains);
+  Result<PairPredicate> pred =
+      MakeIntervalPairPredicate(x.schema(), y.schema(), mask);
+  ASSERT_TRUE(pred.ok());
+  Result<std::unique_ptr<NoGcStreamJoin>> join = NoGcStreamJoin::Create(
+      VectorStream::Scan(x), VectorStream::Scan(y), *pred);
+  ASSERT_TRUE(join.ok());
+  ExpectSameTuples(MustMaterialize(join->get(), "out"),
+                   ReferenceMaskJoin(x, y, mask));
+}
+
+}  // namespace
+}  // namespace tempus

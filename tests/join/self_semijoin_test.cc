@@ -1,0 +1,155 @@
+#include "join/self_semijoin.h"
+
+#include "datagen/interval_gen.h"
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::ExpectSameTuples;
+using ::tempus::testing::MakeIntervals;
+using ::tempus::testing::MustMaterialize;
+using ::tempus::testing::ReferenceSelfSemijoin;
+using ::tempus::testing::SortedByOrder;
+
+void CheckContained(const TemporalRelation& x, TemporalSortOrder order,
+                    size_t* peak = nullptr) {
+  const TemporalRelation xs = SortedByOrder(x, order);
+  SelfSemijoinOptions options;
+  options.order = order;
+  Result<std::unique_ptr<TupleStream>> semi =
+      MakeSelfContainedSemijoin(VectorStream::Scan(xs), options);
+  ASSERT_TRUE(semi.ok()) << semi.status().ToString();
+  const TemporalRelation out = MustMaterialize(semi->get(), "out");
+  ExpectSameTuples(out, ReferenceSelfSemijoin(
+                            xs, AllenMask::Single(AllenRelation::kDuring)));
+  EXPECT_EQ((*semi)->metrics().passes_left, 1u);
+  if (peak != nullptr) *peak = (*semi)->metrics().peak_workspace_tuples;
+}
+
+void CheckContain(const TemporalRelation& x, TemporalSortOrder order,
+                  size_t* peak = nullptr) {
+  const TemporalRelation xs = SortedByOrder(x, order);
+  SelfSemijoinOptions options;
+  options.order = order;
+  Result<std::unique_ptr<TupleStream>> semi =
+      MakeSelfContainSemijoin(VectorStream::Scan(xs), options);
+  ASSERT_TRUE(semi.ok()) << semi.status().ToString();
+  const TemporalRelation out = MustMaterialize(semi->get(), "out");
+  ExpectSameTuples(out,
+                   ReferenceSelfSemijoin(
+                       xs, AllenMask::Single(AllenRelation::kContains)));
+  EXPECT_EQ((*semi)->metrics().passes_left, 1u);
+  if (peak != nullptr) *peak = (*semi)->metrics().peak_workspace_tuples;
+}
+
+TEST(SelfSemijoinTest, PaperFigure7Trace) {
+  // Figure 7: x1..x4 sorted on TS ascending; x4 is contained in x3, the
+  // others replace the state tuple in turn.
+  const TemporalRelation x =
+      MakeIntervals("X", {{0, 6}, {1, 9}, {2, 14}, {3, 10}});
+  size_t peak = 0;
+  CheckContained(x, kByValidFromAsc, &peak);
+  // "The maximum number of state tuples remains at most one."
+  EXPECT_EQ(peak, 1u);
+}
+
+TEST(SelfSemijoinTest, SecondaryOrderTieCases) {
+  // Ties on ValidFrom: [5,8) inside [0,10); [5,10) must NOT be emitted
+  // (it merely finishes [0,10)); the secondary ValidTo order makes the
+  // single-state algorithm see [5,8) before [5,10).
+  const TemporalRelation x =
+      MakeIntervals("X", {{0, 10}, {5, 10}, {5, 8}, {0, 10}});
+  CheckContained(x, kByValidFromAsc);
+  CheckContain(x, kByValidFromDesc);
+}
+
+TEST(SelfSemijoinTest, DuplicatesAreWitnessesForEachOther) {
+  // Exact duplicates: during is irreflexive AND duplicates do not contain
+  // each other, so none are emitted...
+  const TemporalRelation dup = MakeIntervals("X", {{1, 5}, {1, 5}, {1, 5}});
+  CheckContained(dup, kByValidFromAsc);
+  // ...but a strict container still reports all duplicates inside it.
+  const TemporalRelation mixed =
+      MakeIntervals("X", {{0, 9}, {1, 5}, {1, 5}});
+  CheckContained(mixed, kByValidFromAsc);
+  CheckContain(mixed, kByValidFromDesc);
+}
+
+TEST(SelfSemijoinTest, NestedChains) {
+  Result<TemporalRelation> nested =
+      GenerateNestedIntervals("X", /*chain_count=*/40, /*depth=*/5,
+                              /*seed=*/9);
+  ASSERT_TRUE(nested.ok());
+  size_t peak = 0;
+  CheckContained(*nested, kByValidFromAsc, &peak);
+  EXPECT_EQ(peak, 1u);
+  CheckContained(*nested, kByValidToDesc, &peak);  // Mirror order.
+  EXPECT_EQ(peak, 1u);
+  CheckContain(*nested, kByValidFromDesc, &peak);
+  EXPECT_EQ(peak, 1u);
+  CheckContain(*nested, kByValidToAsc, &peak);  // Mirror order.
+  EXPECT_EQ(peak, 1u);
+}
+
+TEST(SelfSemijoinTest, RandomizedAgainstReference) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    IntervalWorkloadConfig config;
+    config.count = 300;
+    config.seed = seed;
+    config.mean_interarrival = 2.0;
+    config.mean_duration = 15.0;
+    Result<TemporalRelation> x = GenerateIntervalRelation("X", config);
+    ASSERT_TRUE(x.ok());
+    SCOPED_TRACE(seed);
+    CheckContained(*x, kByValidFromAsc);
+    CheckContained(*x, kByValidToDesc);
+    CheckContain(*x, kByValidFromDesc);
+    CheckContain(*x, kByValidToAsc);
+  }
+}
+
+TEST(SelfSemijoinTest, ContainSweepOnAscendingOrder) {
+  // Table 3 row 1 (b): Contain-semijoin(X,X) under ValidFrom^ needs the
+  // overlap-set state but still a single pass.
+  Result<TemporalRelation> nested =
+      GenerateNestedIntervals("X", 30, 6, 13);
+  ASSERT_TRUE(nested.ok());
+  size_t peak = 0;
+  CheckContain(*nested, kByValidFromAsc, &peak);
+  Result<RelationStats> stats = nested->ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(peak, 1u);  // More than the single-state mirror algorithm...
+  EXPECT_LE(peak, stats->max_concurrency + 1);  // ...but bounded (b).
+}
+
+TEST(SelfSemijoinTest, ContainedRejectsWrongOrder) {
+  const TemporalRelation x = MakeIntervals("X", {{0, 10}});
+  SelfSemijoinOptions options;
+  options.order = kByValidFromDesc;
+  EXPECT_FALSE(
+      MakeSelfContainedSemijoin(VectorStream::Scan(x), options).ok());
+  options.order = kByValidToAsc;
+  EXPECT_FALSE(
+      MakeSelfContainedSemijoin(VectorStream::Scan(x), options).ok());
+}
+
+TEST(SelfSemijoinTest, DetectsMisSortedInput) {
+  const TemporalRelation x = MakeIntervals("X", {{5, 9}, {0, 10}});
+  SelfSemijoinOptions options;  // ValidFrom^ promised; input is not.
+  Result<std::unique_ptr<TupleStream>> semi =
+      MakeSelfContainedSemijoin(VectorStream::Scan(x), options);
+  ASSERT_TRUE(semi.ok());
+  Result<TemporalRelation> out = Materialize(semi->get(), "out");
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(SelfSemijoinTest, EmptyAndSingleton) {
+  CheckContained(MakeIntervals("X", {}), kByValidFromAsc);
+  CheckContained(MakeIntervals("X", {{3, 4}}), kByValidFromAsc);
+  CheckContain(MakeIntervals("X", {{3, 4}}), kByValidFromDesc);
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,143 @@
+#include "relation/bitemporal.h"
+
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+Tuple Row(const char* who, const char* rank, TimePoint from, TimePoint to) {
+  return MakeTemporalTuple(Value::Str(who), Value::Str(rank), from, to);
+}
+
+Schema FacultyLike() {
+  return Schema::Canonical("Name", ValueType::kString, "Rank",
+                           ValueType::kString);
+}
+
+TEST(BitemporalTest, CreateValidation) {
+  Result<Schema> plain = Schema::Create({{"a", ValueType::kInt64}});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(BitemporalTable::Create("T", *plain).ok());
+  Result<Schema> clash = Schema::CreateTemporal(
+      {{"TxStart", ValueType::kTime},
+       {"ValidFrom", ValueType::kTime},
+       {"ValidTo", ValueType::kTime}},
+      "ValidFrom", "ValidTo");
+  ASSERT_TRUE(clash.ok());
+  EXPECT_FALSE(BitemporalTable::Create("T", *clash).ok());
+  EXPECT_TRUE(BitemporalTable::Create("T", FacultyLike()).ok());
+}
+
+TEST(BitemporalTest, InsertDeleteAndRollback) {
+  BitemporalTable table =
+      BitemporalTable::Create("Faculty", FacultyLike()).value();
+  // tx=10: Smith hired as assistant for [0, 50).
+  TEMPUS_ASSERT_OK(table.Insert(Row("Smith", "Assistant", 0, 50), 10));
+  // tx=20: correction — the period was actually [0, 40); Jones appears.
+  Result<size_t> deleted = table.Delete(
+      [](const Tuple& t) -> Result<bool> {
+        return t[0].string_value() == "Smith";
+      },
+      20);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(deleted.value(), 1u);
+  TEMPUS_ASSERT_OK(table.Insert(Row("Smith", "Assistant", 0, 40), 20));
+  TEMPUS_ASSERT_OK(table.Insert(Row("Jones", "Assistant", 5, 60), 20));
+
+  // Rollback to tx=15: the original belief.
+  Result<TemporalRelation> at15 = table.AsOfTransaction(15);
+  ASSERT_TRUE(at15.ok());
+  ASSERT_EQ(at15->size(), 1u);
+  EXPECT_EQ(at15->LifespanOf(0), Interval(0, 50));
+
+  // Rollback to tx=5: nothing known yet.
+  Result<TemporalRelation> at5 = table.AsOfTransaction(5);
+  ASSERT_TRUE(at5.ok());
+  EXPECT_EQ(at5->size(), 0u);
+
+  // Current belief: corrected Smith + Jones.
+  Result<TemporalRelation> current = table.Current();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->size(), 2u);
+  // Full history keeps all three versions.
+  Result<TemporalRelation> history = table.History();
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history->size(), 3u);
+  EXPECT_NE(history->schema().IndexOf("TxStart"), kNoAttribute);
+  EXPECT_TRUE(history->schema().has_lifespan());
+}
+
+TEST(BitemporalTest, DeleteBoundaryIsHalfOpen) {
+  BitemporalTable table =
+      BitemporalTable::Create("T", FacultyLike()).value();
+  TEMPUS_ASSERT_OK(table.Insert(Row("A", "x", 0, 10), 10));
+  ASSERT_TRUE(table
+                  .Delete([](const Tuple&) -> Result<bool> { return true; },
+                          20)
+                  .ok());
+  // Visible at 19, gone exactly at 20 (TxEnd is exclusive).
+  EXPECT_EQ(table.AsOfTransaction(19).value().size(), 1u);
+  EXPECT_EQ(table.AsOfTransaction(20).value().size(), 0u);
+}
+
+TEST(BitemporalTest, UpdateClosesAndReplaces) {
+  BitemporalTable table =
+      BitemporalTable::Create("T", FacultyLike()).value();
+  TEMPUS_ASSERT_OK(table.Insert(Row("A", "Assistant", 0, 100), 1));
+  Result<size_t> updated = table.Update(
+      [](const Tuple& t) -> Result<bool> {
+        return t[1].string_value() == "Assistant";
+      },
+      [](const Tuple& t) -> Result<Tuple> {
+        Tuple next = t;
+        next.Set(1, Value::Str("Associate"));
+        return next;
+      },
+      7);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(updated.value(), 1u);
+  const TemporalRelation current = table.Current().value();
+  ASSERT_EQ(current.size(), 1u);
+  EXPECT_EQ(current.tuple(0)[1].string_value(), "Associate");
+  EXPECT_EQ(table.AsOfTransaction(6).value().tuple(0)[1].string_value(),
+            "Assistant");
+  EXPECT_EQ(table.version_count(), 2u);
+}
+
+TEST(BitemporalTest, TransactionsMustBeMonotone) {
+  BitemporalTable table =
+      BitemporalTable::Create("T", FacultyLike()).value();
+  TEMPUS_ASSERT_OK(table.Insert(Row("A", "x", 0, 10), 10));
+  EXPECT_FALSE(table.Insert(Row("B", "y", 0, 10), 5).ok());
+  EXPECT_EQ(table.last_transaction(), 10);
+  // Same transaction time is allowed (one transaction, many operations).
+  TEMPUS_ASSERT_OK(table.Insert(Row("B", "y", 0, 10), 10));
+}
+
+TEST(BitemporalTest, InsertValidatesAgainstValidSchema) {
+  BitemporalTable table =
+      BitemporalTable::Create("T", FacultyLike()).value();
+  // Inverted lifespan violates the intra-tuple constraint.
+  EXPECT_FALSE(table.Insert(Row("A", "x", 10, 5), 1).ok());
+  // Wrong arity.
+  EXPECT_FALSE(
+      table.Insert(Tuple(std::vector<Value>{Value::Str("A")}), 1).ok());
+}
+
+TEST(BitemporalTest, RollbackFeedsStreamOperators) {
+  // The rollback result is an ordinary valid-time relation; sort it and
+  // verify it is usable downstream.
+  BitemporalTable table =
+      BitemporalTable::Create("T", FacultyLike()).value();
+  TEMPUS_ASSERT_OK(table.Insert(Row("A", "x", 5, 9), 1));
+  TEMPUS_ASSERT_OK(table.Insert(Row("B", "y", 0, 20), 1));
+  TemporalRelation rel = table.AsOfTransaction(1).value();
+  rel.SortBy(SortSpec::ByLifespan(rel.schema(), TemporalField::kValidFrom,
+                                  SortDirection::kAscending)
+                 .value());
+  EXPECT_EQ(rel.LifespanOf(0), Interval(0, 20));
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,48 @@
+#include "relation/catalog.h"
+
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::MakeIntervals;
+
+TEST(CatalogTest, RegisterAndLookup) {
+  Catalog catalog;
+  TEMPUS_EXPECT_OK(catalog.Register(MakeIntervals("R", {{1, 2}})));
+  EXPECT_TRUE(catalog.Contains("R"));
+  Result<const TemporalRelation*> rel = catalog.Lookup("R");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->size(), 1u);
+  EXPECT_FALSE(catalog.Lookup("S").ok());
+}
+
+TEST(CatalogTest, DuplicateRegistrationFails) {
+  Catalog catalog;
+  TEMPUS_EXPECT_OK(catalog.Register(MakeIntervals("R", {{1, 2}})));
+  EXPECT_EQ(catalog.Register(MakeIntervals("R", {{1, 2}})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, RegisterOrReplace) {
+  Catalog catalog;
+  catalog.RegisterOrReplace(MakeIntervals("R", {{1, 2}}));
+  catalog.RegisterOrReplace(MakeIntervals("R", {{1, 2}, {3, 4}}));
+  Result<const TemporalRelation*> rel = catalog.Lookup("R");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->size(), 2u);
+}
+
+TEST(CatalogTest, NamesSorted) {
+  Catalog catalog;
+  catalog.RegisterOrReplace(MakeIntervals("B", {{1, 2}}));
+  catalog.RegisterOrReplace(MakeIntervals("A", {{1, 2}}));
+  const std::vector<std::string> names = catalog.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "A");
+  EXPECT_EQ(names[1], "B");
+}
+
+}  // namespace
+}  // namespace tempus

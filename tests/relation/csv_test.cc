@@ -1,0 +1,117 @@
+#include "relation/csv.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+TemporalRelation SampleRelation() {
+  TemporalRelation rel("Faculty",
+                       Schema::Canonical("Name", ValueType::kString, "Rank",
+                                         ValueType::kString));
+  TEMPUS_EXPECT_OK(rel.AppendRow(Value::Str("Smith"),
+                                 Value::Str("Assistant"), 0, 10));
+  TEMPUS_EXPECT_OK(rel.AppendRow(Value::Str("O\"Hara, Jr."),
+                                 Value::Str("Full"), 10, 30));
+  return rel;
+}
+
+TEST(CsvTest, RoundTripsTemporalRelation) {
+  const TemporalRelation rel = SampleRelation();
+  std::ostringstream out;
+  TEMPUS_ASSERT_OK(WriteCsv(rel, &out));
+  std::istringstream in(out.str());
+  Result<TemporalRelation> back = ReadCsv("Faculty", &in);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->EqualsIgnoringOrder(rel));
+  EXPECT_TRUE(back->schema().has_lifespan());
+  EXPECT_EQ(back->schema().valid_from_index(),
+            rel.schema().valid_from_index());
+}
+
+TEST(CsvTest, HeaderIncludesLifespanMarkers) {
+  std::ostringstream out;
+  TEMPUS_ASSERT_OK(WriteCsv(SampleRelation(), &out));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("ValidFrom:TIME[TS]"), std::string::npos);
+  EXPECT_NE(text.find("ValidTo:TIME[TE]"), std::string::npos);
+  EXPECT_NE(text.find("\"O\"\"Hara, Jr.\""), std::string::npos);
+}
+
+TEST(CsvTest, ReadsNonTemporalSchema) {
+  std::istringstream in("id:INT64,score:DOUBLE,label:STRING\n"
+                        "1,0.5,\"a\"\n"
+                        "2,NULL,\"b\"\n");
+  Result<TemporalRelation> rel = ReadCsv("R", &in);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_FALSE(rel->schema().has_lifespan());
+  ASSERT_EQ(rel->size(), 2u);
+  EXPECT_TRUE(rel->tuple(1)[1].is_null());
+  EXPECT_EQ(rel->tuple(1)[2].string_value(), "b");
+}
+
+TEST(CsvTest, QuotedNullIsAString) {
+  std::istringstream in("label:STRING\n\"NULL\"\n");
+  Result<TemporalRelation> rel = ReadCsv("R", &in);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->tuple(0)[0].string_value(), "NULL");
+}
+
+TEST(CsvTest, ErrorsCarryLineNumbers) {
+  {
+    std::istringstream in("id:INT64\nnot_a_number\n");
+    Result<TemporalRelation> rel = ReadCsv("R", &in);
+    ASSERT_FALSE(rel.ok());
+    EXPECT_NE(rel.status().message().find("line 2"), std::string::npos);
+  }
+  {
+    std::istringstream in("id:INT64\n1,2\n");
+    Result<TemporalRelation> rel = ReadCsv("R", &in);
+    ASSERT_FALSE(rel.ok());
+    EXPECT_NE(rel.status().message().find("2 cells"), std::string::npos);
+  }
+  {
+    std::istringstream in(
+        "a:TIME[TS],b:TIME[TE]\n"
+        "9,5\n");  // Violates TS < TE.
+    Result<TemporalRelation> rel = ReadCsv("R", &in);
+    ASSERT_FALSE(rel.ok());
+    EXPECT_NE(rel.status().message().find("line 2"), std::string::npos);
+  }
+}
+
+TEST(CsvTest, MalformedHeaders) {
+  {
+    std::istringstream in("");
+    EXPECT_FALSE(ReadCsv("R", &in).ok());
+  }
+  {
+    std::istringstream in("noname\n");
+    EXPECT_FALSE(ReadCsv("R", &in).ok());
+  }
+  {
+    std::istringstream in("a:BLOB\n");
+    EXPECT_FALSE(ReadCsv("R", &in).ok());
+  }
+  {
+    std::istringstream in("a:TIME[TS],b:TIME\n");  // Half a lifespan.
+    EXPECT_FALSE(ReadCsv("R", &in).ok());
+  }
+  {
+    std::istringstream in("a:STRING\n\"unterminated\n");
+    EXPECT_FALSE(ReadCsv("R", &in).ok());
+  }
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  std::istringstream in("id:INT64\n1\n\n2\n");
+  Result<TemporalRelation> rel = ReadCsv("R", &in);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->size(), 2u);
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,92 @@
+#include "relation/schema.h"
+
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+TEST(SchemaTest, CreateAndIndex) {
+  Result<Schema> schema = Schema::Create(
+      {{"Name", ValueType::kString}, {"Rank", ValueType::kString}});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->attribute_count(), 2u);
+  EXPECT_EQ(schema->IndexOf("Rank"), 1u);
+  EXPECT_EQ(schema->IndexOf("missing"), kNoAttribute);
+  EXPECT_FALSE(schema->has_lifespan());
+}
+
+TEST(SchemaTest, RejectsDuplicatesAndEmptyNames) {
+  EXPECT_FALSE(Schema::Create({{"a", ValueType::kInt64},
+                               {"a", ValueType::kInt64}})
+                   .ok());
+  EXPECT_FALSE(Schema::Create({{"", ValueType::kInt64}}).ok());
+}
+
+TEST(SchemaTest, CanonicalShape) {
+  const Schema schema = Schema::Canonical("S", ValueType::kInt64, "V",
+                                          ValueType::kInt64);
+  EXPECT_EQ(schema.attribute_count(), 4u);
+  EXPECT_TRUE(schema.has_lifespan());
+  EXPECT_EQ(schema.valid_from_index(), 2u);
+  EXPECT_EQ(schema.valid_to_index(), 3u);
+}
+
+TEST(SchemaTest, SetLifespanValidation) {
+  Result<Schema> schema = Schema::Create({{"a", ValueType::kTime},
+                                          {"b", ValueType::kTime},
+                                          {"c", ValueType::kInt64}});
+  ASSERT_TRUE(schema.ok());
+  TEMPUS_EXPECT_OK(schema->SetLifespan("a", "b"));
+  EXPECT_FALSE(schema->SetLifespan("a", "a").ok());
+  EXPECT_FALSE(schema->SetLifespan("a", "c").ok());  // c is not TIME.
+  EXPECT_FALSE(schema->SetLifespan("a", "nope").ok());
+}
+
+TEST(SchemaTest, ConcatPrefixesAndKeepsLeftLifespan) {
+  const Schema left = Schema::Canonical("S", ValueType::kInt64, "V",
+                                        ValueType::kInt64);
+  const Schema right = Schema::Canonical("S", ValueType::kInt64, "V",
+                                         ValueType::kInt64);
+  Result<Schema> cat = Schema::Concat(left, right, "x", "y");
+  ASSERT_TRUE(cat.ok());
+  EXPECT_EQ(cat->attribute_count(), 8u);
+  EXPECT_EQ(cat->IndexOf("x.ValidFrom"), 2u);
+  EXPECT_EQ(cat->IndexOf("y.S"), 4u);
+  EXPECT_TRUE(cat->has_lifespan());
+  EXPECT_EQ(cat->valid_from_index(), 2u);  // Left lifespan retained.
+}
+
+TEST(SchemaTest, ConcatCollisionWithoutPrefixFails) {
+  const Schema s = Schema::Canonical("S", ValueType::kInt64, "V",
+                                     ValueType::kInt64);
+  EXPECT_FALSE(Schema::Concat(s, s, "", "").ok());
+}
+
+TEST(SchemaTest, ProjectPreservesLifespanWhenBothEndpointsKept) {
+  const Schema schema = Schema::Canonical("S", ValueType::kInt64, "V",
+                                          ValueType::kInt64);
+  Result<Schema> keep = schema.Project({3, 2, 0});
+  ASSERT_TRUE(keep.ok());
+  EXPECT_TRUE(keep->has_lifespan());
+  EXPECT_EQ(keep->valid_from_index(), 1u);
+  EXPECT_EQ(keep->valid_to_index(), 0u);
+
+  Result<Schema> drop = schema.Project({0, 2});
+  ASSERT_TRUE(drop.ok());
+  EXPECT_FALSE(drop->has_lifespan());
+
+  EXPECT_FALSE(schema.Project({9}).ok());
+}
+
+TEST(SchemaTest, EqualsAndToString) {
+  const Schema a = Schema::Canonical("S", ValueType::kInt64, "V",
+                                     ValueType::kInt64);
+  const Schema b = Schema::Canonical("S", ValueType::kInt64, "V",
+                                     ValueType::kInt64);
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_NE(a.ToString().find("ValidFrom:TIME[TS]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tempus

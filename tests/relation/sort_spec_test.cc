@@ -1,0 +1,89 @@
+#include "relation/sort_spec.h"
+
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::MakeIntervals;
+
+TEST(SortSpecTest, ByLifespanAddsSecondaryKey) {
+  const Schema schema = Schema::Canonical("S", ValueType::kInt64, "V",
+                                          ValueType::kInt64);
+  Result<SortSpec> spec = SortSpec::ByLifespan(
+      schema, TemporalField::kValidFrom, SortDirection::kAscending);
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->keys().size(), 2u);
+  EXPECT_EQ(spec->keys()[0].attribute_index, schema.valid_from_index());
+  EXPECT_EQ(spec->keys()[1].attribute_index, schema.valid_to_index());
+}
+
+TEST(SortSpecTest, ByLifespanRequiresTemporalSchema) {
+  Result<Schema> plain = Schema::Create({{"a", ValueType::kInt64}});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(SortSpec::ByLifespan(*plain, TemporalField::kValidFrom,
+                                    SortDirection::kAscending)
+                   .ok());
+}
+
+TEST(SortSpecTest, SortAndIsSorted) {
+  TemporalRelation rel =
+      MakeIntervals("R", {{5, 9}, {1, 4}, {1, 2}, {3, 12}});
+  Result<SortSpec> spec =
+      SortSpec::ByLifespan(rel.schema(), TemporalField::kValidFrom,
+                           SortDirection::kAscending);
+  ASSERT_TRUE(spec.ok());
+  std::vector<Tuple> tuples = rel.tuples();
+  EXPECT_FALSE(IsSorted(tuples, *spec));
+  SortTuples(&tuples, *spec);
+  EXPECT_TRUE(IsSorted(tuples, *spec));
+  EXPECT_EQ(tuples[0][2].time_value(), 1);
+  EXPECT_EQ(tuples[0][3].time_value(), 2);  // Tie broken by ValidTo.
+  EXPECT_EQ(tuples[3][2].time_value(), 5);
+}
+
+TEST(SortSpecTest, DescendingOrder) {
+  TemporalRelation rel = MakeIntervals("R", {{1, 4}, {5, 9}, {5, 7}});
+  Result<SortSpec> spec = SortSpec::ByLifespan(
+      rel.schema(), TemporalField::kValidTo, SortDirection::kDescending);
+  ASSERT_TRUE(spec.ok());
+  std::vector<Tuple> tuples = rel.tuples();
+  SortTuples(&tuples, *spec);
+  EXPECT_EQ(tuples[0][3].time_value(), 9);
+  EXPECT_EQ(tuples[1][3].time_value(), 7);
+  EXPECT_EQ(tuples[2][3].time_value(), 4);
+}
+
+TEST(SortSpecTest, SatisfiedByPrefix) {
+  const SortSpec coarse({{2, SortDirection::kAscending}});
+  const SortSpec fine({{2, SortDirection::kAscending},
+                       {3, SortDirection::kAscending}});
+  EXPECT_TRUE(coarse.SatisfiedBy(fine));
+  EXPECT_FALSE(fine.SatisfiedBy(coarse));
+  const SortSpec other({{2, SortDirection::kDescending}});
+  EXPECT_FALSE(coarse.SatisfiedBy(other));
+}
+
+TEST(SortSpecTest, CompareThreeWay) {
+  TemporalRelation rel = MakeIntervals("R", {{1, 4}, {1, 4}, {2, 3}});
+  Result<SortSpec> spec =
+      SortSpec::ByLifespan(rel.schema(), TemporalField::kValidFrom,
+                           SortDirection::kAscending);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->Compare(rel.tuple(0), rel.tuple(1)), 0);
+  EXPECT_LT(spec->Compare(rel.tuple(0), rel.tuple(2)), 0);
+  EXPECT_GT(spec->Compare(rel.tuple(2), rel.tuple(0)), 0);
+}
+
+TEST(SortSpecTest, ToStringUsesArrows) {
+  const Schema schema = Schema::Canonical("S", ValueType::kInt64, "V",
+                                          ValueType::kInt64);
+  Result<SortSpec> spec = SortSpec::ByLifespan(
+      schema, TemporalField::kValidTo, SortDirection::kDescending);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->ToString(schema), "ValidTov, ValidFromv");
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,111 @@
+#include "relation/temporal_relation.h"
+
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::MakeIntervals;
+
+TEST(TemporalRelationTest, AppendValidatesArityAndTypes) {
+  TemporalRelation rel("R", Schema::Canonical("S", ValueType::kInt64, "V",
+                                              ValueType::kInt64));
+  TEMPUS_EXPECT_OK(rel.AppendRow(Value::Int(1), Value::Int(2), 0, 5));
+  // Wrong arity.
+  EXPECT_FALSE(rel.Append(Tuple(std::vector<Value>{Value::Int(1)})).ok());
+  // Wrong type for S.
+  EXPECT_FALSE(
+      rel.AppendRow(Value::Str("x"), Value::Int(2), 0, 5).ok());
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+TEST(TemporalRelationTest, AppendEnforcesIntraTupleConstraint) {
+  TemporalRelation rel("R", Schema::Canonical("S", ValueType::kInt64, "V",
+                                              ValueType::kInt64));
+  EXPECT_FALSE(rel.AppendRow(Value::Int(1), Value::Int(2), 5, 5).ok());
+  EXPECT_FALSE(rel.AppendRow(Value::Int(1), Value::Int(2), 6, 5).ok());
+  TEMPUS_EXPECT_OK(rel.AppendRow(Value::Int(1), Value::Int(2), 5, 6));
+}
+
+TEST(TemporalRelationTest, SortByRecordsOrder) {
+  TemporalRelation rel = MakeIntervals("R", {{5, 9}, {1, 4}});
+  EXPECT_FALSE(rel.known_order().has_value());
+  Result<SortSpec> spec =
+      SortSpec::ByLifespan(rel.schema(), TemporalField::kValidFrom,
+                           SortDirection::kAscending);
+  ASSERT_TRUE(spec.ok());
+  rel.SortBy(*spec);
+  ASSERT_TRUE(rel.known_order().has_value());
+  EXPECT_EQ(rel.LifespanOf(0), Interval(1, 4));
+  // Appending invalidates the known order.
+  TEMPUS_EXPECT_OK(rel.AppendRow(Value::Int(9), Value::Int(0), 0, 1));
+  EXPECT_FALSE(rel.known_order().has_value());
+}
+
+TEST(TemporalRelationTest, DeclareOrderVerifies) {
+  TemporalRelation rel = MakeIntervals("R", {{1, 4}, {5, 9}});
+  Result<SortSpec> spec =
+      SortSpec::ByLifespan(rel.schema(), TemporalField::kValidFrom,
+                           SortDirection::kAscending);
+  ASSERT_TRUE(spec.ok());
+  TEMPUS_EXPECT_OK(rel.DeclareOrder(*spec));
+  TemporalRelation bad = MakeIntervals("R", {{5, 9}, {1, 4}});
+  EXPECT_FALSE(bad.DeclareOrder(*spec).ok());
+}
+
+TEST(TemporalRelationTest, StatsBasics) {
+  TemporalRelation rel =
+      MakeIntervals("R", {{0, 10}, {2, 4}, {3, 6}, {20, 21}});
+  Result<RelationStats> stats = rel.ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->tuple_count, 4u);
+  EXPECT_EQ(stats->min_valid_from, 0);
+  EXPECT_EQ(stats->max_valid_to, 21);
+  EXPECT_EQ(stats->max_duration, 10);
+  EXPECT_DOUBLE_EQ(stats->mean_duration, (10 + 2 + 3 + 1) / 4.0);
+  // At time 3: [0,10), [2,4), [3,6) all alive.
+  EXPECT_EQ(stats->max_concurrency, 3u);
+}
+
+TEST(TemporalRelationTest, MaxConcurrencyHalfOpenBoundary) {
+  // [0,5) and [5,9) never coexist.
+  TemporalRelation rel = MakeIntervals("R", {{0, 5}, {5, 9}});
+  Result<RelationStats> stats = rel.ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->max_concurrency, 1u);
+}
+
+TEST(TemporalRelationTest, StatsOnEmptyRelation) {
+  TemporalRelation rel("R", Schema::Canonical("S", ValueType::kInt64, "V",
+                                              ValueType::kInt64));
+  Result<RelationStats> stats = rel.ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->tuple_count, 0u);
+  EXPECT_EQ(stats->max_concurrency, 0u);
+}
+
+TEST(TemporalRelationTest, EqualsIgnoringOrder) {
+  TemporalRelation a = MakeIntervals("A", {{1, 2}, {3, 4}, {3, 4}});
+  TemporalRelation b = MakeIntervals("B", {{3, 4}, {3, 4}, {1, 2}});
+  // S values differ by construction order; rebuild b to match multiset.
+  TemporalRelation c("C", a.schema());
+  TEMPUS_EXPECT_OK(c.AppendRow(Value::Int(2), Value::Int(0), 3, 4));
+  TEMPUS_EXPECT_OK(c.AppendRow(Value::Int(0), Value::Int(0), 1, 2));
+  TEMPUS_EXPECT_OK(c.AppendRow(Value::Int(1), Value::Int(0), 3, 4));
+  EXPECT_TRUE(a.EqualsIgnoringOrder(c));
+  EXPECT_FALSE(a.EqualsIgnoringOrder(b));  // S=0 has span {3,4} vs {1,2}.
+  // Different sizes.
+  TemporalRelation d = MakeIntervals("D", {{1, 2}});
+  EXPECT_FALSE(a.EqualsIgnoringOrder(d));
+}
+
+TEST(TemporalRelationTest, ToStringTruncates) {
+  TemporalRelation rel = MakeIntervals("R", {{1, 2}, {2, 3}, {3, 4}});
+  const std::string s = rel.ToString(2);
+  EXPECT_NE(s.find("[3 tuples]"), std::string::npos);
+  EXPECT_NE(s.find("... (1 more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,62 @@
+#include "relation/tuple.h"
+
+#include "gtest/gtest.h"
+
+namespace tempus {
+namespace {
+
+TEST(TupleTest, ConstructionAndAccess) {
+  const Tuple t = MakeTemporalTuple(Value::Str("Smith"),
+                                    Value::Str("Assistant"), 10, 20);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0].string_value(), "Smith");
+  EXPECT_EQ(t[2].time_value(), 10);
+  EXPECT_EQ(t[3].time_value(), 20);
+}
+
+TEST(TupleTest, Concat) {
+  const Tuple a(std::vector<Value>{Value::Int(1), Value::Int(2)});
+  const Tuple b(std::vector<Value>{Value::Str("x")});
+  const Tuple c = Tuple::Concat(a, b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[2].string_value(), "x");
+}
+
+TEST(TupleTest, EqualsAndHash) {
+  const Tuple a(std::vector<Value>{Value::Int(1), Value::Str("a")});
+  const Tuple b(std::vector<Value>{Value::Int(1), Value::Str("a")});
+  const Tuple c(std::vector<Value>{Value::Int(1), Value::Str("b")});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_FALSE(a.Equals(Tuple()));
+}
+
+TEST(TupleTest, SetMutates) {
+  Tuple t(std::vector<Value>{Value::Int(1)});
+  t.Set(0, Value::Int(9));
+  EXPECT_EQ(t[0].int_value(), 9);
+}
+
+TEST(TupleTest, ToString) {
+  const Tuple t(std::vector<Value>{Value::Int(1), Value::Str("a")});
+  EXPECT_EQ(t.ToString(), "(1, \"a\")");
+}
+
+TEST(LifespanRefTest, ExtractsInterval) {
+  const Schema schema = Schema::Canonical("S", ValueType::kInt64, "V",
+                                          ValueType::kInt64);
+  Result<LifespanRef> ref = LifespanRef::ForSchema(schema);
+  ASSERT_TRUE(ref.ok());
+  const Tuple t = MakeTemporalTuple(Value::Int(1), Value::Int(2), 5, 9);
+  EXPECT_EQ(ref->Of(t), Interval(5, 9));
+}
+
+TEST(LifespanRefTest, FailsWithoutLifespan) {
+  Result<Schema> schema = Schema::Create({{"a", ValueType::kInt64}});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_FALSE(LifespanRef::ForSchema(*schema).ok());
+}
+
+}  // namespace
+}  // namespace tempus

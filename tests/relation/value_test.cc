@@ -1,0 +1,70 @@
+#include "relation/value.h"
+
+#include "gtest/gtest.h"
+
+namespace tempus {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).int_value(), 42);
+  EXPECT_EQ(Value::Real(1.5).double_value(), 1.5);
+  EXPECT_EQ(Value::Str("x").string_value(), "x");
+  EXPECT_EQ(Value::Time(99).time_value(), 99);
+  EXPECT_EQ(Value::Time(99).kind(), Value::Kind::kInt);
+}
+
+TEST(ValueTest, MatchesType) {
+  EXPECT_TRUE(Value::Int(1).MatchesType(ValueType::kInt64));
+  EXPECT_TRUE(Value::Int(1).MatchesType(ValueType::kTime));
+  EXPECT_FALSE(Value::Int(1).MatchesType(ValueType::kString));
+  EXPECT_TRUE(Value::Str("a").MatchesType(ValueType::kString));
+  EXPECT_FALSE(Value::Str("a").MatchesType(ValueType::kDouble));
+  EXPECT_TRUE(Value::Real(0.5).MatchesType(ValueType::kDouble));
+  // Null is compatible with any declared type.
+  EXPECT_TRUE(Value::Null().MatchesType(ValueType::kString));
+  EXPECT_TRUE(Value::Null().MatchesType(ValueType::kTime));
+}
+
+TEST(ValueTest, CompareWithinKind) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Int(3).Compare(Value::Int(2)), 0);
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, CompareMixedNumeric) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Real(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Real(2.5)), 0);
+  EXPECT_GT(Value::Real(3.5).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, CompareAcrossKindsIsTotal) {
+  // null < numeric < string.
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(999).Compare(Value::Str("")), 0);
+  EXPECT_GT(Value::Str("a").Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, EqualsAndHashAgree) {
+  EXPECT_EQ(Value::Str("hello"), Value::Str("hello"));
+  EXPECT_EQ(Value::Str("hello").Hash(), Value::Str("hello").Hash());
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Int(7).Hash());
+  EXPECT_NE(Value::Int(7).Hash(), Value::Int(8).Hash());
+  EXPECT_NE(Value::Str("7").Hash(), Value::Int(7).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Str("hi").ToString(), "\"hi\"");
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_EQ(ValueTypeName(ValueType::kTime), "TIME");
+  EXPECT_EQ(ValueTypeName(ValueType::kString), "STRING");
+}
+
+}  // namespace
+}  // namespace tempus

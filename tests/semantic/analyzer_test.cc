@@ -1,0 +1,193 @@
+#include "semantic/analyzer.h"
+
+#include "datagen/faculty_gen.h"
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+TemporalTerm Ts(size_t var) {
+  return TemporalTerm::Endpoint(var, EndpointKind::kStart);
+}
+TemporalTerm Te(size_t var) {
+  return TemporalTerm::Endpoint(var, EndpointKind::kEnd);
+}
+
+/// The Superstar query setup (Section 3): f1 assistant, f2 full, f3
+/// associate, f1.Name = f2.Name, (f1 overlap f3) and (f2 overlap f3).
+struct SuperstarSetup {
+  std::vector<RangeVarBinding> vars;
+  std::vector<SurrogateLink> links;
+  std::vector<TemporalPredicate> predicates;
+};
+
+SuperstarSetup MakeSuperstar() {
+  SuperstarSetup s;
+  RangeVarBinding f1{"f1", "Faculty", {{"Rank", Value::Str("Assistant")}}};
+  RangeVarBinding f2{"f2", "Faculty", {{"Rank", Value::Str("Full")}}};
+  RangeVarBinding f3{"f3", "Faculty", {{"Rank", Value::Str("Associate")}}};
+  s.vars = {f1, f2, f3};
+  s.links = {{0, "Name", 1, "Name"}};
+  // (f1 overlap f3): f1.TS < f3.TE and f3.TS < f1.TE.
+  s.predicates.push_back({Ts(0), PredOp::kLess, Te(2)});
+  s.predicates.push_back({Ts(2), PredOp::kLess, Te(0)});
+  // (f2 overlap f3): f2.TS < f3.TE and f3.TS < f2.TE.
+  s.predicates.push_back({Ts(1), PredOp::kLess, Te(2)});
+  s.predicates.push_back({Ts(2), PredOp::kLess, Te(1)});
+  return s;
+}
+
+TEST(SemanticAnalyzerTest, WithoutIntegrityNothingIsRedundant) {
+  SemanticAnalyzer analyzer(nullptr);
+  const SuperstarSetup s = MakeSuperstar();
+  Result<SemanticAnalysis> a =
+      analyzer.Analyze(s.vars, s.links, s.predicates);
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(a->contradiction);
+  EXPECT_EQ(a->redundant.size(), 0u);
+  EXPECT_EQ(a->essential.size(), 4u);
+}
+
+TEST(SemanticAnalyzerTest, SuperstarRedundancyElimination) {
+  // Section 5: with the Rank chronology, f1.TS < f3.TE and f3.TS < f2.TE
+  // are subsumed; the survivors are f3.TS < f1.TE and f2.TS < f3.TE.
+  IntegrityCatalog catalog;
+  TEMPUS_ASSERT_OK(
+      catalog.AddChronologicalDomain("Faculty", FacultyRankDomain(false)));
+  SemanticAnalyzer analyzer(&catalog);
+  const SuperstarSetup s = MakeSuperstar();
+  Result<SemanticAnalysis> a =
+      analyzer.Analyze(s.vars, s.links, s.predicates);
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(a->contradiction);
+  ASSERT_EQ(a->redundant.size(), 2u);
+  ASSERT_EQ(a->essential.size(), 2u);
+  const std::vector<std::string> names = {"f1", "f2", "f3"};
+  EXPECT_EQ(a->redundant[0].ToString(names), "f1.TS < f3.TE");
+  EXPECT_EQ(a->redundant[1].ToString(names), "f3.TS < f2.TE");
+  EXPECT_EQ(a->essential[0].ToString(names), "f3.TS < f1.TE");
+  EXPECT_EQ(a->essential[1].ToString(names), "f2.TS < f3.TE");
+  EXPECT_FALSE(a->injected.empty());
+}
+
+TEST(SemanticAnalyzerTest, SuperstarPairMasks) {
+  IntegrityCatalog catalog;
+  TEMPUS_ASSERT_OK(
+      catalog.AddChronologicalDomain("Faculty", FacultyRankDomain(false)));
+  SemanticAnalyzer analyzer(&catalog);
+  const SuperstarSetup s = MakeSuperstar();
+  Result<SemanticAnalysis> a =
+      analyzer.Analyze(s.vars, s.links, s.predicates);
+  ASSERT_TRUE(a.ok());
+  // f1 strictly precedes f2 (chronology + intra-tuple): before or meets.
+  const AllenMask f1f2 = a->MaskBetween(0, 1);
+  EXPECT_TRUE(f1f2.Contains(AllenRelation::kBefore));
+  EXPECT_TRUE(f1f2.Contains(AllenRelation::kMeets));
+  EXPECT_EQ(f1f2.Count(), 2);
+  // f3 must reach into both: it cannot be before f1 or after f2.
+  const AllenMask f1f3 = a->MaskBetween(0, 2);
+  EXPECT_FALSE(f1f3.Contains(AllenRelation::kBefore));
+  EXPECT_FALSE(f1f3.Contains(AllenRelation::kMetBy));
+}
+
+TEST(SemanticAnalyzerTest, ContinuousEmploymentTightensToMeets) {
+  IntegrityCatalog catalog;
+  TEMPUS_ASSERT_OK(
+      catalog.AddChronologicalDomain("Faculty", FacultyRankDomain(true)));
+  SemanticAnalyzer analyzer(&catalog);
+  // Just f1 assistant and f2 associate (adjacent ranks), linked.
+  RangeVarBinding f1{"f1", "Faculty", {{"Rank", Value::Str("Assistant")}}};
+  RangeVarBinding f2{"f2", "Faculty", {{"Rank", Value::Str("Associate")}}};
+  Result<SemanticAnalysis> a =
+      analyzer.Analyze({f1, f2}, {{0, "Name", 1, "Name"}}, {});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->MaskBetween(0, 1), AllenMask::Single(AllenRelation::kMeets));
+}
+
+TEST(SemanticAnalyzerTest, NonAdjacentContinuousRanksAreStrictlyBefore) {
+  IntegrityCatalog catalog;
+  TEMPUS_ASSERT_OK(
+      catalog.AddChronologicalDomain("Faculty", FacultyRankDomain(true)));
+  SemanticAnalyzer analyzer(&catalog);
+  RangeVarBinding f1{"f1", "Faculty", {{"Rank", Value::Str("Assistant")}}};
+  RangeVarBinding f2{"f2", "Faculty", {{"Rank", Value::Str("Full")}}};
+  Result<SemanticAnalysis> a =
+      analyzer.Analyze({f1, f2}, {{0, "Name", 1, "Name"}}, {});
+  ASSERT_TRUE(a.ok());
+  // The associate period in between forces a strict gap.
+  EXPECT_EQ(a->MaskBetween(0, 1),
+            AllenMask::Single(AllenRelation::kBefore));
+}
+
+TEST(SemanticAnalyzerTest, NoLinkMeansNoInjection) {
+  IntegrityCatalog catalog;
+  TEMPUS_ASSERT_OK(
+      catalog.AddChronologicalDomain("Faculty", FacultyRankDomain(false)));
+  SemanticAnalyzer analyzer(&catalog);
+  RangeVarBinding f1{"f1", "Faculty", {{"Rank", Value::Str("Assistant")}}};
+  RangeVarBinding f2{"f2", "Faculty", {{"Rank", Value::Str("Full")}}};
+  Result<SemanticAnalysis> a = analyzer.Analyze({f1, f2}, {}, {});
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->injected.empty());
+  EXPECT_EQ(a->MaskBetween(0, 1), AllenMask::All());
+}
+
+TEST(SemanticAnalyzerTest, ContradictionDetected) {
+  SemanticAnalyzer analyzer(nullptr);
+  RangeVarBinding x{"x", "R", {}};
+  RangeVarBinding y{"y", "R", {}};
+  // x before y and y before x.
+  std::vector<TemporalPredicate> preds = {
+      {Te(0), PredOp::kLess, Ts(1)},
+      {Te(1), PredOp::kLess, Ts(0)},
+  };
+  Result<SemanticAnalysis> a = analyzer.Analyze({x, y}, {}, preds);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->contradiction);
+}
+
+TEST(SemanticAnalyzerTest, LiteralPredicatesParticipate) {
+  SemanticAnalyzer analyzer(nullptr);
+  RangeVarBinding x{"x", "R", {}};
+  // x.TE <= 5 and x.TS >= 5 contradicts x.TS < x.TE.
+  std::vector<TemporalPredicate> preds = {
+      {Te(0), PredOp::kLessEqual, TemporalTerm::Literal(5)},
+      {TemporalTerm::Literal(5), PredOp::kLessEqual, Ts(0)},
+  };
+  Result<SemanticAnalysis> a = analyzer.Analyze({x}, {}, preds);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->contradiction);
+}
+
+TEST(SemanticAnalyzerTest, DuringPredicatesYieldDuringMask) {
+  SemanticAnalyzer analyzer(nullptr);
+  RangeVarBinding x{"x", "R", {}};
+  RangeVarBinding y{"y", "R", {}};
+  std::vector<TemporalPredicate> preds = {
+      {Ts(1), PredOp::kLess, Ts(0)},
+      {Te(0), PredOp::kLess, Te(1)},
+  };
+  Result<SemanticAnalysis> a = analyzer.Analyze({x, y}, {}, preds);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->MaskBetween(0, 1),
+            AllenMask::Single(AllenRelation::kDuring));
+  // And queried in the other direction it inverts.
+  EXPECT_EQ(a->MaskBetween(1, 0),
+            AllenMask::Single(AllenRelation::kContains));
+}
+
+TEST(SemanticAnalyzerTest, IntraTupleRedundancyIsDetected) {
+  SemanticAnalyzer analyzer(nullptr);
+  RangeVarBinding x{"x", "R", {}};
+  std::vector<TemporalPredicate> preds = {
+      {Ts(0), PredOp::kLess, Te(0)},  // Always true.
+  };
+  Result<SemanticAnalysis> a = analyzer.Analyze({x}, {}, preds);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->redundant.size(), 1u);
+  EXPECT_TRUE(a->essential.empty());
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,144 @@
+#include "semantic/constraint_graph.h"
+
+#include "gtest/gtest.h"
+
+namespace tempus {
+namespace {
+
+TEST(ConstraintGraphTest, TransitiveImplication) {
+  ConstraintGraph g;
+  const auto a = g.AddVariable("a");
+  const auto b = g.AddVariable("b");
+  const auto c = g.AddVariable("c");
+  g.AddLess(a, b);
+  g.AddLessEqual(b, c);
+  g.Close();
+  EXPECT_FALSE(g.HasContradiction());
+  EXPECT_TRUE(g.ImpliesLess(a, c));       // a < b <= c.
+  EXPECT_TRUE(g.ImpliesLessEqual(a, c));
+  EXPECT_FALSE(g.ImpliesLess(c, a));
+  EXPECT_FALSE(g.ImpliesLessEqual(c, a));
+  EXPECT_EQ(g.UpperBound(a, c), -1);
+}
+
+TEST(ConstraintGraphTest, ContradictionDetection) {
+  ConstraintGraph g;
+  const auto a = g.AddVariable("a");
+  const auto b = g.AddVariable("b");
+  g.AddLess(a, b);
+  g.AddLess(b, a);
+  g.Close();
+  EXPECT_TRUE(g.HasContradiction());
+}
+
+TEST(ConstraintGraphTest, EqualCycleIsNotContradiction) {
+  ConstraintGraph g;
+  const auto a = g.AddVariable("a");
+  const auto b = g.AddVariable("b");
+  g.AddEqual(a, b);
+  g.Close();
+  EXPECT_FALSE(g.HasContradiction());
+  EXPECT_TRUE(g.ImpliesEqual(a, b));
+  EXPECT_FALSE(g.ImpliesLess(a, b));
+}
+
+TEST(ConstraintGraphTest, StrictChainAccumulates) {
+  // On discrete time a < b < c implies a <= c - 2.
+  ConstraintGraph g;
+  const auto a = g.AddVariable("a");
+  const auto b = g.AddVariable("b");
+  const auto c = g.AddVariable("c");
+  g.AddLess(a, b);
+  g.AddLess(b, c);
+  g.Close();
+  EXPECT_TRUE(g.Implies(a, c, -2));
+  EXPECT_FALSE(g.Implies(a, c, -3));
+}
+
+TEST(ConstraintGraphTest, ConstantsAreOrdered) {
+  ConstraintGraph g;
+  const auto x = g.AddVariable("x");
+  const auto five = g.AddConstant(5);
+  const auto nine = g.AddConstant(9);
+  // Reusing a constant returns the same node.
+  EXPECT_EQ(g.AddConstant(5), five);
+  g.AddLessEqual(x, five);
+  g.Close();
+  EXPECT_TRUE(g.ImpliesLess(x, nine));  // x <= 5 < 9.
+  EXPECT_TRUE(g.Implies(five, nine, -4));
+  EXPECT_TRUE(g.Implies(nine, five, 4));
+}
+
+TEST(ConstraintGraphTest, ContradictionThroughConstants) {
+  ConstraintGraph g;
+  const auto x = g.AddVariable("x");
+  const auto lo = g.AddConstant(10);
+  const auto hi = g.AddConstant(3);
+  g.AddLessEqual(lo, x);  // x >= 10.
+  g.AddLessEqual(x, hi);  // x <= 3.
+  g.Close();
+  EXPECT_TRUE(g.HasContradiction());
+}
+
+TEST(ConstraintGraphTest, RedundancyDetection) {
+  // The Superstar core: f1.TS < f1.TE <= f2.TS makes "f1.TS < f2.TS"
+  // redundant.
+  ConstraintGraph g;
+  const auto f1_ts = g.AddVariable("f1.TS");
+  const auto f1_te = g.AddVariable("f1.TE");
+  const auto f2_ts = g.AddVariable("f2.TS");
+  g.AddLess(f1_ts, f1_te);
+  g.AddLessEqual(f1_te, f2_ts);
+  const auto candidate = g.AddLess(f1_ts, f2_ts);
+  g.Close();
+  EXPECT_TRUE(g.IsRedundant(candidate));
+  // After the check the constraint is still enabled and closure intact.
+  EXPECT_TRUE(g.IsEnabled(candidate));
+  EXPECT_TRUE(g.ImpliesLess(f1_ts, f2_ts));
+}
+
+TEST(ConstraintGraphTest, NonRedundantConstraint) {
+  ConstraintGraph g;
+  const auto a = g.AddVariable("a");
+  const auto b = g.AddVariable("b");
+  const auto id = g.AddLess(a, b);
+  g.Close();
+  EXPECT_FALSE(g.IsRedundant(id));
+}
+
+TEST(ConstraintGraphTest, DisableRestoresSatisfiability) {
+  ConstraintGraph g;
+  const auto a = g.AddVariable("a");
+  const auto b = g.AddVariable("b");
+  g.AddLess(a, b);
+  const auto back = g.AddLess(b, a);
+  g.Close();
+  EXPECT_TRUE(g.HasContradiction());
+  g.SetEnabled(back, false);
+  g.Close();
+  EXPECT_FALSE(g.HasContradiction());
+}
+
+TEST(ConstraintGraphTest, ConsistentWith) {
+  ConstraintGraph g;
+  const auto a = g.AddVariable("a");
+  const auto b = g.AddVariable("b");
+  g.AddLess(a, b);
+  g.Close();
+  EXPECT_TRUE(g.ConsistentWith(a, b, -5));   // a <= b - 5 is possible.
+  EXPECT_FALSE(g.ConsistentWith(b, a, 0));   // b <= a contradicts a < b.
+  EXPECT_TRUE(g.ConsistentWith(b, a, 1));    // b <= a + 1 i.e. b == a+1.
+}
+
+TEST(ConstraintGraphTest, ToStringListsEnabled) {
+  ConstraintGraph g;
+  const auto a = g.AddVariable("a");
+  const auto b = g.AddVariable("b");
+  const auto id = g.AddLess(a, b);
+  EXPECT_NE(g.ToString().find("a - b <= -1"), std::string::npos);
+  g.SetEnabled(id, false);
+  EXPECT_EQ(g.ToString(), "");
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,116 @@
+#include "semantic/integrity.h"
+
+#include "datagen/faculty_gen.h"
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+TemporalRelation SmallFaculty(bool with_gap, bool out_of_order) {
+  TemporalRelation rel("Faculty", FacultySchema());
+  auto add = [&rel](const char* who, const char* rank, TimePoint a,
+                    TimePoint b) {
+    TEMPUS_EXPECT_OK(rel.AppendRow(Value::Str(who), Value::Str(rank), a, b));
+  };
+  add("Smith", "Assistant", 0, 10);
+  add("Smith", "Associate", with_gap ? 12 : 10, 20);
+  add("Smith", "Full", 20, 30);
+  if (out_of_order) {
+    add("Jones", "Full", 0, 5);
+    add("Jones", "Assistant", 5, 9);
+  }
+  return rel;
+}
+
+TEST(ChronologicalDomainTest, PositionOf) {
+  const ChronologicalDomain domain = FacultyRankDomain(false);
+  EXPECT_EQ(domain.PositionOf(Value::Str("Assistant")), 0);
+  EXPECT_EQ(domain.PositionOf(Value::Str("Full")), 2);
+  EXPECT_EQ(domain.PositionOf(Value::Str("Dean")), -1);
+}
+
+TEST(IntegrityCatalogTest, AddValidation) {
+  IntegrityCatalog catalog;
+  ChronologicalDomain bad;
+  bad.attribute = "Rank";
+  bad.surrogate_attribute = "Name";
+  bad.ordered_values = {Value::Str("only")};
+  EXPECT_FALSE(catalog.AddChronologicalDomain("Faculty", bad).ok());
+  TEMPUS_EXPECT_OK(
+      catalog.AddChronologicalDomain("Faculty", FacultyRankDomain(false)));
+  EXPECT_EQ(catalog.DomainsFor("Faculty").size(), 1u);
+  EXPECT_TRUE(catalog.DomainsFor("Other").empty());
+}
+
+TEST(IntegrityCatalogTest, ValidateAcceptsChronologicalInstance) {
+  IntegrityCatalog catalog;
+  TEMPUS_EXPECT_OK(
+      catalog.AddChronologicalDomain("Faculty", FacultyRankDomain(false)));
+  TEMPUS_EXPECT_OK(catalog.Validate(SmallFaculty(true, false)));
+}
+
+TEST(IntegrityCatalogTest, ValidateRejectsOutOfOrderCareer) {
+  IntegrityCatalog catalog;
+  TEMPUS_EXPECT_OK(
+      catalog.AddChronologicalDomain("Faculty", FacultyRankDomain(false)));
+  EXPECT_FALSE(catalog.Validate(SmallFaculty(false, true)).ok());
+}
+
+TEST(IntegrityCatalogTest, ContinuousRejectsGaps) {
+  IntegrityCatalog catalog;
+  TEMPUS_EXPECT_OK(
+      catalog.AddChronologicalDomain("Faculty", FacultyRankDomain(true)));
+  EXPECT_FALSE(catalog.Validate(SmallFaculty(true, false)).ok());
+  TEMPUS_EXPECT_OK(catalog.Validate(SmallFaculty(false, false)));
+}
+
+TEST(IntegrityCatalogTest, ContinuousRequiresStartingAtFirstValue) {
+  IntegrityCatalog catalog;
+  TEMPUS_EXPECT_OK(
+      catalog.AddChronologicalDomain("Faculty", FacultyRankDomain(true)));
+  TemporalRelation rel("Faculty", FacultySchema());
+  TEMPUS_EXPECT_OK(rel.AppendRow(Value::Str("Doe"), Value::Str("Associate"),
+                                 0, 10));
+  EXPECT_FALSE(catalog.Validate(rel).ok());
+}
+
+TEST(IntegrityCatalogTest, ValidateRejectsUnknownValue) {
+  IntegrityCatalog catalog;
+  TEMPUS_EXPECT_OK(
+      catalog.AddChronologicalDomain("Faculty", FacultyRankDomain(false)));
+  TemporalRelation rel("Faculty", FacultySchema());
+  TEMPUS_EXPECT_OK(
+      rel.AppendRow(Value::Str("Doe"), Value::Str("Provost"), 0, 10));
+  EXPECT_FALSE(catalog.Validate(rel).ok());
+}
+
+TEST(IntegrityCatalogTest, ValidateRejectsDuplicateRank) {
+  IntegrityCatalog catalog;
+  TEMPUS_EXPECT_OK(
+      catalog.AddChronologicalDomain("Faculty", FacultyRankDomain(false)));
+  TemporalRelation rel("Faculty", FacultySchema());
+  TEMPUS_EXPECT_OK(
+      rel.AppendRow(Value::Str("Doe"), Value::Str("Assistant"), 0, 5));
+  TEMPUS_EXPECT_OK(
+      rel.AppendRow(Value::Str("Doe"), Value::Str("Assistant"), 7, 9));
+  EXPECT_FALSE(catalog.Validate(rel).ok());
+}
+
+TEST(IntegrityCatalogTest, GeneratedFacultyValidates) {
+  for (bool continuous : {false, true}) {
+    FacultyWorkloadConfig config;
+    config.faculty_count = 200;
+    config.continuous = continuous;
+    config.seed = continuous ? 1 : 2;
+    Result<TemporalRelation> faculty = GenerateFaculty("Faculty", config);
+    ASSERT_TRUE(faculty.ok());
+    IntegrityCatalog catalog;
+    TEMPUS_EXPECT_OK(catalog.AddChronologicalDomain(
+        "Faculty", FacultyRankDomain(continuous)));
+    TEMPUS_EXPECT_OK(catalog.Validate(*faculty));
+  }
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,153 @@
+#include "storage/external_sort.h"
+#include "storage/paged_relation.h"
+#include "storage/paged_stream.h"
+
+#include "datagen/interval_gen.h"
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::MakeIntervals;
+using ::tempus::testing::MustMaterialize;
+
+TEST(PagedRelationTest, SplitsIntoPages) {
+  const TemporalRelation rel =
+      MakeIntervals("R", {{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}});
+  Result<PagedRelation> paged = PagedRelation::FromRelation(rel, 2);
+  ASSERT_TRUE(paged.ok());
+  EXPECT_EQ(paged->page_count(), 3u);
+  EXPECT_EQ(paged->tuple_count(), 5u);
+  EXPECT_EQ(paged->page(0).size(), 2u);
+  EXPECT_EQ(paged->page(2).size(), 1u);
+  EXPECT_FALSE(PagedRelation::FromRelation(rel, 0).ok());
+}
+
+TEST(PagedRelationTest, AppendChargesWrites) {
+  PagedRelation paged("R", Schema::Canonical("S", ValueType::kInt64, "V",
+                                             ValueType::kInt64),
+                      2);
+  PageIoCounter io;
+  for (int i = 0; i < 5; ++i) {
+    paged.Append(MakeTemporalTuple(Value::Int(i), Value::Int(0), i, i + 1),
+                 &io);
+  }
+  paged.FlushTail(&io);
+  EXPECT_EQ(io.writes(), 3u);  // Two full pages + one partial.
+  EXPECT_EQ(io.reads(), 0u);
+  paged.FlushTail(&io);  // Idempotent.
+  EXPECT_EQ(io.writes(), 3u);
+}
+
+TEST(PagedScanStreamTest, ChargesOneReadPerPagePerPass) {
+  const TemporalRelation rel =
+      MakeIntervals("R", {{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}});
+  PagedRelation paged =
+      PagedRelation::FromRelation(rel, 2).value();
+  PageIoCounter io;
+  PagedScanStream scan(&paged, &io);
+  const TemporalRelation out = MustMaterialize(&scan, "out");
+  EXPECT_TRUE(out.EqualsIgnoringOrder(rel));
+  EXPECT_EQ(io.reads(), 3u);
+  MustMaterialize(&scan, "again");
+  EXPECT_EQ(io.reads(), 6u);  // A second pass pays again.
+}
+
+class ExternalSortTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ExternalSortTest, SortsCorrectlyUnderWorkspaceLimit) {
+  IntervalWorkloadConfig config;
+  config.count = 500;
+  config.seed = 77;
+  TemporalRelation rel =
+      GenerateIntervalRelation("R", config).value();
+  // Shuffle via a ValidTo sort so the ValidFrom sort has work to do.
+  rel.SortBy(SortSpec::ByLifespan(rel.schema(), TemporalField::kValidTo,
+                                  SortDirection::kDescending)
+                 .value());
+  const SortSpec target =
+      SortSpec::ByLifespan(rel.schema(), TemporalField::kValidFrom,
+                           SortDirection::kAscending)
+          .value();
+  PageIoCounter io;
+  const size_t workspace_pages = GetParam();
+  Result<std::unique_ptr<ExternalSortStream>> sort =
+      ExternalSortStream::Create(VectorStream::Scan(rel), target,
+                                 /*tuples_per_page=*/8, workspace_pages,
+                                 &io);
+  ASSERT_TRUE(sort.ok());
+  const TemporalRelation out = MustMaterialize(sort->get(), "out");
+  EXPECT_TRUE(out.EqualsIgnoringOrder(rel));
+  EXPECT_TRUE(IsSorted(out.tuples(), target));
+  EXPECT_GE((*sort)->initial_run_count(), 1u);
+  EXPECT_GE((*sort)->passes(), 2u);  // Run generation + final read.
+  EXPECT_GT(io.writes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkspaceSizes, ExternalSortTest,
+                         ::testing::Values(3, 4, 8, 64),
+                         ::testing::PrintToStringParamName());
+
+TEST(ExternalSortTest, MorePassesWithLessWorkspace) {
+  IntervalWorkloadConfig config;
+  config.count = 2000;
+  config.seed = 9;
+  TemporalRelation rel = GenerateIntervalRelation("R", config).value();
+  rel.SortBy(SortSpec::ByLifespan(rel.schema(), TemporalField::kValidTo,
+                                  SortDirection::kAscending)
+                 .value());
+  const SortSpec target =
+      SortSpec::ByLifespan(rel.schema(), TemporalField::kValidFrom,
+                           SortDirection::kAscending)
+          .value();
+  auto run = [&](size_t pages) {
+    PageIoCounter io;
+    std::unique_ptr<ExternalSortStream> sort =
+        ExternalSortStream::Create(VectorStream::Scan(rel), target, 4,
+                                   pages, &io)
+            .value();
+    MustMaterialize(sort.get(), "out");
+    return std::pair<size_t, uint64_t>(sort->passes(), io.total());
+  };
+  const auto [small_passes, small_io] = run(3);
+  const auto [large_passes, large_io] = run(128);
+  EXPECT_GT(small_passes, large_passes);
+  EXPECT_GT(small_io, large_io);
+  // With the whole input in workspace: one run, two passes (gen + read).
+  EXPECT_EQ(large_passes, 2u);
+}
+
+TEST(ExternalSortTest, ValidatesArguments) {
+  const TemporalRelation rel = MakeIntervals("R", {{1, 2}});
+  const SortSpec spec =
+      SortSpec::ByLifespan(rel.schema(), TemporalField::kValidFrom,
+                           SortDirection::kAscending)
+          .value();
+  EXPECT_FALSE(ExternalSortStream::Create(VectorStream::Scan(rel), spec, 0,
+                                          4, nullptr)
+                   .ok());
+  EXPECT_FALSE(ExternalSortStream::Create(VectorStream::Scan(rel), spec, 8,
+                                          1, nullptr)
+                   .ok());
+  // Two pages = fan-in 1: rejected (cannot make merge progress).
+  EXPECT_FALSE(ExternalSortStream::Create(VectorStream::Scan(rel), spec, 8,
+                                          2, nullptr)
+                   .ok());
+}
+
+TEST(ExternalSortTest, EmptyInput) {
+  const TemporalRelation rel = MakeIntervals("R", {});
+  const SortSpec spec =
+      SortSpec::ByLifespan(rel.schema(), TemporalField::kValidFrom,
+                           SortDirection::kAscending)
+          .value();
+  std::unique_ptr<ExternalSortStream> sort =
+      ExternalSortStream::Create(VectorStream::Scan(rel), spec, 8, 4,
+                                 nullptr)
+          .value();
+  EXPECT_EQ(MustMaterialize(sort.get(), "out").size(), 0u);
+}
+
+}  // namespace
+}  // namespace tempus

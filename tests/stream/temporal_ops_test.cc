@@ -1,0 +1,105 @@
+#include "stream/temporal_ops.h"
+
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::MakeIntervals;
+using ::tempus::testing::MustMaterialize;
+
+TemporalRelation Career() {
+  TemporalRelation rel("Career",
+                       Schema::Canonical("Name", ValueType::kString, "Rank",
+                                         ValueType::kString));
+  auto add = [&rel](const char* who, const char* rank, TimePoint a,
+                    TimePoint b) {
+    TEMPUS_EXPECT_OK(rel.AppendRow(Value::Str(who), Value::Str(rank), a, b));
+  };
+  // Sorted by (Name, Rank, ValidFrom) — group attrs first.
+  add("ann", "analyst", 0, 5);
+  add("ann", "analyst", 5, 9);    // Meets: coalesces with the previous.
+  add("ann", "analyst", 8, 12);   // Overlaps: extends further.
+  add("ann", "analyst", 20, 25);  // Gap: new period.
+  add("bob", "analyst", 3, 7);    // Different group.
+  add("bob", "manager", 7, 10);
+  return rel;
+}
+
+TEST(CoalesceStreamTest, MergesMeetingAndOverlappingPeriods) {
+  const TemporalRelation rel = Career();
+  auto coalesce =
+      CoalesceStream::Create(VectorStream::Scan(rel)).value();
+  const TemporalRelation out = MustMaterialize(coalesce.get(), "out");
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.LifespanOf(0), Interval(0, 12));   // ann analyst merged.
+  EXPECT_EQ(out.LifespanOf(1), Interval(20, 25));  // After the gap.
+  EXPECT_EQ(out.LifespanOf(2), Interval(3, 7));    // bob analyst.
+  EXPECT_EQ(out.LifespanOf(3), Interval(7, 10));   // bob manager.
+  // Single pending tuple is the whole workspace.
+  EXPECT_LE(coalesce->metrics().peak_workspace_tuples, 1u);
+}
+
+TEST(CoalesceStreamTest, DetectsMisSortedGroup) {
+  TemporalRelation rel("R", Schema::Canonical("S", ValueType::kInt64, "V",
+                                              ValueType::kInt64));
+  TEMPUS_ASSERT_OK(rel.AppendRow(Value::Int(1), Value::Int(0), 10, 20));
+  TEMPUS_ASSERT_OK(rel.AppendRow(Value::Int(1), Value::Int(0), 0, 5));
+  auto coalesce =
+      CoalesceStream::Create(VectorStream::Scan(rel)).value();
+  Result<TemporalRelation> out = Materialize(coalesce.get(), "out");
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(CoalesceStreamTest, EmptyAndSingleton) {
+  const TemporalRelation empty = MakeIntervals("R", {});
+  auto c1 = CoalesceStream::Create(VectorStream::Scan(empty)).value();
+  EXPECT_EQ(MustMaterialize(c1.get(), "out").size(), 0u);
+  const TemporalRelation one = MakeIntervals("R", {{3, 5}});
+  auto c2 = CoalesceStream::Create(VectorStream::Scan(one)).value();
+  const TemporalRelation out = MustMaterialize(c2.get(), "out");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.LifespanOf(0), Interval(3, 5));
+}
+
+TEST(CoalesceStreamTest, IdempotentOnCoalescedInput) {
+  const TemporalRelation rel = Career();
+  auto first = CoalesceStream::Create(VectorStream::Scan(rel)).value();
+  const TemporalRelation once = MustMaterialize(first.get(), "once");
+  auto second = CoalesceStream::Create(VectorStream::Scan(once)).value();
+  const TemporalRelation twice = MustMaterialize(second.get(), "twice");
+  EXPECT_TRUE(once.EqualsIgnoringOrder(twice));
+}
+
+TEST(TimeSliceTest, SnapshotAtPoint) {
+  const TemporalRelation rel =
+      MakeIntervals("R", {{0, 10}, {5, 8}, {8, 12}, {20, 30}});
+  auto slice = MakeTimeSlice(VectorStream::Scan(rel), 8).value();
+  const TemporalRelation out = MustMaterialize(slice.get(), "out");
+  // At t=8: [0,10) and [8,12) contain 8; [5,8) does not (half-open).
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.LifespanOf(0), Interval(0, 10));
+  EXPECT_EQ(out.LifespanOf(1), Interval(8, 12));
+}
+
+TEST(WindowClipTest, ClipsAndDrops) {
+  const TemporalRelation rel =
+      MakeIntervals("R", {{0, 10}, {5, 8}, {12, 15}, {7, 20}});
+  auto clip =
+      MakeWindowClip(VectorStream::Scan(rel), Interval(6, 12)).value();
+  const TemporalRelation out = MustMaterialize(clip.get(), "out");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.LifespanOf(0), Interval(6, 10));
+  EXPECT_EQ(out.LifespanOf(1), Interval(6, 8));
+  EXPECT_EQ(out.LifespanOf(2), Interval(7, 12));  // [12,15) dropped.
+}
+
+TEST(WindowClipTest, RejectsInvalidWindow) {
+  const TemporalRelation rel = MakeIntervals("R", {{0, 10}});
+  EXPECT_FALSE(
+      MakeWindowClip(VectorStream::Scan(rel), Interval(5, 5)).ok());
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,78 @@
+#include "tql/lexer.h"
+
+#include "gtest/gtest.h"
+
+namespace tempus {
+namespace {
+
+TEST(LexerTest, TokenizesRangeDecl) {
+  Result<std::vector<Token>> tokens = Tokenize("range of f1 is Faculty");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 6u);  // 5 idents + end.
+  EXPECT_EQ((*tokens)[0].text, "range");
+  EXPECT_EQ((*tokens)[4].text, "Faculty");
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  Result<std::vector<Token>> tokens = Tokenize("= != < <= > >= ( ) , .");
+  ASSERT_TRUE(tokens.ok());
+  const TokenKind expected[] = {
+      TokenKind::kEquals,  TokenKind::kNotEquals, TokenKind::kLess,
+      TokenKind::kLessEq,  TokenKind::kGreater,   TokenKind::kGreaterEq,
+      TokenKind::kLParen,  TokenKind::kRParen,    TokenKind::kComma,
+      TokenKind::kDot,     TokenKind::kEnd};
+  ASSERT_EQ(tokens->size(), 11u);
+  for (size_t i = 0; i < 11; ++i) {
+    EXPECT_EQ((*tokens)[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, NumbersIncludingNegative) {
+  Result<std::vector<Token>> tokens = Tokenize("42 -17");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].number, 42);
+  EXPECT_EQ((*tokens)[1].number, -17);
+}
+
+TEST(LexerTest, Strings) {
+  Result<std::vector<Token>> tokens = Tokenize("\"Assistant Prof\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "Assistant Prof");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("\"oops").ok());
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  Result<std::vector<Token>> tokens =
+      Tokenize("a # the rest is ignored\nb");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[1].text, "b");
+  EXPECT_EQ((*tokens)[1].line, 2u);
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  Result<std::vector<Token>> tokens = Tokenize("ab\n  cd");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1u);
+  EXPECT_EQ((*tokens)[0].column, 1u);
+  EXPECT_EQ((*tokens)[1].line, 2u);
+  EXPECT_EQ((*tokens)[1].column, 3u);
+}
+
+TEST(LexerTest, StrayCharacterFails) {
+  Result<std::vector<Token>> tokens = Tokenize("a @ b");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("@"), std::string::npos);
+}
+
+TEST(LexerTest, StrayBangFails) {
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,138 @@
+#include "tql/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace tempus {
+namespace {
+
+TEST(ParserTest, ParsesSuperstarQuery) {
+  const char* kQuery = R"(
+    range of f1 is Faculty
+    range of f2 is Faculty
+    range of f3 is Faculty
+    retrieve unique into Stars (f1.Name, f1.ValidFrom, f2.ValidTo)
+    where f1.Name = f2.Name
+      and f1.Rank = "Assistant" and f2.Rank = "Full"
+      and f3.Rank = "Associate"
+      and (f1 overlap f3) and (f2 overlap f3)
+  )";
+  Result<ConjunctiveQuery> q = ParseTql(kQuery);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->range_vars.size(), 3u);
+  EXPECT_EQ(q->range_vars[0].name, "f1");
+  EXPECT_EQ(q->range_vars[2].relation, "Faculty");
+  EXPECT_TRUE(q->distinct);
+  EXPECT_EQ(q->into, "Stars");
+  ASSERT_EQ(q->outputs.size(), 3u);
+  EXPECT_EQ(q->outputs[0].column.range_var, "f1");
+  EXPECT_EQ(q->outputs[2].column.attribute, "ValidTo");
+  EXPECT_EQ(q->comparisons.size(), 4u);
+  ASSERT_EQ(q->temporal_atoms.size(), 2u);
+  EXPECT_EQ(q->temporal_atoms[0].op_name, "overlap");
+  EXPECT_EQ(q->temporal_atoms[0].mask, AllenMask::Intersecting());
+}
+
+TEST(ParserTest, QuelStyleTargetAliases) {
+  Result<ConjunctiveQuery> q = ParseTql(
+      "range of f is R retrieve (Name = f.S, f.ValidFrom as Start)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->outputs.size(), 2u);
+  EXPECT_EQ(q->outputs[0].alias, "Name");
+  EXPECT_EQ(q->outputs[0].column.attribute, "S");
+  EXPECT_EQ(q->outputs[1].alias, "Start");
+}
+
+TEST(ParserTest, AllenOperatorNames) {
+  Result<ConjunctiveQuery> q = ParseTql(
+      "range of a is R range of b is R retrieve (a.S) "
+      "where a during b and a met_by b and b finished_by a");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->temporal_atoms.size(), 3u);
+  EXPECT_EQ(q->temporal_atoms[0].mask,
+            AllenMask::Single(AllenRelation::kDuring));
+  EXPECT_EQ(q->temporal_atoms[1].mask,
+            AllenMask::Single(AllenRelation::kMetBy));
+  EXPECT_EQ(q->temporal_atoms[2].mask,
+            AllenMask::Single(AllenRelation::kFinishedBy));
+  EXPECT_EQ(q->temporal_atoms[2].left_var, "b");
+}
+
+TEST(ParserTest, ComparisonOperators) {
+  Result<ConjunctiveQuery> q = ParseTql(
+      "range of a is R retrieve (a.S) "
+      "where a.ValidFrom >= 10 and a.ValidTo != 20 and a.S < a.V");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->comparisons.size(), 3u);
+  EXPECT_EQ(q->comparisons[0].op, CmpOp::kGe);
+  EXPECT_FALSE(q->comparisons[0].rhs.is_column);
+  EXPECT_EQ(q->comparisons[0].rhs.literal.int_value(), 10);
+  EXPECT_EQ(q->comparisons[1].op, CmpOp::kNe);
+  EXPECT_EQ(q->comparisons[2].op, CmpOp::kLt);
+  EXPECT_TRUE(q->comparisons[2].rhs.is_column);
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  Result<ConjunctiveQuery> q =
+      ParseTql("RANGE OF a IS R RETRIEVE UNIQUE (a.S) WHERE a.S = 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->distinct);
+}
+
+TEST(ParserTest, DefaultsWithoutWhere) {
+  Result<ConjunctiveQuery> q = ParseTql("range of a is R retrieve (a.S)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->distinct);
+  EXPECT_EQ(q->into, "Result");
+  EXPECT_TRUE(q->comparisons.empty());
+}
+
+TEST(ParserTest, ErrorsWithLocation) {
+  Result<ConjunctiveQuery> bad = ParseTql("retrieve (a.S)");
+  EXPECT_FALSE(bad.ok());  // Missing range decl.
+  bad = ParseTql("range of a is R retrieve a.S");
+  EXPECT_FALSE(bad.ok());  // Missing parens.
+  bad = ParseTql("range of a is R retrieve (a.S) where a.S");
+  EXPECT_FALSE(bad.ok());  // Dangling predicate.
+  EXPECT_NE(bad.status().message().find("line"), std::string::npos);
+  bad = ParseTql("range of a is R retrieve (a.S) trailing");
+  EXPECT_FALSE(bad.ok());
+  bad = ParseTql("range of a is R retrieve (a.S) where a sideways b");
+  EXPECT_FALSE(bad.ok());  // Unknown temporal operator parses as error.
+}
+
+
+TEST(ParserTest, OrderByClause) {
+  Result<ConjunctiveQuery> q = ParseTql(
+      "range of a is R retrieve (a.S, a.ValidFrom) "
+      "where a.S > 0 order by a.ValidFrom desc, a.S");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->order_by.size(), 2u);
+  EXPECT_EQ(q->order_by[0].column.attribute, "ValidFrom");
+  EXPECT_FALSE(q->order_by[0].ascending);
+  EXPECT_TRUE(q->order_by[1].ascending);
+  // Explicit asc keyword.
+  q = ParseTql("range of a is R retrieve (a.S) order by a.S asc");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->order_by[0].ascending);
+  // Malformed.
+  EXPECT_FALSE(ParseTql("range of a is R retrieve (a.S) order a.S").ok());
+}
+
+TEST(ParserTest, UnbalancedParensFail) {
+  EXPECT_FALSE(
+      ParseTql("range of a is R retrieve (a.S) where ((a overlap a)").ok());
+}
+
+TEST(ParserTest, QueryToStringRoundTripsThroughParser) {
+  const char* kQuery =
+      "range of a is R range of b is S retrieve unique into Z (a.S) "
+      "where a.S = b.S and a during b";
+  Result<ConjunctiveQuery> q = ParseTql(kQuery);
+  ASSERT_TRUE(q.ok());
+  Result<ConjunctiveQuery> q2 = ParseTql(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString() << "\n" << q->ToString();
+  EXPECT_EQ(q2->ToString(), q->ToString());
+}
+
+}  // namespace
+}  // namespace tempus
