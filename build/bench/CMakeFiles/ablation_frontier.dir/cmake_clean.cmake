@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_frontier.dir/ablation_frontier.cc.o"
+  "CMakeFiles/ablation_frontier.dir/ablation_frontier.cc.o.d"
+  "ablation_frontier"
+  "ablation_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_read_policy.dir/ablation_read_policy.cc.o"
+  "CMakeFiles/ablation_read_policy.dir/ablation_read_policy.cc.o.d"
+  "ablation_read_policy"
+  "ablation_read_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_read_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

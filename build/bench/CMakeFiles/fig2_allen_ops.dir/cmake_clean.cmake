@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_allen_ops.dir/fig2_allen_ops.cc.o"
+  "CMakeFiles/fig2_allen_ops.dir/fig2_allen_ops.cc.o.d"
+  "fig2_allen_ops"
+  "fig2_allen_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_allen_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

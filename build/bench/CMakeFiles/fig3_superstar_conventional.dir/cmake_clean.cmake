@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_superstar_conventional.dir/fig3_superstar_conventional.cc.o"
+  "CMakeFiles/fig3_superstar_conventional.dir/fig3_superstar_conventional.cc.o.d"
+  "fig3_superstar_conventional"
+  "fig3_superstar_conventional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_superstar_conventional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

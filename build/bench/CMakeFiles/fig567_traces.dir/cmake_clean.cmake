@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig567_traces.dir/fig567_traces.cc.o"
+  "CMakeFiles/fig567_traces.dir/fig567_traces.cc.o.d"
+  "fig567_traces"
+  "fig567_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig567_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

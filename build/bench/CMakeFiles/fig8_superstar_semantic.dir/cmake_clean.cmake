@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_superstar_semantic.dir/fig8_superstar_semantic.cc.o"
+  "CMakeFiles/fig8_superstar_semantic.dir/fig8_superstar_semantic.cc.o.d"
+  "fig8_superstar_semantic"
+  "fig8_superstar_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_superstar_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_tradeoff.dir/io_tradeoff.cc.o"
+  "CMakeFiles/io_tradeoff.dir/io_tradeoff.cc.o.d"
+  "io_tradeoff"
+  "io_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

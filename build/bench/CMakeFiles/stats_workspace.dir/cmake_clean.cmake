@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_workspace.dir/stats_workspace.cc.o"
+  "CMakeFiles/stats_workspace.dir/stats_workspace.cc.o.d"
+  "stats_workspace"
+  "stats_workspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_workspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_contain.dir/table1_contain.cc.o"
+  "CMakeFiles/table1_contain.dir/table1_contain.cc.o.d"
+  "table1_contain"
+  "table1_contain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_contain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

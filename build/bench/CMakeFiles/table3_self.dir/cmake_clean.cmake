@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_self.dir/table3_self.cc.o"
+  "CMakeFiles/table3_self.dir/table3_self.cc.o.d"
+  "table3_self"
+  "table3_self.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_self.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_rollback.dir/audit_rollback.cc.o"
+  "CMakeFiles/audit_rollback.dir/audit_rollback.cc.o.d"
+  "audit_rollback"
+  "audit_rollback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hotel_bookings.cc" "examples/CMakeFiles/hotel_bookings.dir/hotel_bookings.cc.o" "gcc" "examples/CMakeFiles/hotel_bookings.dir/hotel_bookings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/tempus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/tempus_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/tql/CMakeFiles/tempus_tql.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/tempus_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/tempus_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/tempus_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/tempus_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantic/CMakeFiles/tempus_semantic.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/tempus_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/allen/CMakeFiles/tempus_allen.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tempus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotel_bookings.dir/hotel_bookings.cc.o"
+  "CMakeFiles/hotel_bookings.dir/hotel_bookings.cc.o.d"
+  "hotel_bookings"
+  "hotel_bookings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotel_bookings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

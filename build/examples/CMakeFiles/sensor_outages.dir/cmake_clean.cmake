@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_outages.dir/sensor_outages.cc.o"
+  "CMakeFiles/sensor_outages.dir/sensor_outages.cc.o.d"
+  "sensor_outages"
+  "sensor_outages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_outages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

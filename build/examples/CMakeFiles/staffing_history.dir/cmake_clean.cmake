@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staffing_history.dir/staffing_history.cc.o"
+  "CMakeFiles/staffing_history.dir/staffing_history.cc.o.d"
+  "staffing_history"
+  "staffing_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staffing_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superstar.dir/superstar.cc.o"
+  "CMakeFiles/superstar.dir/superstar.cc.o.d"
+  "superstar"
+  "superstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

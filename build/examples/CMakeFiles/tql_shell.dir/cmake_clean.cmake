@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tql_shell.dir/tql_shell.cc.o"
+  "CMakeFiles/tql_shell.dir/tql_shell.cc.o.d"
+  "tql_shell"
+  "tql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempus_allen.dir/interval_algebra.cc.o"
+  "CMakeFiles/tempus_allen.dir/interval_algebra.cc.o.d"
+  "libtempus_allen.a"
+  "libtempus_allen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempus_allen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempus_common.dir/interval.cc.o"
+  "CMakeFiles/tempus_common.dir/interval.cc.o.d"
+  "CMakeFiles/tempus_common.dir/random.cc.o"
+  "CMakeFiles/tempus_common.dir/random.cc.o.d"
+  "CMakeFiles/tempus_common.dir/status.cc.o"
+  "CMakeFiles/tempus_common.dir/status.cc.o.d"
+  "CMakeFiles/tempus_common.dir/string_util.cc.o"
+  "CMakeFiles/tempus_common.dir/string_util.cc.o.d"
+  "libtempus_common.a"
+  "libtempus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

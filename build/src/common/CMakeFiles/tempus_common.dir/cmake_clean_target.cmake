@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtempus_common.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/faculty_gen.cc" "src/datagen/CMakeFiles/tempus_datagen.dir/faculty_gen.cc.o" "gcc" "src/datagen/CMakeFiles/tempus_datagen.dir/faculty_gen.cc.o.d"
+  "/root/repo/src/datagen/interval_gen.cc" "src/datagen/CMakeFiles/tempus_datagen.dir/interval_gen.cc.o" "gcc" "src/datagen/CMakeFiles/tempus_datagen.dir/interval_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relation/CMakeFiles/tempus_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantic/CMakeFiles/tempus_semantic.dir/DependInfo.cmake"
+  "/root/repo/build/src/allen/CMakeFiles/tempus_allen.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tempus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

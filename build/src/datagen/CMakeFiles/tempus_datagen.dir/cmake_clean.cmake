@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempus_datagen.dir/faculty_gen.cc.o"
+  "CMakeFiles/tempus_datagen.dir/faculty_gen.cc.o.d"
+  "CMakeFiles/tempus_datagen.dir/interval_gen.cc.o"
+  "CMakeFiles/tempus_datagen.dir/interval_gen.cc.o.d"
+  "libtempus_datagen.a"
+  "libtempus_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempus_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempus_exec.dir/engine.cc.o"
+  "CMakeFiles/tempus_exec.dir/engine.cc.o.d"
+  "libtempus_exec.a"
+  "libtempus_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempus_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtempus_exec.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/join/allen_sweep_join.cc" "src/join/CMakeFiles/tempus_join.dir/allen_sweep_join.cc.o" "gcc" "src/join/CMakeFiles/tempus_join.dir/allen_sweep_join.cc.o.d"
+  "/root/repo/src/join/before_join.cc" "src/join/CMakeFiles/tempus_join.dir/before_join.cc.o" "gcc" "src/join/CMakeFiles/tempus_join.dir/before_join.cc.o.d"
+  "/root/repo/src/join/contain_join.cc" "src/join/CMakeFiles/tempus_join.dir/contain_join.cc.o" "gcc" "src/join/CMakeFiles/tempus_join.dir/contain_join.cc.o.d"
+  "/root/repo/src/join/containment_semijoin.cc" "src/join/CMakeFiles/tempus_join.dir/containment_semijoin.cc.o" "gcc" "src/join/CMakeFiles/tempus_join.dir/containment_semijoin.cc.o.d"
+  "/root/repo/src/join/hash_join.cc" "src/join/CMakeFiles/tempus_join.dir/hash_join.cc.o" "gcc" "src/join/CMakeFiles/tempus_join.dir/hash_join.cc.o.d"
+  "/root/repo/src/join/join_common.cc" "src/join/CMakeFiles/tempus_join.dir/join_common.cc.o" "gcc" "src/join/CMakeFiles/tempus_join.dir/join_common.cc.o.d"
+  "/root/repo/src/join/merge_equi_join.cc" "src/join/CMakeFiles/tempus_join.dir/merge_equi_join.cc.o" "gcc" "src/join/CMakeFiles/tempus_join.dir/merge_equi_join.cc.o.d"
+  "/root/repo/src/join/nested_loop.cc" "src/join/CMakeFiles/tempus_join.dir/nested_loop.cc.o" "gcc" "src/join/CMakeFiles/tempus_join.dir/nested_loop.cc.o.d"
+  "/root/repo/src/join/no_gc_join.cc" "src/join/CMakeFiles/tempus_join.dir/no_gc_join.cc.o" "gcc" "src/join/CMakeFiles/tempus_join.dir/no_gc_join.cc.o.d"
+  "/root/repo/src/join/overlap_semijoin.cc" "src/join/CMakeFiles/tempus_join.dir/overlap_semijoin.cc.o" "gcc" "src/join/CMakeFiles/tempus_join.dir/overlap_semijoin.cc.o.d"
+  "/root/repo/src/join/self_semijoin.cc" "src/join/CMakeFiles/tempus_join.dir/self_semijoin.cc.o" "gcc" "src/join/CMakeFiles/tempus_join.dir/self_semijoin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/tempus_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/allen/CMakeFiles/tempus_allen.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/tempus_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tempus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

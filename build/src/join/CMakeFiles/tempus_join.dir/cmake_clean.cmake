@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempus_join.dir/allen_sweep_join.cc.o"
+  "CMakeFiles/tempus_join.dir/allen_sweep_join.cc.o.d"
+  "CMakeFiles/tempus_join.dir/before_join.cc.o"
+  "CMakeFiles/tempus_join.dir/before_join.cc.o.d"
+  "CMakeFiles/tempus_join.dir/contain_join.cc.o"
+  "CMakeFiles/tempus_join.dir/contain_join.cc.o.d"
+  "CMakeFiles/tempus_join.dir/containment_semijoin.cc.o"
+  "CMakeFiles/tempus_join.dir/containment_semijoin.cc.o.d"
+  "CMakeFiles/tempus_join.dir/hash_join.cc.o"
+  "CMakeFiles/tempus_join.dir/hash_join.cc.o.d"
+  "CMakeFiles/tempus_join.dir/join_common.cc.o"
+  "CMakeFiles/tempus_join.dir/join_common.cc.o.d"
+  "CMakeFiles/tempus_join.dir/merge_equi_join.cc.o"
+  "CMakeFiles/tempus_join.dir/merge_equi_join.cc.o.d"
+  "CMakeFiles/tempus_join.dir/nested_loop.cc.o"
+  "CMakeFiles/tempus_join.dir/nested_loop.cc.o.d"
+  "CMakeFiles/tempus_join.dir/no_gc_join.cc.o"
+  "CMakeFiles/tempus_join.dir/no_gc_join.cc.o.d"
+  "CMakeFiles/tempus_join.dir/overlap_semijoin.cc.o"
+  "CMakeFiles/tempus_join.dir/overlap_semijoin.cc.o.d"
+  "CMakeFiles/tempus_join.dir/self_semijoin.cc.o"
+  "CMakeFiles/tempus_join.dir/self_semijoin.cc.o.d"
+  "libtempus_join.a"
+  "libtempus_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempus_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

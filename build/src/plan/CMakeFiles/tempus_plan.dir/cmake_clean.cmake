@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempus_plan.dir/cost_model.cc.o"
+  "CMakeFiles/tempus_plan.dir/cost_model.cc.o.d"
+  "CMakeFiles/tempus_plan.dir/planner.cc.o"
+  "CMakeFiles/tempus_plan.dir/planner.cc.o.d"
+  "CMakeFiles/tempus_plan.dir/query.cc.o"
+  "CMakeFiles/tempus_plan.dir/query.cc.o.d"
+  "libtempus_plan.a"
+  "libtempus_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempus_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtempus_plan.a"
+)

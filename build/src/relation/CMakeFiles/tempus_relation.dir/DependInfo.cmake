@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relation/bitemporal.cc" "src/relation/CMakeFiles/tempus_relation.dir/bitemporal.cc.o" "gcc" "src/relation/CMakeFiles/tempus_relation.dir/bitemporal.cc.o.d"
+  "/root/repo/src/relation/catalog.cc" "src/relation/CMakeFiles/tempus_relation.dir/catalog.cc.o" "gcc" "src/relation/CMakeFiles/tempus_relation.dir/catalog.cc.o.d"
+  "/root/repo/src/relation/csv.cc" "src/relation/CMakeFiles/tempus_relation.dir/csv.cc.o" "gcc" "src/relation/CMakeFiles/tempus_relation.dir/csv.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/relation/CMakeFiles/tempus_relation.dir/schema.cc.o" "gcc" "src/relation/CMakeFiles/tempus_relation.dir/schema.cc.o.d"
+  "/root/repo/src/relation/sort_spec.cc" "src/relation/CMakeFiles/tempus_relation.dir/sort_spec.cc.o" "gcc" "src/relation/CMakeFiles/tempus_relation.dir/sort_spec.cc.o.d"
+  "/root/repo/src/relation/temporal_relation.cc" "src/relation/CMakeFiles/tempus_relation.dir/temporal_relation.cc.o" "gcc" "src/relation/CMakeFiles/tempus_relation.dir/temporal_relation.cc.o.d"
+  "/root/repo/src/relation/tuple.cc" "src/relation/CMakeFiles/tempus_relation.dir/tuple.cc.o" "gcc" "src/relation/CMakeFiles/tempus_relation.dir/tuple.cc.o.d"
+  "/root/repo/src/relation/value.cc" "src/relation/CMakeFiles/tempus_relation.dir/value.cc.o" "gcc" "src/relation/CMakeFiles/tempus_relation.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tempus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempus_relation.dir/bitemporal.cc.o"
+  "CMakeFiles/tempus_relation.dir/bitemporal.cc.o.d"
+  "CMakeFiles/tempus_relation.dir/catalog.cc.o"
+  "CMakeFiles/tempus_relation.dir/catalog.cc.o.d"
+  "CMakeFiles/tempus_relation.dir/csv.cc.o"
+  "CMakeFiles/tempus_relation.dir/csv.cc.o.d"
+  "CMakeFiles/tempus_relation.dir/schema.cc.o"
+  "CMakeFiles/tempus_relation.dir/schema.cc.o.d"
+  "CMakeFiles/tempus_relation.dir/sort_spec.cc.o"
+  "CMakeFiles/tempus_relation.dir/sort_spec.cc.o.d"
+  "CMakeFiles/tempus_relation.dir/temporal_relation.cc.o"
+  "CMakeFiles/tempus_relation.dir/temporal_relation.cc.o.d"
+  "CMakeFiles/tempus_relation.dir/tuple.cc.o"
+  "CMakeFiles/tempus_relation.dir/tuple.cc.o.d"
+  "CMakeFiles/tempus_relation.dir/value.cc.o"
+  "CMakeFiles/tempus_relation.dir/value.cc.o.d"
+  "libtempus_relation.a"
+  "libtempus_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempus_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantic/analyzer.cc" "src/semantic/CMakeFiles/tempus_semantic.dir/analyzer.cc.o" "gcc" "src/semantic/CMakeFiles/tempus_semantic.dir/analyzer.cc.o.d"
+  "/root/repo/src/semantic/constraint_graph.cc" "src/semantic/CMakeFiles/tempus_semantic.dir/constraint_graph.cc.o" "gcc" "src/semantic/CMakeFiles/tempus_semantic.dir/constraint_graph.cc.o.d"
+  "/root/repo/src/semantic/integrity.cc" "src/semantic/CMakeFiles/tempus_semantic.dir/integrity.cc.o" "gcc" "src/semantic/CMakeFiles/tempus_semantic.dir/integrity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/allen/CMakeFiles/tempus_allen.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/tempus_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tempus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempus_semantic.dir/analyzer.cc.o"
+  "CMakeFiles/tempus_semantic.dir/analyzer.cc.o.d"
+  "CMakeFiles/tempus_semantic.dir/constraint_graph.cc.o"
+  "CMakeFiles/tempus_semantic.dir/constraint_graph.cc.o.d"
+  "CMakeFiles/tempus_semantic.dir/integrity.cc.o"
+  "CMakeFiles/tempus_semantic.dir/integrity.cc.o.d"
+  "libtempus_semantic.a"
+  "libtempus_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempus_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

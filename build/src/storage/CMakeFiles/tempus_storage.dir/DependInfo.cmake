@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/external_sort.cc" "src/storage/CMakeFiles/tempus_storage.dir/external_sort.cc.o" "gcc" "src/storage/CMakeFiles/tempus_storage.dir/external_sort.cc.o.d"
+  "/root/repo/src/storage/paged_relation.cc" "src/storage/CMakeFiles/tempus_storage.dir/paged_relation.cc.o" "gcc" "src/storage/CMakeFiles/tempus_storage.dir/paged_relation.cc.o.d"
+  "/root/repo/src/storage/paged_stream.cc" "src/storage/CMakeFiles/tempus_storage.dir/paged_stream.cc.o" "gcc" "src/storage/CMakeFiles/tempus_storage.dir/paged_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/tempus_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/tempus_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tempus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempus_storage.dir/external_sort.cc.o"
+  "CMakeFiles/tempus_storage.dir/external_sort.cc.o.d"
+  "CMakeFiles/tempus_storage.dir/paged_relation.cc.o"
+  "CMakeFiles/tempus_storage.dir/paged_relation.cc.o.d"
+  "CMakeFiles/tempus_storage.dir/paged_stream.cc.o"
+  "CMakeFiles/tempus_storage.dir/paged_stream.cc.o.d"
+  "libtempus_storage.a"
+  "libtempus_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempus_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/aggregate.cc" "src/stream/CMakeFiles/tempus_stream.dir/aggregate.cc.o" "gcc" "src/stream/CMakeFiles/tempus_stream.dir/aggregate.cc.o.d"
+  "/root/repo/src/stream/basic_ops.cc" "src/stream/CMakeFiles/tempus_stream.dir/basic_ops.cc.o" "gcc" "src/stream/CMakeFiles/tempus_stream.dir/basic_ops.cc.o.d"
+  "/root/repo/src/stream/metrics.cc" "src/stream/CMakeFiles/tempus_stream.dir/metrics.cc.o" "gcc" "src/stream/CMakeFiles/tempus_stream.dir/metrics.cc.o.d"
+  "/root/repo/src/stream/stream.cc" "src/stream/CMakeFiles/tempus_stream.dir/stream.cc.o" "gcc" "src/stream/CMakeFiles/tempus_stream.dir/stream.cc.o.d"
+  "/root/repo/src/stream/temporal_ops.cc" "src/stream/CMakeFiles/tempus_stream.dir/temporal_ops.cc.o" "gcc" "src/stream/CMakeFiles/tempus_stream.dir/temporal_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relation/CMakeFiles/tempus_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tempus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

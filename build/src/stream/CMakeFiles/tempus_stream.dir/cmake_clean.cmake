@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempus_stream.dir/aggregate.cc.o"
+  "CMakeFiles/tempus_stream.dir/aggregate.cc.o.d"
+  "CMakeFiles/tempus_stream.dir/basic_ops.cc.o"
+  "CMakeFiles/tempus_stream.dir/basic_ops.cc.o.d"
+  "CMakeFiles/tempus_stream.dir/metrics.cc.o"
+  "CMakeFiles/tempus_stream.dir/metrics.cc.o.d"
+  "CMakeFiles/tempus_stream.dir/stream.cc.o"
+  "CMakeFiles/tempus_stream.dir/stream.cc.o.d"
+  "CMakeFiles/tempus_stream.dir/temporal_ops.cc.o"
+  "CMakeFiles/tempus_stream.dir/temporal_ops.cc.o.d"
+  "libtempus_stream.a"
+  "libtempus_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempus_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

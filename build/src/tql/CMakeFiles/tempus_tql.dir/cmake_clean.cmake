@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempus_tql.dir/lexer.cc.o"
+  "CMakeFiles/tempus_tql.dir/lexer.cc.o.d"
+  "CMakeFiles/tempus_tql.dir/parser.cc.o"
+  "CMakeFiles/tempus_tql.dir/parser.cc.o.d"
+  "libtempus_tql.a"
+  "libtempus_tql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempus_tql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

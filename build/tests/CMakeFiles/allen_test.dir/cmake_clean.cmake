@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allen_test.dir/allen/interval_algebra_test.cc.o"
+  "CMakeFiles/allen_test.dir/allen/interval_algebra_test.cc.o.d"
+  "allen_test"
+  "allen_test.pdb"
+  "allen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

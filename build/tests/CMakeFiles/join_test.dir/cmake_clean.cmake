@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_test.dir/join/allen_sweep_join_test.cc.o"
+  "CMakeFiles/join_test.dir/join/allen_sweep_join_test.cc.o.d"
+  "CMakeFiles/join_test.dir/join/before_join_test.cc.o"
+  "CMakeFiles/join_test.dir/join/before_join_test.cc.o.d"
+  "CMakeFiles/join_test.dir/join/contain_join_test.cc.o"
+  "CMakeFiles/join_test.dir/join/contain_join_test.cc.o.d"
+  "CMakeFiles/join_test.dir/join/containment_semijoin_test.cc.o"
+  "CMakeFiles/join_test.dir/join/containment_semijoin_test.cc.o.d"
+  "CMakeFiles/join_test.dir/join/hash_join_test.cc.o"
+  "CMakeFiles/join_test.dir/join/hash_join_test.cc.o.d"
+  "CMakeFiles/join_test.dir/join/join_common_test.cc.o"
+  "CMakeFiles/join_test.dir/join/join_common_test.cc.o.d"
+  "CMakeFiles/join_test.dir/join/merge_equi_join_test.cc.o"
+  "CMakeFiles/join_test.dir/join/merge_equi_join_test.cc.o.d"
+  "CMakeFiles/join_test.dir/join/nested_loop_test.cc.o"
+  "CMakeFiles/join_test.dir/join/nested_loop_test.cc.o.d"
+  "CMakeFiles/join_test.dir/join/no_gc_join_test.cc.o"
+  "CMakeFiles/join_test.dir/join/no_gc_join_test.cc.o.d"
+  "CMakeFiles/join_test.dir/join/overlap_test.cc.o"
+  "CMakeFiles/join_test.dir/join/overlap_test.cc.o.d"
+  "CMakeFiles/join_test.dir/join/self_semijoin_test.cc.o"
+  "CMakeFiles/join_test.dir/join/self_semijoin_test.cc.o.d"
+  "join_test"
+  "join_test.pdb"
+  "join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

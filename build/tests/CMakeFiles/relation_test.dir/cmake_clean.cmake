@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_test.dir/relation/bitemporal_test.cc.o"
+  "CMakeFiles/relation_test.dir/relation/bitemporal_test.cc.o.d"
+  "CMakeFiles/relation_test.dir/relation/catalog_test.cc.o"
+  "CMakeFiles/relation_test.dir/relation/catalog_test.cc.o.d"
+  "CMakeFiles/relation_test.dir/relation/csv_test.cc.o"
+  "CMakeFiles/relation_test.dir/relation/csv_test.cc.o.d"
+  "CMakeFiles/relation_test.dir/relation/schema_test.cc.o"
+  "CMakeFiles/relation_test.dir/relation/schema_test.cc.o.d"
+  "CMakeFiles/relation_test.dir/relation/sort_spec_test.cc.o"
+  "CMakeFiles/relation_test.dir/relation/sort_spec_test.cc.o.d"
+  "CMakeFiles/relation_test.dir/relation/temporal_relation_test.cc.o"
+  "CMakeFiles/relation_test.dir/relation/temporal_relation_test.cc.o.d"
+  "CMakeFiles/relation_test.dir/relation/tuple_test.cc.o"
+  "CMakeFiles/relation_test.dir/relation/tuple_test.cc.o.d"
+  "CMakeFiles/relation_test.dir/relation/value_test.cc.o"
+  "CMakeFiles/relation_test.dir/relation/value_test.cc.o.d"
+  "relation_test"
+  "relation_test.pdb"
+  "relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_test.dir/semantic/analyzer_test.cc.o"
+  "CMakeFiles/semantic_test.dir/semantic/analyzer_test.cc.o.d"
+  "CMakeFiles/semantic_test.dir/semantic/constraint_graph_test.cc.o"
+  "CMakeFiles/semantic_test.dir/semantic/constraint_graph_test.cc.o.d"
+  "CMakeFiles/semantic_test.dir/semantic/integrity_test.cc.o"
+  "CMakeFiles/semantic_test.dir/semantic/integrity_test.cc.o.d"
+  "semantic_test"
+  "semantic_test.pdb"
+  "semantic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

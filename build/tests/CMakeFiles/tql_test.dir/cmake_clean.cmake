@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tql_test.dir/tql/lexer_test.cc.o"
+  "CMakeFiles/tql_test.dir/tql/lexer_test.cc.o.d"
+  "CMakeFiles/tql_test.dir/tql/parser_test.cc.o"
+  "CMakeFiles/tql_test.dir/tql/parser_test.cc.o.d"
+  "tql_test"
+  "tql_test.pdb"
+  "tql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
