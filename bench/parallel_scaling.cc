@@ -1,0 +1,115 @@
+// Parallel scaling sweep: Contain-join and Overlap-semijoin at 1/2/4/8
+// worker threads over the same workload, reporting wall-clock speedup
+// relative to the sequential (threads=1) operator. Results are emitted as
+// a human table followed by a single-line JSON document, so the harness
+// can diff runs across machines.
+//
+// Speedup is bounded by the hardware: on a single-core container every
+// row reports ~1.0x (the JSON records hardware_threads so that is
+// interpretable); the partitioning overhead paid for it is visible in the
+// per-thread seconds.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/interval_gen.h"
+#include "join/join_common.h"
+#include "parallel/parallel_ops.h"
+#include "parallel/worker_pool.h"
+
+namespace tempus {
+namespace bench {
+namespace {
+
+constexpr size_t kThreadSweep[] = {1, 2, 4, 8};
+
+struct Row {
+  std::string op;
+  size_t tuples_per_side = 0;
+  size_t threads = 0;
+  double seconds = 0.0;
+  size_t output_tuples = 0;
+  double speedup = 1.0;
+};
+
+TemporalRelation MakeSide(const std::string& name, size_t count,
+                          uint64_t seed) {
+  IntervalWorkloadConfig config;
+  config.count = count;
+  config.seed = seed;
+  config.mean_interarrival = 4.0;
+  config.duration_model = DurationModel::kExponential;
+  config.mean_duration = 16.0;
+  TemporalRelation rel =
+      ValueOrDie(GenerateIntervalRelation(name, config), "datagen");
+  return rel.SortedBy(
+      ValueOrDie(kByValidFromAsc.ToSortSpec(rel.schema()), "sort spec"));
+}
+
+std::vector<Row> Sweep(const std::string& op, const TemporalRelation& x,
+                       const TemporalRelation& y) {
+  std::vector<Row> rows;
+  for (size_t threads : kThreadSweep) {
+    Result<std::unique_ptr<TupleStream>> stream =
+        op == "contain_join"
+            ? MakeParallelContainJoin(VectorStream::Scan(x),
+                                      VectorStream::Scan(y), {}, threads)
+            : MakeParallelOverlapSemijoin(VectorStream::Scan(x),
+                                          VectorStream::Scan(y), {}, threads);
+    std::unique_ptr<TupleStream> root =
+        ValueOrDie(std::move(stream), op.c_str());
+    const RunStats stats = RunPipeline(root.get());
+    Row row;
+    row.op = op;
+    row.tuples_per_side = x.size();
+    row.threads = threads;
+    row.seconds = stats.seconds;
+    row.output_tuples = stats.output_tuples;
+    row.speedup = rows.empty() ? 1.0 : rows.front().seconds / stats.seconds;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+int Main(int argc, char** argv) {
+  const size_t count = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                : 100000;
+  const TemporalRelation x = MakeSide("X", count, 7);
+  const TemporalRelation y = MakeSide("Y", count, 8);
+
+  std::vector<Row> rows = Sweep("contain_join", x, y);
+  for (Row& row : Sweep("overlap_semijoin", x, y)) {
+    rows.push_back(std::move(row));
+  }
+
+  TablePrinter table({"operator", "threads", "seconds", "out", "speedup"});
+  for (const Row& row : rows) {
+    table.AddRow({row.op, StrFormat("%zu", row.threads),
+                  StrFormat("%.3f", row.seconds),
+                  StrFormat("%zu", row.output_tuples),
+                  StrFormat("%.2fx", row.speedup)});
+  }
+  table.Print();
+
+  std::printf("{\"benchmark\":\"parallel_scaling\","
+              "\"hardware_threads\":%zu,\"tuples_per_side\":%zu,"
+              "\"results\":[",
+              WorkerPool::DefaultThreadCount(), count);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::printf("%s{\"operator\":\"%s\",\"threads\":%zu,"
+                "\"seconds\":%.6f,\"output_tuples\":%zu,\"speedup\":%.3f}",
+                i ? "," : "", row.op.c_str(), row.threads, row.seconds,
+                row.output_tuples, row.speedup);
+  }
+  std::printf("]}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tempus
+
+int main(int argc, char** argv) { return tempus::bench::Main(argc, argv); }

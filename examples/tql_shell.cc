@@ -6,9 +6,10 @@
 //   ...> retrieve (f1.Name) where f1.Rank = "Full"
 //   ...> <blank line>
 //
-// Commands: \tables   \explain on|off   \quit
+// Commands: \tables   \explain on|off   \threads N   \quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -46,6 +47,7 @@ tempus::Engine MakeDemoEngine() {
 int main() {
   tempus::Engine engine = MakeDemoEngine();
   bool show_explain = true;
+  tempus::PlannerOptions planner_options;
 
   std::printf("tempus TQL shell — demo catalog: Faculty, Events\n");
   std::printf("finish a statement with a blank line; \\quit to exit\n");
@@ -73,6 +75,21 @@ int main() {
       std::fflush(stdout);
       continue;
     }
+    if (line.rfind("\\threads", 0) == 0) {
+      char* end = nullptr;
+      const char* arg = line.c_str() + 8;
+      const unsigned long parsed = std::strtoul(arg, &end, 10);
+      if (end == arg || *end != '\0') {
+        std::printf("usage: \\threads N  (1 = sequential, 0 = one per "
+                    "hardware thread)\n");
+      } else {
+        planner_options.threads = static_cast<size_t>(parsed);
+        std::printf("worker threads: %zu\n", planner_options.threads);
+      }
+      std::printf("tql> ");
+      std::fflush(stdout);
+      continue;
+    }
     if (!line.empty()) {
       buffer += line + "\n";
       std::printf("...> ");
@@ -86,12 +103,14 @@ int main() {
     }
     // Execute the accumulated statement.
     if (show_explain) {
-      tempus::Result<std::string> explain = engine.Explain(buffer);
+      tempus::Result<std::string> explain =
+          engine.Explain(buffer, planner_options);
       if (explain.ok()) {
         std::printf("-- plan --\n%s\n", explain->c_str());
       }
     }
-    tempus::Result<tempus::TemporalRelation> result = engine.Run(buffer);
+    tempus::Result<tempus::TemporalRelation> result =
+        engine.Run(buffer, planner_options);
     if (result.ok()) {
       std::printf("%s", result->ToString(25).c_str());
     } else {

@@ -1,0 +1,118 @@
+#ifndef TEMPUS_PARALLEL_PARALLEL_JOIN_H_
+#define TEMPUS_PARALLEL_PARALLEL_JOIN_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "parallel/partitioner.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+/// How worker outputs recombine into one stream.
+enum class MergeMode {
+  /// Slice outputs concatenate in slice order. Exact when slices are
+  /// contiguous ranges of the left input (semijoins, Before-join) or when
+  /// no output order is promised (hash equi-join, ownership-filtered
+  /// sweep joins).
+  kConcatenate,
+  /// Ordered K-way merge under `merge_less`: each worker's output is
+  /// individually sorted, and a tournament over the slice heads restores
+  /// the promised global order. Comparisons are counted in
+  /// OperatorMetrics::merge_comparisons.
+  kOrderedMerge,
+};
+
+/// Configuration of a ParallelJoinStream; built by the per-operator
+/// wrappers in parallel/parallel_ops.h.
+struct ParallelJoinConfig {
+  /// Worker count (the planner's PlannerOptions::threads).
+  size_t threads = 2;
+
+  /// Builds the sequential pairwise operator over one slice's inputs.
+  /// `right` is null for unary (self-semijoin) operators.
+  std::function<Result<std::unique_ptr<TupleStream>>(
+      std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right)>
+      factory;
+
+  /// Splits the materialized inputs into worker slices.
+  std::function<SlicePlan(const std::vector<Tuple>& left,
+                          const std::vector<Tuple>& right)>
+      partition;
+
+  /// Ownership filter: true iff `slice` owns this output tuple. Slices of
+  /// replicating partitions (Coexist, self-semijoin witnesses) produce
+  /// each result in every slice that holds both provenance tuples; the
+  /// filter keeps it in exactly one. Null = keep everything.
+  std::function<bool(const Tuple& out, const TimeSlice& slice)> owns_output;
+
+  /// Workers borrow the whole materialized right input instead of
+  /// per-slice copies (Before-join's buffered inner).
+  bool share_right = false;
+
+  /// Coordinator-side preparation of the shared right input before fan-out
+  /// (e.g. the Before-join pre-sort handed to every worker).
+  std::function<void(std::vector<Tuple>*)> prepare_right;
+
+  MergeMode merge_mode = MergeMode::kConcatenate;
+
+  /// Strict weak order for kOrderedMerge.
+  std::function<bool(const Tuple&, const Tuple&)> merge_less;
+};
+
+/// Fans a pairwise temporal operator out over time-partitioned slices of
+/// its (materialized) inputs and recombines worker outputs, preserving the
+/// operator's sequential semantics tuple for tuple. The trade is the
+/// paper's workspace axis: the coordinator buffers both inputs and the
+/// merged output (all visible in workspace metrics) to buy wall-clock
+/// speedup on the comparison work.
+class ParallelJoinStream : public TupleStream {
+ public:
+  /// `right` may be null for unary operators. `output_schema` is the
+  /// schema the factory's operators produce (probed at wrap time).
+  static Result<std::unique_ptr<ParallelJoinStream>> Create(
+      std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+      Schema output_schema, ParallelJoinConfig config);
+
+  const Schema& schema() const override { return schema_; }
+
+  /// Materializes the inputs, partitions, runs the workers to completion,
+  /// and merges. Per-worker OperatorMetrics are aggregated into this
+  /// operator's metrics via Absorb, plus `workers` and
+  /// `merge_comparisons`.
+  Status Open() override;
+
+  Result<bool> Next(Tuple* out) override;
+
+  std::vector<const TupleStream*> children() const override;
+
+  /// Slice count of the last Open() (for Explain/benchmarks).
+  size_t last_slice_count() const { return last_slice_count_; }
+
+ private:
+  ParallelJoinStream(std::unique_ptr<TupleStream> left,
+                     std::unique_ptr<TupleStream> right, Schema schema,
+                     ParallelJoinConfig config);
+
+  Status Materialize(TupleStream* source, bool left_side,
+                     std::vector<Tuple>* out);
+
+  std::unique_ptr<TupleStream> left_;
+  std::unique_ptr<TupleStream> right_;  // Null for unary operators.
+  Schema schema_;
+  ParallelJoinConfig config_;
+
+  std::vector<Tuple> left_buf_;
+  std::vector<Tuple> right_buf_;
+  std::vector<std::vector<Tuple>> slice_left_;
+  std::vector<std::vector<Tuple>> slice_right_;
+  std::vector<Tuple> output_;
+  size_t next_index_ = 0;
+  size_t last_slice_count_ = 0;
+  bool opened_ = false;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_PARALLEL_PARALLEL_JOIN_H_

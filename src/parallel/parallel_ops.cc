@@ -1,0 +1,557 @@
+#include "parallel/parallel_ops.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "relation/sort_spec.h"
+
+namespace tempus {
+namespace {
+
+using OpFactory = std::function<Result<std::unique_ptr<TupleStream>>(
+    std::unique_ptr<TupleStream>, std::unique_ptr<TupleStream>)>;
+
+std::unique_ptr<TupleStream> EmptyOf(const Schema& schema) {
+  return VectorStream::Owning(schema, {});
+}
+
+std::vector<Interval> MappedSpans(const std::vector<Tuple>& rows,
+                                  LifespanRef ref, SweepFrame frame) {
+  std::vector<Interval> spans;
+  spans.reserve(rows.size());
+  for (const Tuple& t : rows) spans.push_back(frame.Map(ref.Of(t)));
+  return spans;
+}
+
+std::vector<TimePoint> KeysOf(const std::vector<Interval>& spans,
+                              bool key_is_start) {
+  std::vector<TimePoint> keys;
+  keys.reserve(spans.size());
+  for (const Interval& iv : spans) {
+    keys.push_back(key_is_start ? iv.start : iv.end);
+  }
+  return keys;
+}
+
+/// The frame under which `order`'s primary key ascends: descending orders
+/// reflect, exactly as in the sequential operators.
+SweepFrame FrameFor(TemporalSortOrder order) {
+  return SweepFrame{order.direction == SortDirection::kDescending};
+}
+
+/// Under FrameFor(order), is the ascending sort key the mapped start (else
+/// the mapped end)?
+bool KeyIsStart(TemporalSortOrder order) {
+  return (order.field == TemporalField::kValidFrom) ==
+         (order.direction == SortDirection::kAscending);
+}
+
+// Witness rules (sweep coordinates): may a right tuple with span `y`
+// participate in a match with ANY left row of a slice with aggregates `a`?
+bool OverlapWitness(const Interval& y, const SliceAggregates& a) {
+  return y.end > a.min_start && y.start < a.max_end;
+}
+bool ContainWitness(const Interval& y, const SliceAggregates& a) {
+  return y.start > a.min_start && y.end < a.max_end;
+}
+bool ContainedWitness(const Interval& y, const SliceAggregates& a) {
+  return y.start < a.max_start && y.end > a.min_end;
+}
+
+using WitnessFn = bool (*)(const Interval&, const SliceAggregates&);
+
+/// Routes each right row into every slice whose left rows it can witness.
+void FillWitnesses(const std::vector<Interval>& left_spans,
+                   const std::vector<Interval>& right_spans,
+                   WitnessFn witness, SlicePlan* plan) {
+  std::vector<SliceAggregates> aggs;
+  aggs.reserve(plan->slices.size());
+  for (const TimeSlice& slice : plan->slices) {
+    aggs.push_back(TimeRangePartitioner::AggregatesOf(slice, left_spans));
+  }
+  for (size_t j = 0; j < right_spans.size(); ++j) {
+    size_t copies = 0;
+    for (size_t s = 0; s < plan->slices.size(); ++s) {
+      if (aggs[s].empty()) continue;
+      if (witness(right_spans[j], aggs[s])) {
+        plan->slices[s].right.push_back(j);
+        ++copies;
+      }
+    }
+    if (copies > 1) plan->replicated_right += copies - 1;
+  }
+}
+
+/// Common shell of the pairwise semijoins: contiguous left runs keyed by
+/// the promised left order, right side filled by `witness`, ordered merge
+/// restoring the left order (so output is identical to sequential).
+Result<std::unique_ptr<TupleStream>> BuildLeftRunsSemijoin(
+    std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
+    TemporalSortOrder left_order, WitnessFn witness, size_t threads,
+    OpFactory factory) {
+  // Probing the factory on empty inputs validates the order combination up
+  // front and proves the output schema (the left schema, for semijoins).
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto probe, factory(EmptyOf(x->schema()), EmptyOf(y->schema())));
+  Schema out_schema = probe->schema();
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef lref,
+                          LifespanRef::ForSchema(x->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef rref,
+                          LifespanRef::ForSchema(y->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(SortSpec spec, left_order.ToSortSpec(x->schema()));
+  const SweepFrame frame = FrameFor(left_order);
+  const bool key_is_start = KeyIsStart(left_order);
+
+  ParallelJoinConfig config;
+  config.threads = threads;
+  config.factory = std::move(factory);
+  config.partition = [frame, lref, rref, key_is_start, witness, threads](
+                         const std::vector<Tuple>& lt,
+                         const std::vector<Tuple>& rt) {
+    const std::vector<Interval> left_spans = MappedSpans(lt, lref, frame);
+    SlicePlan plan = TimeRangePartitioner::LeftRuns(
+        KeysOf(left_spans, key_is_start), threads);
+    FillWitnesses(left_spans, MappedSpans(rt, rref, frame), witness, &plan);
+    return plan;
+  };
+  config.merge_mode = MergeMode::kOrderedMerge;
+  config.merge_less = [spec](const Tuple& a, const Tuple& b) {
+    return spec.Less(a, b);
+  };
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto stream,
+      ParallelJoinStream::Create(std::move(x), std::move(y),
+                                 std::move(out_schema), std::move(config)));
+  return std::unique_ptr<TupleStream>(std::move(stream));
+}
+
+/// Ownership test for Coexist joins: the output pair belongs to the slice
+/// holding the later of the two (sweep-mapped) starts — the first instant
+/// the pair coexists.
+bool OwnsCoexistPair(const Tuple& out, const TimeSlice& slice,
+                     SweepFrame frame, LifespanRef left_ref,
+                     LifespanRef right_ref) {
+  const Interval lx = frame.Map(left_ref.Of(out));
+  const Interval rx = frame.Map(right_ref.Of(out));
+  const TimePoint p = std::max(lx.start, rx.start);
+  return p >= slice.lo && p < slice.hi;
+}
+
+/// Common shell of the Coexist sweep joins (Contain-join, Allen sweep).
+Result<std::unique_ptr<TupleStream>> BuildCoexistJoin(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    TemporalSortOrder left_order, size_t threads, OpFactory factory) {
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto probe, factory(EmptyOf(left->schema()), EmptyOf(right->schema())));
+  Schema out_schema = probe->schema();
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef lref,
+                          LifespanRef::ForSchema(left->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef rref,
+                          LifespanRef::ForSchema(right->schema()));
+  // The join output concatenates left then right attributes, so the right
+  // lifespan sits at a fixed offset in the output tuple.
+  const size_t offset = left->schema().attribute_count();
+  const LifespanRef out_rref{offset + rref.valid_from_index,
+                             offset + rref.valid_to_index};
+  const SweepFrame frame = FrameFor(left_order);
+
+  ParallelJoinConfig config;
+  config.threads = threads;
+  config.factory = std::move(factory);
+  config.partition = [frame, lref, rref, threads](
+                         const std::vector<Tuple>& lt,
+                         const std::vector<Tuple>& rt) {
+    return TimeRangePartitioner::Coexist(MappedSpans(lt, lref, frame),
+                                         MappedSpans(rt, rref, frame),
+                                         threads);
+  };
+  config.owns_output = [frame, lref, out_rref](const Tuple& out,
+                                               const TimeSlice& slice) {
+    return OwnsCoexistPair(out, slice, frame, lref, out_rref);
+  };
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto stream,
+      ParallelJoinStream::Create(std::move(left), std::move(right),
+                                 std::move(out_schema), std::move(config)));
+  return std::unique_ptr<TupleStream>(std::move(stream));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TupleStream>> MakeParallelContainJoin(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    ContainJoinOptions options, size_t threads) {
+  if (threads <= 1) {
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream, ContainJoinStream::Create(std::move(left),
+                                               std::move(right),
+                                               std::move(options)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  }
+  const TemporalSortOrder left_order = options.left_order;
+  OpFactory factory =
+      [options](std::unique_ptr<TupleStream> l,
+                std::unique_ptr<TupleStream> r)
+      -> Result<std::unique_ptr<TupleStream>> {
+    ContainJoinOptions per_slice = options;
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream, ContainJoinStream::Create(std::move(l), std::move(r),
+                                               std::move(per_slice)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  };
+  return BuildCoexistJoin(std::move(left), std::move(right), left_order,
+                          threads, std::move(factory));
+}
+
+Result<std::unique_ptr<TupleStream>> MakeParallelAllenSweepJoin(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    AllenSweepJoinOptions options, size_t threads) {
+  if (threads <= 1) {
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream, AllenSweepJoin::Create(std::move(left), std::move(right),
+                                            std::move(options)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  }
+  const TemporalSortOrder left_order = options.left_order;
+  OpFactory factory =
+      [options](std::unique_ptr<TupleStream> l,
+                std::unique_ptr<TupleStream> r)
+      -> Result<std::unique_ptr<TupleStream>> {
+    AllenSweepJoinOptions per_slice = options;
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream, AllenSweepJoin::Create(std::move(l), std::move(r),
+                                            std::move(per_slice)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  };
+  return BuildCoexistJoin(std::move(left), std::move(right), left_order,
+                          threads, std::move(factory));
+}
+
+Result<std::unique_ptr<TupleStream>> MakeParallelOverlapSemijoin(
+    std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
+    OverlapSemijoinOptions options, size_t threads) {
+  if (threads <= 1) {
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream,
+        OverlapSemijoin::Create(std::move(x), std::move(y), options));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  }
+  OpFactory factory = [options](std::unique_ptr<TupleStream> l,
+                                std::unique_ptr<TupleStream> r)
+      -> Result<std::unique_ptr<TupleStream>> {
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream,
+        OverlapSemijoin::Create(std::move(l), std::move(r), options));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  };
+  return BuildLeftRunsSemijoin(std::move(x), std::move(y), options.order,
+                               &OverlapWitness, threads, std::move(factory));
+}
+
+Result<std::unique_ptr<TupleStream>> MakeParallelContainSemijoin(
+    std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
+    TemporalSemijoinOptions options, size_t threads) {
+  if (threads <= 1) {
+    return MakeContainSemijoin(std::move(x), std::move(y), options);
+  }
+  OpFactory factory = [options](std::unique_ptr<TupleStream> l,
+                                std::unique_ptr<TupleStream> r) {
+    return MakeContainSemijoin(std::move(l), std::move(r), options);
+  };
+  return BuildLeftRunsSemijoin(std::move(x), std::move(y),
+                               options.left_order, &ContainWitness, threads,
+                               std::move(factory));
+}
+
+Result<std::unique_ptr<TupleStream>> MakeParallelContainedSemijoin(
+    std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
+    TemporalSemijoinOptions options, size_t threads) {
+  if (threads <= 1) {
+    return MakeContainedSemijoin(std::move(x), std::move(y), options);
+  }
+  OpFactory factory = [options](std::unique_ptr<TupleStream> l,
+                                std::unique_ptr<TupleStream> r) {
+    return MakeContainedSemijoin(std::move(l), std::move(r), options);
+  };
+  return BuildLeftRunsSemijoin(std::move(x), std::move(y),
+                               options.left_order, &ContainedWitness,
+                               threads, std::move(factory));
+}
+
+Result<std::unique_ptr<TupleStream>> MakeParallelBeforeJoin(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    BeforeJoinOptions options, size_t threads) {
+  if (threads <= 1) {
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream, BeforeJoinStream::Create(std::move(left),
+                                              std::move(right),
+                                              std::move(options)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  }
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto probe, BeforeJoinStream::Create(EmptyOf(left->schema()),
+                                           EmptyOf(right->schema()),
+                                           options));
+  Schema out_schema = probe->schema();
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef rref,
+                          LifespanRef::ForSchema(right->schema()));
+
+  // The coordinator sorts the shared inner once (exactly the sort the
+  // sequential operator would have performed); workers borrow it with
+  // right_presorted, so each slice binary-searches the same runs and
+  // concatenation reproduces the sequential output.
+  BeforeJoinOptions worker_options = options;
+  worker_options.right_presorted = true;
+
+  ParallelJoinConfig config;
+  config.threads = threads;
+  config.share_right = true;
+  if (!options.right_presorted) {
+    config.prepare_right = [rref](std::vector<Tuple>* rows) {
+      std::stable_sort(rows->begin(), rows->end(),
+                       [rref](const Tuple& a, const Tuple& b) {
+                         return rref.Of(a).start < rref.Of(b).start;
+                       });
+    };
+  }
+  config.factory = [worker_options](std::unique_ptr<TupleStream> l,
+                                    std::unique_ptr<TupleStream> r)
+      -> Result<std::unique_ptr<TupleStream>> {
+    BeforeJoinOptions per_slice = worker_options;
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream, BeforeJoinStream::Create(std::move(l), std::move(r),
+                                              std::move(per_slice)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  };
+  config.partition = [threads](const std::vector<Tuple>& lt,
+                               const std::vector<Tuple>& rt) {
+    (void)rt;
+    return TimeRangePartitioner::LeftRowRanges(lt.size(), threads);
+  };
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto stream,
+      ParallelJoinStream::Create(std::move(left), std::move(right),
+                                 std::move(out_schema), std::move(config)));
+  return std::unique_ptr<TupleStream>(std::move(stream));
+}
+
+Result<std::unique_ptr<TupleStream>> MakeParallelBeforeSemijoin(
+    std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
+    size_t threads) {
+  if (threads <= 1) {
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream, BeforeSemijoin::Create(std::move(x), std::move(y)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  }
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto probe,
+      BeforeSemijoin::Create(EmptyOf(x->schema()), EmptyOf(y->schema())));
+  Schema out_schema = probe->schema();
+  ParallelJoinConfig config;
+  config.threads = threads;
+  config.share_right = true;
+  config.factory = [](std::unique_ptr<TupleStream> l,
+                      std::unique_ptr<TupleStream> r)
+      -> Result<std::unique_ptr<TupleStream>> {
+    TEMPUS_ASSIGN_OR_RETURN(auto stream,
+                            BeforeSemijoin::Create(std::move(l), std::move(r)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  };
+  config.partition = [threads](const std::vector<Tuple>& lt,
+                               const std::vector<Tuple>& rt) {
+    (void)rt;
+    return TimeRangePartitioner::LeftRowRanges(lt.size(), threads);
+  };
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto stream,
+      ParallelJoinStream::Create(std::move(x), std::move(y),
+                                 std::move(out_schema), std::move(config)));
+  return std::unique_ptr<TupleStream>(std::move(stream));
+}
+
+Result<std::unique_ptr<TupleStream>> MakeParallelSelfContainedSemijoin(
+    std::unique_ptr<TupleStream> x, SelfSemijoinOptions options,
+    size_t threads) {
+  if (threads <= 1) {
+    return MakeSelfContainedSemijoin(std::move(x), options);
+  }
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto probe, MakeSelfContainedSemijoin(EmptyOf(x->schema()), options));
+  Schema out_schema = probe->schema();
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef ref,
+                          LifespanRef::ForSchema(x->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(SortSpec spec,
+                          options.order.ToSortSpec(x->schema()));
+  // For the self semijoins the frame reflects ValidTo-keyed orders so the
+  // operand is always keyed by the mapped start (ascending or descending).
+  const SweepFrame frame{options.order.field == TemporalField::kValidTo};
+
+  ParallelJoinConfig config;
+  config.threads = threads;
+  config.factory = [options](std::unique_ptr<TupleStream> l,
+                             std::unique_ptr<TupleStream> r) {
+    (void)r;
+    return MakeSelfContainedSemijoin(std::move(l), options);
+  };
+  // Every container of a tuple spans the tuple's start, so intersection
+  // slicing brings all witnesses into the tuple's home slice.
+  config.partition = [frame, ref, threads](const std::vector<Tuple>& lt,
+                                           const std::vector<Tuple>& rt) {
+    (void)rt;
+    return TimeRangePartitioner::Coexist(MappedSpans(lt, ref, frame), {},
+                                         threads);
+  };
+  config.owns_output = [frame, ref](const Tuple& out,
+                                    const TimeSlice& slice) {
+    const TimePoint s = frame.Map(ref.Of(out)).start;
+    return s >= slice.lo && s < slice.hi;
+  };
+  config.merge_mode = MergeMode::kOrderedMerge;
+  config.merge_less = [spec](const Tuple& a, const Tuple& b) {
+    return spec.Less(a, b);
+  };
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto stream,
+      ParallelJoinStream::Create(std::move(x), nullptr,
+                                 std::move(out_schema), std::move(config)));
+  return std::unique_ptr<TupleStream>(std::move(stream));
+}
+
+Result<std::unique_ptr<TupleStream>> MakeParallelSelfContainSemijoin(
+    std::unique_ptr<TupleStream> x, SelfSemijoinOptions options,
+    size_t threads) {
+  if (threads <= 1) {
+    return MakeSelfContainSemijoin(std::move(x), options);
+  }
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto probe, MakeSelfContainSemijoin(EmptyOf(x->schema()), options));
+  Schema out_schema = probe->schema();
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef ref,
+                          LifespanRef::ForSchema(x->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(SortSpec spec,
+                          options.order.ToSortSpec(x->schema()));
+  const SweepFrame frame{options.order.field == TemporalField::kValidTo};
+
+  ParallelJoinConfig config;
+  config.threads = threads;
+  config.factory = [options](std::unique_ptr<TupleStream> l,
+                             std::unique_ptr<TupleStream> r) {
+    (void)r;
+    return MakeSelfContainSemijoin(std::move(l), options);
+  };
+  // A container's witnesses start strictly inside it, i.e. at or after the
+  // container's home slice; each slice takes its home rows plus the
+  // later-starting tuples that begin before the largest home end.
+  config.partition = [frame, ref, threads](const std::vector<Tuple>& lt,
+                                           const std::vector<Tuple>& rt) {
+    (void)rt;
+    const std::vector<Interval> spans = MappedSpans(lt, ref, frame);
+    std::vector<TimePoint> starts;
+    starts.reserve(spans.size());
+    for (const Interval& iv : spans) starts.push_back(iv.start);
+    const std::vector<TimePoint> boundaries =
+        TimeRangePartitioner::ChooseBoundaries(starts, threads);
+    SlicePlan plan;
+    plan.slices = TimeRangePartitioner::SlicesForBoundaries(boundaries);
+    auto home_of = [&boundaries](TimePoint s) {
+      return static_cast<size_t>(
+          std::upper_bound(boundaries.begin(), boundaries.end(), s) -
+          boundaries.begin());
+    };
+    std::vector<TimePoint> home_max_end(plan.slices.size(), kMinTime);
+    for (const Interval& iv : spans) {
+      TimePoint& m = home_max_end[home_of(iv.start)];
+      m = std::max(m, iv.end);
+    }
+    for (size_t i = 0; i < spans.size(); ++i) {
+      const size_t home = home_of(spans[i].start);
+      size_t copies = 0;
+      for (size_t s = 0; s < plan.slices.size(); ++s) {
+        const bool witness = spans[i].start >= plan.slices[s].hi &&
+                             spans[i].start < home_max_end[s];
+        if (s == home || witness) {
+          plan.slices[s].left.push_back(i);
+          ++copies;
+        }
+      }
+      if (copies > 1) plan.replicated_left += copies - 1;
+    }
+    return plan;
+  };
+  config.owns_output = [frame, ref](const Tuple& out,
+                                    const TimeSlice& slice) {
+    const TimePoint s = frame.Map(ref.Of(out)).start;
+    return s >= slice.lo && s < slice.hi;
+  };
+  config.merge_mode = MergeMode::kOrderedMerge;
+  config.merge_less = [spec](const Tuple& a, const Tuple& b) {
+    return spec.Less(a, b);
+  };
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto stream,
+      ParallelJoinStream::Create(std::move(x), nullptr,
+                                 std::move(out_schema), std::move(config)));
+  return std::unique_ptr<TupleStream>(std::move(stream));
+}
+
+Result<std::unique_ptr<TupleStream>> MakeParallelHashEquiJoin(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    std::vector<size_t> left_keys, std::vector<size_t> right_keys,
+    PairPredicate residual, JoinNaming naming, size_t threads) {
+  if (threads <= 1) {
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream,
+        HashEquiJoin::Create(std::move(left), std::move(right),
+                             std::move(left_keys), std::move(right_keys),
+                             std::move(residual), std::move(naming)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  }
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto probe,
+      HashEquiJoin::Create(EmptyOf(left->schema()), EmptyOf(right->schema()),
+                           left_keys, right_keys, residual, naming));
+  Schema out_schema = probe->schema();
+
+  ParallelJoinConfig config;
+  config.threads = threads;
+  config.factory = [left_keys, right_keys, residual, naming](
+                       std::unique_ptr<TupleStream> l,
+                       std::unique_ptr<TupleStream> r)
+      -> Result<std::unique_ptr<TupleStream>> {
+    std::vector<size_t> lk = left_keys;
+    std::vector<size_t> rk = right_keys;
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream,
+        HashEquiJoin::Create(std::move(l), std::move(r), std::move(lk),
+                             std::move(rk), residual, naming));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  };
+  config.partition = [left_keys, right_keys, threads](
+                         const std::vector<Tuple>& lt,
+                         const std::vector<Tuple>& rt) {
+    auto hash_rows = [](const std::vector<Tuple>& rows,
+                        const std::vector<size_t>& keys) {
+      std::vector<uint64_t> hashes;
+      hashes.reserve(rows.size());
+      for (const Tuple& t : rows) {
+        uint64_t h = 14695981039346656037ull;
+        for (size_t k : keys) {
+          h ^= t[k].Hash();
+          h *= 1099511628211ull;
+        }
+        hashes.push_back(h);
+      }
+      return hashes;
+    };
+    return TimeRangePartitioner::KeyHash(hash_rows(lt, left_keys),
+                                         hash_rows(rt, right_keys), threads);
+  };
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto stream,
+      ParallelJoinStream::Create(std::move(left), std::move(right),
+                                 std::move(out_schema), std::move(config)));
+  return std::unique_ptr<TupleStream>(std::move(stream));
+}
+
+}  // namespace tempus

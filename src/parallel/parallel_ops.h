@@ -1,0 +1,95 @@
+#ifndef TEMPUS_PARALLEL_PARALLEL_OPS_H_
+#define TEMPUS_PARALLEL_PARALLEL_OPS_H_
+
+#include <memory>
+#include <vector>
+
+#include "join/allen_sweep_join.h"
+#include "join/before_join.h"
+#include "join/contain_join.h"
+#include "join/containment_semijoin.h"
+#include "join/hash_join.h"
+#include "join/overlap_semijoin.h"
+#include "join/self_semijoin.h"
+#include "parallel/parallel_join.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+/// Parallel variants of the pairwise temporal operators. Each wrapper
+/// mirrors its sequential factory plus a `threads` count; `threads <= 1`
+/// builds the sequential operator directly (zero overhead), otherwise the
+/// inputs are materialized, time-range partitioned per the operator's
+/// correctness rule (see docs/PARALLEL.md), fanned out over a WorkerPool,
+/// and recombined. Output is semantically identical to the sequential
+/// operator; the order-preserving operators (semijoins, Before-join)
+/// reproduce the sequential output tuple for tuple.
+
+/// Contain-join over Coexist slices: straddlers are replicated into every
+/// slice their closed lifespan hull intersects; each output pair is kept
+/// only by the slice owning max(x.start, y.start) in sweep coordinates.
+Result<std::unique_ptr<TupleStream>> MakeParallelContainJoin(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    ContainJoinOptions options, size_t threads);
+
+/// Allen-mask sweep join (no before/after), same Coexist rule as the
+/// Contain-join; covers the Overlap-join.
+Result<std::unique_ptr<TupleStream>> MakeParallelAllenSweepJoin(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    AllenSweepJoinOptions options, size_t threads);
+
+/// Overlap-semijoin: the emitted side splits into contiguous key runs;
+/// each slice receives the right tuples that can witness its runs.
+Result<std::unique_ptr<TupleStream>> MakeParallelOverlapSemijoin(
+    std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
+    OverlapSemijoinOptions options, size_t threads);
+
+/// Contain-semijoin(X, Y): left runs + witness rule
+/// y.start > min_start(slice) && y.end < max_end(slice).
+Result<std::unique_ptr<TupleStream>> MakeParallelContainSemijoin(
+    std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
+    TemporalSemijoinOptions options, size_t threads);
+
+/// Contained-semijoin(X, Y): left runs + witness rule
+/// y.start < max_start(slice) && y.end > min_end(slice).
+Result<std::unique_ptr<TupleStream>> MakeParallelContainedSemijoin(
+    std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
+    TemporalSemijoinOptions options, size_t threads);
+
+/// Before-join: row-range split of the outer; the buffered inner is sorted
+/// once by the coordinator and shared read-only by every worker (the
+/// prefix-state handoff), so concatenating slice outputs reproduces the
+/// sequential output exactly.
+Result<std::unique_ptr<TupleStream>> MakeParallelBeforeJoin(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    BeforeJoinOptions options, size_t threads);
+
+/// Before-semijoin: row-range split of X; every worker shares Y (each
+/// recomputes max(Y.TS) — one extra scan per worker, visible in metrics).
+Result<std::unique_ptr<TupleStream>> MakeParallelBeforeSemijoin(
+    std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
+    size_t threads);
+
+/// Self Contained-semijoin: slices by sweep start; a tuple joins every
+/// slice its lifespan intersects and is emitted only by its home slice.
+Result<std::unique_ptr<TupleStream>> MakeParallelSelfContainedSemijoin(
+    std::unique_ptr<TupleStream> x, SelfSemijoinOptions options,
+    size_t threads);
+
+/// Self Contain-semijoin: home slicing by sweep start, extended with the
+/// later-starting tuples (start < max_end of the home rows) that can
+/// witness a home container.
+Result<std::unique_ptr<TupleStream>> MakeParallelSelfContainSemijoin(
+    std::unique_ptr<TupleStream> x, SelfSemijoinOptions options,
+    size_t threads);
+
+/// Hash equi-join: both sides route to slice hash(key columns) % K, so
+/// matching keys always meet in exactly one slice.
+Result<std::unique_ptr<TupleStream>> MakeParallelHashEquiJoin(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    std::vector<size_t> left_keys, std::vector<size_t> right_keys,
+    PairPredicate residual, JoinNaming naming, size_t threads);
+
+}  // namespace tempus
+
+#endif  // TEMPUS_PARALLEL_PARALLEL_OPS_H_

@@ -1,0 +1,134 @@
+#include "parallel/partitioner.h"
+
+#include <algorithm>
+
+namespace tempus {
+
+std::vector<TimeSlice> TimeRangePartitioner::SlicesForBoundaries(
+    const std::vector<TimePoint>& boundaries) {
+  std::vector<TimeSlice> slices(boundaries.size() + 1);
+  for (size_t i = 0; i < boundaries.size(); ++i) {
+    slices[i].hi = boundaries[i];
+    slices[i + 1].lo = boundaries[i];
+  }
+  return slices;
+}
+
+std::vector<TimePoint> TimeRangePartitioner::ChooseBoundaries(
+    std::vector<TimePoint> keys, size_t k) {
+  std::vector<TimePoint> boundaries;
+  if (k < 2 || keys.empty()) return boundaries;
+  std::sort(keys.begin(), keys.end());
+  boundaries.reserve(k - 1);
+  for (size_t i = 1; i < k; ++i) {
+    const TimePoint cut = keys[i * keys.size() / k];
+    if (boundaries.empty() || cut > boundaries.back()) {
+      boundaries.push_back(cut);
+    }
+  }
+  return boundaries;
+}
+
+SlicePlan TimeRangePartitioner::Coexist(const std::vector<Interval>& left,
+                                        const std::vector<Interval>& right,
+                                        size_t k) {
+  std::vector<TimePoint> starts;
+  starts.reserve(left.size() + right.size());
+  for (const Interval& iv : left) starts.push_back(iv.start);
+  for (const Interval& iv : right) starts.push_back(iv.start);
+
+  SlicePlan plan;
+  plan.slices = SlicesForBoundaries(ChooseBoundaries(std::move(starts), k));
+  auto scatter = [&plan](const std::vector<Interval>& spans, bool is_left,
+                         size_t* replicated) {
+    for (size_t i = 0; i < spans.size(); ++i) {
+      size_t copies = 0;
+      for (TimeSlice& slice : plan.slices) {
+        // Closed-hull intersection [start, end] vs [lo, hi): covers the
+        // touching-endpoint pairs (meets / met-by) as well.
+        if (spans[i].start < slice.hi && spans[i].end >= slice.lo) {
+          (is_left ? slice.left : slice.right).push_back(i);
+          ++copies;
+        }
+      }
+      if (copies > 1) *replicated += copies - 1;
+    }
+  };
+  scatter(left, true, &plan.replicated_left);
+  scatter(right, false, &plan.replicated_right);
+  return plan;
+}
+
+SlicePlan TimeRangePartitioner::LeftRuns(
+    const std::vector<TimePoint>& left_keys, size_t k) {
+  SlicePlan plan;
+  const size_t n = left_keys.size();
+  if (k < 2 || n == 0) {
+    plan.slices.resize(1);
+    for (size_t i = 0; i < n; ++i) plan.slices[0].left.push_back(i);
+    return plan;
+  }
+  // Candidate cut positions at i*n/k, each advanced past its run of equal
+  // keys so a key value is never split across slices.
+  std::vector<TimePoint> boundaries;
+  std::vector<size_t> cuts;
+  for (size_t i = 1; i < k; ++i) {
+    size_t pos = i * n / k;
+    while (pos < n && pos > 0 && left_keys[pos] == left_keys[pos - 1]) {
+      ++pos;
+    }
+    if (pos >= n) break;
+    if (cuts.empty() || pos > cuts.back()) {
+      cuts.push_back(pos);
+      boundaries.push_back(left_keys[pos]);
+    }
+  }
+  plan.slices = SlicesForBoundaries(boundaries);
+  size_t row = 0;
+  for (size_t s = 0; s < plan.slices.size(); ++s) {
+    const size_t end = s < cuts.size() ? cuts[s] : n;
+    for (; row < end; ++row) plan.slices[s].left.push_back(row);
+  }
+  return plan;
+}
+
+SlicePlan TimeRangePartitioner::LeftRowRanges(size_t left_count, size_t k) {
+  SlicePlan plan;
+  const size_t slices = std::max<size_t>(1, std::min(k, left_count));
+  plan.slices.resize(std::max<size_t>(1, slices));
+  for (size_t s = 0; s < plan.slices.size(); ++s) {
+    const size_t begin = s * left_count / plan.slices.size();
+    const size_t end = (s + 1) * left_count / plan.slices.size();
+    for (size_t i = begin; i < end; ++i) plan.slices[s].left.push_back(i);
+  }
+  return plan;
+}
+
+SlicePlan TimeRangePartitioner::KeyHash(
+    const std::vector<uint64_t>& left_hashes,
+    const std::vector<uint64_t>& right_hashes, size_t k) {
+  SlicePlan plan;
+  plan.slices.resize(std::max<size_t>(1, k));
+  const size_t n = plan.slices.size();
+  for (size_t i = 0; i < left_hashes.size(); ++i) {
+    plan.slices[left_hashes[i] % n].left.push_back(i);
+  }
+  for (size_t i = 0; i < right_hashes.size(); ++i) {
+    plan.slices[right_hashes[i] % n].right.push_back(i);
+  }
+  return plan;
+}
+
+SliceAggregates TimeRangePartitioner::AggregatesOf(
+    const TimeSlice& slice, const std::vector<Interval>& left) {
+  SliceAggregates agg;
+  for (size_t i : slice.left) {
+    agg.min_start = std::min(agg.min_start, left[i].start);
+    agg.max_start = std::max(agg.max_start, left[i].start);
+    agg.min_end = std::min(agg.min_end, left[i].end);
+    agg.max_end = std::max(agg.max_end, left[i].end);
+  }
+  return agg;
+}
+
+}  // namespace tempus

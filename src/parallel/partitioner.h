@@ -1,0 +1,99 @@
+#ifndef TEMPUS_PARALLEL_PARTITIONER_H_
+#define TEMPUS_PARALLEL_PARTITIONER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+
+namespace tempus {
+
+/// One worker's share of a partitioned input: a contiguous [lo, hi) range
+/// of sweep-coordinate time (lo of the first slice is kMinTime, hi of the
+/// last is kMaxTime) plus the row indices of each operand replicated or
+/// assigned into the slice. Row-range and key-hash partitions reuse the
+/// struct with lo/hi left at their sentinels.
+struct TimeSlice {
+  TimePoint lo = kMinTime;
+  TimePoint hi = kMaxTime;
+  std::vector<size_t> left;   ///< Indices into the materialized left input.
+  std::vector<size_t> right;  ///< Indices into the right input (empty when
+                              ///< the right side is shared whole).
+};
+
+/// Endpoint aggregates of a slice's left rows (sweep coordinates); the
+/// per-operator witness rules are expressed in terms of these.
+struct SliceAggregates {
+  TimePoint min_start = kMaxTime;
+  TimePoint max_start = kMinTime;
+  TimePoint min_end = kMaxTime;
+  TimePoint max_end = kMinTime;
+  bool empty() const { return min_start == kMaxTime; }
+};
+
+/// A complete partition of a (pair of) materialized input(s) into worker
+/// slices, with replication accounting for Explain/metrics.
+struct SlicePlan {
+  std::vector<TimeSlice> slices;
+  /// Tuples appearing in more than one slice (straddlers replicated across
+  /// a boundary), per side.
+  size_t replicated_left = 0;
+  size_t replicated_right = 0;
+};
+
+/// Splits sorted temporal inputs into K contiguous time ranges so the
+/// paper's single-pass stream operators can sweep each range independently.
+/// All coordinates are *sweep* coordinates: callers map lifespans through
+/// the operator's SweepFrame first, so descending orders reduce to the
+/// ascending case exactly as in the sequential operators.
+class TimeRangePartitioner {
+ public:
+  /// Picks at most k-1 strictly increasing boundary values from `keys`
+  /// (quantiles of the sorted multiset; duplicates collapse, so fewer than
+  /// k slices may result). Deterministic in the input.
+  static std::vector<TimePoint> ChooseBoundaries(std::vector<TimePoint> keys,
+                                                 size_t k);
+
+  /// Expands a strictly increasing boundary list into boundaries.size()+1
+  /// empty slices tiling (kMinTime, kMaxTime).
+  static std::vector<TimeSlice> SlicesForBoundaries(
+      const std::vector<TimePoint>& boundaries);
+
+  /// Pairwise-join partition for "coexisting" operators (Contain-join and
+  /// the Allen sweep masks without before/after): boundaries are quantiles
+  /// over the starts of BOTH inputs, and a tuple is replicated into every
+  /// slice its closed hull [start, end] intersects. Every output pair
+  /// (x, y) coexists at its later start max(x.start, y.start), so exactly
+  /// one slice — the one owning that time point — owns the pair; workers
+  /// discard the rest (ownership filtering, the dedup rule).
+  static SlicePlan Coexist(const std::vector<Interval>& left,
+                           const std::vector<Interval>& right, size_t k);
+
+  /// Semijoin partition: the left (emitted) side, already sorted by `key`,
+  /// is split into K contiguous runs of equal row count, except that rows
+  /// with equal keys never split (so each key value has one home slice).
+  /// The right side is filled in by the caller via a per-operator witness
+  /// rule over the returned slice ranges and aggregates.
+  static SlicePlan LeftRuns(const std::vector<TimePoint>& left_keys,
+                            size_t k);
+
+  /// Row-range partition of the left side in input order (Before-join: any
+  /// split works because each x's matches depend only on x and the shared
+  /// inner). Right side is shared whole.
+  static SlicePlan LeftRowRanges(size_t left_count, size_t k);
+
+  /// Key-hash partition for equi-joins: row i of either side lands in
+  /// slice hash(key columns) % k, so matching keys always meet.
+  static SlicePlan KeyHash(const std::vector<uint64_t>& left_hashes,
+                           const std::vector<uint64_t>& right_hashes,
+                           size_t k);
+
+  /// Endpoint aggregates over the left rows of `slice`.
+  static SliceAggregates AggregatesOf(const TimeSlice& slice,
+                                      const std::vector<Interval>& left);
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_PARALLEL_PARTITIONER_H_

@@ -1,0 +1,75 @@
+#include "parallel/worker_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tempus {
+
+WorkerPool::WorkerPool(size_t thread_count) {
+  const size_t n = std::max<size_t>(1, thread_count);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  while (true) {
+    std::packaged_task<Status()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and drained.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<Status> WorkerPool::Submit(std::function<Status()> task) {
+  std::packaged_task<Status()> packaged(std::move(task));
+  std::future<Status> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+Status WorkerPool::RunAll(std::vector<std::function<Status()>> tasks) {
+  std::vector<std::future<Status>> futures;
+  futures.reserve(tasks.size());
+  for (std::function<Status()>& task : tasks) {
+    futures.push_back(Submit(std::move(task)));
+  }
+  Status first = Status::Ok();
+  for (std::future<Status>& f : futures) {
+    Status s = f.get();
+    if (first.ok() && !s.ok()) {
+      first = std::move(s);
+    }
+  }
+  return first;
+}
+
+size_t WorkerPool::DefaultThreadCount() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+}  // namespace tempus

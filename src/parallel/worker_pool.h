@@ -1,0 +1,57 @@
+#ifndef TEMPUS_PARALLEL_WORKER_POOL_H_
+#define TEMPUS_PARALLEL_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tempus {
+
+/// A fixed-size thread pool executing Status-returning tasks. The parallel
+/// join operators spawn one pool per Open(), fan their time slices out as
+/// tasks, and join on the futures before merging — so all shared state is
+/// published across the submit/join synchronization points and workers
+/// never touch each other's slices.
+class WorkerPool {
+ public:
+  /// Spawns `thread_count` workers (at least 1).
+  explicit WorkerPool(size_t thread_count);
+
+  /// Drains the queue and joins all workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  /// Enqueues a task; the future resolves with the task's Status.
+  std::future<Status> Submit(std::function<Status()> task);
+
+  /// Submits every task, waits for all of them, and returns the first
+  /// non-OK Status (all tasks run to completion regardless).
+  Status RunAll(std::vector<std::function<Status()>> tasks);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the value used
+  /// for PlannerOptions::threads == 0).
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::packaged_task<Status()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_PARALLEL_WORKER_POOL_H_

@@ -14,6 +14,8 @@
 #include "join/nested_loop.h"
 #include "join/overlap_semijoin.h"
 #include "join/self_semijoin.h"
+#include "parallel/parallel_ops.h"
+#include "parallel/worker_pool.h"
 #include "plan/cost_model.h"
 #include "stream/basic_ops.h"
 
@@ -110,6 +112,17 @@ class PlanBuilder {
   PairPredicate CompilePairPredicate(const SubPlan& left_layout,
                                      size_t right_var,
                                      std::vector<size_t> pending_ids) const;
+
+  /// Effective worker count (options_.threads; 0 = one per hardware thread).
+  size_t Threads() const {
+    return options_.threads == 0 ? WorkerPool::DefaultThreadCount()
+                                 : options_.threads;
+  }
+  /// Explain suffix for operators that run time-range partitioned.
+  std::string ParallelNote() const {
+    return Threads() > 1 ? StrFormat(" [parallel x%zu]", Threads())
+                         : std::string();
+  }
 
   const Catalog* catalog_;
   const IntegrityCatalog* integrity_;
@@ -679,15 +692,15 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       options.order = kByValidFromAsc;
       options.verify_input_order = options_.verify_sorted_inputs;
       TEMPUS_ASSIGN_OR_RETURN(
-          auto stream,
-          MakeSelfContainedSemijoin(std::move(sorted.stream), options));
+          auto stream, MakeParallelSelfContainedSemijoin(
+                           std::move(sorted.stream), options, Threads()));
       subsume_pair_predicates();
       SubPlan plan;
       plan.stream = std::move(stream);
       plan.var_offsets = sorted.var_offsets;
       plan.order = kByValidFromAsc;
-      plan.explain = "Contained-semijoin(X,X) [single scan, 1 state tuple]\n" +
-                     Indent(sorted.explain);
+      plan.explain = "Contained-semijoin(X,X) [single scan, 1 state tuple]" +
+                     ParallelNote() + "\n" + Indent(sorted.explain);
       return plan;
     }
     if (self_pair && mask == AllenMask::Single(AllenRelation::kContains)) {
@@ -697,15 +710,15 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       options.order = kByValidFromDesc;
       options.verify_input_order = options_.verify_sorted_inputs;
       TEMPUS_ASSIGN_OR_RETURN(
-          auto stream,
-          MakeSelfContainSemijoin(std::move(sorted.stream), options));
+          auto stream, MakeParallelSelfContainSemijoin(
+                           std::move(sorted.stream), options, Threads()));
       subsume_pair_predicates();
       SubPlan plan;
       plan.stream = std::move(stream);
       plan.var_offsets = sorted.var_offsets;
       plan.order = kByValidFromDesc;
-      plan.explain = "Contain-semijoin(X,X) [single scan, 1 state tuple]\n" +
-                     Indent(sorted.explain);
+      plan.explain = "Contain-semijoin(X,X) [single scan, 1 state tuple]" +
+                     ParallelNote() + "\n" + Indent(sorted.explain);
       return plan;
     }
     if (mask == AllenMask::Single(AllenRelation::kDuring)) {
@@ -717,15 +730,17 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       options.left_order = kByValidToAsc;
       options.right_order = kByValidFromAsc;
       TEMPUS_ASSIGN_OR_RETURN(
-          auto stream, MakeContainedSemijoin(std::move(l.stream),
-                                             std::move(r.stream), options));
+          auto stream,
+          MakeParallelContainedSemijoin(std::move(l.stream),
+                                        std::move(r.stream), options,
+                                        Threads()));
       subsume_pair_predicates();
       SubPlan plan;
       plan.stream = std::move(stream);
       plan.var_offsets = l.var_offsets;
       plan.order = kByValidToAsc;
-      plan.explain = "Contained-semijoin [two buffers]\n" +
-                     Indent(l.explain) + "\n" + Indent(r.explain);
+      plan.explain = "Contained-semijoin [two buffers]" + ParallelNote() +
+                     "\n" + Indent(l.explain) + "\n" + Indent(r.explain);
       return plan;
     }
     if (mask == AllenMask::Single(AllenRelation::kContains)) {
@@ -737,15 +752,17 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       options.left_order = kByValidFromAsc;
       options.right_order = kByValidToAsc;
       TEMPUS_ASSIGN_OR_RETURN(
-          auto stream, MakeContainSemijoin(std::move(l.stream),
-                                           std::move(r.stream), options));
+          auto stream,
+          MakeParallelContainSemijoin(std::move(l.stream),
+                                      std::move(r.stream), options,
+                                      Threads()));
       subsume_pair_predicates();
       SubPlan plan;
       plan.stream = std::move(stream);
       plan.var_offsets = l.var_offsets;
       plan.order = kByValidFromAsc;
-      plan.explain = "Contain-semijoin [two buffers]\n" + Indent(l.explain) +
-                     "\n" + Indent(r.explain);
+      plan.explain = "Contain-semijoin [two buffers]" + ParallelNote() +
+                     "\n" + Indent(l.explain) + "\n" + Indent(r.explain);
       return plan;
     }
     if (mask == AllenMask::Intersecting()) {
@@ -757,29 +774,32 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       options.order = kByValidFromAsc;
       options.verify_input_order = options_.verify_sorted_inputs;
       TEMPUS_ASSIGN_OR_RETURN(
-          auto stream, OverlapSemijoin::Create(std::move(l.stream),
-                                               std::move(r.stream), options));
+          auto stream,
+          MakeParallelOverlapSemijoin(std::move(l.stream),
+                                      std::move(r.stream), options,
+                                      Threads()));
       subsume_pair_predicates();
       SubPlan plan;
       plan.stream = std::move(stream);
       plan.var_offsets = l.var_offsets;
       plan.order = kByValidFromAsc;
-      plan.explain = "Overlap-semijoin [two buffers]\n" + Indent(l.explain) +
-                     "\n" + Indent(r.explain);
+      plan.explain = "Overlap-semijoin [two buffers]" + ParallelNote() +
+                     "\n" + Indent(l.explain) + "\n" + Indent(r.explain);
       return plan;
     }
     if (mask == AllenMask::Single(AllenRelation::kBefore)) {
       TEMPUS_ASSIGN_OR_RETURN(
           auto stream,
-          BeforeSemijoin::Create(std::move(left.stream),
-                                 std::move(right.stream)));
+          MakeParallelBeforeSemijoin(std::move(left.stream),
+                                     std::move(right.stream), Threads()));
       subsume_pair_predicates();
       SubPlan plan;
       plan.stream = std::move(stream);
       plan.var_offsets = left.var_offsets;
       plan.order = left.order;
-      plan.explain = "Before-semijoin [order independent]\n" +
-                     Indent(left.explain) + "\n" + Indent(right.explain);
+      plan.explain = "Before-semijoin [order independent]" + ParallelNote() +
+                     "\n" + Indent(left.explain) + "\n" +
+                     Indent(right.explain);
       return plan;
     }
     // Generic semijoin fallback.
@@ -844,8 +864,8 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       }
       TEMPUS_ASSIGN_OR_RETURN(
           auto stream,
-          ContainJoinStream::Create(std::move(l.stream), std::move(r.stream),
-                                    std::move(options)));
+          MakeParallelContainJoin(std::move(l.stream), std::move(r.stream),
+                                  std::move(options), Threads()));
       subsume_pair_predicates();
       SubPlan plan;
       plan.var_offsets[lv] = 0;
@@ -855,7 +875,8 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
                      std::string(right_order == kByValidToAsc
                                      ? "ValidTo^"
                                      : "ValidFrom^") +
-                     ")]\n" + Indent(l.explain) + "\n" + Indent(r.explain);
+                     ")]" + ParallelNote() + "\n" + Indent(l.explain) + "\n" +
+                     Indent(r.explain);
       return ApplyPending(std::move(plan));
     }
     TEMPUS_ASSIGN_OR_RETURN(SubPlan l,
@@ -870,15 +891,15 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
     options.naming = naming;
     TEMPUS_ASSIGN_OR_RETURN(
         auto stream,
-        AllenSweepJoin::Create(std::move(l.stream), std::move(r.stream),
-                               std::move(options)));
+        MakeParallelAllenSweepJoin(std::move(l.stream), std::move(r.stream),
+                                   std::move(options), Threads()));
     subsume_pair_predicates();
     SubPlan plan;
     plan.var_offsets[lv] = 0;
     plan.var_offsets[rv] = lschema.attribute_count();
     plan.stream = std::move(stream);
-    plan.explain = "Allen-sweep join " + mask.ToString() + "\n" +
-                   Indent(l.explain) + "\n" + Indent(r.explain);
+    plan.explain = "Allen-sweep join " + mask.ToString() + ParallelNote() +
+                   "\n" + Indent(l.explain) + "\n" + Indent(r.explain);
     return ApplyPending(std::move(plan));
   }
   if (mask == AllenMask::Single(AllenRelation::kBefore) && !has_equi) {
@@ -887,16 +908,17 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
     options.verify_input_order = options_.verify_sorted_inputs;
     TEMPUS_ASSIGN_OR_RETURN(
         auto stream,
-        BeforeJoinStream::Create(std::move(left.stream),
-                                 std::move(right.stream),
-                                 std::move(options)));
+        MakeParallelBeforeJoin(std::move(left.stream),
+                               std::move(right.stream), std::move(options),
+                               Threads()));
     subsume_pair_predicates();
     SubPlan plan;
     plan.var_offsets[lv] = 0;
     plan.var_offsets[rv] = lschema.attribute_count();
     plan.stream = std::move(stream);
-    plan.explain = "Before-join [buffered inner, binary search]\n" +
-                   Indent(left.explain) + "\n" + Indent(right.explain);
+    plan.explain = "Before-join [buffered inner, binary search]" +
+                   ParallelNote() + "\n" + Indent(left.explain) + "\n" +
+                   Indent(right.explain);
     return ApplyPending(std::move(plan));
   }
 
@@ -920,15 +942,18 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
   if (!lkeys.empty() && options_.style != PlanStyle::kNaive) {
     TEMPUS_ASSIGN_OR_RETURN(
         auto stream,
-        HashEquiJoin::Create(std::move(left.stream), std::move(right.stream),
-                             std::move(lkeys), std::move(rkeys),
-                             mask == AllenMask::All() ? nullptr
-                                                      : std::move(mask_pred),
-                             naming));
+        MakeParallelHashEquiJoin(std::move(left.stream),
+                                 std::move(right.stream), std::move(lkeys),
+                                 std::move(rkeys),
+                                 mask == AllenMask::All()
+                                     ? nullptr
+                                     : std::move(mask_pred),
+                                 naming, Threads()));
     subsume_pair_predicates();
     plan.stream = std::move(stream);
-    plan.explain = "Hash equi-join [+ mask " + mask.ToString() + "]\n" +
-                   Indent(left.explain) + "\n" + Indent(right.explain);
+    plan.explain = "Hash equi-join [+ mask " + mask.ToString() + "]" +
+                   ParallelNote() + "\n" + Indent(left.explain) + "\n" +
+                   Indent(right.explain);
     return ApplyPending(std::move(plan));
   }
   PairPredicate pred = std::move(mask_pred);

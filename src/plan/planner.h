@@ -36,6 +36,12 @@ struct PlannerOptions {
   /// Stream operators verify their inputs' promised sort orders at run
   /// time (small per-tuple cost; invaluable during development).
   bool verify_sorted_inputs = true;
+  /// Worker threads for the pairwise temporal operators. 1 (the default)
+  /// plans the plain sequential operators; 0 means "one per hardware
+  /// thread"; K > 1 time-range partitions each pairwise join/semijoin
+  /// across a K-worker pool (src/parallel/, docs/PARALLEL.md). Results are
+  /// identical to the sequential plan.
+  size_t threads = 1;
 };
 
 /// An executable plan: a stream-processor network plus diagnostics.

@@ -13,12 +13,14 @@ void OperatorMetrics::Absorb(const OperatorMetrics& child) {
   comparisons += child.comparisons;
   passes_left += child.passes_left;
   passes_right += child.passes_right;
+  workers += child.workers;
+  merge_comparisons += child.merge_comparisons;
   peak_workspace_tuples =
       std::max(peak_workspace_tuples, child.peak_workspace_tuples);
 }
 
 std::string OperatorMetrics::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "read=(%llu,%llu) emitted=%llu cmps=%llu passes=(%llu,%llu) "
       "peak_ws=%zu",
       static_cast<unsigned long long>(tuples_read_left),
@@ -27,6 +29,12 @@ std::string OperatorMetrics::ToString() const {
       static_cast<unsigned long long>(comparisons),
       static_cast<unsigned long long>(passes_left),
       static_cast<unsigned long long>(passes_right), peak_workspace_tuples);
+  if (workers > 0) {
+    out += StrFormat(" workers=%llu merge_cmps=%llu",
+                     static_cast<unsigned long long>(workers),
+                     static_cast<unsigned long long>(merge_comparisons));
+  }
+  return out;
 }
 
 }  // namespace tempus

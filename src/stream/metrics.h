@@ -25,6 +25,10 @@ struct OperatorMetrics {
   uint64_t comparisons = 0;
   uint64_t passes_left = 0;
   uint64_t passes_right = 0;
+  /// Worker slices executed by a parallel operator (0 for sequential ones).
+  uint64_t workers = 0;
+  /// Tuple comparisons spent recombining worker outputs in order.
+  uint64_t merge_comparisons = 0;
   size_t workspace_tuples = 0;
   size_t peak_workspace_tuples = 0;
 

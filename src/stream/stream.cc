@@ -68,6 +68,8 @@ void CollectInto(const TupleStream& node, OperatorMetrics* total) {
   total->comparisons += m.comparisons;
   total->passes_left += m.passes_left;
   total->passes_right += m.passes_right;
+  total->workers += m.workers;
+  total->merge_comparisons += m.merge_comparisons;
   total->peak_workspace_tuples += m.peak_workspace_tuples;
   for (const TupleStream* child : node.children()) {
     CollectInto(*child, total);

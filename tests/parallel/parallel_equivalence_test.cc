@@ -1,0 +1,526 @@
+#include "parallel/parallel_ops.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "allen/interval_algebra.h"
+#include "datagen/interval_gen.h"
+#include "exec/engine.h"
+#include "join/join_common.h"
+#include "join/nested_loop.h"
+#include "relation/temporal_relation.h"
+#include "stream/stream.h"
+#include "testing/test_util.h"
+
+#include "gtest/gtest.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::ExpectSameTuples;
+using ::tempus::testing::MakeIntervals;
+using ::tempus::testing::MustMaterialize;
+using ::tempus::testing::SortedByOrder;
+
+// Thread counts swept against the sequential (threads=1) baseline. 7 is
+// deliberately larger than several of the edge relations so some slices
+// come out empty.
+constexpr size_t kThreadCounts[] = {2, 3, 4, 7};
+
+using PairFactory = std::function<Result<std::unique_ptr<TupleStream>>(
+    std::unique_ptr<TupleStream>, std::unique_ptr<TupleStream>, size_t)>;
+using SelfFactory = std::function<Result<std::unique_ptr<TupleStream>>(
+    std::unique_ptr<TupleStream>, size_t)>;
+
+// EXPECT that two relations hold the same tuple sequence, byte for byte —
+// the contract of the order-preserving parallel operators.
+void ExpectSameSequence(const TemporalRelation& actual,
+                        const TemporalRelation& expected) {
+  ASSERT_EQ(actual.size(), expected.size())
+      << "actual:\n"
+      << actual.ToString(50) << "expected:\n"
+      << expected.ToString(50);
+  for (size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_TRUE(actual.tuple(i) == expected.tuple(i))
+        << "first divergence at row " << i << "\nactual:\n"
+        << actual.ToString(50) << "expected:\n"
+        << expected.ToString(50);
+  }
+}
+
+TemporalRelation BuildPair(const TemporalRelation& left,
+                           const TemporalRelation& right,
+                           const PairFactory& factory, size_t threads) {
+  Result<std::unique_ptr<TupleStream>> stream =
+      factory(VectorStream::Scan(left), VectorStream::Scan(right), threads);
+  EXPECT_TRUE(stream.ok()) << stream.status().ToString();
+  if (!stream.ok()) return TemporalRelation("failed", left.schema());
+  return MustMaterialize(stream.value().get(), "out");
+}
+
+// Materializes `factory` at threads=1 and at every K in kThreadCounts and
+// compares. `exact` demands the sequential tuple sequence reproduced byte
+// for byte; false settles for multiset equality (the concatenating
+// operators, whose sequential order is itself not canonical).
+void CheckPair(const TemporalRelation& left, const TemporalRelation& right,
+               const PairFactory& factory, bool exact) {
+  const TemporalRelation sequential = BuildPair(left, right, factory, 1);
+  for (size_t k : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(k));
+    const TemporalRelation parallel = BuildPair(left, right, factory, k);
+    if (exact) {
+      ExpectSameSequence(parallel, sequential);
+    } else {
+      ExpectSameTuples(parallel, sequential);
+    }
+  }
+}
+
+void CheckSelf(const TemporalRelation& x, const SelfFactory& factory) {
+  auto build = [&](size_t threads) {
+    Result<std::unique_ptr<TupleStream>> stream =
+        factory(VectorStream::Scan(x), threads);
+    EXPECT_TRUE(stream.ok()) << stream.status().ToString();
+    if (!stream.ok()) return TemporalRelation("failed", x.schema());
+    return MustMaterialize(stream.value().get(), "out");
+  };
+  const TemporalRelation sequential = build(1);
+  for (size_t k : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(k));
+    ExpectSameSequence(build(k), sequential);
+  }
+}
+
+// Seeded workload: the seed picks the size, the duration model (uniform /
+// exponential / Pareto) and the start-time density. Every fourth seed uses
+// sub-unit inter-arrival so start times collide — the partition boundaries
+// then land on duplicated keys, exercising the straddler and equal-run
+// rules.
+TemporalRelation Workload(const std::string& name, uint64_t seed) {
+  IntervalWorkloadConfig config;
+  config.count = 120 + static_cast<size_t>((seed * 37) % 140);
+  config.seed = seed;
+  config.mean_interarrival = (seed % 4 == 0) ? 0.5 : 3.0;
+  static constexpr DurationModel kModels[] = {DurationModel::kUniform,
+                                              DurationModel::kExponential,
+                                              DurationModel::kPareto};
+  config.duration_model = kModels[seed % 3];
+  config.mean_duration = 6.0 + static_cast<double>(seed % 5) * 8.0;
+  config.surrogate_count = 8;  // few keys => real hash-join collisions
+  Result<TemporalRelation> rel = GenerateIntervalRelation(name, config);
+  EXPECT_TRUE(rel.ok()) << rel.status().ToString();
+  return rel.ok() ? std::move(rel).value() : MakeIntervals(name, {});
+}
+
+// Hand-built boundary cases: empties, single tuples, all-equal lifespans
+// (one degenerate slice), and meets/met-by chains whose endpoints collide
+// with any quantile boundary choice.
+std::vector<std::pair<TemporalRelation, TemporalRelation>> EdgePairs() {
+  std::vector<std::pair<TemporalRelation, TemporalRelation>> pairs;
+  const TemporalRelation empty = MakeIntervals("E", {});
+  const TemporalRelation one = MakeIntervals("O", {{3, 9}});
+  const TemporalRelation chain =
+      MakeIntervals("C", {{0, 5}, {5, 10}, {10, 15}, {15, 20}, {5, 15}});
+  const TemporalRelation equal_spans =
+      MakeIntervals("Q", {{5, 10}, {5, 10}, {5, 10}, {5, 10}, {5, 10}});
+  const TemporalRelation straddlers = MakeIntervals(
+      "S", {{0, 20}, {0, 10}, {0, 10}, {2, 8}, {5, 10}, {5, 10}, {5, 15},
+            {8, 12}, {10, 20}, {10, 20}, {12, 18}, {15, 20}, {0, 5}});
+  pairs.emplace_back(empty, empty);
+  pairs.emplace_back(empty, straddlers);
+  pairs.emplace_back(straddlers, empty);
+  pairs.emplace_back(one, one);
+  pairs.emplace_back(one, straddlers);
+  pairs.emplace_back(chain, chain);
+  pairs.emplace_back(equal_spans, straddlers);
+  pairs.emplace_back(straddlers, straddlers);
+  pairs.emplace_back(straddlers, chain);
+  return pairs;
+}
+
+// ---------------------------------------------------------------------------
+// Per-operator variant drivers, shared between the random sweep and the
+// edge-case sweep.
+
+void CheckContainJoinVariants(const TemporalRelation& x,
+                              const TemporalRelation& y) {
+  struct Variant {
+    TemporalSortOrder left;
+    TemporalSortOrder right;
+  };
+  for (const Variant& v : {Variant{kByValidFromAsc, kByValidFromAsc},
+                           Variant{kByValidFromAsc, kByValidToAsc},
+                           Variant{kByValidToDesc, kByValidToDesc}}) {
+    SCOPED_TRACE("contain-join " + v.left.ToString() + " / " +
+                 v.right.ToString());
+    ContainJoinOptions options;
+    options.left_order = v.left;
+    options.right_order = v.right;
+    CheckPair(
+        SortedByOrder(x, v.left), SortedByOrder(y, v.right),
+        [options](std::unique_ptr<TupleStream> l,
+                  std::unique_ptr<TupleStream> r, size_t threads) {
+          return MakeParallelContainJoin(std::move(l), std::move(r), options,
+                                         threads);
+        },
+        /*exact=*/false);
+  }
+}
+
+void CheckAllenSweepVariants(const TemporalRelation& x,
+                             const TemporalRelation& y) {
+  struct Variant {
+    AllenMask mask;
+    TemporalSortOrder order;
+    const char* label;
+  };
+  const Variant variants[] = {
+      {AllenMask::Intersecting(), kByValidFromAsc, "intersecting asc"},
+      {AllenMask{AllenRelation::kMeets, AllenRelation::kMetBy,
+                 AllenRelation::kEqual},
+       kByValidFromAsc, "boundary mask asc"},
+      {AllenMask::Intersecting(), kByValidToDesc, "intersecting desc"},
+  };
+  for (const Variant& v : variants) {
+    SCOPED_TRACE(std::string("allen-sweep ") + v.label);
+    AllenSweepJoinOptions options;
+    options.mask = v.mask;
+    options.left_order = v.order;
+    options.right_order = v.order;
+    CheckPair(
+        SortedByOrder(x, v.order), SortedByOrder(y, v.order),
+        [options](std::unique_ptr<TupleStream> l,
+                  std::unique_ptr<TupleStream> r, size_t threads) {
+          return MakeParallelAllenSweepJoin(std::move(l), std::move(r),
+                                            options, threads);
+        },
+        /*exact=*/false);
+  }
+}
+
+void CheckOverlapSemijoinVariants(const TemporalRelation& x,
+                                  const TemporalRelation& y) {
+  for (TemporalSortOrder order : {kByValidFromAsc, kByValidToDesc}) {
+    SCOPED_TRACE("overlap-semijoin " + order.ToString());
+    OverlapSemijoinOptions options;
+    options.order = order;
+    CheckPair(
+        SortedByOrder(x, order), SortedByOrder(y, order),
+        [options](std::unique_ptr<TupleStream> l,
+                  std::unique_ptr<TupleStream> r, size_t threads) {
+          return MakeParallelOverlapSemijoin(std::move(l), std::move(r),
+                                             options, threads);
+        },
+        /*exact=*/true);
+  }
+}
+
+void CheckContainmentSemijoinVariants(const TemporalRelation& x,
+                                      const TemporalRelation& y) {
+  struct Variant {
+    bool contain;  // true: Contain-semijoin, false: Contained-semijoin
+    TemporalSortOrder left;
+    TemporalSortOrder right;
+    bool frontier = false;
+  };
+  const Variant variants[] = {
+      {true, kByValidFromAsc, kByValidToAsc},    // two-buffer
+      {true, kByValidFromAsc, kByValidFromAsc},  // sweep
+      {false, kByValidToAsc, kByValidFromAsc},   // two-buffer
+      {false, kByValidFromAsc, kByValidFromAsc},  // sweep
+      {false, kByValidFromAsc, kByValidFromAsc, /*frontier=*/true},
+  };
+  for (const Variant& v : variants) {
+    SCOPED_TRACE(std::string(v.contain ? "contain" : "contained") +
+                 "-semijoin " + v.left.ToString() + " / " +
+                 v.right.ToString() + (v.frontier ? " frontier" : ""));
+    TemporalSemijoinOptions options;
+    options.left_order = v.left;
+    options.right_order = v.right;
+    options.use_frontier_state = v.frontier;
+    const bool contain = v.contain;
+    CheckPair(
+        SortedByOrder(x, v.left), SortedByOrder(y, v.right),
+        [options, contain](std::unique_ptr<TupleStream> l,
+                           std::unique_ptr<TupleStream> r, size_t threads) {
+          return contain ? MakeParallelContainSemijoin(std::move(l),
+                                                       std::move(r), options,
+                                                       threads)
+                         : MakeParallelContainedSemijoin(std::move(l),
+                                                         std::move(r),
+                                                         options, threads);
+        },
+        /*exact=*/true);
+  }
+}
+
+void CheckBeforeVariants(const TemporalRelation& x,
+                         const TemporalRelation& y) {
+  {
+    SCOPED_TRACE("before-join, coordinator sorts inner");
+    BeforeJoinOptions options;
+    CheckPair(
+        x, y,
+        [options](std::unique_ptr<TupleStream> l,
+                  std::unique_ptr<TupleStream> r, size_t threads) {
+          return MakeParallelBeforeJoin(std::move(l), std::move(r), options,
+                                        threads);
+        },
+        /*exact=*/true);
+  }
+  {
+    SCOPED_TRACE("before-join, presorted inner");
+    BeforeJoinOptions options;
+    options.right_presorted = true;
+    CheckPair(
+        x, SortedByOrder(y, kByValidFromAsc),
+        [options](std::unique_ptr<TupleStream> l,
+                  std::unique_ptr<TupleStream> r, size_t threads) {
+          return MakeParallelBeforeJoin(std::move(l), std::move(r), options,
+                                        threads);
+        },
+        /*exact=*/true);
+  }
+  {
+    SCOPED_TRACE("before-semijoin");
+    CheckPair(
+        x, y,
+        [](std::unique_ptr<TupleStream> l, std::unique_ptr<TupleStream> r,
+           size_t threads) {
+          return MakeParallelBeforeSemijoin(std::move(l), std::move(r),
+                                            threads);
+        },
+        /*exact=*/true);
+  }
+}
+
+void CheckSelfSemijoinVariants(const TemporalRelation& x) {
+  for (TemporalSortOrder order : {kByValidFromAsc, kByValidToDesc}) {
+    SCOPED_TRACE("self-contained-semijoin " + order.ToString());
+    SelfSemijoinOptions options;
+    options.order = order;
+    CheckSelf(SortedByOrder(x, order),
+              [options](std::unique_ptr<TupleStream> s, size_t threads) {
+                return MakeParallelSelfContainedSemijoin(std::move(s),
+                                                         options, threads);
+              });
+  }
+  for (TemporalSortOrder order : {kByValidFromAsc, kByValidFromDesc,
+                                  kByValidToAsc, kByValidToDesc}) {
+    SCOPED_TRACE("self-contain-semijoin " + order.ToString());
+    SelfSemijoinOptions options;
+    options.order = order;
+    CheckSelf(SortedByOrder(x, order),
+              [options](std::unique_ptr<TupleStream> s, size_t threads) {
+                return MakeParallelSelfContainSemijoin(std::move(s), options,
+                                                       threads);
+              });
+  }
+}
+
+void CheckHashJoinVariants(const TemporalRelation& x,
+                           const TemporalRelation& y) {
+  {
+    SCOPED_TRACE("hash equi-join on S");
+    CheckPair(
+        x, y,
+        [](std::unique_ptr<TupleStream> l, std::unique_ptr<TupleStream> r,
+           size_t threads) {
+          return MakeParallelHashEquiJoin(std::move(l), std::move(r), {0},
+                                          {0}, nullptr, {}, threads);
+        },
+        /*exact=*/false);
+  }
+  {
+    SCOPED_TRACE("hash equi-join on S with intersecting residual");
+    Result<PairPredicate> residual = MakeIntervalPairPredicate(
+        x.schema(), y.schema(), AllenMask::Intersecting());
+    ASSERT_TRUE(residual.ok()) << residual.status().ToString();
+    PairPredicate pred = std::move(residual).value();
+    CheckPair(
+        x, y,
+        [pred](std::unique_ptr<TupleStream> l, std::unique_ptr<TupleStream> r,
+               size_t threads) {
+          return MakeParallelHashEquiJoin(std::move(l), std::move(r), {0},
+                                          {0}, pred, {}, threads);
+        },
+        /*exact=*/false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Random sweeps. 15 seeds x {3 contain-join + 3 sweep + 2 overlap + 5
+// containment + 3 before + 6 self + 2 hash} variants: well over the 100
+// seeded datasets the subsystem promises to hold equivalence on.
+
+constexpr uint64_t kSeedCount = 15;
+
+TEST(ParallelEquivalenceTest, ContainJoinRandom) {
+  for (uint64_t seed = 0; seed < kSeedCount; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    CheckContainJoinVariants(Workload("X", seed), Workload("Y", seed + 1000));
+  }
+}
+
+TEST(ParallelEquivalenceTest, AllenSweepJoinRandom) {
+  for (uint64_t seed = 0; seed < kSeedCount; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    CheckAllenSweepVariants(Workload("X", seed), Workload("Y", seed + 1000));
+  }
+}
+
+TEST(ParallelEquivalenceTest, OverlapSemijoinRandom) {
+  for (uint64_t seed = 0; seed < kSeedCount; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    CheckOverlapSemijoinVariants(Workload("X", seed),
+                                 Workload("Y", seed + 1000));
+  }
+}
+
+TEST(ParallelEquivalenceTest, ContainmentSemijoinRandom) {
+  for (uint64_t seed = 0; seed < kSeedCount; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    CheckContainmentSemijoinVariants(Workload("X", seed),
+                                     Workload("Y", seed + 1000));
+  }
+}
+
+TEST(ParallelEquivalenceTest, BeforeJoinAndSemijoinRandom) {
+  for (uint64_t seed = 0; seed < kSeedCount; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    CheckBeforeVariants(Workload("X", seed), Workload("Y", seed + 1000));
+  }
+}
+
+TEST(ParallelEquivalenceTest, SelfSemijoinsRandom) {
+  for (uint64_t seed = 0; seed < kSeedCount; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    CheckSelfSemijoinVariants(Workload("X", seed));
+  }
+}
+
+TEST(ParallelEquivalenceTest, SelfSemijoinsNestedChains) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Result<TemporalRelation> nested =
+        GenerateNestedIntervals("N", /*chain_count=*/30, /*depth=*/4, seed);
+    ASSERT_TRUE(nested.ok()) << nested.status().ToString();
+    CheckSelfSemijoinVariants(*nested);
+  }
+}
+
+TEST(ParallelEquivalenceTest, HashEquiJoinRandom) {
+  for (uint64_t seed = 0; seed < kSeedCount; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    CheckHashJoinVariants(Workload("X", seed), Workload("Y", seed + 1000));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases: empty operands, single tuples, all-equal lifespans (the
+// boundary chooser degenerates to one slice), meets chains whose endpoints
+// coincide with slice boundaries, and more threads than tuples.
+
+TEST(ParallelEquivalenceTest, EdgeCases) {
+  size_t index = 0;
+  for (const auto& [x, y] : EdgePairs()) {
+    SCOPED_TRACE("edge pair #" + std::to_string(index++));
+    CheckContainJoinVariants(x, y);
+    CheckAllenSweepVariants(x, y);
+    CheckOverlapSemijoinVariants(x, y);
+    CheckContainmentSemijoinVariants(x, y);
+    CheckBeforeVariants(x, y);
+    CheckSelfSemijoinVariants(x);
+    CheckHashJoinVariants(x, y);
+  }
+}
+
+// Cross-check against the nested-loop oracle once per operator family, on
+// a dataset dense enough to produce output: the parallel operator at
+// threads=4 must agree with the trusted reference, not merely with the
+// sequential stream operator.
+TEST(ParallelEquivalenceTest, AgreesWithNestedLoopOracle) {
+  const TemporalRelation x = SortedByOrder(Workload("X", 2), kByValidFromAsc);
+  const TemporalRelation y = SortedByOrder(Workload("Y", 1002),
+                                           kByValidFromAsc);
+
+  {
+    SCOPED_TRACE("overlap-semijoin vs oracle");
+    Result<std::unique_ptr<TupleStream>> par = MakeParallelOverlapSemijoin(
+        VectorStream::Scan(x), VectorStream::Scan(y), {}, 4);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    ExpectSameTuples(
+        MustMaterialize(par.value().get(), "out"),
+        testing::ReferenceMaskSemijoin(x, y, AllenMask::Intersecting()));
+  }
+  {
+    SCOPED_TRACE("contain-semijoin vs oracle");
+    const TemporalRelation y_by_end = SortedByOrder(y, kByValidToAsc);
+    Result<std::unique_ptr<TupleStream>> par = MakeParallelContainSemijoin(
+        VectorStream::Scan(x), VectorStream::Scan(y_by_end),
+        {.left_order = kByValidFromAsc, .right_order = kByValidToAsc}, 4);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    ExpectSameTuples(
+        MustMaterialize(par.value().get(), "out"),
+        testing::ReferenceMaskSemijoin(
+            x, y, AllenMask::Single(AllenRelation::kContains)));
+  }
+  {
+    SCOPED_TRACE("self-contained-semijoin vs oracle");
+    Result<std::unique_ptr<TupleStream>> par =
+        MakeParallelSelfContainedSemijoin(VectorStream::Scan(x), {}, 4);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    ExpectSameTuples(
+        MustMaterialize(par.value().get(), "out"),
+        testing::ReferenceSelfSemijoin(
+            x, AllenMask::Single(AllenRelation::kDuring)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Planner-level equivalence: PlannerOptions::threads swaps in the parallel
+// operators; the query result must not change and the explain output must
+// say so.
+
+TEST(ParallelEquivalenceTest, PlannerThreadsPreservesResults) {
+  Engine engine;
+  TEMPUS_ASSERT_OK(
+      engine.mutable_catalog()->Register(Workload("R", 3)));
+  TEMPUS_ASSERT_OK(
+      engine.mutable_catalog()->Register(Workload("Q", 1004)));
+
+  const std::vector<std::string> queries = {
+      "range of a is R range of b is Q retrieve (a.S, b.S) "
+      "where a during b",
+      "range of a is R range of b is Q retrieve (a.S, a.V) "
+      "where a during b",
+      "range of a is R range of b is Q retrieve (a.S, b.S) "
+      "where a.ValidTo < b.ValidFrom",
+  };
+  PlannerOptions sequential;
+  sequential.threads = 1;
+  PlannerOptions parallel;
+  parallel.threads = 3;
+  for (const std::string& query : queries) {
+    SCOPED_TRACE(query);
+    Result<TemporalRelation> seq = engine.Run(query, sequential);
+    Result<TemporalRelation> par = engine.Run(query, parallel);
+    ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    ExpectSameTuples(*par, *seq);
+
+    Result<std::string> explain = engine.Explain(query, parallel);
+    ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+    EXPECT_NE(explain->find("[parallel x3]"), std::string::npos) << *explain;
+    Result<std::string> seq_explain = engine.Explain(query, sequential);
+    ASSERT_TRUE(seq_explain.ok()) << seq_explain.status().ToString();
+    EXPECT_EQ(seq_explain->find("[parallel"), std::string::npos)
+        << *seq_explain;
+  }
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,93 @@
+#include "parallel/worker_pool.h"
+
+#include <atomic>
+#include <future>
+#include <vector>
+
+#include "common/status.h"
+#include "gtest/gtest.h"
+
+namespace tempus {
+namespace {
+
+TEST(WorkerPoolTest, RunsEverySubmittedTask) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&ran] {
+      ran.fetch_add(1);
+      return Status::Ok();
+    }));
+  }
+  for (std::future<Status>& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(WorkerPoolTest, ZeroThreadsClampsToOne) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::future<Status> f = pool.Submit([] { return Status::Ok(); });
+  EXPECT_TRUE(f.get().ok());
+}
+
+TEST(WorkerPoolTest, FuturePropagatesError) {
+  WorkerPool pool(2);
+  std::future<Status> f =
+      pool.Submit([] { return Status::Internal("boom"); });
+  const Status s = f.get();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "boom");
+}
+
+TEST(WorkerPoolTest, RunAllReturnsOkWhenAllSucceed) {
+  WorkerPool pool(3);
+  std::atomic<int> ran{0};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([&ran] {
+      ran.fetch_add(1);
+      return Status::Ok();
+    });
+  }
+  EXPECT_TRUE(pool.RunAll(std::move(tasks)).ok());
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(WorkerPoolTest, RunAllRunsEveryTaskDespiteFailure) {
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([&ran, i] {
+      ran.fetch_add(1);
+      return i == 3 ? Status::Internal("task 3 failed") : Status::Ok();
+    });
+  }
+  const Status s = pool.RunAll(std::move(tasks));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "task 3 failed");
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(WorkerPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> ran{0};
+  {
+    WorkerPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&ran] {
+        ran.fetch_add(1);
+        return Status::Ok();
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(WorkerPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(WorkerPool::DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace tempus
