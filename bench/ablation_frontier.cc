@@ -62,7 +62,7 @@ void Run() {
   };
   for (const Shape& s : shapes) {
     IntervalWorkloadConfig config;
-    config.count = 20'000;
+    config.count = Sized(20'000);
     config.seed = 61;
     config.mean_interarrival = 2.0;
     config.mean_duration = s.mean;

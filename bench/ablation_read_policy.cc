@@ -45,7 +45,7 @@ void Run() {
                       "lambda ws", "lambda cmps", "lambda time", "out"});
   for (double y_gap : {1.0, 2.0, 8.0, 32.0}) {
     IntervalWorkloadConfig config;
-    config.count = 6000;
+    config.count = Sized(6000);
     config.seed = 41;
     config.mean_interarrival = 4.0;
     config.mean_duration = 96.0;

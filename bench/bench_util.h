@@ -8,10 +8,33 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "obs/metrics_json.h"
 #include "stream/stream.h"
 
 namespace tempus {
 namespace bench {
+
+/// True when TEMPUS_BENCH_SMOKE is set non-empty/non-zero: benches shrink
+/// their workloads to a few hundred tuples and run each configuration
+/// once, so `cmake --build build --target bench_smoke` finishes in
+/// seconds while still exercising every pipeline end to end.
+inline bool SmokeMode() {
+  const char* env = std::getenv("TEMPUS_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Workload size helper: the full count normally, a small cap in smoke
+/// mode.
+inline size_t Sized(size_t full, size_t smoke_cap = 200) {
+  return SmokeMode() && full > smoke_cap ? smoke_cap : full;
+}
+
+/// Size-sweep helper: the full sweep normally, only its smallest point in
+/// smoke mode.
+inline std::vector<size_t> SweepSizes(std::vector<size_t> full) {
+  if (SmokeMode() && full.size() > 1) full.resize(1);
+  return full;
+}
 
 /// Aborts with a message on error — benchmark binaries fail loudly.
 inline void CheckOk(const Status& status, const char* what) {
@@ -39,13 +62,24 @@ struct RunStats {
 };
 
 /// Opens and drains a stream, timing it and collecting plan-wide metrics.
-inline RunStats RunPipeline(TupleStream* root) {
+/// With TEMPUS_BENCH_JSON set, each run additionally prints one
+/// machine-readable line ("BENCH_JSON {...}") carrying the rolled-up
+/// OperatorMetrics in the stable obs/metrics_json.h schema, tagged with
+/// `label` (or the root operator's label when none is given).
+inline RunStats RunPipeline(TupleStream* root, const char* label = nullptr) {
   RunStats stats;
   const auto start = std::chrono::steady_clock::now();
   stats.output_tuples = ValueOrDie(DrainCount(root), "pipeline run");
   const auto end = std::chrono::steady_clock::now();
   stats.seconds = std::chrono::duration<double>(end - start).count();
   stats.plan_metrics = CollectPlanMetrics(*root);
+  if (std::getenv("TEMPUS_BENCH_JSON") != nullptr) {
+    const std::string tag = label != nullptr ? label : root->label();
+    std::printf("BENCH_JSON {\"label\":\"%s\",\"seconds\":%.6f,"
+                "\"output_tuples\":%zu,\"metrics\":%s}\n",
+                JsonEscape(tag).c_str(), stats.seconds, stats.output_tuples,
+                MetricsToJson(stats.plan_metrics).c_str());
+  }
   return stats;
 }
 

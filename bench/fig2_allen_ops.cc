@@ -51,7 +51,7 @@ void Run() {
          "approach removes.");
 
   IntervalWorkloadConfig config;
-  config.count = 3000;
+  config.count = Sized(3000);
   config.mean_interarrival = 2.0;
   config.mean_duration = 10.0;
   config.seed = 21;

@@ -55,7 +55,7 @@ void Run() {
 
   TablePrinter table({"faculty", "tuples", "stars", "A time", "A cmps",
                       "B time", "B cmps", "C time", "C cmps"});
-  for (size_t n : {200, 400, 800, 1600}) {
+  for (size_t n : SweepSizes({200, 400, 800, 1600})) {
     FacultyWorkloadConfig config;
     config.faculty_count = n;
     config.continuous = true;

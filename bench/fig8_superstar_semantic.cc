@@ -68,7 +68,7 @@ void Run() {
 
   TablePrinter table({"faculty", "stars", "B time", "B cmps", "B' cmps",
                       "C time", "C cmps", "C peak ws", "D time", "D cmps"});
-  for (size_t n : {500, 1000, 2000, 4000, 8000, 16000}) {
+  for (size_t n : SweepSizes({500, 1000, 2000, 4000, 8000, 16000})) {
     FacultyWorkloadConfig config;
     config.faculty_count = n;
     config.continuous = true;

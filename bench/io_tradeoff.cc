@@ -32,7 +32,7 @@ void Run() {
          "reads each page once.");
 
   IntervalWorkloadConfig config;
-  config.count = 20'000;
+  config.count = Sized(20'000);
   config.seed = 51;
   config.mean_duration = 48.0;
   const TemporalRelation x =

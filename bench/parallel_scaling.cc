@@ -75,7 +75,7 @@ std::vector<Row> Sweep(const std::string& op, const TemporalRelation& x,
 
 int Main(int argc, char** argv) {
   const size_t count = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                : 100000;
+                                : Sized(100000, 2000);
   const TemporalRelation x = MakeSide("X", count, 7);
   const TemporalRelation y = MakeSide("Y", count, 8);
 

@@ -59,7 +59,7 @@ void Run() {
   };
   for (const Shape& s : shapes) {
     IntervalWorkloadConfig config;
-    config.count = 8000;
+    config.count = Sized(8000);
     config.seed = 5;
     config.mean_duration = s.x_dur;
     config.mean_interarrival = s.x_gap;

@@ -86,7 +86,7 @@ void Run() {
          "containers; Y: 10k short-lived containees.");
 
   IntervalWorkloadConfig config;
-  config.count = 10'000;
+  config.count = Sized(10'000);
   config.mean_interarrival = 4.0;
   config.mean_duration = 64.0;
   config.seed = 1;

@@ -62,7 +62,7 @@ void Run() {
          "ValidFrom^)\nand its mirror admit garbage collection.");
 
   IntervalWorkloadConfig config;
-  config.count = 10'000;
+  config.count = Sized(10'000);
   config.mean_interarrival = 4.0;
   config.mean_duration = 24.0;
   config.seed = 11;

@@ -48,13 +48,14 @@ void Run() {
 
   // Deep nesting: the adversarial case for the (b) cells.
   const TemporalRelation nested = ValueOrDie(
-      GenerateNestedIntervals("Nested", /*chain_count=*/1000, /*depth=*/10,
+      GenerateNestedIntervals("Nested", /*chain_count=*/Sized(1000, 50),
+                              /*depth=*/10,
                               /*seed=*/3),
       "gen nested");
   RunOn("nested chains, depth 10", nested);
 
   IntervalWorkloadConfig config;
-  config.count = 20'000;
+  config.count = Sized(20'000);
   config.mean_interarrival = 3.0;
   config.mean_duration = 20.0;
   config.seed = 4;

@@ -6,7 +6,8 @@
 //   ...> retrieve (f1.Name) where f1.Rank = "Full"
 //   ...> <blank line>
 //
-// Commands: \tables   \explain on|off   \threads N   \quit
+// Commands: \tables   \explain on|off   \analyze on|off   \trace on|off
+//           \threads N   \quit
 
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +48,8 @@ tempus::Engine MakeDemoEngine() {
 int main() {
   tempus::Engine engine = MakeDemoEngine();
   bool show_explain = true;
+  bool show_analyze = false;
+  bool show_trace = false;
   tempus::PlannerOptions planner_options;
 
   std::printf("tempus TQL shell — demo catalog: Faculty, Events\n");
@@ -71,6 +74,18 @@ int main() {
     }
     if (line == "\\explain on" || line == "\\explain off") {
       show_explain = line.back() == 'n';
+      std::printf("tql> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (line == "\\analyze on" || line == "\\analyze off") {
+      show_analyze = line.back() == 'n';
+      std::printf("tql> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (line == "\\trace on" || line == "\\trace off") {
+      show_trace = line.back() == 'n';
       std::printf("tql> ");
       std::fflush(stdout);
       continue;
@@ -109,12 +124,36 @@ int main() {
         std::printf("-- plan --\n%s\n", explain->c_str());
       }
     }
-    tempus::Result<tempus::TemporalRelation> result =
-        engine.Run(buffer, planner_options);
-    if (result.ok()) {
-      std::printf("%s", result->ToString(25).c_str());
+    if (show_analyze || show_trace) {
+      // Plan with tracing so the annotated report / JSON are available.
+      tempus::PlannerOptions traced = planner_options;
+      traced.analyze = true;
+      tempus::Result<tempus::PlannedQuery> planned =
+          engine.Prepare(buffer, traced);
+      if (planned.ok()) {
+        tempus::Result<tempus::TemporalRelation> result = planned->Execute();
+        if (result.ok()) {
+          std::printf("%s", result->ToString(25).c_str());
+          if (show_analyze) {
+            std::printf("-- analyze --\n%s", planned->AnalyzeReport().c_str());
+          }
+          if (show_trace) {
+            std::printf("-- trace --\n%s\n", planned->TraceJson().c_str());
+          }
+        } else {
+          std::printf("error: %s\n", result.status().ToString().c_str());
+        }
+      } else {
+        std::printf("error: %s\n", planned.status().ToString().c_str());
+      }
     } else {
-      std::printf("error: %s\n", result.status().ToString().c_str());
+      tempus::Result<tempus::TemporalRelation> result =
+          engine.Run(buffer, planner_options);
+      if (result.ok()) {
+        std::printf("%s", result->ToString(25).c_str());
+      } else {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      }
     }
     buffer.clear();
     std::printf("tql> ");

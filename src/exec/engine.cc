@@ -5,6 +5,28 @@
 #include "relation/csv.h"
 
 namespace tempus {
+namespace {
+
+/// Wraps a multi-line report into a one-string-column relation so EXPLAIN
+/// output flows through the same Result<TemporalRelation> channel as data.
+Result<TemporalRelation> TextRelation(const std::string& name,
+                                      const std::string& column,
+                                      const std::string& text) {
+  TEMPUS_ASSIGN_OR_RETURN(Schema schema,
+                          Schema::Create({{column, ValueType::kString}}));
+  TemporalRelation out(name, std::move(schema));
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    TEMPUS_RETURN_IF_ERROR(
+        out.Append(Tuple({Value::Str(text.substr(start, end - start))})));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
 
 Result<PlannedQuery> Engine::Prepare(const std::string& tql,
                                      const PlannerOptions& options) const {
@@ -15,14 +37,33 @@ Result<PlannedQuery> Engine::Prepare(const std::string& tql,
 
 Result<TemporalRelation> Engine::Run(const std::string& tql,
                                      const PlannerOptions& options) const {
-  TEMPUS_ASSIGN_OR_RETURN(PlannedQuery planned, Prepare(tql, options));
-  return planned.Execute();
+  TEMPUS_ASSIGN_OR_RETURN(ConjunctiveQuery query, ParseTql(tql));
+  Planner planner(&catalog_, &integrity_);
+  TEMPUS_ASSIGN_OR_RETURN(PlannedQuery planned, planner.Plan(query, options));
+  if (query.explain_mode == ExplainMode::kPlan) {
+    return TextRelation("QueryPlan", "QUERY PLAN", planned.explain);
+  }
+  TEMPUS_ASSIGN_OR_RETURN(TemporalRelation result, planned.Execute());
+  if (query.explain_mode == ExplainMode::kAnalyze) {
+    return TextRelation("QueryPlan", "QUERY PLAN", planned.AnalyzeReport());
+  }
+  return result;
 }
 
 Result<std::string> Engine::Explain(const std::string& tql,
                                     const PlannerOptions& options) const {
   TEMPUS_ASSIGN_OR_RETURN(PlannedQuery planned, Prepare(tql, options));
   return planned.explain;
+}
+
+Result<std::string> Engine::ExplainAnalyze(const std::string& tql,
+                                           const PlannerOptions& options) const {
+  PlannerOptions traced = options;
+  traced.analyze = true;
+  TEMPUS_ASSIGN_OR_RETURN(PlannedQuery planned, Prepare(tql, traced));
+  TEMPUS_ASSIGN_OR_RETURN(TemporalRelation result, planned.Execute());
+  (void)result;
+  return planned.AnalyzeReport();
 }
 
 Status Engine::RegisterValidated(TemporalRelation relation) {

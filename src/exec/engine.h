@@ -28,6 +28,10 @@ class Engine {
                                const PlannerOptions& options = {}) const;
 
   /// Parses, plans, and executes `tql`, returning the result relation.
+  /// A query prefixed `explain` returns the plan tree (without executing)
+  /// as a single-column "QUERY PLAN" relation; `explain analyze` executes
+  /// the query and returns the plan annotated with runtime counters, GC
+  /// accounting, and wall time (docs/OBSERVABILITY.md).
   Result<TemporalRelation> Run(const std::string& tql,
                                const PlannerOptions& options = {}) const;
 
@@ -35,6 +39,11 @@ class Engine {
   /// `tql` would execute under.
   Result<std::string> Explain(const std::string& tql,
                               const PlannerOptions& options = {}) const;
+
+  /// Plans `tql` with tracing enabled, executes it, and returns the
+  /// EXPLAIN ANALYZE report (the result relation is discarded).
+  Result<std::string> ExplainAnalyze(const std::string& tql,
+                                     const PlannerOptions& options = {}) const;
 
   /// Registers `relation` and validates it against the integrity catalog's
   /// constraints for its name.

@@ -68,14 +68,14 @@ Result<std::unique_ptr<AllenSweepJoin>> AllenSweepJoin::Create(
       frame_mask, std::move(schema), left_ref, right_ref));
 }
 
-Status AllenSweepJoin::Open() {
+Status AllenSweepJoin::OpenImpl() {
   TEMPUS_RETURN_IF_ERROR(left_->Open());
   TEMPUS_RETURN_IF_ERROR(right_->Open());
   ++metrics_.passes_left;
   ++metrics_.passes_right;
   left_state_.clear();
   right_state_.clear();
-  metrics_.workspace_tuples = 0;
+  metrics_.ResetWorkspace();
   left_has_peek_ = right_has_peek_ = false;
   left_done_ = right_done_ = false;
   probing_ = false;
@@ -111,6 +111,7 @@ Result<bool> AllenSweepJoin::FillPeek(bool left_side) {
 }
 
 void AllenSweepJoin::CollectGarbage() {
+  ++metrics_.gc_checks;
   auto sweep = [this](std::vector<StateEntry>* state, auto&& dead) {
     size_t kept = 0;
     for (size_t i = 0; i < state->size(); ++i) {
@@ -183,7 +184,7 @@ Result<bool> AllenSweepJoin::Advance() {
   return true;
 }
 
-Result<bool> AllenSweepJoin::Next(Tuple* out) {
+Result<bool> AllenSweepJoin::NextImpl(Tuple* out) {
   while (true) {
     if (probing_) {
       const std::vector<StateEntry>& targets =

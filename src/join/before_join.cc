@@ -32,12 +32,12 @@ Result<std::unique_ptr<BeforeJoinStream>> BeforeJoinStream::Create(
       std::move(schema), left_ref, right_ref));
 }
 
-Status BeforeJoinStream::Open() {
+Status BeforeJoinStream::OpenImpl() {
   TEMPUS_RETURN_IF_ERROR(right_->Open());
   ++metrics_.passes_right;
   inner_.clear();
   inner_from_.clear();
-  metrics_.workspace_tuples = 0;
+  metrics_.ResetWorkspace();
   Tuple t;
   TimePoint previous_from = kMinTime;
   while (true) {
@@ -79,7 +79,7 @@ Status BeforeJoinStream::Open() {
   return Status::Ok();
 }
 
-Result<bool> BeforeJoinStream::Next(Tuple* out) {
+Result<bool> BeforeJoinStream::NextImpl(Tuple* out) {
   while (true) {
     if (!have_left_) {
       TEMPUS_ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));
@@ -121,7 +121,7 @@ Result<std::unique_ptr<BeforeSemijoin>> BeforeSemijoin::Create(
       new BeforeSemijoin(std::move(x), std::move(y), x_ref, y_ref));
 }
 
-Status BeforeSemijoin::Open() {
+Status BeforeSemijoin::OpenImpl() {
   TEMPUS_RETURN_IF_ERROR(y_->Open());
   ++metrics_.passes_right;
   max_y_from_ = kMinTime;
@@ -139,7 +139,7 @@ Status BeforeSemijoin::Open() {
   return Status::Ok();
 }
 
-Result<bool> BeforeSemijoin::Next(Tuple* out) {
+Result<bool> BeforeSemijoin::NextImpl(Tuple* out) {
   if (y_empty_) return false;
   while (true) {
     TEMPUS_ASSIGN_OR_RETURN(bool has, x_->Next(out));

@@ -35,8 +35,8 @@ class BeforeJoinStream : public TupleStream {
       BeforeJoinOptions options = {});
 
   const Schema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {left_.get(), right_.get()};
   }
@@ -71,8 +71,8 @@ class BeforeSemijoin : public TupleStream {
       std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y);
 
   const Schema& schema() const override { return x_->schema(); }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {x_.get(), y_.get()};
   }

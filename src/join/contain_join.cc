@@ -70,14 +70,14 @@ Result<std::unique_ptr<ContainJoinStream>> ContainJoinStream::Create(
       std::move(schema), left_ref, right_ref));
 }
 
-Status ContainJoinStream::Open() {
+Status ContainJoinStream::OpenImpl() {
   TEMPUS_RETURN_IF_ERROR(left_->Open());
   TEMPUS_RETURN_IF_ERROR(right_->Open());
   ++metrics_.passes_left;
   ++metrics_.passes_right;
   left_state_.clear();
   right_state_.clear();
-  metrics_.workspace_tuples = 0;
+  metrics_.ResetWorkspace();
   left_has_peek_ = right_has_peek_ = false;
   left_done_ = right_done_ = false;
   probing_ = false;
@@ -121,6 +121,7 @@ Result<bool> ContainJoinStream::FillPeek(bool left_side) {
 }
 
 void ContainJoinStream::CollectGarbage() {
+  ++metrics_.gc_checks;
   // Containers (X state): dead once no future containee can end inside
   // them. In kBothByStart the earliest future containee end is
   // > right-peek start; in kContaineeByEnd it is >= right-peek end.
@@ -248,7 +249,7 @@ Result<bool> ContainJoinStream::Advance() {
   return true;
 }
 
-Result<bool> ContainJoinStream::Next(Tuple* out) {
+Result<bool> ContainJoinStream::NextImpl(Tuple* out) {
   while (true) {
     if (probing_) {
       const std::vector<StateEntry>& targets =

@@ -62,8 +62,8 @@ class ContainJoinStream : public TupleStream {
       ContainJoinOptions options = {});
 
   const Schema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {left_.get(), right_.get()};
   }

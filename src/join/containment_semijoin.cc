@@ -40,7 +40,7 @@ TwoBufferContainmentSemijoin::Create(std::unique_ptr<TupleStream> container,
   return stream;
 }
 
-Status TwoBufferContainmentSemijoin::Open() {
+Status TwoBufferContainmentSemijoin::OpenImpl() {
   TEMPUS_RETURN_IF_ERROR(container_->Open());
   TEMPUS_RETURN_IF_ERROR(containee_->Open());
   ++metrics_.passes_left;
@@ -82,7 +82,7 @@ Result<bool> TwoBufferContainmentSemijoin::FillContainee() {
   return true;
 }
 
-Result<bool> TwoBufferContainmentSemijoin::Next(Tuple* out) {
+Result<bool> TwoBufferContainmentSemijoin::NextImpl(Tuple* out) {
   // Section 4.2.2, in sweep coordinates: containers arrive by ValidFrom
   // ascending, containees by ValidTo ascending. One buffered tuple per
   // stream is the entire workspace.
@@ -166,13 +166,13 @@ SweepContainmentSemijoin::Create(std::unique_ptr<TupleStream> container,
   return stream;
 }
 
-Status SweepContainmentSemijoin::Open() {
+Status SweepContainmentSemijoin::OpenImpl() {
   TEMPUS_RETURN_IF_ERROR(container_->Open());
   TEMPUS_RETURN_IF_ERROR(containee_->Open());
   ++metrics_.passes_left;
   ++metrics_.passes_right;
   state_.clear();
-  metrics_.workspace_tuples = 0;
+  metrics_.ResetWorkspace();
   container_has_peek_ = containee_has_peek_ = false;
   container_done_ = containee_done_ = false;
   if (container_validator_) container_validator_->Reset();
@@ -211,6 +211,7 @@ Result<bool> SweepContainmentSemijoin::FillContainee() {
 }
 
 bool SweepContainmentSemijoin::PopDecided(Tuple* out) {
+  if (!state_.empty()) ++metrics_.gc_checks;
   while (!state_.empty()) {
     PendingContainer& front = state_.front();
     if (front.matched) {
@@ -232,7 +233,7 @@ bool SweepContainmentSemijoin::PopDecided(Tuple* out) {
   return false;
 }
 
-Result<bool> SweepContainmentSemijoin::Next(Tuple* out) {
+Result<bool> SweepContainmentSemijoin::NextImpl(Tuple* out) {
   while (true) {
     if (!container_has_peek_ && !container_done_) {
       TEMPUS_ASSIGN_OR_RETURN(bool filled, FillContainer());
@@ -315,6 +316,7 @@ Result<bool> SweepContainmentSemijoin::Next(Tuple* out) {
     // emit-containee mode: first GC dead containers, then search for a
     // witness.
     if (use_frontier_state_) {
+      ++metrics_.gc_checks;
       while (!state_.empty() && state_.front().span.end <= b.start) {
         state_.pop_front();
         metrics_.SubWorkspace();
@@ -343,6 +345,7 @@ Result<bool> SweepContainmentSemijoin::Next(Tuple* out) {
       continue;
     }
 
+    ++metrics_.gc_checks;
     const size_t before = state_.size();
     state_.erase(std::remove_if(state_.begin(), state_.end(),
                                 [&b](const PendingContainer& p) {

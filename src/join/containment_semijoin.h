@@ -68,8 +68,8 @@ class TwoBufferContainmentSemijoin : public TupleStream {
   const Schema& schema() const override {
     return emit_container_ ? container_->schema() : containee_->schema();
   }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {container_.get(), containee_.get()};
   }
@@ -118,8 +118,8 @@ class SweepContainmentSemijoin : public TupleStream {
   const Schema& schema() const override {
     return emit_container_ ? container_->schema() : containee_->schema();
   }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {container_.get(), containee_.get()};
   }

@@ -57,9 +57,9 @@ bool HashEquiJoin::KeysEqual(const Tuple& l, const Tuple& r) const {
   return true;
 }
 
-Status HashEquiJoin::Open() {
+Status HashEquiJoin::OpenImpl() {
   table_.clear();
-  metrics_.workspace_tuples = 0;
+  metrics_.ResetWorkspace();
   have_left_ = false;
   current_bucket_ = nullptr;
   bucket_pos_ = 0;
@@ -80,7 +80,7 @@ Status HashEquiJoin::Open() {
   return Status::Ok();
 }
 
-Result<bool> HashEquiJoin::Next(Tuple* out) {
+Result<bool> HashEquiJoin::NextImpl(Tuple* out) {
   while (true) {
     if (!have_left_) {
       TEMPUS_ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));

@@ -28,8 +28,8 @@ class HashEquiJoin : public TupleStream {
       PairPredicate residual = nullptr, JoinNaming naming = {});
 
   const Schema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {left_.get(), right_.get()};
   }

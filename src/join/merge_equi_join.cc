@@ -76,13 +76,13 @@ TimePoint EndpointMergeJoin::RightKey(const Tuple& t) const {
                                                          : iv.end;
 }
 
-Status EndpointMergeJoin::Open() {
+Status EndpointMergeJoin::OpenImpl() {
   TEMPUS_RETURN_IF_ERROR(left_->Open());
   TEMPUS_RETURN_IF_ERROR(right_->Open());
   ++metrics_.passes_left;
   ++metrics_.passes_right;
   group_.clear();
-  metrics_.workspace_tuples = 0;
+  metrics_.ResetWorkspace();
   group_loaded_ = false;
   right_has_peek_ = false;
   right_done_ = false;
@@ -95,6 +95,7 @@ Status EndpointMergeJoin::Open() {
 Status EndpointMergeJoin::LoadGroup(TimePoint key) {
   if (group_loaded_ && group_key_ == key) return Status::Ok();
   // A smaller key would mean the left input regressed; guarded in Next().
+  ++metrics_.gc_checks;
   metrics_.SubWorkspace(group_.size());
   group_.clear();
   group_key_ = key;
@@ -131,7 +132,7 @@ Status EndpointMergeJoin::LoadGroup(TimePoint key) {
   }
 }
 
-Result<bool> EndpointMergeJoin::Next(Tuple* out) {
+Result<bool> EndpointMergeJoin::NextImpl(Tuple* out) {
   while (true) {
     if (!have_left_) {
       TEMPUS_ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));

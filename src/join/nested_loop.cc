@@ -34,7 +34,7 @@ Result<std::unique_ptr<NestedLoopJoin>> NestedLoopJoin::Create(
                          std::move(predicate), std::move(schema)));
 }
 
-Status NestedLoopJoin::Open() {
+Status NestedLoopJoin::OpenImpl() {
   TEMPUS_RETURN_IF_ERROR(left_->Open());
   ++metrics_.passes_left;
   have_left_ = false;
@@ -42,7 +42,7 @@ Status NestedLoopJoin::Open() {
   return Status::Ok();
 }
 
-Result<bool> NestedLoopJoin::Next(Tuple* out) {
+Result<bool> NestedLoopJoin::NextImpl(Tuple* out) {
   if (done_) return false;
   while (true) {
     if (!have_left_) {
@@ -86,13 +86,13 @@ NestedLoopSemijoin::NestedLoopSemijoin(std::unique_ptr<TupleStream> left,
       right_(std::move(right)),
       predicate_(std::move(predicate)) {}
 
-Status NestedLoopSemijoin::Open() {
+Status NestedLoopSemijoin::OpenImpl() {
   TEMPUS_RETURN_IF_ERROR(left_->Open());
   ++metrics_.passes_left;
   return Status::Ok();
 }
 
-Result<bool> NestedLoopSemijoin::Next(Tuple* out) {
+Result<bool> NestedLoopSemijoin::NextImpl(Tuple* out) {
   while (true) {
     TEMPUS_ASSIGN_OR_RETURN(bool has_left, left_->Next(out));
     if (!has_left) return false;

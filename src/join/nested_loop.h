@@ -32,8 +32,8 @@ class NestedLoopJoin : public TupleStream {
       PairPredicate predicate, JoinNaming naming = {});
 
   const Schema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {left_.get(), right_.get()};
   }
@@ -62,8 +62,8 @@ class NestedLoopSemijoin : public TupleStream {
                      PairPredicate predicate);
 
   const Schema& schema() const override { return left_->schema(); }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {left_.get(), right_.get()};
   }

@@ -24,14 +24,14 @@ Result<std::unique_ptr<NoGcStreamJoin>> NoGcStreamJoin::Create(
                          std::move(predicate), std::move(schema)));
 }
 
-Status NoGcStreamJoin::Open() {
+Status NoGcStreamJoin::OpenImpl() {
   TEMPUS_RETURN_IF_ERROR(left_->Open());
   TEMPUS_RETURN_IF_ERROR(right_->Open());
   ++metrics_.passes_left;
   ++metrics_.passes_right;
   left_state_.clear();
   right_state_.clear();
-  metrics_.workspace_tuples = 0;
+  metrics_.ResetWorkspace();
   left_done_ = right_done_ = false;
   read_left_next_ = true;
   probing_ = false;
@@ -66,7 +66,7 @@ Result<bool> NoGcStreamJoin::Advance() {
   return false;
 }
 
-Result<bool> NoGcStreamJoin::Next(Tuple* out) {
+Result<bool> NoGcStreamJoin::NextImpl(Tuple* out) {
   while (true) {
     if (probing_) {
       while (probe_pos_ < probe_targets_->size()) {

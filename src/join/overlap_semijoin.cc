@@ -41,7 +41,7 @@ Result<std::unique_ptr<OverlapSemijoin>> OverlapSemijoin::Create(
   return stream;
 }
 
-Status OverlapSemijoin::Open() {
+Status OverlapSemijoin::OpenImpl() {
   TEMPUS_RETURN_IF_ERROR(x_->Open());
   TEMPUS_RETURN_IF_ERROR(y_->Open());
   ++metrics_.passes_left;
@@ -53,7 +53,7 @@ Status OverlapSemijoin::Open() {
   return Status::Ok();
 }
 
-Result<bool> OverlapSemijoin::Next(Tuple* out) {
+Result<bool> OverlapSemijoin::NextImpl(Tuple* out) {
   while (true) {
     if (!x_valid_) {
       if (x_done_) return false;

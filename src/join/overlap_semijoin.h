@@ -27,8 +27,8 @@ class OverlapSemijoin : public TupleStream {
       OverlapSemijoinOptions options = {});
 
   const Schema& schema() const override { return x_->schema(); }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {x_.get(), y_.get()};
   }

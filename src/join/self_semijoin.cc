@@ -11,16 +11,16 @@ SingleStateSelfContained::SingleStateSelfContained(
       ref_(ref),
       validator_(std::move(validator)) {}
 
-Status SingleStateSelfContained::Open() {
+Status SingleStateSelfContained::OpenImpl() {
   TEMPUS_RETURN_IF_ERROR(x_->Open());
   ++metrics_.passes_left;
   state_valid_ = false;
-  metrics_.workspace_tuples = 0;
+  metrics_.ResetWorkspace();
   if (validator_) validator_->Reset();
   return Status::Ok();
 }
 
-Result<bool> SingleStateSelfContained::Next(Tuple* out) {
+Result<bool> SingleStateSelfContained::NextImpl(Tuple* out) {
   // Section 4.2.3: one state tuple x_s; each arrival either replaces it or
   // is emitted as contained within it.
   Tuple buf;
@@ -68,16 +68,16 @@ SingleStateSelfContain::SingleStateSelfContain(
       ref_(ref),
       validator_(std::move(validator)) {}
 
-Status SingleStateSelfContain::Open() {
+Status SingleStateSelfContain::OpenImpl() {
   TEMPUS_RETURN_IF_ERROR(x_->Open());
   ++metrics_.passes_left;
   state_valid_ = false;
-  metrics_.workspace_tuples = 0;
+  metrics_.ResetWorkspace();
   if (validator_) validator_->Reset();
   return Status::Ok();
 }
 
-Result<bool> SingleStateSelfContain::Next(Tuple* out) {
+Result<bool> SingleStateSelfContain::NextImpl(Tuple* out) {
   // Mirror image of the Contained(X,X) algorithm: with starts arriving in
   // DESCENDING order, containees precede their containers, and the
   // minimum-end tuple seen so far is a universal witness: if any earlier
@@ -120,11 +120,11 @@ SweepSelfContain::SweepSelfContain(std::unique_ptr<TupleStream> x,
       ref_(ref),
       validator_(std::move(validator)) {}
 
-Status SweepSelfContain::Open() {
+Status SweepSelfContain::OpenImpl() {
   TEMPUS_RETURN_IF_ERROR(x_->Open());
   ++metrics_.passes_left;
   pending_.clear();
-  metrics_.workspace_tuples = 0;
+  metrics_.ResetWorkspace();
   has_peek_ = false;
   done_ = false;
   if (validator_) validator_->Reset();
@@ -132,6 +132,7 @@ Status SweepSelfContain::Open() {
 }
 
 bool SweepSelfContain::PopDecided(Tuple* out) {
+  if (!pending_.empty()) ++metrics_.gc_checks;
   while (!pending_.empty()) {
     Pending& front = pending_.front();
     if (front.matched) {
@@ -151,7 +152,7 @@ bool SweepSelfContain::PopDecided(Tuple* out) {
   return false;
 }
 
-Result<bool> SweepSelfContain::Next(Tuple* out) {
+Result<bool> SweepSelfContain::NextImpl(Tuple* out) {
   while (true) {
     if (!has_peek_ && !done_) {
       TEMPUS_ASSIGN_OR_RETURN(bool has, x_->Next(&peek_));

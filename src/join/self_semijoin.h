@@ -53,8 +53,8 @@ class SingleStateSelfContained : public TupleStream {
                            std::unique_ptr<OrderValidator> validator);
 
   const Schema& schema() const override { return x_->schema(); }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {x_.get()};
   }
@@ -77,8 +77,8 @@ class SingleStateSelfContain : public TupleStream {
                          std::unique_ptr<OrderValidator> validator);
 
   const Schema& schema() const override { return x_->schema(); }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {x_.get()};
   }
@@ -101,8 +101,8 @@ class SweepSelfContain : public TupleStream {
                    std::unique_ptr<OrderValidator> validator);
 
   const Schema& schema() const override { return x_->schema(); }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {x_.get()};
   }

@@ -1,9 +1,11 @@
 #include "parallel/parallel_join.h"
 
 #include <algorithm>
+#include <chrono>
 #include <queue>
 #include <utility>
 
+#include "common/string_util.h"
 #include "parallel/worker_pool.h"
 
 namespace tempus {
@@ -68,8 +70,8 @@ Status ParallelJoinStream::Materialize(TupleStream* source, bool left_side,
   return Status::Ok();
 }
 
-Status ParallelJoinStream::Open() {
-  metrics_.SubWorkspace(metrics_.workspace_tuples);
+Status ParallelJoinStream::OpenImpl() {
+  metrics_.ResetWorkspace();
   output_.clear();
   slice_left_.clear();
   slice_right_.clear();
@@ -105,11 +107,16 @@ Status ParallelJoinStream::Open() {
 
   std::vector<std::vector<Tuple>> slice_outputs(k);
   std::vector<OperatorMetrics> slice_metrics(k);
+  // Per-slot elapsed wall time: each worker writes only its own slot, and
+  // the pool join orders those writes before the coordinator's reads, so
+  // traced parallel runs stay lock- and race-free.
+  std::vector<uint64_t> slice_elapsed_ns(k, 0);
   std::vector<std::function<Status()>> tasks;
   tasks.reserve(k);
   for (size_t s = 0; s < k; ++s) {
-    tasks.push_back([this, s, &plan, &slice_outputs, &slice_metrics]()
-                        -> Status {
+    tasks.push_back([this, s, &plan, &slice_outputs, &slice_metrics,
+                     &slice_elapsed_ns]() -> Status {
+      const auto slice_start = std::chrono::steady_clock::now();
       const TimeSlice& slice = plan.slices[s];
       std::unique_ptr<TupleStream> l =
           VectorStream::Borrowing(left_->schema(), &slice_left_[s]);
@@ -132,6 +139,10 @@ Status ParallelJoinStream::Open() {
         }
       }
       slice_metrics[s] = CollectPlanMetrics(*op);
+      slice_elapsed_ns[s] = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - slice_start)
+              .count());
       return Status::Ok();
     });
   }
@@ -148,6 +159,15 @@ Status ParallelJoinStream::Open() {
   metrics_.workers += k;
   for (const OperatorMetrics& m : slice_metrics) {
     metrics_.Absorb(m);
+  }
+  if (trace() != nullptr) {
+    // Worker spans are attributed from the coordinator thread after the
+    // pool joins; the slice operators themselves ran uninstrumented.
+    for (size_t s = 0; s < k; ++s) {
+      trace()->AddWorkerSpan(StrFormat("worker %zu", s), trace_span_id(),
+                             static_cast<int>(s), slice_elapsed_ns[s],
+                             slice_metrics[s]);
+    }
   }
 
   // Recombine.
@@ -191,7 +211,7 @@ Status ParallelJoinStream::Open() {
   return Status::Ok();
 }
 
-Result<bool> ParallelJoinStream::Next(Tuple* out) {
+Result<bool> ParallelJoinStream::NextImpl(Tuple* out) {
   if (!opened_) {
     return Status::FailedPrecondition(
         "ParallelJoinStream::Next before Open");

@@ -81,9 +81,9 @@ class ParallelJoinStream : public TupleStream {
   /// and merges. Per-worker OperatorMetrics are aggregated into this
   /// operator's metrics via Absorb, plus `workers` and
   /// `merge_comparisons`.
-  Status Open() override;
+  Status OpenImpl() override;
 
-  Result<bool> Next(Tuple* out) override;
+  Result<bool> NextImpl(Tuple* out) override;
 
   std::vector<const TupleStream*> children() const override;
 

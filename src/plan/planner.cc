@@ -14,6 +14,7 @@
 #include "join/nested_loop.h"
 #include "join/overlap_semijoin.h"
 #include "join/self_semijoin.h"
+#include "obs/plan_report.h"
 #include "parallel/parallel_ops.h"
 #include "parallel/worker_pool.h"
 #include "plan/cost_model.h"
@@ -73,6 +74,17 @@ std::string Indent(const std::string& block) {
   }
   if (!out.empty() && out.back() == '\n') out.pop_back();
   return out;
+}
+
+/// Stamps the plan root's runtime display label with the first line of its
+/// EXPLAIN text, so EXPLAIN ANALYZE names nodes exactly as EXPLAIN does.
+/// Idempotent; called wherever a sub-plan gains a new root operator.
+void StampLabel(SubPlan* plan) {
+  if (plan->stream == nullptr) return;
+  const size_t nl = plan->explain.find('\n');
+  plan->stream->set_label(nl == std::string::npos
+                              ? plan->explain
+                              : plan->explain.substr(0, nl));
 }
 
 class PlanBuilder {
@@ -391,6 +403,7 @@ Result<SubPlan> PlanBuilder::BuildBase(size_t var) const {
   std::unique_ptr<TupleStream> stream = VectorStream::Scan(*rel);
   plan.explain = "Scan " + rel->name() + StrFormat(" [%zu tuples]",
                                                    rel->size());
+  stream->set_label(plan.explain);
   // Known base order (if it matches one of the four canonical temporal
   // orders).
   if (rel->known_order().has_value() && rel->schema().has_lifespan()) {
@@ -419,11 +432,13 @@ Result<SubPlan> PlanBuilder::BuildBase(size_t var) const {
   }
   plan.stream = std::move(stream);
   plan.var_offsets[var] = 0;
+  StampLabel(&plan);
   return plan;
 }
 
 Result<SubPlan> PlanBuilder::EnsureOrder(SubPlan plan,
                                          TemporalSortOrder order) const {
+  StampLabel(&plan);
   if (plan.order.has_value() && *plan.order == order) return plan;
   TEMPUS_ASSIGN_OR_RETURN(SortSpec spec,
                           order.ToSortSpec(plan.stream->schema()));
@@ -431,6 +446,7 @@ Result<SubPlan> PlanBuilder::EnsureOrder(SubPlan plan,
   plan.explain =
       "Sort [" + order.ToString() + "]\n" + Indent(plan.explain);
   plan.order = order;
+  StampLabel(&plan);
   return plan;
 }
 
@@ -469,6 +485,7 @@ struct DeferredEval {
 }  // namespace detail
 
 Result<SubPlan> PlanBuilder::ApplyPending(SubPlan plan) {
+  StampLabel(&plan);
   auto column_of = [this, &plan](size_t var, size_t attr) {
     return plan.var_offsets.at(var) + attr;
   };
@@ -622,6 +639,7 @@ Result<SubPlan> PlanBuilder::ApplyPending(SubPlan plan) {
                                                predicate, atom_count);
   plan.explain =
       "Filter [" + Join(displays, " and ") + "]\n" + Indent(plan.explain);
+  StampLabel(&plan);
   return plan;
 }
 
@@ -1259,6 +1277,7 @@ Result<SubPlan> PlanBuilder::Finalize(SubPlan plan) {
             attrs[proj_schema.valid_to_index()].name);
       }
       auto identity = [](const Tuple& t) -> Result<Tuple> { return t; };
+      project->set_label("Project");
       plan.stream = std::make_unique<MapStream>(std::move(project), target,
                                                 identity);
     } else {
@@ -1266,11 +1285,13 @@ Result<SubPlan> PlanBuilder::Finalize(SubPlan plan) {
     }
     plan.explain = "Project [" + Join(names, ", ") + "]\n" +
                    Indent(plan.explain);
+    StampLabel(&plan);
     plan.var_offsets.clear();
   }
   if (query_.distinct) {
     plan.stream = std::make_unique<DedupStream>(std::move(plan.stream));
     plan.explain = "Dedup\n" + Indent(plan.explain);
+    StampLabel(&plan);
   }
   if (!query_.order_by.empty()) {
     std::vector<SortKey> keys;
@@ -1309,6 +1330,7 @@ Result<SubPlan> PlanBuilder::Finalize(SubPlan plan) {
                                                SortSpec(std::move(keys)));
     plan.explain =
         "OrderBy [" + Join(displays, ", ") + "]\n" + Indent(plan.explain);
+    StampLabel(&plan);
   }
   return plan;
 }
@@ -1344,6 +1366,7 @@ Result<PlannedQuery> PlanBuilder::Build() {
     out.explain =
         "Empty [semantic contradiction: query predicates are "
         "unsatisfiable]";
+    out.root->set_label(out.explain);
     out.analysis = std::move(analysis_);
     return out;
   }
@@ -1367,7 +1390,9 @@ Result<PlannedQuery> PlanBuilder::Build() {
   if (!planned) {
     TEMPUS_ASSIGN_OR_RETURN(plan, PlanCascade());
   }
+  StampLabel(&plan);
   TEMPUS_ASSIGN_OR_RETURN(plan, Finalize(std::move(plan)));
+  StampLabel(&plan);
 
   out.root = std::move(plan.stream);
   std::string header;
@@ -1395,10 +1420,30 @@ Result<TemporalRelation> PlannedQuery::Execute() {
   return Materialize(root.get(), into);
 }
 
+std::string PlannedQuery::AnalyzeReport() const {
+  if (root == nullptr) return "";
+  if (trace == nullptr) {
+    return "EXPLAIN ANALYZE requires PlannerOptions::analyze\n";
+  }
+  return RenderAnalyzedPlan(*root, *trace);
+}
+
+std::string PlannedQuery::TraceJson() const {
+  if (root == nullptr) return "null";
+  return PlanToJson(*root, trace.get());
+}
+
 Result<PlannedQuery> Planner::Plan(const ConjunctiveQuery& query,
                                    const PlannerOptions& options) const {
   PlanBuilder builder(catalog_, integrity_, query, options);
-  return builder.Build();
+  TEMPUS_ASSIGN_OR_RETURN(PlannedQuery planned, builder.Build());
+  const bool analyze =
+      options.analyze || query.explain_mode == ExplainMode::kAnalyze;
+  if (analyze && planned.root != nullptr) {
+    planned.trace = std::make_unique<TraceCollector>();
+    planned.root->EnableTracing(planned.trace.get());
+  }
+  return planned;
 }
 
 }  // namespace tempus

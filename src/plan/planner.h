@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/trace.h"
 #include "relation/catalog.h"
 #include "plan/query.h"
 #include "semantic/analyzer.h"
@@ -42,6 +43,11 @@ struct PlannerOptions {
   /// across a K-worker pool (src/parallel/, docs/PARALLEL.md). Results are
   /// identical to the sequential plan.
   size_t threads = 1;
+  /// EXPLAIN ANALYZE: attach a TraceCollector to the plan so executing it
+  /// records per-operator wall time; PlannedQuery::AnalyzeReport() then
+  /// renders the annotated tree (docs/OBSERVABILITY.md). Off by default —
+  /// untraced plans pay only a null-pointer test per Open()/Next().
+  bool analyze = false;
 };
 
 /// An executable plan: a stream-processor network plus diagnostics.
@@ -50,9 +56,19 @@ struct PlannedQuery {
   std::string explain;
   SemanticAnalysis analysis;
   std::string into;
+  /// Present iff planned with options.analyze; filled in by Execute().
+  std::unique_ptr<TraceCollector> trace;
 
   /// Runs the plan to completion, materializing the result relation.
   Result<TemporalRelation> Execute();
+
+  /// The EXPLAIN ANALYZE view: per-node labels, runtime counters, GC
+  /// accounting, worker attribution, and wall time. Call after Execute();
+  /// requires options.analyze (otherwise explains how to enable it).
+  std::string AnalyzeReport() const;
+
+  /// The plan tree (with spans when analyze was on) as single-line JSON.
+  std::string TraceJson() const;
 };
 
 /// Rule-based planner for conjunctive temporal queries. Capabilities:

@@ -87,10 +87,20 @@ struct RangeVarDecl {
   std::string relation;
 };
 
+/// How the query's plan should be reported instead of / alongside its
+/// result ("explain ..." / "explain analyze ..." statement prefixes).
+enum class ExplainMode {
+  kNone,     ///< Execute normally.
+  kPlan,     ///< Return the plan tree without executing.
+  kAnalyze,  ///< Execute, then return the plan annotated with runtime
+             ///< counters and timings.
+};
+
 /// A conjunctive temporal query — the common shape of the paper's
 /// examples: range declarations, a conjunction of comparisons and
 /// temporal atoms, and a target list.
 struct ConjunctiveQuery {
+  ExplainMode explain_mode = ExplainMode::kNone;
   std::vector<RangeVarDecl> range_vars;
   /// Empty = every attribute of every range variable.
   std::vector<OutputItem> outputs;

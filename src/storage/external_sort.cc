@@ -76,12 +76,12 @@ PagedRelation ExternalSortStream::MergeRuns(
   return out;
 }
 
-Status ExternalSortStream::Open() {
+Status ExternalSortStream::OpenImpl() {
   ++metrics_.passes_left;
   runs_.clear();
   cursors_.clear();
   passes_ = 0;
-  metrics_.workspace_tuples = 0;
+  metrics_.ResetWorkspace();
 
   // Run generation: fill the workspace, sort, spill.
   TEMPUS_RETURN_IF_ERROR(child_->Open());
@@ -108,7 +108,7 @@ Status ExternalSortStream::Open() {
       }
       run.FlushTail(io_);
       buffer.clear();
-      metrics_.workspace_tuples = 0;
+      metrics_.ResetWorkspace();
       runs_.push_back(std::move(run));
     }
   }
@@ -151,7 +151,7 @@ Status ExternalSortStream::Open() {
   return Status::Ok();
 }
 
-Result<bool> ExternalSortStream::Next(Tuple* out) {
+Result<bool> ExternalSortStream::NextImpl(Tuple* out) {
   if (!emitting_) {
     return Status::FailedPrecondition("ExternalSortStream::Next before Open");
   }

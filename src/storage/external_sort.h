@@ -30,8 +30,8 @@ class ExternalSortStream : public TupleStream {
       size_t tuples_per_page, size_t workspace_pages, PageIoCounter* io);
 
   const Schema& schema() const override { return child_->schema(); }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {child_.get()};
   }

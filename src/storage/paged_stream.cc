@@ -6,7 +6,7 @@ PagedScanStream::PagedScanStream(const PagedRelation* relation,
                                  PageIoCounter* io)
     : relation_(relation), io_(io) {}
 
-Status PagedScanStream::Open() {
+Status PagedScanStream::OpenImpl() {
   page_index_ = 0;
   slot_index_ = 0;
   page_charged_ = false;
@@ -15,7 +15,7 @@ Status PagedScanStream::Open() {
   return Status::Ok();
 }
 
-Result<bool> PagedScanStream::Next(Tuple* out) {
+Result<bool> PagedScanStream::NextImpl(Tuple* out) {
   if (!opened_) {
     return Status::FailedPrecondition("PagedScanStream::Next before Open");
   }

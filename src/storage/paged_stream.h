@@ -18,8 +18,8 @@ class PagedScanStream : public TupleStream {
   PagedScanStream(const PagedRelation* relation, PageIoCounter* io);
 
   const Schema& schema() const override { return relation_->schema(); }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
 
  private:
   const PagedRelation* relation_;

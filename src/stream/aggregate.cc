@@ -70,11 +70,11 @@ Result<std::unique_ptr<GroupAggregateStream>> GroupAggregateStream::Create(
       std::move(schema)));
 }
 
-Status GroupAggregateStream::Open() {
+Status GroupAggregateStream::OpenImpl() {
   ++metrics_.passes_left;
   has_group_ = false;
   done_ = false;
-  metrics_.workspace_tuples = 0;
+  metrics_.ResetWorkspace();
   return child_->Open();
 }
 
@@ -135,7 +135,7 @@ Tuple GroupAggregateStream::EmitGroup() {
   return Tuple(std::move(values));
 }
 
-Result<bool> GroupAggregateStream::Next(Tuple* out) {
+Result<bool> GroupAggregateStream::NextImpl(Tuple* out) {
   while (true) {
     if (done_) {
       if (has_group_) {

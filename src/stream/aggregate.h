@@ -40,8 +40,8 @@ class GroupAggregateStream : public TupleStream {
       std::vector<AggregateSpec> aggregates);
 
   const Schema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {child_.get()};
   }

@@ -11,12 +11,12 @@ FilterStream::FilterStream(std::unique_ptr<TupleStream> child,
       predicate_(std::move(predicate)),
       comparison_weight_(comparison_weight) {}
 
-Status FilterStream::Open() {
+Status FilterStream::OpenImpl() {
   ++metrics_.passes_left;
   return child_->Open();
 }
 
-Result<bool> FilterStream::Next(Tuple* out) {
+Result<bool> FilterStream::NextImpl(Tuple* out) {
   while (true) {
     TEMPUS_ASSIGN_OR_RETURN(bool has, child_->Next(out));
     if (!has) return false;
@@ -44,12 +44,12 @@ ProjectStream::ProjectStream(std::unique_ptr<TupleStream> child,
       indices_(std::move(indices)),
       schema_(std::move(schema)) {}
 
-Status ProjectStream::Open() {
+Status ProjectStream::OpenImpl() {
   ++metrics_.passes_left;
   return child_->Open();
 }
 
-Result<bool> ProjectStream::Next(Tuple* out) {
+Result<bool> ProjectStream::NextImpl(Tuple* out) {
   Tuple row;
   TEMPUS_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
   if (!has) return false;
@@ -67,10 +67,10 @@ Result<bool> ProjectStream::Next(Tuple* out) {
 SortStream::SortStream(std::unique_ptr<TupleStream> child, SortSpec spec)
     : child_(std::move(child)), spec_(std::move(spec)) {}
 
-Status SortStream::Open() {
+Status SortStream::OpenImpl() {
   ++metrics_.passes_left;
   sorted_.clear();
-  metrics_.workspace_tuples = 0;
+  metrics_.ResetWorkspace();
   TEMPUS_RETURN_IF_ERROR(child_->Open());
   Tuple tuple;
   while (true) {
@@ -86,7 +86,7 @@ Status SortStream::Open() {
   return Status::Ok();
 }
 
-Result<bool> SortStream::Next(Tuple* out) {
+Result<bool> SortStream::NextImpl(Tuple* out) {
   if (next_index_ >= sorted_.size()) return false;
   *out = sorted_[next_index_++];
   ++metrics_.tuples_emitted;
@@ -99,12 +99,12 @@ MapStream::MapStream(std::unique_ptr<TupleStream> child, Schema output_schema,
       schema_(std::move(output_schema)),
       transform_(std::move(transform)) {}
 
-Status MapStream::Open() {
+Status MapStream::OpenImpl() {
   ++metrics_.passes_left;
   return child_->Open();
 }
 
-Result<bool> MapStream::Next(Tuple* out) {
+Result<bool> MapStream::NextImpl(Tuple* out) {
   Tuple row;
   TEMPUS_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
   if (!has) return false;
@@ -117,15 +117,15 @@ Result<bool> MapStream::Next(Tuple* out) {
 DedupStream::DedupStream(std::unique_ptr<TupleStream> child)
     : child_(std::move(child)) {}
 
-Status DedupStream::Open() {
+Status DedupStream::OpenImpl() {
   ++metrics_.passes_left;
   buckets_.assign(1024, {});
   emitted_ = 0;
-  metrics_.workspace_tuples = 0;
+  metrics_.ResetWorkspace();
   return child_->Open();
 }
 
-Result<bool> DedupStream::Next(Tuple* out) {
+Result<bool> DedupStream::NextImpl(Tuple* out) {
   while (true) {
     TEMPUS_ASSIGN_OR_RETURN(bool has, child_->Next(out));
     if (!has) return false;

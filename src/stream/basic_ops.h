@@ -25,8 +25,8 @@ class FilterStream : public TupleStream {
                uint64_t comparison_weight = 1);
 
   const Schema& schema() const override { return child_->schema(); }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {child_.get()};
   }
@@ -45,8 +45,8 @@ class ProjectStream : public TupleStream {
       std::unique_ptr<TupleStream> child, std::vector<size_t> indices);
 
   const Schema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {child_.get()};
   }
@@ -69,8 +69,8 @@ class SortStream : public TupleStream {
   SortStream(std::unique_ptr<TupleStream> child, SortSpec spec);
 
   const Schema& schema() const override { return child_->schema(); }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {child_.get()};
   }
@@ -96,8 +96,8 @@ class MapStream : public TupleStream {
             Transform transform);
 
   const Schema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {child_.get()};
   }
@@ -115,8 +115,8 @@ class DedupStream : public TupleStream {
   explicit DedupStream(std::unique_ptr<TupleStream> child);
 
   const Schema& schema() const override { return child_->schema(); }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {child_.get()};
   }

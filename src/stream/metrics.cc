@@ -15,6 +15,10 @@ void OperatorMetrics::Absorb(const OperatorMetrics& child) {
   passes_right += child.passes_right;
   workers += child.workers;
   merge_comparisons += child.merge_comparisons;
+  workspace_inserted += child.workspace_inserted;
+  gc_discarded += child.gc_discarded;
+  gc_checks += child.gc_checks;
+  workspace_tuples += child.workspace_tuples;
   peak_workspace_tuples =
       std::max(peak_workspace_tuples, child.peak_workspace_tuples);
 }
@@ -29,6 +33,12 @@ std::string OperatorMetrics::ToString() const {
       static_cast<unsigned long long>(comparisons),
       static_cast<unsigned long long>(passes_left),
       static_cast<unsigned long long>(passes_right), peak_workspace_tuples);
+  if (workspace_inserted > 0 || gc_checks > 0) {
+    out += StrFormat(" ws_in=%llu gc=(%llu/%llu)",
+                     static_cast<unsigned long long>(workspace_inserted),
+                     static_cast<unsigned long long>(gc_discarded),
+                     static_cast<unsigned long long>(gc_checks));
+  }
   if (workers > 0) {
     out += StrFormat(" workers=%llu merge_cmps=%llu",
                      static_cast<unsigned long long>(workers),

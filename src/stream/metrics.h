@@ -16,6 +16,15 @@ namespace tempus {
 /// workspace; workspace counts state tuples only, matching the paper's
 /// accounting ("the local workspace is composed of only a state tuple and
 /// an input buffer").
+///
+/// Garbage-collection accounting: AddWorkspace() feeds the cumulative
+/// `workspace_inserted` and SubWorkspace() feeds `gc_discarded` (state
+/// tuples retired after their last possible use, whether swept as garbage
+/// or consumed by emission), so over any fresh drain
+///   workspace_inserted == gc_discarded + workspace_tuples
+/// holds identically for every operator. ResetWorkspace() (used by Open()
+/// rewinds) retires any leftover live state the same way, so the identity
+/// is cumulative — it survives re-drains of the same operator.
 struct OperatorMetrics {
   uint64_t tuples_read_left = 0;
   uint64_t tuples_read_right = 0;
@@ -29,21 +38,42 @@ struct OperatorMetrics {
   uint64_t workers = 0;
   /// Tuple comparisons spent recombining worker outputs in order.
   uint64_t merge_comparisons = 0;
+  /// State tuples ever inserted into the workspace (cumulative).
+  uint64_t workspace_inserted = 0;
+  /// State tuples retired from the workspace (GC sweeps + consumed state).
+  uint64_t gc_discarded = 0;
+  /// Garbage-collection sweeps attempted (paper Section 4.2 GC criteria).
+  uint64_t gc_checks = 0;
   size_t workspace_tuples = 0;
   size_t peak_workspace_tuples = 0;
 
   void AddWorkspace(size_t n = 1) {
     workspace_tuples += n;
+    workspace_inserted += n;
     if (workspace_tuples > peak_workspace_tuples) {
       peak_workspace_tuples = workspace_tuples;
     }
   }
   void SubWorkspace(size_t n = 1) {
-    workspace_tuples = n > workspace_tuples ? 0 : workspace_tuples - n;
+    const size_t dropped = n > workspace_tuples ? workspace_tuples : n;
+    gc_discarded += dropped;
+    workspace_tuples -= dropped;
+  }
+  /// Clears the live workspace count for an Open() rewind that rebuilds
+  /// state from scratch. Leftover live state is retired via gc_discarded
+  /// so the insertion ledger stays balanced across re-drains.
+  void ResetWorkspace() {
+    gc_discarded += workspace_tuples;
+    workspace_tuples = 0;
   }
 
   /// Merges a child operator's counters into this one (used when a
-  /// composite plan reports a single rollup).
+  /// composite plan reports a single rollup). The child's live
+  /// `workspace_tuples` carry over (preserving the GC accounting
+  /// identity), but deliberately without routing through AddWorkspace:
+  /// absorbing a child with in-flight state must not inflate the parent's
+  /// cumulative or peak counters — the merged peak is the max of the two
+  /// peaks, never the combined live count.
   void Absorb(const OperatorMetrics& child);
 
   std::string ToString() const;

@@ -1,6 +1,51 @@
 #include "stream/stream.h"
 
+#include <chrono>
+
 namespace tempus {
+
+namespace {
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+Status TupleStream::TracedOpen() {
+  const auto start = std::chrono::steady_clock::now();
+  Status status = OpenImpl();
+  trace_->RecordOpen(span_id_, ElapsedNs(start));
+  return status;
+}
+
+Result<bool> TupleStream::TracedNext(Tuple* out) {
+  const auto start = std::chrono::steady_clock::now();
+  Result<bool> result = NextImpl(out);
+  trace_->RecordNext(span_id_, ElapsedNs(start));
+  return result;
+}
+
+void TupleStream::EnableTracing(TraceCollector* collector) {
+  EnableTracingInternal(collector, /*parent=*/-1);
+}
+
+void TupleStream::EnableTracingInternal(TraceCollector* collector,
+                                        int parent) {
+  trace_ = collector;
+  span_id_ = collector == nullptr
+                 ? -1
+                 : collector->AddSpan(label_.empty() ? "op" : label_, parent);
+  for (const TupleStream* child : children()) {
+    // children() exposes const views for reporting; the tree is owned by
+    // this operator, so attaching the collector is a legitimate mutation.
+    const_cast<TupleStream*>(child)->EnableTracingInternal(collector,
+                                                           span_id_);
+  }
+}
 
 VectorStream::VectorStream(Schema schema, const std::vector<Tuple>* borrowed,
                            std::vector<Tuple> owned)
@@ -25,14 +70,14 @@ std::unique_ptr<VectorStream> VectorStream::Scan(
   return Borrowing(relation.schema(), &relation.tuples());
 }
 
-Status VectorStream::Open() {
+Status VectorStream::OpenImpl() {
   next_index_ = 0;
   opened_ = true;
   ++metrics_.passes_left;
   return Status::Ok();
 }
 
-Result<bool> VectorStream::Next(Tuple* out) {
+Result<bool> VectorStream::NextImpl(Tuple* out) {
   if (!opened_) {
     return Status::FailedPrecondition("VectorStream::Next before Open");
   }
@@ -70,6 +115,10 @@ void CollectInto(const TupleStream& node, OperatorMetrics* total) {
   total->passes_right += m.passes_right;
   total->workers += m.workers;
   total->merge_comparisons += m.merge_comparisons;
+  total->workspace_inserted += m.workspace_inserted;
+  total->gc_discarded += m.gc_discarded;
+  total->gc_checks += m.gc_checks;
+  total->workspace_tuples += m.workspace_tuples;
   total->peak_workspace_tuples += m.peak_workspace_tuples;
   for (const TupleStream* child : node.children()) {
     CollectInto(*child, total);

@@ -2,10 +2,12 @@
 #define TEMPUS_STREAM_STREAM_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "relation/schema.h"
 #include "relation/temporal_relation.h"
 #include "relation/tuple.h"
@@ -21,6 +23,11 @@ namespace tempus {
 /// Protocol: Open() must be called before the first Next(); calling Open()
 /// again rewinds the stream (another pass — implementations count passes in
 /// their metrics). Next() produces tuples until it returns false.
+///
+/// Open()/Next() are non-virtual wrappers over the OpenImpl()/NextImpl()
+/// overrides so that EXPLAIN ANALYZE can time every call: with no
+/// TraceCollector attached the wrapper is a single pointer test, keeping
+/// the untraced hot path within noise of a direct virtual call.
 class TupleStream {
  public:
   virtual ~TupleStream() = default;
@@ -32,10 +39,16 @@ class TupleStream {
   virtual const Schema& schema() const = 0;
 
   /// Starts (or restarts) the stream.
-  virtual Status Open() = 0;
+  Status Open() {
+    if (trace_ == nullptr) return OpenImpl();
+    return TracedOpen();
+  }
 
   /// Produces the next tuple into *out. Returns false at end-of-stream.
-  virtual Result<bool> Next(Tuple* out) = 0;
+  Result<bool> Next(Tuple* out) {
+    if (trace_ == nullptr) return NextImpl(out);
+    return TracedNext(out);
+  }
 
   /// Operator cost counters; zeroed by Open() only where documented.
   virtual const OperatorMetrics& metrics() const { return metrics_; }
@@ -44,9 +57,41 @@ class TupleStream {
   /// rollups and tree printing. Leaves return {}.
   virtual std::vector<const TupleStream*> children() const { return {}; }
 
+  /// Display label for plan rendering; the planner sets this to the
+  /// operator's EXPLAIN line. Empty for hand-built operators that were
+  /// never labeled.
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  /// Attaches `collector` to this operator and (recursively) its children,
+  /// registering one span per node. Passing nullptr detaches. The caller
+  /// must own the tree; span updates are not synchronized, so only the
+  /// thread driving the plan may pull a traced stream.
+  void EnableTracing(TraceCollector* collector);
+
+  /// Span registered by EnableTracing, or -1 when untraced.
+  int trace_span_id() const { return span_id_; }
+
  protected:
   TupleStream() = default;
+
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(Tuple* out) = 0;
+
+  /// Collector attached by EnableTracing, if any (for operators that emit
+  /// extra spans, e.g. per-worker attribution in ParallelJoinStream).
+  TraceCollector* trace() const { return trace_; }
+
   OperatorMetrics metrics_;
+
+ private:
+  Status TracedOpen();
+  Result<bool> TracedNext(Tuple* out);
+  void EnableTracingInternal(TraceCollector* collector, int parent);
+
+  std::string label_;
+  TraceCollector* trace_ = nullptr;
+  int span_id_ = -1;
 };
 
 /// Streams tuples from an in-memory vector; either borrowing (caller keeps
@@ -65,8 +110,10 @@ class VectorStream : public TupleStream {
   static std::unique_ptr<VectorStream> Scan(const TemporalRelation& relation);
 
   const Schema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
 
  private:
   VectorStream(Schema schema, const std::vector<Tuple>* borrowed,

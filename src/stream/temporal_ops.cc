@@ -34,15 +34,15 @@ bool CoalesceStream::SameGroup(const Tuple& a, const Tuple& b) const {
   return true;
 }
 
-Status CoalesceStream::Open() {
+Status CoalesceStream::OpenImpl() {
   ++metrics_.passes_left;
   has_pending_ = false;
   done_ = false;
-  metrics_.workspace_tuples = 0;
+  metrics_.ResetWorkspace();
   return child_->Open();
 }
 
-Result<bool> CoalesceStream::Next(Tuple* out) {
+Result<bool> CoalesceStream::NextImpl(Tuple* out) {
   while (true) {
     if (done_) {
       if (has_pending_) {

@@ -28,8 +28,8 @@ class CoalesceStream : public TupleStream {
       std::unique_ptr<TupleStream> child);
 
   const Schema& schema() const override { return child_->schema(); }
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
   std::vector<const TupleStream*> children() const override {
     return {child_.get()};
   }

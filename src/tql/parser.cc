@@ -187,6 +187,10 @@ Status Parser::ParseWhere(ConjunctiveQuery* query) {
 
 Result<ConjunctiveQuery> Parser::Parse() {
   ConjunctiveQuery query;
+  if (ConsumeKeyword("explain")) {
+    query.explain_mode = ConsumeKeyword("analyze") ? ExplainMode::kAnalyze
+                                                   : ExplainMode::kPlan;
+  }
   while (PeekKeyword("range")) {
     Take();
     TEMPUS_RETURN_IF_ERROR(ExpectKeyword("of"));

@@ -1,0 +1,185 @@
+// Golden-file tests for EXPLAIN and EXPLAIN ANALYZE (docs/OBSERVABILITY.md).
+// Each canonical query's plan tree and normalized analyze report are pinned
+// under tests/exec/golden/. Counters (rows, comparisons, workspace peaks,
+// GC discards) are deterministic for the seeded workload and stay in the
+// goldens; wall-clock durations are rewritten to "_" by NormalizeTimings.
+//
+// Regenerate after an intentional plan or report change with:
+//   TEMPUS_UPDATE_GOLDENS=1 ./build/tests/explain_golden_test
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "datagen/faculty_gen.h"
+#include "exec/engine.h"
+#include "gtest/gtest.h"
+#include "obs/plan_report.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+constexpr const char* kSuperstarQuery = R"(
+  range of f1 is Faculty
+  range of f2 is Faculty
+  range of f3 is Faculty
+  retrieve unique into Stars (f1.Name, f1.ValidFrom, f2.ValidTo)
+  where f1.Name = f2.Name
+    and f1.Rank = "Assistant" and f2.Rank = "Full"
+    and f3.Rank = "Associate"
+    and (f1 overlap f3) and (f2 overlap f3)
+)";
+
+constexpr const char* kSelfSemijoinQuery = R"(
+  range of i is Faculty
+  range of j is Faculty
+  retrieve unique into Stars (i.Name, i.ValidFrom, i.ValidTo)
+  where i.Rank = "Associate" and j.Rank = "Associate" and i during j
+)";
+
+constexpr const char* kOverlapJoinQuery = R"(
+  range of f1 is Faculty
+  range of f2 is Faculty
+  retrieve (f1.Name, f2.Name)
+  where f1.Rank = "Assistant" and f2.Rank = "Full" and f1 overlap f2
+)";
+
+constexpr const char* kBeforeJoinQuery = R"(
+  range of f1 is Faculty
+  range of f2 is Faculty
+  retrieve (f1.Name, f2.Name) where f1 before f2
+)";
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(TEMPUS_GOLDEN_DIR) + "/" + name;
+}
+
+void CompareWithGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("TEMPUS_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.is_open()) << "cannot write golden " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open())
+      << "missing golden " << path
+      << " — regenerate with TEMPUS_UPDATE_GOLDENS=1";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str()) << "golden mismatch for " << name;
+}
+
+class ExplainGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Same deterministic workload as the Section 5 integration tests:
+    // continuous complete careers make the Superstar transformation legal.
+    FacultyWorkloadConfig config;
+    config.faculty_count = 400;
+    config.continuous = true;
+    config.complete_careers = true;
+    config.seed = 99;
+    Result<TemporalRelation> faculty = GenerateFaculty("Faculty", config);
+    ASSERT_TRUE(faculty.ok());
+    TEMPUS_ASSERT_OK(engine_.mutable_integrity()->AddChronologicalDomain(
+        "Faculty", FacultyRankDomain(true)));
+    TEMPUS_ASSERT_OK(engine_.RegisterValidated(std::move(faculty).value()));
+  }
+
+  std::string MustExplain(const std::string& tql) {
+    Result<std::string> explain = engine_.Explain(tql);
+    EXPECT_TRUE(explain.ok()) << explain.status().ToString();
+    return explain.ok() ? *explain : std::string();
+  }
+
+  std::string MustAnalyze(const std::string& tql) {
+    Result<std::string> report = engine_.ExplainAnalyze(tql);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report.ok() ? NormalizeTimings(*report) : std::string();
+  }
+
+  Engine engine_;
+};
+
+TEST_F(ExplainGoldenTest, SuperstarPlan) {
+  CompareWithGolden("superstar.plan.txt", MustExplain(kSuperstarQuery));
+}
+
+TEST_F(ExplainGoldenTest, SuperstarAnalyze) {
+  CompareWithGolden("superstar.analyze.txt", MustAnalyze(kSuperstarQuery));
+}
+
+TEST_F(ExplainGoldenTest, SelfSemijoinPlan) {
+  CompareWithGolden("self_semijoin.plan.txt",
+                    MustExplain(kSelfSemijoinQuery));
+}
+
+TEST_F(ExplainGoldenTest, SelfSemijoinAnalyze) {
+  CompareWithGolden("self_semijoin.analyze.txt",
+                    MustAnalyze(kSelfSemijoinQuery));
+}
+
+TEST_F(ExplainGoldenTest, OverlapJoinPlan) {
+  CompareWithGolden("overlap_join.plan.txt", MustExplain(kOverlapJoinQuery));
+}
+
+TEST_F(ExplainGoldenTest, OverlapJoinAnalyze) {
+  CompareWithGolden("overlap_join.analyze.txt",
+                    MustAnalyze(kOverlapJoinQuery));
+}
+
+TEST_F(ExplainGoldenTest, BeforeJoinPlan) {
+  CompareWithGolden("before_join.plan.txt", MustExplain(kBeforeJoinQuery));
+}
+
+TEST_F(ExplainGoldenTest, BeforeJoinAnalyze) {
+  CompareWithGolden("before_join.analyze.txt",
+                    MustAnalyze(kBeforeJoinQuery));
+}
+
+TEST_F(ExplainGoldenTest, ExplainStatementPrefixMatchesGolden) {
+  // The TQL-level "explain ..." prefix returns the same plan text as the
+  // Explain() API, one line per QUERY PLAN row.
+  Result<TemporalRelation> rows =
+      engine_.Run(std::string("explain ") + kSuperstarQuery);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->schema().attribute_count(), 1u);
+  std::string joined;
+  for (size_t i = 0; i < rows->size(); ++i) {
+    joined += rows->tuple(i)[0].string_value();
+    joined.push_back('\n');
+  }
+  std::string expected = MustExplain(kSuperstarQuery);
+  if (!expected.empty() && expected.back() != '\n') expected.push_back('\n');
+  EXPECT_EQ(joined, expected);
+}
+
+TEST_F(ExplainGoldenTest, AnalyzeIsDeterministicAcrossRuns) {
+  // Acceptance gate: ten EXPLAIN ANALYZE runs of the Superstar query agree
+  // byte for byte once timings are normalized — every counter in the
+  // report (rows, comparisons, workspace peaks, GC discards) is stable.
+  const std::string first = MustAnalyze(kSuperstarQuery);
+  ASSERT_FALSE(first.empty());
+  for (int run = 1; run < 10; ++run) {
+    SCOPED_TRACE("run " + std::to_string(run));
+    EXPECT_EQ(MustAnalyze(kSuperstarQuery), first);
+  }
+}
+
+TEST_F(ExplainGoldenTest, AnalyzeReportsWorkspaceAndGcPerNode) {
+  // Acceptance gate: the Superstar self-semijoin's analyze report carries
+  // per-node peak workspace, GC discards, and elapsed time.
+  const std::string report = MustAnalyze(kSelfSemijoinQuery);
+  EXPECT_NE(report.find("Contained-semijoin(X,X)"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("peak_ws="), std::string::npos);
+  EXPECT_NE(report.find("gc="), std::string::npos);
+  EXPECT_NE(report.find("time=_"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tempus
