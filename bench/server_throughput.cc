@@ -1,0 +1,171 @@
+// Server throughput under concurrent clients: starts an in-process
+// TqlServer, drives it with N parallel connections running the mixed
+// Section-5-style workload, and reports QPS and latency percentiles per
+// client count. Always emits one machine-readable line per
+// configuration:
+//
+//   BENCH_JSON {"label":"server_throughput/clients=4","clients":4,
+//               "queries":400,"seconds":...,"qps":...,
+//               "p50_ms":...,"p99_ms":...}
+//
+//   $ ./server_throughput            # clients = 1, 4, 8
+//   $ TEMPUS_BENCH_SMOKE=1 ./server_throughput
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/faculty_gen.h"
+#include "datagen/interval_gen.h"
+#include "exec/engine.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace tempus;
+using bench::CheckOk;
+using bench::Sized;
+using bench::ValueOrDie;
+
+const char* kWorkload[] = {
+    "range of e is Events retrieve (e.S, e.V) where e.V < 100",
+    "range of e is Events retrieve unique (e.S) where e.V >= 900",
+    "range of e1 is Events range of e2 is Events "
+    "retrieve (e1.S, e2.S) where e1.S = e2.S and e1.V < e2.V",
+    "range of f is Faculty retrieve (f.Name, f.Rank) "
+    "where f.Rank = \"Full\"",
+    "range of f1 is Faculty range of f2 is Faculty "
+    "retrieve (f1.Name) where f1.Name = f2.Name "
+    "and f1.Rank = \"Assistant\" and f2.Rank = \"Full\" "
+    "and f1 before f2",
+};
+constexpr size_t kWorkloadSize = sizeof(kWorkload) / sizeof(kWorkload[0]);
+
+Engine MakeBenchEngine() {
+  Engine engine;
+  IntervalWorkloadConfig events;
+  events.count = Sized(5000);
+  events.seed = 21;
+  CheckOk(engine.mutable_catalog()->Register(
+              ValueOrDie(GenerateIntervalRelation("Events", events),
+                         "generate Events")),
+          "register Events");
+  FacultyWorkloadConfig faculty;
+  faculty.faculty_count = Sized(500, 50);
+  faculty.seed = 22;
+  CheckOk(engine.mutable_catalog()->Register(
+              ValueOrDie(GenerateFaculty("Faculty", faculty),
+                         "generate Faculty")),
+          "register Faculty");
+  return engine;
+}
+
+double PercentileMs(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_ms.size())));
+  return sorted_ms[index];
+}
+
+void RunConfiguration(TqlServer* server, size_t clients,
+                      size_t queries_per_client) {
+  std::vector<std::thread> threads;
+  std::vector<std::vector<double>> latencies_ms(clients);
+  std::atomic<size_t> errors{0};
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Result<TqlClient> client =
+          TqlClient::Connect("127.0.0.1", server->port());
+      if (!client.ok()) {
+        errors.fetch_add(queries_per_client);
+        return;
+      }
+      latencies_ms[c].reserve(queries_per_client);
+      for (size_t q = 0; q < queries_per_client; ++q) {
+        const char* tql = kWorkload[(c + q) % kWorkloadSize];
+        const auto start = std::chrono::steady_clock::now();
+        Result<QueryResponse> response = client->Query(tql);
+        const auto end = std::chrono::steady_clock::now();
+        if (!response.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        latencies_ms[c].push_back(
+            std::chrono::duration<double, std::milli>(end - start).count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::vector<double> all_ms;
+  for (const auto& per_client : latencies_ms) {
+    all_ms.insert(all_ms.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  const double qps =
+      wall_seconds > 0.0 ? static_cast<double>(all_ms.size()) / wall_seconds
+                         : 0.0;
+  const double p50 = PercentileMs(all_ms, 0.50);
+  const double p99 = PercentileMs(all_ms, 0.99);
+
+  std::printf("clients=%zu  queries=%zu  errors=%zu  wall=%.3fs  "
+              "qps=%.1f  p50=%.2fms  p99=%.2fms\n",
+              clients, all_ms.size(), errors.load(), wall_seconds, qps, p50,
+              p99);
+  std::printf("BENCH_JSON {\"label\":\"server_throughput/clients=%zu\","
+              "\"clients\":%zu,\"queries\":%zu,\"errors\":%zu,"
+              "\"seconds\":%.6f,\"qps\":%.3f,\"p50_ms\":%.3f,"
+              "\"p99_ms\":%.3f}\n",
+              clients, clients, all_ms.size(), errors.load(), wall_seconds,
+              qps, p50, p99);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  Engine engine = MakeBenchEngine();
+  ServerOptions options;
+  options.max_concurrent_queries = 8;
+  options.admission_queue = 64;
+  options.max_sessions = 32;
+  TqlServer server(&engine, options);
+  CheckOk(server.Start(), "server start");
+
+  const size_t queries_per_client = bench::SmokeMode() ? 5 : 50;
+  const size_t client_counts[] = {1, 4, 8};
+  std::printf("server_throughput: port=%u, %zu queries/client, mixed "
+              "workload of %zu queries\n",
+              server.port(), queries_per_client, kWorkloadSize);
+  for (size_t clients : client_counts) {
+    RunConfiguration(&server, clients, queries_per_client);
+  }
+
+  server.Shutdown();
+  const auto& counters = server.counters();
+  std::printf("server counters: accepted=%llu completed=%llu rejected=%llu "
+              "cancelled=%llu ledger_violations=%llu\n",
+              static_cast<unsigned long long>(
+                  counters.queries_accepted.load()),
+              static_cast<unsigned long long>(
+                  counters.queries_completed.load()),
+              static_cast<unsigned long long>(
+                  counters.queries_rejected.load()),
+              static_cast<unsigned long long>(
+                  counters.queries_cancelled.load()),
+              static_cast<unsigned long long>(
+                  counters.ledger_violations.load()));
+  return 0;
+}

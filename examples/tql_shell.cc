@@ -8,11 +8,20 @@
 //
 // Commands: \tables   \explain on|off   \analyze on|off   \trace on|off
 //           \threads N   \quit
+//
+// Non-interactive modes (exit status 0 on success, 1 on any error):
+//   $ ./tql_shell -c 'range of e is Events
+//                     retrieve (e.Key) where e.Key < 10'
+//   $ ./tql_shell -f script.tql     # statements separated by blank lines
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "datagen/faculty_gen.h"
 #include "datagen/interval_gen.h"
@@ -43,10 +52,79 @@ tempus::Engine MakeDemoEngine() {
   return engine;
 }
 
+// Splits a script into statements on blank lines, mirroring the
+// interactive loop's blank-line terminator. `#` comment lines belong to
+// the statement they appear in (the lexer strips them).
+std::vector<std::string> SplitStatements(const std::string& script) {
+  std::vector<std::string> statements;
+  std::string current;
+  std::istringstream in(script);
+  std::string line;
+  while (std::getline(in, line)) {
+    const bool blank = line.find_first_not_of(" \t\r") == std::string::npos;
+    if (blank) {
+      if (!current.empty()) statements.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += line + "\n";
+    }
+  }
+  if (!current.empty()) statements.push_back(std::move(current));
+  return statements;
+}
+
+// Runs statements sequentially; stops at the first failure and returns a
+// shell exit status (0 ok, 1 error) so scripts can gate on it.
+int RunBatch(tempus::Engine* engine, const std::string& script) {
+  const std::vector<std::string> statements = SplitStatements(script);
+  if (statements.empty()) {
+    std::fprintf(stderr, "error: no TQL statements in input\n");
+    return 1;
+  }
+  for (const std::string& statement : statements) {
+    tempus::Result<tempus::TemporalRelation> result = engine->Run(statement);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", result->ToString(25).c_str());
+  }
+  return 0;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s                 interactive shell\n"
+               "       %s -c '<tql>'      run one script from the command "
+               "line\n"
+               "       %s -f <file>       run a script file\n",
+               argv0, argv0, argv0);
+  return 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   tempus::Engine engine = MakeDemoEngine();
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "-c") == 0) {
+      if (argc != 3) return Usage(argv[0]);
+      return RunBatch(&engine, argv[2]);
+    }
+    if (std::strcmp(argv[1], "-f") == 0) {
+      if (argc != 3) return Usage(argv[0]);
+      std::ifstream file(argv[2]);
+      if (!file) {
+        std::fprintf(stderr, "error: cannot open %s\n", argv[2]);
+        return 1;
+      }
+      std::ostringstream contents;
+      contents << file.rdbuf();
+      return RunBatch(&engine, contents.str());
+    }
+    return Usage(argv[0]);
+  }
   bool show_explain = true;
   bool show_analyze = false;
   bool show_trace = false;

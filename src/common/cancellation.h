@@ -1,0 +1,100 @@
+#ifndef TEMPUS_COMMON_CANCELLATION_H_
+#define TEMPUS_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace tempus {
+
+/// Cooperative cancellation for a running query. One token is shared by
+/// every operator of a plan (TupleStream::SetCancellation walks the tree
+/// like EnableTracing) and checked in the non-virtual Open()/Next()
+/// wrappers, so a wedged scan unwinds with Status::Cancelled instead of
+/// holding its session forever.
+///
+/// Threading: Cancel() may be called from any thread (the server's
+/// shutdown path, a deadline watchdog); the flag is a relaxed atomic.
+/// Check() is called only by the single thread driving the plan — its
+/// clock-sampling stride counter is deliberately unsynchronized. The
+/// paper's operators are single-pass with bounded workspace, so the
+/// distance between two Next() calls (and therefore the cancellation
+/// latency) is bounded by one tuple's worth of work.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation with a reason reported to the caller. The first
+  /// reason wins. Cold path: serialized by a mutex so the reason is fully
+  /// written before the flag (release) is observable by Check() (acquire).
+  void Cancel(const std::string& reason = "query cancelled") {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    if (!cancelled_.load(std::memory_order_relaxed)) {
+      reason_ = reason;
+      cancelled_.store(true, std::memory_order_release);
+    }
+  }
+
+  /// Arms a deadline; Check() trips the token once the clock passes it.
+  /// Must be called before the plan starts running (not thread-safe
+  /// against a concurrent Check()).
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  void SetDeadlineAfter(std::chrono::milliseconds timeout) {
+    SetDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Hot-path check: a relaxed flag load per call; the deadline samples
+  /// the clock only every kClockStride calls so per-tuple cost stays in
+  /// the noise. Returns Status::Cancelled once tripped.
+  Status Check() {
+    if (cancelled_.load(std::memory_order_acquire)) {
+      return Status::Cancelled(reason_);
+    }
+    if (has_deadline_ && (++clock_poll_ % kClockStride) == 0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      Cancel("deadline exceeded");
+      return Status::Cancelled(reason_);
+    }
+    return Status::Ok();
+  }
+
+  /// Like Check() but always samples the clock; used on the cold Open()
+  /// path so an expired deadline is seen before any work starts.
+  Status CheckNow() {
+    if (cancelled_.load(std::memory_order_acquire)) {
+      return Status::Cancelled(reason_);
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      Cancel("deadline exceeded");
+      return Status::Cancelled(reason_);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr uint64_t kClockStride = 64;
+
+  std::mutex cancel_mu_;
+  std::atomic<bool> cancelled_{false};
+  std::string reason_ = "query cancelled";
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  uint64_t clock_poll_ = 0;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_COMMON_CANCELLATION_H_

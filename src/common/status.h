@@ -19,6 +19,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  kCancelled,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -64,6 +66,17 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// The query was cancelled cooperatively (deadline expiry, client
+  /// disconnect, or server shutdown); operators unwind through the
+  /// Open()/Next() cancellation hook with this code.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// The service is overloaded or shutting down; the caller may retry
+  /// later (the TQL server's admission-rejection code).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -37,17 +37,48 @@ Result<PlannedQuery> Engine::Prepare(const std::string& tql,
 
 Result<TemporalRelation> Engine::Run(const std::string& tql,
                                      const PlannerOptions& options) const {
+  TEMPUS_ASSIGN_OR_RETURN(QueryRun run, RunQuery(tql, options));
+  TEMPUS_RETURN_IF_ERROR(run.status);
+  return std::move(run.result);
+}
+
+Result<QueryRun> Engine::RunQuery(const std::string& tql,
+                                  const PlannerOptions& options) const {
   TEMPUS_ASSIGN_OR_RETURN(ConjunctiveQuery query, ParseTql(tql));
-  Planner planner(&catalog_, &integrity_);
+  // Pin the relations this query can see: the plan borrows tuple storage
+  // from the snapshot's shared handles, so a concurrent Drop or replace
+  // in catalog_ cannot pull them out from under a running scan.
+  const Catalog snapshot = catalog_.Snapshot();
+  Planner planner(&snapshot, &integrity_);
   TEMPUS_ASSIGN_OR_RETURN(PlannedQuery planned, planner.Plan(query, options));
+  QueryRun run;
+  run.explain = planned.explain;
   if (query.explain_mode == ExplainMode::kPlan) {
-    return TextRelation("QueryPlan", "QUERY PLAN", planned.explain);
+    run.plan_json = planned.TraceJson();
+    TEMPUS_ASSIGN_OR_RETURN(
+        run.result, TextRelation("QueryPlan", "QUERY PLAN", planned.explain));
+    return run;
   }
-  TEMPUS_ASSIGN_OR_RETURN(TemporalRelation result, planned.Execute());
+  Result<TemporalRelation> result = planned.Execute();
+  if (planned.root != nullptr) {
+    run.metrics = CollectPlanMetrics(*planned.root);
+  }
+  run.plan_json = planned.TraceJson();
+  if (planned.trace != nullptr) {
+    run.analyze_report = planned.AnalyzeReport();
+  }
+  if (!result.ok()) {
+    run.status = result.status();
+    return run;
+  }
   if (query.explain_mode == ExplainMode::kAnalyze) {
-    return TextRelation("QueryPlan", "QUERY PLAN", planned.AnalyzeReport());
+    TEMPUS_ASSIGN_OR_RETURN(
+        run.result,
+        TextRelation("QueryPlan", "QUERY PLAN", planned.AnalyzeReport()));
+    return run;
   }
-  return result;
+  run.result = std::move(result).value();
+  return run;
 }
 
 Result<std::string> Engine::Explain(const std::string& tql,
@@ -90,6 +121,10 @@ Status Engine::SaveCsv(const std::string& name,
                                    path);
   }
   return WriteCsv(*relation, &out);
+}
+
+Status Engine::DropRelation(const std::string& name) {
+  return catalog_.Drop(name);
 }
 
 }  // namespace tempus

@@ -6,9 +6,31 @@
 #include "plan/planner.h"
 #include "relation/catalog.h"
 #include "semantic/integrity.h"
+#include "stream/metrics.h"
 #include "tql/parser.h"
 
 namespace tempus {
+
+/// Everything one query execution produced — the unit the TQL server
+/// streams back to a client. `status` is the *execution* outcome
+/// (Cancelled on deadline expiry, etc.); parse and plan failures surface
+/// as the error of Engine::RunQuery itself. `metrics` is the plan-wide
+/// rollup and is populated even when execution fails, so callers can
+/// account cancelled work (the GC-ledger identity holds at the point of
+/// abandonment).
+struct QueryRun {
+  Status status;
+  /// The result relation (or the "QUERY PLAN" text relation for explain
+  /// statements). Valid iff status.ok().
+  TemporalRelation result;
+  std::string explain;
+  /// Single-line plan JSON (obs/plan_report.h), with spans when analyze
+  /// was on.
+  std::string plan_json;
+  /// EXPLAIN ANALYZE report; non-empty iff planned with analyze.
+  std::string analyze_report;
+  OperatorMetrics metrics;
+};
 
 /// The top-level facade: a catalog of relations, an integrity catalog, and
 /// TQL execution. This is the five-line entry point of the quickstart:
@@ -35,6 +57,17 @@ class Engine {
   Result<TemporalRelation> Run(const std::string& tql,
                                const PlannerOptions& options = {}) const;
 
+  /// The full-fat execution path behind Run(): parses, plans against a
+  /// Catalog::Snapshot() taken at call time (so concurrent load/drop
+  /// cannot race the scan — the relations the plan borrows stay alive for
+  /// the whole run), executes, and reports result, metrics, and plan JSON
+  /// together. The returned Result is an error only for parse/plan
+  /// failures; execution failures (including Status::Cancelled via
+  /// options.cancel) are carried in QueryRun::status so the metrics of
+  /// the abandoned plan remain observable.
+  Result<QueryRun> RunQuery(const std::string& tql,
+                            const PlannerOptions& options = {}) const;
+
   /// Returns the plan tree (with semantic-optimization annotations) that
   /// `tql` would execute under.
   Result<std::string> Explain(const std::string& tql,
@@ -56,6 +89,10 @@ class Engine {
 
   /// Writes a registered relation to a CSV file.
   Status SaveCsv(const std::string& name, const std::string& path) const;
+
+  /// Drops a relation from the catalog; running snapshot-based queries
+  /// keep their view (see Catalog::Snapshot).
+  Status DropRelation(const std::string& name);
 
  private:
   Catalog catalog_;

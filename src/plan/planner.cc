@@ -1443,6 +1443,9 @@ Result<PlannedQuery> Planner::Plan(const ConjunctiveQuery& query,
     planned.trace = std::make_unique<TraceCollector>();
     planned.root->EnableTracing(planned.trace.get());
   }
+  if (options.cancel != nullptr && planned.root != nullptr) {
+    planned.root->SetCancellation(options.cancel);
+  }
   return planned;
 }
 

@@ -48,6 +48,12 @@ struct PlannerOptions {
   /// renders the annotated tree (docs/OBSERVABILITY.md). Off by default —
   /// untraced plans pay only a null-pointer test per Open()/Next().
   bool analyze = false;
+  /// Cooperative cancellation: when non-null, the token is attached to
+  /// every operator of the plan (alongside the trace hook) and polled on
+  /// each Open()/Next(), so Cancel() or an armed deadline unwinds the
+  /// whole pipeline with Status::Cancelled (docs/SERVER.md). Not owned;
+  /// must outlive the planned query.
+  CancellationToken* cancel = nullptr;
 };
 
 /// An executable plan: a stream-processor network plus diagnostics.

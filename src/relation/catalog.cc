@@ -1,39 +1,66 @@
 #include "relation/catalog.h"
 
+#include <mutex>
+
 namespace tempus {
 
 Status Catalog::Register(TemporalRelation relation) {
   const std::string name = relation.name();
+  std::unique_lock<std::shared_mutex> lock(*mu_);
   if (relations_.count(name) > 0) {
     return Status::AlreadyExists("relation already registered: " + name);
   }
-  relations_.emplace(name, std::move(relation));
+  relations_.emplace(
+      name, std::make_shared<const TemporalRelation>(std::move(relation)));
   return Status::Ok();
 }
 
 void Catalog::RegisterOrReplace(TemporalRelation relation) {
   const std::string name = relation.name();
-  relations_.insert_or_assign(name, std::move(relation));
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  relations_.insert_or_assign(
+      name, std::make_shared<const TemporalRelation>(std::move(relation)));
+}
+
+Status Catalog::Drop(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("unknown relation: " + name);
+  }
+  return Status::Ok();
 }
 
 Result<const TemporalRelation*> Catalog::Lookup(
     const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   auto it = relations_.find(name);
   if (it == relations_.end()) {
     return Status::NotFound("unknown relation: " + name);
   }
-  return &it->second;
+  return it->second.get();
 }
 
 bool Catalog::Contains(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   return relations_.count(name) > 0;
 }
 
 std::vector<std::string> Catalog::Names() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   std::vector<std::string> names;
   names.reserve(relations_.size());
   for (const auto& [name, rel] : relations_) names.push_back(name);
   return names;
+}
+
+size_t Catalog::size() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  return relations_.size();
+}
+
+Catalog Catalog::Snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  return Catalog(relations_);
 }
 
 }  // namespace tempus

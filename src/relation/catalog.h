@@ -2,6 +2,8 @@
 #define TEMPUS_RELATION_CATALOG_H_
 
 #include <map>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -12,13 +14,31 @@ namespace tempus {
 
 /// A named collection of in-memory relations — what query range variables
 /// resolve against ("range of f1 is Faculty").
+///
+/// Concurrency: relations are stored as shared handles to immutable
+/// objects, and every member takes a reader/writer lock, so Register /
+/// RegisterOrReplace / Drop are safe against concurrent lookups. A raw
+/// pointer returned by Lookup() is only guaranteed to stay valid while no
+/// concurrent Drop/replace can retire the relation — cross-thread
+/// executions (the TQL server) therefore plan against Snapshot(), whose
+/// shared handles keep every relation alive for the life of the snapshot
+/// even if the source catalog drops it mid-query (snapshot-consistent
+/// reads; docs/SERVER.md).
 class Catalog {
  public:
+  Catalog() = default;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
   /// Registers `relation` under its name; fails on duplicates.
   Status Register(TemporalRelation relation);
 
   /// Registers or replaces.
   void RegisterOrReplace(TemporalRelation relation);
+
+  /// Removes the relation; NotFound if absent. Snapshots taken earlier
+  /// keep the relation alive until they are destroyed.
+  Status Drop(const std::string& name);
 
   Result<const TemporalRelation*> Lookup(const std::string& name) const;
 
@@ -26,8 +46,24 @@ class Catalog {
 
   std::vector<std::string> Names() const;
 
+  size_t size() const;
+
+  /// An isolated, immutable copy sharing the relation storage (cheap:
+  /// one shared handle per relation). Queries planned against the
+  /// snapshot see exactly the relations registered at snapshot time.
+  Catalog Snapshot() const;
+
  private:
-  std::map<std::string, TemporalRelation> relations_;
+  using RelationMap =
+      std::map<std::string, std::shared_ptr<const TemporalRelation>>;
+
+  explicit Catalog(RelationMap relations)
+      : relations_(std::move(relations)) {}
+
+  // unique_ptr so Catalog stays movable (snapshots are returned by value).
+  std::unique_ptr<std::shared_mutex> mu_ =
+      std::make_unique<std::shared_mutex>();
+  RelationMap relations_;
 };
 
 }  // namespace tempus

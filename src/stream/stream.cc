@@ -33,6 +33,14 @@ void TupleStream::EnableTracing(TraceCollector* collector) {
   EnableTracingInternal(collector, /*parent=*/-1);
 }
 
+void TupleStream::SetCancellation(CancellationToken* token) {
+  cancel_ = token;
+  for (const TupleStream* child : children()) {
+    // Same ownership argument as EnableTracingInternal below.
+    const_cast<TupleStream*>(child)->SetCancellation(token);
+  }
+}
+
 void TupleStream::EnableTracingInternal(TraceCollector* collector,
                                         int parent) {
   trace_ = collector;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/trace.h"
@@ -38,14 +39,26 @@ class TupleStream {
   /// Schema of produced tuples; valid before Open().
   virtual const Schema& schema() const = 0;
 
-  /// Starts (or restarts) the stream.
+  /// Starts (or restarts) the stream. Checks the cancellation token (with
+  /// a full clock sample — Open() is cold) before doing any work.
   Status Open() {
+    if (cancel_ != nullptr) {
+      TEMPUS_RETURN_IF_ERROR(cancel_->CheckNow());
+    }
     if (trace_ == nullptr) return OpenImpl();
     return TracedOpen();
   }
 
   /// Produces the next tuple into *out. Returns false at end-of-stream.
+  /// With a cancellation token attached, every call polls it first, so a
+  /// cancelled or deadline-expired query unwinds with Status::Cancelled
+  /// from whichever operator Next()s next; untoken'd streams pay only the
+  /// same null-pointer test as the trace hook.
   Result<bool> Next(Tuple* out) {
+    if (cancel_ != nullptr) {
+      Status cancelled = cancel_->Check();
+      if (!cancelled.ok()) return cancelled;
+    }
     if (trace_ == nullptr) return NextImpl(out);
     return TracedNext(out);
   }
@@ -72,6 +85,16 @@ class TupleStream {
   /// Span registered by EnableTracing, or -1 when untraced.
   int trace_span_id() const { return span_id_; }
 
+  /// Attaches `token` to this operator and (recursively) its children so
+  /// every Open()/Next() polls it; passing nullptr detaches. The token is
+  /// not owned and must outlive the stream (the server scopes one token
+  /// per query). Like tracing, attachment itself is single-threaded; only
+  /// Cancel() may come from another thread.
+  void SetCancellation(CancellationToken* token);
+
+  /// Token attached by SetCancellation, if any.
+  CancellationToken* cancellation() const { return cancel_; }
+
  protected:
   TupleStream() = default;
 
@@ -91,6 +114,7 @@ class TupleStream {
 
   std::string label_;
   TraceCollector* trace_ = nullptr;
+  CancellationToken* cancel_ = nullptr;
   int span_id_ = -1;
 };
 

@@ -5,6 +5,14 @@
 #include "common/string_util.h"
 
 namespace tempus {
+namespace {
+
+/// Sanity cap on identifier length: no legitimate TQL name approaches
+/// this, and bounding it keeps hostile megabyte-identifier inputs from
+/// ballooning tokens and error messages.
+constexpr size_t kMaxIdentifierLength = 1024;
+
+}  // namespace
 
 Result<std::vector<Token>> Tokenize(const std::string& source) {
   std::vector<Token> tokens;
@@ -42,6 +50,11 @@ Result<std::vector<Token>> Tokenize(const std::string& source) {
               source[i] == '_')) {
         advance();
       }
+      if (i - begin > kMaxIdentifierLength) {
+        return Status::InvalidArgument(
+            StrFormat("identifier longer than %zu characters at line %zu:%zu",
+                      kMaxIdentifierLength, token.line, token.column));
+      }
       token.kind = TokenKind::kIdent;
       token.text = source.substr(begin, i - begin);
       tokens.push_back(std::move(token));
@@ -50,14 +63,30 @@ Result<std::vector<Token>> Tokenize(const std::string& source) {
     if (std::isdigit(static_cast<unsigned char>(c)) ||
         (c == '-' && i + 1 < source.size() &&
          std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
-      size_t begin = i;
-      advance();  // Sign or first digit.
+      const bool negative = c == '-';
+      if (negative) advance();
+      // Accumulate negated so INT64_MIN round-trips; overflow is a
+      // returned error, never an exception escaping to the caller
+      // (std::stoll would throw — a server cannot trust its input).
+      int64_t value = 0;
+      bool overflow = false;
       while (i < source.size() &&
              std::isdigit(static_cast<unsigned char>(source[i]))) {
+        const int64_t digit = source[i] - '0';
+        if (value < (INT64_MIN + digit) / 10) {
+          overflow = true;
+        } else {
+          value = value * 10 - digit;
+        }
         advance();
       }
+      if (overflow || (!negative && value == INT64_MIN)) {
+        return Status::InvalidArgument(
+            StrFormat("integer literal out of range at line %zu:%zu",
+                      token.line, token.column));
+      }
       token.kind = TokenKind::kNumber;
-      token.number = std::stoll(source.substr(begin, i - begin));
+      token.number = negative ? value : -value;
       tokens.push_back(std::move(token));
       continue;
     }
@@ -134,8 +163,16 @@ Result<std::vector<Token>> Tokenize(const std::string& source) {
         advance();
         break;
       default:
+        // Print non-printable bytes (embedded NULs, control characters,
+        // stray UTF-8) as hex so diagnostics stay one clean line.
+        if (std::isprint(static_cast<unsigned char>(c))) {
+          return Status::InvalidArgument(StrFormat(
+              "unexpected character '%c' at line %zu:%zu", c, line, column));
+        }
         return Status::InvalidArgument(StrFormat(
-            "unexpected character '%c' at line %zu:%zu", c, line, column));
+            "unexpected byte 0x%02x at line %zu:%zu",
+            static_cast<unsigned>(static_cast<unsigned char>(c)), line,
+            column));
     }
     tokens.push_back(std::move(token));
   }

@@ -1,0 +1,150 @@
+// Malformed-input sweep over the TQL lexer and parser. The server hands
+// untrusted wire bytes straight to ParseTql, so every path here must
+// come back as a Status error — never an exception or a crash. The
+// sweeps are seeded and deterministic.
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "tql/lexer.h"
+#include "tql/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace tempus {
+namespace {
+
+// Parses and only demands "returned, with some status"; the value of a
+// successful parse is irrelevant to robustness.
+void ExpectNoCrash(const std::string& source) {
+  const Result<ConjunctiveQuery> q = ParseTql(source);
+  (void)q;
+}
+
+TEST(ParserFuzzishTest, UnterminatedStringIsAnError) {
+  const Result<ConjunctiveQuery> q =
+      ParseTql("range of f is R retrieve (f.S) where f.S = \"unclosed");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(q.status().message().find("unterminated"), std::string::npos)
+      << q.status().ToString();
+}
+
+TEST(ParserFuzzishTest, OverlongIdentifierIsAnError) {
+  const std::string long_name(5000, 'x');
+  const Result<ConjunctiveQuery> q =
+      ParseTql("range of f is " + long_name + " retrieve (f.S)");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(q.status().message().find("identifier longer"),
+            std::string::npos)
+      << q.status().ToString();
+}
+
+TEST(ParserFuzzishTest, IdentifierAtTheCapStillParses) {
+  const std::string name(1024, 'y');
+  const Result<std::vector<Token>> tokens = Tokenize(name);
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  ASSERT_EQ(tokens->size(), 2u);  // ident + end
+  EXPECT_EQ((*tokens)[0].text.size(), 1024u);
+}
+
+TEST(ParserFuzzishTest, NumericOverflowIsAnErrorNotAThrow) {
+  const std::string huge(100, '9');
+  const Result<ConjunctiveQuery> q =
+      ParseTql("range of f is R retrieve (f.S) where f.S = " + huge);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(q.status().message().find("out of range"), std::string::npos)
+      << q.status().ToString();
+
+  const Result<ConjunctiveQuery> negative =
+      ParseTql("range of f is R retrieve (f.S) where f.S = -" + huge);
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserFuzzishTest, Int64BoundariesRoundTrip) {
+  Result<std::vector<Token>> max = Tokenize("9223372036854775807");
+  ASSERT_TRUE(max.ok()) << max.status().ToString();
+  EXPECT_EQ((*max)[0].number, INT64_MAX);
+
+  Result<std::vector<Token>> min = Tokenize("-9223372036854775808");
+  ASSERT_TRUE(min.ok()) << min.status().ToString();
+  EXPECT_EQ((*min)[0].number, INT64_MIN);
+
+  EXPECT_FALSE(Tokenize("9223372036854775808").ok());
+  EXPECT_FALSE(Tokenize("-9223372036854775809").ok());
+}
+
+TEST(ParserFuzzishTest, EmbeddedNulAndControlBytesAreErrors) {
+  std::string nul_query = "range of f is R retrieve (f.S)";
+  nul_query[8] = '\0';
+  const Result<ConjunctiveQuery> q = ParseTql(nul_query);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(q.status().message().find("0x00"), std::string::npos)
+      << q.status().ToString();
+
+  const Result<ConjunctiveQuery> bell = ParseTql("retrieve \x07 (f.S)");
+  ASSERT_FALSE(bell.ok());
+  EXPECT_NE(bell.status().message().find("0x07"), std::string::npos)
+      << bell.status().ToString();
+}
+
+TEST(ParserFuzzishTest, EveryPrefixOfAValidQueryReturns) {
+  const std::string query =
+      "range of f1 is Faculty range of f2 is Faculty "
+      "retrieve unique into Out (f1.Name, f2.ValidTo) "
+      "where f1.Name = f2.Name and f1.Rank = \"Full\" "
+      "and (f1 overlap f2) and f1.Salary >= -42";
+  for (size_t len = 0; len <= query.size(); ++len) {
+    ExpectNoCrash(query.substr(0, len));
+  }
+}
+
+TEST(ParserFuzzishTest, RandomByteSoupNeverCrashes) {
+  Rng rng(0xF022BEEF);
+  for (int round = 0; round < 200; ++round) {
+    const size_t len = rng.NextBounded(256);
+    std::string soup;
+    soup.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      soup.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    ExpectNoCrash(soup);
+  }
+}
+
+TEST(ParserFuzzishTest, RandomTokenSoupNeverCrashes) {
+  static const char* kPieces[] = {
+      "range",  "of",      "is",    "retrieve", "unique",   "into",
+      "where",  "and",     "overlap", "during", "(",        ")",
+      ",",      ".",       "=",     "!=",       "<=",       ">=",
+      "f1",     "Faculty", "\"s\"", "42",       "-7",       "\"",
+      "#",      "_",       "9999999999999999999999",        "\n"};
+  Rng rng(0x5EED50);
+  for (int round = 0; round < 300; ++round) {
+    const size_t words = rng.NextBounded(40);
+    std::string soup;
+    for (size_t i = 0; i < words; ++i) {
+      soup += kPieces[rng.NextBounded(sizeof(kPieces) / sizeof(kPieces[0]))];
+      soup += ' ';
+    }
+    ExpectNoCrash(soup);
+  }
+}
+
+TEST(ParserFuzzishTest, DeepParenNestingReturns) {
+  // The parser is recursive-descent; make sure a pathological but
+  // shallow-enough nesting depth comes back as a plain parse error.
+  std::string query = "range of f is R retrieve (f.S) where ";
+  for (int i = 0; i < 200; ++i) query += '(';
+  query += "f overlap f";
+  for (int i = 0; i < 200; ++i) query += ')';
+  ExpectNoCrash(query);
+}
+
+}  // namespace
+}  // namespace tempus
