@@ -1,0 +1,191 @@
+// tempus_check: differential-oracle harness CLI.
+//
+// Runs one differential case (production operator vs. the naive oracle)
+// when given explicit flags, or sweeps every operator x mode x supported
+// order over the adversarial distributions when invoked with --sweep.
+// Exits nonzero on any mismatch, bound violation, or ledger break; every
+// failure prints a one-line repro command.
+//
+//   tempus_check --sweep [--count=64] [--seed=1]
+//   tempus_check --op=contain-join --mode=seq --dist=nested-chains \
+//       --arrangement=shuffled --count=64 --seed=7 \
+//       --left_order=from-asc --right_order=from-asc --threads=4
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "testing/differential.h"
+
+namespace {
+
+using tempus::testing::DifferentialCase;
+using tempus::testing::DifferentialResult;
+using tempus::testing::ReproCommand;
+using tempus::testing::RunDifferentialCase;
+
+bool ConsumeFlag(std::string_view arg, std::string_view name,
+                 std::string_view* value) {
+  if (arg.size() < name.size() + 3 || arg.substr(0, 2) != "--") return false;
+  arg.remove_prefix(2);
+  if (arg.substr(0, name.size()) != name || arg[name.size()] != '=') {
+    return false;
+  }
+  *value = arg.substr(name.size() + 1);
+  return true;
+}
+
+int RunCase(const DifferentialCase& c, bool verbose) {
+  tempus::Result<DifferentialResult> result = RunDifferentialCase(c);
+  if (!result.ok()) {
+    std::fprintf(stderr, "FAIL (harness error: %s)\n  repro: %s\n",
+                 result.status().ToString().c_str(),
+                 ReproCommand(c).c_str());
+    return 1;
+  }
+  if (!result->ok()) {
+    std::fprintf(stderr,
+                 "FAIL match=%d bound_ok=%d ledger_ok=%d engine=%zu "
+                 "oracle=%zu peak=%zu bound=%zu\n  diff: %s\n  repro: %s\n",
+                 result->match ? 1 : 0, result->bound_ok ? 1 : 0,
+                 result->ledger_ok ? 1 : 0, result->engine_tuples,
+                 result->oracle_tuples, result->peak_workspace,
+                 result->bound, result->diff.c_str(),
+                 ReproCommand(c).c_str());
+    return 1;
+  }
+  if (verbose) {
+    std::printf("OK   %-24s %-4s tuples=%zu peak=%zu%s\n",
+                std::string(PairwiseOpName(c.op)).c_str(),
+                std::string(ExecModeName(c.mode)).c_str(),
+                result->engine_tuples, result->peak_workspace,
+                result->bound_checked
+                    ? (" bound=" + std::to_string(result->bound)).c_str()
+                    : "");
+  }
+  return 0;
+}
+
+int Sweep(size_t count, uint64_t seed, bool verbose) {
+  int failures = 0;
+  size_t cases = 0;
+  for (tempus::testing::PairwiseOp op : tempus::testing::AllPairwiseOps()) {
+    for (tempus::testing::Distribution dist :
+         tempus::testing::AllDistributions()) {
+      for (tempus::testing::Arrangement arr :
+           tempus::testing::AllArrangements()) {
+        // Stream modes under every supported order combination.
+        for (const auto& [lo, ro] : SupportedOrders(op)) {
+          for (tempus::testing::ExecMode mode :
+               {tempus::testing::ExecMode::kSequential,
+                tempus::testing::ExecMode::kParallel}) {
+            DifferentialCase c;
+            c.op = op;
+            c.mode = mode;
+            c.distribution = dist;
+            c.arrangement = arr;
+            c.count = count;
+            c.seed = seed + cases;  // Distinct but reproducible per case.
+            c.left_order = lo;
+            c.right_order = ro;
+            failures += RunCase(c, verbose);
+            ++cases;
+          }
+        }
+        // No-GC mode is order-free; the arrangement is the input order.
+        DifferentialCase c;
+        c.op = op;
+        c.mode = tempus::testing::ExecMode::kNoGc;
+        c.distribution = dist;
+        c.arrangement = arr;
+        c.count = count;
+        c.seed = seed + cases;
+        failures += RunCase(c, verbose);
+        ++cases;
+      }
+    }
+  }
+  std::printf("%zu differential cases, %d failure(s)\n", cases, failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DifferentialCase c;
+  bool sweep = false;
+  bool verbose = false;
+  bool have_op = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view v;
+    if (arg == "--sweep") {
+      sweep = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (ConsumeFlag(arg, "op", &v)) {
+      auto op = tempus::testing::PairwiseOpFromName(v);
+      if (!op.ok()) {
+        std::fprintf(stderr, "%s\n", op.status().ToString().c_str());
+        return 2;
+      }
+      c.op = *op;
+      have_op = true;
+    } else if (ConsumeFlag(arg, "mode", &v)) {
+      auto mode = tempus::testing::ExecModeFromName(v);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+        return 2;
+      }
+      c.mode = *mode;
+    } else if (ConsumeFlag(arg, "dist", &v)) {
+      auto dist = tempus::testing::DistributionFromName(v);
+      if (!dist.ok()) {
+        std::fprintf(stderr, "%s\n", dist.status().ToString().c_str());
+        return 2;
+      }
+      c.distribution = *dist;
+    } else if (ConsumeFlag(arg, "arrangement", &v)) {
+      auto arr = tempus::testing::ArrangementFromName(v);
+      if (!arr.ok()) {
+        std::fprintf(stderr, "%s\n", arr.status().ToString().c_str());
+        return 2;
+      }
+      c.arrangement = *arr;
+    } else if (ConsumeFlag(arg, "left_order", &v)) {
+      auto order = tempus::testing::OrderFromToken(v);
+      if (!order.ok()) {
+        std::fprintf(stderr, "%s\n", order.status().ToString().c_str());
+        return 2;
+      }
+      c.left_order = *order;
+    } else if (ConsumeFlag(arg, "right_order", &v)) {
+      auto order = tempus::testing::OrderFromToken(v);
+      if (!order.ok()) {
+        std::fprintf(stderr, "%s\n", order.status().ToString().c_str());
+        return 2;
+      }
+      c.right_order = *order;
+    } else if (ConsumeFlag(arg, "count", &v)) {
+      c.count = static_cast<size_t>(std::strtoull(
+          std::string(v).c_str(), nullptr, 10));
+    } else if (ConsumeFlag(arg, "seed", &v)) {
+      c.seed = std::strtoull(std::string(v).c_str(), nullptr, 10);
+    } else if (ConsumeFlag(arg, "right_seed", &v)) {
+      c.right_seed = std::strtoull(std::string(v).c_str(), nullptr, 10);
+    } else if (ConsumeFlag(arg, "threads", &v)) {
+      c.threads = static_cast<size_t>(std::strtoull(
+          std::string(v).c_str(), nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (sweep) return Sweep(c.count, c.seed, verbose);
+  if (!have_op) {
+    std::fprintf(stderr, "need --op=... or --sweep (see header comment)\n");
+    return 2;
+  }
+  return RunCase(c, true);
+}

@@ -1,0 +1,114 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/cancellation.h"
+#include "common/random.h"
+
+namespace tempus {
+
+std::atomic<int> FaultInjector::armed_points_{0};
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  if (!state.is_armed) {
+    armed_points_.fetch_add(1, std::memory_order_relaxed);
+  }
+  state.is_armed = true;
+  state.hits = 0;
+  state.fires = 0;
+  state.rng = spec.probability < 1.0 ? std::make_unique<Rng>(spec.seed)
+                                     : nullptr;
+  state.spec = std::move(spec);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.is_armed) return;
+  it->second.is_armed = false;
+  it->second.spec.token = nullptr;
+  armed_points_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int still_armed = 0;
+  for (const auto& [name, state] : points_) {
+    if (state.is_armed) ++still_armed;
+  }
+  armed_points_.fetch_sub(still_armed, std::memory_order_relaxed);
+  points_.clear();
+}
+
+uint64_t FaultInjector::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::FireCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FaultInjector::SeenPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> seen;
+  for (const auto& [name, state] : points_) {
+    if (state.hits > 0) seen.push_back(name);
+  }
+  return seen;
+}
+
+Status FaultInjector::Hit(const char* point) {
+  FaultAction action;
+  std::string message;
+  StatusCode code;
+  uint32_t delay_ms;
+  CancellationToken* token;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PointState& state = points_[point];
+    ++state.hits;
+    if (!state.is_armed) return Status::Ok();
+    const FaultSpec& spec = state.spec;
+    if (state.hits < spec.trigger_at) return Status::Ok();
+    if (!spec.repeat && state.fires > 0) return Status::Ok();
+    if (state.rng == nullptr) {
+      // Deterministic single-shot fires exactly at the Nth hit.
+      if (!spec.repeat && state.hits != spec.trigger_at) return Status::Ok();
+    } else if (!state.rng->Bernoulli(spec.probability)) {
+      return Status::Ok();
+    }
+    ++state.fires;
+    action = spec.action;
+    message = spec.message;
+    code = spec.code;
+    delay_ms = spec.delay_ms;
+    token = spec.token;
+  }
+  // Fire outside the lock: a delay must not serialize other threads'
+  // fault points, and Cancel() takes the token's own mutex.
+  switch (action) {
+    case FaultAction::kError:
+      return Status(code, std::move(message));
+    case FaultAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return Status::Ok();
+    case FaultAction::kCancel:
+      if (token != nullptr) token->Cancel(message);
+      return Status::Cancelled(std::move(message));
+  }
+  return Status::Ok();
+}
+
+}  // namespace tempus

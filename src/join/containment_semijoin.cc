@@ -267,6 +267,16 @@ Result<bool> SweepContainmentSemijoin::NextImpl(Tuple* out) {
         container_has_peek_ = false;
         continue;
       }
+      if (containee_has_peek_ &&
+          container_peek_span_.end <= containee_peek_span_.start) {
+        // Dead on arrival: every remaining containee starts at or after
+        // the sweep position, and strict containment needs
+        // container.end > containee.end > sweep, so this container can
+        // never witness (or be emitted for) anything. Retaining it would
+        // let the state grow past the tuples spanning the sweep.
+        container_has_peek_ = false;
+        continue;
+      }
       if (emit_container_ || !use_frontier_state_) {
         state_.push_back(
             {std::move(container_peek_), container_peek_span_, false});

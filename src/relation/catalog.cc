@@ -2,9 +2,12 @@
 
 #include <mutex>
 
+#include "common/fault.h"
+
 namespace tempus {
 
 Status Catalog::Register(TemporalRelation relation) {
+  TEMPUS_FAULT_POINT("catalog.register");
   const std::string name = relation.name();
   std::unique_lock<std::shared_mutex> lock(*mu_);
   if (relations_.count(name) > 0) {
@@ -23,6 +26,7 @@ void Catalog::RegisterOrReplace(TemporalRelation relation) {
 }
 
 Status Catalog::Drop(const std::string& name) {
+  TEMPUS_FAULT_POINT("catalog.drop");
   std::unique_lock<std::shared_mutex> lock(*mu_);
   if (relations_.erase(name) == 0) {
     return Status::NotFound("unknown relation: " + name);

@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 
 namespace tempus {
@@ -72,6 +73,7 @@ Result<uint32_t> ConsumeU32(std::string_view body, size_t* pos) {
 }
 
 Status WriteFrame(int fd, FrameType type, std::string_view body) {
+  TEMPUS_FAULT_POINT("server.frame_write");
   if (body.size() + 1 > kMaxFramePayload) {
     return Status::InvalidArgument(
         StrFormat("frame payload too large: %zu bytes", body.size()));
@@ -85,6 +87,7 @@ Status WriteFrame(int fd, FrameType type, std::string_view body) {
 }
 
 Result<bool> ReadFrame(int fd, Frame* out) {
+  TEMPUS_FAULT_POINT("server.frame_read");
   char header[4];
   TEMPUS_ASSIGN_OR_RETURN(size_t got, RecvAll(fd, header, 4));
   if (got == 0) return false;  // Clean EOF between frames.

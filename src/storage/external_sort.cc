@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault.h"
+
 namespace tempus {
 
 ExternalSortStream::ExternalSortStream(std::unique_ptr<TupleStream> child,
@@ -101,6 +103,7 @@ Status ExternalSortStream::OpenImpl() {
       more = false;
     }
     if (buffer.size() == run_capacity || (!more && !buffer.empty())) {
+      TEMPUS_FAULT_POINT("storage.sort_spill");
       SortTuples(&buffer, spec_);
       PagedRelation run("run", child_->schema(), tuples_per_page_);
       for (Tuple& t : buffer) {
@@ -131,6 +134,7 @@ Status ExternalSortStream::OpenImpl() {
       for (size_t j = i; j < end; ++j) {
         group.push_back(std::move(runs_[j]));
       }
+      TEMPUS_FAULT_POINT("storage.sort_merge");
       metrics_.AddWorkspace(fan_in * tuples_per_page_);
       next_level.push_back(MergeRuns(std::move(group)));
       metrics_.SubWorkspace(fan_in * tuples_per_page_);

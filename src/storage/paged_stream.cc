@@ -1,5 +1,7 @@
 #include "storage/paged_stream.h"
 
+#include "common/fault.h"
+
 namespace tempus {
 
 PagedScanStream::PagedScanStream(const PagedRelation* relation,
@@ -22,6 +24,7 @@ Result<bool> PagedScanStream::NextImpl(Tuple* out) {
   while (page_index_ < relation_->page_count()) {
     const std::vector<Tuple>& page = relation_->page(page_index_);
     if (!page_charged_) {
+      TEMPUS_FAULT_POINT("storage.page_read");
       if (io_ != nullptr) io_->CountRead();
       page_charged_ = true;
     }

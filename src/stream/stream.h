@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/fault.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/trace.h"
@@ -39,9 +40,11 @@ class TupleStream {
   /// Schema of produced tuples; valid before Open().
   virtual const Schema& schema() const = 0;
 
-  /// Starts (or restarts) the stream. Checks the cancellation token (with
-  /// a full clock sample — Open() is cold) before doing any work.
+  /// Starts (or restarts) the stream. Checks the chaos fault point and
+  /// the cancellation token (with a full clock sample — Open() is cold)
+  /// before doing any work.
   Status Open() {
+    TEMPUS_FAULT_POINT("stream.open");
     if (cancel_ != nullptr) {
       TEMPUS_RETURN_IF_ERROR(cancel_->CheckNow());
     }
@@ -55,6 +58,7 @@ class TupleStream {
   /// from whichever operator Next()s next; untoken'd streams pay only the
   /// same null-pointer test as the trace hook.
   Result<bool> Next(Tuple* out) {
+    TEMPUS_FAULT_POINT("stream.next");
     if (cancel_ != nullptr) {
       Status cancelled = cancel_->Check();
       if (!cancelled.ok()) return cancelled;

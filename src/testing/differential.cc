@@ -1,0 +1,424 @@
+#include "testing/differential.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+#include "join/before_join.h"
+#include "join/nested_loop.h"
+#include "join/no_gc_join.h"
+#include "parallel/parallel_ops.h"
+#include "relation/csv.h"
+#include "stream/stream.h"
+
+namespace tempus {
+namespace testing {
+
+namespace {
+
+constexpr TemporalSortOrder kFA = kByValidFromAsc;
+constexpr TemporalSortOrder kFD = kByValidFromDesc;
+constexpr TemporalSortOrder kTA = kByValidToAsc;
+constexpr TemporalSortOrder kTD = kByValidToDesc;
+
+/// The paper's optimized two-buffer orderings for the containment
+/// semijoins — the combinations whose workspace bound is exactly zero
+/// state tuples.
+bool IsTwoBufferOrders(PairwiseOp op, TemporalSortOrder lo,
+                       TemporalSortOrder ro) {
+  if (op == PairwiseOp::kContainSemijoin) {
+    return (lo == kFA && ro == kTA) || (lo == kTD && ro == kFD);
+  }
+  if (op == PairwiseOp::kContainedSemijoin) {
+    return (lo == kTA && ro == kFA) || (lo == kFD && ro == kTD);
+  }
+  return false;
+}
+
+/// Sequential production operator (threads <= 1 makes the parallel
+/// wrappers build the sequential operator directly).
+Result<std::unique_ptr<TupleStream>> BuildStreamOperator(
+    const DifferentialCase& c, const TemporalRelation& left,
+    const TemporalRelation& right, size_t threads) {
+  switch (c.op) {
+    case PairwiseOp::kContainJoin: {
+      ContainJoinOptions options;
+      options.left_order = c.left_order;
+      options.right_order = c.right_order;
+      return MakeParallelContainJoin(VectorStream::Scan(left),
+                                     VectorStream::Scan(right), options,
+                                     threads);
+    }
+    case PairwiseOp::kOverlapJoin: {
+      AllenSweepJoinOptions options;
+      options.mask = AllenMask::Intersecting();
+      options.left_order = c.left_order;
+      options.right_order = c.right_order;
+      return MakeParallelAllenSweepJoin(VectorStream::Scan(left),
+                                        VectorStream::Scan(right), options,
+                                        threads);
+    }
+    case PairwiseOp::kOverlapSemijoin: {
+      OverlapSemijoinOptions options;
+      options.order = c.left_order;
+      return MakeParallelOverlapSemijoin(VectorStream::Scan(left),
+                                         VectorStream::Scan(right), options,
+                                         threads);
+    }
+    case PairwiseOp::kContainSemijoin: {
+      TemporalSemijoinOptions options;
+      options.left_order = c.left_order;
+      options.right_order = c.right_order;
+      return MakeParallelContainSemijoin(VectorStream::Scan(left),
+                                         VectorStream::Scan(right), options,
+                                         threads);
+    }
+    case PairwiseOp::kContainedSemijoin: {
+      TemporalSemijoinOptions options;
+      options.left_order = c.left_order;
+      options.right_order = c.right_order;
+      return MakeParallelContainedSemijoin(VectorStream::Scan(left),
+                                           VectorStream::Scan(right),
+                                           options, threads);
+    }
+    case PairwiseOp::kBeforeJoin: {
+      return MakeParallelBeforeJoin(VectorStream::Scan(left),
+                                    VectorStream::Scan(right),
+                                    BeforeJoinOptions{}, threads);
+    }
+    case PairwiseOp::kBeforeSemijoin: {
+      return MakeParallelBeforeSemijoin(VectorStream::Scan(left),
+                                        VectorStream::Scan(right), threads);
+    }
+    case PairwiseOp::kSelfContainedSemijoin: {
+      SelfSemijoinOptions options;
+      options.order = c.left_order;
+      return MakeParallelSelfContainedSemijoin(VectorStream::Scan(left),
+                                               options, threads);
+    }
+    case PairwiseOp::kSelfContainSemijoin: {
+      SelfSemijoinOptions options;
+      options.order = c.left_order;
+      return MakeParallelSelfContainSemijoin(VectorStream::Scan(left),
+                                             options, threads);
+    }
+    case PairwiseOp::kEquiJoin: {
+      return MakeParallelHashEquiJoin(VectorStream::Scan(left),
+                                      VectorStream::Scan(right), {0}, {0},
+                                      nullptr, JoinNaming{}, threads);
+    }
+  }
+  return Status::InvalidArgument("unknown operator");
+}
+
+/// Upcasts a factory result to the base stream type (Result<unique_ptr<D>>
+/// does not convert to Result<unique_ptr<B>> implicitly).
+template <typename T>
+Result<std::unique_ptr<TupleStream>> AsStream(Result<std::unique_ptr<T>> r) {
+  TEMPUS_ASSIGN_OR_RETURN(std::unique_ptr<T> stream, std::move(r));
+  return std::unique_ptr<TupleStream>(std::move(stream));
+}
+
+/// Order-free degenerate execution: NoGcStreamJoin for joins,
+/// NestedLoopSemijoin for semijoins. Consumes the operands as arranged.
+Result<std::unique_ptr<TupleStream>> BuildNoGcOperator(
+    const DifferentialCase& c, const TemporalRelation& left,
+    const TemporalRelation& right) {
+  const auto mask_predicate =
+      [&](AllenMask mask) -> Result<PairPredicate> {
+    return MakeIntervalPairPredicate(left.schema(), right.schema(), mask);
+  };
+  switch (c.op) {
+    case PairwiseOp::kContainJoin: {
+      TEMPUS_ASSIGN_OR_RETURN(
+          PairPredicate pred,
+          mask_predicate(AllenMask::Single(AllenRelation::kContains)));
+      return AsStream(NoGcStreamJoin::Create(VectorStream::Scan(left),
+                                             VectorStream::Scan(right),
+                                             std::move(pred)));
+    }
+    case PairwiseOp::kOverlapJoin: {
+      TEMPUS_ASSIGN_OR_RETURN(PairPredicate pred,
+                              mask_predicate(AllenMask::Intersecting()));
+      return AsStream(NoGcStreamJoin::Create(VectorStream::Scan(left),
+                                             VectorStream::Scan(right),
+                                             std::move(pred)));
+    }
+    case PairwiseOp::kBeforeJoin: {
+      TEMPUS_ASSIGN_OR_RETURN(
+          PairPredicate pred,
+          mask_predicate(AllenMask::Single(AllenRelation::kBefore)));
+      return AsStream(NoGcStreamJoin::Create(VectorStream::Scan(left),
+                                             VectorStream::Scan(right),
+                                             std::move(pred)));
+    }
+    case PairwiseOp::kEquiJoin: {
+      PairPredicate pred = [](const Tuple& l,
+                              const Tuple& r) -> Result<bool> {
+        return l[0].Equals(r[0]);
+      };
+      return AsStream(NoGcStreamJoin::Create(VectorStream::Scan(left),
+                                             VectorStream::Scan(right),
+                                             std::move(pred)));
+    }
+    case PairwiseOp::kOverlapSemijoin:
+    case PairwiseOp::kContainSemijoin:
+    case PairwiseOp::kContainedSemijoin:
+    case PairwiseOp::kBeforeSemijoin: {
+      AllenMask mask;
+      switch (c.op) {
+        case PairwiseOp::kOverlapSemijoin:
+          mask = AllenMask::Intersecting();
+          break;
+        case PairwiseOp::kContainSemijoin:
+          mask = AllenMask::Single(AllenRelation::kContains);
+          break;
+        case PairwiseOp::kContainedSemijoin:
+          mask = AllenMask::Single(AllenRelation::kDuring);
+          break;
+        default:
+          mask = AllenMask::Single(AllenRelation::kBefore);
+          break;
+      }
+      TEMPUS_ASSIGN_OR_RETURN(PairPredicate pred, mask_predicate(mask));
+      std::unique_ptr<TupleStream> semi =
+          std::make_unique<NestedLoopSemijoin>(VectorStream::Scan(left),
+                                               VectorStream::Scan(right),
+                                               std::move(pred));
+      return semi;
+    }
+    case PairwiseOp::kSelfContainedSemijoin:
+    case PairwiseOp::kSelfContainSemijoin: {
+      // Both scans borrow the same relation. `during`/`contains` are
+      // irreflexive, so the reference semantics' i != j guard is
+      // immaterial: a tuple never strictly contains itself.
+      const AllenRelation rel =
+          c.op == PairwiseOp::kSelfContainedSemijoin
+              ? AllenRelation::kDuring
+              : AllenRelation::kContains;
+      TEMPUS_ASSIGN_OR_RETURN(
+          PairPredicate pred,
+          MakeIntervalPairPredicate(left.schema(), left.schema(),
+                                    AllenMask::Single(rel)));
+      std::unique_ptr<TupleStream> semi =
+          std::make_unique<NestedLoopSemijoin>(VectorStream::Scan(left),
+                                               VectorStream::Scan(left),
+                                               std::move(pred));
+      return semi;
+    }
+  }
+  return Status::InvalidArgument("unknown operator");
+}
+
+/// All attributes ascending: a total order on tuples, so equal multisets
+/// serialize to byte-identical CSV.
+SortSpec CanonicalSortSpec(const Schema& schema) {
+  std::vector<SortKey> keys;
+  keys.reserve(schema.attribute_count());
+  for (size_t i = 0; i < schema.attribute_count(); ++i) {
+    keys.push_back({i, SortDirection::kAscending});
+  }
+  return SortSpec(std::move(keys));
+}
+
+Result<std::string> CanonicalCsv(const TemporalRelation& rel) {
+  const TemporalRelation sorted = rel.SortedBy(CanonicalSortSpec(rel.schema()));
+  std::ostringstream out;
+  TEMPUS_RETURN_IF_ERROR(WriteCsv(sorted, &out));
+  return out.str();
+}
+
+std::string FirstDiffLine(const std::string& engine,
+                          const std::string& oracle) {
+  std::istringstream es(engine);
+  std::istringstream os(oracle);
+  std::string el, ol;
+  size_t line = 0;
+  while (true) {
+    const bool eh = static_cast<bool>(std::getline(es, el));
+    const bool oh = static_cast<bool>(std::getline(os, ol));
+    ++line;
+    if (!eh && !oh) return "outputs identical";
+    if (eh != oh || el != ol) {
+      return StrFormat("line %zu: engine=%s oracle=%s", line,
+                       eh ? el.c_str() : "<eof>",
+                       oh ? ol.c_str() : "<eof>");
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kSequential: return "seq";
+    case ExecMode::kParallel: return "par";
+    case ExecMode::kNoGc: return "nogc";
+  }
+  return "unknown";
+}
+
+Result<ExecMode> ExecModeFromName(std::string_view name) {
+  if (name == "seq") return ExecMode::kSequential;
+  if (name == "par") return ExecMode::kParallel;
+  if (name == "nogc") return ExecMode::kNoGc;
+  return Status::InvalidArgument("unknown exec mode: " + std::string(name));
+}
+
+std::string_view OrderToken(TemporalSortOrder order) {
+  if (order == kFA) return "from-asc";
+  if (order == kFD) return "from-desc";
+  if (order == kTA) return "to-asc";
+  return "to-desc";
+}
+
+Result<TemporalSortOrder> OrderFromToken(std::string_view token) {
+  if (token == "from-asc") return kFA;
+  if (token == "from-desc") return kFD;
+  if (token == "to-asc") return kTA;
+  if (token == "to-desc") return kTD;
+  return Status::InvalidArgument("unknown order token: " +
+                                 std::string(token));
+}
+
+std::vector<std::pair<TemporalSortOrder, TemporalSortOrder>> SupportedOrders(
+    PairwiseOp op) {
+  switch (op) {
+    case PairwiseOp::kContainJoin:
+      return {{kFA, kFA}, {kFA, kTA}, {kTD, kTD}, {kTD, kFD}};
+    case PairwiseOp::kOverlapJoin:
+    case PairwiseOp::kOverlapSemijoin:
+    case PairwiseOp::kSelfContainedSemijoin:
+      return {{kFA, kFA}, {kTD, kTD}};
+    case PairwiseOp::kContainSemijoin:
+      return {{kFA, kTA}, {kTD, kFD}, {kFA, kFA}, {kTD, kTD}};
+    case PairwiseOp::kContainedSemijoin:
+      return {{kTA, kFA}, {kFD, kTD}, {kFA, kFA}, {kTD, kTD}};
+    case PairwiseOp::kSelfContainSemijoin:
+      return {{kFD, kFD}, {kTA, kTA}, {kFA, kFA}, {kTD, kTD}};
+    case PairwiseOp::kBeforeJoin:
+    case PairwiseOp::kBeforeSemijoin:
+    case PairwiseOp::kEquiJoin:
+      // Order-free: these are input arrangements, not requirements.
+      return {{kFA, kFA}, {kTD, kTD}, {kTA, kTA}};
+  }
+  return {};
+}
+
+Result<DifferentialResult> RunDifferentialCase(const DifferentialCase& c) {
+  // Operands. The right seed is decorrelated from the left by default.
+  WorkloadSpec left_spec{c.distribution, c.arrangement, c.count, c.seed};
+  WorkloadSpec right_spec{c.distribution, c.arrangement, c.count,
+                          c.right_seed != 0 ? c.right_seed
+                                            : c.seed * 7919 + 17};
+  TEMPUS_ASSIGN_OR_RETURN(TemporalRelation left,
+                          MakeWorkloadRelation("x", left_spec));
+  TEMPUS_ASSIGN_OR_RETURN(TemporalRelation right,
+                          MakeWorkloadRelation("y", right_spec));
+
+  TEMPUS_ASSIGN_OR_RETURN(
+      TemporalRelation oracle,
+      OracleEvaluate(c.op, left, IsSelfOp(c.op) ? left : right));
+
+  // Production inputs: sorted to the promised orders for the stream
+  // operators, consumed as arranged for the order-free no-GC execution.
+  TemporalRelation engine_left = left;
+  TemporalRelation engine_right = right;
+  if (c.mode != ExecMode::kNoGc) {
+    TEMPUS_ASSIGN_OR_RETURN(SortSpec lspec,
+                            c.left_order.ToSortSpec(left.schema()));
+    engine_left = left.SortedBy(lspec);
+    if (!IsSelfOp(c.op)) {
+      TEMPUS_ASSIGN_OR_RETURN(SortSpec rspec,
+                              c.right_order.ToSortSpec(right.schema()));
+      engine_right = right.SortedBy(rspec);
+    }
+  }
+
+  std::unique_ptr<TupleStream> stream;
+  if (c.mode == ExecMode::kNoGc) {
+    TEMPUS_ASSIGN_OR_RETURN(stream,
+                            BuildNoGcOperator(c, engine_left, engine_right));
+  } else {
+    const size_t threads = c.mode == ExecMode::kParallel ? c.threads : 1;
+    TEMPUS_ASSIGN_OR_RETURN(
+        stream, BuildStreamOperator(c, engine_left, engine_right, threads));
+  }
+
+  TEMPUS_ASSIGN_OR_RETURN(TemporalRelation engine_out,
+                          Materialize(stream.get(), "engine_out"));
+
+  DifferentialResult result;
+  result.oracle_tuples = oracle.size();
+  result.engine_tuples = engine_out.size();
+
+  const OperatorMetrics plan = CollectPlanMetrics(*stream);
+  result.peak_workspace = plan.peak_workspace_tuples;
+  result.ledger_ok =
+      plan.workspace_inserted == plan.gc_discarded + plan.workspace_tuples;
+
+  // Workspace bounds: only the sequential operators instantiate the
+  // paper's Table 1-3 formulas (parallel slices replicate straddlers and
+  // the no-GC execution is unbounded by design).
+  if (c.mode == ExecMode::kSequential) {
+    TEMPUS_ASSIGN_OR_RETURN(RelationStats sx, left.ComputeStats());
+    TEMPUS_ASSIGN_OR_RETURN(RelationStats sy, right.ComputeStats());
+    const size_t mc_sum = sx.max_concurrency + sy.max_concurrency + 2;
+    result.bound_checked = true;
+    switch (c.op) {
+      case PairwiseOp::kContainJoin:
+      case PairwiseOp::kOverlapJoin:
+        result.bound = mc_sum;
+        break;
+      case PairwiseOp::kOverlapSemijoin:
+        result.bound = 0;
+        break;
+      case PairwiseOp::kContainSemijoin:
+      case PairwiseOp::kContainedSemijoin:
+        result.bound = IsTwoBufferOrders(c.op, c.left_order, c.right_order)
+                           ? 0
+                           : mc_sum;
+        break;
+      case PairwiseOp::kBeforeJoin:
+      case PairwiseOp::kEquiJoin:
+        result.bound = right.size() + 1;
+        break;
+      case PairwiseOp::kBeforeSemijoin:
+      case PairwiseOp::kSelfContainedSemijoin:
+        result.bound = 1;
+        break;
+      case PairwiseOp::kSelfContainSemijoin:
+        result.bound = (c.left_order == kFD || c.left_order == kTA)
+                           ? 1
+                           : sx.max_concurrency + 1;
+        break;
+    }
+    result.bound_ok = result.peak_workspace <= result.bound;
+  }
+
+  TEMPUS_ASSIGN_OR_RETURN(std::string engine_csv, CanonicalCsv(engine_out));
+  TEMPUS_ASSIGN_OR_RETURN(std::string oracle_csv, CanonicalCsv(oracle));
+  result.match = engine_csv == oracle_csv;
+  if (!result.match) {
+    result.diff = FirstDiffLine(engine_csv, oracle_csv);
+  }
+  return result;
+}
+
+std::string ReproCommand(const DifferentialCase& c) {
+  return StrFormat(
+      "tempus_check --op=%s --mode=%s --dist=%s --arrangement=%s "
+      "--count=%zu --seed=%llu --right_seed=%llu --left_order=%s "
+      "--right_order=%s --threads=%zu",
+      std::string(PairwiseOpName(c.op)).c_str(),
+      std::string(ExecModeName(c.mode)).c_str(),
+      std::string(DistributionName(c.distribution)).c_str(),
+      std::string(ArrangementName(c.arrangement)).c_str(), c.count,
+      static_cast<unsigned long long>(c.seed),
+      static_cast<unsigned long long>(c.right_seed),
+      std::string(OrderToken(c.left_order)).c_str(),
+      std::string(OrderToken(c.right_order)).c_str(), c.threads);
+}
+
+}  // namespace testing
+}  // namespace tempus

@@ -1,0 +1,89 @@
+#ifndef TEMPUS_TESTING_DIFFERENTIAL_H_
+#define TEMPUS_TESTING_DIFFERENTIAL_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "join/join_common.h"
+#include "testing/oracle.h"
+#include "testing/workload.h"
+
+namespace tempus {
+namespace testing {
+
+/// How the production side of a differential case executes.
+enum class ExecMode {
+  kSequential,  ///< The paper's single-threaded stream operator.
+  kParallel,    ///< Time-range partitioned execution (docs/PARALLEL.md).
+  kNoGc,        ///< NoGcStreamJoin / NestedLoopSemijoin: order-free,
+                ///< unbounded-workspace degenerate stream processing.
+};
+
+std::string_view ExecModeName(ExecMode mode);
+Result<ExecMode> ExecModeFromName(std::string_view name);
+
+/// Stable CLI token for a sort order: "from-asc", "from-desc", "to-asc",
+/// "to-desc".
+std::string_view OrderToken(TemporalSortOrder order);
+Result<TemporalSortOrder> OrderFromToken(std::string_view token);
+
+/// One fully specified differential check. Both operands share the
+/// distribution/arrangement/count; the right operand derives its own seed
+/// (right_seed, or a fixed mix of `seed` when 0) so the relations differ.
+struct DifferentialCase {
+  PairwiseOp op = PairwiseOp::kContainJoin;
+  ExecMode mode = ExecMode::kSequential;
+  Distribution distribution = Distribution::kRandomMix;
+  Arrangement arrangement = Arrangement::kShuffled;
+  size_t count = 64;
+  uint64_t seed = 1;
+  uint64_t right_seed = 0;  // 0 derives from `seed`.
+  TemporalSortOrder left_order = kByValidFromAsc;
+  TemporalSortOrder right_order = kByValidFromAsc;
+  size_t threads = 4;  // Worker count in kParallel mode.
+};
+
+struct DifferentialResult {
+  /// Engine and oracle outputs are byte-identical after canonical sorting.
+  bool match = false;
+  /// The instantiated Table 1-3 workspace bound held (always true when
+  /// bound_checked is false — parallel/no-GC modes and the repo's sweep
+  /// extensions have no paper bound).
+  bool bound_ok = true;
+  bool bound_checked = false;
+  /// workspace_inserted == gc_discarded + workspace_tuples over the plan.
+  bool ledger_ok = false;
+  size_t oracle_tuples = 0;
+  size_t engine_tuples = 0;
+  size_t peak_workspace = 0;
+  size_t bound = 0;
+  /// First line of divergence (empty when match).
+  std::string diff;
+
+  bool ok() const { return match && bound_ok && ledger_ok; }
+};
+
+/// The (left, right) order combinations the sequential/parallel operator
+/// accepts. Order-free operators (Before-join/semijoin, equi-join) return
+/// three input arrangements since any order works; self-semijoins use only
+/// the left element of each pair.
+std::vector<std::pair<TemporalSortOrder, TemporalSortOrder>> SupportedOrders(
+    PairwiseOp op);
+
+/// Generates the operands, evaluates the oracle and the production
+/// configuration, and compares. Returns an error only when the harness
+/// itself cannot run (bad spec, operator construction failure, execution
+/// error); a mismatch is reported in the result, not as an error.
+Result<DifferentialResult> RunDifferentialCase(const DifferentialCase& c);
+
+/// One-line reproduction command for a failing case, suitable for pasting
+/// into a shell next to the built examples/ directory.
+std::string ReproCommand(const DifferentialCase& c);
+
+}  // namespace testing
+}  // namespace tempus
+
+#endif  // TEMPUS_TESTING_DIFFERENTIAL_H_

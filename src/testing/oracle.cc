@@ -1,0 +1,173 @@
+#include "testing/oracle.h"
+
+#include "join/join_common.h"
+
+namespace tempus {
+namespace testing {
+
+namespace {
+
+struct Endpoints {
+  TimePoint from;
+  TimePoint to;
+};
+
+Endpoints EndpointsOf(const Schema& schema, const Tuple& t) {
+  return {t[schema.valid_from_index()].time_value(),
+          t[schema.valid_to_index()].time_value()};
+}
+
+bool Contains(Endpoints x, Endpoints y) {
+  return x.from < y.from && y.to < x.to;
+}
+
+bool Intersects(Endpoints x, Endpoints y) {
+  return x.from < y.to && y.from < x.to;
+}
+
+bool Before(Endpoints x, Endpoints y) { return x.to < y.from; }
+
+}  // namespace
+
+const std::vector<PairwiseOp>& AllPairwiseOps() {
+  static const std::vector<PairwiseOp> ops = {
+      PairwiseOp::kContainJoin,          PairwiseOp::kOverlapJoin,
+      PairwiseOp::kOverlapSemijoin,      PairwiseOp::kContainSemijoin,
+      PairwiseOp::kContainedSemijoin,    PairwiseOp::kBeforeJoin,
+      PairwiseOp::kBeforeSemijoin,       PairwiseOp::kSelfContainedSemijoin,
+      PairwiseOp::kSelfContainSemijoin,  PairwiseOp::kEquiJoin,
+  };
+  return ops;
+}
+
+std::string_view PairwiseOpName(PairwiseOp op) {
+  switch (op) {
+    case PairwiseOp::kContainJoin: return "contain-join";
+    case PairwiseOp::kOverlapJoin: return "overlap-join";
+    case PairwiseOp::kOverlapSemijoin: return "overlap-semijoin";
+    case PairwiseOp::kContainSemijoin: return "contain-semijoin";
+    case PairwiseOp::kContainedSemijoin: return "contained-semijoin";
+    case PairwiseOp::kBeforeJoin: return "before-join";
+    case PairwiseOp::kBeforeSemijoin: return "before-semijoin";
+    case PairwiseOp::kSelfContainedSemijoin: return "self-contained-semijoin";
+    case PairwiseOp::kSelfContainSemijoin: return "self-contain-semijoin";
+    case PairwiseOp::kEquiJoin: return "equi-join";
+  }
+  return "unknown";
+}
+
+Result<PairwiseOp> PairwiseOpFromName(std::string_view name) {
+  for (PairwiseOp op : AllPairwiseOps()) {
+    if (PairwiseOpName(op) == name) return op;
+  }
+  return Status::InvalidArgument("unknown operator: " + std::string(name));
+}
+
+bool IsSelfOp(PairwiseOp op) {
+  return op == PairwiseOp::kSelfContainedSemijoin ||
+         op == PairwiseOp::kSelfContainSemijoin;
+}
+
+bool IsSemijoin(PairwiseOp op) {
+  switch (op) {
+    case PairwiseOp::kOverlapSemijoin:
+    case PairwiseOp::kContainSemijoin:
+    case PairwiseOp::kContainedSemijoin:
+    case PairwiseOp::kBeforeSemijoin:
+    case PairwiseOp::kSelfContainedSemijoin:
+    case PairwiseOp::kSelfContainSemijoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<TemporalRelation> OracleEvaluate(PairwiseOp op,
+                                        const TemporalRelation& x,
+                                        const TemporalRelation& y) {
+  const Schema& xs = x.schema();
+  if (!xs.has_lifespan()) {
+    return Status::InvalidArgument("oracle operand has no lifespan: " +
+                                   x.name());
+  }
+
+  // Self-semijoins: one operand, pairs restricted to distinct indices.
+  if (IsSelfOp(op)) {
+    TemporalRelation out("oracle_out", xs);
+    for (size_t i = 0; i < x.size(); ++i) {
+      const Endpoints xi = EndpointsOf(xs, x.tuple(i));
+      for (size_t j = 0; j < x.size(); ++j) {
+        if (i == j) continue;
+        const Endpoints xj = EndpointsOf(xs, x.tuple(j));
+        const bool hit = op == PairwiseOp::kSelfContainedSemijoin
+                             ? Contains(xj, xi)
+                             : Contains(xi, xj);
+        if (hit) {
+          TEMPUS_RETURN_IF_ERROR(out.Append(x.tuple(i)));
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  const Schema& ys = y.schema();
+  if (!ys.has_lifespan()) {
+    return Status::InvalidArgument("oracle operand has no lifespan: " +
+                                   y.name());
+  }
+
+  const auto predicate = [op](Endpoints a, Endpoints b,
+                              const Tuple& tx, const Tuple& ty) {
+    switch (op) {
+      case PairwiseOp::kContainJoin:
+      case PairwiseOp::kContainSemijoin:
+        return Contains(a, b);
+      case PairwiseOp::kContainedSemijoin:
+        return Contains(b, a);
+      case PairwiseOp::kOverlapJoin:
+      case PairwiseOp::kOverlapSemijoin:
+        return Intersects(a, b);
+      case PairwiseOp::kBeforeJoin:
+      case PairwiseOp::kBeforeSemijoin:
+        return Before(a, b);
+      case PairwiseOp::kEquiJoin:
+        return tx[0].Equals(ty[0]);
+      default:
+        return false;
+    }
+  };
+
+  if (IsSemijoin(op)) {
+    TemporalRelation out("oracle_out", xs);
+    for (size_t i = 0; i < x.size(); ++i) {
+      const Endpoints xi = EndpointsOf(xs, x.tuple(i));
+      for (size_t j = 0; j < y.size(); ++j) {
+        const Endpoints yj = EndpointsOf(ys, y.tuple(j));
+        if (predicate(xi, yj, x.tuple(i), y.tuple(j))) {
+          TEMPUS_RETURN_IF_ERROR(out.Append(x.tuple(i)));
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  TEMPUS_ASSIGN_OR_RETURN(Schema out_schema,
+                          MakeJoinOutputSchema(xs, ys, JoinNaming{}));
+  TemporalRelation out("oracle_out", out_schema);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const Endpoints xi = EndpointsOf(xs, x.tuple(i));
+    for (size_t j = 0; j < y.size(); ++j) {
+      const Endpoints yj = EndpointsOf(ys, y.tuple(j));
+      if (predicate(xi, yj, x.tuple(i), y.tuple(j))) {
+        TEMPUS_RETURN_IF_ERROR(
+            out.Append(Tuple::Concat(x.tuple(i), y.tuple(j))));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace testing
+}  // namespace tempus

@@ -1,0 +1,199 @@
+#include "testing/workload.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/random.h"
+#include "relation/schema.h"
+#include "relation/sort_spec.h"
+
+namespace tempus {
+namespace testing {
+
+namespace {
+
+struct Span {
+  TimePoint from;
+  TimePoint to;
+};
+
+std::vector<Span> GenerateSpans(Distribution d, size_t count, Rng* rng) {
+  std::vector<Span> spans;
+  spans.reserve(count);
+  switch (d) {
+    case Distribution::kAllOverlapping: {
+      // Every lifespan covers [100, 101): the sweep state cannot collect
+      // until end-of-stream, so peaks hit the max_concurrency ceiling.
+      for (size_t i = 0; i < count; ++i) {
+        const TimePoint from = rng->UniformInt(0, 100);
+        const TimePoint to = rng->UniformInt(101, 200);
+        spans.push_back({from, to});
+      }
+      break;
+    }
+    case Distribution::kNestedChains: {
+      // Chains of strictly nested lifespans, the containment adversary.
+      const size_t depth = 8;
+      size_t produced = 0;
+      for (TimePoint base = 0; produced < count; base += 1000) {
+        for (size_t level = 0; level < depth && produced < count; ++level) {
+          const TimePoint off = static_cast<TimePoint>(level);
+          spans.push_back({base + off,
+                           base + 2 * static_cast<TimePoint>(depth) - off});
+          ++produced;
+        }
+      }
+      break;
+    }
+    case Distribution::kPointIntervals: {
+      // Minimal-width lifespans (the schema requires TS < TE) clustered so
+      // identical intervals occur.
+      const int64_t hi = static_cast<int64_t>(count) / 2 + 1;
+      for (size_t i = 0; i < count; ++i) {
+        const TimePoint t = rng->UniformInt(0, hi);
+        spans.push_back({t, t + 1});
+      }
+      break;
+    }
+    case Distribution::kDuplicateEndpoints: {
+      // Endpoints on a coarse grid: massive ties on both ValidFrom and
+      // ValidTo exercise the secondary sort keys and tie-breaking rules.
+      for (size_t i = 0; i < count; ++i) {
+        const TimePoint from = 10 * rng->UniformInt(0, 4);
+        const TimePoint to = from + 10 * rng->UniformInt(1, 3);
+        spans.push_back({from, to});
+      }
+      break;
+    }
+    case Distribution::kSequentialMeets: {
+      // Consecutive lifespans touch exactly (x.TE == next.TS): zero
+      // overlap, all `meets` boundaries — half-open off-by-ones show here.
+      TimePoint t = 0;
+      for (size_t i = 0; i < count; ++i) {
+        const TimePoint d = rng->UniformInt(1, 5);
+        spans.push_back({t, t + d});
+        t += d;
+      }
+      break;
+    }
+    case Distribution::kRandomMix: {
+      for (size_t i = 0; i < count; ++i) {
+        const TimePoint from = rng->UniformInt(0, 4 * static_cast<int64_t>(count) + 4);
+        const TimePoint d =
+            1 + static_cast<TimePoint>(rng->Exponential(8.0));
+        spans.push_back({from, from + d});
+      }
+      break;
+    }
+  }
+  return spans;
+}
+
+}  // namespace
+
+const std::vector<Distribution>& AllDistributions() {
+  static const std::vector<Distribution> all = {
+      Distribution::kAllOverlapping,     Distribution::kNestedChains,
+      Distribution::kPointIntervals,     Distribution::kDuplicateEndpoints,
+      Distribution::kSequentialMeets,    Distribution::kRandomMix,
+  };
+  return all;
+}
+
+const std::vector<Arrangement>& AllArrangements() {
+  static const std::vector<Arrangement> all = {
+      Arrangement::kSorted, Arrangement::kReverse, Arrangement::kShuffled};
+  return all;
+}
+
+std::string_view DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kAllOverlapping: return "all-overlapping";
+    case Distribution::kNestedChains: return "nested-chains";
+    case Distribution::kPointIntervals: return "point-intervals";
+    case Distribution::kDuplicateEndpoints: return "duplicate-endpoints";
+    case Distribution::kSequentialMeets: return "sequential-meets";
+    case Distribution::kRandomMix: return "random-mix";
+  }
+  return "unknown";
+}
+
+Result<Distribution> DistributionFromName(std::string_view name) {
+  for (Distribution d : AllDistributions()) {
+    if (DistributionName(d) == name) return d;
+  }
+  return Status::InvalidArgument("unknown distribution: " +
+                                 std::string(name));
+}
+
+std::string_view ArrangementName(Arrangement a) {
+  switch (a) {
+    case Arrangement::kSorted: return "sorted";
+    case Arrangement::kReverse: return "reverse";
+    case Arrangement::kShuffled: return "shuffled";
+  }
+  return "unknown";
+}
+
+Result<Arrangement> ArrangementFromName(std::string_view name) {
+  for (Arrangement a : AllArrangements()) {
+    if (ArrangementName(a) == name) return a;
+  }
+  return Status::InvalidArgument("unknown arrangement: " +
+                                 std::string(name));
+}
+
+Result<TemporalRelation> MakeWorkloadRelation(const std::string& name,
+                                              const WorkloadSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<Span> spans = GenerateSpans(spec.distribution, spec.count,
+                                          &rng);
+
+  TemporalRelation rel(name, Schema::Canonical("S", ValueType::kInt64, "V",
+                                               ValueType::kInt64));
+  const int64_t surrogate_range =
+      std::max<int64_t>(1, static_cast<int64_t>(spec.count) / 4);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    TEMPUS_RETURN_IF_ERROR(
+        rel.AppendRow(Value::Int(rng.UniformInt(0, surrogate_range - 1)),
+                      Value::Int(static_cast<int64_t>(i)), spans[i].from,
+                      spans[i].to));
+  }
+
+  switch (spec.arrangement) {
+    case Arrangement::kSorted: {
+      TEMPUS_ASSIGN_OR_RETURN(
+          SortSpec by_from,
+          SortSpec::ByLifespan(rel.schema(), TemporalField::kValidFrom,
+                               SortDirection::kAscending));
+      rel.SortBy(by_from);
+      break;
+    }
+    case Arrangement::kReverse: {
+      TEMPUS_ASSIGN_OR_RETURN(
+          SortSpec by_from_desc,
+          SortSpec::ByLifespan(rel.schema(), TemporalField::kValidFrom,
+                               SortDirection::kDescending));
+      rel.SortBy(by_from_desc);
+      break;
+    }
+    case Arrangement::kShuffled: {
+      // Fisher-Yates on a copy: TemporalRelation exposes no in-place
+      // permutation, so rebuild in shuffled order.
+      std::vector<size_t> perm(rel.size());
+      for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      for (size_t i = perm.size(); i > 1; --i) {
+        std::swap(perm[i - 1], perm[rng.NextBounded(i)]);
+      }
+      TemporalRelation shuffled(name, rel.schema());
+      for (size_t i : perm) {
+        TEMPUS_RETURN_IF_ERROR(shuffled.Append(rel.tuple(i)));
+      }
+      return shuffled;
+    }
+  }
+  return rel;
+}
+
+}  // namespace testing
+}  // namespace tempus

@@ -1,0 +1,60 @@
+#ifndef TEMPUS_TESTING_WORKLOAD_H_
+#define TEMPUS_TESTING_WORKLOAD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/temporal_relation.h"
+
+namespace tempus {
+namespace testing {
+
+/// Adversarial interval distributions for the differential harness. Each
+/// targets a specific failure mode of the sweep/GC algorithms: state that
+/// never collects (kAllOverlapping), deep containment (kNestedChains),
+/// degenerate unit lifespans (kPointIntervals), endpoint ties that stress
+/// secondary sort keys (kDuplicateEndpoints), touching-endpoint `meets`
+/// boundaries (kSequentialMeets), and a mixed baseline (kRandomMix).
+enum class Distribution {
+  kAllOverlapping,
+  kNestedChains,
+  kPointIntervals,
+  kDuplicateEndpoints,
+  kSequentialMeets,
+  kRandomMix,
+};
+
+/// Physical tuple order the generator leaves the relation in. The engine
+/// sorts inputs to an operator's promised order anyway; the arrangement
+/// matters for order-free operators and the no-GC executions, which consume
+/// the relation as arranged.
+enum class Arrangement { kSorted, kReverse, kShuffled };
+
+const std::vector<Distribution>& AllDistributions();
+const std::vector<Arrangement>& AllArrangements();
+
+std::string_view DistributionName(Distribution d);
+Result<Distribution> DistributionFromName(std::string_view name);
+std::string_view ArrangementName(Arrangement a);
+Result<Arrangement> ArrangementFromName(std::string_view name);
+
+struct WorkloadSpec {
+  Distribution distribution = Distribution::kRandomMix;
+  Arrangement arrangement = Arrangement::kShuffled;
+  size_t count = 64;
+  uint64_t seed = 1;
+};
+
+/// Generates a canonical <S, V, ValidFrom, ValidTo> relation per the spec,
+/// deterministic in the seed. Surrogates collide (drawn from a small
+/// range) so the equi-join produces output; V carries the tuple index so
+/// every generated tuple is distinguishable in diffs.
+Result<TemporalRelation> MakeWorkloadRelation(const std::string& name,
+                                              const WorkloadSpec& spec);
+
+}  // namespace testing
+}  // namespace tempus
+
+#endif  // TEMPUS_TESTING_WORKLOAD_H_

@@ -1,0 +1,205 @@
+// Server-side chaos: injected wire and execution faults against a live
+// TqlServer. The FaultInjector is process-global and the test client
+// shares the process, so a frame fault can fire on either side of the
+// socket — every assertion below holds for both outcomes: the request
+// fails with a Status (never partial rows as success), the server
+// survives, and once faults clear a fresh request succeeds.
+
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "exec/engine.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using testing::MakeIntervals;
+
+const char* kQuery =
+    "range of a is R range of b is R retrieve (a.S) where a during b";
+
+class ChaosServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().Reset();
+    TEMPUS_ASSERT_OK(engine_.mutable_catalog()->Register(MakeIntervals(
+        "R", {{0, 10}, {2, 5}, {3, 4}, {6, 9}, {7, 8}, {11, 12}})));
+    server_ = std::make_unique<TqlServer>(&engine_, ServerOptions{});
+    TEMPUS_ASSERT_OK(server_->Start());
+  }
+
+  void TearDown() override {
+    FaultInjector::Global().Reset();
+    server_->Shutdown();
+    // The unwind contract held everywhere or this ticked.
+    EXPECT_EQ(server_->counters().ledger_violations.load(), 0u);
+  }
+
+  Result<TqlClient> Connect() {
+    return TqlClient::Connect("127.0.0.1", server_->port());
+  }
+
+  /// The server is alive and consistent: a brand-new connection completes
+  /// the reference query.
+  void ExpectServerHealthy() {
+    Result<TqlClient> client = Connect();
+    TEMPUS_ASSERT_OK(client.status());
+    Result<QueryResponse> response = client->Query(kQuery);
+    TEMPUS_ASSERT_OK(response.status());
+    Result<TemporalRelation> rel = response->ToRelation();
+    TEMPUS_ASSERT_OK(rel.status());
+    EXPECT_GT(rel->size(), 0u);
+  }
+
+  Engine engine_;
+  std::unique_ptr<TqlServer> server_;
+};
+
+TEST_F(ChaosServerTest, ExecutionFaultIsReportedInBandAndSessionSurvives) {
+  Result<TqlClient> client = Connect();
+  TEMPUS_ASSERT_OK(client.status());
+
+  // Only the server runs stream operators, so this fires server-side.
+  FaultSpec spec;
+  spec.trigger_at = 5;
+  spec.repeat = true;
+  spec.code = StatusCode::kUnavailable;
+  spec.message = "chaos: worker lost";
+  FaultInjector::Global().Arm("stream.next", spec);
+
+  Result<QueryResponse> response = client->Query(kQuery);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(FaultInjector::Global().FireCount("stream.next"), 1u);
+
+  // In-band error: the session (and its connection) stays usable.
+  FaultInjector::Global().Reset();
+  Result<QueryResponse> retry = client->Query(kQuery);
+  TEMPUS_ASSERT_OK(retry.status());
+  EXPECT_GE(server_->counters().queries_failed.load(), 1u);
+  ExpectServerHealthy();
+}
+
+TEST_F(ChaosServerTest, FrameWriteFaultFailsTheRequestNotTheServer) {
+  Result<TqlClient> client = Connect();
+  TEMPUS_ASSERT_OK(client.status());
+  TEMPUS_ASSERT_OK(client->Query(kQuery).status());
+
+  // Single shot: the next frame write anywhere in the process fails —
+  // the client's request write or the server's response write, whichever
+  // comes first.
+  FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.message = "chaos: wire cut on write";
+  FaultInjector::Global().Arm("server.frame_write", spec);
+
+  Result<QueryResponse> response = client->Query(kQuery);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(FaultInjector::Global().FireCount("server.frame_write"), 1u);
+
+  FaultInjector::Global().Reset();
+  ExpectServerHealthy();
+}
+
+TEST_F(ChaosServerTest, FrameReadFaultFailsTheRequestNotTheServer) {
+  Result<TqlClient> client = Connect();
+  TEMPUS_ASSERT_OK(client.status());
+  TEMPUS_ASSERT_OK(client->Query(kQuery).status());
+
+  FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.message = "chaos: wire cut on read";
+  FaultInjector::Global().Arm("server.frame_read", spec);
+
+  // The client's response read or the server's next request read fires;
+  // either way this round trip cannot succeed with partial data. Poll for
+  // the fire: the server's reader thread may reach its next ReadFrame
+  // slightly after our round trip returns.
+  Result<QueryResponse> response = client->Query(kQuery);
+  for (int i = 0;
+       i < 200 && FaultInjector::Global().FireCount("server.frame_read") == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(FaultInjector::Global().FireCount("server.frame_read"), 1u);
+  if (response.ok()) {
+    // The server's idle read fired after streaming the complete response:
+    // the session died, not the request. The response must be whole.
+    Result<TemporalRelation> rel = response->ToRelation();
+    TEMPUS_ASSERT_OK(rel.status());
+    EXPECT_GT(rel->size(), 0u);
+  }
+
+  FaultInjector::Global().Reset();
+  ExpectServerHealthy();
+}
+
+TEST_F(ChaosServerTest, RepeatedWireFaultsNeverWedgeTheAcceptLoop) {
+  // A burst of requests while every 3rd frame write fails. Sessions die;
+  // the accept loop must keep taking replacements.
+  FaultSpec spec;
+  spec.trigger_at = 3;
+  spec.repeat = true;
+  spec.code = StatusCode::kUnavailable;
+  spec.message = "chaos: flaky wire";
+  FaultInjector::Global().Arm("server.frame_write", spec);
+
+  size_t failures = 0;
+  for (int i = 0; i < 8; ++i) {
+    Result<TqlClient> client = Connect();
+    if (!client.ok()) {
+      ++failures;
+      continue;
+    }
+    if (!client->Query(kQuery).ok()) ++failures;
+  }
+  EXPECT_GT(failures, 0u);
+  EXPECT_GE(FaultInjector::Global().FireCount("server.frame_write"), 1u);
+
+  FaultInjector::Global().Reset();
+  ExpectServerHealthy();
+}
+
+TEST_F(ChaosServerTest, CatalogDropFaultIsReportedInBandOverTheWire) {
+  Result<TqlClient> client = Connect();
+  TEMPUS_ASSERT_OK(client.status());
+
+  FaultSpec spec;
+  FaultInjector::Global().Arm("catalog.drop", spec);
+  EXPECT_FALSE(client->DropRelation("R").ok());
+
+  // The drop was refused atomically: the relation is fully usable.
+  FaultInjector::Global().Reset();
+  ExpectServerHealthy();
+  EXPECT_TRUE(engine_.catalog().Contains("R"));
+}
+
+TEST_F(ChaosServerTest, WireFaultPointsAreReachable) {
+  // Sentinel coverage for the two server.* registry entries (the
+  // pipeline points are proven by the query chaos suite).
+  FaultSpec sentinel;
+  sentinel.trigger_at = 1000000000;
+  FaultInjector::Global().Arm("sentinel.coverage", sentinel);
+
+  Result<TqlClient> client = Connect();
+  TEMPUS_ASSERT_OK(client.status());
+  TEMPUS_ASSERT_OK(client->Query(kQuery).status());
+
+  const std::vector<std::string> seen = FaultInjector::Global().SeenPoints();
+  const std::set<std::string> seen_set(seen.begin(), seen.end());
+  EXPECT_TRUE(seen_set.count("server.frame_write"));
+  EXPECT_TRUE(seen_set.count("server.frame_read"));
+}
+
+}  // namespace
+}  // namespace tempus

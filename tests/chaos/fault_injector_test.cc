@@ -1,0 +1,230 @@
+#include "common/fault.h"
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancellation.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+/// A Status-returning function hosting a fault point, exactly as the
+/// library call sites do.
+Status GuardedStep() {
+  TEMPUS_FAULT_POINT("test.step");
+  return Status::Ok();
+}
+
+/// A Result-returning host: the macro must compose with both idioms.
+Result<int> GuardedValue() {
+  TEMPUS_FAULT_POINT("test.value");
+  return 42;
+}
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedIsInvisible) {
+  EXPECT_FALSE(FaultInjector::armed());
+  for (int i = 0; i < 10; ++i) {
+    TEMPUS_EXPECT_OK(GuardedStep());
+  }
+  // The macro never called Hit() — nothing was counted.
+  EXPECT_EQ(FaultInjector::Global().HitCount("test.step"), 0u);
+}
+
+TEST_F(FaultInjectorTest, SingleShotFiresExactlyAtTriggerHit) {
+  FaultSpec spec;
+  spec.action = FaultAction::kError;
+  spec.trigger_at = 3;
+  FaultInjector::Global().Arm("test.step", spec);
+  EXPECT_TRUE(FaultInjector::armed());
+
+  TEMPUS_EXPECT_OK(GuardedStep());
+  TEMPUS_EXPECT_OK(GuardedStep());
+  Status third = GuardedStep();
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kInternal);
+  EXPECT_EQ(third.message(), "injected fault");
+  // Single-shot: later hits pass again.
+  TEMPUS_EXPECT_OK(GuardedStep());
+  EXPECT_EQ(FaultInjector::Global().HitCount("test.step"), 4u);
+  EXPECT_EQ(FaultInjector::Global().FireCount("test.step"), 1u);
+}
+
+TEST_F(FaultInjectorTest, RepeatFiresEveryHitFromTrigger) {
+  FaultSpec spec;
+  spec.trigger_at = 2;
+  spec.repeat = true;
+  spec.code = StatusCode::kUnavailable;
+  spec.message = "flaky";
+  FaultInjector::Global().Arm("test.step", spec);
+
+  TEMPUS_EXPECT_OK(GuardedStep());
+  for (int i = 0; i < 5; ++i) {
+    Status s = GuardedStep();
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(s.message(), "flaky");
+  }
+  EXPECT_EQ(FaultInjector::Global().FireCount("test.step"), 5u);
+}
+
+TEST_F(FaultInjectorTest, ResultReturningHostPropagates) {
+  FaultSpec spec;
+  FaultInjector::Global().Arm("test.value", spec);
+  Result<int> value = GuardedValue();
+  EXPECT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kInternal);
+  // Disarmed again after Reset: the value flows.
+  FaultInjector::Global().Reset();
+  Result<int> again = GuardedValue();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 42);
+}
+
+TEST_F(FaultInjectorTest, ProbabilisticModeIsDeterministicInSeed) {
+  const auto run = [](uint64_t seed) {
+    FaultInjector::Global().Reset();
+    FaultSpec spec;
+    spec.repeat = true;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    FaultInjector::Global().Arm("test.step", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!GuardedStep().ok());
+    }
+    return fired;
+  };
+  const std::vector<bool> a = run(7);
+  const std::vector<bool> b = run(7);
+  const std::vector<bool> c = run(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 2^-64 flake odds: distinct seeds, distinct streams.
+  // A fair-ish coin: not all-pass, not all-fail.
+  size_t fires = 0;
+  for (bool f : a) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 8u);
+  EXPECT_LT(fires, 56u);
+}
+
+TEST_F(FaultInjectorTest, DelayActionStallsButSucceeds) {
+  FaultSpec spec;
+  spec.action = FaultAction::kDelay;
+  spec.delay_ms = 20;
+  FaultInjector::Global().Arm("test.step", spec);
+  const auto start = std::chrono::steady_clock::now();
+  TEMPUS_EXPECT_OK(GuardedStep());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            20);
+  EXPECT_EQ(FaultInjector::Global().FireCount("test.step"), 1u);
+}
+
+TEST_F(FaultInjectorTest, CancelActionTripsTheToken) {
+  CancellationToken token;
+  FaultSpec spec;
+  spec.action = FaultAction::kCancel;
+  spec.message = "pulled the plug";
+  spec.token = &token;
+  FaultInjector::Global().Arm("test.step", spec);
+  Status s = GuardedStep();
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_FALSE(token.Check().ok());
+}
+
+TEST_F(FaultInjectorTest, CancelWithoutTokenStillFails) {
+  FaultSpec spec;
+  spec.action = FaultAction::kCancel;
+  FaultInjector::Global().Arm("test.step", spec);
+  EXPECT_EQ(GuardedStep().code(), StatusCode::kCancelled);
+}
+
+TEST_F(FaultInjectorTest, DisarmStopsFiringButKeepsCounters) {
+  FaultSpec spec;
+  spec.repeat = true;
+  FaultInjector::Global().Arm("test.step", spec);
+  EXPECT_FALSE(GuardedStep().ok());
+  FaultInjector::Global().Disarm("test.step");
+  EXPECT_FALSE(FaultInjector::armed());
+  TEMPUS_EXPECT_OK(GuardedStep());  // Macro short-circuits: not counted.
+  EXPECT_EQ(FaultInjector::Global().HitCount("test.step"), 1u);
+  EXPECT_EQ(FaultInjector::Global().FireCount("test.step"), 1u);
+}
+
+TEST_F(FaultInjectorTest, SeenPointsCountsUnarmedPointsWhileArmed) {
+  // Arming a sentinel turns on hit accounting for every point the
+  // workload reaches — the chaos drivers use this to prove coverage of
+  // the whole registry.
+  FaultSpec spec;
+  spec.trigger_at = 1000000;  // Never fires.
+  FaultInjector::Global().Arm("sentinel.never", spec);
+  TEMPUS_EXPECT_OK(GuardedStep());
+  Result<int> v = GuardedValue();
+  TEMPUS_EXPECT_OK(v.status());
+  const std::vector<std::string> seen = FaultInjector::Global().SeenPoints();
+  const std::set<std::string> seen_set(seen.begin(), seen.end());
+  EXPECT_TRUE(seen_set.count("test.step"));
+  EXPECT_TRUE(seen_set.count("test.value"));
+}
+
+TEST_F(FaultInjectorTest, KnownPointRegistryIsWellFormed) {
+  std::set<std::string> names;
+  for (const char* name : kKnownFaultPoints) {
+    EXPECT_NE(std::string(name), "");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate: " << name;
+  }
+  EXPECT_GE(names.size(), 9u);
+}
+
+TEST_F(FaultInjectorTest, ConcurrentHitsSerializeConsistently) {
+  FaultSpec spec;
+  spec.trigger_at = 50;
+  spec.repeat = true;
+  FaultInjector::Global().Arm("test.step", spec);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&failures] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!GuardedStep().ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const uint64_t hits = FaultInjector::Global().HitCount("test.step");
+  const uint64_t fires = FaultInjector::Global().FireCount("test.step");
+  EXPECT_EQ(hits, static_cast<uint64_t>(kThreads * kPerThread));
+  // Every hit from the 50th on fired, exactly once each, no lost updates.
+  EXPECT_EQ(fires, hits - 49);
+  EXPECT_EQ(static_cast<uint64_t>(failures.load()), fires);
+}
+
+TEST_F(FaultInjectorTest, RearmResetsHitCounting) {
+  FaultSpec spec;
+  spec.trigger_at = 2;
+  FaultInjector::Global().Arm("test.step", spec);
+  TEMPUS_EXPECT_OK(GuardedStep());
+  EXPECT_FALSE(GuardedStep().ok());
+  FaultInjector::Global().Arm("test.step", spec);  // Counters restart.
+  EXPECT_EQ(FaultInjector::Global().HitCount("test.step"), 0u);
+  TEMPUS_EXPECT_OK(GuardedStep());
+  EXPECT_FALSE(GuardedStep().ok());
+}
+
+}  // namespace
+}  // namespace tempus

@@ -135,5 +135,15 @@ TEST(AllenSweepJoinTest, EmptyInputs) {
   CheckMask(empty, x, AllenMask::Intersecting());
 }
 
+TEST(AllenSweepJoinTest, SingletonInputs) {
+  const TemporalRelation x = MakeIntervals("X", {{0, 10}});
+  const TemporalRelation touching = MakeIntervals("Y", {{3, 12}});
+  const TemporalRelation apart = MakeIntervals("Y", {{20, 30}});
+  CheckMask(x, touching, AllenMask::Intersecting());
+  CheckMask(x, touching, AllenMask::Single(AllenRelation::kOverlaps));
+  CheckMask(x, apart, AllenMask::Intersecting());
+  CheckMask(x, x, AllenMask::Single(AllenRelation::kEqual), kByValidToDesc);
+}
+
 }  // namespace
 }  // namespace tempus

@@ -106,6 +106,40 @@ TEST(BeforeSemijoinTest, BoundaryIsStrict) {
   EXPECT_EQ(out.LifespanOf(0), Interval(0, 4));
 }
 
+TEST(BeforeJoinTest, EmptyAndSingletonInputs) {
+  const TemporalRelation early = MakeIntervals("X", {{0, 2}});
+  const TemporalRelation late = MakeIntervals("Y", {{5, 7}});
+  const TemporalRelation empty = MakeIntervals("E", {});
+  const AllenMask before = AllenMask::Single(AllenRelation::kBefore);
+  const std::pair<const TemporalRelation*, const TemporalRelation*> cases[] =
+      {{&early, &late}, {&late, &early}, {&early, &early},
+       {&early, &empty}, {&empty, &late}, {&empty, &empty}};
+  for (const auto& [l, r] : cases) {
+    Result<std::unique_ptr<BeforeJoinStream>> join = BeforeJoinStream::Create(
+        VectorStream::Scan(*l), VectorStream::Scan(*r));
+    ASSERT_TRUE(join.ok()) << join.status().ToString();
+    ExpectSameTuples(MustMaterialize(join->get(), "out"),
+                     ReferenceMaskJoin(*l, *r, before));
+  }
+}
+
+TEST(BeforeSemijoinTest, EmptyAndSingletonInputs) {
+  const TemporalRelation early = MakeIntervals("X", {{0, 2}});
+  const TemporalRelation late = MakeIntervals("Y", {{5, 7}});
+  const TemporalRelation empty = MakeIntervals("E", {});
+  const AllenMask before = AllenMask::Single(AllenRelation::kBefore);
+  const std::pair<const TemporalRelation*, const TemporalRelation*> cases[] =
+      {{&early, &late}, {&late, &early}, {&early, &early},
+       {&empty, &late}, {&empty, &empty}};
+  for (const auto& [l, r] : cases) {
+    Result<std::unique_ptr<BeforeSemijoin>> semi = BeforeSemijoin::Create(
+        VectorStream::Scan(*l), VectorStream::Scan(*r));
+    ASSERT_TRUE(semi.ok()) << semi.status().ToString();
+    ExpectSameTuples(MustMaterialize(semi->get(), "out"),
+                     ReferenceMaskSemijoin(*l, *r, before));
+  }
+}
+
 TEST(BeforeJoinTest, UnsortedRightGetsSorted) {
   const TemporalRelation x = MakeIntervals("X", {{0, 1}, {0, 3}});
   const TemporalRelation y = MakeIntervals("Y", {{9, 10}, {2, 4}, {5, 6}});

@@ -91,6 +91,20 @@ TEST(ContainJoinTest, EmptyInputs) {
                         ContainJoinReadPolicy::kTimestampSweep);
 }
 
+TEST(ContainJoinTest, SingletonInputs) {
+  const TemporalRelation container = MakeIntervals("X", {{0, 10}});
+  const TemporalRelation inside = MakeIntervals("Y", {{2, 5}});
+  const TemporalRelation outside = MakeIntervals("Y", {{20, 30}});
+  // One matching pair, one disjoint pair, and a tuple against itself
+  // (strict containment is irreflexive).
+  CheckAgainstReference(container, inside, kByValidFromAsc, kByValidFromAsc,
+                        ContainJoinReadPolicy::kTimestampSweep);
+  CheckAgainstReference(container, outside, kByValidFromAsc, kByValidToAsc,
+                        ContainJoinReadPolicy::kTimestampSweep);
+  CheckAgainstReference(container, container, kByValidToDesc, kByValidToDesc,
+                        ContainJoinReadPolicy::kTimestampSweep);
+}
+
 TEST(ContainJoinTest, AllSupportedOrderCombosAgree) {
   IntervalWorkloadConfig config;
   config.count = 300;

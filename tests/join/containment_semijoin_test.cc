@@ -139,6 +139,36 @@ TEST(ContainmentSemijoinTest, EmptyInputs) {
   CheckContained(empty, empty, kByValidToAsc, kByValidFromAsc);
 }
 
+TEST(ContainmentSemijoinTest, SingletonInputs) {
+  const TemporalRelation container = MakeIntervals("X", {{0, 10}});
+  const TemporalRelation inside = MakeIntervals("Y", {{2, 5}});
+  CheckContain(container, inside, kByValidFromAsc, kByValidToAsc);
+  CheckContain(inside, container, kByValidFromAsc, kByValidToAsc);
+  CheckContained(inside, container, kByValidToAsc, kByValidFromAsc);
+  CheckContained(container, inside, kByValidFromAsc, kByValidFromAsc);
+  // Irreflexive: a single tuple never witnesses itself.
+  CheckContain(container, container, kByValidFromAsc, kByValidFromAsc);
+}
+
+TEST(ContainmentSemijoinTest, SweepDiscardsDeadOnArrivalContainers) {
+  // Regression (found by the differential harness; repro was
+  // tempus_check --op=contained-semijoin --dist=sequential-meets
+  // --left_order=to-desc --right_order=to-desc): under the sweep
+  // orderings, a container whose span ends at or before the next
+  // containee's sweep start can never witness anything, yet it used to
+  // stay buffered until the next containee was processed — on a meets
+  // chain the state grew with the input instead of holding the Table 1
+  // bound mc_x + mc_y + 2 = 4.
+  std::vector<std::pair<TimePoint, TimePoint>> chain;
+  for (TimePoint t = 0; t < 40; t += 2) chain.push_back({t, t + 2});
+  const TemporalRelation x = MakeIntervals("X", chain);
+  size_t peak = 0;
+  CheckContained(x, x, kByValidToDesc, kByValidToDesc, false, &peak);
+  EXPECT_LE(peak, 4u);
+  CheckContain(x, x, kByValidFromAsc, kByValidFromAsc, false, &peak);
+  EXPECT_LE(peak, 4u);
+}
+
 TEST(ContainmentSemijoinTest, RejectsInappropriateOrderings) {
   const TemporalRelation x = MakeIntervals("X", {{0, 10}});
   TemporalSemijoinOptions options;

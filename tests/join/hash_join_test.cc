@@ -78,6 +78,27 @@ TEST(HashEquiJoinTest, ValidatesKeys) {
                    .ok());
 }
 
+TEST(HashEquiJoinTest, EmptyAndSingletonInputs) {
+  const TemporalRelation f = Faculty("F");
+  TemporalRelation empty("E", f.schema());
+  TemporalRelation single("S", f.schema());
+  TEMPUS_ASSERT_OK(single.AppendRow(Value::Str("Smith"),
+                                    Value::Str("Assistant"), 0, 10));
+  auto join_size = [](const TemporalRelation& l,
+                      const TemporalRelation& r) -> size_t {
+    Result<std::unique_ptr<HashEquiJoin>> join = HashEquiJoin::Create(
+        VectorStream::Scan(l), VectorStream::Scan(r), {0}, {0}, nullptr,
+        {"a", "b"});
+    EXPECT_TRUE(join.ok()) << join.status().ToString();
+    return MustMaterialize(join->get(), "out").size();
+  };
+  EXPECT_EQ(join_size(empty, f), 0u);
+  EXPECT_EQ(join_size(f, empty), 0u);
+  EXPECT_EQ(join_size(empty, empty), 0u);
+  EXPECT_EQ(join_size(single, f), 2u);  // Smith has two Faculty rows.
+  EXPECT_EQ(join_size(single, single), 1u);
+}
+
 TEST(HashEquiJoinTest, NoMatches) {
   const TemporalRelation f = Faculty("F");
   TemporalRelation other("O", f.schema());

@@ -160,5 +160,24 @@ TEST(EndpointMergeJoinTest, EmptyInputs) {
   EXPECT_EQ(MustMaterialize(join->get(), "out").size(), 0u);
 }
 
+TEST(EndpointMergeJoinTest, SingletonInputs) {
+  const TemporalRelation a = MakeIntervals("X", {{3, 8}});
+  const TemporalRelation meets = MakeIntervals("Y", {{8, 11}});
+  const TemporalRelation apart = MakeIntervals("Y", {{9, 12}});
+  EndpointMergeJoinOptions options;
+  options.left_key = TemporalField::kValidTo;
+  options.right_key = TemporalField::kValidFrom;
+  options.residual = AllenMask::Single(AllenRelation::kMeets);
+  for (const TemporalRelation* y : {&meets, &apart}) {
+    Result<std::unique_ptr<EndpointMergeJoin>> join =
+        EndpointMergeJoin::Create(VectorStream::Scan(a),
+                                  VectorStream::Scan(*y), options);
+    ASSERT_TRUE(join.ok()) << join.status().ToString();
+    ExpectSameTuples(
+        MustMaterialize(join->get(), "out"),
+        ReferenceMaskJoin(a, *y, AllenMask::Single(AllenRelation::kMeets)));
+  }
+}
+
 }  // namespace
 }  // namespace tempus

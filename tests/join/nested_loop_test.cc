@@ -52,6 +52,54 @@ TEST(NestedLoopJoinTest, EmptyInputs) {
   EXPECT_EQ(MustMaterialize(join2->get(), "out").size(), 0u);
 }
 
+TEST(NestedLoopJoinTest, SingletonInputs) {
+  const TemporalRelation container = MakeIntervals("X", {{0, 10}});
+  const TemporalRelation inside = MakeIntervals("Y", {{2, 5}});
+  const TemporalRelation outside = MakeIntervals("Y", {{20, 30}});
+  Result<PairPredicate> pred = MakeIntervalPairPredicate(
+      container.schema(), inside.schema(),
+      AllenMask::Single(AllenRelation::kContains));
+  ASSERT_TRUE(pred.ok());
+  Result<std::unique_ptr<NestedLoopJoin>> hit = NestedLoopJoin::Create(
+      VectorStream::Scan(container), VectorStream::Scan(inside), *pred);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(MustMaterialize(hit->get(), "out").size(), 1u);
+  Result<std::unique_ptr<NestedLoopJoin>> miss = NestedLoopJoin::Create(
+      VectorStream::Scan(container), VectorStream::Scan(outside), *pred);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(MustMaterialize(miss->get(), "out").size(), 0u);
+}
+
+TEST(NestedLoopSemijoinTest, EmptyAndSingletonInputs) {
+  const TemporalRelation container = MakeIntervals("X", {{0, 10}});
+  const TemporalRelation inside = MakeIntervals("Y", {{2, 5}});
+  const TemporalRelation empty = MakeIntervals("E", {});
+  Result<PairPredicate> pred = MakeIntervalPairPredicate(
+      container.schema(), inside.schema(),
+      AllenMask::Single(AllenRelation::kContains));
+  ASSERT_TRUE(pred.ok());
+  {
+    NestedLoopSemijoin semi(VectorStream::Scan(container),
+                            VectorStream::Scan(inside), *pred);
+    EXPECT_EQ(MustMaterialize(&semi, "out").size(), 1u);
+  }
+  {
+    NestedLoopSemijoin semi(VectorStream::Scan(inside),
+                            VectorStream::Scan(container), *pred);
+    EXPECT_EQ(MustMaterialize(&semi, "out").size(), 0u);
+  }
+  {
+    NestedLoopSemijoin semi(VectorStream::Scan(container),
+                            VectorStream::Scan(empty), *pred);
+    EXPECT_EQ(MustMaterialize(&semi, "out").size(), 0u);
+  }
+  {
+    NestedLoopSemijoin semi(VectorStream::Scan(empty),
+                            VectorStream::Scan(inside), *pred);
+    EXPECT_EQ(MustMaterialize(&semi, "out").size(), 0u);
+  }
+}
+
 TEST(NestedLoopSemijoinTest, EmitsEachMatchingLeftOnce) {
   const TemporalRelation x = MakeIntervals("X", {{0, 10}, {20, 30}, {0, 9}});
   const TemporalRelation y = MakeIntervals("Y", {{2, 5}, {3, 4}});

@@ -70,6 +70,26 @@ TEST(NoGcStreamJoinTest, RequiresPredicate) {
                    .ok());
 }
 
+TEST(NoGcStreamJoinTest, EmptyAndSingletonInputs) {
+  const TemporalRelation container = MakeIntervals("X", {{0, 10}});
+  const TemporalRelation inside = MakeIntervals("Y", {{2, 5}});
+  const TemporalRelation empty = MakeIntervals("E", {});
+  const AllenMask mask = AllenMask::Single(AllenRelation::kContains);
+  Result<PairPredicate> pred =
+      MakeIntervalPairPredicate(container.schema(), inside.schema(), mask);
+  ASSERT_TRUE(pred.ok());
+  const std::pair<const TemporalRelation*, const TemporalRelation*> cases[] =
+      {{&container, &inside}, {&inside, &container}, {&container, &empty},
+       {&empty, &inside},     {&empty, &empty}};
+  for (const auto& [l, r] : cases) {
+    Result<std::unique_ptr<NoGcStreamJoin>> join = NoGcStreamJoin::Create(
+        VectorStream::Scan(*l), VectorStream::Scan(*r), *pred);
+    ASSERT_TRUE(join.ok()) << join.status().ToString();
+    ExpectSameTuples(MustMaterialize(join->get(), "out"),
+                     ReferenceMaskJoin(*l, *r, mask));
+  }
+}
+
 TEST(NoGcStreamJoinTest, AsymmetricSizes) {
   const TemporalRelation x = MakeIntervals("X", {{0, 100}});
   const TemporalRelation y =

@@ -93,6 +93,32 @@ TEST(OverlapSemijoinTest, EmptyInputs) {
   CheckOverlapSemijoin(empty, x, kByValidFromAsc);
 }
 
+TEST(OverlapSemijoinTest, SingletonInputs) {
+  const TemporalRelation x = MakeIntervals("X", {{0, 5}});
+  const TemporalRelation touching = MakeIntervals("Y", {{3, 9}});
+  const TemporalRelation apart = MakeIntervals("Y", {{20, 30}});
+  CheckOverlapSemijoin(x, touching, kByValidFromAsc);
+  CheckOverlapSemijoin(x, apart, kByValidFromAsc);
+  CheckOverlapSemijoin(x, x, kByValidToDesc);  // Reflexive: emits itself.
+}
+
+TEST(OverlapJoinTest, EmptyAndSingletonInputs) {
+  const TemporalRelation x = MakeIntervals("X", {{0, 5}});
+  const TemporalRelation touching = MakeIntervals("Y", {{3, 9}});
+  const TemporalRelation apart = MakeIntervals("Y", {{20, 30}});
+  const TemporalRelation empty = MakeIntervals("E", {});
+  const std::pair<const TemporalRelation*, const TemporalRelation*> cases[] =
+      {{&x, &touching}, {&x, &apart}, {&x, &empty},
+       {&empty, &x},    {&empty, &empty}};
+  for (const auto& [l, r] : cases) {
+    Result<std::unique_ptr<AllenSweepJoin>> join =
+        MakeOverlapJoin(VectorStream::Scan(*l), VectorStream::Scan(*r));
+    ASSERT_TRUE(join.ok()) << join.status().ToString();
+    ExpectSameTuples(MustMaterialize(join->get(), "out"),
+                     ReferenceMaskJoin(*l, *r, AllenMask::Intersecting()));
+  }
+}
+
 TEST(OverlapSemijoinTest, RejectsBadOrder) {
   const TemporalRelation x = MakeIntervals("X", {{0, 5}});
   OverlapSemijoinOptions options;

@@ -136,6 +136,40 @@ TEST(ExternalSortTest, ValidatesArguments) {
                    .ok());
 }
 
+TEST(ExternalSortTest, DuplicateKeysAcrossPages) {
+  // Many tuples share each ValidFrom value and the input spans well over
+  // one page, so every run boundary and merge step sees key ties. The
+  // sort must keep all duplicates (no drops, no double-emits) and the
+  // output must compare nondecreasing on the key across run boundaries.
+  TemporalRelation rel("R", Schema::Canonical("S", ValueType::kInt64, "V",
+                                              ValueType::kInt64));
+  const TimePoint starts[] = {7, 3, 7, 0, 3, 7, 0, 9, 3, 9,
+                              0, 7, 3, 9, 0, 7, 9, 3, 0, 7};
+  for (int rep = 0; rep < 3; ++rep) {
+    for (size_t i = 0; i < std::size(starts); ++i) {
+      TEMPUS_ASSERT_OK(rel.AppendRow(Value::Int(rep * 100 + int64_t(i)),
+                                     Value::Int(0), starts[i],
+                                     starts[i] + 2));
+    }
+  }
+  const SortSpec target =
+      SortSpec::ByLifespan(rel.schema(), TemporalField::kValidFrom,
+                           SortDirection::kAscending)
+          .value();
+  PageIoCounter io;
+  // 60 tuples at 4 per page = 15 pages; 3 workspace pages -> 5 runs and
+  // a real multi-level merge.
+  std::unique_ptr<ExternalSortStream> sort =
+      ExternalSortStream::Create(VectorStream::Scan(rel), target,
+                                 /*tuples_per_page=*/4,
+                                 /*workspace_pages=*/3, &io)
+          .value();
+  const TemporalRelation out = MustMaterialize(sort.get(), "out");
+  EXPECT_TRUE(out.EqualsIgnoringOrder(rel));
+  EXPECT_TRUE(IsSorted(out.tuples(), target));
+  EXPECT_GT(sort->initial_run_count(), 1u);
+}
+
 TEST(ExternalSortTest, EmptyInput) {
   const TemporalRelation rel = MakeIntervals("R", {});
   const SortSpec spec =
