@@ -6,10 +6,16 @@
 // Exits nonzero on any mismatch, bound violation, or ledger break; every
 // failure prints a one-line repro command.
 //
-//   tempus_check --sweep [--count=64] [--seed=1]
+//   tempus_check --sweep [--count=64] [--seed=1] [--storage=disk]
 //   tempus_check --op=contain-join --mode=seq --dist=nested-chains \
 //       --arrangement=shuffled --count=64 --seed=7 \
-//       --left_order=from-asc --right_order=from-asc --threads=4
+//       --left_order=from-asc --right_order=from-asc --threads=4 \
+//       --storage=disk --frames=4 --page=8
+//
+// --storage=disk spills both operands to compressed page files and scans
+// them through a private buffer pool of --frames frames (0 = the
+// TEMPUS_FRAME_BUDGET default), --page tuples per page — the same
+// byte-identical oracle comparison, now exercising the storage stack.
 
 #include <cstdio>
 #include <cstdlib>
@@ -67,7 +73,9 @@ int RunCase(const DifferentialCase& c, bool verbose) {
   return 0;
 }
 
-int Sweep(size_t count, uint64_t seed, bool verbose) {
+int Sweep(const DifferentialCase& base, bool verbose) {
+  const size_t count = base.count;
+  const uint64_t seed = base.seed;
   int failures = 0;
   size_t cases = 0;
   for (tempus::testing::PairwiseOp op : tempus::testing::AllPairwiseOps()) {
@@ -80,7 +88,7 @@ int Sweep(size_t count, uint64_t seed, bool verbose) {
           for (tempus::testing::ExecMode mode :
                {tempus::testing::ExecMode::kSequential,
                 tempus::testing::ExecMode::kParallel}) {
-            DifferentialCase c;
+            DifferentialCase c = base;
             c.op = op;
             c.mode = mode;
             c.distribution = dist;
@@ -94,7 +102,7 @@ int Sweep(size_t count, uint64_t seed, bool verbose) {
           }
         }
         // No-GC mode is order-free; the arrangement is the input order.
-        DifferentialCase c;
+        DifferentialCase c = base;
         c.op = op;
         c.mode = tempus::testing::ExecMode::kNoGc;
         c.distribution = dist;
@@ -177,12 +185,25 @@ int main(int argc, char** argv) {
     } else if (ConsumeFlag(arg, "threads", &v)) {
       c.threads = static_cast<size_t>(std::strtoull(
           std::string(v).c_str(), nullptr, 10));
+    } else if (ConsumeFlag(arg, "storage", &v)) {
+      auto storage = tempus::testing::StorageModeFromName(v);
+      if (!storage.ok()) {
+        std::fprintf(stderr, "%s\n", storage.status().ToString().c_str());
+        return 2;
+      }
+      c.storage = *storage;
+    } else if (ConsumeFlag(arg, "frames", &v)) {
+      c.frame_budget = static_cast<size_t>(std::strtoull(
+          std::string(v).c_str(), nullptr, 10));
+    } else if (ConsumeFlag(arg, "page", &v)) {
+      c.tuples_per_page = static_cast<size_t>(std::strtoull(
+          std::string(v).c_str(), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
     }
   }
-  if (sweep) return Sweep(c.count, c.seed, verbose);
+  if (sweep) return Sweep(c, verbose);
   if (!have_op) {
     std::fprintf(stderr, "need --op=... or --sweep (see header comment)\n");
     return 2;

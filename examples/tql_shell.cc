@@ -7,7 +7,7 @@
 //   ...> <blank line>
 //
 // Commands: \tables   \explain on|off   \analyze on|off   \trace on|off
-//           \threads N   \quit
+//           \threads N   \spill <relation> [tuples_per_page]   \quit
 //
 // Non-interactive modes (exit status 0 on success, 1 on any error):
 //   $ ./tql_shell -c 'range of e is Events
@@ -26,6 +26,7 @@
 #include "datagen/faculty_gen.h"
 #include "datagen/interval_gen.h"
 #include "exec/engine.h"
+#include "storage/paged_relation.h"
 
 namespace {
 
@@ -141,10 +142,43 @@ int main(int argc, char** argv) {
     if (line == "\\quit" || line == "\\q") break;
     if (line == "\\tables") {
       for (const std::string& name : engine.catalog().Names()) {
-        const tempus::TemporalRelation* rel =
-            engine.catalog().Lookup(name).value();
-        std::printf("  %s %s [%zu tuples]\n", name.c_str(),
-                    rel->schema().ToString().c_str(), rel->size());
+        tempus::Result<const tempus::TemporalRelation*> mem =
+            engine.catalog().Lookup(name);
+        if (mem.ok()) {
+          std::printf("  %s %s [%zu tuples]\n", name.c_str(),
+                      (*mem)->schema().ToString().c_str(), (*mem)->size());
+          continue;
+        }
+        tempus::Result<std::shared_ptr<const tempus::PagedRelation>> paged =
+            engine.catalog().LookupPaged(name);
+        if (paged.ok()) {
+          std::printf("  %s %s [%zu tuples, disk: %zu pages, %.2fx "
+                      "compressed]\n",
+                      name.c_str(), (*paged)->schema().ToString().c_str(),
+                      (*paged)->size(), (*paged)->page_count(),
+                      (*paged)->compression_ratio());
+        }
+      }
+      std::printf("tql> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (line.rfind("\\spill", 0) == 0) {
+      std::istringstream args(line.substr(6));
+      std::string name;
+      size_t parsed = 0;
+      if (!(args >> name)) {
+        std::printf("usage: \\spill <relation> [tuples_per_page]\n");
+      } else {
+        const size_t per_page = (args >> parsed && parsed > 0) ? parsed : 1024;
+        tempus::Status spilled = engine.SpillRelation(name, per_page);
+        if (spilled.ok()) {
+          std::printf("spilled %s to disk (%zu tuples/page); scans now go "
+                      "through the buffer pool\n",
+                      name.c_str(), per_page);
+        } else {
+          std::printf("error: %s\n", spilled.ToString().c_str());
+        }
       }
       std::printf("tql> ");
       std::fflush(stdout);

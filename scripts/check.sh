@@ -3,6 +3,9 @@
 #   build/       plain RelWithDebInfo, full ctest
 #   build-tsan/  ThreadSanitizer, the concurrency suites + chaos harness
 #   build-asan/  AddressSanitizer+UBSan, full ctest
+# Each tree then re-runs its suites with TEMPUS_FRAME_BUDGET=4, forcing
+# every disk-backed scan through a 4-frame buffer pool so eviction and
+# overcommit paths run under memory pressure (docs/STORAGE.md).
 # Where loopback sockets are unavailable, each ctest invocation falls
 # back to `-LE net` (dropping server_test / chaos_server_test only).
 set -uo pipefail
@@ -15,11 +18,13 @@ fail=0
 run_ctest() {
   local dir=$1
   shift
-  if (cd "$dir" && ctest --output-on-failure -j "$JOBS" "$@"); then
+  # --no-tests=error: a selection that matches nothing is a gate bug,
+  # not a pass.
+  if (cd "$dir" && ctest --output-on-failure --no-tests=error -j "$JOBS" "$@"); then
     return 0
   fi
   echo "== $dir: ctest failed; retrying without net-labeled suites ==" >&2
-  if (cd "$dir" && ctest --output-on-failure -j "$JOBS" "$@" -LE net); then
+  if (cd "$dir" && ctest --output-on-failure --no-tests=error -j "$JOBS" "$@" -LE net); then
     echo "== $dir: clean without net suites (loopback unavailable?) ==" >&2
     return 0
   fi
@@ -36,13 +41,19 @@ build_tree() {
 
 echo "== plain tree =="
 build_tree build && run_ctest build
+echo "== plain tree, TEMPUS_FRAME_BUDGET=4 =="
+TEMPUS_FRAME_BUDGET=4 run_ctest build
 
 echo "== TSan tree (concurrency suites + chaos harness) =="
 build_tree build-tsan -DTEMPUS_SANITIZE=thread &&
-  run_ctest build-tsan -R 'parallel_test|server_test|chaos'
+  run_ctest build-tsan -L 'concurrency|chaos'
+echo "== TSan tree, TEMPUS_FRAME_BUDGET=4 =="
+TEMPUS_FRAME_BUDGET=4 run_ctest build-tsan -L 'concurrency|chaos'
 
 echo "== ASan+UBSan tree =="
 build_tree build-asan -DTEMPUS_SANITIZE=address && run_ctest build-asan
+echo "== ASan+UBSan tree, TEMPUS_FRAME_BUDGET=4 =="
+TEMPUS_FRAME_BUDGET=4 run_ctest build-asan
 
 if [ "$fail" -ne 0 ]; then
   echo "CHECK FAILED" >&2

@@ -1,0 +1,234 @@
+#include "buffer/buffer_manager.h"
+
+#include <cstdlib>
+
+#include "common/fault.h"
+#include "common/string_util.h"
+
+namespace tempus {
+
+double BufferPoolStats::compression_ratio() const {
+  if (encoded_bytes == 0) return 1.0;
+  return static_cast<double>(raw_bytes) / static_cast<double>(encoded_bytes);
+}
+
+std::string BufferPoolStats::ToJson() const {
+  return StrFormat(
+      "{\"frame_budget\":%zu,\"frames_resident\":%zu,"
+      "\"frames_pinned\":%zu,\"hits\":%llu,\"misses\":%llu,"
+      "\"evictions\":%llu,\"readaheads\":%llu,\"bytes_read\":%llu,"
+      "\"bytes_written\":%llu,\"raw_bytes\":%llu,\"encoded_bytes\":%llu,"
+      "\"compression_ratio\":%.3f}",
+      frame_budget, frames_resident, frames_pinned,
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses),
+      static_cast<unsigned long long>(evictions),
+      static_cast<unsigned long long>(readaheads),
+      static_cast<unsigned long long>(bytes_read),
+      static_cast<unsigned long long>(bytes_written),
+      static_cast<unsigned long long>(raw_bytes),
+      static_cast<unsigned long long>(encoded_bytes), compression_ratio());
+}
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pool_(other.pool_),
+      file_id_(other.file_id_),
+      page_id_(other.page_id_),
+      tuples_(std::move(other.tuples_)) {
+  other.pool_ = nullptr;
+  other.tuples_.reset();
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    file_id_ = other.file_id_;
+    page_id_ = other.page_id_;
+    tuples_ = std::move(other.tuples_);
+    other.pool_ = nullptr;
+    other.tuples_.reset();
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(file_id_, page_id_);
+    pool_ = nullptr;
+  }
+  tuples_.reset();
+}
+
+BufferManager::BufferManager(size_t frame_budget)
+    : frame_budget_(frame_budget == 0 ? 1 : frame_budget) {}
+
+size_t BufferManager::DefaultFrameBudget() {
+  if (const char* env = std::getenv("TEMPUS_FRAME_BUDGET")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+  }
+  return 256;
+}
+
+BufferManager& BufferManager::Global() {
+  static BufferManager* global = new BufferManager(DefaultFrameBudget());
+  return *global;
+}
+
+Status BufferManager::MakeRoom(size_t units, BufferPinStats* stats) {
+  while (frames_resident_ + units > frame_budget_ && !lru_.empty()) {
+    TEMPUS_FAULT_POINT("buffer.evict");
+    const Key victim = lru_.front();
+    lru_.pop_front();
+    auto it = frames_.find(victim);
+    frames_resident_ -= it->second.frame_units;
+    frames_.erase(it);
+    ++evictions_;
+    if (stats != nullptr) ++stats->evictions;
+  }
+  // If everything left is pinned we overcommit: pins are truth, the
+  // budget is a target.
+  return Status::Ok();
+}
+
+Result<PageHandle> BufferManager::Pin(const PageFile& file, size_t page_id,
+                                      BufferPinStats* stats) {
+  const Key key{file.id(), page_id};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
+    Frame& frame = it->second;
+    if (frame.pins == 0) {
+      lru_.erase(frame.lru_pos);
+      frames_pinned_ += frame.frame_units;
+    }
+    ++frame.pins;
+    ++hits_;
+    if (stats != nullptr) ++stats->hits;
+    return PageHandle(this, key.file_id, key.page_id, frame.tuples);
+  }
+
+  const size_t units = file.PageFrames(page_id);
+  if (units == 0) {
+    return Status::OutOfRange(
+        StrFormat("pin: page %zu not in file %llu", page_id,
+                  static_cast<unsigned long long>(file.id())));
+  }
+  TEMPUS_RETURN_IF_ERROR(MakeRoom(units, stats));
+  auto tuples = std::make_shared<std::vector<Tuple>>();
+  PageReadInfo info;
+  TEMPUS_RETURN_IF_ERROR(file.ReadPage(page_id, tuples.get(), &info));
+  ++misses_;
+  bytes_read_ += info.bytes_read;
+  if (stats != nullptr) {
+    ++stats->misses;
+    stats->bytes_read += info.bytes_read;
+  }
+  Frame frame;
+  frame.tuples = std::shared_ptr<const std::vector<Tuple>>(std::move(tuples));
+  frame.frame_units = static_cast<uint32_t>(units);
+  frame.pins = 1;
+  frames_resident_ += units;
+  frames_pinned_ += units;
+  auto inserted = frames_.emplace(key, std::move(frame)).first;
+  return PageHandle(this, key.file_id, key.page_id, inserted->second.tuples);
+}
+
+Status BufferManager::Readahead(const PageFile& file, size_t first_page,
+                                size_t max_pages) {
+  const size_t page_count = file.page_count();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t p = first_page; p < first_page + max_pages; ++p) {
+    if (p >= page_count) break;
+    const Key key{file.id(), p};
+    if (frames_.find(key) != frames_.end()) continue;
+    const size_t units = file.PageFrames(p);
+    if (frames_resident_ + units > frame_budget_) break;  // Never evict.
+    auto tuples = std::make_shared<std::vector<Tuple>>();
+    PageReadInfo info;
+    TEMPUS_RETURN_IF_ERROR(file.ReadPage(p, tuples.get(), &info));
+    ++readaheads_;
+    bytes_read_ += info.bytes_read;
+    Frame frame;
+    frame.tuples =
+        std::shared_ptr<const std::vector<Tuple>>(std::move(tuples));
+    frame.frame_units = static_cast<uint32_t>(units);
+    frame.pins = 0;
+    frames_resident_ += units;
+    auto inserted = frames_.emplace(key, std::move(frame)).first;
+    lru_.push_back(key);
+    inserted->second.lru_pos = std::prev(lru_.end());
+  }
+  return Status::Ok();
+}
+
+void BufferManager::Unpin(uint64_t file_id, size_t page_id) {
+  const Key key{file_id, page_id};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(key);
+  if (it == frames_.end()) return;  // File dropped while pinned.
+  Frame& frame = it->second;
+  if (frame.pins == 0) return;
+  if (--frame.pins == 0) {
+    frames_pinned_ -= frame.frame_units;
+    lru_.push_back(key);
+    frame.lru_pos = std::prev(lru_.end());
+  }
+}
+
+void BufferManager::DropFile(uint64_t file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.lower_bound(Key{file_id, 0});
+  while (it != frames_.end() && it->first.file_id == file_id) {
+    Frame& frame = it->second;
+    frames_resident_ -= frame.frame_units;
+    if (frame.pins == 0) {
+      lru_.erase(frame.lru_pos);
+    } else {
+      frames_pinned_ -= frame.frame_units;
+    }
+    it = frames_.erase(it);
+  }
+}
+
+void BufferManager::NoteWrite(uint64_t bytes, uint64_t raw_bytes,
+                              uint64_t encoded_bytes) {
+  bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  raw_bytes_.fetch_add(raw_bytes, std::memory_order_relaxed);
+  encoded_bytes_.fetch_add(encoded_bytes, std::memory_order_relaxed);
+}
+
+size_t BufferManager::frame_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frame_budget_;
+}
+
+void BufferManager::set_frame_budget(size_t budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frame_budget_ = budget == 0 ? 1 : budget;
+}
+
+BufferPoolStats BufferManager::Stats() const {
+  BufferPoolStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.frame_budget = frame_budget_;
+    stats.frames_resident = frames_resident_;
+    stats.frames_pinned = frames_pinned_;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.evictions = evictions_;
+    stats.readaheads = readaheads_;
+    stats.bytes_read = bytes_read_;
+  }
+  stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  stats.raw_bytes = raw_bytes_.load(std::memory_order_relaxed);
+  stats.encoded_bytes = encoded_bytes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace tempus

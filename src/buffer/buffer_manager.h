@@ -1,0 +1,187 @@
+#ifndef TEMPUS_BUFFER_BUFFER_MANAGER_H_
+#define TEMPUS_BUFFER_BUFFER_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "buffer/page_file.h"
+#include "common/result.h"
+#include "relation/tuple.h"
+
+namespace tempus {
+
+class BufferManager;
+
+/// Per-caller pin accounting, so an operator can attribute pool traffic to
+/// its own OperatorMetrics without reading global counters.
+struct BufferPinStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes_read = 0;
+};
+
+/// Point-in-time snapshot of a pool's counters (docs/OBSERVABILITY.md).
+struct BufferPoolStats {
+  size_t frame_budget = 0;
+  size_t frames_resident = 0;
+  size_t frames_pinned = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t readaheads = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t raw_bytes = 0;
+  uint64_t encoded_bytes = 0;
+
+  /// raw / encoded (>= 1.0 when compression helps); 1.0 when nothing has
+  /// been written yet.
+  double compression_ratio() const;
+
+  /// One-line JSON object with a stable key order (server stats block).
+  std::string ToJson() const;
+};
+
+/// Move-only RAII pin on one resident page. While any handle to a page is
+/// live, the buffer manager will not evict it; destruction (or Release)
+/// unpins. The tuple vector is shared with the pool's frame, so the data
+/// stays valid for the handle's lifetime even if the owning file is
+/// dropped concurrently.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  bool valid() const { return tuples_ != nullptr; }
+  const std::vector<Tuple>& tuples() const { return *tuples_; }
+  size_t size() const { return tuples_->size(); }
+
+  /// Unpins now (idempotent); the handle becomes invalid.
+  void Release();
+
+ private:
+  friend class BufferManager;
+  PageHandle(BufferManager* pool, uint64_t file_id, size_t page_id,
+             std::shared_ptr<const std::vector<Tuple>> tuples)
+      : pool_(pool),
+        file_id_(file_id),
+        page_id_(page_id),
+        tuples_(std::move(tuples)) {}
+
+  BufferManager* pool_ = nullptr;
+  uint64_t file_id_ = 0;
+  size_t page_id_ = 0;
+  std::shared_ptr<const std::vector<Tuple>> tuples_;
+};
+
+/// A bounded pool of decoded page frames shared by every disk-backed scan
+/// (docs/STORAGE.md). Frames are budgeted in PageFile frame units; when a
+/// miss would exceed the budget, unpinned frames are evicted in LRU order.
+/// If every resident frame is pinned the pool overcommits rather than
+/// deadlock — correctness first, the budget is a target, pins are truth.
+///
+/// Reads are cached; writes are not (page files are append-only and
+/// written once, so there is no dirty-page write-back).
+///
+/// Threading: all methods are safe from any thread. Misses perform disk
+/// I/O + decode under the pool lock — by design: the pool's purpose in
+/// this codebase is bounding memory, and the serialized miss path keeps
+/// eviction decisions racefree (noted in docs/STORAGE.md).
+///
+/// Fault points: "buffer.evict" fires once per evicted frame set inside
+/// Pin; the page-file points fire inside the nested read/write calls.
+class BufferManager {
+ public:
+  explicit BufferManager(size_t frame_budget);
+
+  /// TEMPUS_FRAME_BUDGET env override (positive integer), else 256.
+  static size_t DefaultFrameBudget();
+
+  /// The process-wide pool the engine and server use, sized by
+  /// DefaultFrameBudget() on first use. Never destroyed.
+  static BufferManager& Global();
+
+  /// Pins page `page_id` of `file`, reading + decoding it on a miss (and
+  /// evicting unpinned frames as needed). `stats`, when non-null, is
+  /// incremented with this call's traffic.
+  Result<PageHandle> Pin(const PageFile& file, size_t page_id,
+                         BufferPinStats* stats = nullptr);
+
+  /// Pre-reads up to `max_pages` pages starting at `first_page` into
+  /// unpinned frames. Fills only the free budget — readahead never evicts
+  /// — and stops early at the budget or end of file. Read faults
+  /// propagate (chaos runs stay deterministic).
+  Status Readahead(const PageFile& file, size_t first_page,
+                   size_t max_pages);
+
+  /// Discards all frames belonging to `file_id` (called by ~PageFile).
+  /// Outstanding handles keep their tuple data alive independently.
+  void DropFile(uint64_t file_id);
+
+  /// Write-side accounting from PageFile::AppendPage. Lock-free (relaxed
+  /// atomics) so appends never take the pool lock — a pinned reader and a
+  /// writer on the same file cannot deadlock.
+  void NoteWrite(uint64_t bytes, uint64_t raw_bytes, uint64_t encoded_bytes);
+
+  size_t frame_budget() const;
+  /// Adjusts the budget; over-budget residents drain via future evictions.
+  void set_frame_budget(size_t budget);
+
+  BufferPoolStats Stats() const;
+
+ private:
+  friend class PageHandle;
+
+  struct Key {
+    uint64_t file_id = 0;
+    size_t page_id = 0;
+    bool operator<(const Key& o) const {
+      return file_id != o.file_id ? file_id < o.file_id
+                                  : page_id < o.page_id;
+    }
+  };
+
+  struct Frame {
+    std::shared_ptr<const std::vector<Tuple>> tuples;
+    uint32_t frame_units = 1;
+    uint32_t pins = 0;
+    /// Valid iff pins == 0 (frame is in lru_, eligible for eviction).
+    std::list<Key>::iterator lru_pos;
+  };
+
+  void Unpin(uint64_t file_id, size_t page_id);
+  /// Caller holds mu_. Evicts LRU unpinned frames until `units` fit or
+  /// nothing is evictable.
+  Status MakeRoom(size_t units, BufferPinStats* stats);
+
+  mutable std::mutex mu_;
+  size_t frame_budget_;
+  size_t frames_resident_ = 0;
+  size_t frames_pinned_ = 0;
+  std::map<Key, Frame> frames_;
+  std::list<Key> lru_;  ///< Unpinned residents, front = coldest.
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t readaheads_ = 0;
+  uint64_t bytes_read_ = 0;
+
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> raw_bytes_{0};
+  std::atomic<uint64_t> encoded_bytes_{0};
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_BUFFER_BUFFER_MANAGER_H_

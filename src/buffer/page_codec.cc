@@ -1,0 +1,252 @@
+#include "buffer/page_codec.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace tempus {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'P', 'g', '1'};
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(char((v >> (8 * i)) & 0xff));
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(char((v >> (8 * i)) & 0xff));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (uint64_t(v) << 1) ^ uint64_t(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return int64_t(v >> 1) ^ -int64_t(v & 1);
+}
+
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(char(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(char(v));
+}
+
+/// Bounds-checked varint read; a truncated or over-long encoding is a
+/// decode error, not undefined behavior.
+bool GetVarint(std::string_view data, size_t* pos, uint64_t* out) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= data.size()) return false;
+    const unsigned char byte = static_cast<unsigned char>(data[*pos]);
+    ++*pos;
+    v |= uint64_t(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The Value::Kind an attribute's declared type stores as.
+Value::Kind ExpectedKind(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+    case ValueType::kTime:
+      return Value::Kind::kInt;
+    case ValueType::kDouble:
+      return Value::Kind::kDouble;
+    case ValueType::kString:
+      return Value::Kind::kString;
+  }
+  return Value::Kind::kInt;
+}
+
+Status Corrupt(const std::string& what) {
+  return Status::Internal("page decode: " + what);
+}
+
+}  // namespace
+
+uint64_t PageChecksum(std::string_view payload) {
+  uint64_t h = 14695981039346656037ull;  // FNV offset basis.
+  for (char c : payload) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime.
+  }
+  return h;
+}
+
+Result<std::string> EncodePage(const Schema& schema, const Tuple* tuples,
+                               size_t count, PageCodecStats* stats) {
+  std::string payload;
+  uint64_t raw = 0;
+  for (size_t col = 0; col < schema.attribute_count(); ++col) {
+    const ValueType type = schema.attribute(col).type;
+    const Value::Kind expected = ExpectedKind(type);
+    // Null bitmap (bit set = null).
+    const size_t bitmap_at = payload.size();
+    payload.append((count + 7) / 8, '\0');
+    for (size_t i = 0; i < count; ++i) {
+      const Tuple& t = tuples[i];
+      if (col >= t.size()) {
+        return Status::InvalidArgument(StrFormat(
+            "page encode: tuple %zu has %zu values, schema expects %zu", i,
+            t.size(), schema.attribute_count()));
+      }
+      if (t[col].is_null()) {
+        payload[bitmap_at + i / 8] |= char(1u << (i % 8));
+        raw += 1;
+      } else if (t[col].kind() != expected) {
+        return Status::InvalidArgument(StrFormat(
+            "page encode: tuple %zu column %zu kind does not match "
+            "declared type %s",
+            i, col, std::string(ValueTypeName(type)).c_str()));
+      }
+    }
+    // Values.
+    int64_t prev = 0;
+    for (size_t i = 0; i < count; ++i) {
+      const Value& v = tuples[i][col];
+      if (v.is_null()) continue;
+      switch (expected) {
+        case Value::Kind::kInt: {
+          const int64_t x = v.int_value();
+          PutVarint(ZigZag(x - prev), &payload);
+          prev = x;
+          raw += 8;
+          break;
+        }
+        case Value::Kind::kDouble: {
+          uint64_t bits;
+          const double d = v.double_value();
+          std::memcpy(&bits, &d, sizeof(bits));
+          PutU64(bits, &payload);
+          raw += 8;
+          break;
+        }
+        case Value::Kind::kString: {
+          const std::string& s = v.string_value();
+          PutVarint(s.size(), &payload);
+          payload.append(s);
+          raw += 8 + s.size();
+          break;
+        }
+        case Value::Kind::kNull:
+          break;
+      }
+    }
+  }
+
+  std::string page;
+  page.reserve(kPageHeaderBytes + payload.size());
+  page.append(kMagic, sizeof(kMagic));
+  PutU32(static_cast<uint32_t>(count), &page);
+  PutU32(static_cast<uint32_t>(payload.size()), &page);
+  PutU64(PageChecksum(payload), &page);
+  page.append(payload);
+  if (stats != nullptr) {
+    stats->raw_bytes = raw;
+    stats->encoded_bytes = page.size();
+  }
+  return page;
+}
+
+Status DecodePage(const Schema& schema, std::string_view page,
+                  std::vector<Tuple>* out) {
+  out->clear();
+  if (page.size() < kPageHeaderBytes) return Corrupt("short header");
+  if (std::memcmp(page.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic");
+  }
+  const unsigned char* header =
+      reinterpret_cast<const unsigned char*>(page.data());
+  const uint32_t count = GetU32(header + 4);
+  const uint32_t payload_len = GetU32(header + 8);
+  const uint64_t checksum = GetU64(header + 12);
+  if (page.size() < kPageHeaderBytes + payload_len) {
+    return Corrupt("truncated payload");
+  }
+  const std::string_view payload = page.substr(kPageHeaderBytes, payload_len);
+  if (PageChecksum(payload) != checksum) {
+    return Corrupt("checksum mismatch");
+  }
+
+  std::vector<std::vector<Value>> rows(count);
+  for (auto& row : rows) row.reserve(schema.attribute_count());
+  size_t pos = 0;
+  for (size_t col = 0; col < schema.attribute_count(); ++col) {
+    const Value::Kind expected = ExpectedKind(schema.attribute(col).type);
+    const bool is_time = schema.attribute(col).type == ValueType::kTime;
+    const size_t bitmap_at = pos;
+    pos += (count + 7) / 8;
+    if (pos > payload.size()) return Corrupt("truncated null bitmap");
+    int64_t prev = 0;
+    for (size_t i = 0; i < count; ++i) {
+      const bool is_null =
+          (payload[bitmap_at + i / 8] >> (i % 8)) & 1;
+      if (is_null) {
+        rows[i].push_back(Value::Null());
+        continue;
+      }
+      switch (expected) {
+        case Value::Kind::kInt: {
+          uint64_t delta;
+          if (!GetVarint(payload, &pos, &delta)) {
+            return Corrupt("truncated int column");
+          }
+          const int64_t x = prev + UnZigZag(delta);
+          prev = x;
+          rows[i].push_back(is_time ? Value::Time(x) : Value::Int(x));
+          break;
+        }
+        case Value::Kind::kDouble: {
+          if (pos + 8 > payload.size()) {
+            return Corrupt("truncated double column");
+          }
+          uint64_t bits = GetU64(
+              reinterpret_cast<const unsigned char*>(payload.data()) + pos);
+          pos += 8;
+          double d;
+          std::memcpy(&d, &bits, sizeof(d));
+          rows[i].push_back(Value::Real(d));
+          break;
+        }
+        case Value::Kind::kString: {
+          uint64_t len;
+          if (!GetVarint(payload, &pos, &len) ||
+              pos + len > payload.size()) {
+            return Corrupt("truncated string column");
+          }
+          rows[i].push_back(Value::Str(std::string(payload.substr(pos, len))));
+          pos += len;
+          break;
+        }
+        case Value::Kind::kNull:
+          break;
+      }
+    }
+  }
+  if (pos != payload.size()) return Corrupt("trailing bytes");
+
+  out->clear();
+  out->reserve(count);
+  for (auto& row : rows) out->push_back(Tuple(std::move(row)));
+  return Status::Ok();
+}
+
+}  // namespace tempus

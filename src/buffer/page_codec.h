@@ -1,0 +1,57 @@
+#ifndef TEMPUS_BUFFER_PAGE_CODEC_H_
+#define TEMPUS_BUFFER_PAGE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/schema.h"
+#include "relation/tuple.h"
+
+namespace tempus {
+
+/// On-disk page payload codec (docs/STORAGE.md). A page of tuples is laid
+/// out struct-of-arrays: one column block per schema attribute, each block
+/// a null bitmap followed by the non-null values. Integer and TIME columns
+/// are zigzag-delta varint encoded — sorted interval endpoints (the
+/// dominant columns of every temporal relation) collapse to one or two
+/// bytes per value. Doubles are raw 8-byte little-endian; strings are
+/// length-prefixed bytes.
+///
+/// The page header carries a magic tag, the tuple count, the payload
+/// length, and an FNV-1a checksum over the payload, so a torn or corrupted
+/// page surfaces as a Status instead of decoded garbage.
+
+/// Fixed header size in bytes (magic + tuple count + payload len + checksum).
+inline constexpr size_t kPageHeaderBytes = 20;
+
+/// Size accounting for one encode.
+struct PageCodecStats {
+  /// Uncompressed footprint: 8 bytes per numeric/time value, 8 + length
+  /// per string, 1 per null (the flat-page cost the codec is measured
+  /// against).
+  uint64_t raw_bytes = 0;
+  /// Encoded size including the page header.
+  uint64_t encoded_bytes = 0;
+};
+
+/// FNV-1a 64-bit checksum (exposed so tests can forge/verify headers).
+uint64_t PageChecksum(std::string_view payload);
+
+/// Encodes `count` tuples into a self-describing page. Every value's kind
+/// must match the declared attribute type (nulls allowed anywhere);
+/// mismatches return InvalidArgument.
+Result<std::string> EncodePage(const Schema& schema, const Tuple* tuples,
+                               size_t count, PageCodecStats* stats = nullptr);
+
+/// Decodes a page produced by EncodePage. Verifies the magic tag, bounds,
+/// and checksum; any corruption returns an Internal status (never crashes,
+/// never returns partial tuples).
+Status DecodePage(const Schema& schema, std::string_view page,
+                  std::vector<Tuple>* out);
+
+}  // namespace tempus
+
+#endif  // TEMPUS_BUFFER_PAGE_CODEC_H_

@@ -1,0 +1,167 @@
+#include "buffer/page_file.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "buffer/buffer_manager.h"
+#include "buffer/page_codec.h"
+#include "common/fault.h"
+#include "common/string_util.h"
+
+namespace tempus {
+namespace {
+
+std::atomic<uint64_t> next_file_id{1};
+
+}  // namespace
+
+Result<std::shared_ptr<PageFile>> PageFile::CreateTemp(Schema schema,
+                                                       size_t frame_bytes,
+                                                       BufferManager* pool) {
+  if (frame_bytes < kPageHeaderBytes) {
+    return Status::InvalidArgument(
+        StrFormat("page file frame_bytes must be >= %zu, got %zu",
+                  kPageHeaderBytes, frame_bytes));
+  }
+  std::FILE* file = std::tmpfile();
+  if (file == nullptr) {
+    return Status::Internal(
+        StrFormat("tmpfile() failed: %s", std::strerror(errno)));
+  }
+  return std::shared_ptr<PageFile>(
+      new PageFile(std::move(schema), frame_bytes, pool, file));
+}
+
+PageFile::PageFile(Schema schema, size_t frame_bytes, BufferManager* pool,
+                   std::FILE* file)
+    : id_(next_file_id.fetch_add(1, std::memory_order_relaxed)),
+      schema_(std::move(schema)),
+      frame_bytes_(frame_bytes),
+      pool_(pool),
+      file_(file),
+      fd_(fileno(file)) {}
+
+PageFile::~PageFile() {
+  if (pool_ != nullptr) pool_->DropFile(id_);
+  std::fclose(file_);
+}
+
+size_t PageFile::page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return directory_.size();
+}
+
+size_t PageFile::frame_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_frames_;
+}
+
+size_t PageFile::tuple_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_tuples_;
+}
+
+uint64_t PageFile::raw_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return raw_bytes_;
+}
+
+uint64_t PageFile::encoded_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return encoded_bytes_;
+}
+
+Result<size_t> PageFile::AppendPage(const Tuple* tuples, size_t count) {
+  TEMPUS_FAULT_POINT("buffer.page_write");
+  PageCodecStats stats;
+  TEMPUS_ASSIGN_OR_RETURN(std::string page,
+                          EncodePage(schema_, tuples, count, &stats));
+  const size_t frame_units =
+      (page.size() + frame_bytes_ - 1) / frame_bytes_;
+  page.resize(frame_units * frame_bytes_, '\0');
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t offset = next_offset_;
+  size_t done = 0;
+  while (done < page.size()) {
+    const ssize_t n = pwrite(fd_, page.data() + done, page.size() - done,
+                             static_cast<off_t>(offset + done));
+    if (n <= 0) {
+      return Status::Internal(
+          StrFormat("page write failed at offset %llu: %s",
+                    static_cast<unsigned long long>(offset + done),
+                    std::strerror(errno)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  next_offset_ += page.size();
+  PageInfo info;
+  info.offset = offset;
+  info.frame_units = static_cast<uint32_t>(frame_units);
+  info.tuple_count = static_cast<uint32_t>(count);
+  info.encoded_bytes = static_cast<uint32_t>(stats.encoded_bytes);
+  directory_.push_back(info);
+  total_tuples_ += count;
+  total_frames_ += frame_units;
+  raw_bytes_ += stats.raw_bytes;
+  encoded_bytes_ += stats.encoded_bytes;
+  if (pool_ != nullptr) {
+    pool_->NoteWrite(page.size(), stats.raw_bytes, stats.encoded_bytes);
+  }
+  return directory_.size() - 1;
+}
+
+Status PageFile::ReadPage(size_t page_id, std::vector<Tuple>* out,
+                          PageReadInfo* read_info) const {
+  TEMPUS_FAULT_POINT("buffer.page_read");
+  PageInfo info;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (page_id >= directory_.size()) {
+      return Status::OutOfRange(
+          StrFormat("page %zu out of range (file has %zu pages)", page_id,
+                    directory_.size()));
+    }
+    info = directory_[page_id];
+  }
+  std::string buf(size_t{info.frame_units} * frame_bytes_, '\0');
+  size_t done = 0;
+  while (done < buf.size()) {
+    const ssize_t n = pread(fd_, buf.data() + done, buf.size() - done,
+                            static_cast<off_t>(info.offset + done));
+    if (n <= 0) {
+      return Status::Internal(
+          StrFormat("page read failed at offset %llu: %s",
+                    static_cast<unsigned long long>(info.offset + done),
+                    n == 0 ? "short read" : std::strerror(errno)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  TEMPUS_RETURN_IF_ERROR(DecodePage(schema_, buf, out));
+  if (out->size() != info.tuple_count) {
+    return Status::Internal(
+        StrFormat("page %zu decoded %zu tuples, directory says %u", page_id,
+                  out->size(), info.tuple_count));
+  }
+  if (read_info != nullptr) {
+    read_info->bytes_read = buf.size();
+    read_info->frame_units = info.frame_units;
+    read_info->tuple_count = info.tuple_count;
+  }
+  return Status::Ok();
+}
+
+size_t PageFile::PageFrames(size_t page_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_id < directory_.size() ? directory_[page_id].frame_units : 0;
+}
+
+size_t PageFile::PageTuples(size_t page_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_id < directory_.size() ? directory_[page_id].tuple_count : 0;
+}
+
+}  // namespace tempus

@@ -1,0 +1,112 @@
+#ifndef TEMPUS_BUFFER_PAGE_FILE_H_
+#define TEMPUS_BUFFER_PAGE_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/schema.h"
+#include "relation/tuple.h"
+
+namespace tempus {
+
+class BufferManager;
+
+/// Size and placement of one page read (reported alongside the tuples so
+/// the buffer pool can account frames and bytes without a second lookup).
+struct PageReadInfo {
+  uint64_t bytes_read = 0;   ///< Frame-aligned bytes transferred.
+  uint32_t frame_units = 0;  ///< Frames the page occupies when resident.
+  uint32_t tuple_count = 0;
+};
+
+/// An append-only temporary file of codec-encoded pages (docs/STORAGE.md).
+/// Each page is padded to a whole number of fixed-size frames — the unit
+/// the BufferManager budgets — and located through an in-memory directory.
+/// The backing file is a tmpfile(): unlinked at creation, reclaimed by the
+/// OS when the PageFile is destroyed or the process dies.
+///
+/// Threading: AppendPage and ReadPage may be called from any thread. The
+/// directory and append offset are guarded by a mutex; reads copy the
+/// directory entry under the lock, then pread outside it, so concurrent
+/// scans do not serialize on each other's disk I/O.
+///
+/// Fault points: "buffer.page_write" (AppendPage), "buffer.page_read"
+/// (ReadPage).
+class PageFile {
+ public:
+  /// Creates an empty page file over an unlinked temporary file. Pages are
+  /// padded to multiples of `frame_bytes`. `pool` (may be null) is told
+  /// about writes for its bytes-written / compression accounting and about
+  /// destruction so it can drop cached frames; it must outlive this file.
+  static Result<std::shared_ptr<PageFile>> CreateTemp(Schema schema,
+                                                      size_t frame_bytes,
+                                                      BufferManager* pool);
+
+  ~PageFile();
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Process-unique identity; the buffer pool's cache key prefix.
+  uint64_t id() const { return id_; }
+  const Schema& schema() const { return schema_; }
+  size_t frame_bytes() const { return frame_bytes_; }
+
+  size_t page_count() const;
+  /// Total frames written (the file's size in budget units).
+  size_t frame_count() const;
+  /// Total tuples across all pages.
+  size_t tuple_count() const;
+  /// Pre-compression footprint of everything written (codec raw bytes).
+  uint64_t raw_bytes() const;
+  /// Post-compression payload bytes (excluding frame padding).
+  uint64_t encoded_bytes() const;
+
+  /// Encodes `count` tuples as one page, appends it, and returns its page
+  /// id (dense, starting at 0).
+  Result<size_t> AppendPage(const Tuple* tuples, size_t count);
+
+  /// Reads and decodes page `page_id`. Verifies the page checksum; a
+  /// corrupted or truncated page returns a non-OK Status with `out`
+  /// untouched beyond clearing.
+  Status ReadPage(size_t page_id, std::vector<Tuple>* out,
+                  PageReadInfo* info = nullptr) const;
+
+  /// Frames page `page_id` occupies (0 if out of range).
+  size_t PageFrames(size_t page_id) const;
+  /// Tuples in page `page_id` (0 if out of range).
+  size_t PageTuples(size_t page_id) const;
+
+ private:
+  struct PageInfo {
+    uint64_t offset = 0;
+    uint32_t frame_units = 0;
+    uint32_t tuple_count = 0;
+    uint32_t encoded_bytes = 0;
+  };
+
+  PageFile(Schema schema, size_t frame_bytes, BufferManager* pool,
+           std::FILE* file);
+
+  const uint64_t id_;
+  const Schema schema_;
+  const size_t frame_bytes_;
+  BufferManager* const pool_;
+  std::FILE* const file_;
+  const int fd_;
+
+  mutable std::mutex mu_;
+  std::vector<PageInfo> directory_;
+  uint64_t next_offset_ = 0;
+  uint64_t total_tuples_ = 0;
+  uint64_t total_frames_ = 0;
+  uint64_t raw_bytes_ = 0;
+  uint64_t encoded_bytes_ = 0;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_BUFFER_PAGE_FILE_H_

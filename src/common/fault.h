@@ -62,6 +62,9 @@ inline constexpr const char* kKnownFaultPoints[] = {
     "catalog.drop",       // Catalog::Drop swap
     "server.frame_read",  // wire::ReadFrame
     "server.frame_write", // wire::WriteFrame
+    "buffer.page_read",   // PageFile::ReadPage (disk page fetch)
+    "buffer.page_write",  // PageFile::AppendPage (encode + spill)
+    "buffer.evict",       // BufferManager eviction under frame pressure
 };
 
 /// Process-wide deterministic fault injector. Off by default: every

@@ -2,7 +2,9 @@
 
 #include <fstream>
 
+#include "buffer/buffer_manager.h"
 #include "relation/csv.h"
+#include "storage/paged_relation.h"
 
 namespace tempus {
 namespace {
@@ -125,6 +127,19 @@ Status Engine::SaveCsv(const std::string& name,
 
 Status Engine::DropRelation(const std::string& name) {
   return catalog_.Drop(name);
+}
+
+Status Engine::SpillRelation(const std::string& name, size_t tuples_per_page,
+                             BufferManager* pool) {
+  if (pool == nullptr) pool = &BufferManager::Global();
+  TEMPUS_ASSIGN_OR_RETURN(const TemporalRelation* relation,
+                          catalog_.Lookup(name));
+  TEMPUS_ASSIGN_OR_RETURN(
+      PagedRelation paged,
+      PagedRelation::SpillToDisk(*relation, tuples_per_page, pool));
+  catalog_.RegisterOrReplacePaged(
+      name, std::make_shared<const PagedRelation>(std::move(paged)));
+  return Status::Ok();
 }
 
 }  // namespace tempus

@@ -11,6 +11,8 @@
 
 namespace tempus {
 
+class BufferManager;
+
 /// Everything one query execution produced — the unit the TQL server
 /// streams back to a client. `status` is the *execution* outcome
 /// (Cancelled on deadline expiry, etc.); parse and plan failures surface
@@ -93,6 +95,14 @@ class Engine {
   /// Drops a relation from the catalog; running snapshot-based queries
   /// keep their view (see Catalog::Snapshot).
   Status DropRelation(const std::string& name);
+
+  /// Spills the in-memory relation `name` to a compressed on-disk page
+  /// file and atomically re-registers it as disk-backed: subsequent
+  /// queries scan it through the buffer pool (docs/STORAGE.md). Running
+  /// snapshot-based queries keep the in-memory copy alive until they
+  /// finish. `pool` defaults to BufferManager::Global().
+  Status SpillRelation(const std::string& name, size_t tuples_per_page = 1024,
+                       BufferManager* pool = nullptr);
 
  private:
   Catalog catalog_;

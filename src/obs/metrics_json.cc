@@ -41,7 +41,10 @@ std::string MetricsToJson(const OperatorMetrics& m) {
       "\"tuples_emitted\":%llu,\"comparisons\":%llu,\"passes_left\":%llu,"
       "\"passes_right\":%llu,\"workers\":%llu,\"merge_comparisons\":%llu,"
       "\"workspace_inserted\":%llu,\"gc_discarded\":%llu,\"gc_checks\":%llu,"
-      "\"workspace_tuples\":%zu,\"peak_workspace_tuples\":%zu}",
+      "\"workspace_tuples\":%zu,\"peak_workspace_tuples\":%zu,"
+      "\"buffer_hits\":%llu,\"buffer_misses\":%llu,"
+      "\"buffer_evictions\":%llu,\"buffer_bytes_read\":%llu,"
+      "\"buffer_bytes_written\":%llu}",
       static_cast<unsigned long long>(m.tuples_read_left),
       static_cast<unsigned long long>(m.tuples_read_right),
       static_cast<unsigned long long>(m.tuples_emitted),
@@ -53,7 +56,12 @@ std::string MetricsToJson(const OperatorMetrics& m) {
       static_cast<unsigned long long>(m.workspace_inserted),
       static_cast<unsigned long long>(m.gc_discarded),
       static_cast<unsigned long long>(m.gc_checks), m.workspace_tuples,
-      m.peak_workspace_tuples);
+      m.peak_workspace_tuples,
+      static_cast<unsigned long long>(m.buffer_hits),
+      static_cast<unsigned long long>(m.buffer_misses),
+      static_cast<unsigned long long>(m.buffer_evictions),
+      static_cast<unsigned long long>(m.buffer_bytes_read),
+      static_cast<unsigned long long>(m.buffer_bytes_written));
 }
 
 }  // namespace tempus

@@ -67,6 +67,17 @@ void AppendActualLine(const OperatorMetrics& m, const TraceSpan* span,
                           static_cast<unsigned long long>(m.workers),
                           static_cast<unsigned long long>(m.merge_comparisons)));
   }
+  if (m.buffer_hits + m.buffer_misses + m.buffer_evictions +
+          m.buffer_bytes_written >
+      0) {
+    out->append(StrFormat(
+        " buf=(hit=%llu miss=%llu evict=%llu rB=%llu wB=%llu)",
+        static_cast<unsigned long long>(m.buffer_hits),
+        static_cast<unsigned long long>(m.buffer_misses),
+        static_cast<unsigned long long>(m.buffer_evictions),
+        static_cast<unsigned long long>(m.buffer_bytes_read),
+        static_cast<unsigned long long>(m.buffer_bytes_written)));
+  }
   if (span != nullptr) {
     const uint64_t total = span->total_ns();
     const uint64_t self = total > children_ns ? total - children_ns : 0;

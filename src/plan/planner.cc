@@ -18,6 +18,8 @@
 #include "parallel/parallel_ops.h"
 #include "parallel/worker_pool.h"
 #include "plan/cost_model.h"
+#include "storage/paged_relation.h"
+#include "storage/paged_stream.h"
 #include "stream/basic_ops.h"
 
 namespace tempus {
@@ -75,6 +77,39 @@ std::string Indent(const std::string& block) {
   if (!out.empty() && out.back() == '\n') out.pop_back();
   return out;
 }
+
+/// A range variable's resolved storage — exactly one of the two handles is
+/// set. In-memory relations are borrowed from the catalog (kept alive by
+/// the snapshot the planner runs against); disk-backed relations are
+/// shared handles planned from their spill-time metadata (schema, declared
+/// order, pre-computed stats) and scanned through the buffer pool.
+struct BoundRel {
+  const TemporalRelation* mem = nullptr;
+  std::shared_ptr<const PagedRelation> paged;
+
+  const Schema& schema() const {
+    return mem != nullptr ? mem->schema() : paged->schema();
+  }
+  const std::string& name() const {
+    return mem != nullptr ? mem->name() : paged->name();
+  }
+  size_t size() const { return mem != nullptr ? mem->size() : paged->size(); }
+  const std::optional<SortSpec>& known_order() const {
+    return mem != nullptr ? mem->known_order() : paged->known_order();
+  }
+  Result<RelationStats> Stats() const {
+    if (mem != nullptr) return mem->ComputeStats();
+    if (paged->stats().has_value()) return *paged->stats();
+    return Status::FailedPrecondition(
+        "disk-backed relation has no spill-time stats: " + paged->name());
+  }
+  /// True when two range variables scan the same stored relation (the
+  /// self-join detection pointer compare, generalized to both kinds).
+  bool SameSource(const BoundRel& o) const {
+    return mem != nullptr ? mem == o.mem
+                          : (o.paged != nullptr && paged == o.paged);
+  }
+};
 
 /// Stamps the plan root's runtime display label with the first line of its
 /// EXPLAIN text, so EXPLAIN ANALYZE names nodes exactly as EXPLAIN does.
@@ -141,7 +176,7 @@ class PlanBuilder {
   const ConjunctiveQuery& query_;
   const PlannerOptions& options_;
 
-  std::vector<const TemporalRelation*> relations_;
+  std::vector<BoundRel> relations_;
   std::vector<std::string> var_names_;
 
   std::vector<std::vector<Selection>> selections_;  // Per var.
@@ -169,22 +204,22 @@ Result<size_t> PlanBuilder::VarIndex(const std::string& name) const {
 
 Result<size_t> PlanBuilder::AttrIndex(size_t var,
                                       const std::string& attr) const {
-  const size_t ix = relations_[var]->schema().IndexOf(attr);
+  const size_t ix = relations_[var].schema().IndexOf(attr);
   if (ix == kNoAttribute) {
-    return Status::NotFound("relation " + relations_[var]->name() +
+    return Status::NotFound("relation " + relations_[var].name() +
                             " has no attribute " + attr);
   }
   return ix;
 }
 
 bool PlanBuilder::IsEndpoint(size_t var, size_t attr_ix) const {
-  const Schema& s = relations_[var]->schema();
+  const Schema& s = relations_[var].schema();
   return s.has_lifespan() &&
          (attr_ix == s.valid_from_index() || attr_ix == s.valid_to_index());
 }
 
 EndpointKind PlanBuilder::EndpointOf(size_t var, size_t attr_ix) const {
-  return attr_ix == relations_[var]->schema().valid_from_index()
+  return attr_ix == relations_[var].schema().valid_from_index()
              ? EndpointKind::kStart
              : EndpointKind::kEnd;
 }
@@ -198,9 +233,17 @@ Status PlanBuilder::Resolve() {
     if (!seen.insert(rv.name).second) {
       return Status::InvalidArgument("duplicate range variable: " + rv.name);
     }
-    TEMPUS_ASSIGN_OR_RETURN(const TemporalRelation* rel,
-                            catalog_->Lookup(rv.relation));
-    relations_.push_back(rel);
+    BoundRel bound;
+    const Result<const TemporalRelation*> rel = catalog_->Lookup(rv.relation);
+    if (rel.ok()) {
+      bound.mem = rel.value();
+    } else {
+      Result<std::shared_ptr<const PagedRelation>> paged =
+          catalog_->LookupPaged(rv.relation);
+      if (!paged.ok()) return rel.status();  // The canonical NotFound text.
+      bound.paged = std::move(paged).value();
+    }
+    relations_.push_back(std::move(bound));
     var_names_.push_back(rv.name);
   }
   selections_.resize(var_names_.size());
@@ -311,8 +354,8 @@ Status PlanBuilder::Classify() {
   for (const TemporalAtom& atom : query_.temporal_atoms) {
     TEMPUS_ASSIGN_OR_RETURN(size_t lv, VarIndex(atom.left_var));
     TEMPUS_ASSIGN_OR_RETURN(size_t rv, VarIndex(atom.right_var));
-    if (!relations_[lv]->schema().has_lifespan() ||
-        !relations_[rv]->schema().has_lifespan()) {
+    if (!relations_[lv].schema().has_lifespan() ||
+        !relations_[rv].schema().has_lifespan()) {
       return Status::FailedPrecondition(
           "temporal operator over non-temporal relation in " +
           atom.ToString());
@@ -362,10 +405,10 @@ Status PlanBuilder::Analyze() {
   for (size_t i = 0; i < var_names_.size(); ++i) {
     RangeVarBinding b;
     b.name = var_names_[i];
-    b.relation = relations_[i]->name();
+    b.relation = relations_[i].name();
     for (const Selection& sel : selections_[i]) {
       if (sel.op == CmpOp::kEq) {
-        b.bound_values[relations_[i]->schema().attribute(sel.attr_index)
+        b.bound_values[relations_[i].schema().attribute(sel.attr_index)
                            .name] = sel.literal;
       }
     }
@@ -374,10 +417,10 @@ Status PlanBuilder::Analyze() {
   std::vector<SurrogateLink> links;
   for (const EquiLink& link : equi_links_) {
     links.push_back({link.var1,
-                     relations_[link.var1]->schema().attribute(link.attr1)
+                     relations_[link.var1].schema().attribute(link.attr1)
                          .name,
                      link.var2,
-                     relations_[link.var2]->schema().attribute(link.attr2)
+                     relations_[link.var2].schema().attribute(link.attr2)
                          .name});
   }
   const IntegrityCatalog* catalog =
@@ -399,17 +442,28 @@ Status PlanBuilder::Analyze() {
 
 Result<SubPlan> PlanBuilder::BuildBase(size_t var) const {
   SubPlan plan;
-  const TemporalRelation* rel = relations_[var];
-  std::unique_ptr<TupleStream> stream = VectorStream::Scan(*rel);
-  plan.explain = "Scan " + rel->name() + StrFormat(" [%zu tuples]",
-                                                   rel->size());
+  const BoundRel& rel = relations_[var];
+  std::unique_ptr<TupleStream> stream;
+  if (rel.mem != nullptr) {
+    stream = VectorStream::Scan(*rel.mem);
+    plan.explain =
+        "Scan " + rel.name() + StrFormat(" [%zu tuples]", rel.size());
+  } else {
+    // Disk-backed: pages materialize lazily through the buffer pool, so
+    // the scan's resident footprint is one page plus readahead.
+    stream = std::make_unique<PagedScanStream>(rel.paged, nullptr);
+    plan.explain =
+        "DiskScan " + rel.name() +
+        StrFormat(" [%zu tuples, %zu pages, %.2fx compressed]", rel.size(),
+                  rel.paged->page_count(), rel.paged->compression_ratio());
+  }
   stream->set_label(plan.explain);
   // Known base order (if it matches one of the four canonical temporal
   // orders).
-  if (rel->known_order().has_value() && rel->schema().has_lifespan()) {
+  if (rel.known_order().has_value() && rel.schema().has_lifespan()) {
     for (const TemporalSortOrder& o : AllTemporalSortOrders()) {
-      Result<SortSpec> spec = o.ToSortSpec(rel->schema());
-      if (spec.ok() && spec.value().SatisfiedBy(*rel->known_order())) {
+      Result<SortSpec> spec = o.ToSortSpec(rel.schema());
+      if (spec.ok() && spec.value().SatisfiedBy(*rel.known_order())) {
         plan.order = o;
         break;
       }
@@ -509,8 +563,8 @@ Result<SubPlan> PlanBuilder::ApplyPending(SubPlan plan) {
       e.is_atom = true;
       TEMPUS_ASSIGN_OR_RETURN(size_t lv, VarIndex(d.atom->left_var));
       TEMPUS_ASSIGN_OR_RETURN(size_t rv, VarIndex(d.atom->right_var));
-      const Schema& ls = relations_[lv]->schema();
-      const Schema& rs = relations_[rv]->schema();
+      const Schema& ls = relations_[lv].schema();
+      const Schema& rs = relations_[rv].schema();
       e.l_from = column_of(lv, ls.valid_from_index());
       e.l_to = column_of(lv, ls.valid_to_index());
       e.r_from = column_of(rv, rs.valid_from_index());
@@ -581,7 +635,7 @@ Result<SubPlan> PlanBuilder::ApplyPending(SubPlan plan) {
         *value = term.literal;
         return;
       }
-      const Schema& s = relations_[term.var]->schema();
+      const Schema& s = relations_[term.var].schema();
       const size_t attr = term.endpoint == EndpointKind::kStart
                               ? s.valid_from_index()
                               : s.valid_to_index();
@@ -609,10 +663,10 @@ Result<SubPlan> PlanBuilder::ApplyPending(SubPlan plan) {
     equi_evals.push_back({column_of(link.var1, link.attr1),
                           column_of(link.var2, link.attr2)});
     displays.push_back(var_names_[link.var1] + "." +
-                       relations_[link.var1]->schema().attribute(link.attr1)
+                       relations_[link.var1].schema().attribute(link.attr1)
                            .name +
                        " = " + var_names_[link.var2] + "." +
-                       relations_[link.var2]->schema().attribute(link.attr2)
+                       relations_[link.var2].schema().attribute(link.attr2)
                            .name);
     equi_applied_[i] = true;
   }
@@ -650,8 +704,8 @@ Result<SubPlan> PlanBuilder::ApplyPending(SubPlan plan) {
 Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
                                               size_t lv, size_t rv) {
   const AllenMask mask = analysis_.MaskBetween(lv, rv);
-  const Schema& lschema = relations_[lv]->schema();
-  const Schema& rschema = relations_[rv]->schema();
+  const Schema& lschema = relations_[lv].schema();
+  const Schema& rschema = relations_[rv].schema();
   // Mark pair-only essential predicates as subsumed by the mask operator.
   auto subsume_pair_predicates = [this, lv, rv]() {
     for (size_t i = 0; i < pending_essential_.size(); ++i) {
@@ -689,7 +743,7 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
   if (outputs_left_only && !has_deferred_pair && !has_equi) {
     // ----- semijoin plans; output schema = left schema -----
     const bool self_pair =
-        relations_[lv] == relations_[rv] &&
+        relations_[lv].SameSource(relations_[rv]) &&
         [this, lv, rv] {
           if (selections_[lv].size() != selections_[rv].size()) return false;
           for (size_t i = 0; i < selections_[lv].size(); ++i) {
@@ -854,8 +908,8 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
            *right.order == kByValidToAsc)) {
         right_order = *right.order;  // Reuse the free interesting order.
       } else {
-        Result<RelationStats> xs = relations_[lv]->ComputeStats();
-        Result<RelationStats> ys = relations_[rv]->ComputeStats();
+        Result<RelationStats> xs = relations_[lv].Stats();
+        Result<RelationStats> ys = relations_[rv].Stats();
         if (xs.ok() && ys.ok()) {
           const WorkspaceEstimate from_from =
               EstimateContainJoinFromFrom(*xs, *ys);
@@ -1071,7 +1125,7 @@ Result<std::optional<SubPlan>> PlanBuilder::TrySuperstar() {
                                naming));
       SubPlan ab_plan;
       ab_plan.var_offsets[a] = 0;
-      ab_plan.var_offsets[b] = relations_[a]->schema().attribute_count();
+      ab_plan.var_offsets[b] = relations_[a].schema().attribute_count();
       ab_plan.stream = std::move(joined);
       ab_plan.explain = "Hash equi-join\n" + Indent(pa.explain) + "\n" +
                         Indent(pb.explain);
@@ -1092,9 +1146,9 @@ Result<std::optional<SubPlan>> PlanBuilder::TrySuperstar() {
           Schema::CreateTemporal(std::move(gap_attrs), "__gap_from",
                                  "__gap_to"));
       const size_t a_te = ab_plan.var_offsets[a] +
-                          relations_[a]->schema().valid_to_index();
+                          relations_[a].schema().valid_to_index();
       const size_t b_ts = ab_plan.var_offsets[b] +
-                          relations_[b]->schema().valid_from_index();
+                          relations_[b].schema().valid_from_index();
       auto transform = [a_te, b_ts](const Tuple& t) -> Result<Tuple> {
         std::vector<Value> values = t.values();
         values.push_back(Value::Time(2 * t[a_te].time_value() - 1));
@@ -1114,7 +1168,7 @@ Result<std::optional<SubPlan>> PlanBuilder::TrySuperstar() {
                                           kByValidToAsc));
 
       // c side, doubled.
-      const Schema& c_schema = relations_[c]->schema();
+      const Schema& c_schema = relations_[c].schema();
       const size_t c_ts = c_schema.valid_from_index();
       const size_t c_te = c_schema.valid_to_index();
       auto double_c = [c_ts, c_te](const Tuple& t) -> Result<Tuple> {
@@ -1352,13 +1406,13 @@ Result<PlannedQuery> PlanBuilder::Build() {
       if (i == 0) {
         Result<Schema> first =
             var_names_.size() == 1
-                ? Result<Schema>(relations_[0]->schema())
-                : Schema::Concat(relations_[0]->schema(), Schema(),
+                ? Result<Schema>(relations_[0].schema())
+                : Schema::Concat(relations_[0].schema(), Schema(),
                                  var_names_[0], "");
         schema = std::move(first).value();
       } else {
         TEMPUS_ASSIGN_OR_RETURN(
-            schema, Schema::Concat(schema, relations_[i]->schema(), "",
+            schema, Schema::Concat(schema, relations_[i].schema(), "",
                                    var_names_[i]));
       }
     }

@@ -12,8 +12,14 @@
 
 namespace tempus {
 
-/// A named collection of in-memory relations — what query range variables
-/// resolve against ("range of f1 is Faculty").
+class PagedRelation;
+
+/// A named collection of relations — what query range variables resolve
+/// against ("range of f1 is Faculty"). Entries are either in-memory
+/// TemporalRelations or disk-backed PagedRelations (spilled through the
+/// buffer pool; docs/STORAGE.md); a name is unique across both kinds.
+/// The catalog layer never dereferences PagedRelation (it is forward-
+/// declared here), so the relation library stays independent of storage.
 ///
 /// Concurrency: relations are stored as shared handles to immutable
 /// objects, and every member takes a reader/writer lock, so Register /
@@ -42,6 +48,23 @@ class Catalog {
 
   Result<const TemporalRelation*> Lookup(const std::string& name) const;
 
+  /// Registers a disk-backed relation under `name` (the caller passes the
+  /// relation's own name; this layer cannot read it from the forward-
+  /// declared handle). Fails if the name exists in either map.
+  Status RegisterPaged(const std::string& name,
+                       std::shared_ptr<const PagedRelation> relation);
+
+  /// Registers or replaces `name` with a disk-backed relation, retiring
+  /// any in-memory relation of that name in the same critical section
+  /// (the atomic swap Engine::SpillRelation relies on). Earlier snapshots
+  /// keep the retired in-memory relation alive.
+  void RegisterOrReplacePaged(const std::string& name,
+                              std::shared_ptr<const PagedRelation> relation);
+
+  /// The disk-backed relation registered under `name`, if any.
+  Result<std::shared_ptr<const PagedRelation>> LookupPaged(
+      const std::string& name) const;
+
   bool Contains(const std::string& name) const;
 
   std::vector<std::string> Names() const;
@@ -56,14 +79,17 @@ class Catalog {
  private:
   using RelationMap =
       std::map<std::string, std::shared_ptr<const TemporalRelation>>;
+  using PagedMap =
+      std::map<std::string, std::shared_ptr<const PagedRelation>>;
 
-  explicit Catalog(RelationMap relations)
-      : relations_(std::move(relations)) {}
+  Catalog(RelationMap relations, PagedMap paged)
+      : relations_(std::move(relations)), paged_(std::move(paged)) {}
 
   // unique_ptr so Catalog stays movable (snapshots are returned by value).
   std::unique_ptr<std::shared_mutex> mu_ =
       std::make_unique<std::shared_mutex>();
   RelationMap relations_;
+  PagedMap paged_;
 };
 
 }  // namespace tempus

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "buffer/buffer_manager.h"
 #include "common/string_util.h"
 #include "obs/metrics_json.h"
 #include "relation/csv.h"
@@ -408,6 +409,7 @@ std::string TqlServer::StatsJson() const {
     std::lock_guard<std::mutex> lock(totals_mu_);
     out += ",\"totals\":" + MetricsToJson(totals_);
   }
+  out += ",\"buffer\":" + BufferManager::Global().Stats().ToJson();
   out += ",\"sessions\":[";
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);

@@ -9,16 +9,18 @@ namespace tempus {
 ExternalSortStream::ExternalSortStream(std::unique_ptr<TupleStream> child,
                                        SortSpec spec, size_t tuples_per_page,
                                        size_t workspace_pages,
-                                       PageIoCounter* io)
+                                       PageIoCounter* io, BufferManager* pool)
     : child_(std::move(child)),
       spec_(std::move(spec)),
       tuples_per_page_(tuples_per_page),
       workspace_pages_(workspace_pages),
-      io_(io) {}
+      io_(io),
+      pool_(pool) {}
 
 Result<std::unique_ptr<ExternalSortStream>> ExternalSortStream::Create(
     std::unique_ptr<TupleStream> child, SortSpec spec,
-    size_t tuples_per_page, size_t workspace_pages, PageIoCounter* io) {
+    size_t tuples_per_page, size_t workspace_pages, PageIoCounter* io,
+    BufferManager* pool) {
   if (tuples_per_page == 0) {
     return Status::InvalidArgument("tuples_per_page must be positive");
   }
@@ -30,51 +32,66 @@ Result<std::unique_ptr<ExternalSortStream>> ExternalSortStream::Create(
   }
   return std::unique_ptr<ExternalSortStream>(
       new ExternalSortStream(std::move(child), std::move(spec),
-                             tuples_per_page, workspace_pages, io));
+                             tuples_per_page, workspace_pages, io, pool));
 }
 
-PagedRelation ExternalSortStream::MergeRuns(
+Result<PagedRelation> ExternalSortStream::MakeRun(const char* name) const {
+  if (pool_ != nullptr) {
+    return PagedRelation::CreateDiskBacked(name, child_->schema(),
+                                           tuples_per_page_, pool_);
+  }
+  return PagedRelation(name, child_->schema(), tuples_per_page_);
+}
+
+Result<bool> ExternalSortStream::AdvanceCursor(Cursor* c) {
+  while (c->page < c->run->page_count()) {
+    if (!c->pinned.valid()) {
+      if (io_ != nullptr) io_->CountRead();
+      BufferPinStats pin_stats;
+      TEMPUS_ASSIGN_OR_RETURN(c->pinned,
+                              c->run->PinPage(c->page, &pin_stats));
+      metrics_.buffer_hits += pin_stats.hits;
+      metrics_.buffer_misses += pin_stats.misses;
+      metrics_.buffer_evictions += pin_stats.evictions;
+      metrics_.buffer_bytes_read += pin_stats.bytes_read;
+    }
+    if (c->slot < c->pinned.size()) return true;
+    ++c->page;
+    c->slot = 0;
+    c->pinned.Release();
+  }
+  return false;
+}
+
+Result<PagedRelation> ExternalSortStream::MergeRuns(
     std::vector<PagedRelation> runs) {
-  PagedRelation out(runs.front().name(), runs.front().schema(),
-                    tuples_per_page_);
-  struct MergeCursor {
-    const PagedRelation* run;
-    size_t page = 0;
-    size_t slot = 0;
-    bool page_charged = false;
-  };
-  std::vector<MergeCursor> cursors;
+  TEMPUS_ASSIGN_OR_RETURN(PagedRelation out, MakeRun("run"));
+  std::vector<Cursor> cursors;
   cursors.reserve(runs.size());
   for (const PagedRelation& run : runs) {
-    cursors.push_back({&run});
+    Cursor c;
+    c.run = &run;
+    cursors.push_back(std::move(c));
   }
   while (true) {
     int best = -1;
     const Tuple* best_tuple = nullptr;
     for (size_t i = 0; i < cursors.size(); ++i) {
-      MergeCursor& c = cursors[i];
-      while (c.page < c.run->page_count() &&
-             c.slot >= c.run->page(c.page).size()) {
-        ++c.page;
-        c.slot = 0;
-        c.page_charged = false;
-      }
-      if (c.page >= c.run->page_count()) continue;
-      if (!c.page_charged) {
-        if (io_ != nullptr) io_->CountRead();
-        c.page_charged = true;
-      }
-      const Tuple& candidate = c.run->page(c.page)[c.slot];
+      Cursor& c = cursors[i];
+      TEMPUS_ASSIGN_OR_RETURN(const bool has, AdvanceCursor(&c));
+      if (!has) continue;
+      const Tuple& candidate = c.pinned[c.slot];
       if (best < 0 || spec_.Less(candidate, *best_tuple)) {
         best = static_cast<int>(i);
         best_tuple = &candidate;
       }
     }
     if (best < 0) break;
-    out.Append(*best_tuple, io_);
+    TEMPUS_RETURN_IF_ERROR(out.Append(*best_tuple, io_));
     ++cursors[best].slot;
   }
-  out.FlushTail(io_);
+  TEMPUS_RETURN_IF_ERROR(out.FlushTail(io_));
+  metrics_.buffer_bytes_written += out.bytes_written();
   return out;
 }
 
@@ -105,11 +122,12 @@ Status ExternalSortStream::OpenImpl() {
     if (buffer.size() == run_capacity || (!more && !buffer.empty())) {
       TEMPUS_FAULT_POINT("storage.sort_spill");
       SortTuples(&buffer, spec_);
-      PagedRelation run("run", child_->schema(), tuples_per_page_);
+      TEMPUS_ASSIGN_OR_RETURN(PagedRelation run, MakeRun("run"));
       for (Tuple& t : buffer) {
-        run.Append(std::move(t), io_);
+        TEMPUS_RETURN_IF_ERROR(run.Append(std::move(t), io_));
       }
-      run.FlushTail(io_);
+      TEMPUS_RETURN_IF_ERROR(run.FlushTail(io_));
+      metrics_.buffer_bytes_written += run.bytes_written();
       buffer.clear();
       metrics_.ResetWorkspace();
       runs_.push_back(std::move(run));
@@ -136,7 +154,9 @@ Status ExternalSortStream::OpenImpl() {
       }
       TEMPUS_FAULT_POINT("storage.sort_merge");
       metrics_.AddWorkspace(fan_in * tuples_per_page_);
-      next_level.push_back(MergeRuns(std::move(group)));
+      TEMPUS_ASSIGN_OR_RETURN(PagedRelation merged,
+                              MergeRuns(std::move(group)));
+      next_level.push_back(std::move(merged));
       metrics_.SubWorkspace(fan_in * tuples_per_page_);
     }
     runs_ = std::move(next_level);
@@ -146,7 +166,9 @@ Status ExternalSortStream::OpenImpl() {
   // Arm the final-merge cursors.
   cursors_.clear();
   for (const PagedRelation& run : runs_) {
-    cursors_.push_back({&run});
+    Cursor c;
+    c.run = &run;
+    cursors_.push_back(std::move(c));
   }
   if (!runs_.empty()) ++passes_;  // The final streaming read.
   metrics_.AddWorkspace(
@@ -163,18 +185,9 @@ Result<bool> ExternalSortStream::NextImpl(Tuple* out) {
   const Tuple* best_tuple = nullptr;
   for (size_t i = 0; i < cursors_.size(); ++i) {
     Cursor& c = cursors_[i];
-    while (c.page < c.run->page_count() &&
-           c.slot >= c.run->page(c.page).size()) {
-      ++c.page;
-      c.slot = 0;
-      c.page_charged = false;
-    }
-    if (c.page >= c.run->page_count()) continue;
-    if (!c.page_charged) {
-      if (io_ != nullptr) io_->CountRead();
-      c.page_charged = true;
-    }
-    const Tuple& candidate = c.run->page(c.page)[c.slot];
+    TEMPUS_ASSIGN_OR_RETURN(const bool has, AdvanceCursor(&c));
+    if (!has) continue;
+    const Tuple& candidate = c.pinned[c.slot];
     if (best < 0 || spec_.Less(candidate, *best_tuple)) {
       best = static_cast<int>(i);
       best_tuple = &candidate;

@@ -4,16 +4,17 @@
 #include <memory>
 #include <vector>
 
+#include "buffer/buffer_manager.h"
 #include "relation/sort_spec.h"
 #include "storage/paged_relation.h"
 #include "stream/stream.h"
 
 namespace tempus {
 
-/// Workspace-limited external merge sort over simulated pages: the cost
-/// of ACQUIRING an interesting order when memory is scarce — the third
-/// leg of the paper's Section 4.1 tradeoff triangle (workspace vs sort
-/// order vs passes/disk accesses).
+/// Workspace-limited external merge sort: the cost of ACQUIRING an
+/// interesting order when memory is scarce — the third leg of the paper's
+/// Section 4.1 tradeoff triangle (workspace vs sort order vs passes/disk
+/// accesses).
 ///
 /// On Open() the child is consumed into sorted initial runs of
 /// `workspace_pages` pages each (one read + one write per page), then
@@ -21,13 +22,20 @@ namespace tempus {
 /// costing one read and one write per page, until one run remains; the
 /// final merge streams out without a write. Page I/O is charged to the
 /// shared counter; peak workspace (in tuples) is reported in metrics.
+///
+/// With a BufferManager, spill runs live in real on-disk page files and
+/// merge cursors pin pages through the pool (one pinned page per input
+/// run), so a sort's resident footprint is its workspace — not its data —
+/// and pool traffic lands in the operator's buffer_* metrics.
 class ExternalSortStream : public TupleStream {
  public:
   /// `workspace_pages` >= 3 (one output page + a merge fan-in of at least
-  /// two). `io` is not owned and may be null (no accounting).
+  /// two). `io` is not owned and may be null (no accounting). `pool`, when
+  /// non-null, routes spill runs through disk-backed page files.
   static Result<std::unique_ptr<ExternalSortStream>> Create(
       std::unique_ptr<TupleStream> child, SortSpec spec,
-      size_t tuples_per_page, size_t workspace_pages, PageIoCounter* io);
+      size_t tuples_per_page, size_t workspace_pages, PageIoCounter* io,
+      BufferManager* pool = nullptr);
 
   const Schema& schema() const override { return child_->schema(); }
   Status OpenImpl() override;
@@ -44,28 +52,36 @@ class ExternalSortStream : public TupleStream {
  private:
   ExternalSortStream(std::unique_ptr<TupleStream> child, SortSpec spec,
                      size_t tuples_per_page, size_t workspace_pages,
-                     PageIoCounter* io);
+                     PageIoCounter* io, BufferManager* pool);
+
+  /// An empty spill target: disk-backed when a pool is attached.
+  Result<PagedRelation> MakeRun(const char* name) const;
 
   /// Merges up to `fan_in` runs into one, charging I/O.
-  PagedRelation MergeRuns(std::vector<PagedRelation> runs);
+  Result<PagedRelation> MergeRuns(std::vector<PagedRelation> runs);
 
   std::unique_ptr<TupleStream> child_;
   SortSpec spec_;
   size_t tuples_per_page_;
   size_t workspace_pages_;
   PageIoCounter* io_;
+  BufferManager* pool_;
 
   std::vector<PagedRelation> runs_;
   size_t passes_ = 0;
   size_t initial_run_count_ = 0;
 
-  // Final-merge emission state.
+  // Final-merge emission state: one pinned page per surviving run.
   struct Cursor {
     const PagedRelation* run;
     size_t page = 0;
     size_t slot = 0;
-    bool page_charged = false;
+    PagedRelation::PinnedPage pinned;
   };
+  /// Positions `c` at its next unread tuple, pinning pages as needed;
+  /// returns false when the cursor's run is exhausted.
+  Result<bool> AdvanceCursor(Cursor* c);
+
   std::vector<Cursor> cursors_;
   bool emitting_ = false;
 };

@@ -8,10 +8,14 @@ PagedScanStream::PagedScanStream(const PagedRelation* relation,
                                  PageIoCounter* io)
     : relation_(relation), io_(io) {}
 
+PagedScanStream::PagedScanStream(std::shared_ptr<const PagedRelation> relation,
+                                 PageIoCounter* io)
+    : owned_(std::move(relation)), relation_(owned_.get()), io_(io) {}
+
 Status PagedScanStream::OpenImpl() {
   page_index_ = 0;
   slot_index_ = 0;
-  page_charged_ = false;
+  current_.Release();
   opened_ = true;
   ++metrics_.passes_left;
   return Status::Ok();
@@ -22,20 +26,28 @@ Result<bool> PagedScanStream::NextImpl(Tuple* out) {
     return Status::FailedPrecondition("PagedScanStream::Next before Open");
   }
   while (page_index_ < relation_->page_count()) {
-    const std::vector<Tuple>& page = relation_->page(page_index_);
-    if (!page_charged_) {
+    if (!current_.valid()) {
       TEMPUS_FAULT_POINT("storage.page_read");
       if (io_ != nullptr) io_->CountRead();
-      page_charged_ = true;
+      BufferPinStats pin_stats;
+      TEMPUS_ASSIGN_OR_RETURN(current_,
+                              relation_->PinPage(page_index_, &pin_stats));
+      metrics_.buffer_hits += pin_stats.hits;
+      metrics_.buffer_misses += pin_stats.misses;
+      metrics_.buffer_evictions += pin_stats.evictions;
+      metrics_.buffer_bytes_read += pin_stats.bytes_read;
+      // Sequential scan: hint the pages we are about to need.
+      TEMPUS_RETURN_IF_ERROR(
+          relation_->Readahead(page_index_ + 1, kScanReadaheadPages));
     }
-    if (slot_index_ < page.size()) {
-      *out = page[slot_index_++];
+    if (slot_index_ < current_.size()) {
+      *out = current_[slot_index_++];
       ++metrics_.tuples_read_left;
       return true;
     }
     ++page_index_;
     slot_index_ = 0;
-    page_charged_ = false;
+    current_.Release();
   }
   return false;
 }

@@ -8,25 +8,37 @@
 
 namespace tempus {
 
-/// Scans a PagedRelation, charging one page read to the shared counter
-/// per page touched (and per re-pass after Open() is called again). This
-/// is the stream source the I/O-tradeoff benchmarks feed to the join
-/// operators: a stream operator that rescans its input pays for it here.
+/// Pages prefetched ahead of a sequential scan position (bounded further
+/// by the pool's free budget; see BufferManager::Readahead).
+inline constexpr size_t kScanReadaheadPages = 4;
+
+/// Scans a PagedRelation page by page, charging one page read to the
+/// shared counter per page touched (and per re-pass after Open() is
+/// called again). In disk-backed mode the scan pins exactly one page at a
+/// time through the buffer pool — unpinning before advancing, so a scan's
+/// resident footprint is one page plus readahead — and issues sequential
+/// readahead hints as it moves. Pool traffic lands in the operator's
+/// buffer_* metrics.
 class PagedScanStream : public TupleStream {
  public:
-  /// Neither pointer is owned; both must outlive the stream.
+  /// Borrowing: neither pointer is owned; both must outlive the stream.
   PagedScanStream(const PagedRelation* relation, PageIoCounter* io);
+
+  /// Owning: shares the relation handle (catalog-registered disk scans).
+  PagedScanStream(std::shared_ptr<const PagedRelation> relation,
+                  PageIoCounter* io);
 
   const Schema& schema() const override { return relation_->schema(); }
   Status OpenImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
 
  private:
+  std::shared_ptr<const PagedRelation> owned_;
   const PagedRelation* relation_;
   PageIoCounter* io_;
   size_t page_index_ = 0;
   size_t slot_index_ = 0;
-  bool page_charged_ = false;
+  PagedRelation::PinnedPage current_;
   bool opened_ = false;
 };
 

@@ -21,6 +21,11 @@ void OperatorMetrics::Absorb(const OperatorMetrics& child) {
   workspace_tuples += child.workspace_tuples;
   peak_workspace_tuples =
       std::max(peak_workspace_tuples, child.peak_workspace_tuples);
+  buffer_hits += child.buffer_hits;
+  buffer_misses += child.buffer_misses;
+  buffer_evictions += child.buffer_evictions;
+  buffer_bytes_read += child.buffer_bytes_read;
+  buffer_bytes_written += child.buffer_bytes_written;
 }
 
 std::string OperatorMetrics::ToString() const {
@@ -43,6 +48,16 @@ std::string OperatorMetrics::ToString() const {
     out += StrFormat(" workers=%llu merge_cmps=%llu",
                      static_cast<unsigned long long>(workers),
                      static_cast<unsigned long long>(merge_comparisons));
+  }
+  if (buffer_hits + buffer_misses + buffer_evictions +
+          buffer_bytes_written >
+      0) {
+    out += StrFormat(" buf=(hit=%llu miss=%llu evict=%llu rB=%llu wB=%llu)",
+                     static_cast<unsigned long long>(buffer_hits),
+                     static_cast<unsigned long long>(buffer_misses),
+                     static_cast<unsigned long long>(buffer_evictions),
+                     static_cast<unsigned long long>(buffer_bytes_read),
+                     static_cast<unsigned long long>(buffer_bytes_written));
   }
   return out;
 }

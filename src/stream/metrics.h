@@ -46,6 +46,13 @@ struct OperatorMetrics {
   uint64_t gc_checks = 0;
   size_t workspace_tuples = 0;
   size_t peak_workspace_tuples = 0;
+  /// Buffer-pool traffic attributed to this operator (disk-backed scans
+  /// and spills; zero for purely in-memory operators). docs/STORAGE.md.
+  uint64_t buffer_hits = 0;
+  uint64_t buffer_misses = 0;
+  uint64_t buffer_evictions = 0;
+  uint64_t buffer_bytes_read = 0;
+  uint64_t buffer_bytes_written = 0;
 
   void AddWorkspace(size_t n = 1) {
     workspace_tuples += n;

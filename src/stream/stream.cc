@@ -128,6 +128,11 @@ void CollectInto(const TupleStream& node, OperatorMetrics* total) {
   total->gc_checks += m.gc_checks;
   total->workspace_tuples += m.workspace_tuples;
   total->peak_workspace_tuples += m.peak_workspace_tuples;
+  total->buffer_hits += m.buffer_hits;
+  total->buffer_misses += m.buffer_misses;
+  total->buffer_evictions += m.buffer_evictions;
+  total->buffer_bytes_read += m.buffer_bytes_read;
+  total->buffer_bytes_written += m.buffer_bytes_written;
   for (const TupleStream* child : node.children()) {
     CollectInto(*child, total);
   }

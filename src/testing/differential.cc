@@ -3,12 +3,15 @@
 #include <sstream>
 #include <utility>
 
+#include "buffer/buffer_manager.h"
 #include "common/string_util.h"
 #include "join/before_join.h"
 #include "join/nested_loop.h"
 #include "join/no_gc_join.h"
 #include "parallel/parallel_ops.h"
 #include "relation/csv.h"
+#include "storage/paged_relation.h"
+#include "storage/paged_stream.h"
 #include "stream/stream.h"
 
 namespace tempus {
@@ -35,18 +38,34 @@ bool IsTwoBufferOrders(PairwiseOp op, TemporalSortOrder lo,
   return false;
 }
 
+/// One production operand, either borrowed in memory or disk-backed.
+/// Scan() mints a fresh stream over the same data, so operators that read
+/// an operand twice (the no-GC self semijoins) work in both modes.
+struct ScanSource {
+  const TemporalRelation* mem = nullptr;
+  std::shared_ptr<const PagedRelation> paged;
+
+  const Schema& schema() const {
+    return mem != nullptr ? mem->schema() : paged->schema();
+  }
+  std::unique_ptr<TupleStream> Scan() const {
+    if (mem != nullptr) return VectorStream::Scan(*mem);
+    return std::make_unique<PagedScanStream>(paged, nullptr);
+  }
+};
+
 /// Sequential production operator (threads <= 1 makes the parallel
 /// wrappers build the sequential operator directly).
 Result<std::unique_ptr<TupleStream>> BuildStreamOperator(
-    const DifferentialCase& c, const TemporalRelation& left,
-    const TemporalRelation& right, size_t threads) {
+    const DifferentialCase& c, const ScanSource& left,
+    const ScanSource& right, size_t threads) {
   switch (c.op) {
     case PairwiseOp::kContainJoin: {
       ContainJoinOptions options;
       options.left_order = c.left_order;
       options.right_order = c.right_order;
-      return MakeParallelContainJoin(VectorStream::Scan(left),
-                                     VectorStream::Scan(right), options,
+      return MakeParallelContainJoin(left.Scan(),
+                                     right.Scan(), options,
                                      threads);
     }
     case PairwiseOp::kOverlapJoin: {
@@ -54,57 +73,57 @@ Result<std::unique_ptr<TupleStream>> BuildStreamOperator(
       options.mask = AllenMask::Intersecting();
       options.left_order = c.left_order;
       options.right_order = c.right_order;
-      return MakeParallelAllenSweepJoin(VectorStream::Scan(left),
-                                        VectorStream::Scan(right), options,
+      return MakeParallelAllenSweepJoin(left.Scan(),
+                                        right.Scan(), options,
                                         threads);
     }
     case PairwiseOp::kOverlapSemijoin: {
       OverlapSemijoinOptions options;
       options.order = c.left_order;
-      return MakeParallelOverlapSemijoin(VectorStream::Scan(left),
-                                         VectorStream::Scan(right), options,
+      return MakeParallelOverlapSemijoin(left.Scan(),
+                                         right.Scan(), options,
                                          threads);
     }
     case PairwiseOp::kContainSemijoin: {
       TemporalSemijoinOptions options;
       options.left_order = c.left_order;
       options.right_order = c.right_order;
-      return MakeParallelContainSemijoin(VectorStream::Scan(left),
-                                         VectorStream::Scan(right), options,
+      return MakeParallelContainSemijoin(left.Scan(),
+                                         right.Scan(), options,
                                          threads);
     }
     case PairwiseOp::kContainedSemijoin: {
       TemporalSemijoinOptions options;
       options.left_order = c.left_order;
       options.right_order = c.right_order;
-      return MakeParallelContainedSemijoin(VectorStream::Scan(left),
-                                           VectorStream::Scan(right),
+      return MakeParallelContainedSemijoin(left.Scan(),
+                                           right.Scan(),
                                            options, threads);
     }
     case PairwiseOp::kBeforeJoin: {
-      return MakeParallelBeforeJoin(VectorStream::Scan(left),
-                                    VectorStream::Scan(right),
+      return MakeParallelBeforeJoin(left.Scan(),
+                                    right.Scan(),
                                     BeforeJoinOptions{}, threads);
     }
     case PairwiseOp::kBeforeSemijoin: {
-      return MakeParallelBeforeSemijoin(VectorStream::Scan(left),
-                                        VectorStream::Scan(right), threads);
+      return MakeParallelBeforeSemijoin(left.Scan(),
+                                        right.Scan(), threads);
     }
     case PairwiseOp::kSelfContainedSemijoin: {
       SelfSemijoinOptions options;
       options.order = c.left_order;
-      return MakeParallelSelfContainedSemijoin(VectorStream::Scan(left),
+      return MakeParallelSelfContainedSemijoin(left.Scan(),
                                                options, threads);
     }
     case PairwiseOp::kSelfContainSemijoin: {
       SelfSemijoinOptions options;
       options.order = c.left_order;
-      return MakeParallelSelfContainSemijoin(VectorStream::Scan(left),
+      return MakeParallelSelfContainSemijoin(left.Scan(),
                                              options, threads);
     }
     case PairwiseOp::kEquiJoin: {
-      return MakeParallelHashEquiJoin(VectorStream::Scan(left),
-                                      VectorStream::Scan(right), {0}, {0},
+      return MakeParallelHashEquiJoin(left.Scan(),
+                                      right.Scan(), {0}, {0},
                                       nullptr, JoinNaming{}, threads);
     }
   }
@@ -122,8 +141,8 @@ Result<std::unique_ptr<TupleStream>> AsStream(Result<std::unique_ptr<T>> r) {
 /// Order-free degenerate execution: NoGcStreamJoin for joins,
 /// NestedLoopSemijoin for semijoins. Consumes the operands as arranged.
 Result<std::unique_ptr<TupleStream>> BuildNoGcOperator(
-    const DifferentialCase& c, const TemporalRelation& left,
-    const TemporalRelation& right) {
+    const DifferentialCase& c, const ScanSource& left,
+    const ScanSource& right) {
   const auto mask_predicate =
       [&](AllenMask mask) -> Result<PairPredicate> {
     return MakeIntervalPairPredicate(left.schema(), right.schema(), mask);
@@ -133,23 +152,23 @@ Result<std::unique_ptr<TupleStream>> BuildNoGcOperator(
       TEMPUS_ASSIGN_OR_RETURN(
           PairPredicate pred,
           mask_predicate(AllenMask::Single(AllenRelation::kContains)));
-      return AsStream(NoGcStreamJoin::Create(VectorStream::Scan(left),
-                                             VectorStream::Scan(right),
+      return AsStream(NoGcStreamJoin::Create(left.Scan(),
+                                             right.Scan(),
                                              std::move(pred)));
     }
     case PairwiseOp::kOverlapJoin: {
       TEMPUS_ASSIGN_OR_RETURN(PairPredicate pred,
                               mask_predicate(AllenMask::Intersecting()));
-      return AsStream(NoGcStreamJoin::Create(VectorStream::Scan(left),
-                                             VectorStream::Scan(right),
+      return AsStream(NoGcStreamJoin::Create(left.Scan(),
+                                             right.Scan(),
                                              std::move(pred)));
     }
     case PairwiseOp::kBeforeJoin: {
       TEMPUS_ASSIGN_OR_RETURN(
           PairPredicate pred,
           mask_predicate(AllenMask::Single(AllenRelation::kBefore)));
-      return AsStream(NoGcStreamJoin::Create(VectorStream::Scan(left),
-                                             VectorStream::Scan(right),
+      return AsStream(NoGcStreamJoin::Create(left.Scan(),
+                                             right.Scan(),
                                              std::move(pred)));
     }
     case PairwiseOp::kEquiJoin: {
@@ -157,8 +176,8 @@ Result<std::unique_ptr<TupleStream>> BuildNoGcOperator(
                               const Tuple& r) -> Result<bool> {
         return l[0].Equals(r[0]);
       };
-      return AsStream(NoGcStreamJoin::Create(VectorStream::Scan(left),
-                                             VectorStream::Scan(right),
+      return AsStream(NoGcStreamJoin::Create(left.Scan(),
+                                             right.Scan(),
                                              std::move(pred)));
     }
     case PairwiseOp::kOverlapSemijoin:
@@ -182,8 +201,8 @@ Result<std::unique_ptr<TupleStream>> BuildNoGcOperator(
       }
       TEMPUS_ASSIGN_OR_RETURN(PairPredicate pred, mask_predicate(mask));
       std::unique_ptr<TupleStream> semi =
-          std::make_unique<NestedLoopSemijoin>(VectorStream::Scan(left),
-                                               VectorStream::Scan(right),
+          std::make_unique<NestedLoopSemijoin>(left.Scan(),
+                                               right.Scan(),
                                                std::move(pred));
       return semi;
     }
@@ -201,8 +220,8 @@ Result<std::unique_ptr<TupleStream>> BuildNoGcOperator(
           MakeIntervalPairPredicate(left.schema(), left.schema(),
                                     AllenMask::Single(rel)));
       std::unique_ptr<TupleStream> semi =
-          std::make_unique<NestedLoopSemijoin>(VectorStream::Scan(left),
-                                               VectorStream::Scan(left),
+          std::make_unique<NestedLoopSemijoin>(left.Scan(),
+                                               left.Scan(),
                                                std::move(pred));
       return semi;
     }
@@ -263,6 +282,21 @@ Result<ExecMode> ExecModeFromName(std::string_view name) {
   if (name == "par") return ExecMode::kParallel;
   if (name == "nogc") return ExecMode::kNoGc;
   return Status::InvalidArgument("unknown exec mode: " + std::string(name));
+}
+
+std::string_view StorageModeName(StorageMode mode) {
+  switch (mode) {
+    case StorageMode::kMemory: return "memory";
+    case StorageMode::kDisk: return "disk";
+  }
+  return "unknown";
+}
+
+Result<StorageMode> StorageModeFromName(std::string_view name) {
+  if (name == "memory") return StorageMode::kMemory;
+  if (name == "disk") return StorageMode::kDisk;
+  return Status::InvalidArgument("unknown storage mode: " +
+                                 std::string(name));
 }
 
 std::string_view OrderToken(TemporalSortOrder order) {
@@ -335,14 +369,43 @@ Result<DifferentialResult> RunDifferentialCase(const DifferentialCase& c) {
     }
   }
 
+  // Operand placement. The disk path spills the (already arranged)
+  // operands into compressed page files owned by a private pool, so every
+  // scan below goes through pin/unpin, eviction, and readahead — and the
+  // byte-identical comparison against the oracle covers the whole storage
+  // stack. The pool is declared before the sources and the stream so page
+  // files and handles are destroyed before it.
+  std::unique_ptr<BufferManager> pool;
+  ScanSource left_src{&engine_left, nullptr};
+  ScanSource right_src{&engine_right, nullptr};
+  if (c.storage == StorageMode::kDisk) {
+    pool = std::make_unique<BufferManager>(
+        c.frame_budget != 0 ? c.frame_budget
+                            : BufferManager::DefaultFrameBudget());
+    TEMPUS_ASSIGN_OR_RETURN(
+        PagedRelation spilled_left,
+        PagedRelation::SpillToDisk(engine_left, c.tuples_per_page,
+                                   pool.get()));
+    left_src = {nullptr,
+                std::make_shared<const PagedRelation>(std::move(spilled_left))};
+    if (!IsSelfOp(c.op)) {
+      TEMPUS_ASSIGN_OR_RETURN(
+          PagedRelation spilled_right,
+          PagedRelation::SpillToDisk(engine_right, c.tuples_per_page,
+                                     pool.get()));
+      right_src = {nullptr, std::make_shared<const PagedRelation>(
+                                std::move(spilled_right))};
+    }
+  }
+
   std::unique_ptr<TupleStream> stream;
   if (c.mode == ExecMode::kNoGc) {
     TEMPUS_ASSIGN_OR_RETURN(stream,
-                            BuildNoGcOperator(c, engine_left, engine_right));
+                            BuildNoGcOperator(c, left_src, right_src));
   } else {
     const size_t threads = c.mode == ExecMode::kParallel ? c.threads : 1;
     TEMPUS_ASSIGN_OR_RETURN(
-        stream, BuildStreamOperator(c, engine_left, engine_right, threads));
+        stream, BuildStreamOperator(c, left_src, right_src, threads));
   }
 
   TEMPUS_ASSIGN_OR_RETURN(TemporalRelation engine_out,
@@ -356,6 +419,12 @@ Result<DifferentialResult> RunDifferentialCase(const DifferentialCase& c) {
   result.peak_workspace = plan.peak_workspace_tuples;
   result.ledger_ok =
       plan.workspace_inserted == plan.gc_discarded + plan.workspace_tuples;
+  if (pool != nullptr) {
+    const BufferPoolStats pool_stats = pool->Stats();
+    result.buffer_misses = pool_stats.misses;
+    result.buffer_evictions = pool_stats.evictions;
+    result.compression_ratio = pool_stats.compression_ratio();
+  }
 
   // Workspace bounds: only the sequential operators instantiate the
   // paper's Table 1-3 formulas (parallel slices replicate straddlers and
@@ -406,7 +475,7 @@ Result<DifferentialResult> RunDifferentialCase(const DifferentialCase& c) {
 }
 
 std::string ReproCommand(const DifferentialCase& c) {
-  return StrFormat(
+  std::string cmd = StrFormat(
       "tempus_check --op=%s --mode=%s --dist=%s --arrangement=%s "
       "--count=%zu --seed=%llu --right_seed=%llu --left_order=%s "
       "--right_order=%s --threads=%zu",
@@ -418,6 +487,11 @@ std::string ReproCommand(const DifferentialCase& c) {
       static_cast<unsigned long long>(c.right_seed),
       std::string(OrderToken(c.left_order)).c_str(),
       std::string(OrderToken(c.right_order)).c_str(), c.threads);
+  if (c.storage == StorageMode::kDisk) {
+    cmd += StrFormat(" --storage=disk --frames=%zu --page=%zu",
+                     c.frame_budget, c.tuples_per_page);
+  }
+  return cmd;
 }
 
 }  // namespace testing

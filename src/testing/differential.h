@@ -25,6 +25,18 @@ enum class ExecMode {
 std::string_view ExecModeName(ExecMode mode);
 Result<ExecMode> ExecModeFromName(std::string_view name);
 
+/// Where the production operands live while the operator runs.
+enum class StorageMode {
+  kMemory,  ///< Borrowed in-memory vectors (the default).
+  kDisk,    ///< Spilled to compressed page files and scanned through a
+            ///< private BufferManager (docs/STORAGE.md) — exercises the
+            ///< codec, pin/unpin, eviction, and readahead under the same
+            ///< byte-identical oracle comparison.
+};
+
+std::string_view StorageModeName(StorageMode mode);
+Result<StorageMode> StorageModeFromName(std::string_view name);
+
 /// Stable CLI token for a sort order: "from-asc", "from-desc", "to-asc",
 /// "to-desc".
 std::string_view OrderToken(TemporalSortOrder order);
@@ -44,6 +56,13 @@ struct DifferentialCase {
   TemporalSortOrder left_order = kByValidFromAsc;
   TemporalSortOrder right_order = kByValidFromAsc;
   size_t threads = 4;  // Worker count in kParallel mode.
+  StorageMode storage = StorageMode::kMemory;
+  /// kDisk only: frame budget of the case's private buffer pool (0 uses
+  /// DefaultFrameBudget()). Budgets far below the dataset's page count
+  /// force eviction on every scan pass.
+  size_t frame_budget = 0;
+  /// kDisk only: tuples packed per on-disk page.
+  size_t tuples_per_page = 8;
 };
 
 struct DifferentialResult {
@@ -60,6 +79,12 @@ struct DifferentialResult {
   size_t engine_tuples = 0;
   size_t peak_workspace = 0;
   size_t bound = 0;
+  /// kDisk only: the case's private-pool counters after the run (all zero
+  /// in kMemory mode). A budget smaller than the spilled page count shows
+  /// up here as nonzero evictions.
+  uint64_t buffer_misses = 0;
+  uint64_t buffer_evictions = 0;
+  double compression_ratio = 0.0;
   /// First line of divergence (empty when match).
   std::string diff;
 

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "buffer/buffer_manager.h"
 #include "common/cancellation.h"
 #include "common/fault.h"
 #include "exec/engine.h"
@@ -214,6 +215,86 @@ TEST_F(ChaosQueryTest, PagedReadFaultStopsTheScanWithoutChargingTheePage) {
   EXPECT_EQ(io.reads(), 1u);
 }
 
+TEST_F(ChaosQueryTest, PageWriteFaultFailsTheSpillAndClearsForRetry) {
+  BufferManager pool(4);
+  WorkloadSpec spec;
+  spec.count = 32;
+  spec.seed = 11;
+  Result<TemporalRelation> rel = MakeWorkloadRelation("r", spec);
+  TEMPUS_ASSERT_OK(rel.status());
+
+  FaultSpec fault;
+  fault.trigger_at = 2;  // The first page lands; the second write fails.
+  fault.code = StatusCode::kUnavailable;
+  fault.message = "disk full";
+  FaultInjector::Global().Arm("buffer.page_write", fault);
+  Result<PagedRelation> disk = PagedRelation::SpillToDisk(*rel, 8, &pool);
+  EXPECT_FALSE(disk.ok());
+  EXPECT_EQ(disk.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(FaultInjector::Global().FireCount("buffer.page_write"), 1u);
+
+  // Recovery: the identical spill succeeds once the fault clears.
+  FaultInjector::Global().Reset();
+  Result<PagedRelation> retry = PagedRelation::SpillToDisk(*rel, 8, &pool);
+  TEMPUS_ASSERT_OK(retry.status());
+  EXPECT_EQ(retry->tuple_count(), rel->size());
+}
+
+TEST_F(ChaosQueryTest, BufferReadFaultFailsTheScanButTheDataSurvives) {
+  BufferManager pool(4);
+  WorkloadSpec spec;
+  spec.count = 64;  // 8 pages at 8 tuples/page.
+  spec.seed = 12;
+  Result<TemporalRelation> rel = MakeWorkloadRelation("r", spec);
+  TEMPUS_ASSERT_OK(rel.status());
+  Result<PagedRelation> disk = PagedRelation::SpillToDisk(*rel, 8, &pool);
+  TEMPUS_ASSERT_OK(disk.status());
+
+  FaultSpec fault;
+  fault.trigger_at = 3;  // Mid-scan: pin or readahead, whichever gets there.
+  fault.code = StatusCode::kUnavailable;
+  fault.message = "bad sector";
+  FaultInjector::Global().Arm("buffer.page_read", fault);
+
+  PagedScanStream scan(&*disk, nullptr);
+  Result<TemporalRelation> out = Materialize(&scan, "out");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(FaultInjector::Global().FireCount("buffer.page_read"), 1u);
+
+  // Recovery: the pages on disk are intact; a clean re-scan returns the
+  // whole relation.
+  FaultInjector::Global().Reset();
+  const TemporalRelation again = testing::MustMaterialize(&scan, "again");
+  testing::ExpectSameTuples(again, *rel);
+}
+
+TEST_F(ChaosQueryTest, EvictionFaultFailsThePinThatNeededRoom) {
+  BufferManager pool(1);  // Every page advance must evict its predecessor.
+  WorkloadSpec spec;
+  spec.count = 32;  // 4 pages through a one-frame pool.
+  spec.seed = 13;
+  Result<TemporalRelation> rel = MakeWorkloadRelation("r", spec);
+  TEMPUS_ASSERT_OK(rel.status());
+  Result<PagedRelation> disk = PagedRelation::SpillToDisk(*rel, 8, &pool);
+  TEMPUS_ASSERT_OK(disk.status());
+
+  FaultSpec fault;
+  FaultInjector::Global().Arm("buffer.evict", fault);
+  PagedScanStream scan(&*disk, nullptr);
+  Result<TemporalRelation> out = Materialize(&scan, "out");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInternal);
+  EXPECT_GE(FaultInjector::Global().FireCount("buffer.evict"), 1u);
+
+  // The pool is not wedged: with the fault gone the same scan completes
+  // and evicts its way through the file as designed.
+  FaultInjector::Global().Reset();
+  const TemporalRelation again = testing::MustMaterialize(&scan, "again");
+  testing::ExpectSameTuples(again, *rel);
+  EXPECT_GT(pool.Stats().evictions, 0u);
+}
+
 TEST_F(ChaosQueryTest, SortSpillFaultFailsOpen) {
   WorkloadSpec spec;
   spec.count = 40;
@@ -351,6 +432,21 @@ TEST_F(ChaosQueryTest, EveryPipelineFaultPointIsReachable) {
   Result<size_t> drained = DrainCount(&scan);
   TEMPUS_ASSERT_OK(drained.status());
 
+  // buffer.page_write / buffer.page_read / buffer.evict via a spill
+  // scanned back through a pool too small to hold it.
+  BufferManager pool(2);
+  WorkloadSpec pool_spec;
+  pool_spec.count = 48;  // 6 pages against 2 frames: eviction guaranteed.
+  pool_spec.seed = 10;
+  Result<TemporalRelation> d = MakeWorkloadRelation("d", pool_spec);
+  TEMPUS_ASSERT_OK(d.status());
+  Result<PagedRelation> spilled = PagedRelation::SpillToDisk(*d, 8, &pool);
+  TEMPUS_ASSERT_OK(spilled.status());
+  PagedScanStream disk_scan(&*spilled, nullptr);
+  Result<size_t> disk_drained = DrainCount(&disk_scan);
+  TEMPUS_ASSERT_OK(disk_drained.status());
+  EXPECT_EQ(*disk_drained, d->size());
+
   // storage.sort_spill / storage.sort_merge via an external sort big
   // enough to need multiple runs and a merge level.
   WorkloadSpec spec;
@@ -370,7 +466,8 @@ TEST_F(ChaosQueryTest, EveryPipelineFaultPointIsReachable) {
   for (const char* point :
        {"stream.open", "stream.next", "storage.page_read",
         "storage.sort_spill", "storage.sort_merge", "catalog.register",
-        "catalog.drop"}) {
+        "catalog.drop", "buffer.page_write", "buffer.page_read",
+        "buffer.evict"}) {
     EXPECT_TRUE(seen_set.count(point)) << "never reached: " << point;
   }
 }

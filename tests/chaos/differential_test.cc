@@ -133,6 +133,67 @@ TEST(DifferentialSuite, MirrorOrdersOnDuplicateEndpoints) {
   EXPECT_GT(case_index, 0u);
 }
 
+/// Disk-backed storage through a deliberately tiny 4-frame buffer pool:
+/// every operator in every execution mode, with each operand spilled to
+/// 20 compressed pages (40 pages total against 4 frames, 10x the budget,
+/// so the pool evicts continuously), still matches the in-memory oracle
+/// exactly.
+TEST(DifferentialSuite, DiskModeThroughTinyPoolAgreesWithOracle) {
+  size_t case_index = 0;
+  for (PairwiseOp op : AllPairwiseOps()) {
+    for (ExecMode mode : {ExecMode::kSequential, ExecMode::kParallel,
+                          ExecMode::kNoGc}) {
+      DifferentialCase c;
+      c.op = op;
+      c.mode = mode;
+      c.distribution =
+          AllDistributions()[case_index % AllDistributions().size()];
+      c.arrangement =
+          AllArrangements()[case_index % AllArrangements().size()];
+      c.count = 160;  // 20 pages per operand at 8 tuples/page.
+      c.seed = 12000 + case_index;
+      const auto orders = SupportedOrders(op);
+      c.left_order = orders.front().first;
+      c.right_order = orders.front().second;
+      c.threads = 4;
+      c.storage = StorageMode::kDisk;
+      c.frame_budget = 4;
+      c.tuples_per_page = 8;
+      CheckCase(c);
+      ++case_index;
+    }
+  }
+  EXPECT_EQ(case_index, AllPairwiseOps().size() * 3);
+}
+
+/// The acceptance case spelled out: a Contain-join whose dataset is far
+/// more than 4x the frame budget completes byte-identically against the
+/// oracle while the pool reports real misses, evictions, and a
+/// compression ratio above 1.
+TEST(DifferentialSuite, ContainJoinOnDiskReportsPoolTrafficAndMatches) {
+  DifferentialCase c;
+  c.op = PairwiseOp::kContainJoin;
+  c.mode = ExecMode::kSequential;
+  c.distribution = Distribution::kRandomMix;
+  c.arrangement = Arrangement::kShuffled;
+  c.count = 256;  // 32 pages per operand at 8 tuples/page vs 4 frames.
+  c.seed = 424242;
+  const auto orders = SupportedOrders(c.op);
+  c.left_order = orders.front().first;
+  c.right_order = orders.front().second;
+  c.storage = StorageMode::kDisk;
+  c.frame_budget = 4;
+  c.tuples_per_page = 8;
+  SCOPED_TRACE(ReproCommand(c));
+  Result<DifferentialResult> r = RunDifferentialCase(c);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->match) << r->diff;
+  EXPECT_GT(r->engine_tuples, 0u);
+  EXPECT_GT(r->buffer_misses, 0u);
+  EXPECT_GT(r->buffer_evictions, 0u);
+  EXPECT_GT(r->compression_ratio, 1.0);
+}
+
 /// Regression: the sweep Contained-semijoin used to buffer containers that
 /// could never witness anything (dead on arrival), blowing through the
 /// Table 1 state bound on low-overlap inputs (peak 7 against a bound of 4
@@ -166,6 +227,17 @@ TEST(DifferentialSuite, ReproCommandRoundTripsItsTokens) {
   TEMPUS_ASSERT_OK(DistributionFromName("nested-chains").status());
   TEMPUS_ASSERT_OK(ArrangementFromName("reverse").status());
   TEMPUS_ASSERT_OK(OrderFromToken("to-desc").status());
+
+  c.storage = StorageMode::kDisk;
+  c.frame_budget = 4;
+  c.tuples_per_page = 8;
+  const std::string disk_repro = ReproCommand(c);
+  EXPECT_NE(disk_repro.find("--storage=disk"), std::string::npos);
+  EXPECT_NE(disk_repro.find("--frames=4"), std::string::npos);
+  EXPECT_NE(disk_repro.find("--page=8"), std::string::npos);
+  TEMPUS_ASSERT_OK(StorageModeFromName("disk").status());
+  TEMPUS_ASSERT_OK(StorageModeFromName("memory").status());
+  EXPECT_FALSE(StorageModeFromName("floppy").ok());
 }
 
 /// The oracle itself on a hand-checked micro-instance: guards against the

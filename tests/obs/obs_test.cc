@@ -85,13 +85,20 @@ TEST(MetricsJsonTest, StableKeyOrderAndValues) {
   m.gc_checks = 6;
   m.workspace_tuples = 1;
   m.peak_workspace_tuples = 2;
+  m.buffer_hits = 7;
+  m.buffer_misses = 8;
+  m.buffer_evictions = 9;
+  m.buffer_bytes_read = 10;
+  m.buffer_bytes_written = 11;
   const std::string json = MetricsToJson(m);
   EXPECT_EQ(json,
             "{\"tuples_read_left\":3,\"tuples_read_right\":0,"
             "\"tuples_emitted\":2,\"comparisons\":0,\"passes_left\":0,"
             "\"passes_right\":0,\"workers\":0,\"merge_comparisons\":0,"
             "\"workspace_inserted\":5,\"gc_discarded\":4,\"gc_checks\":6,"
-            "\"workspace_tuples\":1,\"peak_workspace_tuples\":2}");
+            "\"workspace_tuples\":1,\"peak_workspace_tuples\":2,"
+            "\"buffer_hits\":7,\"buffer_misses\":8,\"buffer_evictions\":9,"
+            "\"buffer_bytes_read\":10,\"buffer_bytes_written\":11}");
 }
 
 TEST(MetricsJsonTest, EscapesStrings) {

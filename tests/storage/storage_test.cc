@@ -1,3 +1,5 @@
+#include <thread>
+
 #include "storage/external_sort.h"
 #include "storage/paged_relation.h"
 #include "storage/paged_stream.h"
@@ -168,6 +170,145 @@ TEST(ExternalSortTest, DuplicateKeysAcrossPages) {
   EXPECT_TRUE(out.EqualsIgnoringOrder(rel));
   EXPECT_TRUE(IsSorted(out.tuples(), target));
   EXPECT_GT(sort->initial_run_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Disk-backed mode (src/buffer/ under src/storage/; docs/STORAGE.md)
+// ---------------------------------------------------------------------------
+
+TEST(PagedRelationDiskTest, SpillAndScanMatchesMemoryModeExactly) {
+  IntervalWorkloadConfig config;
+  config.count = 300;
+  config.seed = 21;
+  const TemporalRelation rel = GenerateIntervalRelation("R", config).value();
+
+  BufferManager pool(16);
+  Result<PagedRelation> disk = PagedRelation::SpillToDisk(rel, 8, &pool);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_TRUE(disk->disk_backed());
+  EXPECT_EQ(disk->tuple_count(), rel.size());
+  EXPECT_GT(disk->compression_ratio(), 1.0);
+  EXPECT_TRUE(disk->stats().has_value()) << "spill precomputes stats";
+
+  PagedScanStream scan(&disk.value(), nullptr);
+  const TemporalRelation out = MustMaterialize(&scan, "out");
+  // Exact order-preserving equality, tuple by tuple.
+  ASSERT_EQ(out.size(), rel.size());
+  for (size_t i = 0; i < rel.size(); ++i) {
+    for (size_t c = 0; c < rel.schema().attribute_count(); ++c) {
+      ASSERT_TRUE(out.tuple(i)[c].Equals(rel.tuple(i)[c]))
+          << "tuple " << i << " column " << c;
+    }
+  }
+  const OperatorMetrics& m = scan.metrics();
+  EXPECT_GT(m.buffer_misses + m.buffer_hits, 0u);
+}
+
+TEST(PagedRelationDiskTest, TinyPoolScanEvictsAndStaysCorrect) {
+  IntervalWorkloadConfig config;
+  config.count = 200;
+  config.seed = 23;
+  const TemporalRelation rel = GenerateIntervalRelation("R", config).value();
+
+  // 4 frames for a 50-page relation: far past budget, so the scan must
+  // recycle frames continuously.
+  BufferManager pool(4);
+  Result<PagedRelation> disk = PagedRelation::SpillToDisk(rel, 4, &pool);
+  ASSERT_TRUE(disk.ok());
+  ASSERT_GE(disk->page_count(), 4u * 4u);
+
+  PageIoCounter io;
+  PagedScanStream scan(&disk.value(), &io);
+  const TemporalRelation out = MustMaterialize(&scan, "out");
+  EXPECT_TRUE(out.EqualsIgnoringOrder(rel));
+  const BufferPoolStats stats = pool.Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.frames_resident, 4u);
+  EXPECT_EQ(io.reads(), disk->page_count());
+}
+
+TEST(PagedRelationDiskTest, DiskAppendRejectsSchemaValueMismatch) {
+  BufferManager pool(4);
+  Result<PagedRelation> disk = PagedRelation::CreateDiskBacked(
+      "R", Schema::Canonical("S", ValueType::kInt64, "V", ValueType::kInt64),
+      4, &pool);
+  ASSERT_TRUE(disk.ok());
+  TEMPUS_ASSERT_OK(disk->Append(
+      MakeTemporalTuple(Value::Int(1), Value::Int(0), 1, 2), nullptr));
+  // A string where an int is declared fails at page-encode time (when the
+  // partial tail spills) rather than writing garbage.
+  TEMPUS_ASSERT_OK(disk->Append(
+      Tuple({Value::Str("bad"), Value::Int(0), Value::Time(1),
+             Value::Time(2)}),
+      nullptr));
+  Status flush = disk->FlushTail(nullptr);
+  EXPECT_FALSE(flush.ok());
+}
+
+TEST(ExternalSortTest, PoolBackedSpillMatchesInMemorySpill) {
+  IntervalWorkloadConfig config;
+  config.count = 500;
+  config.seed = 31;
+  TemporalRelation rel = GenerateIntervalRelation("R", config).value();
+  rel.SortBy(SortSpec::ByLifespan(rel.schema(), TemporalField::kValidTo,
+                                  SortDirection::kDescending)
+                 .value());
+  const SortSpec target =
+      SortSpec::ByLifespan(rel.schema(), TemporalField::kValidFrom,
+                           SortDirection::kAscending)
+          .value();
+
+  BufferManager pool(8);
+  PageIoCounter io;
+  std::unique_ptr<ExternalSortStream> disk_sort =
+      ExternalSortStream::Create(VectorStream::Scan(rel), target,
+                                 /*tuples_per_page=*/8,
+                                 /*workspace_pages=*/3, &io, &pool)
+          .value();
+  const TemporalRelation disk_out = MustMaterialize(disk_sort.get(), "out");
+
+  std::unique_ptr<ExternalSortStream> mem_sort =
+      ExternalSortStream::Create(VectorStream::Scan(rel), target, 8, 3,
+                                 nullptr)
+          .value();
+  const TemporalRelation mem_out = MustMaterialize(mem_sort.get(), "out");
+
+  // Identical output, tuple for tuple: the spill medium must not change
+  // the sort.
+  ASSERT_EQ(disk_out.size(), mem_out.size());
+  for (size_t i = 0; i < disk_out.size(); ++i) {
+    for (size_t c = 0; c < rel.schema().attribute_count(); ++c) {
+      ASSERT_TRUE(disk_out.tuple(i)[c].Equals(mem_out.tuple(i)[c]))
+          << "tuple " << i << " column " << c;
+    }
+  }
+  EXPECT_GT(disk_sort->initial_run_count(), 1u);
+  const OperatorMetrics& m = disk_sort->metrics();
+  EXPECT_GT(m.buffer_bytes_written, 0u);
+  EXPECT_GT(m.buffer_misses + m.buffer_hits, 0u);
+  EXPECT_GT(pool.Stats().bytes_written, 0u);
+}
+
+TEST(PageIoCounterTest, CountsFromManyThreadsWithoutLoss) {
+  PageIoCounter io;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&io] {
+      for (int i = 0; i < kPerThread; ++i) {
+        io.CountRead();
+        if (i % 2 == 0) io.CountWrite();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(io.reads(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(io.writes(), uint64_t{kThreads} * kPerThread / 2);
+  EXPECT_EQ(io.total(), io.reads() + io.writes());
+  io.Reset();
+  EXPECT_EQ(io.total(), 0u);
 }
 
 TEST(ExternalSortTest, EmptyInput) {
