@@ -11,11 +11,13 @@
 #include "bench_util.h"
 #include "datagen/interval_gen.h"
 #include "join/allen_sweep_join.h"
+#include "join/batch_sweep.h"
 #include "join/contain_join.h"
 #include "join/containment_semijoin.h"
 #include "join/nested_loop.h"
 #include "join/self_semijoin.h"
 #include "stream/basic_ops.h"
+#include "stream/batch.h"
 
 namespace tempus {
 namespace bench {
@@ -63,6 +65,24 @@ void BM_ContainJoin_Sweep(benchmark::State& state) {
 }
 BENCHMARK(BM_ContainJoin_Sweep)->Arg(1000)->Arg(4000)->Arg(16000);
 
+void BM_ContainJoin_SweepBatch(benchmark::State& state) {
+  // Batch twin of BM_ContainJoin_Sweep (docs/BATCH.md): the same sweep
+  // through the columnar batch operator, drained a batch at a time.
+  const Workload& w = SharedWorkload(static_cast<size_t>(state.range(0)));
+  ContainJoinOptions options;
+  options.batch_size = 1024;
+  for (auto _ : state) {
+    std::unique_ptr<TupleStream> join = ValueOrDie(
+        MakeContainJoin(VectorStream::Scan(w.x), VectorStream::Scan(w.y),
+                        options),
+        "join");
+    benchmark::DoNotOptimize(
+        ValueOrDie(DrainCountBatches(join.get()), "drain"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_ContainJoin_SweepBatch)->Arg(1000)->Arg(4000)->Arg(16000);
+
 void BM_ContainJoin_NestedLoop(benchmark::State& state) {
   const Workload& w = SharedWorkload(static_cast<size_t>(state.range(0)));
   PairPredicate pred = ValueOrDie(
@@ -96,6 +116,25 @@ void BM_ContainSemijoin_TwoBuffer(benchmark::State& state) {
 }
 BENCHMARK(BM_ContainSemijoin_TwoBuffer)->Arg(1000)->Arg(16000);
 
+void BM_ContainSemijoin_TwoBufferBatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Workload& w = SharedWorkload(n);
+  const TemporalRelation ys = w.y.SortedBy(
+      ValueOrDie(kByValidToAsc.ToSortSpec(w.y.schema()), "spec"));
+  TemporalSemijoinOptions options;
+  options.batch_size = 1024;
+  for (auto _ : state) {
+    std::unique_ptr<TupleStream> semi = ValueOrDie(
+        MakeContainSemijoin(VectorStream::Scan(w.x), VectorStream::Scan(ys),
+                            options),
+        "semi");
+    benchmark::DoNotOptimize(
+        ValueOrDie(DrainCountBatches(semi.get()), "drain"));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_ContainSemijoin_TwoBufferBatch)->Arg(1000)->Arg(16000);
+
 void BM_SelfContainedSemijoin_SingleScan(benchmark::State& state) {
   const Workload& w = SharedWorkload(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
@@ -106,6 +145,20 @@ void BM_SelfContainedSemijoin_SingleScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SelfContainedSemijoin_SingleScan)->Arg(1000)->Arg(16000);
+
+void BM_SelfContainedSemijoin_SingleScanBatch(benchmark::State& state) {
+  const Workload& w = SharedWorkload(static_cast<size_t>(state.range(0)));
+  SelfSemijoinOptions options;
+  options.batch_size = 1024;
+  for (auto _ : state) {
+    std::unique_ptr<TupleStream> semi = ValueOrDie(
+        MakeSelfContainedSemijoin(VectorStream::Scan(w.x), options), "semi");
+    benchmark::DoNotOptimize(
+        ValueOrDie(DrainCountBatches(semi.get()), "drain"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelfContainedSemijoin_SingleScanBatch)->Arg(1000)->Arg(16000);
 
 void BM_OverlapSweepJoin(benchmark::State& state) {
   const Workload& w = SharedWorkload(static_cast<size_t>(state.range(0)));
@@ -118,6 +171,22 @@ void BM_OverlapSweepJoin(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
 }
 BENCHMARK(BM_OverlapSweepJoin)->Arg(1000)->Arg(8000);
+
+void BM_OverlapSweepJoinBatch(benchmark::State& state) {
+  const Workload& w = SharedWorkload(static_cast<size_t>(state.range(0)));
+  AllenSweepJoinOptions options;
+  options.batch_size = 1024;
+  for (auto _ : state) {
+    std::unique_ptr<TupleStream> join = ValueOrDie(
+        MakeAllenSweepJoin(VectorStream::Scan(w.x), VectorStream::Scan(w.y),
+                           options),
+        "join");
+    benchmark::DoNotOptimize(
+        ValueOrDie(DrainCountBatches(join.get()), "drain"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_OverlapSweepJoinBatch)->Arg(1000)->Arg(8000);
 
 void BM_SortEnforcer(benchmark::State& state) {
   const Workload& w = SharedWorkload(static_cast<size_t>(state.range(0)));

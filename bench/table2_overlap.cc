@@ -8,6 +8,7 @@
 #include "bench_util.h"
 #include "datagen/interval_gen.h"
 #include "join/allen_sweep_join.h"
+#include "join/batch_sweep.h"
 #include "join/no_gc_join.h"
 #include "join/nested_loop.h"
 #include "join/overlap_semijoin.h"
@@ -87,6 +88,29 @@ void Run() {
                   JoinCell(xs, ys, order), SemiCell(xs, ys, order)});
   }
   table.Print();
+
+  // Batch path vs tuple path (docs/BATCH.md) on the one GC-admitting
+  // ordering, at the default batch size, best of three.
+  std::printf("\n-- batch vs tuple, batch size %zu --\n", DefaultBatchSize());
+  const TemporalRelation x_fa = x.SortedBy(
+      ValueOrDie(kByValidFromAsc.ToSortSpec(x.schema()), "spec"));
+  const TemporalRelation y_fa = y.SortedBy(
+      ValueOrDie(kByValidFromAsc.ToSortSpec(y.schema()), "spec"));
+
+  CompareBatchVsTuple("Overlap-join (From^, From^)", [&](size_t batch) {
+    AllenSweepJoinOptions options;
+    options.batch_size = batch;
+    return ValueOrDie(MakeAllenSweepJoin(VectorStream::Scan(x_fa),
+                                         VectorStream::Scan(y_fa), options),
+                      "overlap join");
+  });
+  CompareBatchVsTuple("Overlap-semijoin (From^, From^)", [&](size_t batch) {
+    OverlapSemijoinOptions options;
+    options.batch_size = batch;
+    return ValueOrDie(MakeOverlapSemijoin(VectorStream::Scan(x_fa),
+                                          VectorStream::Scan(y_fa), options),
+                      "overlap semijoin");
+  });
 }
 
 }  // namespace

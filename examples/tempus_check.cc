@@ -7,20 +7,28 @@
 // failure prints a one-line repro command.
 //
 //   tempus_check --sweep [--count=64] [--seed=1] [--storage=disk]
-//   tempus_check --op=contain-join --mode=seq --dist=nested-chains \
-//       --arrangement=shuffled --count=64 --seed=7 \
-//       --left_order=from-asc --right_order=from-asc --threads=4 \
-//       --storage=disk --frames=4 --page=8
+//   tempus_check --sweep --batch=1,3,64,1024
+//   tempus_check --op=contain-join --mode=seq --dist=nested-chains
+//       --arrangement=shuffled --count=64 --seed=7
+//       --left_order=from-asc --right_order=from-asc --threads=4
+//       --storage=disk --frames=4 --page=8 --batch=64
 //
 // --storage=disk spills both operands to compressed page files and scans
 // them through a private buffer pool of --frames frames (0 = the
 // TEMPUS_FRAME_BUDGET default), --page tuples per page — the same
 // byte-identical oracle comparison, now exercising the storage stack.
+//
+// --batch=K plans the batch-at-a-time operators (docs/BATCH.md) with
+// batches of K rows, drains through NextBatch(), and additionally requires
+// the output to be byte-identical to the tuple-at-a-time twin of the same
+// case. A comma list (--batch=1,3,64,1024) repeats each case at every
+// listed size; under --sweep this multiplies the stream-mode cases.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "testing/differential.h"
 
@@ -42,6 +50,24 @@ bool ConsumeFlag(std::string_view arg, std::string_view name,
   return true;
 }
 
+/// Parses "K" or "K1,K2,..." into batch sizes. Empty result means a parse
+/// error.
+std::vector<size_t> ParseBatchList(std::string_view v) {
+  std::vector<size_t> sizes;
+  while (!v.empty()) {
+    const size_t comma = v.find(',');
+    const std::string token(v.substr(0, comma));
+    if (token.empty()) return {};
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(token.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return {};
+    sizes.push_back(static_cast<size_t>(parsed));
+    if (comma == std::string_view::npos) break;
+    v.remove_prefix(comma + 1);
+  }
+  return sizes;
+}
+
 int RunCase(const DifferentialCase& c, bool verbose) {
   tempus::Result<DifferentialResult> result = RunDifferentialCase(c);
   if (!result.ok()) {
@@ -52,28 +78,33 @@ int RunCase(const DifferentialCase& c, bool verbose) {
   }
   if (!result->ok()) {
     std::fprintf(stderr,
-                 "FAIL match=%d bound_ok=%d ledger_ok=%d engine=%zu "
-                 "oracle=%zu peak=%zu bound=%zu\n  diff: %s\n  repro: %s\n",
+                 "FAIL match=%d bound_ok=%d ledger_ok=%d tuple_twin_ok=%d "
+                 "engine=%zu oracle=%zu peak=%zu bound=%zu\n"
+                 "  diff: %s\n  repro: %s\n",
                  result->match ? 1 : 0, result->bound_ok ? 1 : 0,
-                 result->ledger_ok ? 1 : 0, result->engine_tuples,
-                 result->oracle_tuples, result->peak_workspace,
-                 result->bound, result->diff.c_str(),
+                 result->ledger_ok ? 1 : 0, result->tuple_twin_ok ? 1 : 0,
+                 result->engine_tuples, result->oracle_tuples,
+                 result->peak_workspace, result->bound, result->diff.c_str(),
                  ReproCommand(c).c_str());
     return 1;
   }
   if (verbose) {
-    std::printf("OK   %-24s %-4s tuples=%zu peak=%zu%s\n",
+    std::printf("OK   %-24s %-4s tuples=%zu peak=%zu%s%s\n",
                 std::string(PairwiseOpName(c.op)).c_str(),
                 std::string(ExecModeName(c.mode)).c_str(),
                 result->engine_tuples, result->peak_workspace,
                 result->bound_checked
                     ? (" bound=" + std::to_string(result->bound)).c_str()
+                    : "",
+                c.batch_size > 0
+                    ? (" batch=" + std::to_string(c.batch_size)).c_str()
                     : "");
   }
   return 0;
 }
 
-int Sweep(const DifferentialCase& base, bool verbose) {
+int Sweep(const DifferentialCase& base, const std::vector<size_t>& batches,
+          bool verbose) {
   const size_t count = base.count;
   const uint64_t seed = base.seed;
   int failures = 0;
@@ -83,25 +114,31 @@ int Sweep(const DifferentialCase& base, bool verbose) {
          tempus::testing::AllDistributions()) {
       for (tempus::testing::Arrangement arr :
            tempus::testing::AllArrangements()) {
-        // Stream modes under every supported order combination.
+        // Stream modes under every supported order combination, repeated
+        // along the batch axis when --batch lists sizes.
         for (const auto& [lo, ro] : SupportedOrders(op)) {
           for (tempus::testing::ExecMode mode :
                {tempus::testing::ExecMode::kSequential,
                 tempus::testing::ExecMode::kParallel}) {
-            DifferentialCase c = base;
-            c.op = op;
-            c.mode = mode;
-            c.distribution = dist;
-            c.arrangement = arr;
-            c.count = count;
-            c.seed = seed + cases;  // Distinct but reproducible per case.
-            c.left_order = lo;
-            c.right_order = ro;
-            failures += RunCase(c, verbose);
-            ++cases;
+            for (size_t batch : batches) {
+              DifferentialCase c = base;
+              c.op = op;
+              c.mode = mode;
+              c.distribution = dist;
+              c.arrangement = arr;
+              c.count = count;
+              c.seed = seed + cases;  // Distinct but reproducible per case.
+              c.left_order = lo;
+              c.right_order = ro;
+              c.batch_size = batch;
+              failures += RunCase(c, verbose);
+              ++cases;
+            }
           }
         }
         // No-GC mode is order-free; the arrangement is the input order.
+        // The degenerate operators have no batch conversion, so the batch
+        // axis does not apply here.
         DifferentialCase c = base;
         c.op = op;
         c.mode = tempus::testing::ExecMode::kNoGc;
@@ -109,6 +146,7 @@ int Sweep(const DifferentialCase& base, bool verbose) {
         c.arrangement = arr;
         c.count = count;
         c.seed = seed + cases;
+        c.batch_size = 0;
         failures += RunCase(c, verbose);
         ++cases;
       }
@@ -125,6 +163,7 @@ int main(int argc, char** argv) {
   bool sweep = false;
   bool verbose = false;
   bool have_op = false;
+  std::vector<size_t> batches = {0};  // Tuple-at-a-time unless --batch given.
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     std::string_view v;
@@ -198,15 +237,26 @@ int main(int argc, char** argv) {
     } else if (ConsumeFlag(arg, "page", &v)) {
       c.tuples_per_page = static_cast<size_t>(std::strtoull(
           std::string(v).c_str(), nullptr, 10));
+    } else if (ConsumeFlag(arg, "batch", &v)) {
+      batches = ParseBatchList(v);
+      if (batches.empty()) {
+        std::fprintf(stderr, "bad --batch list: %s\n", argv[i]);
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
     }
   }
-  if (sweep) return Sweep(c, verbose);
+  if (sweep) return Sweep(c, batches, verbose);
   if (!have_op) {
     std::fprintf(stderr, "need --op=... or --sweep (see header comment)\n");
     return 2;
   }
-  return RunCase(c, true);
+  int failures = 0;
+  for (size_t batch : batches) {
+    c.batch_size = batch;
+    failures += RunCase(c, true);
+  }
+  return failures == 0 ? 0 : 1;
 }

@@ -5,7 +5,10 @@
 #   build-asan/  AddressSanitizer+UBSan, full ctest
 # Each tree then re-runs its suites with TEMPUS_FRAME_BUDGET=4, forcing
 # every disk-backed scan through a 4-frame buffer pool so eviction and
-# overcommit paths run under memory pressure (docs/STORAGE.md).
+# overcommit paths run under memory pressure (docs/STORAGE.md), and again
+# with TEMPUS_BATCH_SIZE=3, forcing every batch-converted operator through
+# tiny partial batches so the batch-boundary paths run under each
+# sanitizer (docs/BATCH.md).
 # Where loopback sockets are unavailable, each ctest invocation falls
 # back to `-LE net` (dropping server_test / chaos_server_test only).
 set -uo pipefail
@@ -43,17 +46,25 @@ echo "== plain tree =="
 build_tree build && run_ctest build
 echo "== plain tree, TEMPUS_FRAME_BUDGET=4 =="
 TEMPUS_FRAME_BUDGET=4 run_ctest build
+# explain_golden_test pins TEMPUS_BATCH_SIZE=1024 itself, so the goldens
+# stay valid under this override.
+echo "== plain tree, TEMPUS_BATCH_SIZE=3 =="
+TEMPUS_BATCH_SIZE=3 run_ctest build
 
 echo "== TSan tree (concurrency suites + chaos harness) =="
 build_tree build-tsan -DTEMPUS_SANITIZE=thread &&
   run_ctest build-tsan -L 'concurrency|chaos'
 echo "== TSan tree, TEMPUS_FRAME_BUDGET=4 =="
 TEMPUS_FRAME_BUDGET=4 run_ctest build-tsan -L 'concurrency|chaos'
+echo "== TSan tree, TEMPUS_BATCH_SIZE=3 =="
+TEMPUS_BATCH_SIZE=3 run_ctest build-tsan -L 'concurrency|chaos'
 
 echo "== ASan+UBSan tree =="
 build_tree build-asan -DTEMPUS_SANITIZE=address && run_ctest build-asan
 echo "== ASan+UBSan tree, TEMPUS_FRAME_BUDGET=4 =="
 TEMPUS_FRAME_BUDGET=4 run_ctest build-asan
+echo "== ASan+UBSan tree, TEMPUS_BATCH_SIZE=3 =="
+TEMPUS_BATCH_SIZE=3 run_ctest build-asan
 
 if [ "$fail" -ne 0 ]; then
   echo "CHECK FAILED" >&2

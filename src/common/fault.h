@@ -65,6 +65,7 @@ inline constexpr const char* kKnownFaultPoints[] = {
     "buffer.page_read",   // PageFile::ReadPage (disk page fetch)
     "buffer.page_write",  // PageFile::AppendPage (encode + spill)
     "buffer.evict",       // BufferManager eviction under frame pressure
+    "batch.alloc",        // TupleBatch::Reserve (batch column allocation)
 };
 
 /// Process-wide deterministic fault injector. Off by default: every

@@ -21,6 +21,9 @@ struct AllenSweepJoinOptions {
   TemporalSortOrder right_order = kByValidFromAsc;
   bool verify_input_order = true;
   JoinNaming naming;
+  /// > 0 selects the batch-at-a-time implementation with this batch size
+  /// (docs/BATCH.md); 0 keeps the tuple-at-a-time operator.
+  size_t batch_size = 0;
 };
 
 /// Generic single-pass sweep join for any disjunction of the eleven

@@ -42,6 +42,9 @@ struct ContainJoinOptions {
   /// Verify the promised orders while streaming; violations fail the run.
   bool verify_input_order = true;
   JoinNaming naming;
+  /// > 0 selects the batch-at-a-time implementation with this batch size
+  /// (docs/BATCH.md; kTimestampSweep only); 0 keeps the tuple operator.
+  size_t batch_size = 0;
 };
 
 /// Contain-join(X, Y) (Section 4.2.1): emits the concatenation of x and y

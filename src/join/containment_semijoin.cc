@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "join/batch_sweep.h"
+
 namespace tempus {
 namespace internal {
 
@@ -393,6 +395,41 @@ Result<std::unique_ptr<TupleStream>> DispatchContainmentSemijoin(
     std::unique_ptr<TupleStream> containee,
     TemporalSortOrder container_order, TemporalSortOrder containee_order,
     bool emit_container, const TemporalSemijoinOptions& options) {
+  // Batch-at-a-time dispatch (docs/BATCH.md). The frontier-state extension
+  // and unsupported orderings fall through to the tuple dispatch below, so
+  // error behavior is unchanged.
+  if (options.batch_size > 0) {
+    if (container_order == kByValidFromAsc &&
+        containee_order == kByValidToAsc) {
+      return internal::BatchTwoBufferContainmentSemijoin::Create(
+          std::move(container), std::move(containee), emit_container,
+          SweepFrame{false}, container_order, containee_order,
+          options.verify_input_order, options.batch_size);
+    }
+    if (container_order == kByValidToDesc &&
+        containee_order == kByValidFromDesc) {
+      return internal::BatchTwoBufferContainmentSemijoin::Create(
+          std::move(container), std::move(containee), emit_container,
+          SweepFrame{true}, container_order, containee_order,
+          options.verify_input_order, options.batch_size);
+    }
+    if (!options.use_frontier_state) {
+      if (container_order == kByValidFromAsc &&
+          containee_order == kByValidFromAsc) {
+        return internal::BatchSweepContainmentSemijoin::Create(
+            std::move(container), std::move(containee), emit_container,
+            SweepFrame{false}, container_order, containee_order,
+            options.verify_input_order, options.batch_size);
+      }
+      if (container_order == kByValidToDesc &&
+          containee_order == kByValidToDesc) {
+        return internal::BatchSweepContainmentSemijoin::Create(
+            std::move(container), std::move(containee), emit_container,
+            SweepFrame{true}, container_order, containee_order,
+            options.verify_input_order, options.batch_size);
+      }
+    }
+  }
   // Two-buffer: container by ValidFrom^, containee by ValidTo^ (or mirror).
   if (container_order == kByValidFromAsc &&
       containee_order == kByValidToAsc) {

@@ -23,6 +23,9 @@ struct TemporalSemijoinOptions {
   /// sweep point. Same output, strictly smaller state; the ablation
   /// benchmark quantifies the difference.
   bool use_frontier_state = false;
+  /// > 0 selects the batch-at-a-time implementation with this batch size
+  /// (docs/BATCH.md; non-frontier states only); 0 keeps the tuple operator.
+  size_t batch_size = 0;
 };
 
 /// Contain-semijoin(X, Y): emits each X tuple whose lifespan strictly

@@ -38,29 +38,14 @@ OrderValidator::OrderValidator(LifespanRef lifespan, TemporalSortOrder order,
       stream_label_(std::move(stream_label)) {}
 
 Status OrderValidator::Check(const Tuple& t) {
-  const Interval current = lifespan_.Of(t);
-  if (previous_.has_value()) {
-    const Interval& prev = *previous_;
-    const bool primary_is_start = order_.field == TemporalField::kValidFrom;
-    TimePoint prev_primary = primary_is_start ? prev.start : prev.end;
-    TimePoint cur_primary = primary_is_start ? current.start : current.end;
-    TimePoint prev_secondary = primary_is_start ? prev.end : prev.start;
-    TimePoint cur_secondary = primary_is_start ? current.end : current.start;
-    if (order_.direction == SortDirection::kDescending) {
-      std::swap(prev_primary, cur_primary);
-      std::swap(prev_secondary, cur_secondary);
-    }
-    const bool ordered =
-        prev_primary < cur_primary ||
-        (prev_primary == cur_primary && prev_secondary <= cur_secondary);
-    if (!ordered) {
-      return Status::FailedPrecondition(
-          stream_label_ + " is not sorted by " + order_.ToString() + ": " +
-          prev.ToString() + " precedes " + current.ToString());
-    }
-  }
-  previous_ = current;
-  return Status::Ok();
+  return CheckSpan(lifespan_.Of(t));
+}
+
+Status OrderValidator::OrderError(const Interval& prev,
+                                  const Interval& current) const {
+  return Status::FailedPrecondition(
+      stream_label_ + " is not sorted by " + order_.ToString() + ": " +
+      prev.ToString() + " precedes " + current.ToString());
 }
 
 Result<Schema> MakeJoinOutputSchema(const Schema& left, const Schema& right,

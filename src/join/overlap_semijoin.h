@@ -13,6 +13,9 @@ struct OverlapSemijoinOptions {
   /// (Table 2 lists no other appropriate ordering).
   TemporalSortOrder order = kByValidFromAsc;
   bool verify_input_order = true;
+  /// > 0 selects the batch-at-a-time implementation with this batch size
+  /// (docs/BATCH.md); 0 keeps the tuple-at-a-time operator.
+  size_t batch_size = 0;
 };
 
 /// Overlap-semijoin(X, Y) (Section 4.2.4): emits each X tuple whose

@@ -1,5 +1,7 @@
 #include "join/self_semijoin.h"
 
+#include "join/batch_sweep.h"
+
 namespace tempus {
 namespace internal {
 
@@ -232,6 +234,12 @@ Result<std::unique_ptr<TupleStream>> MakeSelfContainedSemijoin(
         options.order.ToString());
   }
   auto validator = MaybeValidator(ref, options, "Contained-semijoin(X,X)");
+  if (options.batch_size > 0) {
+    return std::unique_ptr<TupleStream>(
+        new internal::BatchSingleStateSelfContained(
+            std::move(x), sf.frame, std::move(validator),
+            options.batch_size));
+  }
   return std::unique_ptr<TupleStream>(new internal::SingleStateSelfContained(
       std::move(x), sf.frame, ref, std::move(validator)));
 }
@@ -243,11 +251,21 @@ Result<std::unique_ptr<TupleStream>> MakeSelfContainSemijoin(
   auto validator = MaybeValidator(ref, options, "Contain-semijoin(X,X)");
   const SelfFrame desc = FrameForDescending(options.order);
   if (desc.ok) {
+    if (options.batch_size > 0) {
+      return std::unique_ptr<TupleStream>(
+          new internal::BatchSingleStateSelfContain(
+              std::move(x), desc.frame, std::move(validator),
+              options.batch_size));
+    }
     return std::unique_ptr<TupleStream>(new internal::SingleStateSelfContain(
         std::move(x), desc.frame, ref, std::move(validator)));
   }
   const SelfFrame asc = FrameForAscending(options.order);
   if (asc.ok) {
+    if (options.batch_size > 0) {
+      return std::unique_ptr<TupleStream>(new internal::BatchSweepSelfContain(
+          std::move(x), asc.frame, std::move(validator), options.batch_size));
+    }
     return std::unique_ptr<TupleStream>(new internal::SweepSelfContain(
         std::move(x), asc.frame, ref, std::move(validator)));
   }

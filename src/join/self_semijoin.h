@@ -13,6 +13,9 @@ struct SelfSemijoinOptions {
   /// Promised order of the single operand stream.
   TemporalSortOrder order = kByValidFromAsc;
   bool verify_input_order = true;
+  /// > 0 selects the batch-at-a-time implementation with this batch size
+  /// (docs/BATCH.md); 0 keeps the tuple-at-a-time operator.
+  size_t batch_size = 0;
 };
 
 /// Contained-semijoin(X, X) (Section 4.2.3): emits each tuple whose

@@ -44,7 +44,8 @@ std::string MetricsToJson(const OperatorMetrics& m) {
       "\"workspace_tuples\":%zu,\"peak_workspace_tuples\":%zu,"
       "\"buffer_hits\":%llu,\"buffer_misses\":%llu,"
       "\"buffer_evictions\":%llu,\"buffer_bytes_read\":%llu,"
-      "\"buffer_bytes_written\":%llu}",
+      "\"buffer_bytes_written\":%llu,"
+      "\"batches\":%llu,\"batch_rows\":%llu}",
       static_cast<unsigned long long>(m.tuples_read_left),
       static_cast<unsigned long long>(m.tuples_read_right),
       static_cast<unsigned long long>(m.tuples_emitted),
@@ -61,7 +62,9 @@ std::string MetricsToJson(const OperatorMetrics& m) {
       static_cast<unsigned long long>(m.buffer_misses),
       static_cast<unsigned long long>(m.buffer_evictions),
       static_cast<unsigned long long>(m.buffer_bytes_read),
-      static_cast<unsigned long long>(m.buffer_bytes_written));
+      static_cast<unsigned long long>(m.buffer_bytes_written),
+      static_cast<unsigned long long>(m.batches),
+      static_cast<unsigned long long>(m.batch_rows));
 }
 
 }  // namespace tempus

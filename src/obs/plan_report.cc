@@ -62,6 +62,12 @@ void AppendActualLine(const OperatorMetrics& m, const TraceSpan* span,
       static_cast<unsigned long long>(m.workspace_inserted),
       static_cast<unsigned long long>(m.gc_discarded),
       static_cast<unsigned long long>(m.gc_checks)));
+  if (m.batches > 0) {
+    out->append(StrFormat(" batches=%llu rows/b=%.1f",
+                          static_cast<unsigned long long>(m.batches),
+                          static_cast<double>(m.batch_rows) /
+                              static_cast<double>(m.batches)));
+  }
   if (m.workers > 0) {
     out->append(StrFormat(" workers=%llu merge_cmps=%llu",
                           static_cast<unsigned long long>(m.workers),

@@ -4,6 +4,7 @@
 #include <functional>
 #include <utility>
 
+#include "join/batch_sweep.h"
 #include "relation/sort_spec.h"
 
 namespace tempus {
@@ -183,11 +184,8 @@ Result<std::unique_ptr<TupleStream>> MakeParallelContainJoin(
     std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
     ContainJoinOptions options, size_t threads) {
   if (threads <= 1) {
-    TEMPUS_ASSIGN_OR_RETURN(
-        auto stream, ContainJoinStream::Create(std::move(left),
-                                               std::move(right),
-                                               std::move(options)));
-    return std::unique_ptr<TupleStream>(std::move(stream));
+    return MakeContainJoin(std::move(left), std::move(right),
+                           std::move(options));
   }
   const TemporalSortOrder left_order = options.left_order;
   OpFactory factory =
@@ -195,10 +193,8 @@ Result<std::unique_ptr<TupleStream>> MakeParallelContainJoin(
                 std::unique_ptr<TupleStream> r)
       -> Result<std::unique_ptr<TupleStream>> {
     ContainJoinOptions per_slice = options;
-    TEMPUS_ASSIGN_OR_RETURN(
-        auto stream, ContainJoinStream::Create(std::move(l), std::move(r),
-                                               std::move(per_slice)));
-    return std::unique_ptr<TupleStream>(std::move(stream));
+    return MakeContainJoin(std::move(l), std::move(r),
+                           std::move(per_slice));
   };
   return BuildCoexistJoin(std::move(left), std::move(right), left_order,
                           threads, std::move(factory));
@@ -208,10 +204,8 @@ Result<std::unique_ptr<TupleStream>> MakeParallelAllenSweepJoin(
     std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
     AllenSweepJoinOptions options, size_t threads) {
   if (threads <= 1) {
-    TEMPUS_ASSIGN_OR_RETURN(
-        auto stream, AllenSweepJoin::Create(std::move(left), std::move(right),
-                                            std::move(options)));
-    return std::unique_ptr<TupleStream>(std::move(stream));
+    return MakeAllenSweepJoin(std::move(left), std::move(right),
+                              std::move(options));
   }
   const TemporalSortOrder left_order = options.left_order;
   OpFactory factory =
@@ -219,10 +213,8 @@ Result<std::unique_ptr<TupleStream>> MakeParallelAllenSweepJoin(
                 std::unique_ptr<TupleStream> r)
       -> Result<std::unique_ptr<TupleStream>> {
     AllenSweepJoinOptions per_slice = options;
-    TEMPUS_ASSIGN_OR_RETURN(
-        auto stream, AllenSweepJoin::Create(std::move(l), std::move(r),
-                                            std::move(per_slice)));
-    return std::unique_ptr<TupleStream>(std::move(stream));
+    return MakeAllenSweepJoin(std::move(l), std::move(r),
+                              std::move(per_slice));
   };
   return BuildCoexistJoin(std::move(left), std::move(right), left_order,
                           threads, std::move(factory));
@@ -232,18 +224,12 @@ Result<std::unique_ptr<TupleStream>> MakeParallelOverlapSemijoin(
     std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
     OverlapSemijoinOptions options, size_t threads) {
   if (threads <= 1) {
-    TEMPUS_ASSIGN_OR_RETURN(
-        auto stream,
-        OverlapSemijoin::Create(std::move(x), std::move(y), options));
-    return std::unique_ptr<TupleStream>(std::move(stream));
+    return MakeOverlapSemijoin(std::move(x), std::move(y), options);
   }
   OpFactory factory = [options](std::unique_ptr<TupleStream> l,
                                 std::unique_ptr<TupleStream> r)
       -> Result<std::unique_ptr<TupleStream>> {
-    TEMPUS_ASSIGN_OR_RETURN(
-        auto stream,
-        OverlapSemijoin::Create(std::move(l), std::move(r), options));
-    return std::unique_ptr<TupleStream>(std::move(stream));
+    return MakeOverlapSemijoin(std::move(l), std::move(r), options);
   };
   return BuildLeftRunsSemijoin(std::move(x), std::move(y), options.order,
                                &OverlapWitness, threads, std::move(factory));

@@ -21,6 +21,7 @@
 #include "storage/paged_relation.h"
 #include "storage/paged_stream.h"
 #include "stream/basic_ops.h"
+#include "stream/batch.h"
 
 namespace tempus {
 namespace {
@@ -169,6 +170,18 @@ class PlanBuilder {
   std::string ParallelNote() const {
     return Threads() > 1 ? StrFormat(" [parallel x%zu]", Threads())
                          : std::string();
+  }
+  /// Effective batch size for the batch-at-a-time sweep operators
+  /// (options_.batch_size; kNoBatchOverride defers to TEMPUS_BATCH_SIZE).
+  size_t BatchSize() const {
+    return options_.batch_size == PlannerOptions::kNoBatchOverride
+               ? DefaultBatchSize()
+               : options_.batch_size;
+  }
+  /// Explain suffix for operators planned batch-at-a-time.
+  std::string BatchNote() const {
+    return BatchSize() > 0 ? StrFormat(" [batch=%zu]", BatchSize())
+                           : std::string();
   }
 
   const Catalog* catalog_;
@@ -763,6 +776,7 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       SelfSemijoinOptions options;
       options.order = kByValidFromAsc;
       options.verify_input_order = options_.verify_sorted_inputs;
+      options.batch_size = BatchSize();
       TEMPUS_ASSIGN_OR_RETURN(
           auto stream, MakeParallelSelfContainedSemijoin(
                            std::move(sorted.stream), options, Threads()));
@@ -772,7 +786,8 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       plan.var_offsets = sorted.var_offsets;
       plan.order = kByValidFromAsc;
       plan.explain = "Contained-semijoin(X,X) [single scan, 1 state tuple]" +
-                     ParallelNote() + "\n" + Indent(sorted.explain);
+                     ParallelNote() + BatchNote() + "\n" +
+                     Indent(sorted.explain);
       return plan;
     }
     if (self_pair && mask == AllenMask::Single(AllenRelation::kContains)) {
@@ -781,6 +796,7 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       SelfSemijoinOptions options;
       options.order = kByValidFromDesc;
       options.verify_input_order = options_.verify_sorted_inputs;
+      options.batch_size = BatchSize();
       TEMPUS_ASSIGN_OR_RETURN(
           auto stream, MakeParallelSelfContainSemijoin(
                            std::move(sorted.stream), options, Threads()));
@@ -790,7 +806,8 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       plan.var_offsets = sorted.var_offsets;
       plan.order = kByValidFromDesc;
       plan.explain = "Contain-semijoin(X,X) [single scan, 1 state tuple]" +
-                     ParallelNote() + "\n" + Indent(sorted.explain);
+                     ParallelNote() + BatchNote() + "\n" +
+                     Indent(sorted.explain);
       return plan;
     }
     if (mask == AllenMask::Single(AllenRelation::kDuring)) {
@@ -801,6 +818,7 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       TemporalSemijoinOptions options = semi_base;
       options.left_order = kByValidToAsc;
       options.right_order = kByValidFromAsc;
+      options.batch_size = BatchSize();
       TEMPUS_ASSIGN_OR_RETURN(
           auto stream,
           MakeParallelContainedSemijoin(std::move(l.stream),
@@ -812,7 +830,8 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       plan.var_offsets = l.var_offsets;
       plan.order = kByValidToAsc;
       plan.explain = "Contained-semijoin [two buffers]" + ParallelNote() +
-                     "\n" + Indent(l.explain) + "\n" + Indent(r.explain);
+                     BatchNote() + "\n" + Indent(l.explain) + "\n" +
+                     Indent(r.explain);
       return plan;
     }
     if (mask == AllenMask::Single(AllenRelation::kContains)) {
@@ -823,6 +842,7 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       TemporalSemijoinOptions options = semi_base;
       options.left_order = kByValidFromAsc;
       options.right_order = kByValidToAsc;
+      options.batch_size = BatchSize();
       TEMPUS_ASSIGN_OR_RETURN(
           auto stream,
           MakeParallelContainSemijoin(std::move(l.stream),
@@ -834,7 +854,8 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       plan.var_offsets = l.var_offsets;
       plan.order = kByValidFromAsc;
       plan.explain = "Contain-semijoin [two buffers]" + ParallelNote() +
-                     "\n" + Indent(l.explain) + "\n" + Indent(r.explain);
+                     BatchNote() + "\n" + Indent(l.explain) + "\n" +
+                     Indent(r.explain);
       return plan;
     }
     if (mask == AllenMask::Intersecting()) {
@@ -845,6 +866,7 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       OverlapSemijoinOptions options;
       options.order = kByValidFromAsc;
       options.verify_input_order = options_.verify_sorted_inputs;
+      options.batch_size = BatchSize();
       TEMPUS_ASSIGN_OR_RETURN(
           auto stream,
           MakeParallelOverlapSemijoin(std::move(l.stream),
@@ -856,7 +878,8 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       plan.var_offsets = l.var_offsets;
       plan.order = kByValidFromAsc;
       plan.explain = "Overlap-semijoin [two buffers]" + ParallelNote() +
-                     "\n" + Indent(l.explain) + "\n" + Indent(r.explain);
+                     BatchNote() + "\n" + Indent(l.explain) + "\n" +
+                     Indent(r.explain);
       return plan;
     }
     if (mask == AllenMask::Single(AllenRelation::kBefore)) {
@@ -931,6 +954,7 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       options.right_order = right_order;
       options.verify_input_order = options_.verify_sorted_inputs;
       options.naming = naming;
+      options.batch_size = BatchSize();
       if (!order_note.empty()) {
         notes_ += order_note + "\n";
       }
@@ -947,8 +971,8 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
                      std::string(right_order == kByValidToAsc
                                      ? "ValidTo^"
                                      : "ValidFrom^") +
-                     ")]" + ParallelNote() + "\n" + Indent(l.explain) + "\n" +
-                     Indent(r.explain);
+                     ")]" + ParallelNote() + BatchNote() + "\n" +
+                     Indent(l.explain) + "\n" + Indent(r.explain);
       return ApplyPending(std::move(plan));
     }
     TEMPUS_ASSIGN_OR_RETURN(SubPlan l,
@@ -961,6 +985,7 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
     options.right_order = kByValidFromAsc;
     options.verify_input_order = options_.verify_sorted_inputs;
     options.naming = naming;
+    options.batch_size = BatchSize();
     TEMPUS_ASSIGN_OR_RETURN(
         auto stream,
         MakeParallelAllenSweepJoin(std::move(l.stream), std::move(r.stream),
@@ -971,7 +996,8 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
     plan.var_offsets[rv] = lschema.attribute_count();
     plan.stream = std::move(stream);
     plan.explain = "Allen-sweep join " + mask.ToString() + ParallelNote() +
-                   "\n" + Indent(l.explain) + "\n" + Indent(r.explain);
+                   BatchNote() + "\n" + Indent(l.explain) + "\n" +
+                   Indent(r.explain);
     return ApplyPending(std::move(plan));
   }
   if (mask == AllenMask::Single(AllenRelation::kBefore) && !has_equi) {
@@ -1191,6 +1217,7 @@ Result<std::optional<SubPlan>> PlanBuilder::TrySuperstar() {
       semi.left_order = kByValidToAsc;
       semi.right_order = kByValidFromAsc;
       semi.verify_input_order = options_.verify_sorted_inputs;
+      semi.batch_size = BatchSize();
       TEMPUS_ASSIGN_OR_RETURN(
           auto semijoin,
           MakeContainedSemijoin(std::move(gap_plan.stream),
@@ -1205,8 +1232,9 @@ Result<std::optional<SubPlan>> PlanBuilder::TrySuperstar() {
       plan.var_offsets = gap_plan.var_offsets;
       plan.stream = std::move(semijoin);
       plan.explain =
-          "Contained-semijoin [recognized less-than join, Figure 8]\n" +
-          Indent(gap_plan.explain) + "\n" + Indent(c_plan.explain);
+          "Contained-semijoin [recognized less-than join, Figure 8]" +
+          BatchNote() + "\n" + Indent(gap_plan.explain) + "\n" +
+          Indent(c_plan.explain);
       notes_ += "recognized Superstar pattern: less-than join -> "
                 "Contained-semijoin\n";
       return std::optional<SubPlan>(std::move(plan));

@@ -43,6 +43,12 @@ struct PlannerOptions {
   /// across a K-worker pool (src/parallel/, docs/PARALLEL.md). Results are
   /// identical to the sequential plan.
   size_t threads = 1;
+  /// Batch size for the batch-at-a-time sweep operators (docs/BATCH.md).
+  /// kNoBatchOverride (the default) resolves to the TEMPUS_BATCH_SIZE
+  /// environment variable (itself defaulting to 1024); 0 forces the
+  /// tuple-at-a-time operators; K > 0 forces batches of K rows.
+  static constexpr size_t kNoBatchOverride = static_cast<size_t>(-1);
+  size_t batch_size = kNoBatchOverride;
   /// EXPLAIN ANALYZE: attach a TraceCollector to the plan so executing it
   /// records per-operator wall time; PlannedQuery::AnalyzeReport() then
   /// renders the annotated tree (docs/OBSERVABILITY.md). Off by default —

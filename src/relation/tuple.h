@@ -32,6 +32,27 @@ class Tuple {
   /// Concatenates two tuples (join output).
   static Tuple Concat(const Tuple& left, const Tuple& right);
 
+  /// Replaces this tuple with the concatenation of `left` and `right`,
+  /// reusing the existing value storage (and, slot for slot, any string
+  /// capacity) — the allocation-free form of Concat for the batch
+  /// emission hot path, where output tuples land in recycled batch slots.
+  void AssignConcat(const Tuple& left, const Tuple& right) {
+    const size_t n = left.values_.size() + right.values_.size();
+    if (values_.size() != n) values_.resize(n);
+    size_t i = 0;
+    for (const Value& v : left.values_) values_[i++].CopyFrom(v);
+    for (const Value& v : right.values_) values_[i++].CopyFrom(v);
+  }
+
+  /// Replaces this tuple with a copy of `other`, reusing the existing
+  /// storage — the single-source form of AssignConcat, for copying rows
+  /// into recycled slots.
+  void AssignFrom(const Tuple& other) {
+    const size_t n = other.values_.size();
+    if (values_.size() != n) values_.resize(n);
+    for (size_t i = 0; i < n; ++i) values_[i].CopyFrom(other.values_[i]);
+  }
+
   bool Equals(const Tuple& other) const;
   friend bool operator==(const Tuple& a, const Tuple& b) {
     return a.Equals(b);

@@ -59,6 +59,28 @@ class Value {
                                 : double_value();
   }
 
+  /// Copy-assigns from `other` with an inline switch on the source kind:
+  /// the numeric/null alternatives become a plain store instead of the
+  /// generic variant copy's dispatch. Join emission copies every attribute
+  /// of every output row through here, so the branchy-but-predictable form
+  /// is measurably cheaper on the hot path.
+  void CopyFrom(const Value& other) {
+    switch (other.rep_.index()) {
+      case 1:
+        rep_ = *std::get_if<int64_t>(&other.rep_);
+        return;
+      case 2:
+        rep_ = *std::get_if<double>(&other.rep_);
+        return;
+      case 0:
+        rep_.emplace<std::monostate>();
+        return;
+      default:
+        rep_ = other.rep_;  // String: full copy (reuses capacity in place).
+        return;
+    }
+  }
+
   /// True iff the value's kind is compatible with the declared type.
   bool MatchesType(ValueType type) const;
 

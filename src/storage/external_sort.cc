@@ -177,10 +177,7 @@ Status ExternalSortStream::OpenImpl() {
   return Status::Ok();
 }
 
-Result<bool> ExternalSortStream::NextImpl(Tuple* out) {
-  if (!emitting_) {
-    return Status::FailedPrecondition("ExternalSortStream::Next before Open");
-  }
+Result<int> ExternalSortStream::PickBest() {
   int best = -1;
   const Tuple* best_tuple = nullptr;
   for (size_t i = 0; i < cursors_.size(); ++i) {
@@ -193,11 +190,38 @@ Result<bool> ExternalSortStream::NextImpl(Tuple* out) {
       best_tuple = &candidate;
     }
   }
+  return best;
+}
+
+Result<bool> ExternalSortStream::NextImpl(Tuple* out) {
+  if (!emitting_) {
+    return Status::FailedPrecondition("ExternalSortStream::Next before Open");
+  }
+  TEMPUS_ASSIGN_OR_RETURN(const int best, PickBest());
   if (best < 0) return false;
-  *out = *best_tuple;
-  ++cursors_[best].slot;
+  Cursor& c = cursors_[best];
+  *out = c.pinned[c.slot++];
   ++metrics_.tuples_emitted;
   return true;
+}
+
+Result<bool> ExternalSortStream::NextBatchImpl(TupleBatch* out,
+                                               size_t max_rows) {
+  if (!emitting_) {
+    return Status::FailedPrecondition(
+        "ExternalSortStream::NextBatch before Open");
+  }
+  const LifespanRef* lifespan = BatchLifespan();
+  while (out->size() < max_rows) {
+    TEMPUS_ASSIGN_OR_RETURN(const int best, PickBest());
+    if (best < 0) break;
+    Cursor& c = cursors_[best];
+    const Tuple& winner = c.pinned[c.slot++];
+    out->PushOwned(Tuple(winner),
+                   lifespan != nullptr ? lifespan->Of(winner) : Interval());
+    ++metrics_.tuples_emitted;
+  }
+  return !out->empty();
 }
 
 }  // namespace tempus

@@ -40,6 +40,11 @@ class ExternalSortStream : public TupleStream {
   const Schema& schema() const override { return child_->schema(); }
   Status OpenImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  /// Native batches: the final-merge tournament runs per row either way,
+  /// but batch consumers skip the per-tuple virtual pull. Rows are owned
+  /// copies — cursor pages unpin as the merge advances, so the batch
+  /// cannot borrow them.
+  Result<bool> NextBatchImpl(TupleBatch* out, size_t max_rows) override;
   std::vector<const TupleStream*> children() const override {
     return {child_.get()};
   }
@@ -81,6 +86,10 @@ class ExternalSortStream : public TupleStream {
   /// Positions `c` at its next unread tuple, pinning pages as needed;
   /// returns false when the cursor's run is exhausted.
   Result<bool> AdvanceCursor(Cursor* c);
+
+  /// One step of the final-merge tournament: the winning cursor index, or
+  /// -1 when all runs are exhausted. Does not consume the winner.
+  Result<int> PickBest();
 
   std::vector<Cursor> cursors_;
   bool emitting_ = false;

@@ -108,6 +108,9 @@ class PagedRelation {
     PinnedPage& operator=(PinnedPage&&) = default;
 
     bool valid() const { return borrowed_ != nullptr || handle_.valid(); }
+    /// True when this pin is a borrow of in-memory pages (stable for the
+    /// relation's lifetime) rather than a pool frame pin.
+    bool borrowed() const { return borrowed_ != nullptr; }
     const std::vector<Tuple>& tuples() const {
       return borrowed_ != nullptr ? *borrowed_ : handle_.tuples();
     }

@@ -31,14 +31,23 @@ class PagedScanStream : public TupleStream {
   const Schema& schema() const override { return relation_->schema(); }
   Status OpenImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  /// Native batches hand decoded pages over zero-copy: in-memory pages as
+  /// kStable rows, disk pages as kPinned rows whose batch keepalive shares
+  /// the pin — the frame stays resident until the consumer clears the
+  /// batch, never longer.
+  Result<bool> NextBatchImpl(TupleBatch* out, size_t max_rows) override;
 
  private:
+  /// Pins page_index_ into current_ (fault point, metrics, readahead).
+  Status PinCurrent();
+
   std::shared_ptr<const PagedRelation> owned_;
   const PagedRelation* relation_;
   PageIoCounter* io_;
   size_t page_index_ = 0;
   size_t slot_index_ = 0;
-  PagedRelation::PinnedPage current_;
+  // Shared so a batch can keep the pin alive after the scan advances.
+  std::shared_ptr<PagedRelation::PinnedPage> current_;
   bool opened_ = false;
 };
 

@@ -1,0 +1,41 @@
+#include "stream/batch.h"
+
+#include <cstdlib>
+
+#include "common/fault.h"
+
+namespace tempus {
+
+size_t DefaultBatchSize() {
+  static constexpr size_t kDefault = 1024;
+  static constexpr size_t kMax = size_t{1} << 20;
+  const char* env = std::getenv("TEMPUS_BATCH_SIZE");
+  if (env == nullptr || *env == '\0') return kDefault;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || parsed == 0) return kDefault;
+  return parsed > kMax ? kMax : static_cast<size_t>(parsed);
+}
+
+Status TupleBatch::Reserve(size_t capacity) {
+  TEMPUS_FAULT_POINT("batch.alloc");
+  Clear();
+  capacity_ = capacity;
+  rows_.reserve(capacity);
+  kinds_.reserve(capacity);
+  starts_.reserve(capacity);
+  ends_.reserve(capacity);
+  return Status::Ok();
+}
+
+void TupleBatch::Clear() {
+  rows_.clear();
+  kinds_.clear();
+  starts_.clear();
+  ends_.clear();
+  owned_used_ = 0;  // Recycle owned slots in place; see NextOwnedSlot().
+  keepalives_.clear();
+  ClearSelection();
+}
+
+}  // namespace tempus

@@ -1,0 +1,177 @@
+#ifndef TEMPUS_STREAM_BATCH_H_
+#define TEMPUS_STREAM_BATCH_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+#include "relation/tuple.h"
+
+namespace tempus {
+
+/// Batch size used when the caller does not pick one: the TEMPUS_BATCH_SIZE
+/// environment variable, defaulting to 1024 (clamped to [1, 1<<20]).
+size_t DefaultBatchSize();
+
+/// A fixed-capacity batch of tuples in struct-of-arrays layout, the unit of
+/// the batch-at-a-time execution path (docs/BATCH.md).
+///
+/// The temporal endpoints live in two contiguous TimePoint columns
+/// (starts/ends) so sweep predicates and garbage collection scan cache-line
+/// dense data; the payload stays row-shaped behind per-row `const Tuple*`
+/// pointers. Each row carries an ownership kind:
+///
+///   kOwned   the tuple lives in this batch's own storage and is recycled
+///            (invalidated, storage reused) at the next Clear()/Reserve();
+///            consumers must copy to keep it.
+///   kStable  the pointer targets storage owned by the producing stream (or
+///            something the stream borrows) and stays valid for that
+///            stream's lifetime — consumers may forward it zero-copy.
+///   kPinned  the pointer targets a buffer-pool frame kept alive by this
+///            batch's keepalives; valid until this batch is cleared.
+///
+/// A batch optionally carries a selection vector: indices of the rows that
+/// are logically present. Producers that filter without compacting set it;
+/// ActiveSize()/ActiveIndex() iterate the logical rows either way.
+class TupleBatch {
+ public:
+  enum class RowKind : uint8_t { kOwned = 0, kStable = 1, kPinned = 2 };
+
+  TupleBatch() = default;
+  TupleBatch(const TupleBatch&) = delete;
+  TupleBatch& operator=(const TupleBatch&) = delete;
+  TupleBatch(TupleBatch&&) = default;
+  TupleBatch& operator=(TupleBatch&&) = default;
+
+  /// Drops all rows and (re)reserves the endpoint/pointer columns for
+  /// `capacity` rows. The capacity is soft — pushes past it succeed (a
+  /// producer may finish a probe mid-batch) — but producers treat full()
+  /// as the signal to hand the batch over. Goes through the "batch.alloc"
+  /// fault point so chaos suites can fail batch allocation on the Nth hit.
+  Status Reserve(size_t capacity);
+
+  /// Drops rows, keepalives, and the selection vector; keeps the reserved
+  /// capacity. Owned-row storage is retained as a recycling pool, so a
+  /// producer emitting owned rows batch after batch reuses the same Tuple
+  /// slots (and their per-value string capacity) instead of reallocating.
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  bool full() const { return rows_.size() >= capacity_; }
+
+  /// Appends a row the batch owns. The interval is the tuple's lifespan in
+  /// sweep coordinates chosen by the producer.
+  void PushOwned(Tuple tuple, Interval span) {
+    Tuple& slot = NextOwnedSlot();
+    slot = std::move(tuple);
+    Push(&slot, span, RowKind::kOwned);
+  }
+  /// Appends an owned join-output row built in place: the concatenation of
+  /// `left` and `right` lands directly in a recycled slot
+  /// (Tuple::AssignConcat), so steady-state emission allocates nothing. The
+  /// row's sweep span is `lifespan->Of(row)` (Interval() when null).
+  void PushOwnedConcat(const Tuple& left, const Tuple& right,
+                       const LifespanRef* lifespan) {
+    Tuple& slot = NextOwnedSlot();
+    slot.AssignConcat(left, right);
+    Push(&slot, lifespan != nullptr ? lifespan->Of(slot) : Interval(),
+         RowKind::kOwned);
+  }
+  /// Appends a copy of `tuple` built in a recycled owned slot
+  /// (allocation-free steady state, like PushOwnedConcat).
+  void PushOwnedCopy(const Tuple& tuple, Interval span) {
+    Tuple& slot = NextOwnedSlot();
+    slot.AssignFrom(tuple);
+    Push(&slot, span, RowKind::kOwned);
+  }
+  /// Appends a borrowed row that outlives the producing stream.
+  void PushStable(const Tuple* tuple, Interval span) {
+    Push(tuple, span, RowKind::kStable);
+  }
+  /// Appends a borrowed row kept alive by this batch's keepalives.
+  void PushPinned(const Tuple* tuple, Interval span) {
+    Push(tuple, span, RowKind::kPinned);
+  }
+
+  const Tuple& row(size_t i) const { return *rows_[i]; }
+  RowKind kind(size_t i) const { return static_cast<RowKind>(kinds_[i]); }
+  TimePoint start(size_t i) const { return starts_[i]; }
+  TimePoint end(size_t i) const { return ends_[i]; }
+  Interval span(size_t i) const { return Interval(starts_[i], ends_[i]); }
+  const TimePoint* starts_data() const { return starts_.data(); }
+  const TimePoint* ends_data() const { return ends_.data(); }
+
+  /// Copies row `i` out of the batch (the tuple-at-a-time adapter).
+  void MaterializeRow(size_t i, Tuple* out) const { *out = *rows_[i]; }
+
+  /// Shares ownership of whatever keeps kPinned rows valid (e.g. a pinned
+  /// buffer-pool page). Released on Clear()/Reserve().
+  void AddKeepalive(std::shared_ptr<const void> keepalive) {
+    keepalives_.push_back(std::move(keepalive));
+  }
+  const std::vector<std::shared_ptr<const void>>& keepalives() const {
+    return keepalives_;
+  }
+
+  /// Selection vector: logical row indices in emission order. Indices must
+  /// be < size(); producers keep them sorted ascending.
+  void SetSelection(std::vector<uint32_t> selection) {
+    selection_ = std::move(selection);
+    has_selection_ = true;
+  }
+  void ClearSelection() {
+    selection_.clear();
+    has_selection_ = false;
+  }
+  bool has_selection() const { return has_selection_; }
+  size_t ActiveSize() const {
+    return has_selection_ ? selection_.size() : rows_.size();
+  }
+  size_t ActiveIndex(size_t i) const {
+    return has_selection_ ? selection_[i] : i;
+  }
+
+ private:
+  // Hands out the next slot from the owned-row pool, growing it on first
+  // use; Clear() rewinds owned_used_ without destroying the slots. The flat
+  // pointer index sidesteps std::deque's block arithmetic on the hot path.
+  Tuple& NextOwnedSlot() {
+    if (owned_used_ < owned_ptrs_.size()) return *owned_ptrs_[owned_used_++];
+    ++owned_used_;
+    Tuple& slot = owned_.emplace_back();
+    owned_ptrs_.push_back(&slot);
+    return slot;
+  }
+
+  void Push(const Tuple* tuple, Interval span, RowKind kind) {
+    rows_.push_back(tuple);
+    kinds_.push_back(static_cast<uint8_t>(kind));
+    starts_.push_back(span.start);
+    ends_.push_back(span.end);
+  }
+
+  size_t capacity_ = 0;
+  std::vector<const Tuple*> rows_;
+  std::vector<uint8_t> kinds_;
+  std::vector<TimePoint> starts_;
+  std::vector<TimePoint> ends_;
+  // Deque: push_back never moves existing elements, so rows_ pointers into
+  // owned storage stay valid as the batch grows. Slots [0, owned_used_) are
+  // live for the current fill; the rest are retained for recycling.
+  std::deque<Tuple> owned_;
+  std::vector<Tuple*> owned_ptrs_;
+  size_t owned_used_ = 0;
+  std::vector<std::shared_ptr<const void>> keepalives_;
+  std::vector<uint32_t> selection_;
+  bool has_selection_ = false;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_STREAM_BATCH_H_

@@ -21,6 +21,8 @@ void OperatorMetrics::Absorb(const OperatorMetrics& child) {
   workspace_tuples += child.workspace_tuples;
   peak_workspace_tuples =
       std::max(peak_workspace_tuples, child.peak_workspace_tuples);
+  batches += child.batches;
+  batch_rows += child.batch_rows;
   buffer_hits += child.buffer_hits;
   buffer_misses += child.buffer_misses;
   buffer_evictions += child.buffer_evictions;
@@ -43,6 +45,12 @@ std::string OperatorMetrics::ToString() const {
                      static_cast<unsigned long long>(workspace_inserted),
                      static_cast<unsigned long long>(gc_discarded),
                      static_cast<unsigned long long>(gc_checks));
+  }
+  if (batches > 0) {
+    out += StrFormat(" batches=%llu rows/b=%.1f",
+                     static_cast<unsigned long long>(batches),
+                     static_cast<double>(batch_rows) /
+                         static_cast<double>(batches));
   }
   if (workers > 0) {
     out += StrFormat(" workers=%llu merge_cmps=%llu",

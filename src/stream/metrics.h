@@ -46,6 +46,11 @@ struct OperatorMetrics {
   uint64_t gc_checks = 0;
   size_t workspace_tuples = 0;
   size_t peak_workspace_tuples = 0;
+  /// Batch-at-a-time production (docs/BATCH.md): batches handed out by
+  /// this operator's NextBatch() and the rows they carried. Zero when the
+  /// operator was only ever pulled tuple-at-a-time.
+  uint64_t batches = 0;
+  uint64_t batch_rows = 0;
   /// Buffer-pool traffic attributed to this operator (disk-backed scans
   /// and spills; zero for purely in-memory operators). docs/STORAGE.md.
   uint64_t buffer_hits = 0;

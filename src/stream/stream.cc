@@ -29,6 +29,57 @@ Result<bool> TupleStream::TracedNext(Tuple* out) {
   return result;
 }
 
+Result<bool> TupleStream::NextBatch(TupleBatch* out, size_t max_rows) {
+  TEMPUS_FAULT_POINT("stream.next");
+  if (cancel_ != nullptr) {
+    Status cancelled = cancel_->Check();
+    if (!cancelled.ok()) return cancelled;
+  }
+  const size_t wanted = max_rows != 0 ? max_rows : DefaultBatchSize();
+  TEMPUS_RETURN_IF_ERROR(out->Reserve(wanted));
+  Result<bool> result = trace_ == nullptr ? NextBatchImpl(out, wanted)
+                                          : TracedNextBatch(out, wanted);
+  if (result.ok() && *result) {
+    ++metrics_.batches;
+    metrics_.batch_rows += out->ActiveSize();
+  }
+  return result;
+}
+
+Result<bool> TupleStream::TracedNextBatch(TupleBatch* out, size_t max_rows) {
+  const auto start = std::chrono::steady_clock::now();
+  Result<bool> result = NextBatchImpl(out, max_rows);
+  trace_->RecordNext(span_id_, ElapsedNs(start));
+  return result;
+}
+
+const LifespanRef* TupleStream::BatchLifespan() {
+  if (!batch_lifespan_resolved_) {
+    Result<LifespanRef> ref = LifespanRef::ForSchema(schema());
+    batch_has_lifespan_ = ref.ok();
+    if (ref.ok()) batch_lifespan_ = *ref;
+    batch_lifespan_resolved_ = true;
+  }
+  return batch_has_lifespan_ ? &batch_lifespan_ : nullptr;
+}
+
+Result<bool> TupleStream::NextBatchImpl(TupleBatch* out, size_t max_rows) {
+  // Tuple-at-a-time adapter: any operator without a native batch path
+  // still produces batches (of owned rows). Calls NextImpl directly — the
+  // per-batch fault/cancel/trace hooks already ran in the wrapper.
+  const LifespanRef* lifespan = BatchLifespan();
+  Tuple tuple;
+  while (out->size() < max_rows) {
+    TEMPUS_ASSIGN_OR_RETURN(const bool has, NextImpl(&tuple));
+    if (!has) break;
+    const Interval span =
+        lifespan != nullptr ? lifespan->Of(tuple) : Interval();
+    out->PushOwned(std::move(tuple), span);
+    tuple = Tuple();
+  }
+  return !out->empty();
+}
+
 void TupleStream::EnableTracing(TraceCollector* collector) {
   EnableTracingInternal(collector, /*parent=*/-1);
 }
@@ -97,6 +148,22 @@ Result<bool> VectorStream::NextImpl(Tuple* out) {
   return true;
 }
 
+Result<bool> VectorStream::NextBatchImpl(TupleBatch* out, size_t max_rows) {
+  if (!opened_) {
+    return Status::FailedPrecondition("VectorStream::NextBatch before Open");
+  }
+  const LifespanRef* lifespan = BatchLifespan();
+  const size_t limit = tuples_->size();
+  const size_t begin = next_index_;
+  while (out->size() < max_rows && next_index_ < limit) {
+    const Tuple& tuple = (*tuples_)[next_index_++];
+    out->PushStable(&tuple,
+                    lifespan != nullptr ? lifespan->Of(tuple) : Interval());
+  }
+  metrics_.tuples_read_left += next_index_ - begin;
+  return !out->empty();
+}
+
 Result<TemporalRelation> Materialize(TupleStream* stream,
                                      const std::string& name) {
   TEMPUS_RETURN_IF_ERROR(stream->Open());
@@ -128,6 +195,8 @@ void CollectInto(const TupleStream& node, OperatorMetrics* total) {
   total->gc_checks += m.gc_checks;
   total->workspace_tuples += m.workspace_tuples;
   total->peak_workspace_tuples += m.peak_workspace_tuples;
+  total->batches += m.batches;
+  total->batch_rows += m.batch_rows;
   total->buffer_hits += m.buffer_hits;
   total->buffer_misses += m.buffer_misses;
   total->buffer_evictions += m.buffer_evictions;
@@ -154,6 +223,35 @@ Result<size_t> DrainCount(TupleStream* stream) {
     TEMPUS_ASSIGN_OR_RETURN(bool has, stream->Next(&tuple));
     if (!has) break;
     ++count;
+  }
+  return count;
+}
+
+Result<TemporalRelation> MaterializeBatches(TupleStream* stream,
+                                            const std::string& name,
+                                            size_t batch_size) {
+  TEMPUS_RETURN_IF_ERROR(stream->Open());
+  TemporalRelation out(name, stream->schema());
+  TupleBatch batch;
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool has, stream->NextBatch(&batch, batch_size));
+    if (!has) break;
+    for (size_t i = 0; i < batch.ActiveSize(); ++i) {
+      TEMPUS_RETURN_IF_ERROR(
+          out.Append(Tuple(batch.row(batch.ActiveIndex(i)))));
+    }
+  }
+  return out;
+}
+
+Result<size_t> DrainCountBatches(TupleStream* stream, size_t batch_size) {
+  TEMPUS_RETURN_IF_ERROR(stream->Open());
+  size_t count = 0;
+  TupleBatch batch;
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool has, stream->NextBatch(&batch, batch_size));
+    if (!has) break;
+    count += batch.ActiveSize();
   }
   return count;
 }

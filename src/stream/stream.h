@@ -13,6 +13,7 @@
 #include "relation/schema.h"
 #include "relation/temporal_relation.h"
 #include "relation/tuple.h"
+#include "stream/batch.h"
 #include "stream/metrics.h"
 
 namespace tempus {
@@ -67,6 +68,17 @@ class TupleStream {
     return TracedNext(out);
   }
 
+  /// Produces the next batch of tuples into *out (cleared first). Returns
+  /// false at end-of-stream with an empty batch. `max_rows` caps the batch
+  /// (0 uses DefaultBatchSize()); producers may overshoot slightly when an
+  /// indivisible unit of work (one probe) lands on the boundary.
+  ///
+  /// Every stream supports this: operators without a native batch
+  /// implementation go through a tuple-at-a-time adapter over NextImpl().
+  /// The chaos fault point and cancellation poll fire once per batch (not
+  /// per tuple), and EXPLAIN ANALYZE counts batches/rows per operator.
+  Result<bool> NextBatch(TupleBatch* out, size_t max_rows = 0);
+
   /// Operator cost counters; zeroed by Open() only where documented.
   virtual const OperatorMetrics& metrics() const { return metrics_; }
 
@@ -105,6 +117,17 @@ class TupleStream {
   virtual Status OpenImpl() = 0;
   virtual Result<bool> NextImpl(Tuple* out) = 0;
 
+  /// Batch production hook. The default adapter pulls NextImpl() into
+  /// owned rows (endpoints from the schema's lifespan when it has one), so
+  /// unconverted operators join batch pipelines unchanged; converted
+  /// operators override it and fill batches natively.
+  virtual Result<bool> NextBatchImpl(TupleBatch* out, size_t max_rows);
+
+  /// Lifespan accessor for batch producers: resolved once per stream from
+  /// schema(), nullptr when the schema has no temporal columns (such rows
+  /// get empty spans).
+  const LifespanRef* BatchLifespan();
+
   /// Collector attached by EnableTracing, if any (for operators that emit
   /// extra spans, e.g. per-worker attribution in ParallelJoinStream).
   TraceCollector* trace() const { return trace_; }
@@ -114,12 +137,16 @@ class TupleStream {
  private:
   Status TracedOpen();
   Result<bool> TracedNext(Tuple* out);
+  Result<bool> TracedNextBatch(TupleBatch* out, size_t max_rows);
   void EnableTracingInternal(TraceCollector* collector, int parent);
 
   std::string label_;
   TraceCollector* trace_ = nullptr;
   CancellationToken* cancel_ = nullptr;
   int span_id_ = -1;
+  LifespanRef batch_lifespan_{};
+  bool batch_lifespan_resolved_ = false;
+  bool batch_has_lifespan_ = false;
 };
 
 /// Streams tuples from an in-memory vector; either borrowing (caller keeps
@@ -142,6 +169,9 @@ class VectorStream : public TupleStream {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  /// Native batches: zero-copy kStable references into the vector (it
+  /// outlives the stream in both the borrowing and owning cases).
+  Result<bool> NextBatchImpl(TupleBatch* out, size_t max_rows) override;
 
  private:
   VectorStream(Schema schema, const std::vector<Tuple>* borrowed,
@@ -161,6 +191,16 @@ Result<TemporalRelation> Materialize(TupleStream* stream,
 /// Drains `stream`, discarding tuples; returns the count (used by benches
 /// that only need cost counters).
 Result<size_t> DrainCount(TupleStream* stream);
+
+/// Drains `stream` through NextBatch() into a relation named `name`.
+/// batch_size = 0 uses DefaultBatchSize().
+Result<TemporalRelation> MaterializeBatches(TupleStream* stream,
+                                            const std::string& name,
+                                            size_t batch_size = 0);
+
+/// Drains `stream` through NextBatch(), discarding rows; returns the row
+/// count (the batch-mode twin of DrainCount for benches).
+Result<size_t> DrainCountBatches(TupleStream* stream, size_t batch_size = 0);
 
 /// Aggregates metrics over the whole operator tree rooted at `root`:
 /// counters are summed; peak workspace is summed across operators (each

@@ -64,6 +64,7 @@ Result<std::unique_ptr<TupleStream>> BuildStreamOperator(
       ContainJoinOptions options;
       options.left_order = c.left_order;
       options.right_order = c.right_order;
+      options.batch_size = c.batch_size;
       return MakeParallelContainJoin(left.Scan(),
                                      right.Scan(), options,
                                      threads);
@@ -73,6 +74,7 @@ Result<std::unique_ptr<TupleStream>> BuildStreamOperator(
       options.mask = AllenMask::Intersecting();
       options.left_order = c.left_order;
       options.right_order = c.right_order;
+      options.batch_size = c.batch_size;
       return MakeParallelAllenSweepJoin(left.Scan(),
                                         right.Scan(), options,
                                         threads);
@@ -80,6 +82,7 @@ Result<std::unique_ptr<TupleStream>> BuildStreamOperator(
     case PairwiseOp::kOverlapSemijoin: {
       OverlapSemijoinOptions options;
       options.order = c.left_order;
+      options.batch_size = c.batch_size;
       return MakeParallelOverlapSemijoin(left.Scan(),
                                          right.Scan(), options,
                                          threads);
@@ -88,6 +91,7 @@ Result<std::unique_ptr<TupleStream>> BuildStreamOperator(
       TemporalSemijoinOptions options;
       options.left_order = c.left_order;
       options.right_order = c.right_order;
+      options.batch_size = c.batch_size;
       return MakeParallelContainSemijoin(left.Scan(),
                                          right.Scan(), options,
                                          threads);
@@ -96,6 +100,7 @@ Result<std::unique_ptr<TupleStream>> BuildStreamOperator(
       TemporalSemijoinOptions options;
       options.left_order = c.left_order;
       options.right_order = c.right_order;
+      options.batch_size = c.batch_size;
       return MakeParallelContainedSemijoin(left.Scan(),
                                            right.Scan(),
                                            options, threads);
@@ -112,12 +117,14 @@ Result<std::unique_ptr<TupleStream>> BuildStreamOperator(
     case PairwiseOp::kSelfContainedSemijoin: {
       SelfSemijoinOptions options;
       options.order = c.left_order;
+      options.batch_size = c.batch_size;
       return MakeParallelSelfContainedSemijoin(left.Scan(),
                                                options, threads);
     }
     case PairwiseOp::kSelfContainSemijoin: {
       SelfSemijoinOptions options;
       options.order = c.left_order;
+      options.batch_size = c.batch_size;
       return MakeParallelSelfContainSemijoin(left.Scan(),
                                              options, threads);
     }
@@ -408,8 +415,13 @@ Result<DifferentialResult> RunDifferentialCase(const DifferentialCase& c) {
         stream, BuildStreamOperator(c, left_src, right_src, threads));
   }
 
-  TEMPUS_ASSIGN_OR_RETURN(TemporalRelation engine_out,
-                          Materialize(stream.get(), "engine_out"));
+  // Batch cases drain the plan through NextBatch() so the native batch
+  // path (not the tuple adapter) is what gets compared.
+  const bool batched = c.batch_size > 0 && c.mode != ExecMode::kNoGc;
+  TEMPUS_ASSIGN_OR_RETURN(
+      TemporalRelation engine_out,
+      batched ? MaterializeBatches(stream.get(), "engine_out", c.batch_size)
+              : Materialize(stream.get(), "engine_out"));
 
   DifferentialResult result;
   result.oracle_tuples = oracle.size();
@@ -471,6 +483,30 @@ Result<DifferentialResult> RunDifferentialCase(const DifferentialCase& c) {
   if (!result.match) {
     result.diff = FirstDiffLine(engine_csv, oracle_csv);
   }
+
+  // Batch cases additionally run the tuple-at-a-time twin of the same
+  // configuration over the same operands: the batch output must be
+  // byte-identical to the tuple path's, and the twin's GC ledger must also
+  // balance.
+  if (batched) {
+    DifferentialCase twin_case = c;
+    twin_case.batch_size = 0;
+    TEMPUS_ASSIGN_OR_RETURN(
+        std::unique_ptr<TupleStream> twin,
+        BuildStreamOperator(twin_case, left_src, right_src,
+                            c.mode == ExecMode::kParallel ? c.threads : 1));
+    TEMPUS_ASSIGN_OR_RETURN(TemporalRelation twin_out,
+                            Materialize(twin.get(), "tuple_out"));
+    TEMPUS_ASSIGN_OR_RETURN(std::string twin_csv, CanonicalCsv(twin_out));
+    const OperatorMetrics twin_plan = CollectPlanMetrics(*twin);
+    const bool twin_ledger =
+        twin_plan.workspace_inserted ==
+        twin_plan.gc_discarded + twin_plan.workspace_tuples;
+    result.tuple_twin_ok = engine_csv == twin_csv && twin_ledger;
+    if (engine_csv != twin_csv && result.diff.empty()) {
+      result.diff = "batch vs tuple: " + FirstDiffLine(engine_csv, twin_csv);
+    }
+  }
   return result;
 }
 
@@ -490,6 +526,9 @@ std::string ReproCommand(const DifferentialCase& c) {
   if (c.storage == StorageMode::kDisk) {
     cmd += StrFormat(" --storage=disk --frames=%zu --page=%zu",
                      c.frame_budget, c.tuples_per_page);
+  }
+  if (c.batch_size > 0) {
+    cmd += StrFormat(" --batch=%zu", c.batch_size);
   }
   return cmd;
 }

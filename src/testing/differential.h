@@ -63,6 +63,12 @@ struct DifferentialCase {
   size_t frame_budget = 0;
   /// kDisk only: tuples packed per on-disk page.
   size_t tuples_per_page = 8;
+  /// Batch axis (docs/BATCH.md): 0 runs the tuple-at-a-time operators;
+  /// K > 0 plans the batch-at-a-time operators with batches of K rows,
+  /// drains the plan through NextBatch(), AND additionally runs the tuple
+  /// twin of the same case — the result then requires the batch output to
+  /// be byte-identical to both the oracle and the tuple path.
+  size_t batch_size = 0;
 };
 
 struct DifferentialResult {
@@ -75,6 +81,10 @@ struct DifferentialResult {
   bool bound_checked = false;
   /// workspace_inserted == gc_discarded + workspace_tuples over the plan.
   bool ledger_ok = false;
+  /// Batch cases only: the batch-mode output is byte-identical to the
+  /// tuple-at-a-time twin's and the twin's ledger also balances (always
+  /// true when batch_size == 0).
+  bool tuple_twin_ok = true;
   size_t oracle_tuples = 0;
   size_t engine_tuples = 0;
   size_t peak_workspace = 0;
@@ -88,7 +98,7 @@ struct DifferentialResult {
   /// First line of divergence (empty when match).
   std::string diff;
 
-  bool ok() const { return match && bound_ok && ledger_ok; }
+  bool ok() const { return match && bound_ok && ledger_ok && tuple_twin_ok; }
 };
 
 /// The (left, right) order combinations the sequential/parallel operator

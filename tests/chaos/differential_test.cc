@@ -26,6 +26,9 @@ void CheckCase(const DifferentialCase& c) {
       << " bound=" << result->bound << "\n  repro: " << ReproCommand(c);
   EXPECT_TRUE(result->ledger_ok)
       << "GC ledger broken\n  repro: " << ReproCommand(c);
+  EXPECT_TRUE(result->tuple_twin_ok)
+      << "batch output diverged from the tuple-at-a-time twin\n  repro: "
+      << ReproCommand(c);
 }
 
 /// Every operator, every supported order combination, sequential and
@@ -209,6 +212,82 @@ TEST(DifferentialSuite, ContainedSemijoinSweepRespectsBoundOnMeets) {
   c.left_order = kByValidToDesc;
   c.right_order = kByValidToDesc;
   CheckCase(c);
+}
+
+/// The batch axis (docs/BATCH.md): every operator at batch sizes 1, 3, 64,
+/// and 1024, sequential and parallel. Each case checks three ways at once —
+/// byte-identical to the brute-force oracle, byte-identical to the
+/// tuple-at-a-time twin of the same case, and ledger/bound clean on both.
+TEST(DifferentialSuite, BatchSizesAgreeWithOracleAndTuplePath) {
+  size_t case_index = 0;
+  for (PairwiseOp op : AllPairwiseOps()) {
+    for (size_t batch : {size_t{1}, size_t{3}, size_t{64}, size_t{1024}}) {
+      for (ExecMode mode : {ExecMode::kSequential, ExecMode::kParallel}) {
+        DifferentialCase c;
+        c.op = op;
+        c.mode = mode;
+        c.distribution =
+            AllDistributions()[case_index % AllDistributions().size()];
+        c.arrangement =
+            AllArrangements()[case_index % AllArrangements().size()];
+        c.count = 48;
+        c.seed = 21000 + case_index;
+        const auto orders = SupportedOrders(op);
+        c.left_order = orders[case_index % orders.size()].first;
+        c.right_order = orders[case_index % orders.size()].second;
+        c.threads = 4;
+        c.batch_size = batch;
+        CheckCase(c);
+        ++case_index;
+      }
+    }
+  }
+  EXPECT_EQ(case_index, AllPairwiseOps().size() * 4 * 2);
+}
+
+/// Batch execution over disk-resident operands: the batch readers pull
+/// pinned pages through the scan's buffer pool, and the result must still
+/// match both the oracle and the tuple twin.
+TEST(DifferentialSuite, BatchOverDiskStorageAgreesEverywhere) {
+  size_t case_index = 0;
+  for (PairwiseOp op : AllPairwiseOps()) {
+    DifferentialCase c;
+    c.op = op;
+    c.mode = ExecMode::kSequential;
+    c.distribution =
+        AllDistributions()[case_index % AllDistributions().size()];
+    c.arrangement = Arrangement::kShuffled;
+    c.count = 96;  // 12 pages per operand at 8 tuples/page vs 4 frames.
+    c.seed = 23000 + case_index;
+    const auto orders = SupportedOrders(op);
+    c.left_order = orders.front().first;
+    c.right_order = orders.front().second;
+    c.storage = StorageMode::kDisk;
+    c.frame_budget = 4;
+    c.tuples_per_page = 8;
+    c.batch_size = 64;
+    CheckCase(c);
+    ++case_index;
+  }
+  EXPECT_EQ(case_index, AllPairwiseOps().size());
+}
+
+/// The dead-on-arrival meets-chain regression, replayed on the batch path:
+/// the Table 1 bound must hold at every batch size, including 1.
+TEST(DifferentialSuite, BatchContainedSemijoinSweepRespectsBoundOnMeets) {
+  for (size_t batch : {size_t{1}, size_t{3}, size_t{64}}) {
+    DifferentialCase c;
+    c.op = PairwiseOp::kContainedSemijoin;
+    c.mode = ExecMode::kSequential;
+    c.distribution = Distribution::kSequentialMeets;
+    c.arrangement = Arrangement::kSorted;
+    c.count = 48;
+    c.seed = 619;
+    c.left_order = kByValidToDesc;
+    c.right_order = kByValidToDesc;
+    c.batch_size = batch;
+    CheckCase(c);
+  }
 }
 
 TEST(DifferentialSuite, ReproCommandRoundTripsItsTokens) {

@@ -76,6 +76,10 @@ void CompareWithGolden(const std::string& name, const std::string& actual) {
 class ExplainGoldenTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Pin the batch size: the stream-operator explain lines carry a
+    // "[batch=N]" annotation resolved from TEMPUS_BATCH_SIZE, and the
+    // goldens are recorded at the default of 1024.
+    setenv("TEMPUS_BATCH_SIZE", "1024", 1);
     // Same deterministic workload as the Section 5 integration tests:
     // continuous complete careers make the Superstar transformation legal.
     FacultyWorkloadConfig config;

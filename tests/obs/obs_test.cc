@@ -90,6 +90,8 @@ TEST(MetricsJsonTest, StableKeyOrderAndValues) {
   m.buffer_evictions = 9;
   m.buffer_bytes_read = 10;
   m.buffer_bytes_written = 11;
+  m.batches = 12;
+  m.batch_rows = 13;
   const std::string json = MetricsToJson(m);
   EXPECT_EQ(json,
             "{\"tuples_read_left\":3,\"tuples_read_right\":0,"
@@ -98,7 +100,8 @@ TEST(MetricsJsonTest, StableKeyOrderAndValues) {
             "\"workspace_inserted\":5,\"gc_discarded\":4,\"gc_checks\":6,"
             "\"workspace_tuples\":1,\"peak_workspace_tuples\":2,"
             "\"buffer_hits\":7,\"buffer_misses\":8,\"buffer_evictions\":9,"
-            "\"buffer_bytes_read\":10,\"buffer_bytes_written\":11}");
+            "\"buffer_bytes_read\":10,\"buffer_bytes_written\":11,"
+            "\"batches\":12,\"batch_rows\":13}");
 }
 
 TEST(MetricsJsonTest, EscapesStrings) {

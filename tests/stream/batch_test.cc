@@ -1,0 +1,185 @@
+#include "stream/batch.h"
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "stream/basic_ops.h"
+#include "stream/stream.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::ExpectSameTuples;
+using ::tempus::testing::MakeIntervals;
+using ::tempus::testing::MustMaterialize;
+
+TEST(TupleBatchTest, PushKindsAndColumns) {
+  TupleBatch batch;
+  TEMPUS_ASSERT_OK(batch.Reserve(4));
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.capacity(), 4u);
+
+  const Tuple stable({Value::Int(7)});
+  batch.PushStable(&stable, Interval(1, 5));
+  batch.PushOwned(Tuple({Value::Int(8)}), Interval(2, 6));
+
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_FALSE(batch.full());
+  EXPECT_EQ(batch.kind(0), TupleBatch::RowKind::kStable);
+  EXPECT_EQ(batch.kind(1), TupleBatch::RowKind::kOwned);
+  EXPECT_EQ(&batch.row(0), &stable);
+  EXPECT_EQ(batch.start(0), 1);
+  EXPECT_EQ(batch.end(1), 6);
+  EXPECT_EQ(batch.span(1), Interval(2, 6));
+  // The endpoint columns are contiguous (sweep code scans them raw).
+  EXPECT_EQ(batch.starts_data()[1], 2);
+  EXPECT_EQ(batch.ends_data()[0], 5);
+
+  Tuple copy;
+  batch.MaterializeRow(1, &copy);
+  EXPECT_EQ(copy[0].int_value(), 8);
+
+  batch.Clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.capacity(), 4u);  // Clear keeps the reservation.
+}
+
+TEST(TupleBatchTest, OwnedRowsSurviveGrowth) {
+  // owned_ is a deque precisely so earlier row pointers stay valid while
+  // the batch grows past its soft capacity.
+  TupleBatch batch;
+  TEMPUS_ASSERT_OK(batch.Reserve(2));
+  for (int i = 0; i < 100; ++i) {
+    batch.PushOwned(Tuple({Value::Int(i)}), Interval(i, i + 1));
+  }
+  EXPECT_TRUE(batch.full());  // Soft capacity: pushes past it succeed.
+  ASSERT_EQ(batch.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(batch.row(i)[0].int_value(), i);
+  }
+}
+
+TEST(TupleBatchTest, SelectionVectorDrivesActiveIteration) {
+  TupleBatch batch;
+  TEMPUS_ASSERT_OK(batch.Reserve(4));
+  for (int i = 0; i < 4; ++i) {
+    batch.PushOwned(Tuple({Value::Int(i)}), Interval(i, i + 1));
+  }
+  EXPECT_FALSE(batch.has_selection());
+  EXPECT_EQ(batch.ActiveSize(), 4u);
+  EXPECT_EQ(batch.ActiveIndex(2), 2u);
+
+  batch.SetSelection({1, 3});
+  EXPECT_TRUE(batch.has_selection());
+  ASSERT_EQ(batch.ActiveSize(), 2u);
+  EXPECT_EQ(batch.row(batch.ActiveIndex(0))[0].int_value(), 1);
+  EXPECT_EQ(batch.row(batch.ActiveIndex(1))[0].int_value(), 3);
+
+  batch.ClearSelection();
+  EXPECT_EQ(batch.ActiveSize(), 4u);
+}
+
+TEST(TupleBatchTest, KeepalivesReleasedOnClear) {
+  auto payload = std::make_shared<int>(42);
+  TupleBatch batch;
+  TEMPUS_ASSERT_OK(batch.Reserve(1));
+  batch.AddKeepalive(payload);
+  EXPECT_EQ(payload.use_count(), 2);
+  batch.Clear();
+  EXPECT_EQ(payload.use_count(), 1);
+}
+
+TEST(DefaultBatchSizeTest, EnvOverridesWithClamping) {
+  const char* saved = std::getenv("TEMPUS_BATCH_SIZE");
+  const std::string saved_value = saved == nullptr ? "" : saved;
+
+  unsetenv("TEMPUS_BATCH_SIZE");
+  EXPECT_EQ(DefaultBatchSize(), 1024u);
+  setenv("TEMPUS_BATCH_SIZE", "64", 1);
+  EXPECT_EQ(DefaultBatchSize(), 64u);
+  setenv("TEMPUS_BATCH_SIZE", "0", 1);  // Invalid: fall back to default.
+  EXPECT_EQ(DefaultBatchSize(), 1024u);
+  setenv("TEMPUS_BATCH_SIZE", "junk", 1);
+  EXPECT_EQ(DefaultBatchSize(), 1024u);
+  setenv("TEMPUS_BATCH_SIZE", "99999999999", 1);  // Clamped to 1<<20.
+  EXPECT_EQ(DefaultBatchSize(), size_t{1} << 20);
+
+  if (saved == nullptr) {
+    unsetenv("TEMPUS_BATCH_SIZE");
+  } else {
+    setenv("TEMPUS_BATCH_SIZE", saved_value.c_str(), 1);
+  }
+}
+
+TEST(NextBatchTest, VectorStreamProducesNativeStableBatches) {
+  const TemporalRelation rel =
+      MakeIntervals("r", {{0, 4}, {1, 3}, {2, 9}, {5, 6}, {7, 8}});
+  std::unique_ptr<VectorStream> scan = VectorStream::Scan(rel);
+  TEMPUS_ASSERT_OK(scan->Open());
+
+  TupleBatch batch;
+  TEMPUS_ASSERT_OK(batch.Reserve(2));
+  Result<bool> more = scan->NextBatch(&batch, 2);
+  TEMPUS_ASSERT_OK(more.status());
+  ASSERT_TRUE(*more);
+  ASSERT_EQ(batch.ActiveSize(), 2u);
+  // Zero-copy: the rows point straight at the relation's tuples and the
+  // endpoint columns carry the lifespans.
+  EXPECT_EQ(batch.kind(0), TupleBatch::RowKind::kStable);
+  EXPECT_EQ(&batch.row(0), &rel.tuple(0));
+  EXPECT_EQ(batch.span(0), rel.LifespanOf(0));
+  EXPECT_EQ(batch.span(1), rel.LifespanOf(1));
+
+  size_t total = batch.ActiveSize();
+  while (true) {
+    Result<bool> next = scan->NextBatch(&batch, 2);
+    TEMPUS_ASSERT_OK(next.status());
+    if (!*next) break;
+    total += batch.ActiveSize();
+  }
+  EXPECT_EQ(total, rel.size());
+  EXPECT_GE(scan->metrics().batches, 3u);
+  EXPECT_EQ(scan->metrics().batch_rows, rel.size());
+}
+
+TEST(NextBatchTest, TupleAdapterMatchesTupleDrain) {
+  // FilterStream has no NextBatchImpl of its own: the base-class adapter
+  // must deliver exactly the tuple-at-a-time result.
+  const TemporalRelation rel = MakeIntervals(
+      "r", {{0, 4}, {1, 3}, {2, 9}, {5, 6}, {7, 8}, {9, 12}, {10, 11}});
+  auto predicate = [](const Tuple& t) -> Result<bool> {
+    return t[0].int_value() % 2 == 0;
+  };
+
+  FilterStream tuple_path(VectorStream::Scan(rel), predicate);
+  const TemporalRelation expected = MustMaterialize(&tuple_path, "expected");
+
+  FilterStream batch_path(VectorStream::Scan(rel), predicate);
+  Result<TemporalRelation> actual =
+      MaterializeBatches(&batch_path, "actual", /*batch_size=*/3);
+  TEMPUS_ASSERT_OK(actual.status());
+  ExpectSameTuples(*actual, expected);
+  EXPECT_EQ(batch_path.metrics().batch_rows, expected.size());
+  EXPECT_GE(batch_path.metrics().batches, 2u);
+}
+
+TEST(NextBatchTest, DrainCountBatchesMatchesDrainCount) {
+  const TemporalRelation rel =
+      MakeIntervals("r", {{0, 4}, {1, 3}, {2, 9}, {5, 6}, {7, 8}});
+  std::unique_ptr<VectorStream> a = VectorStream::Scan(rel);
+  Result<size_t> tuple_count = DrainCount(a.get());
+  TEMPUS_ASSERT_OK(tuple_count.status());
+
+  std::unique_ptr<VectorStream> b = VectorStream::Scan(rel);
+  Result<size_t> batch_count = DrainCountBatches(b.get(), 2);
+  TEMPUS_ASSERT_OK(batch_count.status());
+  EXPECT_EQ(*batch_count, *tuple_count);
+  EXPECT_EQ(*batch_count, rel.size());
+}
+
+}  // namespace
+}  // namespace tempus
