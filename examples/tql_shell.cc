@@ -6,18 +6,22 @@
 //   ...> retrieve (f1.Name) where f1.Rank = "Full"
 //   ...> <blank line>
 //
-// Commands: \tables   \explain on|off   \analyze on|off   \trace on|off
-//           \threads N   \spill <relation> [tuples_per_page]   \quit
+// Commands: \tables   \stats <relation>   \explain on|off   \analyze on|off
+//           \trace on|off   \threads N   \spill <relation> [tuples_per_page]
+//           \quit
 //
 // Non-interactive modes (exit status 0 on success, 1 on any error):
 //   $ ./tql_shell -c 'range of e is Events
 //                     retrieve (e.Key) where e.Key < 10'
 //   $ ./tql_shell -f script.tql     # statements separated by blank lines
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -26,9 +30,96 @@
 #include "datagen/faculty_gen.h"
 #include "datagen/interval_gen.h"
 #include "exec/engine.h"
+#include "stats/interval_stats.h"
+#include "stats/stats_catalog.h"
 #include "storage/paged_relation.h"
 
 namespace {
+
+// Stats freshness tag for \tables: "stats: fresh|stale|none".
+const char* StatsTag(const tempus::Engine& engine, const std::string& name,
+                     size_t tuple_count) {
+  return tempus::StatsCatalog::FreshnessLabel(
+      engine.stats().CheckFreshness(name, tuple_count));
+}
+
+// One histogram as an ASCII bar chart, buckets merged pairwise until at
+// most 16 rows remain.
+void PrintHistogram(const char* title, const tempus::Histogram& h) {
+  if (h.empty()) {
+    std::printf("  %s: (empty)\n", title);
+    return;
+  }
+  std::vector<tempus::TimePoint> bounds = h.bounds;
+  std::vector<uint64_t> counts = h.counts;
+  while (counts.size() > 16) {
+    std::vector<tempus::TimePoint> mb;
+    std::vector<uint64_t> mc;
+    for (size_t i = 0; i < counts.size(); i += 2) {
+      mb.push_back(bounds[i]);
+      mc.push_back(i + 1 < counts.size() ? counts[i] + counts[i + 1]
+                                         : counts[i]);
+    }
+    mb.push_back(bounds.back());
+    bounds = std::move(mb);
+    counts = std::move(mc);
+  }
+  uint64_t max_count = 1;
+  for (uint64_t c : counts) max_count = std::max(max_count, c);
+  std::printf("  %s (%llu values, %zu buckets):\n", title,
+              (unsigned long long)h.total, h.buckets());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const int width = (int)((counts[i] * 40 + max_count - 1) / max_count);
+    std::printf("    [%8lld, %8lld) %6llu %.*s\n",
+                (long long)bounds[i], (long long)bounds[i + 1],
+                (unsigned long long)counts[i], width,
+                "########################################");
+  }
+}
+
+void PrintProfile(const tempus::ConcurrencyProfile& profile) {
+  if (profile.empty()) {
+    std::printf("  concurrency profile: (empty)\n");
+    return;
+  }
+  std::printf("  concurrency profile (%zu samples, mean %.1f, max %llu):\n",
+              profile.at.size(), profile.mean_live,
+              (unsigned long long)profile.max_live);
+  const uint64_t max_live = std::max<uint64_t>(profile.max_live, 1);
+  for (size_t i = 0; i < profile.at.size(); ++i) {
+    const int width =
+        (int)((profile.live[i] * 40 + max_live - 1) / max_live);
+    std::printf("    t=%-10lld %6llu %.*s\n", (long long)profile.at[i],
+                (unsigned long long)profile.live[i], width,
+                "########################################");
+  }
+}
+
+// \stats <relation>: the analyze-built statistics, pretty-printed.
+void PrintStats(const tempus::Engine& engine, const std::string& name) {
+  const std::shared_ptr<const tempus::IntervalStats> stats =
+      engine.stats().Lookup(name);
+  if (stats == nullptr) {
+    std::printf("no statistics for %s — run:  analyze %s\n", name.c_str(),
+                name.c_str());
+    return;
+  }
+  std::printf("statistics for %s%s:\n", name.c_str(),
+              stats->detailed ? "" : " (coarse)");
+  std::printf("  tuples: %llu   lifespan: [%lld, %lld)\n",
+              (unsigned long long)stats->tuple_count,
+              (long long)stats->min_valid_from,
+              (long long)stats->max_valid_to);
+  std::printf("  duration: mean %.1f, max %lld   interarrival: mean %.1f   "
+              "max concurrency: %llu\n",
+              stats->mean_duration, (long long)stats->max_duration,
+              stats->mean_interarrival,
+              (unsigned long long)stats->max_concurrency);
+  PrintHistogram("ValidFrom", stats->starts);
+  PrintHistogram("ValidTo", stats->ends);
+  PrintHistogram("durations", stats->durations);
+  PrintProfile(stats->profile);
+}
 
 tempus::Engine MakeDemoEngine() {
   using namespace tempus;
@@ -145,19 +236,33 @@ int main(int argc, char** argv) {
         tempus::Result<const tempus::TemporalRelation*> mem =
             engine.catalog().Lookup(name);
         if (mem.ok()) {
-          std::printf("  %s %s [%zu tuples]\n", name.c_str(),
-                      (*mem)->schema().ToString().c_str(), (*mem)->size());
+          std::printf("  %s %s [%zu tuples, stats: %s]\n", name.c_str(),
+                      (*mem)->schema().ToString().c_str(), (*mem)->size(),
+                      StatsTag(engine, name, (*mem)->size()));
           continue;
         }
         tempus::Result<std::shared_ptr<const tempus::PagedRelation>> paged =
             engine.catalog().LookupPaged(name);
         if (paged.ok()) {
           std::printf("  %s %s [%zu tuples, disk: %zu pages, %.2fx "
-                      "compressed]\n",
+                      "compressed, stats: %s]\n",
                       name.c_str(), (*paged)->schema().ToString().c_str(),
                       (*paged)->size(), (*paged)->page_count(),
-                      (*paged)->compression_ratio());
+                      (*paged)->compression_ratio(),
+                      StatsTag(engine, name, (*paged)->size()));
         }
+      }
+      std::printf("tql> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (line.rfind("\\stats", 0) == 0) {
+      std::istringstream args(line.substr(6));
+      std::string name;
+      if (!(args >> name)) {
+        std::printf("usage: \\stats <relation>\n");
+      } else {
+        PrintStats(engine, name);
       }
       std::printf("tql> ");
       std::fflush(stdout);

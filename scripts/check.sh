@@ -8,7 +8,9 @@
 # overcommit paths run under memory pressure (docs/STORAGE.md), and again
 # with TEMPUS_BATCH_SIZE=3, forcing every batch-converted operator through
 # tiny partial batches so the batch-boundary paths run under each
-# sanitizer (docs/BATCH.md).
+# sanitizer (docs/BATCH.md), and once more with TEMPUS_OPTIMIZER=off so
+# the heuristic planner path stays green alongside the cost-based default
+# (docs/OPTIMIZER.md).
 # Where loopback sockets are unavailable, each ctest invocation falls
 # back to `-LE net` (dropping server_test / chaos_server_test only).
 set -uo pipefail
@@ -50,6 +52,10 @@ TEMPUS_FRAME_BUDGET=4 run_ctest build
 # stay valid under this override.
 echo "== plain tree, TEMPUS_BATCH_SIZE=3 =="
 TEMPUS_BATCH_SIZE=3 run_ctest build
+# explain_golden_test likewise pins TEMPUS_OPTIMIZER=on, so the est=()
+# annotations in the goldens survive this override.
+echo "== plain tree, TEMPUS_OPTIMIZER=off =="
+TEMPUS_OPTIMIZER=off run_ctest build
 
 echo "== TSan tree (concurrency suites + chaos harness) =="
 build_tree build-tsan -DTEMPUS_SANITIZE=thread &&
@@ -58,6 +64,8 @@ echo "== TSan tree, TEMPUS_FRAME_BUDGET=4 =="
 TEMPUS_FRAME_BUDGET=4 run_ctest build-tsan -L 'concurrency|chaos'
 echo "== TSan tree, TEMPUS_BATCH_SIZE=3 =="
 TEMPUS_BATCH_SIZE=3 run_ctest build-tsan -L 'concurrency|chaos'
+echo "== TSan tree, TEMPUS_OPTIMIZER=off =="
+TEMPUS_OPTIMIZER=off run_ctest build-tsan -L 'concurrency|chaos'
 
 echo "== ASan+UBSan tree =="
 build_tree build-asan -DTEMPUS_SANITIZE=address && run_ctest build-asan
@@ -65,6 +73,8 @@ echo "== ASan+UBSan tree, TEMPUS_FRAME_BUDGET=4 =="
 TEMPUS_FRAME_BUDGET=4 run_ctest build-asan
 echo "== ASan+UBSan tree, TEMPUS_BATCH_SIZE=3 =="
 TEMPUS_BATCH_SIZE=3 run_ctest build-asan
+echo "== ASan+UBSan tree, TEMPUS_OPTIMIZER=off =="
+TEMPUS_OPTIMIZER=off run_ctest build-asan
 
 if [ "$fail" -ne 0 ]; then
   echo "CHECK FAILED" >&2

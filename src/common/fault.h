@@ -66,6 +66,7 @@ inline constexpr const char* kKnownFaultPoints[] = {
     "buffer.page_write",  // PageFile::AppendPage (encode + spill)
     "buffer.evict",       // BufferManager eviction under frame pressure
     "batch.alloc",        // TupleBatch::Reserve (batch column allocation)
+    "stats.build",        // BuildIntervalStats (analyze statistics scan)
 };
 
 /// Process-wide deterministic fault injector. Off by default: every

@@ -3,8 +3,11 @@
 #include <fstream>
 
 #include "buffer/buffer_manager.h"
+#include "common/string_util.h"
 #include "relation/csv.h"
+#include "stats/interval_stats.h"
 #include "storage/paged_relation.h"
+#include "storage/paged_stream.h"
 
 namespace tempus {
 namespace {
@@ -33,7 +36,12 @@ Result<TemporalRelation> TextRelation(const std::string& name,
 Result<PlannedQuery> Engine::Prepare(const std::string& tql,
                                      const PlannerOptions& options) const {
   TEMPUS_ASSIGN_OR_RETURN(ConjunctiveQuery query, ParseTql(tql));
-  Planner planner(&catalog_, &integrity_);
+  if (!query.analyze_target.empty()) {
+    return Status::InvalidArgument(
+        "'analyze <relation>' is a statement, not a query; run it through "
+        "Run/RunQuery");
+  }
+  Planner planner(&catalog_, &integrity_, &stats_);
   return planner.Plan(query, options);
 }
 
@@ -47,14 +55,32 @@ Result<TemporalRelation> Engine::Run(const std::string& tql,
 Result<QueryRun> Engine::RunQuery(const std::string& tql,
                                   const PlannerOptions& options) const {
   TEMPUS_ASSIGN_OR_RETURN(ConjunctiveQuery query, ParseTql(tql));
+  if (!query.analyze_target.empty()) {
+    TEMPUS_ASSIGN_OR_RETURN(std::shared_ptr<const IntervalStats> stats,
+                            AnalyzeRelation(query.analyze_target));
+    QueryRun run;
+    TEMPUS_ASSIGN_OR_RETURN(
+        run.result,
+        TextRelation(
+            "Analyze", "ANALYZE",
+            StrFormat("analyzed %s: %llu tuples, %zu/%zu/%zu histogram "
+                      "buckets (starts/ends/durations), %zu profile samples",
+                      query.analyze_target.c_str(),
+                      static_cast<unsigned long long>(stats->tuple_count),
+                      stats->starts.buckets(), stats->ends.buckets(),
+                      stats->durations.buckets(), stats->profile.at.size())));
+    return run;
+  }
   // Pin the relations this query can see: the plan borrows tuple storage
   // from the snapshot's shared handles, so a concurrent Drop or replace
   // in catalog_ cannot pull them out from under a running scan.
   const Catalog snapshot = catalog_.Snapshot();
-  Planner planner(&snapshot, &integrity_);
+  Planner planner(&snapshot, &integrity_, &stats_);
   TEMPUS_ASSIGN_OR_RETURN(PlannedQuery planned, planner.Plan(query, options));
   QueryRun run;
   run.explain = planned.explain;
+  run.optimizer_mode = planned.optimizer_mode;
+  run.rationale = planned.rationale;
   if (query.explain_mode == ExplainMode::kPlan) {
     run.plan_json = planned.TraceJson();
     TEMPUS_ASSIGN_OR_RETURN(
@@ -125,7 +151,28 @@ Status Engine::SaveCsv(const std::string& name,
   return WriteCsv(*relation, &out);
 }
 
+Result<std::shared_ptr<const IntervalStats>> Engine::AnalyzeRelation(
+    const std::string& name) const {
+  Result<const TemporalRelation*> mem = catalog_.Lookup(name);
+  IntervalStats stats;
+  if (mem.ok()) {
+    TEMPUS_ASSIGN_OR_RETURN(stats, BuildIntervalStats(**mem));
+  } else {
+    // Disk-backed relation: materialize through the buffer pool (analyze
+    // is a full scan by definition; the pool bounds residency).
+    TEMPUS_ASSIGN_OR_RETURN(std::shared_ptr<const PagedRelation> paged,
+                            catalog_.LookupPaged(name));
+    PagedScanStream scan(paged, nullptr);
+    TEMPUS_ASSIGN_OR_RETURN(TemporalRelation materialized,
+                            Materialize(&scan, name));
+    TEMPUS_ASSIGN_OR_RETURN(stats, BuildIntervalStats(materialized));
+  }
+  stats_.Put(name, std::move(stats));
+  return stats_.Lookup(name);
+}
+
 Status Engine::DropRelation(const std::string& name) {
+  stats_.Drop(name);
   return catalog_.Drop(name);
 }
 

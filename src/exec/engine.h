@@ -2,10 +2,12 @@
 #define TEMPUS_EXEC_ENGINE_H_
 
 #include <string>
+#include <vector>
 
 #include "plan/planner.h"
 #include "relation/catalog.h"
 #include "semantic/integrity.h"
+#include "stats/stats_catalog.h"
 #include "stream/metrics.h"
 #include "tql/parser.h"
 
@@ -31,6 +33,11 @@ struct QueryRun {
   std::string plan_json;
   /// EXPLAIN ANALYZE report; non-empty iff planned with analyze.
   std::string analyze_report;
+  /// Which optimizer planned this query ("cost-based" or "heuristic") and
+  /// the choices it recorded; the server surfaces both in the per-query
+  /// metrics JSON and its stats endpoint (docs/OPTIMIZER.md).
+  std::string optimizer_mode;
+  std::vector<std::string> rationale;
   OperatorMetrics metrics;
 };
 
@@ -46,6 +53,9 @@ class Engine {
   const Catalog& catalog() const { return catalog_; }
   IntegrityCatalog* mutable_integrity() { return &integrity_; }
   const IntegrityCatalog& integrity() const { return integrity_; }
+  /// Per-relation interval statistics built by `analyze <relation>`; the
+  /// cost-based optimizer reads them at plan time (docs/OPTIMIZER.md).
+  const StatsCatalog& stats() const { return stats_; }
 
   /// Parses and plans `tql` without executing it.
   Result<PlannedQuery> Prepare(const std::string& tql,
@@ -92,8 +102,19 @@ class Engine {
   /// Writes a registered relation to a CSV file.
   Status SaveCsv(const std::string& name, const std::string& path) const;
 
-  /// Drops a relation from the catalog; running snapshot-based queries
-  /// keep their view (see Catalog::Snapshot).
+  /// Builds (or refreshes) interval statistics for relation `name` —
+  /// endpoint/duration histograms and the live-tuple concurrency profile
+  /// (docs/OPTIMIZER.md) — and stores them in the stats catalog. Works for
+  /// in-memory and disk-backed (spilled) relations; the latter are scanned
+  /// through the buffer pool. Const because query execution is const: the
+  /// "analyze <relation>" TQL statement lands here from RunQuery, and the
+  /// stats catalog is internally synchronized.
+  Result<std::shared_ptr<const IntervalStats>> AnalyzeRelation(
+      const std::string& name) const;
+
+  /// Drops a relation from the catalog (and forgets its statistics);
+  /// running snapshot-based queries keep their view (see
+  /// Catalog::Snapshot).
   Status DropRelation(const std::string& name);
 
   /// Spills the in-memory relation `name` to a compressed on-disk page
@@ -107,6 +128,9 @@ class Engine {
  private:
   Catalog catalog_;
   IntegrityCatalog integrity_;
+  // Mutable: refreshed by the (const) query path's "analyze" statement;
+  // internally synchronized with a reader/writer lock.
+  mutable StatsCatalog stats_;
 };
 
 }  // namespace tempus

@@ -41,14 +41,20 @@ void RenderTree(const TupleStream& node, size_t depth, std::string* out) {
   }
 }
 
-void AppendActualLine(const OperatorMetrics& m, const TraceSpan* span,
-                      uint64_t children_ns, bool leaf, size_t depth,
-                      std::string* out) {
+void AppendActualLine(const OperatorMetrics& m, const PlanEstimate& est,
+                      const TraceSpan* span, uint64_t children_ns, bool leaf,
+                      size_t depth, std::string* out) {
   // Leaf scans count each tuple once, as a read (CollectPlanMetrics would
   // otherwise double-count it); report that read count as the actual rows.
   const uint64_t rows =
       leaf && m.tuples_emitted == 0 ? m.tuples_read_left : m.tuples_emitted;
   out->append(depth * 2, ' ');
+  if (est.valid) {
+    // Planner estimate beside the measured counters, so per-operator
+    // estimation error is visible at a glance (docs/OPTIMIZER.md).
+    out->append(
+        StrFormat("(est rows=%.0f ws=%.0f) ", est.rows, est.workspace));
+  }
   out->append(StrFormat(
       "(actual rows=%llu read=(%llu,%llu) cmps=%llu passes=(%llu,%llu) "
       "peak_ws=%zu ws_in=%llu gc=%llu/%llu",
@@ -99,8 +105,9 @@ void RenderAnalyzed(const TupleStream& node, const TraceCollector& trace,
   out->append(NodeLabel(node));
   out->push_back('\n');
   const TraceSpan* span = SpanFor(node, trace);
-  AppendActualLine(node.metrics(), span, SubtreeChildrenNs(node, trace),
-                   node.children().empty(), depth + 1, out);
+  AppendActualLine(node.metrics(), node.estimate(), span,
+                   SubtreeChildrenNs(node, trace), node.children().empty(),
+                   depth + 1, out);
   if (span != nullptr) {
     for (const TraceSpan& worker : trace.spans()) {
       if (worker.parent != span->id || worker.worker < 0) continue;
@@ -125,6 +132,10 @@ void JsonNode(const TupleStream& node, const TraceCollector* trace,
   out->append(StrFormat("{\"label\":\"%s\",\"metrics\":",
                         JsonEscape(NodeLabel(node)).c_str()));
   out->append(MetricsToJson(node.metrics()));
+  if (node.estimate().valid) {
+    out->append(StrFormat(",\"est\":{\"rows\":%.1f,\"workspace\":%.1f}",
+                          node.estimate().rows, node.estimate().workspace));
+  }
   const TraceSpan* span =
       trace == nullptr ? nullptr : SpanFor(node, *trace);
   if (span != nullptr) {

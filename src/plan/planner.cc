@@ -15,9 +15,10 @@
 #include "join/overlap_semijoin.h"
 #include "join/self_semijoin.h"
 #include "obs/plan_report.h"
+#include "opt/cost_model.h"
+#include "opt/optimizer.h"
 #include "parallel/parallel_ops.h"
 #include "parallel/worker_pool.h"
-#include "plan/cost_model.h"
 #include "storage/paged_relation.h"
 #include "storage/paged_stream.h"
 #include "stream/basic_ops.h"
@@ -64,6 +65,9 @@ struct SubPlan {
   /// Known lifespan order of the FIRST var's lifespan columns (join
   /// outputs inherit the left lifespan designation).
   std::optional<TemporalSortOrder> order;
+  /// Running estimate for the current root operator (invalid when no
+  /// statistics were available for some input).
+  NodeEstimate est;
 };
 
 std::string Indent(const std::string& block) {
@@ -126,11 +130,14 @@ void StampLabel(SubPlan* plan) {
 class PlanBuilder {
  public:
   PlanBuilder(const Catalog* catalog, const IntegrityCatalog* integrity,
-              const ConjunctiveQuery& query, const PlannerOptions& options)
+              const StatsCatalog* stats, const ConjunctiveQuery& query,
+              const PlannerOptions& options)
       : catalog_(catalog),
         integrity_(integrity),
         query_(query),
-        options_(options) {}
+        options_(options),
+        optimizer_(options.optimizer.value_or(OptimizerModeFromEnv()),
+                   stats) {}
 
   Result<PlannedQuery> Build();
 
@@ -161,8 +168,41 @@ class PlanBuilder {
                                      size_t right_var,
                                      std::vector<size_t> pending_ids) const;
 
-  /// Effective worker count (options_.threads; 0 = one per hardware thread).
+  // --- cost estimation -----------------------------------------------------
+  /// Best available statistics for `var`: analyze-built interval stats
+  /// when present, else coarse stats from the relation's scalars; nullopt
+  /// when even scalars are unavailable (disk-backed without spill stats).
+  std::optional<IntervalStats> VarStats(size_t var) const {
+    Result<RelationStats> scalars = relations_[var].Stats();
+    if (!scalars.ok()) return std::nullopt;
+    return optimizer_.StatsFor(relations_[var].name(), *scalars);
+  }
+  /// True when both sides of a pair carry analyze-built statistics and the
+  /// optimizer runs cost-based — the gate for the batch/parallel
+  /// decisions, so un-analyzed catalogs plan exactly as before.
+  bool DetailedPair(size_t lv, size_t rv) const {
+    return optimizer_.cost_based() &&
+           optimizer_.HasDetailedStats(relations_[lv].name()) &&
+           optimizer_.HasDetailedStats(relations_[rv].name());
+  }
+  /// Estimated fraction of `var`'s tuples passing its pushed selections.
+  double SelectionSelectivity(size_t var, const IntervalStats& stats) const;
+  /// Stamps (rows, workspace) onto the plan's root: appended to the first
+  /// explain line as " est=(rows=N ws=M)" (so EXPLAIN shows it and the
+  /// ANALYZE label matches), recorded on the stream for the analyze/JSON
+  /// reports, and kept on the SubPlan for downstream estimates.
+  void SetEst(SubPlan* plan, double rows, double workspace) const;
+  /// Records an optimizer decision: EXPLAIN header note + PlannedQuery
+  /// rationale (surfaced by the server's stats JSON).
+  void AddNote(const std::string& note) {
+    notes_ += note + "\n";
+    rationale_.push_back(note);
+  }
+
+  /// Effective worker count (options_.threads; 0 = one per hardware
+  /// thread; a per-pair cost-based override wins when set).
   size_t Threads() const {
+    if (pair_threads_.has_value()) return *pair_threads_;
     return options_.threads == 0 ? WorkerPool::DefaultThreadCount()
                                  : options_.threads;
   }
@@ -172,8 +212,10 @@ class PlanBuilder {
                          : std::string();
   }
   /// Effective batch size for the batch-at-a-time sweep operators
-  /// (options_.batch_size; kNoBatchOverride defers to TEMPUS_BATCH_SIZE).
+  /// (options_.batch_size; kNoBatchOverride defers to TEMPUS_BATCH_SIZE;
+  /// a per-pair cost-based override wins when set).
   size_t BatchSize() const {
+    if (pair_batch_.has_value()) return *pair_batch_;
     return options_.batch_size == PlannerOptions::kNoBatchOverride
                ? DefaultBatchSize()
                : options_.batch_size;
@@ -205,8 +247,64 @@ class PlanBuilder {
   std::vector<TemporalPredicate> pending_essential_;
   std::vector<bool> essential_applied_;
 
+  Optimizer optimizer_;
+  std::vector<std::string> rationale_;
+  // Per-pair execution-strategy overrides chosen by the cost-based
+  // optimizer for the pairwise temporal operators (one pair per query in
+  // the two-variable stream path, so plain members suffice).
+  std::optional<size_t> pair_threads_;
+  std::optional<size_t> pair_batch_;
+
   std::string notes_;
 };
+
+double PlanBuilder::SelectionSelectivity(size_t var,
+                                         const IntervalStats& stats) const {
+  double sel = 1.0;
+  for (const Selection& s : selections_[var]) {
+    if (IsEndpoint(var, s.attr_index) &&
+        s.literal.kind() == Value::Kind::kInt) {
+      SelOp op = SelOp::kEq;
+      switch (s.op) {
+        case CmpOp::kEq: op = SelOp::kEq; break;
+        case CmpOp::kNe: op = SelOp::kNe; break;
+        case CmpOp::kLt: op = SelOp::kLt; break;
+        case CmpOp::kLe: op = SelOp::kLe; break;
+        case CmpOp::kGt: op = SelOp::kGt; break;
+        case CmpOp::kGe: op = SelOp::kGe; break;
+      }
+      const bool is_start =
+          EndpointOf(var, s.attr_index) == EndpointKind::kStart;
+      sel *= EstimateEndpointSelectivity(stats, is_start, op,
+                                         s.literal.int_value());
+    } else {
+      sel *= s.op == CmpOp::kEq ? kDefaultEqSelectivity
+                                : kDefaultRangeSelectivity;
+    }
+  }
+  return sel;
+}
+
+void PlanBuilder::SetEst(SubPlan* plan, double rows,
+                         double workspace) const {
+  if (plan->stream == nullptr) return;
+  NodeEstimate est;
+  est.valid = true;
+  est.rows = rows < 0.0 ? 0.0 : rows;
+  est.workspace = workspace < 0.0 ? 0.0 : workspace;
+  const std::string note =
+      StrFormat(" est=(rows=%.0f ws=%.0f)", est.rows, est.workspace);
+  const size_t nl = plan->explain.find('\n');
+  plan->explain.insert(nl == std::string::npos ? plan->explain.size() : nl,
+                       note);
+  plan->est = est;
+  PlanEstimate stamped;
+  stamped.valid = true;
+  stamped.rows = est.rows;
+  stamped.workspace = est.workspace;
+  plan->stream->set_estimate(stamped);
+  StampLabel(plan);
+}
 
 Result<size_t> PlanBuilder::VarIndex(const std::string& name) const {
   for (size_t i = 0; i < var_names_.size(); ++i) {
@@ -482,6 +580,12 @@ Result<SubPlan> PlanBuilder::BuildBase(size_t var) const {
       }
     }
   }
+  plan.stream = std::move(stream);
+  plan.var_offsets[var] = 0;
+  const std::optional<IntervalStats> stats = VarStats(var);
+  if (stats.has_value()) {
+    SetEst(&plan, static_cast<double>(rel.size()), 0.0);
+  }
   if (!selections_[var].empty()) {
     const std::vector<Selection>& sels = selections_[var];
     std::vector<std::string> displays;
@@ -492,13 +596,17 @@ Result<SubPlan> PlanBuilder::BuildBase(size_t var) const {
       }
       return true;
     };
-    stream = std::make_unique<FilterStream>(std::move(stream), predicate,
-                                            sels.size());
+    plan.stream = std::make_unique<FilterStream>(std::move(plan.stream),
+                                                 predicate, sels.size());
     plan.explain =
         "Select [" + Join(displays, " and ") + "]\n" + Indent(plan.explain);
+    if (stats.has_value()) {
+      SetEst(&plan,
+             static_cast<double>(rel.size()) *
+                 SelectionSelectivity(var, *stats),
+             0.0);
+    }
   }
-  plan.stream = std::move(stream);
-  plan.var_offsets[var] = 0;
   StampLabel(&plan);
   return plan;
 }
@@ -513,6 +621,8 @@ Result<SubPlan> PlanBuilder::EnsureOrder(SubPlan plan,
   plan.explain =
       "Sort [" + order.ToString() + "]\n" + Indent(plan.explain);
   plan.order = order;
+  // A buffering sort enforcer holds its whole input.
+  if (plan.est.valid) SetEst(&plan, plan.est.rows, plan.est.rows);
   StampLabel(&plan);
   return plan;
 }
@@ -706,6 +816,11 @@ Result<SubPlan> PlanBuilder::ApplyPending(SubPlan plan) {
                                                predicate, atom_count);
   plan.explain =
       "Filter [" + Join(displays, " and ") + "]\n" + Indent(plan.explain);
+  if (plan.est.valid) {
+    double rows = plan.est.rows;
+    for (uint64_t i = 0; i < atom_count; ++i) rows *= kDefaultPairSelectivity;
+    SetEst(&plan, rows, 0.0);
+  }
   StampLabel(&plan);
   return plan;
 }
@@ -719,6 +834,52 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
   const AllenMask mask = analysis_.MaskBetween(lv, rv);
   const Schema& lschema = relations_[lv].schema();
   const Schema& rschema = relations_[rv].schema();
+
+  // --- cost estimation context for this pair ---
+  const std::optional<IntervalStats> lstats = VarStats(lv);
+  const std::optional<IntervalStats> rstats = VarStats(rv);
+  const NodeEstimate left_in = left.est;    // Filtered input cardinalities
+  const NodeEstimate right_in = right.est;  // (before any enforcer sorts).
+  const bool have_stats = lstats.has_value() && rstats.has_value() &&
+                          left_in.valid && right_in.valid;
+  // Scales a whole-relation pair estimate down by the fraction of each
+  // input surviving its pushed selections.
+  auto scale_pairs = [&](double pairs) {
+    double out = pairs;
+    if (lstats->tuple_count > 0) {
+      out *= left_in.rows / static_cast<double>(lstats->tuple_count);
+    }
+    if (rstats->tuple_count > 0) {
+      out *= right_in.rows / static_cast<double>(rstats->tuple_count);
+    }
+    return out;
+  };
+  // Batch-vs-tuple path and parallelism degree: decided by the cost model
+  // only when both inputs carry analyze-built statistics, so un-analyzed
+  // catalogs keep the environment-driven defaults (and TEMPUS_OPTIMIZER=off
+  // reproduces them exactly).
+  if (have_stats && DetailedPair(lv, rv)) {
+    // Parallelism divides the sweep/state work, which scales with the
+    // combined input — not with the output, which every degree
+    // materializes in full.
+    const double est_inputs = left_in.rows + right_in.rows;
+    const size_t threads =
+        optimizer_.ChooseParallelDegree(est_inputs, Threads());
+    if (threads != Threads()) {
+      AddNote(StrFormat("cost model: parallel x%zu (est %.0f input rows)",
+                        threads, est_inputs));
+      pair_threads_ = threads;
+    }
+    const size_t batch =
+        optimizer_.ChooseBatchSize(left_in.rows + right_in.rows, BatchSize());
+    if (batch != BatchSize()) {
+      AddNote(StrFormat(
+          "cost model: tuple path (est %.0f input rows below batch "
+          "threshold)",
+          left_in.rows + right_in.rows));
+      pair_batch_ = batch;
+    }
+  }
   // Mark pair-only essential predicates as subsumed by the mask operator.
   auto subsume_pair_predicates = [this, lv, rv]() {
     for (size_t i = 0; i < pending_essential_.size(); ++i) {
@@ -788,6 +949,12 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       plan.explain = "Contained-semijoin(X,X) [single scan, 1 state tuple]" +
                      ParallelNote() + BatchNote() + "\n" +
                      Indent(sorted.explain);
+      if (have_stats) {
+        SetEst(&plan,
+               left_in.rows *
+                   EstimateSemijoinFraction(*lstats, *rstats, mask),
+               1.0);
+      }
       return plan;
     }
     if (self_pair && mask == AllenMask::Single(AllenRelation::kContains)) {
@@ -808,6 +975,12 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       plan.explain = "Contain-semijoin(X,X) [single scan, 1 state tuple]" +
                      ParallelNote() + BatchNote() + "\n" +
                      Indent(sorted.explain);
+      if (have_stats) {
+        SetEst(&plan,
+               left_in.rows *
+                   EstimateSemijoinFraction(*lstats, *rstats, mask),
+               1.0);
+      }
       return plan;
     }
     if (mask == AllenMask::Single(AllenRelation::kDuring)) {
@@ -832,6 +1005,12 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       plan.explain = "Contained-semijoin [two buffers]" + ParallelNote() +
                      BatchNote() + "\n" + Indent(l.explain) + "\n" +
                      Indent(r.explain);
+      if (have_stats) {
+        SetEst(&plan,
+               left_in.rows *
+                   EstimateSemijoinFraction(*lstats, *rstats, mask),
+               EstimateSweepSemijoin(*rstats).tuples);
+      }
       return plan;
     }
     if (mask == AllenMask::Single(AllenRelation::kContains)) {
@@ -856,6 +1035,12 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       plan.explain = "Contain-semijoin [two buffers]" + ParallelNote() +
                      BatchNote() + "\n" + Indent(l.explain) + "\n" +
                      Indent(r.explain);
+      if (have_stats) {
+        SetEst(&plan,
+               left_in.rows *
+                   EstimateSemijoinFraction(*lstats, *rstats, mask),
+               EstimateSweepSemijoin(*lstats).tuples);
+      }
       return plan;
     }
     if (mask == AllenMask::Intersecting()) {
@@ -880,6 +1065,12 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       plan.explain = "Overlap-semijoin [two buffers]" + ParallelNote() +
                      BatchNote() + "\n" + Indent(l.explain) + "\n" +
                      Indent(r.explain);
+      if (have_stats) {
+        SetEst(&plan,
+               left_in.rows *
+                   EstimateSemijoinFraction(*lstats, *rstats, mask),
+               EstimateSweepJoin(*lstats, *rstats).tuples);
+      }
       return plan;
     }
     if (mask == AllenMask::Single(AllenRelation::kBefore)) {
@@ -895,6 +1086,12 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       plan.explain = "Before-semijoin [order independent]" + ParallelNote() +
                      "\n" + Indent(left.explain) + "\n" +
                      Indent(right.explain);
+      if (have_stats) {
+        SetEst(&plan,
+               left_in.rows *
+                   EstimateSemijoinFraction(*lstats, *rstats, mask),
+               1.0);
+      }
       return plan;
     }
     // Generic semijoin fallback.
@@ -910,6 +1107,11 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
     plan.stream = std::move(stream);
     plan.explain = "Nested-loop semijoin [" + mask.ToString() + "]\n" +
                    Indent(left.explain) + "\n" + Indent(right.explain);
+    if (have_stats) {
+      SetEst(&plan,
+             left_in.rows * EstimateSemijoinFraction(*lstats, *rstats, mask),
+             right_in.rows);
+    }
     return plan;
   }
 
@@ -921,29 +1123,27 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
   if (coexist_only && !mask.IsEmpty()) {
     if (mask == AllenMask::Single(AllenRelation::kContains)) {
       // The two appropriate right-side orderings (Table 1 (a) vs (b))
-      // retain different state; pick by the analytic workspace estimate
-      // (Section 6's "estimating the amount of local workspace") unless
-      // the input is already sorted one way.
-      TemporalSortOrder right_order = kByValidFromAsc;
-      std::string order_note;
+      // retain different state; the optimizer prices workspace plus the
+      // enforcer-sort cost each alternative induces (Section 6's
+      // "estimating the amount of local workspace"). In heuristic mode
+      // this reproduces the original rule: reuse a free interesting
+      // order, else compare workspace alone.
+      std::optional<TemporalSortOrder> right_known;
       if (right.order.has_value() &&
           (*right.order == kByValidFromAsc ||
            *right.order == kByValidToAsc)) {
-        right_order = *right.order;  // Reuse the free interesting order.
-      } else {
-        Result<RelationStats> xs = relations_[lv].Stats();
-        Result<RelationStats> ys = relations_[rv].Stats();
-        if (xs.ok() && ys.ok()) {
-          const WorkspaceEstimate from_from =
-              EstimateContainJoinFromFrom(*xs, *ys);
-          const WorkspaceEstimate from_to =
-              EstimateContainJoinFromTo(*xs, *ys);
-          right_order = from_to.tuples < from_from.tuples ? kByValidToAsc
-                                                          : kByValidFromAsc;
-          order_note = StrFormat(
-              "cost model: ws(From^,From^)=%.1f vs ws(From^,To^)=%.1f",
-              from_from.tuples, from_to.tuples);
-        }
+        right_known = *right.order;
+      }
+      TemporalSortOrder right_order = right_known.value_or(kByValidFromAsc);
+      double chosen_ws = 0.0;
+      bool have_ws = false;
+      if (lstats.has_value() && rstats.has_value()) {
+        const OrderChoice choice =
+            optimizer_.ChooseContainJoinOrder(*lstats, *rstats, right_known);
+        right_order = choice.right_order;
+        chosen_ws = choice.workspace;
+        have_ws = true;
+        if (!choice.rationale.empty()) AddNote(choice.rationale);
       }
       TEMPUS_ASSIGN_OR_RETURN(SubPlan l,
                               EnsureOrder(std::move(left), kByValidFromAsc));
@@ -955,9 +1155,6 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       options.verify_input_order = options_.verify_sorted_inputs;
       options.naming = naming;
       options.batch_size = BatchSize();
-      if (!order_note.empty()) {
-        notes_ += order_note + "\n";
-      }
       TEMPUS_ASSIGN_OR_RETURN(
           auto stream,
           MakeParallelContainJoin(std::move(l.stream), std::move(r.stream),
@@ -973,6 +1170,10 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
                                      : "ValidFrom^") +
                      ")]" + ParallelNote() + BatchNote() + "\n" +
                      Indent(l.explain) + "\n" + Indent(r.explain);
+      if (have_stats) {
+        SetEst(&plan, scale_pairs(EstimateContainPairs(*lstats, *rstats)),
+               have_ws ? chosen_ws : 0.0);
+      }
       return ApplyPending(std::move(plan));
     }
     TEMPUS_ASSIGN_OR_RETURN(SubPlan l,
@@ -998,6 +1199,10 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
     plan.explain = "Allen-sweep join " + mask.ToString() + ParallelNote() +
                    BatchNote() + "\n" + Indent(l.explain) + "\n" +
                    Indent(r.explain);
+    if (have_stats) {
+      SetEst(&plan, scale_pairs(EstimateMaskJoinRows(*lstats, *rstats, mask)),
+             EstimateSweepJoin(*lstats, *rstats).tuples);
+    }
     return ApplyPending(std::move(plan));
   }
   if (mask == AllenMask::Single(AllenRelation::kBefore) && !has_equi) {
@@ -1017,6 +1222,10 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
     plan.explain = "Before-join [buffered inner, binary search]" +
                    ParallelNote() + "\n" + Indent(left.explain) + "\n" +
                    Indent(right.explain);
+    if (have_stats) {
+      SetEst(&plan, scale_pairs(EstimateBeforePairs(*lstats, *rstats)),
+             right_in.rows);
+    }
     return ApplyPending(std::move(plan));
   }
 
@@ -1052,6 +1261,12 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
     plan.explain = "Hash equi-join [+ mask " + mask.ToString() + "]" +
                    ParallelNote() + "\n" + Indent(left.explain) + "\n" +
                    Indent(right.explain);
+    if (have_stats) {
+      SetEst(&plan,
+             scale_pairs(EstimateMaskJoinRows(*lstats, *rstats, mask)) *
+                 kDefaultEqSelectivity,
+             right_in.rows);
+    }
     return ApplyPending(std::move(plan));
   }
   PairPredicate pred = std::move(mask_pred);
@@ -1075,6 +1290,11 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
   plan.stream = std::move(stream);
   plan.explain = "Nested-loop join [" + mask.ToString() + "]\n" +
                  Indent(left.explain) + "\n" + Indent(right.explain);
+  if (have_stats) {
+    double rows = scale_pairs(EstimateMaskJoinRows(*lstats, *rstats, mask));
+    if (!lkeys.empty()) rows *= kDefaultEqSelectivity;
+    SetEst(&plan, rows, right_in.rows);
+  }
   return ApplyPending(std::move(plan));
 }
 
@@ -1144,6 +1364,7 @@ Result<std::optional<SubPlan>> PlanBuilder::TrySuperstar() {
       TEMPUS_ASSIGN_OR_RETURN(SubPlan pb, BuildBase(b));
       TEMPUS_ASSIGN_OR_RETURN(SubPlan pc, BuildBase(c));
       JoinNaming naming{var_names_[a], var_names_[b]};
+      const size_t ab_key_count = lkeys.size();
       TEMPUS_ASSIGN_OR_RETURN(
           auto joined,
           HashEquiJoin::Create(std::move(pa.stream), std::move(pb.stream),
@@ -1155,6 +1376,13 @@ Result<std::optional<SubPlan>> PlanBuilder::TrySuperstar() {
       ab_plan.stream = std::move(joined);
       ab_plan.explain = "Hash equi-join\n" + Indent(pa.explain) + "\n" +
                         Indent(pb.explain);
+      if (pa.est.valid && pb.est.valid) {
+        double rows = pa.est.rows * pb.est.rows;
+        for (size_t i = 0; i < ab_key_count; ++i) {
+          rows *= kDefaultEqSelectivity;
+        }
+        SetEst(&ab_plan, rows, pb.est.rows);
+      }
       // Residual a-b temporal predicates (if chronology was off, the
       // ordering predicate may still be essential).
       TEMPUS_ASSIGN_OR_RETURN(ab_plan, ApplyPending(std::move(ab_plan)));
@@ -1189,6 +1417,7 @@ Result<std::optional<SubPlan>> PlanBuilder::TrySuperstar() {
       gap_plan.explain =
           "Derive gap lifespan [2*" + var_names_[a] + ".TE-1, 2*" +
           var_names_[b] + ".TS+1)\n" + Indent(ab_plan.explain);
+      if (ab_plan.est.valid) SetEst(&gap_plan, ab_plan.est.rows, 0.0);
       TEMPUS_ASSIGN_OR_RETURN(gap_plan,
                               EnsureOrder(std::move(gap_plan),
                                           kByValidToAsc));
@@ -1209,6 +1438,7 @@ Result<std::optional<SubPlan>> PlanBuilder::TrySuperstar() {
       c_plan.var_offsets[c] = 0;
       c_plan.stream = std::move(c_stream);
       c_plan.explain = "Double time coordinates\n" + Indent(pc.explain);
+      if (pc.est.valid) SetEst(&c_plan, pc.est.rows, 0.0);
       TEMPUS_ASSIGN_OR_RETURN(c_plan,
                               EnsureOrder(std::move(c_plan),
                                           kByValidFromAsc));
@@ -1235,6 +1465,11 @@ Result<std::optional<SubPlan>> PlanBuilder::TrySuperstar() {
           "Contained-semijoin [recognized less-than join, Figure 8]" +
           BatchNote() + "\n" + Indent(gap_plan.explain) + "\n" +
           Indent(c_plan.explain);
+      if (gap_plan.est.valid) {
+        const std::optional<IntervalStats> cs = VarStats(c);
+        SetEst(&plan, gap_plan.est.rows * kDefaultPairSelectivity,
+               cs.has_value() ? EstimateSweepSemijoin(*cs).tuples : 0.0);
+      }
       notes_ += "recognized Superstar pattern: less-than join -> "
                 "Contained-semijoin\n";
       return std::optional<SubPlan>(std::move(plan));
@@ -1248,9 +1483,64 @@ Result<std::optional<SubPlan>> PlanBuilder::TrySuperstar() {
 // ---------------------------------------------------------------------------
 
 Result<SubPlan> PlanBuilder::PlanCascade() {
-  TEMPUS_ASSIGN_OR_RETURN(SubPlan part, BuildBase(0));
+  const size_t n = var_names_.size();
+  // Cascade join order: declaration order unless the cost-based optimizer
+  // finds a cheaper left-deep order by subset DP. Reordering is gated on
+  // an explicit target list — with the implicit "all attributes" output
+  // the composite column order is user-visible, so both optimizer modes
+  // must produce it identically.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  if (optimizer_.cost_based() && n >= 3 && !query_.outputs.empty()) {
+    std::vector<double> base_rows(n, 1.0);
+    bool have_all = true;
+    std::vector<IntervalStats> stats(n);
+    for (size_t i = 0; i < n && have_all; ++i) {
+      std::optional<IntervalStats> s = VarStats(i);
+      if (!s.has_value()) {
+        have_all = false;
+        break;
+      }
+      stats[i] = *std::move(s);
+      base_rows[i] = static_cast<double>(stats[i].tuple_count) *
+                     SelectionSelectivity(i, stats[i]);
+    }
+    if (have_all) {
+      auto pair_selectivity = [this](size_t u, size_t v) {
+        double sel = 1.0;
+        for (const EquiLink& link : equi_links_) {
+          if ((link.var1 == u && link.var2 == v) ||
+              (link.var1 == v && link.var2 == u)) {
+            sel *= kDefaultEqSelectivity;
+          }
+        }
+        if (analysis_.MaskBetween(u, v) != AllenMask::All()) {
+          sel *= kDefaultPairSelectivity;
+        }
+        for (const Deferred& d : deferred_) {
+          if (d.vars == std::set<size_t>{u, v}) {
+            sel *= kDefaultPairSelectivity;
+          }
+        }
+        return sel;
+      };
+      const CascadeOrder chosen =
+          optimizer_.ChooseCascadeOrder(base_rows, pair_selectivity);
+      if (chosen.order.size() == n && chosen.order != order) {
+        std::vector<std::string> names;
+        for (size_t v : chosen.order) names.push_back(var_names_[v]);
+        AddNote(StrFormat(
+            "cost model: cascade DP order [%s], est %.0f output rows",
+            Join(names, " ").c_str(), chosen.est_rows));
+        order = chosen.order;
+      }
+    }
+  }
+
+  TEMPUS_ASSIGN_OR_RETURN(SubPlan part, BuildBase(order[0]));
   TEMPUS_ASSIGN_OR_RETURN(part, ApplyPending(std::move(part)));
-  for (size_t k = 1; k < var_names_.size(); ++k) {
+  for (size_t step = 1; step < n; ++step) {
+    const size_t k = order[step];
     TEMPUS_ASSIGN_OR_RETURN(SubPlan base, BuildBase(k));
     JoinNaming naming;
     if (part.var_offsets.size() == 1) {
@@ -1279,6 +1569,7 @@ Result<SubPlan> PlanBuilder::PlanCascade() {
       }
     }
     const size_t left_width = part.stream->schema().attribute_count();
+    const size_t key_count = lkeys.size();
     SubPlan next;
     next.var_offsets = part.var_offsets;
     next.var_offsets[k] = left_width;
@@ -1299,6 +1590,12 @@ Result<SubPlan> PlanBuilder::PlanCascade() {
       next.stream = std::move(stream);
       next.explain = "Nested-loop product\n" + Indent(part.explain) + "\n" +
                      Indent(base.explain);
+    }
+    if (part.est.valid && base.est.valid) {
+      double rows = part.est.rows * base.est.rows;
+      for (size_t i = 0; i < key_count; ++i) rows *= kDefaultEqSelectivity;
+      // The hash build (or buffered inner) holds the right input.
+      SetEst(&next, rows, base.est.rows);
     }
     TEMPUS_ASSIGN_OR_RETURN(part, ApplyPending(std::move(next)));
   }
@@ -1360,6 +1657,11 @@ Result<SubPlan> PlanBuilder::Finalize(SubPlan plan) {
       }
       auto identity = [](const Tuple& t) -> Result<Tuple> { return t; };
       project->set_label("Project");
+      if (plan.est.valid) {
+        // The inner projection (before the rename wrapper) passes rows
+        // through unchanged.
+        project->set_estimate({true, plan.est.rows, 0.0});
+      }
       plan.stream = std::make_unique<MapStream>(std::move(project), target,
                                                 identity);
     } else {
@@ -1367,12 +1669,15 @@ Result<SubPlan> PlanBuilder::Finalize(SubPlan plan) {
     }
     plan.explain = "Project [" + Join(names, ", ") + "]\n" +
                    Indent(plan.explain);
+    if (plan.est.valid) SetEst(&plan, plan.est.rows, 0.0);
     StampLabel(&plan);
     plan.var_offsets.clear();
   }
   if (query_.distinct) {
     plan.stream = std::make_unique<DedupStream>(std::move(plan.stream));
     plan.explain = "Dedup\n" + Indent(plan.explain);
+    // Dedup buffers the distinct set; assume most rows are distinct.
+    if (plan.est.valid) SetEst(&plan, plan.est.rows, plan.est.rows);
     StampLabel(&plan);
   }
   if (!query_.order_by.empty()) {
@@ -1412,6 +1717,7 @@ Result<SubPlan> PlanBuilder::Finalize(SubPlan plan) {
                                                SortSpec(std::move(keys)));
     plan.explain =
         "OrderBy [" + Join(displays, ", ") + "]\n" + Indent(plan.explain);
+    if (plan.est.valid) SetEst(&plan, plan.est.rows, plan.est.rows);
     StampLabel(&plan);
   }
   return plan;
@@ -1424,6 +1730,7 @@ Result<PlannedQuery> PlanBuilder::Build() {
 
   PlannedQuery out;
   out.into = query_.into;
+  out.optimizer_mode = OptimizerModeName(optimizer_.mode());
 
   if (analysis_.contradiction) {
     // Empty result with the correct schema: take the cascade's schema
@@ -1493,6 +1800,7 @@ Result<PlannedQuery> PlanBuilder::Build() {
   if (!notes_.empty()) header += "-- " + notes_;
   out.explain = header + plan.explain;
   out.analysis = std::move(analysis_);
+  out.rationale = rationale_;
   return out;
 }
 
@@ -1517,7 +1825,7 @@ std::string PlannedQuery::TraceJson() const {
 
 Result<PlannedQuery> Planner::Plan(const ConjunctiveQuery& query,
                                    const PlannerOptions& options) const {
-  PlanBuilder builder(catalog_, integrity_, query, options);
+  PlanBuilder builder(catalog_, integrity_, stats_, query, options);
   TEMPUS_ASSIGN_OR_RETURN(PlannedQuery planned, builder.Build());
   const bool analyze =
       options.analyze || query.explain_mode == ExplainMode::kAnalyze;

@@ -2,13 +2,17 @@
 #define TEMPUS_PLAN_PLANNER_H_
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "obs/trace.h"
+#include "opt/optimizer.h"
 #include "relation/catalog.h"
 #include "plan/query.h"
 #include "semantic/analyzer.h"
 #include "semantic/integrity.h"
+#include "stats/stats_catalog.h"
 #include "stream/stream.h"
 
 namespace tempus {
@@ -60,6 +64,10 @@ struct PlannerOptions {
   /// whole pipeline with Status::Cancelled (docs/SERVER.md). Not owned;
   /// must outlive the planned query.
   CancellationToken* cancel = nullptr;
+  /// Optimizer mode override; unset resolves the TEMPUS_OPTIMIZER
+  /// environment variable (docs/OPTIMIZER.md). The ablation bench pins
+  /// both modes in-process through this field.
+  std::optional<OptimizerMode> optimizer;
 };
 
 /// An executable plan: a stream-processor network plus diagnostics.
@@ -68,6 +76,12 @@ struct PlannedQuery {
   std::string explain;
   SemanticAnalysis analysis;
   std::string into;
+  /// Mode the plan was produced under ("cost-based" / "heuristic").
+  std::string optimizer_mode;
+  /// The optimizer's "cost model: ..." decision notes, one per choice it
+  /// made (also embedded in `explain`); the server surfaces these in its
+  /// stats JSON.
+  std::vector<std::string> rationale;
   /// Present iff planned with options.analyze; filled in by Execute().
   std::unique_ptr<TraceCollector> trace;
 
@@ -94,9 +108,11 @@ struct PlannedQuery {
 ///   - general fallback: left-deep hash/nested-loop cascade
 class Planner {
  public:
-  /// Neither pointer is owned; `integrity` may be null.
-  Planner(const Catalog* catalog, const IntegrityCatalog* integrity)
-      : catalog_(catalog), integrity_(integrity) {}
+  /// No pointer is owned; `integrity` and `stats` may be null (a null
+  /// `stats` plans from coarse per-relation scalars only).
+  Planner(const Catalog* catalog, const IntegrityCatalog* integrity,
+          const StatsCatalog* stats = nullptr)
+      : catalog_(catalog), integrity_(integrity), stats_(stats) {}
 
   Result<PlannedQuery> Plan(const ConjunctiveQuery& query,
                             const PlannerOptions& options = {}) const;
@@ -104,6 +120,7 @@ class Planner {
  private:
   const Catalog* catalog_;
   const IntegrityCatalog* integrity_;
+  const StatsCatalog* stats_;
 };
 
 }  // namespace tempus

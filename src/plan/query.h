@@ -101,6 +101,10 @@ enum class ExplainMode {
 /// temporal atoms, and a target list.
 struct ConjunctiveQuery {
   ExplainMode explain_mode = ExplainMode::kNone;
+  /// Non-empty for the "analyze <relation>" statement: refresh the named
+  /// relation's interval statistics (docs/OPTIMIZER.md) instead of
+  /// retrieving. All other fields are unused for such a statement.
+  std::string analyze_target;
   std::vector<RangeVarDecl> range_vars;
   /// Empty = every attribute of every range variable.
   std::vector<OutputItem> outputs;

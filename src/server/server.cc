@@ -310,6 +310,12 @@ Status TqlServer::HandleQuery(Session* session, const wire::Frame& frame) {
                 wire::EncodeError(run.status()));
   }
 
+  if (run->optimizer_mode == "cost-based") {
+    counters_.plans_cost_based.fetch_add(1);
+  } else if (!run->optimizer_mode.empty()) {
+    counters_.plans_heuristic.fetch_add(1);
+  }
+
   // Account the plan's work — cancelled queries included, which is
   // exactly when the ledger identity proves no workspace went missing.
   if (!LedgerHolds(run->metrics)) {
@@ -351,6 +357,15 @@ Status TqlServer::HandleQuery(Session* session, const wire::Frame& frame) {
   }
   std::string report = "{\"metrics\":" + MetricsToJson(run->metrics) +
                        ",\"plan\":" + run->plan_json;
+  if (!run->optimizer_mode.empty()) {
+    report += ",\"optimizer\":{\"mode\":\"" + JsonEscape(run->optimizer_mode) +
+              "\",\"rationale\":[";
+    for (size_t i = 0; i < run->rationale.size(); ++i) {
+      if (i > 0) report += ",";
+      report += "\"" + JsonEscape(run->rationale[i]) + "\"";
+    }
+    report += "]}";
+  }
   if (!run->analyze_report.empty()) {
     report += ",\"analyze\":\"" + JsonEscape(run->analyze_report) + "\"";
   }
@@ -397,12 +412,14 @@ std::string TqlServer::StatsJson() const {
       "\"active_sessions\":%zu,\"queries_accepted\":%llu,"
       "\"queries_rejected\":%llu,\"queries_completed\":%llu,"
       "\"queries_cancelled\":%llu,\"queries_failed\":%llu,"
+      "\"plans_cost_based\":%llu,\"plans_heuristic\":%llu,"
       "\"active_queries\":%zu,\"queued_queries\":%zu,\"bytes_out\":%llu,"
       "\"ledger_violations\":%llu}",
       count(counters_.sessions_opened), count(counters_.sessions_rejected),
       active_sessions(), count(counters_.queries_accepted),
       count(counters_.queries_rejected), count(counters_.queries_completed),
       count(counters_.queries_cancelled), count(counters_.queries_failed),
+      count(counters_.plans_cost_based), count(counters_.plans_heuristic),
       admission_.active(), admission_.queued(), count(counters_.bytes_out),
       count(counters_.ledger_violations));
   {

@@ -55,6 +55,11 @@ struct ServerCounters {
   std::atomic<uint64_t> queries_completed{0};
   std::atomic<uint64_t> queries_cancelled{0};
   std::atomic<uint64_t> queries_failed{0};
+  /// Queries planned by each optimizer mode (docs/OPTIMIZER.md); together
+  /// they count every planned query, so the split shows whether clients
+  /// are running with TEMPUS_OPTIMIZER=off.
+  std::atomic<uint64_t> plans_cost_based{0};
+  std::atomic<uint64_t> plans_heuristic{0};
   std::atomic<uint64_t> bytes_out{0};
   /// Cancelled/failed plans whose rolled-up metrics violated the GC
   /// ledger identity workspace_inserted == gc_discarded +

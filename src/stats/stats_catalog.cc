@@ -1,0 +1,54 @@
+#include "stats/stats_catalog.h"
+
+#include <mutex>
+#include <utility>
+
+namespace tempus {
+
+void StatsCatalog::Put(const std::string& name, IntervalStats stats) {
+  auto entry = std::make_shared<const IntervalStats>(std::move(stats));
+  std::unique_lock lock(*mu_);
+  stats_[name] = std::move(entry);
+}
+
+std::shared_ptr<const IntervalStats> StatsCatalog::Lookup(
+    const std::string& name) const {
+  std::shared_lock lock(*mu_);
+  auto it = stats_.find(name);
+  return it == stats_.end() ? nullptr : it->second;
+}
+
+void StatsCatalog::Drop(const std::string& name) {
+  std::unique_lock lock(*mu_);
+  stats_.erase(name);
+}
+
+StatsCatalog::Freshness StatsCatalog::CheckFreshness(
+    const std::string& name, uint64_t current_tuple_count) const {
+  std::shared_ptr<const IntervalStats> stats = Lookup(name);
+  if (stats == nullptr) return Freshness::kMissing;
+  return stats->tuple_count == current_tuple_count ? Freshness::kFresh
+                                                   : Freshness::kStale;
+}
+
+std::vector<std::string> StatsCatalog::Names() const {
+  std::shared_lock lock(*mu_);
+  std::vector<std::string> names;
+  names.reserve(stats_.size());
+  for (const auto& [name, unused] : stats_) names.push_back(name);
+  return names;
+}
+
+const char* StatsCatalog::FreshnessLabel(Freshness f) {
+  switch (f) {
+    case Freshness::kMissing:
+      return "none";
+    case Freshness::kFresh:
+      return "fresh";
+    case Freshness::kStale:
+      return "stale";
+  }
+  return "?";
+}
+
+}  // namespace tempus

@@ -1,0 +1,61 @@
+#ifndef TEMPUS_STATS_STATS_CATALOG_H_
+#define TEMPUS_STATS_STATS_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "stats/interval_stats.h"
+
+namespace tempus {
+
+/// Thread-safe store of per-relation interval statistics, kept beside the
+/// relation catalog and refreshed by the `analyze <relation>` TQL
+/// statement. Lookups return shared_ptr snapshots so planning never
+/// observes a half-replaced entry; staleness is tracked against the tuple
+/// count recorded at analyze time.
+class StatsCatalog {
+ public:
+  StatsCatalog() = default;
+  // Movable (the mutex lives behind a pointer) so owners like Engine stay
+  // movable; moving while readers are active is a caller bug, as with
+  // Catalog.
+  StatsCatalog(StatsCatalog&&) = default;
+  StatsCatalog& operator=(StatsCatalog&&) = default;
+
+  enum class Freshness {
+    kMissing,  ///< Never analyzed.
+    kFresh,    ///< Analyzed at the relation's current tuple count.
+    kStale,    ///< Relation has changed size since the last analyze.
+  };
+
+  /// Stores (or replaces) the statistics for `name`.
+  void Put(const std::string& name, IntervalStats stats);
+
+  /// Statistics for `name`, or nullptr when never analyzed.
+  std::shared_ptr<const IntervalStats> Lookup(const std::string& name) const;
+
+  /// Forgets `name` (called when the relation is dropped).
+  void Drop(const std::string& name);
+
+  /// Freshness of `name`'s statistics against the relation's current
+  /// tuple count.
+  Freshness CheckFreshness(const std::string& name,
+                           uint64_t current_tuple_count) const;
+
+  /// Names with stored statistics, sorted.
+  std::vector<std::string> Names() const;
+
+  static const char* FreshnessLabel(Freshness f);
+
+ private:
+  mutable std::unique_ptr<std::shared_mutex> mu_ =
+      std::make_unique<std::shared_mutex>();
+  std::map<std::string, std::shared_ptr<const IntervalStats>> stats_;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_STATS_STATS_CATALOG_H_

@@ -18,6 +18,16 @@
 
 namespace tempus {
 
+/// Planner cost estimate stamped onto a plan node (docs/OPTIMIZER.md):
+/// expected output cardinality and peak workspace tuples. EXPLAIN renders
+/// it as "est=(rows=N ws=M)"; EXPLAIN ANALYZE prints it beside the
+/// measured counters so estimation error is visible per operator.
+struct PlanEstimate {
+  bool valid = false;
+  double rows = 0.0;
+  double workspace = 0.0;
+};
+
 /// A stream is "an ordered sequence of data objects" (Section 4.1). All
 /// operators in the library — scans, sorts, and the temporal joins — are
 /// pull-based TupleStreams, so networks of stream processors compose by
@@ -92,6 +102,11 @@ class TupleStream {
   const std::string& label() const { return label_; }
   void set_label(std::string label) { label_ = std::move(label); }
 
+  /// Cost estimate stamped by the planner; invalid for hand-built
+  /// operator trees (est annotations are then simply omitted).
+  const PlanEstimate& estimate() const { return estimate_; }
+  void set_estimate(const PlanEstimate& estimate) { estimate_ = estimate; }
+
   /// Attaches `collector` to this operator and (recursively) its children,
   /// registering one span per node. Passing nullptr detaches. The caller
   /// must own the tree; span updates are not synchronized, so only the
@@ -141,6 +156,7 @@ class TupleStream {
   void EnableTracingInternal(TraceCollector* collector, int parent);
 
   std::string label_;
+  PlanEstimate estimate_;
   TraceCollector* trace_ = nullptr;
   CancellationToken* cancel_ = nullptr;
   int span_id_ = -1;

@@ -187,6 +187,18 @@ Status Parser::ParseWhere(ConjunctiveQuery* query) {
 
 Result<ConjunctiveQuery> Parser::Parse() {
   ConjunctiveQuery query;
+  // "analyze <relation>": a statement of its own (queries always start
+  // with "range" or "explain", so the keyword is unambiguous here).
+  if (PeekKeyword("analyze")) {
+    Take();
+    TEMPUS_ASSIGN_OR_RETURN(Token rel,
+                            Expect(TokenKind::kIdent, "relation name"));
+    query.analyze_target = rel.text;
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input after 'analyze <relation>'");
+    }
+    return query;
+  }
   if (ConsumeKeyword("explain")) {
     query.explain_mode = ConsumeKeyword("analyze") ? ExplainMode::kAnalyze
                                                    : ExplainMode::kPlan;

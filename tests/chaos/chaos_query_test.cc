@@ -403,6 +403,39 @@ TEST_F(ChaosQueryTest, EngineRunQueryCarriesInjectedFailureInStatus) {
   testing::ExpectSameTuples(retry->result, clean->result);
 }
 
+TEST_F(ChaosQueryTest, AnalyzeFaultFailsCleanlyAndRetries) {
+  Engine engine;
+  TEMPUS_ASSERT_OK(engine.mutable_catalog()->Register(MakeIntervals(
+      "R", {{0, 10}, {2, 5}, {3, 4}, {6, 9}, {7, 8}, {11, 12}})));
+
+  FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.message = "stats scan died";
+  FaultInjector::Global().Arm("stats.build", spec);
+
+  // The analyze statement fails with the injected status and leaves no
+  // partial statistics behind.
+  const Result<TemporalRelation> failed = engine.Run("analyze R");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(engine.stats().Lookup("R"), nullptr);
+  EXPECT_EQ(engine.stats().CheckFreshness("R", 6),
+            StatsCatalog::Freshness::kMissing);
+
+  // Queries still plan and run from coarse statistics meanwhile.
+  const Result<TemporalRelation> query = engine.Run(
+      "range of a is R range of b is R retrieve (a.S) where a during b");
+  TEMPUS_ASSERT_OK(query.status());
+
+  // After the fault clears, the retry succeeds and stats turn fresh.
+  FaultInjector::Global().Reset();
+  TEMPUS_ASSERT_OK(engine.Run("analyze R").status());
+  ASSERT_NE(engine.stats().Lookup("R"), nullptr);
+  EXPECT_TRUE(engine.stats().Lookup("R")->detailed);
+  EXPECT_EQ(engine.stats().CheckFreshness("R", 6),
+            StatsCatalog::Freshness::kFresh);
+}
+
 TEST_F(ChaosQueryTest, EveryPipelineFaultPointIsReachable) {
   // Arm a sentinel that never fires: hit accounting turns on for every
   // point the drivers below reach, proving the registry is live code, not
@@ -420,6 +453,8 @@ TEST_F(ChaosQueryTest, EveryPipelineFaultPointIsReachable) {
   Result<TemporalRelation> out = engine.Run(
       "range of a is R range of b is R retrieve (a.S) where a during b");
   TEMPUS_ASSERT_OK(out.status());
+  // stats.build via the analyze statement.
+  TEMPUS_ASSERT_OK(engine.Run("analyze R").status());
   TEMPUS_ASSERT_OK(engine.DropRelation("R"));
 
   // storage.page_read via a paged scan.
@@ -467,7 +502,7 @@ TEST_F(ChaosQueryTest, EveryPipelineFaultPointIsReachable) {
        {"stream.open", "stream.next", "storage.page_read",
         "storage.sort_spill", "storage.sort_merge", "catalog.register",
         "catalog.drop", "buffer.page_write", "buffer.page_read",
-        "buffer.evict"}) {
+        "buffer.evict", "stats.build"}) {
     EXPECT_TRUE(seen_set.count(point)) << "never reached: " << point;
   }
 }

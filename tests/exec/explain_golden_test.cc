@@ -80,6 +80,10 @@ class ExplainGoldenTest : public ::testing::Test {
     // "[batch=N]" annotation resolved from TEMPUS_BATCH_SIZE, and the
     // goldens are recorded at the default of 1024.
     setenv("TEMPUS_BATCH_SIZE", "1024", 1);
+    // Pin the optimizer mode: est=(rows ws) annotations and order choices
+    // differ between modes, and the goldens are recorded at the
+    // cost-based default.
+    setenv("TEMPUS_OPTIMIZER", "on", 1);
     // Same deterministic workload as the Section 5 integration tests:
     // continuous complete careers make the Superstar transformation legal.
     FacultyWorkloadConfig config;

@@ -127,6 +127,8 @@ TEST_F(ServerTest, RoundTripMatchesLocalExecution) {
     EXPECT_FALSE(response->schema.empty());
     EXPECT_NE(response->metrics_json.find("\"metrics\""), std::string::npos);
     EXPECT_NE(response->metrics_json.find("\"plan\""), std::string::npos);
+    EXPECT_NE(response->metrics_json.find("\"optimizer\":{\"mode\":"),
+              std::string::npos);
     // The CSV parses back into a relation with the same cardinality.
     Result<TemporalRelation> parsed = response->ToRelation();
     ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
@@ -218,6 +220,10 @@ TEST_F(ServerTest, ConcurrentSessionsMatchSequentialByteForByte) {
   EXPECT_EQ(server_->counters().queries_completed.load(),
             kClients * kQueriesPerClient);
   EXPECT_EQ(server_->counters().ledger_violations.load(), 0u);
+  // Every planned query is attributed to exactly one optimizer mode.
+  EXPECT_EQ(server_->counters().plans_cost_based.load() +
+                server_->counters().plans_heuristic.load(),
+            kClients * kQueriesPerClient);
 
   // Stats endpoint reflects the finished work.
   TqlClient stats_client = MustConnect();
