@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "semantic/coalesce.h"
 #include "stream/aggregate.h"
 #include "stream/basic_ops.h"
 #include "stream/temporal_ops.h"
@@ -50,12 +51,17 @@ int main() {
       return Fail(s, "append");
     }
   }
-  // Coalescing requires (group attrs, ValidFrom) order; the rows above
-  // already arrive per person/role in start order.
+  // Coalescing requires CoalesceSortSpec order (all value attributes,
+  // then ValidFrom^, then ValidTo^); event-sourced rows arrive in payroll
+  // order, so sort first.
+  Result<SortSpec> coalesce_order = CoalesceSortSpec(staffing.schema());
+  if (!coalesce_order.ok()) return Fail(coalesce_order.status(), "sort spec");
+  const TemporalRelation sorted_staffing =
+      staffing.SortedBy(*coalesce_order);
 
   // 1. Normalize: maximal periods per (person, role).
   Result<std::unique_ptr<CoalesceStream>> coalesce =
-      CoalesceStream::Create(VectorStream::Scan(staffing));
+      CoalesceStream::Create(VectorStream::Scan(sorted_staffing));
   if (!coalesce.ok()) return Fail(coalesce.status(), "coalesce");
   Result<TemporalRelation> history =
       Materialize(coalesce->get(), "History");

@@ -138,7 +138,9 @@ int Sweep(const DifferentialCase& base, const std::vector<size_t>& batches,
         }
         // No-GC mode is order-free; the arrangement is the input order.
         // The degenerate operators have no batch conversion, so the batch
-        // axis does not apply here.
+        // axis does not apply here. The sequenced operators have no no-GC
+        // twin at all (see HasNoGcMode).
+        if (!HasNoGcMode(op)) continue;
         DifferentialCase c = base;
         c.op = op;
         c.mode = tempus::testing::ExecMode::kNoGc;

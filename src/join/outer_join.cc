@@ -1,0 +1,294 @@
+#include "join/outer_join.h"
+
+#include <algorithm>
+
+namespace tempus {
+
+std::string_view OuterJoinModeName(OuterJoinMode mode) {
+  switch (mode) {
+    case OuterJoinMode::kInner:
+      return "inner";
+    case OuterJoinMode::kLeft:
+      return "left";
+    case OuterJoinMode::kRight:
+      return "right";
+    case OuterJoinMode::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+TemporalOuterJoin::TemporalOuterJoin(std::unique_ptr<TupleStream> left,
+                                     std::unique_ptr<TupleStream> right,
+                                     OuterJoinOptions options, Schema schema,
+                                     LifespanRef left_ref,
+                                     LifespanRef right_ref)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      options_(std::move(options)),
+      schema_(std::move(schema)),
+      left_ref_(left_ref),
+      right_ref_(right_ref) {
+  track_left_ = options_.mode == OuterJoinMode::kLeft ||
+                options_.mode == OuterJoinMode::kFull;
+  track_right_ = options_.mode == OuterJoinMode::kRight ||
+                 options_.mode == OuterJoinMode::kFull;
+  left_width_ = left_->schema().attribute_count();
+  right_width_ = right_->schema().attribute_count();
+  if (options_.verify_input_order) {
+    left_validator_ = std::make_unique<OrderValidator>(
+        left_ref_, kByValidFromAsc, "outer join left input");
+    right_validator_ = std::make_unique<OrderValidator>(
+        right_ref_, kByValidFromAsc, "outer join right input");
+  }
+}
+
+Result<std::unique_ptr<TemporalOuterJoin>> TemporalOuterJoin::Create(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    OuterJoinOptions options) {
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef left_ref,
+                          LifespanRef::ForSchema(left->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef right_ref,
+                          LifespanRef::ForSchema(right->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(
+      Schema schema,
+      MakeJoinOutputSchema(left->schema(), right->schema(), options.naming));
+  if (!schema.has_lifespan()) {
+    return Status::FailedPrecondition(
+        "outer join output has no designated lifespan to stamp");
+  }
+  return std::unique_ptr<TemporalOuterJoin>(new TemporalOuterJoin(
+      std::move(left), std::move(right), std::move(options),
+      std::move(schema), left_ref, right_ref));
+}
+
+Status TemporalOuterJoin::OpenImpl() {
+  TEMPUS_RETURN_IF_ERROR(left_->Open());
+  TEMPUS_RETURN_IF_ERROR(right_->Open());
+  ++metrics_.passes_left;
+  ++metrics_.passes_right;
+  left_state_.clear();
+  right_state_.clear();
+  pending_.clear();
+  metrics_.ResetWorkspace();
+  left_has_peek_ = right_has_peek_ = false;
+  left_done_ = right_done_ = false;
+  probing_ = false;
+  if (left_validator_) left_validator_->Reset();
+  if (right_validator_) right_validator_->Reset();
+  return Status::Ok();
+}
+
+Result<bool> TemporalOuterJoin::FillPeek(bool left_side) {
+  TupleStream* stream = left_side ? left_.get() : right_.get();
+  Tuple* peek = left_side ? &left_peek_ : &right_peek_;
+  TEMPUS_ASSIGN_OR_RETURN(bool has, stream->Next(peek));
+  if (!has) {
+    (left_side ? left_done_ : right_done_) = true;
+    return false;
+  }
+  OrderValidator* validator =
+      left_side ? left_validator_.get() : right_validator_.get();
+  if (validator != nullptr) {
+    TEMPUS_RETURN_IF_ERROR(validator->Check(*peek));
+  }
+  const LifespanRef& ref = left_side ? left_ref_ : right_ref_;
+  if (left_side) {
+    left_peek_span_ = ref.Of(*peek);
+    left_has_peek_ = true;
+    ++metrics_.tuples_read_left;
+  } else {
+    right_peek_span_ = ref.Of(*peek);
+    right_has_peek_ = true;
+    ++metrics_.tuples_read_right;
+  }
+  return true;
+}
+
+Tuple TemporalOuterJoin::MakeInnerRow(const Tuple& x, const Tuple& y,
+                                      Interval span) const {
+  Tuple row = Tuple::Concat(x, y);
+  row.Set(schema_.valid_from_index(), Value::Time(span.start));
+  row.Set(schema_.valid_to_index(), Value::Time(span.end));
+  return row;
+}
+
+Tuple TemporalOuterJoin::MakeGapRow(const Tuple& t, Interval gap,
+                                    bool left_side) const {
+  std::vector<Value> values(left_width_ + right_width_);
+  if (left_side) {
+    for (size_t i = 0; i < left_width_; ++i) values[i] = t.at(i);
+  } else {
+    for (size_t i = 0; i < right_width_; ++i) values[left_width_ + i] = t.at(i);
+  }
+  Tuple row{std::move(values)};
+  // Every non-null lifespan column of a gap row carries the gap itself:
+  // the designated (left-position) lifespan always does, so gap rows stay
+  // appendable to a temporal relation even when the whole left side is
+  // otherwise null, and a right-side gap row's own lifespan columns are
+  // clipped to the gap (the sub-interval this row actually asserts).
+  if (!left_side) {
+    row.Set(left_width_ + right_ref_.valid_from_index,
+            Value::Time(gap.start));
+    row.Set(left_width_ + right_ref_.valid_to_index, Value::Time(gap.end));
+  }
+  row.Set(schema_.valid_from_index(), Value::Time(gap.start));
+  row.Set(schema_.valid_to_index(), Value::Time(gap.end));
+  return row;
+}
+
+void TemporalOuterJoin::PushPending(Tuple row) {
+  pending_.push_back(std::move(row));
+  metrics_.AddWorkspace();
+}
+
+void TemporalOuterJoin::RetireEntry(const StateEntry& entry, bool left_side) {
+  const bool tracked = left_side ? track_left_ : track_right_;
+  if (tracked && entry.covered_to < entry.span.end) {
+    PushPending(MakeGapRow(entry.tuple,
+                           Interval(entry.covered_to, entry.span.end),
+                           left_side));
+  }
+}
+
+void TemporalOuterJoin::CollectGarbage() {
+  ++metrics_.gc_checks;
+  auto sweep = [this](std::vector<StateEntry>* state, bool left_side,
+                      TimePoint bound, bool whole) {
+    size_t kept = 0;
+    for (size_t i = 0; i < state->size(); ++i) {
+      StateEntry& e = (*state)[i];
+      if (!whole && e.span.end > bound) {
+        if (kept != i) (*state)[kept] = std::move(e);
+        ++kept;
+        continue;
+      }
+      RetireEntry(e, left_side);
+    }
+    metrics_.SubWorkspace(state->size() - kept);
+    state->resize(kept);
+  };
+
+  // A left state tuple can still match (or extend its coverage) only while
+  // future right tuples may intersect it; once the next right start is at
+  // or past its end, its uncovered suffix is final.
+  if (right_done_ && !right_has_peek_) {
+    sweep(&left_state_, /*left_side=*/true, 0, /*whole=*/true);
+  } else if (right_has_peek_) {
+    sweep(&left_state_, /*left_side=*/true, right_peek_span_.start,
+          /*whole=*/false);
+  }
+  if (left_done_ && !left_has_peek_) {
+    sweep(&right_state_, /*left_side=*/false, 0, /*whole=*/true);
+  } else if (left_has_peek_) {
+    sweep(&right_state_, /*left_side=*/false, left_peek_span_.start,
+          /*whole=*/false);
+  }
+}
+
+Result<bool> TemporalOuterJoin::Advance() {
+  if (!left_has_peek_ && !left_done_) {
+    TEMPUS_ASSIGN_OR_RETURN(bool filled, FillPeek(/*left_side=*/true));
+    (void)filled;
+  }
+  if (!right_has_peek_ && !right_done_) {
+    TEMPUS_ASSIGN_OR_RETURN(bool filled, FillPeek(/*left_side=*/false));
+    (void)filled;
+  }
+  CollectGarbage();
+  if (!left_has_peek_ && !right_has_peek_) return false;
+  // With one input exhausted and its state flushed, the survivor only
+  // matters if its rows still pad gaps (tracked side) or can match the
+  // remaining state (cleared above when the opposite side finished).
+  if (!left_has_peek_ && left_state_.empty() && !track_right_) return false;
+  if (!right_has_peek_ && right_state_.empty() && !track_left_) return false;
+
+  bool use_left;
+  if (!left_has_peek_) {
+    use_left = false;
+  } else if (!right_has_peek_) {
+    use_left = true;
+  } else {
+    use_left = left_peek_span_.start <= right_peek_span_.start;
+  }
+
+  if (use_left) {
+    probe_ = std::move(left_peek_);
+    probe_span_ = left_peek_span_;
+    left_has_peek_ = false;
+  } else {
+    probe_ = std::move(right_peek_);
+    probe_span_ = right_peek_span_;
+    right_has_peek_ = false;
+  }
+  probe_is_left_ = use_left;
+  probe_covered_ = probe_span_.start;
+  probe_pos_ = 0;
+  probing_ = true;
+  return true;
+}
+
+Result<bool> TemporalOuterJoin::NextImpl(Tuple* out) {
+  while (true) {
+    if (!pending_.empty()) {
+      *out = std::move(pending_.front());
+      pending_.pop_front();
+      metrics_.SubWorkspace();
+      ++metrics_.tuples_emitted;
+      return true;
+    }
+    if (probing_) {
+      std::vector<StateEntry>& targets =
+          probe_is_left_ ? right_state_ : left_state_;
+      if (probe_pos_ < targets.size()) {
+        StateEntry& other = targets[probe_pos_++];
+        ++metrics_.comparisons;
+        // GC guarantees every surviving state tuple intersects the probe
+        // (state starts <= probe start < state ends), but recompute
+        // defensively: a non-intersecting survivor must not emit.
+        const Interval inter(
+            std::max(probe_span_.start, other.span.start),
+            std::min(probe_span_.end, other.span.end));
+        if (!inter.IsValid()) continue;
+        probe_covered_ = std::max(probe_covered_, inter.end);
+        const bool other_tracked =
+            probe_is_left_ ? track_right_ : track_left_;
+        if (other_tracked && inter.start > other.covered_to) {
+          // Future intersections start no earlier, so this uncovered
+          // prefix of the state tuple is final.
+          PushPending(MakeGapRow(other.tuple,
+                                 Interval(other.covered_to, inter.start),
+                                 /*left_side=*/!probe_is_left_));
+        }
+        if (other_tracked) {
+          other.covered_to = std::max(other.covered_to, inter.end);
+        }
+        *out = probe_is_left_ ? MakeInnerRow(probe_, other.tuple, inter)
+                              : MakeInnerRow(other.tuple, probe_, inter);
+        ++metrics_.tuples_emitted;
+        return true;
+      }
+      const bool opposite_finished = probe_is_left_
+                                         ? (right_done_ && !right_has_peek_)
+                                         : (left_done_ && !left_has_peek_);
+      if (!opposite_finished) {
+        (probe_is_left_ ? left_state_ : right_state_)
+            .push_back({std::move(probe_), probe_span_, probe_covered_});
+        metrics_.AddWorkspace();
+      } else {
+        const bool tracked = probe_is_left_ ? track_left_ : track_right_;
+        if (tracked && probe_covered_ < probe_span_.end) {
+          PushPending(MakeGapRow(probe_,
+                                 Interval(probe_covered_, probe_span_.end),
+                                 probe_is_left_));
+        }
+      }
+      probing_ = false;
+      continue;
+    }
+    TEMPUS_ASSIGN_OR_RETURN(bool more, Advance());
+    if (!more && pending_.empty()) return false;
+  }
+}
+
+}  // namespace tempus

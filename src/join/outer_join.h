@@ -1,0 +1,125 @@
+#ifndef TEMPUS_JOIN_OUTER_JOIN_H_
+#define TEMPUS_JOIN_OUTER_JOIN_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "join/join_common.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+/// Which sides of a sequenced temporal join pad unmatched sub-intervals
+/// with nulls. kInner emits only the matched (intersection-stamped) rows —
+/// the sequenced inner join the coalescing/PUG golden cases build on.
+enum class OuterJoinMode { kInner, kLeft, kRight, kFull };
+
+std::string_view OuterJoinModeName(OuterJoinMode mode);
+
+struct OuterJoinOptions {
+  OuterJoinMode mode = OuterJoinMode::kLeft;
+  bool verify_input_order = true;
+  JoinNaming naming;
+};
+
+/// Single-pass sequenced outer join over two ValidFrom^-ordered inputs.
+///
+/// For every pair (x, y) with intersecting lifespans the operator emits
+/// x ++ y with the output's designated lifespan (the left positions, per
+/// Schema::Concat) overwritten by the intersection x∩y — the sequenced
+/// inner-join rows. In kLeft/kFull mode each x additionally emits one row
+/// per maximal sub-interval of x's lifespan covered by NO y, with every
+/// right attribute null; kRight/kFull does the symmetric thing for y (the
+/// left attributes are null except the designated lifespan pair, which
+/// carries the gap so downstream operators still see a valid lifespan).
+///
+/// The sweep is the Table 2 characterization (a) of the Overlap-join with
+/// one extra scalar per state tuple: a coverage watermark `covered_to`.
+/// Because both inputs arrive ValidFrom-ascending, the intersections that
+/// reach a state tuple have non-decreasing start points, so any time a
+/// match starts past the watermark the uncovered prefix is final and the
+/// gap row can be emitted immediately; the suffix [covered_to, end) is
+/// flushed when the tuple is garbage-collected. Gap rows ready before the
+/// consumer asks for them wait in a pending queue that is charged to the
+/// workspace, giving the documented bound of 2*(mc_x + mc_y + 2) state
+/// tuples (states plus in-flight gap rows) and preserving the GC-ledger
+/// identity workspace_inserted == gc_discarded + workspace_tuples.
+class TemporalOuterJoin : public TupleStream {
+ public:
+  /// Both inputs must be ordered ValidFrom^ (the gap-finality argument
+  /// needs ascending starts; mirrored frames would emit mirrored gaps).
+  static Result<std::unique_ptr<TemporalOuterJoin>> Create(
+      std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+      OuterJoinOptions options = {});
+
+  const Schema& schema() const override { return schema_; }
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  struct StateEntry {
+    Tuple tuple;
+    Interval span;
+    /// Last time point of this tuple's lifespan known to be matched; the
+    /// prefix [span.start, covered_to) is fully covered by emitted rows.
+    TimePoint covered_to;
+  };
+
+  TemporalOuterJoin(std::unique_ptr<TupleStream> left,
+                    std::unique_ptr<TupleStream> right,
+                    OuterJoinOptions options, Schema schema,
+                    LifespanRef left_ref, LifespanRef right_ref);
+
+  Result<bool> FillPeek(bool left_side);
+  void CollectGarbage();
+  Result<bool> Advance();
+  /// Builds an inner row: x ++ y with the designated lifespan set to `span`.
+  Tuple MakeInnerRow(const Tuple& x, const Tuple& y, Interval span) const;
+  /// Builds a null-padded gap row for one side's tuple over `gap`.
+  Tuple MakeGapRow(const Tuple& t, Interval gap, bool left_side) const;
+  /// Queues a finished gap row (charged to the workspace until popped).
+  void PushPending(Tuple row);
+  /// Flushes the uncovered suffix of a dying state tuple, if tracked.
+  void RetireEntry(const StateEntry& entry, bool left_side);
+
+  std::unique_ptr<TupleStream> left_;
+  std::unique_ptr<TupleStream> right_;
+  OuterJoinOptions options_;
+  bool track_left_ = false;
+  bool track_right_ = false;
+  Schema schema_;
+  LifespanRef left_ref_;
+  LifespanRef right_ref_;
+  size_t left_width_ = 0;
+  size_t right_width_ = 0;
+  std::unique_ptr<OrderValidator> left_validator_;
+  std::unique_ptr<OrderValidator> right_validator_;
+
+  std::vector<StateEntry> left_state_;
+  std::vector<StateEntry> right_state_;
+  std::deque<Tuple> pending_;
+
+  Tuple left_peek_;
+  Interval left_peek_span_;
+  bool left_has_peek_ = false;
+  bool left_done_ = false;
+  Tuple right_peek_;
+  Interval right_peek_span_;
+  bool right_has_peek_ = false;
+  bool right_done_ = false;
+
+  Tuple probe_;
+  Interval probe_span_;
+  TimePoint probe_covered_ = 0;
+  bool probe_is_left_ = false;
+  size_t probe_pos_ = 0;
+  bool probing_ = false;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_JOIN_OUTER_JOIN_H_

@@ -1,0 +1,256 @@
+#include "join/subtract.h"
+
+#include <algorithm>
+
+namespace tempus {
+
+std::string_view SubtractModeName(SubtractMode mode) {
+  switch (mode) {
+    case SubtractMode::kAll:
+      return "anti";
+    case SubtractMode::kValueEqual:
+      return "except";
+  }
+  return "?";
+}
+
+TemporalSubtractStream::TemporalSubtractStream(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    SubtractOptions options, LifespanRef left_ref, LifespanRef right_ref)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      options_(options),
+      left_ref_(left_ref),
+      right_ref_(right_ref) {
+  if (options_.verify_input_order) {
+    left_validator_ = std::make_unique<OrderValidator>(
+        left_ref_, kByValidFromAsc, "subtract left input");
+    right_validator_ = std::make_unique<OrderValidator>(
+        right_ref_, kByValidFromAsc, "subtract right input");
+  }
+}
+
+Result<std::unique_ptr<TemporalSubtractStream>> TemporalSubtractStream::Create(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    SubtractOptions options) {
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef left_ref,
+                          LifespanRef::ForSchema(left->schema()));
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef right_ref,
+                          LifespanRef::ForSchema(right->schema()));
+  if (options.mode == SubtractMode::kValueEqual &&
+      !left->schema().Equals(right->schema())) {
+    return Status::FailedPrecondition(
+        "sequenced except requires equal schemas, got " +
+        left->schema().ToString() + " vs " + right->schema().ToString());
+  }
+  return std::unique_ptr<TemporalSubtractStream>(new TemporalSubtractStream(
+      std::move(left), std::move(right), options, left_ref, right_ref));
+}
+
+Status TemporalSubtractStream::OpenImpl() {
+  TEMPUS_RETURN_IF_ERROR(left_->Open());
+  TEMPUS_RETURN_IF_ERROR(right_->Open());
+  ++metrics_.passes_left;
+  ++metrics_.passes_right;
+  left_state_.clear();
+  right_state_.clear();
+  pending_.clear();
+  metrics_.ResetWorkspace();
+  left_has_peek_ = right_has_peek_ = false;
+  left_done_ = right_done_ = false;
+  probing_ = false;
+  if (left_validator_) left_validator_->Reset();
+  if (right_validator_) right_validator_->Reset();
+  return Status::Ok();
+}
+
+Result<bool> TemporalSubtractStream::FillPeek(bool left_side) {
+  TupleStream* stream = left_side ? left_.get() : right_.get();
+  Tuple* peek = left_side ? &left_peek_ : &right_peek_;
+  TEMPUS_ASSIGN_OR_RETURN(bool has, stream->Next(peek));
+  if (!has) {
+    (left_side ? left_done_ : right_done_) = true;
+    return false;
+  }
+  OrderValidator* validator =
+      left_side ? left_validator_.get() : right_validator_.get();
+  if (validator != nullptr) {
+    TEMPUS_RETURN_IF_ERROR(validator->Check(*peek));
+  }
+  const LifespanRef& ref = left_side ? left_ref_ : right_ref_;
+  if (left_side) {
+    left_peek_span_ = ref.Of(*peek);
+    left_has_peek_ = true;
+    ++metrics_.tuples_read_left;
+  } else {
+    right_peek_span_ = ref.Of(*peek);
+    right_has_peek_ = true;
+    ++metrics_.tuples_read_right;
+  }
+  return true;
+}
+
+bool TemporalSubtractStream::Matches(const Tuple& x, const Tuple& y) {
+  if (options_.mode == SubtractMode::kAll) return true;
+  const size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (i == left_ref_.valid_from_index || i == left_ref_.valid_to_index) {
+      continue;
+    }
+    ++metrics_.comparisons;
+    if (!x.at(i).Equals(y.at(i))) return false;
+  }
+  return true;
+}
+
+Tuple TemporalSubtractStream::MakeResidualRow(const Tuple& x,
+                                              Interval residual) const {
+  Tuple row = x;
+  row.Set(left_ref_.valid_from_index, Value::Time(residual.start));
+  row.Set(left_ref_.valid_to_index, Value::Time(residual.end));
+  return row;
+}
+
+void TemporalSubtractStream::PushPending(Tuple row) {
+  pending_.push_back(std::move(row));
+  metrics_.AddWorkspace();
+}
+
+void TemporalSubtractStream::RetireLeftEntry(const StateEntry& entry) {
+  if (entry.covered_to < entry.span.end) {
+    PushPending(MakeResidualRow(entry.tuple,
+                                Interval(entry.covered_to, entry.span.end)));
+  }
+}
+
+void TemporalSubtractStream::CollectGarbage() {
+  ++metrics_.gc_checks;
+  auto sweep = [this](std::vector<StateEntry>* state, bool left_side,
+                      TimePoint bound, bool whole) {
+    size_t kept = 0;
+    for (size_t i = 0; i < state->size(); ++i) {
+      StateEntry& e = (*state)[i];
+      if (!whole && e.span.end > bound) {
+        if (kept != i) (*state)[kept] = std::move(e);
+        ++kept;
+        continue;
+      }
+      if (left_side) RetireLeftEntry(e);
+    }
+    metrics_.SubWorkspace(state->size() - kept);
+    state->resize(kept);
+  };
+
+  if (right_done_ && !right_has_peek_) {
+    sweep(&left_state_, /*left_side=*/true, 0, /*whole=*/true);
+  } else if (right_has_peek_) {
+    sweep(&left_state_, /*left_side=*/true, right_peek_span_.start,
+          /*whole=*/false);
+  }
+  if (left_done_ && !left_has_peek_) {
+    sweep(&right_state_, /*left_side=*/false, 0, /*whole=*/true);
+  } else if (left_has_peek_) {
+    sweep(&right_state_, /*left_side=*/false, left_peek_span_.start,
+          /*whole=*/false);
+  }
+}
+
+Result<bool> TemporalSubtractStream::Advance() {
+  if (!left_has_peek_ && !left_done_) {
+    TEMPUS_ASSIGN_OR_RETURN(bool filled, FillPeek(/*left_side=*/true));
+    (void)filled;
+  }
+  if (!right_has_peek_ && !right_done_) {
+    TEMPUS_ASSIGN_OR_RETURN(bool filled, FillPeek(/*left_side=*/false));
+    (void)filled;
+  }
+  CollectGarbage();
+  if (!left_has_peek_ && !right_has_peek_) return false;
+  // With the left input exhausted and its state flushed, the remaining
+  // right tuples cannot influence the output. The converse does not hold:
+  // remaining left tuples still emit their uncovered residuals.
+  if (!left_has_peek_ && left_state_.empty()) return false;
+
+  bool use_left;
+  if (!left_has_peek_) {
+    use_left = false;
+  } else if (!right_has_peek_) {
+    use_left = true;
+  } else {
+    use_left = left_peek_span_.start <= right_peek_span_.start;
+  }
+
+  if (use_left) {
+    probe_ = std::move(left_peek_);
+    probe_span_ = left_peek_span_;
+    left_has_peek_ = false;
+  } else {
+    probe_ = std::move(right_peek_);
+    probe_span_ = right_peek_span_;
+    right_has_peek_ = false;
+  }
+  probe_is_left_ = use_left;
+  probe_covered_ = probe_span_.start;
+  probe_pos_ = 0;
+  probing_ = true;
+  return true;
+}
+
+Result<bool> TemporalSubtractStream::NextImpl(Tuple* out) {
+  while (true) {
+    if (!pending_.empty()) {
+      *out = std::move(pending_.front());
+      pending_.pop_front();
+      metrics_.SubWorkspace();
+      ++metrics_.tuples_emitted;
+      return true;
+    }
+    if (probing_) {
+      std::vector<StateEntry>& targets =
+          probe_is_left_ ? right_state_ : left_state_;
+      while (probe_pos_ < targets.size()) {
+        StateEntry& other = targets[probe_pos_++];
+        ++metrics_.comparisons;
+        const Interval inter(std::max(probe_span_.start, other.span.start),
+                             std::min(probe_span_.end, other.span.end));
+        if (!inter.IsValid()) continue;
+        if (probe_is_left_) {
+          if (!Matches(probe_, other.tuple)) continue;
+          // Right state tuples all started at or before the probe, so
+          // their intersections begin at the probe's start: the probe's
+          // covered prefix only ever extends, no residual can close yet.
+          probe_covered_ = std::max(probe_covered_, inter.end);
+        } else {
+          if (!Matches(other.tuple, probe_)) continue;
+          if (inter.start > other.covered_to) {
+            // Future subtractors start no earlier, so the uncovered
+            // prefix [covered_to, inter.start) of this left tuple is a
+            // final residual.
+            PushPending(MakeResidualRow(
+                other.tuple, Interval(other.covered_to, inter.start)));
+          }
+          other.covered_to = std::max(other.covered_to, inter.end);
+        }
+        if (!pending_.empty()) break;
+      }
+      if (!pending_.empty()) continue;
+      const bool opposite_finished = probe_is_left_
+                                         ? (right_done_ && !right_has_peek_)
+                                         : (left_done_ && !left_has_peek_);
+      if (!opposite_finished) {
+        (probe_is_left_ ? left_state_ : right_state_)
+            .push_back({std::move(probe_), probe_span_, probe_covered_});
+        metrics_.AddWorkspace();
+      } else if (probe_is_left_ && probe_covered_ < probe_span_.end) {
+        PushPending(MakeResidualRow(
+            probe_, Interval(probe_covered_, probe_span_.end)));
+      }
+      probing_ = false;
+      continue;
+    }
+    TEMPUS_ASSIGN_OR_RETURN(bool more, Advance());
+    if (!more && pending_.empty()) return false;
+  }
+}
+
+}  // namespace tempus

@@ -1,0 +1,108 @@
+#ifndef TEMPUS_JOIN_SUBTRACT_H_
+#define TEMPUS_JOIN_SUBTRACT_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "join/join_common.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+/// Which right tuples subtract from a left tuple's lifespan.
+enum class SubtractMode {
+  /// Every overlapping right tuple subtracts — the temporal anti join
+  /// (NOT EXISTS over intersecting intervals). Schemas are unrelated.
+  kAll,
+  /// Only right tuples equal on every non-lifespan attribute subtract —
+  /// the sequenced difference (EXCEPT). Schemas must be equal.
+  kValueEqual,
+};
+
+std::string_view SubtractModeName(SubtractMode mode);
+
+struct SubtractOptions {
+  SubtractMode mode = SubtractMode::kAll;
+  bool verify_input_order = true;
+};
+
+/// Single-pass interval-set subtraction over two ValidFrom^-ordered inputs:
+/// each left tuple x is emitted once per maximal sub-interval of its
+/// lifespan not covered by any subtracting right tuple, with the designated
+/// lifespan rewritten to that residual. A fully covered x emits nothing; an
+/// unmatched x passes through whole. Output schema is the left schema.
+///
+/// Same sweep/watermark design as TemporalOuterJoin's gap side: left state
+/// tuples carry a `covered_to` watermark; subtracting matches arrive with
+/// non-decreasing intersection starts, so an uncovered prefix is emitted as
+/// soon as a match starts past the watermark, and the suffix flushes at
+/// garbage collection. Right state tuples are the plain sweep state.
+/// Workspace bound: 2*(mc_x + mc_y + 2) (states plus queued residuals).
+class TemporalSubtractStream : public TupleStream {
+ public:
+  /// Both inputs must be ordered ValidFrom^. In kValueEqual mode the two
+  /// schemas must be equal.
+  static Result<std::unique_ptr<TemporalSubtractStream>> Create(
+      std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+      SubtractOptions options = {});
+
+  const Schema& schema() const override { return left_->schema(); }
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  struct StateEntry {
+    Tuple tuple;
+    Interval span;
+    TimePoint covered_to;  // Left side only; unused for right state.
+  };
+
+  TemporalSubtractStream(std::unique_ptr<TupleStream> left,
+                         std::unique_ptr<TupleStream> right,
+                         SubtractOptions options, LifespanRef left_ref,
+                         LifespanRef right_ref);
+
+  Result<bool> FillPeek(bool left_side);
+  void CollectGarbage();
+  Result<bool> Advance();
+  bool Matches(const Tuple& x, const Tuple& y);
+  Tuple MakeResidualRow(const Tuple& x, Interval residual) const;
+  void PushPending(Tuple row);
+  void RetireLeftEntry(const StateEntry& entry);
+
+  std::unique_ptr<TupleStream> left_;
+  std::unique_ptr<TupleStream> right_;
+  SubtractOptions options_;
+  LifespanRef left_ref_;
+  LifespanRef right_ref_;
+  std::unique_ptr<OrderValidator> left_validator_;
+  std::unique_ptr<OrderValidator> right_validator_;
+
+  std::vector<StateEntry> left_state_;
+  std::vector<StateEntry> right_state_;
+  std::deque<Tuple> pending_;
+
+  Tuple left_peek_;
+  Interval left_peek_span_;
+  bool left_has_peek_ = false;
+  bool left_done_ = false;
+  Tuple right_peek_;
+  Interval right_peek_span_;
+  bool right_has_peek_ = false;
+  bool right_done_ = false;
+
+  Tuple probe_;
+  Interval probe_span_;
+  TimePoint probe_covered_ = 0;
+  bool probe_is_left_ = false;
+  size_t probe_pos_ = 0;
+  bool probing_ = false;
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_JOIN_SUBTRACT_H_

@@ -6,6 +6,7 @@
 
 #include "join/batch_sweep.h"
 #include "relation/sort_spec.h"
+#include "stream/basic_ops.h"
 
 namespace tempus {
 namespace {
@@ -536,6 +537,412 @@ Result<std::unique_ptr<TupleStream>> MakeParallelHashEquiJoin(
   TEMPUS_ASSIGN_OR_RETURN(
       auto stream,
       ParallelJoinStream::Create(std::move(left), std::move(right),
+                                 std::move(out_schema), std::move(config)));
+  return std::unique_ptr<TupleStream>(std::move(stream));
+}
+
+namespace {
+
+/// Row-range split of the left input with the right side shared whole —
+/// the partition rule for the per-left-tuple-independent operators (outer
+/// join inner/left-gap rows, subtraction residuals, sequenced intersect):
+/// each output row depends only on its left tuple and the full right input,
+/// and slices are stable subsequences, so every slice input keeps the
+/// promised ValidFrom^ order and concatenation produces each row once.
+SlicePlan LeftRowRangePlan(const std::vector<Tuple>& lt,
+                           const std::vector<Tuple>& rt, size_t threads) {
+  (void)rt;
+  return TimeRangePartitioner::LeftRowRanges(lt.size(), threads);
+}
+
+/// kRight/kFull parallel outer join. Branch 1 fans the inner rows (plus
+/// left gaps for kFull) out over left row ranges with the right side
+/// shared; branch 2 computes the right-side gap rows as the interval
+/// subtraction right-minus-left (anti-join mode) fanned out over right row
+/// ranges with the left side shared, mapped into join-schema rows.
+/// Sequential gap rows clip every non-null lifespan column to the gap —
+/// exactly the residual-row form TemporalSubtractStream emits — so branch 2
+/// reproduces the sequential right-gap rows byte for byte (concatenated
+/// after branch 1 rather than interleaved in sweep order; parallel outputs
+/// are compared under a canonical sort).
+class OuterGapUnionStream : public TupleStream {
+ public:
+  static Result<std::unique_ptr<OuterGapUnionStream>> Create(
+      std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+      OuterJoinOptions options, size_t threads) {
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto probe,
+        TemporalOuterJoin::Create(EmptyOf(left->schema()),
+                                  EmptyOf(right->schema()), options));
+    Schema out_schema = probe->schema();
+    TEMPUS_ASSIGN_OR_RETURN(LifespanRef right_ref,
+                            LifespanRef::ForSchema(right->schema()));
+    return std::unique_ptr<OuterGapUnionStream>(new OuterGapUnionStream(
+        std::move(left), std::move(right), std::move(options), threads,
+        std::move(out_schema), right_ref));
+  }
+
+  const Schema& schema() const override { return schema_; }
+
+  Status OpenImpl() override {
+    left_buf_.clear();
+    right_buf_.clear();
+    branch1_.reset();
+    branch2_.reset();
+    cur_ = nullptr;
+    TEMPUS_RETURN_IF_ERROR(DrainInto(left_.get(), &left_buf_,
+                                     /*left_side=*/true));
+    TEMPUS_RETURN_IF_ERROR(DrainInto(right_.get(), &right_buf_,
+                                     /*left_side=*/false));
+    TEMPUS_RETURN_IF_ERROR(BuildInnerBranch());
+    TEMPUS_RETURN_IF_ERROR(BuildGapBranch());
+    if (cancellation() != nullptr) {
+      branch1_->SetCancellation(cancellation());
+      branch2_->SetCancellation(cancellation());
+    }
+    TEMPUS_RETURN_IF_ERROR(branch1_->Open());
+    TEMPUS_RETURN_IF_ERROR(branch2_->Open());
+    cur_ = branch1_.get();
+    return Status::Ok();
+  }
+
+  Result<bool> NextImpl(Tuple* out) override {
+    while (cur_ != nullptr) {
+      TEMPUS_ASSIGN_OR_RETURN(bool has, cur_->Next(out));
+      if (has) {
+        ++metrics_.tuples_emitted;
+        return true;
+      }
+      cur_ = cur_ == branch1_.get() ? branch2_.get() : nullptr;
+    }
+    return false;
+  }
+
+  std::vector<const TupleStream*> children() const override {
+    std::vector<const TupleStream*> kids{left_.get(), right_.get()};
+    if (branch1_ != nullptr) kids.push_back(branch1_.get());
+    if (branch2_ != nullptr) kids.push_back(branch2_.get());
+    return kids;
+  }
+
+ private:
+  OuterGapUnionStream(std::unique_ptr<TupleStream> left,
+                      std::unique_ptr<TupleStream> right,
+                      OuterJoinOptions options, size_t threads, Schema schema,
+                      LifespanRef right_ref)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        options_(std::move(options)),
+        threads_(threads),
+        schema_(std::move(schema)),
+        right_ref_(right_ref) {}
+
+  Status DrainInto(TupleStream* stream, std::vector<Tuple>* buf,
+                   bool left_side) {
+    TEMPUS_RETURN_IF_ERROR(stream->Open());
+    ++(left_side ? metrics_.passes_left : metrics_.passes_right);
+    Tuple t;
+    while (true) {
+      TEMPUS_ASSIGN_OR_RETURN(bool has, stream->Next(&t));
+      if (!has) return Status::Ok();
+      ++(left_side ? metrics_.tuples_read_left : metrics_.tuples_read_right);
+      buf->push_back(std::move(t));
+    }
+  }
+
+  /// Branch 1: kFull degrades to kLeft, kRight to kInner — the right-side
+  /// gaps are branch 2's job, everything else is per-left-tuple work.
+  Status BuildInnerBranch() {
+    OuterJoinOptions inner = options_;
+    inner.mode = options_.mode == OuterJoinMode::kFull ? OuterJoinMode::kLeft
+                                                       : OuterJoinMode::kInner;
+    ParallelJoinConfig config;
+    config.threads = threads_;
+    config.share_right = true;
+    config.factory = [inner](std::unique_ptr<TupleStream> l,
+                             std::unique_ptr<TupleStream> r)
+        -> Result<std::unique_ptr<TupleStream>> {
+      OuterJoinOptions per_slice = inner;
+      TEMPUS_ASSIGN_OR_RETURN(
+          auto stream, TemporalOuterJoin::Create(std::move(l), std::move(r),
+                                                 std::move(per_slice)));
+      return std::unique_ptr<TupleStream>(std::move(stream));
+    };
+    config.partition = [threads = threads_](const std::vector<Tuple>& lt,
+                                            const std::vector<Tuple>& rt) {
+      return LeftRowRangePlan(lt, rt, threads);
+    };
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream,
+        ParallelJoinStream::Create(
+            VectorStream::Borrowing(left_->schema(), &left_buf_),
+            VectorStream::Borrowing(right_->schema(), &right_buf_),
+            Schema(schema_), std::move(config)));
+    branch1_ = std::move(stream);
+    return Status::Ok();
+  }
+
+  /// Branch 2: per right row range, anti-subtract the whole left input and
+  /// map each residual into a join-schema gap row (left side null, right
+  /// columns from the residual, every lifespan column carrying the gap).
+  Status BuildGapBranch() {
+    SubtractOptions sub;
+    sub.mode = SubtractMode::kAll;
+    sub.verify_input_order = options_.verify_input_order;
+    const size_t left_width = left_->schema().attribute_count();
+    const size_t right_width = right_->schema().attribute_count();
+    const size_t out_from = schema_.valid_from_index();
+    const size_t out_to = schema_.valid_to_index();
+    const LifespanRef rref = right_ref_;
+    const Schema gap_schema = schema_;
+    ParallelJoinConfig config;
+    config.threads = threads_;
+    config.share_right = true;
+    config.factory = [sub, gap_schema, left_width, right_width, out_from,
+                      out_to, rref](std::unique_ptr<TupleStream> r_slice,
+                                    std::unique_ptr<TupleStream> l_shared)
+        -> Result<std::unique_ptr<TupleStream>> {
+      SubtractOptions per_slice = sub;
+      TEMPUS_ASSIGN_OR_RETURN(
+          auto gaps,
+          TemporalSubtractStream::Create(std::move(r_slice),
+                                         std::move(l_shared),
+                                         std::move(per_slice)));
+      MapStream::Transform to_gap_row =
+          [left_width, right_width, out_from, out_to,
+           rref](const Tuple& residual) -> Result<Tuple> {
+        std::vector<Value> values(left_width + right_width);
+        for (size_t i = 0; i < right_width; ++i) {
+          values[left_width + i] = residual.at(i);
+        }
+        Tuple row{std::move(values)};
+        row.Set(out_from, residual.at(rref.valid_from_index));
+        row.Set(out_to, residual.at(rref.valid_to_index));
+        return row;
+      };
+      return std::unique_ptr<TupleStream>(std::make_unique<MapStream>(
+          std::move(gaps), gap_schema, std::move(to_gap_row)));
+    };
+    config.partition = [threads = threads_](const std::vector<Tuple>& lt,
+                                            const std::vector<Tuple>& rt) {
+      return LeftRowRangePlan(lt, rt, threads);
+    };
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream,
+        ParallelJoinStream::Create(
+            VectorStream::Borrowing(right_->schema(), &right_buf_),
+            VectorStream::Borrowing(left_->schema(), &left_buf_),
+            Schema(schema_), std::move(config)));
+    branch2_ = std::move(stream);
+    return Status::Ok();
+  }
+
+  std::unique_ptr<TupleStream> left_;
+  std::unique_ptr<TupleStream> right_;
+  OuterJoinOptions options_;
+  size_t threads_;
+  Schema schema_;
+  LifespanRef right_ref_;
+
+  std::vector<Tuple> left_buf_;
+  std::vector<Tuple> right_buf_;
+  std::unique_ptr<TupleStream> branch1_;
+  std::unique_ptr<TupleStream> branch2_;
+  TupleStream* cur_ = nullptr;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<TupleStream>> MakeParallelOuterJoin(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    OuterJoinOptions options, size_t threads) {
+  if (threads <= 1) {
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream, TemporalOuterJoin::Create(std::move(left),
+                                               std::move(right),
+                                               std::move(options)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  }
+  if (options.mode == OuterJoinMode::kRight ||
+      options.mode == OuterJoinMode::kFull) {
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream, OuterGapUnionStream::Create(std::move(left),
+                                                 std::move(right),
+                                                 std::move(options), threads));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  }
+  // kInner/kLeft: each left tuple's inner and gap rows depend only on
+  // itself and the full right input, so left row ranges with the right
+  // shared whole produce every row exactly once.
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto probe, TemporalOuterJoin::Create(EmptyOf(left->schema()),
+                                            EmptyOf(right->schema()),
+                                            options));
+  Schema out_schema = probe->schema();
+  ParallelJoinConfig config;
+  config.threads = threads;
+  config.share_right = true;
+  config.factory = [options](std::unique_ptr<TupleStream> l,
+                             std::unique_ptr<TupleStream> r)
+      -> Result<std::unique_ptr<TupleStream>> {
+    OuterJoinOptions per_slice = options;
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream, TemporalOuterJoin::Create(std::move(l), std::move(r),
+                                               std::move(per_slice)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  };
+  config.partition = [threads](const std::vector<Tuple>& lt,
+                               const std::vector<Tuple>& rt) {
+    return LeftRowRangePlan(lt, rt, threads);
+  };
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto stream,
+      ParallelJoinStream::Create(std::move(left), std::move(right),
+                                 std::move(out_schema), std::move(config)));
+  return std::unique_ptr<TupleStream>(std::move(stream));
+}
+
+Result<std::unique_ptr<TupleStream>> MakeParallelSubtract(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    SubtractOptions options, size_t threads) {
+  if (threads <= 1) {
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream, TemporalSubtractStream::Create(std::move(left),
+                                                    std::move(right),
+                                                    std::move(options)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  }
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto probe, TemporalSubtractStream::Create(EmptyOf(left->schema()),
+                                                 EmptyOf(right->schema()),
+                                                 options));
+  Schema out_schema = probe->schema();
+  ParallelJoinConfig config;
+  config.threads = threads;
+  config.share_right = true;
+  config.factory = [options](std::unique_ptr<TupleStream> l,
+                             std::unique_ptr<TupleStream> r)
+      -> Result<std::unique_ptr<TupleStream>> {
+    SubtractOptions per_slice = options;
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream,
+        TemporalSubtractStream::Create(std::move(l), std::move(r),
+                                       std::move(per_slice)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  };
+  config.partition = [threads](const std::vector<Tuple>& lt,
+                               const std::vector<Tuple>& rt) {
+    return LeftRowRangePlan(lt, rt, threads);
+  };
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto stream,
+      ParallelJoinStream::Create(std::move(left), std::move(right),
+                                 std::move(out_schema), std::move(config)));
+  return std::unique_ptr<TupleStream>(std::move(stream));
+}
+
+Result<std::unique_ptr<TupleStream>> MakeParallelSequencedUnion(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    size_t threads) {
+  // A single linear merge with zero comparison work per pair: partitioning
+  // would only add materialization cost, so every thread count runs the
+  // sequential operator.
+  (void)threads;
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto stream,
+      SequencedUnionStream::Create(std::move(left), std::move(right)));
+  return std::unique_ptr<TupleStream>(std::move(stream));
+}
+
+Result<std::unique_ptr<TupleStream>> MakeParallelSequencedIntersect(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    size_t threads) {
+  if (threads <= 1) {
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream,
+        SequencedIntersectStream::Create(std::move(left), std::move(right)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  }
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto probe,
+      SequencedIntersectStream::Create(EmptyOf(left->schema()),
+                                       EmptyOf(right->schema())));
+  Schema out_schema = probe->schema();
+  ParallelJoinConfig config;
+  config.threads = threads;
+  config.share_right = true;
+  config.factory = [](std::unique_ptr<TupleStream> l,
+                      std::unique_ptr<TupleStream> r)
+      -> Result<std::unique_ptr<TupleStream>> {
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream,
+        SequencedIntersectStream::Create(std::move(l), std::move(r)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  };
+  config.partition = [threads](const std::vector<Tuple>& lt,
+                               const std::vector<Tuple>& rt) {
+    return LeftRowRangePlan(lt, rt, threads);
+  };
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto stream,
+      ParallelJoinStream::Create(std::move(left), std::move(right),
+                                 std::move(out_schema), std::move(config)));
+  return std::unique_ptr<TupleStream>(std::move(stream));
+}
+
+Result<std::unique_ptr<TupleStream>> MakeParallelCoalesce(
+    std::unique_ptr<TupleStream> input, size_t threads) {
+  if (threads <= 1) {
+    TEMPUS_ASSIGN_OR_RETURN(auto stream,
+                            CoalesceStream::Create(std::move(input)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  }
+  TEMPUS_ASSIGN_OR_RETURN(auto probe,
+                          CoalesceStream::Create(EmptyOf(input->schema())));
+  Schema out_schema = probe->schema();
+  TEMPUS_ASSIGN_OR_RETURN(LifespanRef ref,
+                          LifespanRef::ForSchema(input->schema()));
+  ParallelJoinConfig config;
+  config.threads = threads;
+  config.factory = [](std::unique_ptr<TupleStream> l,
+                      std::unique_ptr<TupleStream> r)
+      -> Result<std::unique_ptr<TupleStream>> {
+    (void)r;
+    TEMPUS_ASSIGN_OR_RETURN(auto stream, CoalesceStream::Create(std::move(l)));
+    return std::unique_ptr<TupleStream>(std::move(stream));
+  };
+  // Contiguous row ranges, but never split inside a value group: in
+  // CoalesceSortSpec order each group is contiguous, so whole groups
+  // coalesce identically in any slice and concatenation reproduces the
+  // sequential output tuple for tuple.
+  config.partition = [ref, threads](const std::vector<Tuple>& lt,
+                                    const std::vector<Tuple>& rt) {
+    (void)rt;
+    const size_t n = lt.size();
+    const size_t target = (n + threads - 1) / threads;
+    auto same_group = [ref](const Tuple& a, const Tuple& b) {
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (i == ref.valid_from_index || i == ref.valid_to_index) continue;
+        if (!a.at(i).Equals(b.at(i))) return false;
+      }
+      return true;
+    };
+    SlicePlan plan;
+    TimeSlice cur;
+    for (size_t i = 0; i < n; ++i) {
+      cur.left.push_back(i);
+      if (cur.left.size() >= target &&
+          (i + 1 == n || !same_group(lt[i], lt[i + 1]))) {
+        plan.slices.push_back(std::move(cur));
+        cur = TimeSlice{};
+      }
+    }
+    if (!cur.left.empty()) plan.slices.push_back(std::move(cur));
+    return plan;
+  };
+  TEMPUS_ASSIGN_OR_RETURN(
+      auto stream,
+      ParallelJoinStream::Create(std::move(input), nullptr,
                                  std::move(out_schema), std::move(config)));
   return std::unique_ptr<TupleStream>(std::move(stream));
 }

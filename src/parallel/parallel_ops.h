@@ -9,9 +9,13 @@
 #include "join/contain_join.h"
 #include "join/containment_semijoin.h"
 #include "join/hash_join.h"
+#include "join/outer_join.h"
 #include "join/overlap_semijoin.h"
 #include "join/self_semijoin.h"
+#include "join/subtract.h"
 #include "parallel/parallel_join.h"
+#include "semantic/coalesce.h"
+#include "semantic/set_ops.h"
 #include "stream/stream.h"
 
 namespace tempus {
@@ -89,6 +93,43 @@ Result<std::unique_ptr<TupleStream>> MakeParallelHashEquiJoin(
     std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
     std::vector<size_t> left_keys, std::vector<size_t> right_keys,
     PairPredicate residual, JoinNaming naming, size_t threads);
+
+/// Sequenced outer join. kInner/kLeft fan out over row ranges of the left
+/// input with the right side shared whole (each left tuple's inner rows
+/// and gap rows depend only on it and the full right input). kRight/kFull
+/// additionally run a second fan-out that computes the right-side gap rows
+/// as an interval subtraction right-minus-left over row ranges of the
+/// right input, concatenated after the first fan-out's output.
+Result<std::unique_ptr<TupleStream>> MakeParallelOuterJoin(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    OuterJoinOptions options, size_t threads);
+
+/// Anti join / sequenced except: row-range split of the left (emitted)
+/// side with the right side shared whole; each left tuple's residuals
+/// depend only on it and the full right input, so concatenation is exact.
+Result<std::unique_ptr<TupleStream>> MakeParallelSubtract(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    SubtractOptions options, size_t threads);
+
+/// Sequenced union is a single linear merge with no per-pair comparison
+/// work to parallelize; every thread count builds the sequential operator.
+Result<std::unique_ptr<TupleStream>> MakeParallelSequencedUnion(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    size_t threads);
+
+/// Sequenced intersect: row-range split of the left side with the right
+/// shared whole — each value-equal intersecting pair is produced by
+/// exactly the slice owning its left tuple.
+Result<std::unique_ptr<TupleStream>> MakeParallelSequencedIntersect(
+    std::unique_ptr<TupleStream> left, std::unique_ptr<TupleStream> right,
+    size_t threads);
+
+/// Coalescing: the input (already in CoalesceSortSpec order) splits into
+/// contiguous row ranges aligned to value-group boundaries, so each slice
+/// coalesces whole groups independently and concatenation reproduces the
+/// sequential output tuple for tuple.
+Result<std::unique_ptr<TupleStream>> MakeParallelCoalesce(
+    std::unique_ptr<TupleStream> input, size_t threads);
 
 }  // namespace tempus
 

@@ -160,6 +160,13 @@ class PlanBuilder {
   Result<SubPlan> PlanCascade();
   Result<SubPlan> Finalize(SubPlan plan);
 
+  // --- sequenced whole-relation statements ---------------------------------
+  // (outer/anti joins, set operations, coalescing; docs/TQL.md.)
+  Result<PlannedQuery> BuildSequenced();
+  Result<BoundRel> BindSequencedRel(const std::string& name) const;
+  Result<SubPlan> BuildSequencedScan(const BoundRel& rel) const;
+  std::optional<IntervalStats> StatsOf(const BoundRel& rel) const;
+
   // Compiles every still-unapplied deferred/essential predicate that is
   // fully contained in `plan`'s variables into a filter.
   Result<SubPlan> ApplyPending(SubPlan plan);
@@ -1723,7 +1730,233 @@ Result<SubPlan> PlanBuilder::Finalize(SubPlan plan) {
   return plan;
 }
 
+Result<BoundRel> PlanBuilder::BindSequencedRel(const std::string& name) const {
+  BoundRel bound;
+  const Result<const TemporalRelation*> rel = catalog_->Lookup(name);
+  if (rel.ok()) {
+    bound.mem = rel.value();
+  } else {
+    Result<std::shared_ptr<const PagedRelation>> paged =
+        catalog_->LookupPaged(name);
+    if (!paged.ok()) return rel.status();  // The canonical NotFound text.
+    bound.paged = std::move(paged).value();
+  }
+  return bound;
+}
+
+std::optional<IntervalStats> PlanBuilder::StatsOf(const BoundRel& rel) const {
+  Result<RelationStats> scalars = rel.Stats();
+  if (!scalars.ok()) return std::nullopt;
+  return optimizer_.StatsFor(rel.name(), *scalars);
+}
+
+Result<SubPlan> PlanBuilder::BuildSequencedScan(const BoundRel& rel) const {
+  SubPlan plan;
+  std::unique_ptr<TupleStream> stream;
+  if (rel.mem != nullptr) {
+    stream = VectorStream::Scan(*rel.mem);
+    plan.explain =
+        "Scan " + rel.name() + StrFormat(" [%zu tuples]", rel.size());
+  } else {
+    stream = std::make_unique<PagedScanStream>(rel.paged, nullptr);
+    plan.explain =
+        "DiskScan " + rel.name() +
+        StrFormat(" [%zu tuples, %zu pages, %.2fx compressed]", rel.size(),
+                  rel.paged->page_count(), rel.paged->compression_ratio());
+  }
+  stream->set_label(plan.explain);
+  if (rel.known_order().has_value() && rel.schema().has_lifespan()) {
+    for (const TemporalSortOrder& o : AllTemporalSortOrders()) {
+      Result<SortSpec> spec = o.ToSortSpec(rel.schema());
+      if (spec.ok() && spec.value().SatisfiedBy(*rel.known_order())) {
+        plan.order = o;
+        break;
+      }
+    }
+  }
+  plan.stream = std::move(stream);
+  if (StatsOf(rel).has_value()) {
+    SetEst(&plan, static_cast<double>(rel.size()), 0.0);
+  }
+  StampLabel(&plan);
+  return plan;
+}
+
+Result<PlannedQuery> PlanBuilder::BuildSequenced() {
+  PlannedQuery out;
+  out.into = query_.into;
+  out.optimizer_mode = OptimizerModeName(optimizer_.mode());
+  const bool verify = options_.verify_sorted_inputs;
+
+  TEMPUS_ASSIGN_OR_RETURN(BoundRel left_rel,
+                          BindSequencedRel(query_.sequenced_left));
+  TEMPUS_ASSIGN_OR_RETURN(SubPlan left, BuildSequencedScan(left_rel));
+  const std::optional<IntervalStats> ls = StatsOf(left_rel);
+  SubPlan plan;
+
+  if (query_.sequenced_op == SequencedOp::kCoalesce) {
+    // Coalescing needs value groups contiguous and intervals by start —
+    // CoalesceSortSpec order, not one of the four canonical temporal
+    // orders, so the enforcer is inserted here rather than by EnsureOrder.
+    TEMPUS_ASSIGN_OR_RETURN(SortSpec cspec,
+                            CoalesceSortSpec(left_rel.schema()));
+    const bool sorted = left_rel.known_order().has_value() &&
+                        cspec.SatisfiedBy(*left_rel.known_order());
+    if (!sorted) {
+      left.stream = std::make_unique<SortStream>(std::move(left.stream),
+                                                 cspec);
+      left.explain = "Sort [coalesce key: attributes^, ValidFrom^, "
+                     "ValidTo^]\n" +
+                     Indent(left.explain);
+      if (left.est.valid) SetEst(&left, left.est.rows, left.est.rows);
+      StampLabel(&left);
+    }
+    const NodeEstimate in_est = left.est;
+    TEMPUS_ASSIGN_OR_RETURN(
+        plan.stream, MakeParallelCoalesce(std::move(left.stream), Threads()));
+    plan.explain = "Coalesce" + ParallelNote() + "\n" + Indent(left.explain);
+    // Single-accumulator operator: workspace bound 1 (docs/ALGORITHMS.md);
+    // output rows <= input rows (maximal intervals only).
+    if (in_est.valid) {
+      plan.est = in_est;
+      SetEst(&plan, in_est.rows, 1.0);
+      AddNote("cost model: coalesce runs in constant workspace (1 "
+              "accumulator)");
+    } else {
+      StampLabel(&plan);
+    }
+  } else {
+    TEMPUS_ASSIGN_OR_RETURN(BoundRel right_rel,
+                            BindSequencedRel(query_.sequenced_right));
+    TEMPUS_ASSIGN_OR_RETURN(SubPlan right, BuildSequencedScan(right_rel));
+    const std::optional<IntervalStats> rs = StatsOf(right_rel);
+    const double ln = static_cast<double>(left_rel.size());
+    const double rn = static_cast<double>(right_rel.size());
+    // Every sequenced binary operator sweeps two ValidFrom^ inputs.
+    TEMPUS_ASSIGN_OR_RETURN(left,
+                            EnsureOrder(std::move(left), kByValidFromAsc));
+    TEMPUS_ASSIGN_OR_RETURN(right,
+                            EnsureOrder(std::move(right), kByValidFromAsc));
+    const bool have_est = ls.has_value() && rs.has_value();
+    double rows = 0.0;
+    double ws = 0.0;
+    std::string name;
+    std::string parallel_note = ParallelNote();
+    switch (query_.sequenced_op) {
+      case SequencedOp::kLeftJoin:
+      case SequencedOp::kRightJoin:
+      case SequencedOp::kFullJoin: {
+        OuterJoinOptions oj;
+        oj.mode = query_.sequenced_op == SequencedOp::kLeftJoin
+                      ? OuterJoinMode::kLeft
+                      : query_.sequenced_op == SequencedOp::kRightJoin
+                            ? OuterJoinMode::kRight
+                            : OuterJoinMode::kFull;
+        oj.verify_input_order = verify;
+        oj.naming =
+            JoinNaming{query_.sequenced_left, query_.sequenced_right};
+        name = StrFormat("%sOuterJoin [on overlaps]",
+                         oj.mode == OuterJoinMode::kLeft
+                             ? "Left"
+                             : oj.mode == OuterJoinMode::kRight ? "Right"
+                                                                : "Full");
+        if (have_est) {
+          // Inner rows = intersecting pairs; each tracked-side tuple adds
+          // at most its uncovered sub-intervals — estimate one gap row per
+          // tracked tuple. Workspace is the Table 2 sweep state plus the
+          // queued gap rows: 2*(mc_x + mc_y + 2).
+          const double inner = EstimateIntersectingPairs(*ls, *rs);
+          const bool tl = oj.mode != OuterJoinMode::kRight;
+          const bool tr = oj.mode != OuterJoinMode::kLeft;
+          rows = inner + (tl ? ln : 0.0) + (tr ? rn : 0.0);
+          const WorkspaceEstimate sweep = EstimateSweepJoin(*ls, *rs);
+          ws = 2.0 * (sweep.tuples + 2.0);
+          AddNote("cost model: outer join workspace 2*(mc_x+mc_y+2) from " +
+                  sweep.basis);
+        }
+        TEMPUS_ASSIGN_OR_RETURN(
+            plan.stream,
+            MakeParallelOuterJoin(std::move(left.stream),
+                                  std::move(right.stream), oj, Threads()));
+        break;
+      }
+      case SequencedOp::kAntiJoin:
+      case SequencedOp::kExcept: {
+        SubtractOptions sub;
+        sub.mode = query_.sequenced_op == SequencedOp::kAntiJoin
+                       ? SubtractMode::kAll
+                       : SubtractMode::kValueEqual;
+        sub.verify_input_order = verify;
+        name = sub.mode == SubtractMode::kAll ? "AntiJoin [on overlaps]"
+                                              : "SequencedExcept";
+        if (have_est) {
+          // Residuals: at most one pass-through row per left tuple plus
+          // one fragment per subtracting pair; cap at the pair population.
+          rows = ln;
+          const WorkspaceEstimate sweep = EstimateSweepJoin(*ls, *rs);
+          ws = 2.0 * (sweep.tuples + 2.0);
+          AddNote("cost model: subtraction workspace 2*(mc_x+mc_y+2) from " +
+                  sweep.basis);
+        }
+        TEMPUS_ASSIGN_OR_RETURN(
+            plan.stream,
+            MakeParallelSubtract(std::move(left.stream),
+                                 std::move(right.stream), sub, Threads()));
+        break;
+      }
+      case SequencedOp::kUnion: {
+        name = "SequencedUnion";
+        parallel_note.clear();  // A linear merge; never partitioned.
+        if (have_est) {
+          rows = ln + rn;
+          ws = 0.0;
+          AddNote("cost model: union is a zero-workspace ordered merge");
+        }
+        TEMPUS_ASSIGN_OR_RETURN(
+            plan.stream,
+            MakeParallelSequencedUnion(std::move(left.stream),
+                                       std::move(right.stream), Threads()));
+        break;
+      }
+      case SequencedOp::kIntersect: {
+        name = "SequencedIntersect";
+        if (have_est) {
+          rows = EstimateIntersectingPairs(*ls, *rs) * kDefaultEqSelectivity;
+          const WorkspaceEstimate sweep = EstimateSweepJoin(*ls, *rs);
+          ws = sweep.tuples + 2.0;
+          AddNote("cost model: intersect workspace mc_x+mc_y+2 from " +
+                  sweep.basis);
+        }
+        TEMPUS_ASSIGN_OR_RETURN(
+            plan.stream,
+            MakeParallelSequencedIntersect(std::move(left.stream),
+                                           std::move(right.stream),
+                                           Threads()));
+        break;
+      }
+      default:
+        return Status::Internal("unhandled sequenced operator");
+    }
+    plan.explain = name + parallel_note + "\n" + Indent(left.explain) +
+                   "\n" + Indent(right.explain);
+    if (have_est) {
+      SetEst(&plan, rows, ws);
+    } else {
+      StampLabel(&plan);
+    }
+  }
+
+  StampLabel(&plan);
+  out.root = std::move(plan.stream);
+  std::string header;
+  if (!notes_.empty()) header += "-- " + notes_;
+  out.explain = header + plan.explain;
+  out.rationale = rationale_;
+  return out;
+}
+
 Result<PlannedQuery> PlanBuilder::Build() {
+  if (query_.sequenced_op != SequencedOp::kNone) return BuildSequenced();
   TEMPUS_RETURN_IF_ERROR(Resolve());
   TEMPUS_RETURN_IF_ERROR(Classify());
   TEMPUS_RETURN_IF_ERROR(Analyze());

@@ -41,6 +41,30 @@ bool EvaluateCmp(const Value& a, CmpOp op, const Value& b) {
   return false;
 }
 
+std::string_view SequencedOpName(SequencedOp op) {
+  switch (op) {
+    case SequencedOp::kNone:
+      return "none";
+    case SequencedOp::kLeftJoin:
+      return "left join";
+    case SequencedOp::kRightJoin:
+      return "right join";
+    case SequencedOp::kFullJoin:
+      return "full join";
+    case SequencedOp::kAntiJoin:
+      return "anti join";
+    case SequencedOp::kUnion:
+      return "union";
+    case SequencedOp::kIntersect:
+      return "intersect";
+    case SequencedOp::kExcept:
+      return "except";
+    case SequencedOp::kCoalesce:
+      return "coalesce";
+  }
+  return "?";
+}
+
 std::string Comparison::ToString() const {
   return lhs.ToString() + " " + std::string(CmpOpSymbol(op)) + " " +
          rhs.ToString();
@@ -48,6 +72,28 @@ std::string Comparison::ToString() const {
 
 std::string ConjunctiveQuery::ToString() const {
   std::string out;
+  if (sequenced_op != SequencedOp::kNone) {
+    switch (sequenced_op) {
+      case SequencedOp::kLeftJoin:
+      case SequencedOp::kRightJoin:
+      case SequencedOp::kFullJoin:
+        out = std::string(SequencedOpName(sequenced_op)) + " " +
+              sequenced_left + " " + sequenced_right + " on overlaps";
+        break;
+      case SequencedOp::kAntiJoin:
+        out = "anti join " + sequenced_left + " " + sequenced_right;
+        break;
+      case SequencedOp::kCoalesce:
+        out = "coalesce " + sequenced_left;
+        break;
+      default:
+        out = sequenced_left + " " +
+              std::string(SequencedOpName(sequenced_op)) + " " +
+              sequenced_right;
+        break;
+    }
+    return out + " into " + into;
+  }
   for (const RangeVarDecl& rv : range_vars) {
     out += "range of " + rv.name + " is " + rv.relation + "\n";
   }

@@ -96,6 +96,24 @@ enum class ExplainMode {
              ///< counters and timings.
 };
 
+/// Which sequenced-relation statement a parsed input is, if any. These are
+/// whole-relation statements (docs/TQL.md "Sequenced statements"), not
+/// retrieve queries: the operand relations are named directly, without
+/// range variables.
+enum class SequencedOp {
+  kNone,       ///< An ordinary retrieve query (or "analyze <relation>").
+  kLeftJoin,   ///< "left join R S on overlaps"
+  kRightJoin,  ///< "right join R S on overlaps"
+  kFullJoin,   ///< "full join R S on overlaps"
+  kAntiJoin,   ///< "anti join R S" (NOT EXISTS over overlapping intervals)
+  kUnion,      ///< "R union S"
+  kIntersect,  ///< "R intersect S"
+  kExcept,     ///< "R except S"
+  kCoalesce,   ///< "coalesce R"
+};
+
+std::string_view SequencedOpName(SequencedOp op);
+
 /// A conjunctive temporal query — the common shape of the paper's
 /// examples: range declarations, a conjunction of comparisons and
 /// temporal atoms, and a target list.
@@ -105,6 +123,13 @@ struct ConjunctiveQuery {
   /// relation's interval statistics (docs/OPTIMIZER.md) instead of
   /// retrieving. All other fields are unused for such a statement.
   std::string analyze_target;
+  /// Non-kNone for the sequenced statements (outer/anti joins, set
+  /// operations, coalescing): `sequenced_left`/`sequenced_right` name the
+  /// operand relations (`sequenced_right` empty for kCoalesce) and of the
+  /// remaining fields only `explain_mode` and `into` apply.
+  SequencedOp sequenced_op = SequencedOp::kNone;
+  std::string sequenced_left;
+  std::string sequenced_right;
   std::vector<RangeVarDecl> range_vars;
   /// Empty = every attribute of every range variable.
   std::vector<OutputItem> outputs;

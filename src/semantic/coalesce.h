@@ -1,0 +1,63 @@
+#ifndef TEMPUS_SEMANTIC_COALESCE_H_
+#define TEMPUS_SEMANTIC_COALESCE_H_
+
+#include <memory>
+#include <optional>
+
+#include "relation/sort_spec.h"
+#include "stream/stream.h"
+
+namespace tempus {
+
+/// The input order coalescing requires: every non-lifespan attribute
+/// ascending (in schema position order), then ValidFrom^, then ValidTo^ —
+/// value groups are contiguous and each group's intervals arrive by start.
+Result<SortSpec> CoalesceSortSpec(const Schema& schema);
+
+/// Interval coalescing: merges value-equivalent tuples whose lifespans
+/// overlap or are adjacent (meet) into one tuple per maximal interval.
+/// Duplicates collapse, so the output is the canonical set-coalesced form:
+/// every time point's snapshot *set* is unchanged, coalescing is idempotent,
+/// and the output preserves the input's CoalesceSortSpec order.
+///
+/// Single accumulator state (workspace bound 1): with the input in
+/// CoalesceSortSpec order, a tuple either extends the accumulator (same
+/// values, start <= accumulated end — the "coalesce.merge" fault point) or
+/// closes it, so one state tuple suffices — the coalescing analogue of the
+/// Table 3 single-state self-semijoin orders.
+class CoalesceStream : public TupleStream {
+ public:
+  /// The child must produce tuples in CoalesceSortSpec order (verified
+  /// incrementally when `verify_input_order`; mis-sorted input fails fast).
+  static Result<std::unique_ptr<CoalesceStream>> Create(
+      std::unique_ptr<TupleStream> child, bool verify_input_order = true);
+
+  const Schema& schema() const override { return child_->schema(); }
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
+  std::vector<const TupleStream*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  CoalesceStream(std::unique_ptr<TupleStream> child, LifespanRef lifespan,
+                 SortSpec spec, bool verify_input_order);
+
+  bool SameGroup(const Tuple& a, const Tuple& b);
+  Tuple Flush();
+
+  std::unique_ptr<TupleStream> child_;
+  LifespanRef lifespan_;
+  SortSpec spec_;
+  bool verify_input_order_;
+
+  Tuple acc_;
+  Interval acc_span_;
+  bool have_acc_ = false;
+  bool input_done_ = false;
+  std::optional<Tuple> previous_;  // Order-validation witness.
+};
+
+}  // namespace tempus
+
+#endif  // TEMPUS_SEMANTIC_COALESCE_H_

@@ -6,95 +6,6 @@
 
 namespace tempus {
 
-CoalesceStream::CoalesceStream(std::unique_ptr<TupleStream> child,
-                               LifespanRef lifespan,
-                               std::vector<size_t> group_attrs)
-    : child_(std::move(child)),
-      lifespan_(lifespan),
-      group_attrs_(std::move(group_attrs)) {}
-
-Result<std::unique_ptr<CoalesceStream>> CoalesceStream::Create(
-    std::unique_ptr<TupleStream> child) {
-  TEMPUS_ASSIGN_OR_RETURN(LifespanRef lifespan,
-                          LifespanRef::ForSchema(child->schema()));
-  std::vector<size_t> group_attrs;
-  for (size_t i = 0; i < child->schema().attribute_count(); ++i) {
-    if (i != lifespan.valid_from_index && i != lifespan.valid_to_index) {
-      group_attrs.push_back(i);
-    }
-  }
-  return std::unique_ptr<CoalesceStream>(new CoalesceStream(
-      std::move(child), lifespan, std::move(group_attrs)));
-}
-
-bool CoalesceStream::SameGroup(const Tuple& a, const Tuple& b) const {
-  for (size_t ix : group_attrs_) {
-    if (!a[ix].Equals(b[ix])) return false;
-  }
-  return true;
-}
-
-Status CoalesceStream::OpenImpl() {
-  ++metrics_.passes_left;
-  has_pending_ = false;
-  done_ = false;
-  metrics_.ResetWorkspace();
-  return child_->Open();
-}
-
-Result<bool> CoalesceStream::NextImpl(Tuple* out) {
-  while (true) {
-    if (done_) {
-      if (has_pending_) {
-        *out = std::move(pending_);
-        out->Set(lifespan_.valid_from_index,
-                 Value::Time(pending_span_.start));
-        out->Set(lifespan_.valid_to_index, Value::Time(pending_span_.end));
-        has_pending_ = false;
-        metrics_.SubWorkspace();
-        ++metrics_.tuples_emitted;
-        return true;
-      }
-      return false;
-    }
-    Tuple next;
-    TEMPUS_ASSIGN_OR_RETURN(bool has, child_->Next(&next));
-    if (!has) {
-      done_ = true;
-      continue;  // Flush the pending tuple above.
-    }
-    ++metrics_.tuples_read_left;
-    const Interval span = lifespan_.Of(next);
-    if (!has_pending_) {
-      pending_ = std::move(next);
-      pending_span_ = span;
-      has_pending_ = true;
-      metrics_.AddWorkspace();
-      continue;
-    }
-    ++metrics_.comparisons;
-    const bool same_group = SameGroup(pending_, next);
-    if (same_group && span.start < pending_span_.start) {
-      return Status::FailedPrecondition(
-          "coalesce input not sorted by (group, ValidFrom^): " +
-          span.ToString() + " after " + pending_span_.ToString());
-    }
-    if (same_group && span.start <= pending_span_.end) {
-      // Meets or intersects: extend the pending period.
-      pending_span_.end = std::max(pending_span_.end, span.end);
-      continue;
-    }
-    // Group change or gap: emit the pending maximal period.
-    *out = pending_;
-    out->Set(lifespan_.valid_from_index, Value::Time(pending_span_.start));
-    out->Set(lifespan_.valid_to_index, Value::Time(pending_span_.end));
-    pending_ = std::move(next);
-    pending_span_ = span;
-    ++metrics_.tuples_emitted;
-    return true;
-  }
-}
-
 Result<std::unique_ptr<TupleStream>> MakeTimeSlice(
     std::unique_ptr<TupleStream> child, TimePoint at) {
   TEMPUS_ASSIGN_OR_RETURN(LifespanRef lifespan,

@@ -2,8 +2,6 @@
 #define TEMPUS_STREAM_TEMPORAL_OPS_H_
 
 #include <memory>
-#include <optional>
-#include <vector>
 
 #include "common/interval.h"
 #include "relation/tuple.h"
@@ -11,44 +9,8 @@
 
 namespace tempus {
 
-/// Temporal coalescing: merges tuples that agree on all non-lifespan
-/// attributes and whose lifespans meet or intersect into a single maximal
-/// tuple. The classic normalization step of temporal databases (implicit
-/// in the paper's Time Sequence model, where an object's value history is
-/// a sequence of maximal periods).
-///
-/// The input must be sorted by (grouping attributes, ValidFrom^): each
-/// group's intervals then arrive in start order and a single pending
-/// tuple suffices — coalescing is itself a one-state-tuple stream
-/// processor. Order-preserving.
-class CoalesceStream : public TupleStream {
- public:
-  /// Groups by all attributes except the lifespan pair.
-  static Result<std::unique_ptr<CoalesceStream>> Create(
-      std::unique_ptr<TupleStream> child);
-
-  const Schema& schema() const override { return child_->schema(); }
-  Status OpenImpl() override;
-  Result<bool> NextImpl(Tuple* out) override;
-  std::vector<const TupleStream*> children() const override {
-    return {child_.get()};
-  }
-
- private:
-  CoalesceStream(std::unique_ptr<TupleStream> child, LifespanRef lifespan,
-                 std::vector<size_t> group_attrs);
-
-  bool SameGroup(const Tuple& a, const Tuple& b) const;
-
-  std::unique_ptr<TupleStream> child_;
-  LifespanRef lifespan_;
-  std::vector<size_t> group_attrs_;
-
-  Tuple pending_;
-  Interval pending_span_;
-  bool has_pending_ = false;
-  bool done_ = false;
-};
+// Temporal coalescing lives in src/semantic/coalesce.h (CoalesceStream);
+// this header keeps the other normalization conveniences.
 
 /// Timeslice ("as of t"): emits the tuples whose lifespan contains the
 /// given time point — the snapshot of the temporal relation at t.

@@ -133,6 +133,40 @@ Result<std::unique_ptr<TupleStream>> BuildStreamOperator(
                                       right.Scan(), {0}, {0},
                                       nullptr, JoinNaming{}, threads);
     }
+    case PairwiseOp::kLeftOuterJoin:
+    case PairwiseOp::kRightOuterJoin:
+    case PairwiseOp::kFullOuterJoin: {
+      OuterJoinOptions options;
+      options.mode = c.op == PairwiseOp::kLeftOuterJoin
+                         ? OuterJoinMode::kLeft
+                         : c.op == PairwiseOp::kRightOuterJoin
+                               ? OuterJoinMode::kRight
+                               : OuterJoinMode::kFull;
+      return MakeParallelOuterJoin(left.Scan(), right.Scan(), options,
+                                   threads);
+    }
+    case PairwiseOp::kAntiJoin: {
+      SubtractOptions options;
+      options.mode = SubtractMode::kAll;
+      return MakeParallelSubtract(left.Scan(), right.Scan(), options,
+                                  threads);
+    }
+    case PairwiseOp::kExcept: {
+      SubtractOptions options;
+      options.mode = SubtractMode::kValueEqual;
+      return MakeParallelSubtract(left.Scan(), right.Scan(), options,
+                                  threads);
+    }
+    case PairwiseOp::kUnion: {
+      return MakeParallelSequencedUnion(left.Scan(), right.Scan(), threads);
+    }
+    case PairwiseOp::kIntersect: {
+      return MakeParallelSequencedIntersect(left.Scan(), right.Scan(),
+                                            threads);
+    }
+    case PairwiseOp::kCoalesce: {
+      return MakeParallelCoalesce(left.Scan(), threads);
+    }
   }
   return Status::InvalidArgument("unknown operator");
 }
@@ -232,6 +266,17 @@ Result<std::unique_ptr<TupleStream>> BuildNoGcOperator(
                                                std::move(pred));
       return semi;
     }
+    case PairwiseOp::kLeftOuterJoin:
+    case PairwiseOp::kRightOuterJoin:
+    case PairwiseOp::kFullOuterJoin:
+    case PairwiseOp::kAntiJoin:
+    case PairwiseOp::kUnion:
+    case PairwiseOp::kIntersect:
+    case PairwiseOp::kExcept:
+    case PairwiseOp::kCoalesce:
+      return Status::InvalidArgument(
+          "no no-GC twin for " + std::string(PairwiseOpName(c.op)) +
+          " (see HasNoGcMode)");
   }
   return Status::InvalidArgument("unknown operator");
 }
@@ -342,8 +387,35 @@ std::vector<std::pair<TemporalSortOrder, TemporalSortOrder>> SupportedOrders(
     case PairwiseOp::kEquiJoin:
       // Order-free: these are input arrangements, not requirements.
       return {{kFA, kFA}, {kTD, kTD}, {kTA, kTA}};
+    case PairwiseOp::kLeftOuterJoin:
+    case PairwiseOp::kRightOuterJoin:
+    case PairwiseOp::kFullOuterJoin:
+    case PairwiseOp::kAntiJoin:
+    case PairwiseOp::kUnion:
+    case PairwiseOp::kIntersect:
+    case PairwiseOp::kExcept:
+    case PairwiseOp::kCoalesce:
+      // The gap-finality/merge arguments need ascending starts on both
+      // sides; coalescing sorts by its own key and ignores the tokens.
+      return {{kFA, kFA}};
   }
   return {};
+}
+
+bool HasNoGcMode(PairwiseOp op) {
+  switch (op) {
+    case PairwiseOp::kLeftOuterJoin:
+    case PairwiseOp::kRightOuterJoin:
+    case PairwiseOp::kFullOuterJoin:
+    case PairwiseOp::kAntiJoin:
+    case PairwiseOp::kUnion:
+    case PairwiseOp::kIntersect:
+    case PairwiseOp::kExcept:
+    case PairwiseOp::kCoalesce:
+      return false;
+    default:
+      return true;
+  }
 }
 
 Result<DifferentialResult> RunDifferentialCase(const DifferentialCase& c) {
@@ -357,19 +429,27 @@ Result<DifferentialResult> RunDifferentialCase(const DifferentialCase& c) {
   TEMPUS_ASSIGN_OR_RETURN(TemporalRelation right,
                           MakeWorkloadRelation("y", right_spec));
 
+  const bool single_operand = IsSelfOp(c.op) || IsUnaryOp(c.op);
   TEMPUS_ASSIGN_OR_RETURN(
       TemporalRelation oracle,
-      OracleEvaluate(c.op, left, IsSelfOp(c.op) ? left : right));
+      OracleEvaluate(c.op, left, single_operand ? left : right));
 
   // Production inputs: sorted to the promised orders for the stream
   // operators, consumed as arranged for the order-free no-GC execution.
+  // Coalescing promises its own composite order (value group, then
+  // lifespan), so its input sorts by that key instead of the case's order
+  // token.
   TemporalRelation engine_left = left;
   TemporalRelation engine_right = right;
   if (c.mode != ExecMode::kNoGc) {
-    TEMPUS_ASSIGN_OR_RETURN(SortSpec lspec,
-                            c.left_order.ToSortSpec(left.schema()));
+    SortSpec lspec;
+    if (c.op == PairwiseOp::kCoalesce) {
+      TEMPUS_ASSIGN_OR_RETURN(lspec, CoalesceSortSpec(left.schema()));
+    } else {
+      TEMPUS_ASSIGN_OR_RETURN(lspec, c.left_order.ToSortSpec(left.schema()));
+    }
     engine_left = left.SortedBy(lspec);
-    if (!IsSelfOp(c.op)) {
+    if (!single_operand) {
       TEMPUS_ASSIGN_OR_RETURN(SortSpec rspec,
                               c.right_order.ToSortSpec(right.schema()));
       engine_right = right.SortedBy(rspec);
@@ -395,7 +475,7 @@ Result<DifferentialResult> RunDifferentialCase(const DifferentialCase& c) {
                                    pool.get()));
     left_src = {nullptr,
                 std::make_shared<const PagedRelation>(std::move(spilled_left))};
-    if (!IsSelfOp(c.op)) {
+    if (!single_operand) {
       TEMPUS_ASSIGN_OR_RETURN(
           PagedRelation spilled_right,
           PagedRelation::SpillToDisk(engine_right, c.tuples_per_page,
@@ -472,6 +552,23 @@ Result<DifferentialResult> RunDifferentialCase(const DifferentialCase& c) {
         result.bound = (c.left_order == kFD || c.left_order == kTA)
                            ? 1
                            : sx.max_concurrency + 1;
+        break;
+      case PairwiseOp::kLeftOuterJoin:
+      case PairwiseOp::kRightOuterJoin:
+      case PairwiseOp::kFullOuterJoin:
+      case PairwiseOp::kAntiJoin:
+      case PairwiseOp::kExcept:
+        // Sweep states plus the in-flight gap/residual queue.
+        result.bound = 2 * mc_sum;
+        break;
+      case PairwiseOp::kUnion:
+        result.bound = 0;  // A stateless linear merge.
+        break;
+      case PairwiseOp::kIntersect:
+        result.bound = mc_sum;
+        break;
+      case PairwiseOp::kCoalesce:
+        result.bound = 1;  // The single accumulator tuple.
         break;
     }
     result.bound_ok = result.peak_workspace <= result.bound;

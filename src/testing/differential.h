@@ -104,9 +104,19 @@ struct DifferentialResult {
 /// The (left, right) order combinations the sequential/parallel operator
 /// accepts. Order-free operators (Before-join/semijoin, equi-join) return
 /// three input arrangements since any order works; self-semijoins use only
-/// the left element of each pair.
+/// the left element of each pair. The sequenced operators (outer/anti
+/// joins, set operations, coalescing) accept exactly ValidFrom^ on both
+/// sides — coalescing ignores the tokens entirely and sorts its input by
+/// the coalescing key.
 std::vector<std::pair<TemporalSortOrder, TemporalSortOrder>> SupportedOrders(
     PairwiseOp op);
+
+/// Whether the operator has an order-free no-GC degenerate twin
+/// (NoGcStreamJoin / NestedLoopSemijoin). The sequenced operators do not:
+/// their outputs are derived interval sets (gaps, residuals, merged
+/// maximal intervals), not filtered pairs, so ExecMode::kNoGc cases only
+/// exist for the Figure 2 operator set.
+bool HasNoGcMode(PairwiseOp op);
 
 /// Generates the operands, evaluates the oracle and the production
 /// configuration, and compares. Returns an error only when the harness

@@ -1,5 +1,7 @@
 #include "testing/oracle.h"
 
+#include <algorithm>
+
 #include "join/join_common.h"
 
 namespace tempus {
@@ -27,6 +29,218 @@ bool Intersects(Endpoints x, Endpoints y) {
 
 bool Before(Endpoints x, Endpoints y) { return x.to < y.from; }
 
+/// Equality on every attribute except the schema's lifespan pair — the
+/// value-group predicate of EXCEPT/INTERSECT/coalesce (equal schemas, so
+/// one index set serves both tuples).
+bool ValuesEqual(const Schema& schema, const Tuple& a, const Tuple& b) {
+  for (size_t i = 0; i < schema.attribute_count(); ++i) {
+    if (i == schema.valid_from_index() || i == schema.valid_to_index()) {
+      continue;
+    }
+    if (!a[i].Equals(b[i])) return false;
+  }
+  return true;
+}
+
+/// The maximal sub-intervals of `span` covered by no element of `covers`
+/// — naive interval-set subtraction by sorting the (already clipped or
+/// clippable) covering intervals and walking a watermark left to right.
+std::vector<Endpoints> UncoveredParts(Endpoints span,
+                                      std::vector<Endpoints> covers) {
+  std::vector<Endpoints> gaps;
+  std::sort(covers.begin(), covers.end(),
+            [](Endpoints a, Endpoints b) {
+              return a.from != b.from ? a.from < b.from : a.to < b.to;
+            });
+  TimePoint watermark = span.from;
+  for (const Endpoints& c : covers) {
+    const TimePoint from = std::max(c.from, span.from);
+    const TimePoint to = std::min(c.to, span.to);
+    if (from >= to) continue;  // No overlap with the span.
+    if (from > watermark) gaps.push_back({watermark, from});
+    watermark = std::max(watermark, to);
+  }
+  if (watermark < span.to) gaps.push_back({watermark, span.to});
+  return gaps;
+}
+
+/// A null-padded outer-join gap row mirroring the operator contract: the
+/// present side's values are copied, the other side is all null, and every
+/// non-null lifespan column (the designated left-position pair plus the
+/// present side's own pair) carries the gap itself.
+Tuple MakeOracleGapRow(const Schema& out_schema, const Schema& xs,
+                       const Schema& ys, const Tuple& t, Endpoints gap,
+                       bool left_side) {
+  const size_t left_width = xs.attribute_count();
+  const size_t right_width = ys.attribute_count();
+  std::vector<Value> values(left_width + right_width);
+  if (left_side) {
+    for (size_t i = 0; i < left_width; ++i) values[i] = t[i];
+  } else {
+    for (size_t i = 0; i < right_width; ++i) values[left_width + i] = t[i];
+  }
+  Tuple row{std::move(values)};
+  if (!left_side) {
+    row.Set(left_width + ys.valid_from_index(), Value::Time(gap.from));
+    row.Set(left_width + ys.valid_to_index(), Value::Time(gap.to));
+  }
+  row.Set(out_schema.valid_from_index(), Value::Time(gap.from));
+  row.Set(out_schema.valid_to_index(), Value::Time(gap.to));
+  return row;
+}
+
+/// Sequenced outer join: every intersecting pair emits x ++ y with the
+/// designated lifespan stamped to the intersection; each tracked-side
+/// tuple additionally emits one gap row per maximal uncovered sub-interval
+/// of its lifespan.
+Result<TemporalRelation> OracleOuterJoin(const TemporalRelation& x,
+                                         const TemporalRelation& y,
+                                         bool track_left, bool track_right) {
+  const Schema& xs = x.schema();
+  const Schema& ys = y.schema();
+  TEMPUS_ASSIGN_OR_RETURN(Schema out_schema,
+                          MakeJoinOutputSchema(xs, ys, JoinNaming{}));
+  TemporalRelation out("oracle_out", out_schema);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const Endpoints xi = EndpointsOf(xs, x.tuple(i));
+    std::vector<Endpoints> covers;
+    for (size_t j = 0; j < y.size(); ++j) {
+      const Endpoints yj = EndpointsOf(ys, y.tuple(j));
+      if (!Intersects(xi, yj)) continue;
+      const Endpoints inter{std::max(xi.from, yj.from),
+                            std::min(xi.to, yj.to)};
+      covers.push_back(inter);
+      Tuple row = Tuple::Concat(x.tuple(i), y.tuple(j));
+      row.Set(out_schema.valid_from_index(), Value::Time(inter.from));
+      row.Set(out_schema.valid_to_index(), Value::Time(inter.to));
+      TEMPUS_RETURN_IF_ERROR(out.Append(std::move(row)));
+    }
+    if (track_left) {
+      for (const Endpoints& gap : UncoveredParts(xi, std::move(covers))) {
+        TEMPUS_RETURN_IF_ERROR(out.Append(MakeOracleGapRow(
+            out_schema, xs, ys, x.tuple(i), gap, /*left_side=*/true)));
+      }
+    }
+  }
+  if (track_right) {
+    for (size_t j = 0; j < y.size(); ++j) {
+      const Endpoints yj = EndpointsOf(ys, y.tuple(j));
+      std::vector<Endpoints> covers;
+      for (size_t i = 0; i < x.size(); ++i) {
+        const Endpoints xi = EndpointsOf(xs, x.tuple(i));
+        if (!Intersects(xi, yj)) continue;
+        covers.push_back({std::max(xi.from, yj.from),
+                          std::min(xi.to, yj.to)});
+      }
+      for (const Endpoints& gap : UncoveredParts(yj, std::move(covers))) {
+        TEMPUS_RETURN_IF_ERROR(out.Append(MakeOracleGapRow(
+            out_schema, xs, ys, y.tuple(j), gap, /*left_side=*/false)));
+      }
+    }
+  }
+  return out;
+}
+
+/// Interval-set subtraction: each left tuple, minus every subtracting
+/// right interval, emits its lifespan rewritten to each maximal residual.
+/// `value_equal` restricts the subtrahends to value-equal right tuples
+/// (the sequenced EXCEPT); otherwise every overlapping right tuple
+/// subtracts (the temporal anti join).
+Result<TemporalRelation> OracleSubtract(const TemporalRelation& x,
+                                        const TemporalRelation& y,
+                                        bool value_equal) {
+  const Schema& xs = x.schema();
+  const Schema& ys = y.schema();
+  TemporalRelation out("oracle_out", xs);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const Endpoints xi = EndpointsOf(xs, x.tuple(i));
+    std::vector<Endpoints> covers;
+    for (size_t j = 0; j < y.size(); ++j) {
+      const Endpoints yj = EndpointsOf(ys, y.tuple(j));
+      if (!Intersects(xi, yj)) continue;
+      if (value_equal && !ValuesEqual(xs, x.tuple(i), y.tuple(j))) continue;
+      covers.push_back({std::max(xi.from, yj.from),
+                        std::min(xi.to, yj.to)});
+    }
+    for (const Endpoints& residual : UncoveredParts(xi, std::move(covers))) {
+      Tuple row = x.tuple(i);
+      row.Set(xs.valid_from_index(), Value::Time(residual.from));
+      row.Set(xs.valid_to_index(), Value::Time(residual.to));
+      TEMPUS_RETURN_IF_ERROR(out.Append(std::move(row)));
+    }
+  }
+  return out;
+}
+
+/// Sequenced intersection: every value-equal pair with intersecting
+/// lifespans emits the left tuple stamped with the intersection.
+Result<TemporalRelation> OracleIntersect(const TemporalRelation& x,
+                                         const TemporalRelation& y) {
+  const Schema& xs = x.schema();
+  TemporalRelation out("oracle_out", xs);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const Endpoints xi = EndpointsOf(xs, x.tuple(i));
+    for (size_t j = 0; j < y.size(); ++j) {
+      const Endpoints yj = EndpointsOf(y.schema(), y.tuple(j));
+      if (!Intersects(xi, yj)) continue;
+      if (!ValuesEqual(xs, x.tuple(i), y.tuple(j))) continue;
+      Tuple row = x.tuple(i);
+      row.Set(xs.valid_from_index(),
+              Value::Time(std::max(xi.from, yj.from)));
+      row.Set(xs.valid_to_index(), Value::Time(std::min(xi.to, yj.to)));
+      TEMPUS_RETURN_IF_ERROR(out.Append(std::move(row)));
+    }
+  }
+  return out;
+}
+
+/// Coalescing: one row per maximal interval of each value group's merged
+/// lifespans, where overlapping AND adjacent intervals connect (duplicates
+/// collapse — the output is a set of maximal intervals per group).
+Result<TemporalRelation> OracleCoalesce(const TemporalRelation& x) {
+  const Schema& xs = x.schema();
+  TemporalRelation out("oracle_out", xs);
+  std::vector<bool> grouped(x.size(), false);
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (grouped[i]) continue;
+    std::vector<Endpoints> spans;
+    for (size_t j = i; j < x.size(); ++j) {
+      if (grouped[j]) continue;
+      if (!ValuesEqual(xs, x.tuple(i), x.tuple(j))) continue;
+      grouped[j] = true;
+      spans.push_back(EndpointsOf(xs, x.tuple(j)));
+    }
+    std::sort(spans.begin(), spans.end(), [](Endpoints a, Endpoints b) {
+      return a.from != b.from ? a.from < b.from : a.to < b.to;
+    });
+    size_t k = 0;
+    while (k < spans.size()) {
+      Endpoints merged = spans[k++];
+      while (k < spans.size() && spans[k].from <= merged.to) {
+        merged.to = std::max(merged.to, spans[k++].to);
+      }
+      Tuple row = x.tuple(i);
+      row.Set(xs.valid_from_index(), Value::Time(merged.from));
+      row.Set(xs.valid_to_index(), Value::Time(merged.to));
+      TEMPUS_RETURN_IF_ERROR(out.Append(std::move(row)));
+    }
+  }
+  return out;
+}
+
+/// Bag union-all of two equal-schema relations.
+Result<TemporalRelation> OracleUnion(const TemporalRelation& x,
+                                     const TemporalRelation& y) {
+  TemporalRelation out("oracle_out", x.schema());
+  for (size_t i = 0; i < x.size(); ++i) {
+    TEMPUS_RETURN_IF_ERROR(out.Append(x.tuple(i)));
+  }
+  for (size_t j = 0; j < y.size(); ++j) {
+    TEMPUS_RETURN_IF_ERROR(out.Append(y.tuple(j)));
+  }
+  return out;
+}
+
 }  // namespace
 
 const std::vector<PairwiseOp>& AllPairwiseOps() {
@@ -36,6 +250,10 @@ const std::vector<PairwiseOp>& AllPairwiseOps() {
       PairwiseOp::kContainedSemijoin,    PairwiseOp::kBeforeJoin,
       PairwiseOp::kBeforeSemijoin,       PairwiseOp::kSelfContainedSemijoin,
       PairwiseOp::kSelfContainSemijoin,  PairwiseOp::kEquiJoin,
+      PairwiseOp::kLeftOuterJoin,        PairwiseOp::kRightOuterJoin,
+      PairwiseOp::kFullOuterJoin,        PairwiseOp::kAntiJoin,
+      PairwiseOp::kUnion,                PairwiseOp::kIntersect,
+      PairwiseOp::kExcept,               PairwiseOp::kCoalesce,
   };
   return ops;
 }
@@ -52,6 +270,14 @@ std::string_view PairwiseOpName(PairwiseOp op) {
     case PairwiseOp::kSelfContainedSemijoin: return "self-contained-semijoin";
     case PairwiseOp::kSelfContainSemijoin: return "self-contain-semijoin";
     case PairwiseOp::kEquiJoin: return "equi-join";
+    case PairwiseOp::kLeftOuterJoin: return "left-outer-join";
+    case PairwiseOp::kRightOuterJoin: return "right-outer-join";
+    case PairwiseOp::kFullOuterJoin: return "full-outer-join";
+    case PairwiseOp::kAntiJoin: return "anti-join";
+    case PairwiseOp::kUnion: return "union";
+    case PairwiseOp::kIntersect: return "intersect";
+    case PairwiseOp::kExcept: return "except";
+    case PairwiseOp::kCoalesce: return "coalesce";
   }
   return "unknown";
 }
@@ -67,6 +293,8 @@ bool IsSelfOp(PairwiseOp op) {
   return op == PairwiseOp::kSelfContainedSemijoin ||
          op == PairwiseOp::kSelfContainSemijoin;
 }
+
+bool IsUnaryOp(PairwiseOp op) { return op == PairwiseOp::kCoalesce; }
 
 bool IsSemijoin(PairwiseOp op) {
   switch (op) {
@@ -90,6 +318,8 @@ Result<TemporalRelation> OracleEvaluate(PairwiseOp op,
     return Status::InvalidArgument("oracle operand has no lifespan: " +
                                    x.name());
   }
+
+  if (op == PairwiseOp::kCoalesce) return OracleCoalesce(x);
 
   // Self-semijoins: one operand, pairs restricted to distinct indices.
   if (IsSelfOp(op)) {
@@ -115,6 +345,28 @@ Result<TemporalRelation> OracleEvaluate(PairwiseOp op,
   if (!ys.has_lifespan()) {
     return Status::InvalidArgument("oracle operand has no lifespan: " +
                                    y.name());
+  }
+
+  switch (op) {
+    case PairwiseOp::kLeftOuterJoin:
+      return OracleOuterJoin(x, y, /*track_left=*/true,
+                             /*track_right=*/false);
+    case PairwiseOp::kRightOuterJoin:
+      return OracleOuterJoin(x, y, /*track_left=*/false,
+                             /*track_right=*/true);
+    case PairwiseOp::kFullOuterJoin:
+      return OracleOuterJoin(x, y, /*track_left=*/true,
+                             /*track_right=*/true);
+    case PairwiseOp::kAntiJoin:
+      return OracleSubtract(x, y, /*value_equal=*/false);
+    case PairwiseOp::kExcept:
+      return OracleSubtract(x, y, /*value_equal=*/true);
+    case PairwiseOp::kUnion:
+      return OracleUnion(x, y);
+    case PairwiseOp::kIntersect:
+      return OracleIntersect(x, y);
+    default:
+      break;
   }
 
   const auto predicate = [op](Endpoints a, Endpoints b,

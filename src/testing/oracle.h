@@ -11,8 +11,9 @@
 namespace tempus {
 namespace testing {
 
-/// The ten pairwise temporal operators under differential test — the
-/// paper's Figure 2 operator set as realized by the stream library (see
+/// The pairwise temporal operators under differential test — the paper's
+/// Figure 2 operator set as realized by the stream library plus the
+/// sequenced outer/anti joins, set operations, and coalescing (see
 /// src/parallel/parallel_ops.h for the production factories).
 enum class PairwiseOp {
   kContainJoin,
@@ -25,6 +26,14 @@ enum class PairwiseOp {
   kSelfContainedSemijoin,
   kSelfContainSemijoin,
   kEquiJoin,
+  kLeftOuterJoin,
+  kRightOuterJoin,
+  kFullOuterJoin,
+  kAntiJoin,
+  kUnion,
+  kIntersect,
+  kExcept,
+  kCoalesce,
 };
 
 const std::vector<PairwiseOp>& AllPairwiseOps();
@@ -35,6 +44,10 @@ Result<PairwiseOp> PairwiseOpFromName(std::string_view name);
 
 /// Self-semijoins take a single operand (the right relation is ignored).
 bool IsSelfOp(PairwiseOp op);
+
+/// Unary operators (coalescing) also ignore the right relation, but pair
+/// the operand with itself rather than restricting to distinct indices.
+bool IsUnaryOp(PairwiseOp op);
 
 /// Semijoins emit left tuples unchanged; joins emit concatenations.
 bool IsSemijoin(PairwiseOp op);

@@ -49,6 +49,8 @@ class Parser {
   Result<ScalarTerm> ParseTerm();
   Status ParseTargets(ConjunctiveQuery* query);
   Status ParseWhere(ConjunctiveQuery* query);
+  Result<bool> ParseSequenced(ConjunctiveQuery* query);
+  Status ParseInto(ConjunctiveQuery* query);
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
@@ -185,6 +187,88 @@ Status Parser::ParseWhere(ConjunctiveQuery* query) {
   return Status::Ok();
 }
 
+Status Parser::ParseInto(ConjunctiveQuery* query) {
+  if (ConsumeKeyword("into")) {
+    TEMPUS_ASSIGN_OR_RETURN(Token into,
+                            Expect(TokenKind::kIdent, "result name"));
+    query->into = into.text;
+  }
+  if (Peek().kind != TokenKind::kEnd) {
+    return Error("unexpected trailing input");
+  }
+  return Status::Ok();
+}
+
+/// The sequenced whole-relation statements (docs/TQL.md):
+///   ('left'|'right'|'full') join R S on overlap[s] [into N]
+///   anti join R S [on overlap[s]] [into N]
+///   R ('union'|'intersect'|'except') S [into N]
+///   coalesce R [into N]
+/// Returns true when the input is one of them (query is then complete).
+Result<bool> Parser::ParseSequenced(ConjunctiveQuery* query) {
+  SequencedOp op = SequencedOp::kNone;
+  bool join_form = false;
+  if (PeekKeyword("left") && EqualsIgnoreCase(Peek2().text, "join")) {
+    op = SequencedOp::kLeftJoin;
+    join_form = true;
+  } else if (PeekKeyword("right") && EqualsIgnoreCase(Peek2().text, "join")) {
+    op = SequencedOp::kRightJoin;
+    join_form = true;
+  } else if (PeekKeyword("full") && EqualsIgnoreCase(Peek2().text, "join")) {
+    op = SequencedOp::kFullJoin;
+    join_form = true;
+  } else if (PeekKeyword("anti") && EqualsIgnoreCase(Peek2().text, "join")) {
+    op = SequencedOp::kAntiJoin;
+    join_form = true;
+  } else if (PeekKeyword("coalesce")) {
+    Take();
+    TEMPUS_ASSIGN_OR_RETURN(Token rel,
+                            Expect(TokenKind::kIdent, "relation name"));
+    query->sequenced_op = SequencedOp::kCoalesce;
+    query->sequenced_left = rel.text;
+    TEMPUS_RETURN_IF_ERROR(ParseInto(query));
+    return true;
+  } else if (Peek().kind == TokenKind::kIdent &&
+             (EqualsIgnoreCase(Peek2().text, "union") ||
+              EqualsIgnoreCase(Peek2().text, "intersect") ||
+              EqualsIgnoreCase(Peek2().text, "except"))) {
+    Token left = Take();
+    Token kw = Take();
+    TEMPUS_ASSIGN_OR_RETURN(Token right,
+                            Expect(TokenKind::kIdent, "relation name"));
+    query->sequenced_op = EqualsIgnoreCase(kw.text, "union")
+                              ? SequencedOp::kUnion
+                              : EqualsIgnoreCase(kw.text, "intersect")
+                                    ? SequencedOp::kIntersect
+                                    : SequencedOp::kExcept;
+    query->sequenced_left = left.text;
+    query->sequenced_right = right.text;
+    TEMPUS_RETURN_IF_ERROR(ParseInto(query));
+    return true;
+  }
+  if (!join_form) return false;
+  Take();  // left/right/full/anti
+  Take();  // join
+  TEMPUS_ASSIGN_OR_RETURN(Token left,
+                          Expect(TokenKind::kIdent, "relation name"));
+  TEMPUS_ASSIGN_OR_RETURN(Token right,
+                          Expect(TokenKind::kIdent, "relation name"));
+  // The only supported join condition is interval overlap; the outer joins
+  // require it spelled out, the anti join accepts it as documentation.
+  if (ConsumeKeyword("on")) {
+    if (!ConsumeKeyword("overlaps") && !ConsumeKeyword("overlap")) {
+      return Error("expected 'overlaps' after 'on'");
+    }
+  } else if (op != SequencedOp::kAntiJoin) {
+    return Error("expected 'on overlaps' join condition");
+  }
+  query->sequenced_op = op;
+  query->sequenced_left = left.text;
+  query->sequenced_right = right.text;
+  TEMPUS_RETURN_IF_ERROR(ParseInto(query));
+  return true;
+}
+
 Result<ConjunctiveQuery> Parser::Parse() {
   ConjunctiveQuery query;
   // "analyze <relation>": a statement of its own (queries always start
@@ -203,6 +287,8 @@ Result<ConjunctiveQuery> Parser::Parse() {
     query.explain_mode = ConsumeKeyword("analyze") ? ExplainMode::kAnalyze
                                                    : ExplainMode::kPlan;
   }
+  TEMPUS_ASSIGN_OR_RETURN(bool sequenced, ParseSequenced(&query));
+  if (sequenced) return query;
   while (PeekKeyword("range")) {
     Take();
     TEMPUS_RETURN_IF_ERROR(ExpectKeyword("of"));

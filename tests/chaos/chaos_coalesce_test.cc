@@ -1,0 +1,143 @@
+// Chaos coverage for the "coalesce.merge" fault point: it fires inside
+// CoalesceStream each time an input tuple merges into the accumulator, so
+// an injected failure lands mid-group — with a partially accumulated
+// maximal interval live in the workspace. The drain must unwind as a clean
+// Status (no partially merged row reported as output), the GC ledger must
+// balance on the abandoned plan, and a rewind after disarming must produce
+// the full coalesced result.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "semantic/coalesce.h"
+#include "stream/stream.h"
+#include "testing/test_util.h"
+#include "testing/workload.h"
+
+namespace tempus {
+namespace {
+
+using testing::Arrangement;
+using testing::Distribution;
+using testing::MakeWorkloadRelation;
+using testing::WorkloadSpec;
+
+class ChaosCoalesceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  /// A workload relation with V folded to a small range so value groups
+  /// repeat and the accumulator actually merges, sorted to the coalescing
+  /// order.
+  TemporalRelation MakeMergeHeavyInput() {
+    WorkloadSpec spec;
+    spec.distribution = Distribution::kAllOverlapping;
+    spec.arrangement = Arrangement::kShuffled;
+    spec.count = 64;
+    spec.seed = 917;
+    Result<TemporalRelation> rel = MakeWorkloadRelation("input", spec);
+    EXPECT_TRUE(rel.ok()) << rel.status().ToString();
+    TemporalRelation folded("input", rel->schema());
+    for (size_t i = 0; i < rel->size(); ++i) {
+      Tuple t = rel->tuple(i);
+      t.Set(1, Value::Int(t[1].int_value() % 2));
+      TEMPUS_EXPECT_OK(folded.Append(std::move(t)));
+    }
+    Result<SortSpec> sort = CoalesceSortSpec(folded.schema());
+    EXPECT_TRUE(sort.ok()) << sort.status().ToString();
+    return folded.SortedBy(*sort);
+  }
+
+  void ExpectLedgerHolds(const TupleStream& root) {
+    const OperatorMetrics m = CollectPlanMetrics(root);
+    EXPECT_EQ(m.workspace_inserted, m.gc_discarded + m.workspace_tuples);
+  }
+};
+
+TEST_F(ChaosCoalesceTest, MergeFaultAbandonsDrainWithLedgerIntact) {
+  const TemporalRelation input = MakeMergeHeavyInput();
+
+  // Clean reference: with merges happening, output is strictly smaller.
+  Result<std::unique_ptr<CoalesceStream>> clean =
+      CoalesceStream::Create(VectorStream::Scan(input));
+  TEMPUS_ASSERT_OK(clean.status());
+  Result<TemporalRelation> expected = Materialize(clean->get(), "expected");
+  TEMPUS_ASSERT_OK(expected.status());
+  ASSERT_LT(expected->size(), input.size())
+      << "the input must exercise the merge step";
+
+  Result<std::unique_ptr<CoalesceStream>> stream =
+      CoalesceStream::Create(VectorStream::Scan(input));
+  TEMPUS_ASSERT_OK(stream.status());
+
+  // Fail the 3rd merge: mid-drain, with the accumulator holding a
+  // partially extended interval.
+  FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.message = "merge arena exhausted";
+  spec.trigger_at = 3;
+  FaultInjector::Global().Arm("coalesce.merge", spec);
+
+  Result<TemporalRelation> out = Materialize(stream->get(), "out");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(FaultInjector::Global().FireCount("coalesce.merge"), 1u);
+  ExpectLedgerHolds(**stream);
+
+  // Recovery: disarm and rewind the SAME operator; Open() retires the
+  // abandoned accumulator through the ledger and the full result flows.
+  FaultInjector::Global().Reset();
+  Result<TemporalRelation> retry = Materialize(stream->get(), "retry");
+  TEMPUS_ASSERT_OK(retry.status());
+  testing::ExpectSameTuples(*retry, *expected);
+  ExpectLedgerHolds(**stream);
+}
+
+TEST_F(ChaosCoalesceTest, MergeHitCountMatchesCollapsedRows) {
+  // Each merge consumes exactly one input row without emitting, so over a
+  // clean drain hits == input rows - output rows. Arm with an unreachable
+  // trigger ordinal: hits are counted, nothing fires.
+  const TemporalRelation input = MakeMergeHeavyInput();
+  Result<std::unique_ptr<CoalesceStream>> stream =
+      CoalesceStream::Create(VectorStream::Scan(input));
+  TEMPUS_ASSERT_OK(stream.status());
+
+  FaultSpec spec;
+  spec.trigger_at = 1u << 30;
+  FaultInjector::Global().Arm("coalesce.merge", spec);
+
+  Result<TemporalRelation> out = Materialize(stream->get(), "out");
+  TEMPUS_ASSERT_OK(out.status());
+  EXPECT_EQ(FaultInjector::Global().FireCount("coalesce.merge"), 0u);
+  EXPECT_EQ(FaultInjector::Global().HitCount("coalesce.merge"),
+            input.size() - out->size());
+}
+
+TEST_F(ChaosCoalesceTest, RepeatedMergeFaultNeverWedges) {
+  const TemporalRelation input = MakeMergeHeavyInput();
+  Result<std::unique_ptr<CoalesceStream>> stream =
+      CoalesceStream::Create(VectorStream::Scan(input));
+  TEMPUS_ASSERT_OK(stream.status());
+
+  FaultSpec spec;
+  spec.repeat = true;
+  FaultInjector::Global().Arm("coalesce.merge", spec);
+
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    Result<TemporalRelation> out = Materialize(stream->get(), "out");
+    EXPECT_FALSE(out.ok()) << "attempt " << attempt;
+    ExpectLedgerHolds(**stream);
+  }
+
+  FaultInjector::Global().Reset();
+  Result<TemporalRelation> ok = Materialize(stream->get(), "ok");
+  TEMPUS_ASSERT_OK(ok.status());
+  EXPECT_LT(ok->size(), input.size());
+}
+
+}  // namespace
+}  // namespace tempus

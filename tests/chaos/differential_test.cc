@@ -69,6 +69,8 @@ TEST(DifferentialSuite, StreamModesAgreeWithOracleEverywhere) {
 TEST(DifferentialSuite, NoGcModeAgreesWithOracleUnderAnyOrder) {
   size_t case_index = 0;
   for (PairwiseOp op : AllPairwiseOps()) {
+    // The sequenced operators have no order-free degenerate twin.
+    if (!HasNoGcMode(op)) continue;
     for (Distribution dist : AllDistributions()) {
       for (Arrangement arr : AllArrangements()) {
         DifferentialCase c;
@@ -93,6 +95,7 @@ TEST(DifferentialSuite, EmptyAndSingletonOperands) {
     for (size_t count : {size_t{0}, size_t{1}}) {
       for (ExecMode mode : {ExecMode::kSequential, ExecMode::kParallel,
                             ExecMode::kNoGc}) {
+        if (mode == ExecMode::kNoGc && !HasNoGcMode(op)) continue;
         DifferentialCase c;
         c.op = op;
         c.mode = mode;
@@ -143,9 +146,12 @@ TEST(DifferentialSuite, MirrorOrdersOnDuplicateEndpoints) {
 /// exactly.
 TEST(DifferentialSuite, DiskModeThroughTinyPoolAgreesWithOracle) {
   size_t case_index = 0;
+  size_t expected = 0;
   for (PairwiseOp op : AllPairwiseOps()) {
     for (ExecMode mode : {ExecMode::kSequential, ExecMode::kParallel,
                           ExecMode::kNoGc}) {
+      if (mode == ExecMode::kNoGc && !HasNoGcMode(op)) continue;
+      ++expected;
       DifferentialCase c;
       c.op = op;
       c.mode = mode;
@@ -166,7 +172,7 @@ TEST(DifferentialSuite, DiskModeThroughTinyPoolAgreesWithOracle) {
       ++case_index;
     }
   }
-  EXPECT_EQ(case_index, AllPairwiseOps().size() * 3);
+  EXPECT_EQ(case_index, expected);
 }
 
 /// The acceptance case spelled out: a Contain-join whose dataset is far

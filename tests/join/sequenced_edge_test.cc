@@ -1,0 +1,336 @@
+// Edge-case suite for the sequenced operator family: every operator
+// (left/right/full outer join, anti join, union, intersect, except,
+// coalesce) against empty, singleton, all-overlapping, and duplicate-value
+// inputs — the shapes where sweep/watermark code paths degenerate. Each
+// case checks exact output rows (or brute-force oracle agreement for the
+// denser shapes) plus the operator's workspace bound and GC-ledger
+// identity.
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "join/outer_join.h"
+#include "join/subtract.h"
+#include "relation/csv.h"
+#include "semantic/coalesce.h"
+#include "semantic/set_ops.h"
+#include "testing/oracle.h"
+#include "testing/test_util.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::MustMaterialize;
+using ::tempus::testing::PairwiseOp;
+
+struct Row {
+  int64_t s;
+  int64_t v;
+  TimePoint from;
+  TimePoint to;
+};
+
+/// Canonical <S, V, ValidFrom, ValidTo> relation, sorted ValidFrom^ (the
+/// order every sequenced operator requires).
+TemporalRelation MakeRel(const std::string& name,
+                         const std::vector<Row>& rows) {
+  TemporalRelation rel(name,
+                       Schema::Canonical("S", ValueType::kInt64, "V",
+                                         ValueType::kInt64));
+  for (const Row& r : rows) {
+    const Status s = rel.AppendRow(Value::Int(r.s), Value::Int(r.v), r.from,
+                                   r.to);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  return ::tempus::testing::SortedByOrder(rel, kByValidFromAsc);
+}
+
+std::string CanonicalCsv(const TemporalRelation& rel) {
+  std::vector<SortKey> keys;
+  for (size_t i = 0; i < rel.schema().attribute_count(); ++i) {
+    keys.push_back({i, SortDirection::kAscending});
+  }
+  std::ostringstream out;
+  const Status s = WriteCsv(rel.SortedBy(SortSpec(std::move(keys))), &out);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out.str();
+}
+
+/// Drains `stream` and checks the GC-ledger identity and — when `bound` is
+/// nonzero — the workspace bound afterwards.
+TemporalRelation DrainChecked(TupleStream* stream, size_t bound) {
+  const TemporalRelation out = MustMaterialize(stream, "out");
+  const OperatorMetrics& m = stream->metrics();
+  EXPECT_EQ(m.workspace_inserted, m.gc_discarded + m.workspace_tuples)
+      << "GC ledger out of balance";
+  if (bound > 0) {
+    EXPECT_LE(m.peak_workspace_tuples, bound) << "workspace bound exceeded";
+  } else {
+    EXPECT_EQ(m.peak_workspace_tuples, 0u) << "operator promises no state";
+  }
+  return out;
+}
+
+size_t MaxConcurrency(const TemporalRelation& rel) {
+  Result<RelationStats> stats = rel.ComputeStats();
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return stats.ok() ? stats->max_concurrency : 0;
+}
+
+/// The documented outer/anti/except bound for a given operand pair.
+size_t SweepBound(const TemporalRelation& x, const TemporalRelation& y) {
+  return 2 * (MaxConcurrency(x) + MaxConcurrency(y) + 2);
+}
+
+TemporalRelation RunOuter(const TemporalRelation& l, const TemporalRelation& r,
+                          OuterJoinMode mode) {
+  OuterJoinOptions options;
+  options.mode = mode;
+  // The oracle names its sides x/y; match so byte comparisons line up.
+  options.naming = JoinNaming{"x", "y"};
+  Result<std::unique_ptr<TemporalOuterJoin>> join = TemporalOuterJoin::Create(
+      VectorStream::Scan(l), VectorStream::Scan(r), options);
+  EXPECT_TRUE(join.ok()) << join.status().ToString();
+  return DrainChecked(join->get(), SweepBound(l, r));
+}
+
+TemporalRelation RunSubtract(const TemporalRelation& l,
+                             const TemporalRelation& r, SubtractMode mode) {
+  SubtractOptions options;
+  options.mode = mode;
+  Result<std::unique_ptr<TemporalSubtractStream>> sub =
+      TemporalSubtractStream::Create(VectorStream::Scan(l),
+                                     VectorStream::Scan(r), options);
+  EXPECT_TRUE(sub.ok()) << sub.status().ToString();
+  return DrainChecked(sub->get(), SweepBound(l, r));
+}
+
+TemporalRelation RunUnion(const TemporalRelation& l,
+                          const TemporalRelation& r) {
+  Result<std::unique_ptr<SequencedUnionStream>> u =
+      SequencedUnionStream::Create(VectorStream::Scan(l),
+                                   VectorStream::Scan(r));
+  EXPECT_TRUE(u.ok()) << u.status().ToString();
+  return DrainChecked(u->get(), 0);
+}
+
+TemporalRelation RunIntersect(const TemporalRelation& l,
+                              const TemporalRelation& r) {
+  Result<std::unique_ptr<SequencedIntersectStream>> i =
+      SequencedIntersectStream::Create(VectorStream::Scan(l),
+                                       VectorStream::Scan(r));
+  EXPECT_TRUE(i.ok()) << i.status().ToString();
+  return DrainChecked(i->get(), MaxConcurrency(l) + MaxConcurrency(r) + 2);
+}
+
+TemporalRelation RunCoalesce(const TemporalRelation& input) {
+  Result<SortSpec> spec = CoalesceSortSpec(input.schema());
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  const TemporalRelation sorted = input.SortedBy(*spec);
+  Result<std::unique_ptr<CoalesceStream>> c =
+      CoalesceStream::Create(VectorStream::Scan(sorted));
+  EXPECT_TRUE(c.ok()) << c.status().ToString();
+  return DrainChecked(c->get(), 1);
+}
+
+void ExpectOracleAgreement(PairwiseOp op, const TemporalRelation& l,
+                           const TemporalRelation& r,
+                           const TemporalRelation& actual) {
+  Result<TemporalRelation> oracle = testing::OracleEvaluate(op, l, r);
+  TEMPUS_ASSERT_OK(oracle.status());
+  EXPECT_EQ(CanonicalCsv(actual), CanonicalCsv(*oracle))
+      << "diverged from the brute-force oracle for "
+      << testing::PairwiseOpName(op);
+}
+
+// ---------------------------------------------------------------------------
+// Empty inputs.
+
+TEST(SequencedEdgeTest, EmptyInputsEverywhere) {
+  const TemporalRelation empty = MakeRel("empty", {});
+  const TemporalRelation some =
+      MakeRel("some", {{1, 10, 0, 5}, {2, 20, 3, 9}});
+
+  // Both sides empty: every operator is empty.
+  EXPECT_EQ(RunOuter(empty, empty, OuterJoinMode::kFull).size(), 0u);
+  EXPECT_EQ(RunSubtract(empty, empty, SubtractMode::kAll).size(), 0u);
+  EXPECT_EQ(RunUnion(empty, empty).size(), 0u);
+  EXPECT_EQ(RunIntersect(empty, empty).size(), 0u);
+  EXPECT_EQ(RunCoalesce(empty).size(), 0u);
+
+  // Empty right: left outer passes every left row through null-padded
+  // whole; anti join passes rows through untouched; intersect is empty;
+  // union and except are the left input.
+  const TemporalRelation left_gaps =
+      RunOuter(some, empty, OuterJoinMode::kLeft);
+  ASSERT_EQ(left_gaps.size(), 2u);
+  for (size_t i = 0; i < left_gaps.size(); ++i) {
+    const Tuple& row = left_gaps.tuple(i);
+    // <L.S, L.V, L.ValidFrom, L.ValidTo, R.S, R.V, R.ValidFrom, R.ValidTo>
+    EXPECT_TRUE(row[4].is_null());
+    EXPECT_TRUE(row[5].is_null());
+    // The designated lifespan carries the gap = the whole left lifespan.
+    EXPECT_EQ(row[2], some.tuple(i)[2]);
+    EXPECT_EQ(row[3], some.tuple(i)[3]);
+  }
+  EXPECT_EQ(RunOuter(some, empty, OuterJoinMode::kInner).size(), 0u);
+  EXPECT_EQ(CanonicalCsv(RunSubtract(some, empty, SubtractMode::kAll)),
+            CanonicalCsv(some));
+  EXPECT_EQ(CanonicalCsv(RunUnion(some, empty)), CanonicalCsv(some));
+  EXPECT_EQ(RunIntersect(some, empty).size(), 0u);
+  EXPECT_EQ(CanonicalCsv(RunSubtract(some, empty, SubtractMode::kValueEqual)),
+            CanonicalCsv(some));
+
+  // Empty left: right outer mirrors the gap padding; anti join is empty.
+  const TemporalRelation right_gaps =
+      RunOuter(empty, some, OuterJoinMode::kRight);
+  EXPECT_EQ(right_gaps.size(), 2u);
+  EXPECT_EQ(RunSubtract(empty, some, SubtractMode::kAll).size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Singletons.
+
+TEST(SequencedEdgeTest, SingletonPair) {
+  const TemporalRelation l = MakeRel("l", {{1, 10, 0, 10}});
+  const TemporalRelation r = MakeRel("r", {{7, 70, 4, 6}});
+
+  // Full outer: the intersection row plus the left gaps [0,4) and [6,10);
+  // the right tuple is fully covered, so no right gap.
+  const TemporalRelation full = RunOuter(l, r, OuterJoinMode::kFull);
+  ASSERT_EQ(full.size(), 3u);
+  ExpectOracleAgreement(PairwiseOp::kFullOuterJoin, l, r, full);
+
+  // Anti join: the same two residual intervals, left schema.
+  const TemporalRelation anti = RunSubtract(l, r, SubtractMode::kAll);
+  ASSERT_EQ(anti.size(), 2u);
+  EXPECT_EQ(CanonicalCsv(anti),
+            CanonicalCsv(MakeRel("expected", {{1, 10, 0, 4}, {1, 10, 6, 10}})));
+
+  // Except subtracts only value-equal rows; these differ, so l survives.
+  EXPECT_EQ(CanonicalCsv(RunSubtract(l, r, SubtractMode::kValueEqual)),
+            CanonicalCsv(l));
+
+  // Intersect needs value equality too: empty here, one row when equal.
+  EXPECT_EQ(RunIntersect(l, r).size(), 0u);
+  const TemporalRelation r_eq = MakeRel("r_eq", {{1, 10, 4, 6}});
+  EXPECT_EQ(CanonicalCsv(RunIntersect(l, r_eq)),
+            CanonicalCsv(MakeRel("expected", {{1, 10, 4, 6}})));
+
+  // Union keeps both rows; coalesce of a singleton is the identity.
+  EXPECT_EQ(RunUnion(l, r).size(), 2u);
+  EXPECT_EQ(CanonicalCsv(RunCoalesce(l)), CanonicalCsv(l));
+}
+
+// ---------------------------------------------------------------------------
+// All-overlapping inputs (GC never triggers until end-of-stream).
+
+TEST(SequencedEdgeTest, AllOverlapping) {
+  std::vector<Row> lrows, rrows;
+  for (int64_t i = 0; i < 8; ++i) {
+    lrows.push_back({i, 100 + i, i, 20 + i});
+    rrows.push_back({i, 200 + i, i, 20 + i});
+  }
+  const TemporalRelation l = MakeRel("l", lrows);
+  const TemporalRelation r = MakeRel("r", rrows);
+
+  for (const auto& [op, mode] :
+       {std::pair{PairwiseOp::kLeftOuterJoin, OuterJoinMode::kLeft},
+        std::pair{PairwiseOp::kRightOuterJoin, OuterJoinMode::kRight},
+        std::pair{PairwiseOp::kFullOuterJoin, OuterJoinMode::kFull}}) {
+    ExpectOracleAgreement(op, l, r, RunOuter(l, r, mode));
+  }
+  // Every left instant is covered by some right tuple except the prefix
+  // [i, ...) before any right tuple of lower start — oracle pins it.
+  ExpectOracleAgreement(PairwiseOp::kAntiJoin, l, r,
+                        RunSubtract(l, r, SubtractMode::kAll));
+  ExpectOracleAgreement(PairwiseOp::kUnion, l, r, RunUnion(l, r));
+  ExpectOracleAgreement(PairwiseOp::kIntersect, l, r, RunIntersect(l, r));
+  ExpectOracleAgreement(PairwiseOp::kExcept, l, r,
+                        RunSubtract(l, r, SubtractMode::kValueEqual));
+
+  // One value group with a chain of overlaps coalesces to a single row.
+  std::vector<Row> chain;
+  for (int64_t i = 0; i < 8; ++i) chain.push_back({1, 1, 2 * i, 2 * i + 3});
+  const TemporalRelation coalesced = RunCoalesce(MakeRel("chain", chain));
+  EXPECT_EQ(CanonicalCsv(coalesced),
+            CanonicalCsv(MakeRel("expected", {{1, 1, 0, 17}})));
+}
+
+// ---------------------------------------------------------------------------
+// Duplicate values (bag semantics and meets-adjacency boundaries).
+
+TEST(SequencedEdgeTest, DuplicateValues) {
+  // Two identical left rows: bag semantics must keep both in union/except
+  // pass-through, and each must independently produce outer gap rows.
+  const TemporalRelation l =
+      MakeRel("l", {{1, 10, 0, 6}, {1, 10, 0, 6}, {2, 20, 8, 12}});
+  const TemporalRelation r = MakeRel("r", {{1, 10, 2, 4}});
+
+  const TemporalRelation left_outer = RunOuter(l, r, OuterJoinMode::kLeft);
+  // Each duplicate: 1 inner row + gaps [0,2) and [4,6); the (2,20) row is
+  // unmatched: 1 whole-span gap. Total 2*3 + 1.
+  EXPECT_EQ(left_outer.size(), 7u);
+  ExpectOracleAgreement(PairwiseOp::kLeftOuterJoin, l, r, left_outer);
+
+  // Except removes the covered middle from BOTH duplicates.
+  const TemporalRelation except_out =
+      RunSubtract(l, r, SubtractMode::kValueEqual);
+  EXPECT_EQ(CanonicalCsv(except_out),
+            CanonicalCsv(MakeRel("expected", {{1, 10, 0, 2},
+                                              {1, 10, 4, 6},
+                                              {1, 10, 0, 2},
+                                              {1, 10, 4, 6},
+                                              {2, 20, 8, 12}})));
+
+  // Intersect multiplies multiplicities like a join: 2 left duplicates ×
+  // 1 matching right = 2 output rows.
+  EXPECT_EQ(RunIntersect(l, r).size(), 2u);
+
+  // Union keeps all four rows (bag union-all).
+  EXPECT_EQ(RunUnion(l, r).size(), 4u);
+
+  // Coalesce collapses duplicates and merges meets-adjacent intervals:
+  // [0,3) + [3,6) + duplicate [0,3) -> one [0,6).
+  const TemporalRelation dup = MakeRel(
+      "dup", {{1, 1, 0, 3}, {1, 1, 3, 6}, {1, 1, 0, 3}, {2, 2, 0, 3}});
+  EXPECT_EQ(CanonicalCsv(RunCoalesce(dup)),
+            CanonicalCsv(MakeRel("expected", {{1, 1, 0, 6}, {2, 2, 0, 3}})));
+  ExpectOracleAgreement(PairwiseOp::kCoalesce, dup, dup, RunCoalesce(dup));
+}
+
+// ---------------------------------------------------------------------------
+// Mis-sorted input fails fast on every order-verified operator.
+
+TEST(SequencedEdgeTest, MisSortedInputFailsFast) {
+  TemporalRelation bad("bad", Schema::Canonical("S", ValueType::kInt64, "V",
+                                                ValueType::kInt64));
+  TEMPUS_ASSERT_OK(bad.AppendRow(Value::Int(1), Value::Int(1), 5, 9));
+  TEMPUS_ASSERT_OK(bad.AppendRow(Value::Int(2), Value::Int(2), 1, 3));
+  const TemporalRelation good = MakeRel("good", {{3, 3, 0, 10}});
+
+  OuterJoinOptions options;
+  options.mode = OuterJoinMode::kLeft;
+  options.naming = JoinNaming{"L", "R"};
+  Result<std::unique_ptr<TemporalOuterJoin>> join = TemporalOuterJoin::Create(
+      VectorStream::Scan(bad), VectorStream::Scan(good), options);
+  TEMPUS_ASSERT_OK(join.status());
+  TEMPUS_ASSERT_OK((*join)->Open());
+  Tuple out;
+  Status failed = Status::Ok();
+  for (;;) {
+    Result<bool> next = (*join)->Next(&out);
+    if (!next.ok()) {
+      failed = next.status();
+      break;
+    }
+    if (!*next) break;
+  }
+  EXPECT_FALSE(failed.ok()) << "mis-sorted input must be rejected";
+}
+
+}  // namespace
+}  // namespace tempus

@@ -1,0 +1,242 @@
+// Property suite for interval coalescing (src/semantic/coalesce.*), run
+// over every workload distribution × arrangement of the differential
+// generator. The properties pinned here are the ones docs/ALGORITHMS.md
+// promises for the operator:
+//
+//   1. Snapshot-set equivalence: at every instant the coalesced output's
+//      snapshot SET equals the input's (duplicates collapse; nothing else
+//      changes).
+//   2. Idempotence: coalescing a coalesced relation is the identity.
+//   3. Order preservation: the output is in CoalesceSortSpec order, so a
+//      second CoalesceStream can consume it without re-sorting.
+//   4. Canonicity: per value group the output intervals are disjoint,
+//      non-adjacent, and maximal — no two output rows of one group could
+//      themselves merge.
+//   5. Oracle agreement: byte-identical to the brute-force OracleEvaluate
+//      coalescing after canonical sorting.
+//   6. The workspace never exceeds the documented bound of one state tuple
+//      and the GC ledger balances.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "relation/csv.h"
+#include "semantic/coalesce.h"
+#include "testing/oracle.h"
+#include "testing/test_util.h"
+#include "testing/workload.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::AllArrangements;
+using ::tempus::testing::AllDistributions;
+using ::tempus::testing::Arrangement;
+using ::tempus::testing::ArrangementName;
+using ::tempus::testing::Distribution;
+using ::tempus::testing::DistributionName;
+using ::tempus::testing::MakeWorkloadRelation;
+using ::tempus::testing::MustMaterialize;
+using ::tempus::testing::PairwiseOp;
+using ::tempus::testing::WorkloadSpec;
+
+std::string CanonicalCsv(const TemporalRelation& rel) {
+  std::vector<SortKey> keys;
+  for (size_t i = 0; i < rel.schema().attribute_count(); ++i) {
+    keys.push_back({i, SortDirection::kAscending});
+  }
+  std::ostringstream out;
+  const Status s = WriteCsv(rel.SortedBy(SortSpec(std::move(keys))), &out);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out.str();
+}
+
+/// Runs CoalesceStream over the CoalesceSortSpec-sorted input and returns
+/// both the result and the operator's final metrics.
+struct CoalesceRun {
+  TemporalRelation result;
+  OperatorMetrics metrics;
+};
+
+CoalesceRun RunCoalesce(const TemporalRelation& input) {
+  Result<SortSpec> spec = CoalesceSortSpec(input.schema());
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  const TemporalRelation sorted = input.SortedBy(*spec);
+  Result<std::unique_ptr<CoalesceStream>> stream =
+      CoalesceStream::Create(VectorStream::Scan(sorted));
+  EXPECT_TRUE(stream.ok()) << stream.status().ToString();
+  CoalesceRun run;
+  run.result = MustMaterialize(stream->get(), "coalesced");
+  run.metrics = (*stream)->metrics();
+  return run;
+}
+
+/// The distinct non-lifespan value rows live at instant `t`.
+std::set<std::string> SnapshotSet(const TemporalRelation& rel, TimePoint t) {
+  const Schema& s = rel.schema();
+  std::set<std::string> snapshot;
+  for (size_t i = 0; i < rel.size(); ++i) {
+    const Tuple& row = rel.tuple(i);
+    const TimePoint from = row[s.valid_from_index()].time_value();
+    const TimePoint to = row[s.valid_to_index()].time_value();
+    if (!(from <= t && t < to)) continue;
+    std::string key;
+    for (size_t a = 0; a < s.attribute_count(); ++a) {
+      if (a == s.valid_from_index() || a == s.valid_to_index()) continue;
+      key += row[a].ToString() + "|";
+    }
+    snapshot.insert(std::move(key));
+  }
+  return snapshot;
+}
+
+std::set<TimePoint> AllEndpoints(const TemporalRelation& a,
+                                 const TemporalRelation& b) {
+  std::set<TimePoint> points;
+  for (const TemporalRelation* rel : {&a, &b}) {
+    const Schema& s = rel->schema();
+    for (size_t i = 0; i < rel->size(); ++i) {
+      points.insert(rel->tuple(i)[s.valid_from_index()].time_value());
+      points.insert(rel->tuple(i)[s.valid_to_index()].time_value());
+    }
+  }
+  return points;
+}
+
+std::string GroupKey(const Schema& s, const Tuple& row) {
+  std::string key;
+  for (size_t a = 0; a < s.attribute_count(); ++a) {
+    if (a == s.valid_from_index() || a == s.valid_to_index()) continue;
+    key += row[a].ToString() + "|";
+  }
+  return key;
+}
+
+class CoalescePropertyTest
+    : public ::testing::TestWithParam<std::tuple<Distribution, Arrangement>> {
+ protected:
+  TemporalRelation MakeInput() const {
+    WorkloadSpec spec;
+    spec.distribution = std::get<0>(GetParam());
+    spec.arrangement = std::get<1>(GetParam());
+    spec.count = 96;
+    spec.seed = 20260808;
+    Result<TemporalRelation> rel = MakeWorkloadRelation("input", spec);
+    EXPECT_TRUE(rel.ok()) << rel.status().ToString();
+    TemporalRelation input = std::move(rel).value();
+    // The generator makes every V distinct, which starves coalescing of
+    // mergeable groups; fold V down to a small range so groups repeat
+    // while every distribution's interval shape is preserved.
+    TemporalRelation folded("input", input.schema());
+    for (size_t i = 0; i < input.size(); ++i) {
+      Tuple t = input.tuple(i);
+      t.Set(1, Value::Int(t[1].int_value() % 3));
+      const Status s = folded.Append(std::move(t));
+      EXPECT_TRUE(s.ok()) << s.ToString();
+    }
+    return folded;
+  }
+};
+
+TEST_P(CoalescePropertyTest, SnapshotSetEquivalence) {
+  const TemporalRelation input = MakeInput();
+  const CoalesceRun run = RunCoalesce(input);
+  for (const TimePoint t : AllEndpoints(input, run.result)) {
+    EXPECT_EQ(SnapshotSet(run.result, t), SnapshotSet(input, t))
+        << "snapshot divergence at t=" << t;
+  }
+}
+
+TEST_P(CoalescePropertyTest, Idempotence) {
+  const CoalesceRun once = RunCoalesce(MakeInput());
+  const CoalesceRun twice = RunCoalesce(once.result);
+  EXPECT_EQ(CanonicalCsv(twice.result), CanonicalCsv(once.result));
+  EXPECT_EQ(twice.result.size(), once.result.size());
+}
+
+TEST_P(CoalescePropertyTest, OutputPreservesCoalesceOrder) {
+  const CoalesceRun run = RunCoalesce(MakeInput());
+  Result<SortSpec> spec = CoalesceSortSpec(run.result.schema());
+  TEMPUS_ASSERT_OK(spec.status());
+  for (size_t i = 0; i + 1 < run.result.size(); ++i) {
+    EXPECT_LE(spec->Compare(run.result.tuple(i), run.result.tuple(i + 1)), 0)
+        << "output rows " << i << " and " << i + 1
+        << " violate CoalesceSortSpec order";
+  }
+  // Consequence: a second CoalesceStream accepts the output directly, with
+  // input-order verification on.
+  Result<std::unique_ptr<CoalesceStream>> again =
+      CoalesceStream::Create(VectorStream::Scan(run.result));
+  TEMPUS_ASSERT_OK(again.status());
+  const TemporalRelation re = MustMaterialize(again->get(), "re");
+  EXPECT_EQ(CanonicalCsv(re), CanonicalCsv(run.result));
+}
+
+TEST_P(CoalescePropertyTest, OutputIntervalsAreMaximal) {
+  const CoalesceRun run = RunCoalesce(MakeInput());
+  const Schema& s = run.result.schema();
+  // Group rows by value; within a group, sorted spans must be pairwise
+  // disjoint with a strict gap (merged or adjacent rows would have been
+  // coalesced into one).
+  std::map<std::string, std::vector<Interval>> groups;
+  for (size_t i = 0; i < run.result.size(); ++i) {
+    const Tuple& row = run.result.tuple(i);
+    groups[GroupKey(s, row)].push_back(
+        Interval(row[s.valid_from_index()].time_value(),
+                 row[s.valid_to_index()].time_value()));
+  }
+  for (auto& [key, spans] : groups) {
+    std::sort(spans.begin(), spans.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.start < b.start;
+              });
+    for (size_t i = 0; i + 1 < spans.size(); ++i) {
+      EXPECT_LT(spans[i].end, spans[i + 1].start)
+          << "group " << key << " has mergeable output intervals ["
+          << spans[i].start << "," << spans[i].end << ") and ["
+          << spans[i + 1].start << "," << spans[i + 1].end << ")";
+    }
+  }
+}
+
+TEST_P(CoalescePropertyTest, MatchesBruteForceOracle) {
+  const TemporalRelation input = MakeInput();
+  const CoalesceRun run = RunCoalesce(input);
+  Result<TemporalRelation> oracle =
+      testing::OracleEvaluate(PairwiseOp::kCoalesce, input, input);
+  TEMPUS_ASSERT_OK(oracle.status());
+  EXPECT_EQ(CanonicalCsv(run.result), CanonicalCsv(*oracle));
+}
+
+TEST_P(CoalescePropertyTest, WorkspaceBoundAndLedger) {
+  const CoalesceRun run = RunCoalesce(MakeInput());
+  EXPECT_LE(run.metrics.peak_workspace_tuples, 1u)
+      << "coalescing holds a single accumulator tuple";
+  EXPECT_EQ(run.metrics.workspace_inserted,
+            run.metrics.gc_discarded + run.metrics.workspace_tuples);
+}
+
+std::string CaseName(
+    const ::testing::TestParamInfo<std::tuple<Distribution, Arrangement>>&
+        info) {
+  std::string name =
+      std::string(DistributionName(std::get<0>(info.param))) + "_" +
+      std::string(ArrangementName(std::get<1>(info.param)));
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, CoalescePropertyTest,
+    ::testing::Combine(::testing::ValuesIn(AllDistributions()),
+                       ::testing::ValuesIn(AllArrangements())),
+    CaseName);
+
+}  // namespace
+}  // namespace tempus

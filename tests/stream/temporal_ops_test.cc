@@ -1,6 +1,7 @@
 #include "stream/temporal_ops.h"
 
 #include "gtest/gtest.h"
+#include "semantic/coalesce.h"
 #include "testing/test_util.h"
 
 namespace tempus {
