@@ -6,7 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <map>
+#include <vector>
 
 #include "bench_util.h"
 #include "datagen/interval_gen.h"
@@ -187,6 +189,73 @@ void BM_OverlapSweepJoinBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
 }
 BENCHMARK(BM_OverlapSweepJoinBatch)->Arg(1000)->Arg(8000);
+
+// Expression-kernel axis (docs/BATCH.md): the same compiled endpoint
+// predicate evaluated on the vectorized selection-vector path vs. the
+// interpreted per-row path, at batch=1024. Rows/s is items_per_second;
+// the acceptance target is the vector path >= 1.5x interp on the filter.
+CompiledPredicate EndpointPredicate(const TemporalRelation& rel,
+                                    bool vectorized) {
+  // Median ValidFrom: ~50% selectivity, so both the pass and fail lanes of
+  // the mask loop run.
+  std::vector<TimePoint> starts;
+  starts.reserve(rel.size());
+  for (size_t i = 0; i < rel.size(); ++i) {
+    starts.push_back(rel.LifespanOf(i).start);
+  }
+  std::sort(starts.begin(), starts.end());
+  const TimePoint median = starts.empty() ? 0 : starts[starts.size() / 2];
+  CompiledPredicate pred;
+  pred.kernel = PredicateKernel(
+      {KernelAtom::TimeConst(2, KernelCmp::kLe, median),
+       KernelAtom::TimeCol(2, KernelCmp::kLt, 3)});
+  pred.vectorized = vectorized;
+  return pred;
+}
+
+void RunFilterBench(benchmark::State& state, bool vectorized) {
+  const Workload& w = SharedWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    FilterStream filter(VectorStream::Scan(w.x),
+                        EndpointPredicate(w.x, vectorized),
+                        /*comparison_weight=*/2);
+    benchmark::DoNotOptimize(
+        ValueOrDie(DrainCountBatches(&filter, 1024), "drain"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Filter_KernelVector(benchmark::State& state) {
+  RunFilterBench(state, /*vectorized=*/true);
+}
+BENCHMARK(BM_Filter_KernelVector)->Arg(16000)->Arg(64000);
+
+void BM_Filter_KernelInterp(benchmark::State& state) {
+  RunFilterBench(state, /*vectorized=*/false);
+}
+BENCHMARK(BM_Filter_KernelInterp)->Arg(16000)->Arg(64000);
+
+void RunProjectBench(benchmark::State& state, bool vectorized) {
+  const Workload& w = SharedWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::unique_ptr<ProjectStream> project = ValueOrDie(
+        ProjectStream::Create(VectorStream::Scan(w.x), {0, 2, 3}, vectorized),
+        "project");
+    benchmark::DoNotOptimize(
+        ValueOrDie(DrainCountBatches(project.get(), 1024), "drain"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Project_KernelVector(benchmark::State& state) {
+  RunProjectBench(state, /*vectorized=*/true);
+}
+BENCHMARK(BM_Project_KernelVector)->Arg(16000)->Arg(64000);
+
+void BM_Project_KernelInterp(benchmark::State& state) {
+  RunProjectBench(state, /*vectorized=*/false);
+}
+BENCHMARK(BM_Project_KernelInterp)->Arg(16000)->Arg(64000);
 
 void BM_SortEnforcer(benchmark::State& state) {
   const Workload& w = SharedWorkload(static_cast<size_t>(state.range(0)));

@@ -23,6 +23,13 @@
 // the output to be byte-identical to the tuple-at-a-time twin of the same
 // case. A comma list (--batch=1,3,64,1024) repeats each case at every
 // listed size; under --sweep this multiplies the stream-mode cases.
+//
+// --kernel=vector wraps each case's plan in the compiled endpoint filter
+// of the expression-kernel layer (vectorized selection-vector path);
+// --kernel=interp forces the same compiled filter onto the per-row path.
+// The oracle is filtered identically, so both modes must stay
+// byte-identical to it — and to each other across repeated invocations.
+// A comma list (--kernel=vector,interp) repeats each case per mode.
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +43,7 @@ namespace {
 
 using tempus::testing::DifferentialCase;
 using tempus::testing::DifferentialResult;
+using tempus::testing::KernelMode;
 using tempus::testing::ReproCommand;
 using tempus::testing::RunDifferentialCase;
 
@@ -68,6 +76,21 @@ std::vector<size_t> ParseBatchList(std::string_view v) {
   return sizes;
 }
 
+/// Parses "off|vector|interp" or a comma list of them. Empty result means
+/// a parse error.
+std::vector<KernelMode> ParseKernelList(std::string_view v) {
+  std::vector<KernelMode> modes;
+  while (!v.empty()) {
+    const size_t comma = v.find(',');
+    auto mode = tempus::testing::KernelModeFromName(v.substr(0, comma));
+    if (!mode.ok()) return {};
+    modes.push_back(*mode);
+    if (comma == std::string_view::npos) break;
+    v.remove_prefix(comma + 1);
+  }
+  return modes;
+}
+
 int RunCase(const DifferentialCase& c, bool verbose) {
   tempus::Result<DifferentialResult> result = RunDifferentialCase(c);
   if (!result.ok()) {
@@ -89,7 +112,7 @@ int RunCase(const DifferentialCase& c, bool verbose) {
     return 1;
   }
   if (verbose) {
-    std::printf("OK   %-24s %-4s tuples=%zu peak=%zu%s%s\n",
+    std::printf("OK   %-24s %-4s tuples=%zu peak=%zu%s%s%s\n",
                 std::string(PairwiseOpName(c.op)).c_str(),
                 std::string(ExecModeName(c.mode)).c_str(),
                 result->engine_tuples, result->peak_workspace,
@@ -98,13 +121,18 @@ int RunCase(const DifferentialCase& c, bool verbose) {
                     : "",
                 c.batch_size > 0
                     ? (" batch=" + std::to_string(c.batch_size)).c_str()
+                    : "",
+                c.kernel != KernelMode::kOff
+                    ? (std::string(" kernel=") +
+                       std::string(tempus::testing::KernelModeName(c.kernel)))
+                          .c_str()
                     : "");
   }
   return 0;
 }
 
 int Sweep(const DifferentialCase& base, const std::vector<size_t>& batches,
-          bool verbose) {
+          const std::vector<KernelMode>& kernels, bool verbose) {
   const size_t count = base.count;
   const uint64_t seed = base.seed;
   int failures = 0;
@@ -121,18 +149,21 @@ int Sweep(const DifferentialCase& base, const std::vector<size_t>& batches,
                {tempus::testing::ExecMode::kSequential,
                 tempus::testing::ExecMode::kParallel}) {
             for (size_t batch : batches) {
-              DifferentialCase c = base;
-              c.op = op;
-              c.mode = mode;
-              c.distribution = dist;
-              c.arrangement = arr;
-              c.count = count;
-              c.seed = seed + cases;  // Distinct but reproducible per case.
-              c.left_order = lo;
-              c.right_order = ro;
-              c.batch_size = batch;
-              failures += RunCase(c, verbose);
-              ++cases;
+              for (KernelMode kernel : kernels) {
+                DifferentialCase c = base;
+                c.op = op;
+                c.mode = mode;
+                c.distribution = dist;
+                c.arrangement = arr;
+                c.count = count;
+                c.seed = seed + cases;  // Distinct but reproducible per case.
+                c.left_order = lo;
+                c.right_order = ro;
+                c.batch_size = batch;
+                c.kernel = kernel;
+                failures += RunCase(c, verbose);
+                ++cases;
+              }
             }
           }
         }
@@ -166,6 +197,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool have_op = false;
   std::vector<size_t> batches = {0};  // Tuple-at-a-time unless --batch given.
+  std::vector<KernelMode> kernels = {KernelMode::kOff};
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     std::string_view v;
@@ -245,20 +277,29 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --batch list: %s\n", argv[i]);
         return 2;
       }
+    } else if (ConsumeFlag(arg, "kernel", &v)) {
+      kernels = ParseKernelList(v);
+      if (kernels.empty()) {
+        std::fprintf(stderr, "bad --kernel list: %s\n", argv[i]);
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
     }
   }
-  if (sweep) return Sweep(c, batches, verbose);
+  if (sweep) return Sweep(c, batches, kernels, verbose);
   if (!have_op) {
     std::fprintf(stderr, "need --op=... or --sweep (see header comment)\n");
     return 2;
   }
   int failures = 0;
   for (size_t batch : batches) {
-    c.batch_size = batch;
-    failures += RunCase(c, true);
+    for (KernelMode kernel : kernels) {
+      c.batch_size = batch;
+      c.kernel = kernel;
+      failures += RunCase(c, true);
+    }
   }
   return failures == 0 ? 0 : 1;
 }

@@ -8,9 +8,11 @@
 # overcommit paths run under memory pressure (docs/STORAGE.md), and again
 # with TEMPUS_BATCH_SIZE=3, forcing every batch-converted operator through
 # tiny partial batches so the batch-boundary paths run under each
-# sanitizer (docs/BATCH.md), and once more with TEMPUS_OPTIMIZER=off so
-# the heuristic planner path stays green alongside the cost-based default
-# (docs/OPTIMIZER.md).
+# sanitizer (docs/BATCH.md), again with TEMPUS_VECTOR_KERNELS=off so the
+# interpreted expression path stays byte-identical alongside the
+# vectorized default (docs/BATCH.md), and once more with
+# TEMPUS_OPTIMIZER=off so the heuristic planner path stays green
+# alongside the cost-based default (docs/OPTIMIZER.md).
 # Where loopback sockets are unavailable, each ctest invocation falls
 # back to `-LE net` (dropping server_test / chaos_server_test only).
 set -uo pipefail
@@ -52,6 +54,10 @@ TEMPUS_FRAME_BUDGET=4 run_ctest build
 # stay valid under this override.
 echo "== plain tree, TEMPUS_BATCH_SIZE=3 =="
 TEMPUS_BATCH_SIZE=3 run_ctest build
+# explain_golden_test likewise pins TEMPUS_VECTOR_KERNELS=on, so the
+# [kernel=vector] plan labels in the goldens survive this override.
+echo "== plain tree, TEMPUS_VECTOR_KERNELS=off =="
+TEMPUS_VECTOR_KERNELS=off run_ctest build
 # explain_golden_test likewise pins TEMPUS_OPTIMIZER=on, so the est=()
 # annotations in the goldens survive this override.
 echo "== plain tree, TEMPUS_OPTIMIZER=off =="
@@ -64,6 +70,8 @@ echo "== TSan tree, TEMPUS_FRAME_BUDGET=4 =="
 TEMPUS_FRAME_BUDGET=4 run_ctest build-tsan -L 'concurrency|chaos'
 echo "== TSan tree, TEMPUS_BATCH_SIZE=3 =="
 TEMPUS_BATCH_SIZE=3 run_ctest build-tsan -L 'concurrency|chaos'
+echo "== TSan tree, TEMPUS_VECTOR_KERNELS=off =="
+TEMPUS_VECTOR_KERNELS=off run_ctest build-tsan -L 'concurrency|chaos'
 echo "== TSan tree, TEMPUS_OPTIMIZER=off =="
 TEMPUS_OPTIMIZER=off run_ctest build-tsan -L 'concurrency|chaos'
 
@@ -73,6 +81,8 @@ echo "== ASan+UBSan tree, TEMPUS_FRAME_BUDGET=4 =="
 TEMPUS_FRAME_BUDGET=4 run_ctest build-asan
 echo "== ASan+UBSan tree, TEMPUS_BATCH_SIZE=3 =="
 TEMPUS_BATCH_SIZE=3 run_ctest build-asan
+echo "== ASan+UBSan tree, TEMPUS_VECTOR_KERNELS=off =="
+TEMPUS_VECTOR_KERNELS=off run_ctest build-asan
 echo "== ASan+UBSan tree, TEMPUS_OPTIMIZER=off =="
 TEMPUS_OPTIMIZER=off run_ctest build-asan
 

@@ -68,6 +68,7 @@ inline constexpr const char* kKnownFaultPoints[] = {
     "batch.alloc",        // TupleBatch::Reserve (batch column allocation)
     "stats.build",        // BuildIntervalStats (analyze statistics scan)
     "coalesce.merge",     // CoalesceStream accumulator merge step
+    "kernel.eval",        // PredicateKernel::EvalBatch (vectorized filter)
 };
 
 /// Process-wide deterministic fault injector. Off by default: every

@@ -38,11 +38,8 @@ Status BeforeJoinStream::OpenImpl() {
   inner_.clear();
   inner_from_.clear();
   metrics_.ResetWorkspace();
-  Tuple t;
   TimePoint previous_from = kMinTime;
-  while (true) {
-    TEMPUS_ASSIGN_OR_RETURN(bool has, right_->Next(&t));
-    if (!has) break;
+  auto check_inner = [&](const Tuple& t) -> Status {
     ++metrics_.tuples_read_right;
     const TimePoint from = right_ref_.Of(t).start;
     if (options_.right_presorted && options_.verify_input_order &&
@@ -51,9 +48,30 @@ Status BeforeJoinStream::OpenImpl() {
           "before-join inner input is not sorted by ValidFrom ascending");
     }
     previous_from = from;
-    inner_.push_back(std::move(t));
     metrics_.AddWorkspace();
-    t = Tuple();
+    return Status::Ok();
+  };
+  if (options_.batch_size > 0) {
+    TupleBatch scratch;
+    while (true) {
+      TEMPUS_ASSIGN_OR_RETURN(
+          bool more, right_->NextBatch(&scratch, options_.batch_size));
+      if (!more) break;
+      for (size_t i = 0; i < scratch.ActiveSize(); ++i) {
+        const Tuple& row = scratch.row(scratch.ActiveIndex(i));
+        TEMPUS_RETURN_IF_ERROR(check_inner(row));
+        inner_.push_back(row);
+      }
+    }
+  } else {
+    Tuple t;
+    while (true) {
+      TEMPUS_ASSIGN_OR_RETURN(bool has, right_->Next(&t));
+      if (!has) break;
+      TEMPUS_RETURN_IF_ERROR(check_inner(t));
+      inner_.push_back(std::move(t));
+      t = Tuple();
+    }
   }
   if (!options_.right_presorted) {
     std::vector<size_t> order(inner_.size());
@@ -76,7 +94,24 @@ Status BeforeJoinStream::OpenImpl() {
   TEMPUS_RETURN_IF_ERROR(left_->Open());
   ++metrics_.passes_left;
   have_left_ = false;
+  left_batch_.Clear();
+  left_cursor_ = 0;
   return Status::Ok();
+}
+
+void BeforeJoinStream::StartRun() {
+  ++metrics_.tuples_read_left;
+  // First inner tuple with ValidFrom > current.ValidTo; everything
+  // from there to the end satisfies X.TE < Y.TS.
+  const TimePoint bound = left_ref_.Of(current_left_).end;
+  inner_pos_ = static_cast<size_t>(
+      std::upper_bound(inner_from_.begin(), inner_from_.end(), bound) -
+      inner_from_.begin());
+  metrics_.comparisons +=
+      inner_.empty()
+          ? 0
+          : static_cast<uint64_t>(std::bit_width(inner_.size()));
+  have_left_ = true;
 }
 
 Result<bool> BeforeJoinStream::NextImpl(Tuple* out) {
@@ -84,18 +119,7 @@ Result<bool> BeforeJoinStream::NextImpl(Tuple* out) {
     if (!have_left_) {
       TEMPUS_ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));
       if (!has) return false;
-      ++metrics_.tuples_read_left;
-      // First inner tuple with ValidFrom > current.ValidTo; everything
-      // from there to the end satisfies X.TE < Y.TS.
-      const TimePoint bound = left_ref_.Of(current_left_).end;
-      inner_pos_ = static_cast<size_t>(
-          std::upper_bound(inner_from_.begin(), inner_from_.end(), bound) -
-          inner_from_.begin());
-      metrics_.comparisons += inner_.empty()
-                                  ? 0
-                                  : static_cast<uint64_t>(
-                                        std::bit_width(inner_.size()));
-      have_left_ = true;
+      StartRun();
     }
     if (inner_pos_ < inner_.size()) {
       *out = Tuple::Concat(current_left_, inner_[inner_pos_++]);
@@ -106,19 +130,57 @@ Result<bool> BeforeJoinStream::NextImpl(Tuple* out) {
   }
 }
 
+Result<bool> BeforeJoinStream::NextBatchImpl(TupleBatch* out,
+                                             size_t max_rows) {
+  if (options_.batch_size == 0) {
+    return TupleStream::NextBatchImpl(out, max_rows);
+  }
+  const LifespanRef* lifespan = BatchLifespan();
+  while (out->size() < max_rows) {
+    if (!have_left_) {
+      if (left_cursor_ >= left_batch_.ActiveSize()) {
+        TEMPUS_ASSIGN_OR_RETURN(
+            bool more, left_->NextBatch(&left_batch_, options_.batch_size));
+        left_cursor_ = 0;
+        if (!more) break;
+        if (left_batch_.ActiveSize() == 0) continue;
+      }
+      current_left_.AssignFrom(
+          left_batch_.row(left_batch_.ActiveIndex(left_cursor_++)));
+      StartRun();
+    }
+    // Emit the tail run, suspending at the batch boundary (the run resumes
+    // on the next call; current_left_ is a private copy, so the suspended
+    // probe survives the outer batch refill).
+    while (inner_pos_ < inner_.size() && out->size() < max_rows) {
+      out->PushOwnedConcat(current_left_, inner_[inner_pos_++], lifespan);
+      ++metrics_.tuples_emitted;
+    }
+    if (inner_pos_ < inner_.size()) return true;
+    have_left_ = false;
+  }
+  return !out->empty();
+}
+
 BeforeSemijoin::BeforeSemijoin(std::unique_ptr<TupleStream> x,
                                std::unique_ptr<TupleStream> y,
-                               LifespanRef x_ref, LifespanRef y_ref)
-    : x_(std::move(x)), y_(std::move(y)), x_ref_(x_ref), y_ref_(y_ref) {}
+                               LifespanRef x_ref, LifespanRef y_ref,
+                               size_t batch_size)
+    : x_(std::move(x)),
+      y_(std::move(y)),
+      x_ref_(x_ref),
+      y_ref_(y_ref),
+      batch_size_(batch_size) {}
 
 Result<std::unique_ptr<BeforeSemijoin>> BeforeSemijoin::Create(
-    std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y) {
+    std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
+    size_t batch_size) {
   TEMPUS_ASSIGN_OR_RETURN(LifespanRef x_ref,
                           LifespanRef::ForSchema(x->schema()));
   TEMPUS_ASSIGN_OR_RETURN(LifespanRef y_ref,
                           LifespanRef::ForSchema(y->schema()));
-  return std::unique_ptr<BeforeSemijoin>(
-      new BeforeSemijoin(std::move(x), std::move(y), x_ref, y_ref));
+  return std::unique_ptr<BeforeSemijoin>(new BeforeSemijoin(
+      std::move(x), std::move(y), x_ref, y_ref, batch_size));
 }
 
 Status BeforeSemijoin::OpenImpl() {
@@ -126,16 +188,33 @@ Status BeforeSemijoin::OpenImpl() {
   ++metrics_.passes_right;
   max_y_from_ = kMinTime;
   y_empty_ = true;
-  Tuple t;
-  while (true) {
-    TEMPUS_ASSIGN_OR_RETURN(bool has, y_->Next(&t));
-    if (!has) break;
-    ++metrics_.tuples_read_right;
-    max_y_from_ = std::max(max_y_from_, y_ref_.Of(t).start);
-    y_empty_ = false;
+  if (batch_size_ > 0) {
+    TupleBatch scratch;
+    while (true) {
+      TEMPUS_ASSIGN_OR_RETURN(bool more,
+                              y_->NextBatch(&scratch, batch_size_));
+      if (!more) break;
+      for (size_t i = 0; i < scratch.ActiveSize(); ++i) {
+        ++metrics_.tuples_read_right;
+        max_y_from_ = std::max(
+            max_y_from_, y_ref_.Of(scratch.row(scratch.ActiveIndex(i))).start);
+        y_empty_ = false;
+      }
+    }
+  } else {
+    Tuple t;
+    while (true) {
+      TEMPUS_ASSIGN_OR_RETURN(bool has, y_->Next(&t));
+      if (!has) break;
+      ++metrics_.tuples_read_right;
+      max_y_from_ = std::max(max_y_from_, y_ref_.Of(t).start);
+      y_empty_ = false;
+    }
   }
   TEMPUS_RETURN_IF_ERROR(x_->Open());
   ++metrics_.passes_left;
+  x_batch_.Clear();
+  x_cursor_ = 0;
   return Status::Ok();
 }
 
@@ -151,6 +230,36 @@ Result<bool> BeforeSemijoin::NextImpl(Tuple* out) {
       return true;
     }
   }
+}
+
+Result<bool> BeforeSemijoin::NextBatchImpl(TupleBatch* out, size_t max_rows) {
+  if (batch_size_ == 0) return TupleStream::NextBatchImpl(out, max_rows);
+  if (y_empty_) return false;
+  while (out->size() < max_rows) {
+    if (x_cursor_ >= x_batch_.ActiveSize()) {
+      TEMPUS_ASSIGN_OR_RETURN(bool more,
+                              x_->NextBatch(&x_batch_, batch_size_));
+      x_cursor_ = 0;
+      if (!more) break;
+      continue;
+    }
+    const size_t i = x_batch_.ActiveIndex(x_cursor_++);
+    const Tuple& row = x_batch_.row(i);
+    ++metrics_.tuples_read_left;
+    ++metrics_.comparisons;
+    if (x_ref_.Of(row).end < max_y_from_) {
+      // Stable rows outlive the child stream, so they forward zero-copy;
+      // owned/pinned rows are recycled at the child's next refill and must
+      // be copied out.
+      if (x_batch_.kind(i) == TupleBatch::RowKind::kStable) {
+        out->PushStable(&row, x_batch_.span(i));
+      } else {
+        out->PushOwnedCopy(row, x_batch_.span(i));
+      }
+      ++metrics_.tuples_emitted;
+    }
+  }
+  return !out->empty();
 }
 
 }  // namespace tempus

@@ -6,6 +6,7 @@
 
 #include "common/interval.h"
 #include "join/join_common.h"
+#include "stream/batch.h"
 #include "stream/stream.h"
 
 namespace tempus {
@@ -16,6 +17,11 @@ struct BeforeJoinOptions {
   bool right_presorted = false;
   bool verify_input_order = true;
   JoinNaming naming;
+  /// 0 keeps the tuple-at-a-time protocol (NextBatch() falls back to the
+  /// per-row adapter); > 0 makes NextBatch() native — the inner buffers
+  /// through child batches and each outer batch binary-searches and emits
+  /// its runs straight into the output batch's recycled slots.
+  size_t batch_size = 0;
 };
 
 /// Before-join(X, Y): emits x ++ y whenever X.TE < Y.TS (Figure 2 (7)).
@@ -37,6 +43,7 @@ class BeforeJoinStream : public TupleStream {
   const Schema& schema() const override { return schema_; }
   Status OpenImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  Result<bool> NextBatchImpl(TupleBatch* out, size_t max_rows) override;
   std::vector<const TupleStream*> children() const override {
     return {left_.get(), right_.get()};
   }
@@ -46,6 +53,10 @@ class BeforeJoinStream : public TupleStream {
                    std::unique_ptr<TupleStream> right,
                    BeforeJoinOptions options, Schema schema,
                    LifespanRef left_ref, LifespanRef right_ref);
+
+  /// Positions current_left_ on the next outer row and binary-searches its
+  /// run start; shared by both protocols (`has` is the pull result).
+  void StartRun();
 
   std::unique_ptr<TupleStream> left_;
   std::unique_ptr<TupleStream> right_;
@@ -59,6 +70,9 @@ class BeforeJoinStream : public TupleStream {
   Tuple current_left_;
   bool have_left_ = false;
   size_t inner_pos_ = 0;
+
+  TupleBatch left_batch_;   // Batch-path scratch for outer rows.
+  size_t left_cursor_ = 0;  // Next unconsumed active index in left_batch_.
 };
 
 /// Before-semijoin(X, Y): emits each x with X.TE < Y.TS for some y.
@@ -67,12 +81,16 @@ class BeforeJoinStream : public TupleStream {
 /// max(Y.ValidFrom); one pass over X emits every x ending before it.
 class BeforeSemijoin : public TupleStream {
  public:
+  /// `batch_size` 0 keeps the tuple protocol; > 0 makes NextBatch() native
+  /// (X rows forwarded zero-copy when stable, Y scanned in batches).
   static Result<std::unique_ptr<BeforeSemijoin>> Create(
-      std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y);
+      std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
+      size_t batch_size = 0);
 
   const Schema& schema() const override { return x_->schema(); }
   Status OpenImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  Result<bool> NextBatchImpl(TupleBatch* out, size_t max_rows) override;
   std::vector<const TupleStream*> children() const override {
     return {x_.get(), y_.get()};
   }
@@ -80,14 +98,18 @@ class BeforeSemijoin : public TupleStream {
  private:
   BeforeSemijoin(std::unique_ptr<TupleStream> x,
                  std::unique_ptr<TupleStream> y, LifespanRef x_ref,
-                 LifespanRef y_ref);
+                 LifespanRef y_ref, size_t batch_size);
 
   std::unique_ptr<TupleStream> x_;
   std::unique_ptr<TupleStream> y_;
   LifespanRef x_ref_;
   LifespanRef y_ref_;
+  size_t batch_size_;
   TimePoint max_y_from_ = kMinTime;
   bool y_empty_ = true;
+
+  TupleBatch x_batch_;   // Batch-path scratch for X rows.
+  size_t x_cursor_ = 0;  // Next unconsumed active index in x_batch_.
 };
 
 }  // namespace tempus

@@ -89,6 +89,11 @@ Status EndpointMergeJoin::OpenImpl() {
   have_left_ = false;
   previous_left_key_ = kMinTime;
   previous_right_key_ = kMinTime;
+  left_batch_.Clear();
+  left_cursor_ = 0;
+  right_batch_.Clear();
+  right_cursor_ = 0;
+  right_peeked_ = false;
   return Status::Ok();
 }
 
@@ -162,6 +167,103 @@ Result<bool> EndpointMergeJoin::NextImpl(Tuple* out) {
     }
     have_left_ = false;
   }
+}
+
+Result<bool> EndpointMergeJoin::FillRightPeek() {
+  if (right_peeked_) return true;
+  if (right_done_) return false;
+  while (right_cursor_ >= right_batch_.ActiveSize()) {
+    TEMPUS_ASSIGN_OR_RETURN(
+        bool more, right_->NextBatch(&right_batch_, options_.batch_size));
+    right_cursor_ = 0;
+    if (!more) {
+      right_done_ = true;
+      return false;
+    }
+  }
+  ++metrics_.tuples_read_right;
+  right_peek_key_ =
+      RightKey(right_batch_.row(right_batch_.ActiveIndex(right_cursor_)));
+  if (options_.verify_input_order && right_peek_key_ < previous_right_key_) {
+    return Status::FailedPrecondition(
+        "merge join right input is not sorted ascending on its key "
+        "endpoint");
+  }
+  previous_right_key_ = right_peek_key_;
+  right_peeked_ = true;
+  return true;
+}
+
+Status EndpointMergeJoin::LoadGroupBatch(TimePoint key) {
+  if (group_loaded_ && group_key_ == key) return Status::Ok();
+  ++metrics_.gc_checks;
+  metrics_.SubWorkspace(group_.size());
+  group_.clear();
+  group_key_ = key;
+  group_loaded_ = true;
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool has, FillRightPeek());
+    if (!has) return Status::Ok();
+    ++metrics_.comparisons;
+    if (right_peek_key_ < key) {
+      right_peeked_ = false;  // Skip: no left key can match it anymore.
+      ++right_cursor_;
+    } else if (right_peek_key_ == key) {
+      group_.push_back(
+          right_batch_.row(right_batch_.ActiveIndex(right_cursor_)));
+      metrics_.AddWorkspace();
+      right_peeked_ = false;
+      ++right_cursor_;
+    } else {
+      return Status::Ok();  // Peek belongs to a future group.
+    }
+  }
+}
+
+Result<bool> EndpointMergeJoin::NextBatchImpl(TupleBatch* out,
+                                              size_t max_rows) {
+  if (options_.batch_size == 0) {
+    return TupleStream::NextBatchImpl(out, max_rows);
+  }
+  const LifespanRef* lifespan = BatchLifespan();
+  while (out->size() < max_rows) {
+    if (!have_left_) {
+      while (left_cursor_ >= left_batch_.ActiveSize()) {
+        TEMPUS_ASSIGN_OR_RETURN(
+            bool more, left_->NextBatch(&left_batch_, options_.batch_size));
+        left_cursor_ = 0;
+        if (!more) return !out->empty();
+      }
+      current_left_.AssignFrom(
+          left_batch_.row(left_batch_.ActiveIndex(left_cursor_++)));
+      ++metrics_.tuples_read_left;
+      const TimePoint k = LeftKey(current_left_);
+      if (options_.verify_input_order && k < previous_left_key_) {
+        return Status::FailedPrecondition(
+            "merge join left input is not sorted ascending on its key "
+            "endpoint");
+      }
+      previous_left_key_ = k;
+      TEMPUS_RETURN_IF_ERROR(LoadGroupBatch(k));
+      group_pos_ = 0;
+      have_left_ = true;
+    }
+    const Interval left_span = left_ref_.Of(current_left_);
+    while (group_pos_ < group_.size() && out->size() < max_rows) {
+      const Tuple& candidate = group_[group_pos_++];
+      ++metrics_.comparisons;
+      if (options_.residual.HoldsBetween(left_span,
+                                         right_ref_.Of(candidate))) {
+        out->PushOwnedConcat(current_left_, candidate, lifespan);
+        ++metrics_.tuples_emitted;
+      }
+    }
+    // Suspend mid-group when the output batch fills; current_left_ is a
+    // private copy, so the probe survives the outer batch refill.
+    if (group_pos_ < group_.size()) return true;
+    have_left_ = false;
+  }
+  return !out->empty();
 }
 
 }  // namespace tempus

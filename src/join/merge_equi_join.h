@@ -6,6 +6,7 @@
 
 #include "allen/interval_algebra.h"
 #include "join/join_common.h"
+#include "stream/batch.h"
 #include "stream/stream.h"
 
 namespace tempus {
@@ -19,6 +20,11 @@ struct EndpointMergeJoinOptions {
   AllenMask residual = AllenMask::All();
   bool verify_input_order = true;
   JoinNaming naming;
+  /// 0 keeps the tuple-at-a-time protocol (NextBatch() falls back to the
+  /// per-row adapter); > 0 makes NextBatch() native — both inputs are
+  /// consumed through child batches and key-equal pairs are emitted into
+  /// the output batch's recycled slots.
+  size_t batch_size = 0;
 };
 
 /// Merge join on a lifespan-endpoint equality, the strategy of the paper's
@@ -56,6 +62,7 @@ class EndpointMergeJoin : public TupleStream {
   const Schema& schema() const override { return schema_; }
   Status OpenImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  Result<bool> NextBatchImpl(TupleBatch* out, size_t max_rows) override;
   std::vector<const TupleStream*> children() const override {
     return {left_.get(), right_.get()};
   }
@@ -71,6 +78,13 @@ class EndpointMergeJoin : public TupleStream {
 
   /// Loads the right-side group with key == `key` (consuming smaller keys).
   Status LoadGroup(TimePoint key);
+
+  /// Batch-path right peek: positions right_cursor_ on the next Y row
+  /// (refilling right_batch_ as needed), counting and order-verifying it
+  /// exactly once; false when Y is exhausted.
+  Result<bool> FillRightPeek();
+  /// Batch twin of LoadGroup over the peeked right batch.
+  Status LoadGroupBatch(TimePoint key);
 
   std::unique_ptr<TupleStream> left_;
   std::unique_ptr<TupleStream> right_;
@@ -92,6 +106,13 @@ class EndpointMergeJoin : public TupleStream {
   bool have_left_ = false;
   TimePoint previous_left_key_ = kMinTime;
   size_t group_pos_ = 0;
+
+  TupleBatch left_batch_;    // Batch-path scratch for outer rows.
+  size_t left_cursor_ = 0;   // Next unconsumed active index in left_batch_.
+  TupleBatch right_batch_;   // Batch-path scratch for inner rows.
+  size_t right_cursor_ = 0;  // The peek position when right_peeked_.
+  bool right_peeked_ = false;
+  TimePoint right_peek_key_ = kMinTime;
 };
 
 }  // namespace tempus

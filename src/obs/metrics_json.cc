@@ -45,7 +45,8 @@ std::string MetricsToJson(const OperatorMetrics& m) {
       "\"buffer_hits\":%llu,\"buffer_misses\":%llu,"
       "\"buffer_evictions\":%llu,\"buffer_bytes_read\":%llu,"
       "\"buffer_bytes_written\":%llu,"
-      "\"batches\":%llu,\"batch_rows\":%llu}",
+      "\"batches\":%llu,\"batch_rows\":%llu,"
+      "\"kernel_rows_in\":%llu,\"kernel_rows_out\":%llu}",
       static_cast<unsigned long long>(m.tuples_read_left),
       static_cast<unsigned long long>(m.tuples_read_right),
       static_cast<unsigned long long>(m.tuples_emitted),
@@ -64,7 +65,9 @@ std::string MetricsToJson(const OperatorMetrics& m) {
       static_cast<unsigned long long>(m.buffer_bytes_read),
       static_cast<unsigned long long>(m.buffer_bytes_written),
       static_cast<unsigned long long>(m.batches),
-      static_cast<unsigned long long>(m.batch_rows));
+      static_cast<unsigned long long>(m.batch_rows),
+      static_cast<unsigned long long>(m.kernel_rows_in),
+      static_cast<unsigned long long>(m.kernel_rows_out));
 }
 
 }  // namespace tempus

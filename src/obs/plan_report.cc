@@ -74,6 +74,12 @@ void AppendActualLine(const OperatorMetrics& m, const PlanEstimate& est,
                           static_cast<double>(m.batch_rows) /
                               static_cast<double>(m.batches)));
   }
+  if (m.kernel_rows_in > 0) {
+    out->append(
+        StrFormat(" kernel=(in=%llu out=%llu)",
+                  static_cast<unsigned long long>(m.kernel_rows_in),
+                  static_cast<unsigned long long>(m.kernel_rows_out)));
+  }
   if (m.workers > 0) {
     out->append(StrFormat(" workers=%llu merge_cmps=%llu",
                           static_cast<unsigned long long>(m.workers),

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/string_util.h"
+#include "stream/kernel.h"
 
 namespace tempus {
 
@@ -195,7 +196,12 @@ size_t Optimizer::ChooseBatchSize(double est_input_rows,
                                   size_t default_batch) const {
   if (!cost_based()) return default_batch;
   if (default_batch == 0) return 0;  // Tuple path pinned by the caller.
-  return est_input_rows < kBatchRowThreshold ? 0 : default_batch;
+  // The vectorized expression kernels amortize per-batch setup over
+  // branch-free columnar loops, so batching starts paying off at half the
+  // input size it needs on the interpreted path.
+  const double threshold = VectorKernelsEnabled() ? kBatchRowThreshold / 2
+                                                  : kBatchRowThreshold;
+  return est_input_rows < threshold ? 0 : default_batch;
 }
 
 }  // namespace tempus

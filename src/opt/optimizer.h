@@ -104,6 +104,8 @@ class Optimizer {
   static constexpr double kParallelRowThreshold = 250000.0;
   static constexpr size_t kParallelDegree = 4;
   /// Estimated input rows below which the tuple path beats batching.
+  /// Halved when the vectorized expression kernels are on (docs/BATCH.md):
+  /// columnar evaluation recoups per-batch setup sooner.
   static constexpr double kBatchRowThreshold = 64.0;
 
  private:

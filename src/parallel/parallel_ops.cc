@@ -325,10 +325,11 @@ Result<std::unique_ptr<TupleStream>> MakeParallelBeforeJoin(
 
 Result<std::unique_ptr<TupleStream>> MakeParallelBeforeSemijoin(
     std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
-    size_t threads) {
+    size_t threads, size_t batch_size) {
   if (threads <= 1) {
     TEMPUS_ASSIGN_OR_RETURN(
-        auto stream, BeforeSemijoin::Create(std::move(x), std::move(y)));
+        auto stream,
+        BeforeSemijoin::Create(std::move(x), std::move(y), batch_size));
     return std::unique_ptr<TupleStream>(std::move(stream));
   }
   TEMPUS_ASSIGN_OR_RETURN(
@@ -891,10 +892,12 @@ Result<std::unique_ptr<TupleStream>> MakeParallelSequencedIntersect(
 }
 
 Result<std::unique_ptr<TupleStream>> MakeParallelCoalesce(
-    std::unique_ptr<TupleStream> input, size_t threads) {
+    std::unique_ptr<TupleStream> input, size_t threads, size_t batch_size) {
   if (threads <= 1) {
-    TEMPUS_ASSIGN_OR_RETURN(auto stream,
-                            CoalesceStream::Create(std::move(input)));
+    TEMPUS_ASSIGN_OR_RETURN(
+        auto stream, CoalesceStream::Create(std::move(input),
+                                            /*verify_input_order=*/true,
+                                            batch_size));
     return std::unique_ptr<TupleStream>(std::move(stream));
   }
   TEMPUS_ASSIGN_OR_RETURN(auto probe,

@@ -70,9 +70,10 @@ Result<std::unique_ptr<TupleStream>> MakeParallelBeforeJoin(
 
 /// Before-semijoin: row-range split of X; every worker shares Y (each
 /// recomputes max(Y.TS) — one extra scan per worker, visible in metrics).
+/// `batch_size` > 0 makes the sequential operator batch-native.
 Result<std::unique_ptr<TupleStream>> MakeParallelBeforeSemijoin(
     std::unique_ptr<TupleStream> x, std::unique_ptr<TupleStream> y,
-    size_t threads);
+    size_t threads, size_t batch_size = 0);
 
 /// Self Contained-semijoin: slices by sweep start; a tuple joins every
 /// slice its lifespan intersects and is emitted only by its home slice.
@@ -128,8 +129,10 @@ Result<std::unique_ptr<TupleStream>> MakeParallelSequencedIntersect(
 /// contiguous row ranges aligned to value-group boundaries, so each slice
 /// coalesces whole groups independently and concatenation reproduces the
 /// sequential output tuple for tuple.
+/// `batch_size` > 0 makes the sequential operator batch-native.
 Result<std::unique_ptr<TupleStream>> MakeParallelCoalesce(
-    std::unique_ptr<TupleStream> input, size_t threads);
+    std::unique_ptr<TupleStream> input, size_t threads,
+    size_t batch_size = 0);
 
 }  // namespace tempus
 

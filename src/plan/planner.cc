@@ -23,6 +23,7 @@
 #include "storage/paged_stream.h"
 #include "stream/basic_ops.h"
 #include "stream/batch.h"
+#include "stream/kernel.h"
 
 namespace tempus {
 namespace {
@@ -37,6 +38,46 @@ struct Selection {
   Value literal;
   std::string display;
 };
+
+KernelCmp ToKernelCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return KernelCmp::kEq;
+    case CmpOp::kNe:
+      return KernelCmp::kNe;
+    case CmpOp::kLt:
+      return KernelCmp::kLt;
+    case CmpOp::kLe:
+      return KernelCmp::kLe;
+    case CmpOp::kGt:
+      return KernelCmp::kGt;
+    case CmpOp::kGe:
+      return KernelCmp::kGe;
+  }
+  return KernelCmp::kEq;
+}
+
+/// Mirror of a comparison whose operands were swapped (lit < col becomes
+/// col > lit when the literal moves to the atom's constant side).
+KernelCmp FlipKernelCmp(KernelCmp cmp) {
+  switch (cmp) {
+    case KernelCmp::kLt:
+      return KernelCmp::kGt;
+    case KernelCmp::kLe:
+      return KernelCmp::kGe;
+    case KernelCmp::kGt:
+      return KernelCmp::kLt;
+    case KernelCmp::kGe:
+      return KernelCmp::kLe;
+    default:
+      return cmp;  // kEq / kNe are symmetric.
+  }
+}
+
+/// Explain suffix naming a filter node's expression-evaluation path.
+std::string FilterKernelNote(bool vectorized) {
+  return vectorized ? " [kernel=vector]" : " [kernel=interp]";
+}
 
 struct EquiLink {
   size_t var1;
@@ -231,6 +272,14 @@ class PlanBuilder {
   std::string BatchNote() const {
     return BatchSize() > 0 ? StrFormat(" [batch=%zu]", BatchSize())
                            : std::string();
+  }
+  /// Plan-level batch size stamped on the PlannedQuery: the options-level
+  /// resolution only, ignoring any per-pair cost-based override (the root
+  /// drain should use batches whenever the plan was built batch-capable).
+  size_t RootBatchSize() const {
+    return options_.batch_size == PlannerOptions::kNoBatchOverride
+               ? DefaultBatchSize()
+               : options_.batch_size;
   }
 
   const Catalog* catalog_;
@@ -597,16 +646,33 @@ Result<SubPlan> PlanBuilder::BuildBase(size_t var) const {
     const std::vector<Selection>& sels = selections_[var];
     std::vector<std::string> displays;
     for (const Selection& s : sels) displays.push_back(s.display);
-    auto predicate = [sels](const Tuple& t) -> Result<bool> {
-      for (const Selection& s : sels) {
-        if (!EvaluateCmp(t[s.attr_index], s.op, s.literal)) return false;
-      }
-      return true;
-    };
-    plan.stream = std::make_unique<FilterStream>(std::move(plan.stream),
-                                                 predicate, sels.size());
-    plan.explain =
-        "Select [" + Join(displays, " and ") + "]\n" + Indent(plan.explain);
+    const Schema& schema = rel.schema();
+    CompiledPredicate compiled;
+    compiled.vectorized = VectorKernelsEnabled();
+    std::vector<KernelAtom> atoms;
+    atoms.reserve(sels.size());
+    for (const Selection& s : sels) {
+      // Lifespan endpoints are never null and share the int64 time
+      // representation, so they take the branch-free TimePoint lane; any
+      // other column compares through Value::Compare, which is exactly
+      // EvaluateCmp's order.
+      const bool endpoint =
+          schema.has_lifespan() &&
+          (s.attr_index == schema.valid_from_index() ||
+           s.attr_index == schema.valid_to_index()) &&
+          s.literal.kind() == Value::Kind::kInt;
+      atoms.push_back(
+          endpoint ? KernelAtom::TimeConst(s.attr_index, ToKernelCmp(s.op),
+                                           s.literal.time_value())
+                   : KernelAtom::ValueConst(s.attr_index, ToKernelCmp(s.op),
+                                            s.literal));
+    }
+    compiled.kernel = PredicateKernel(std::move(atoms));
+    const bool vectorized = compiled.vectorized;
+    plan.stream = std::make_unique<FilterStream>(
+        std::move(plan.stream), std::move(compiled), sels.size());
+    plan.explain = "Select [" + Join(displays, " and ") + "]" +
+                   FilterKernelNote(vectorized) + "\n" + Indent(plan.explain);
     if (stats.has_value()) {
       SetEst(&plan,
              static_cast<double>(rel.size()) *
@@ -804,25 +870,68 @@ Result<SubPlan> PlanBuilder::ApplyPending(SubPlan plan) {
   if (evals.empty() && essential_evals.empty() && equi_evals.empty()) {
     return plan;
   }
-  auto predicate = [evals, essential_evals,
-                    equi_evals](const Tuple& t) -> Result<bool> {
-    for (const auto& e : equi_evals) {
-      if (!t[e.a].Equals(t[e.b])) return false;
+  // Compile the kernel-expressible conjuncts (equi links, endpoint
+  // predicates, and scalar comparisons); Allen atoms and degenerate
+  // literal-only forms stay in a per-row residual closure.
+  CompiledPredicate compiled;
+  compiled.vectorized = VectorKernelsEnabled();
+  std::vector<KernelAtom> atoms;
+  for (const auto& e : equi_evals) {
+    atoms.push_back(KernelAtom::ValueCol(e.a, KernelCmp::kEq, e.b));
+  }
+  std::vector<EssentialEval> residual_essentials;
+  for (const auto& e : essential_evals) {
+    const KernelCmp cmp = e.op == PredOp::kLess        ? KernelCmp::kLt
+                          : e.op == PredOp::kLessEqual ? KernelCmp::kLe
+                                                       : KernelCmp::kEq;
+    if (!e.l_lit && !e.r_lit) {
+      atoms.push_back(KernelAtom::TimeCol(e.l_col, cmp, e.r_col));
+    } else if (!e.l_lit) {
+      atoms.push_back(KernelAtom::TimeConst(e.l_col, cmp, e.r_value));
+    } else if (!e.r_lit) {
+      atoms.push_back(
+          KernelAtom::TimeConst(e.r_col, FlipKernelCmp(cmp), e.l_value));
+    } else {
+      residual_essentials.push_back(e);
     }
-    for (const auto& e : essential_evals) {
-      if (!e.Evaluate(t)) return false;
+  }
+  std::vector<detail::DeferredEval> residual_evals;
+  for (const auto& e : evals) {
+    if (e.is_atom) {
+      residual_evals.push_back(e);
+    } else if (e.lhs_is_column && e.rhs_is_column) {
+      atoms.push_back(
+          KernelAtom::ValueCol(e.l_col, ToKernelCmp(e.op), e.r_col));
+    } else if (e.lhs_is_column) {
+      atoms.push_back(
+          KernelAtom::ValueConst(e.l_col, ToKernelCmp(e.op), e.r_lit));
+    } else if (e.rhs_is_column) {
+      atoms.push_back(KernelAtom::ValueConst(
+          e.r_col, FlipKernelCmp(ToKernelCmp(e.op)), e.l_lit));
+    } else {
+      residual_evals.push_back(e);
     }
-    for (const auto& e : evals) {
-      if (!e.Evaluate(t)) return false;
-    }
-    return true;
-  };
+  }
+  compiled.kernel = PredicateKernel(std::move(atoms));
+  if (!residual_evals.empty() || !residual_essentials.empty()) {
+    compiled.residual = [residual_evals, residual_essentials](
+                            const Tuple& t) -> Result<bool> {
+      for (const auto& e : residual_essentials) {
+        if (!e.Evaluate(t)) return false;
+      }
+      for (const auto& e : residual_evals) {
+        if (!e.Evaluate(t)) return false;
+      }
+      return true;
+    };
+  }
   const uint64_t atom_count = static_cast<uint64_t>(
       evals.size() + essential_evals.size() + equi_evals.size());
-  plan.stream = std::make_unique<FilterStream>(std::move(plan.stream),
-                                               predicate, atom_count);
-  plan.explain =
-      "Filter [" + Join(displays, " and ") + "]\n" + Indent(plan.explain);
+  const bool vectorized = compiled.vectorized;
+  plan.stream = std::make_unique<FilterStream>(
+      std::move(plan.stream), std::move(compiled), atom_count);
+  plan.explain = "Filter [" + Join(displays, " and ") + "]" +
+                 FilterKernelNote(vectorized) + "\n" + Indent(plan.explain);
   if (plan.est.valid) {
     double rows = plan.est.rows;
     for (uint64_t i = 0; i < atom_count; ++i) rows *= kDefaultPairSelectivity;
@@ -1084,14 +1193,15 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
       TEMPUS_ASSIGN_OR_RETURN(
           auto stream,
           MakeParallelBeforeSemijoin(std::move(left.stream),
-                                     std::move(right.stream), Threads()));
+                                     std::move(right.stream), Threads(),
+                                     BatchSize()));
       subsume_pair_predicates();
       SubPlan plan;
       plan.stream = std::move(stream);
       plan.var_offsets = left.var_offsets;
       plan.order = left.order;
       plan.explain = "Before-semijoin [order independent]" + ParallelNote() +
-                     "\n" + Indent(left.explain) + "\n" +
+                     BatchNote() + "\n" + Indent(left.explain) + "\n" +
                      Indent(right.explain);
       if (have_stats) {
         SetEst(&plan,
@@ -1216,6 +1326,7 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
     BeforeJoinOptions options;
     options.naming = naming;
     options.verify_input_order = options_.verify_sorted_inputs;
+    options.batch_size = BatchSize();
     TEMPUS_ASSIGN_OR_RETURN(
         auto stream,
         MakeParallelBeforeJoin(std::move(left.stream),
@@ -1227,8 +1338,8 @@ Result<SubPlan> PlanBuilder::PlanTwoVarStream(SubPlan left, SubPlan right,
     plan.var_offsets[rv] = lschema.attribute_count();
     plan.stream = std::move(stream);
     plan.explain = "Before-join [buffered inner, binary search]" +
-                   ParallelNote() + "\n" + Indent(left.explain) + "\n" +
-                   Indent(right.explain);
+                   ParallelNote() + BatchNote() + "\n" +
+                   Indent(left.explain) + "\n" + Indent(right.explain);
     if (have_stats) {
       SetEst(&plan, scale_pairs(EstimateBeforePairs(*lstats, *rstats)),
              right_in.rows);
@@ -1662,15 +1773,13 @@ Result<SubPlan> PlanBuilder::Finalize(SubPlan plan) {
             attrs[proj_schema.valid_from_index()].name,
             attrs[proj_schema.valid_to_index()].name);
       }
-      auto identity = [](const Tuple& t) -> Result<Tuple> { return t; };
       project->set_label("Project");
       if (plan.est.valid) {
         // The inner projection (before the rename wrapper) passes rows
         // through unchanged.
         project->set_estimate({true, plan.est.rows, 0.0});
       }
-      plan.stream = std::make_unique<MapStream>(std::move(project), target,
-                                                identity);
+      plan.stream = MapStream::Rename(std::move(project), target);
     } else {
       plan.stream = std::move(project);
     }
@@ -1813,8 +1922,10 @@ Result<PlannedQuery> PlanBuilder::BuildSequenced() {
     }
     const NodeEstimate in_est = left.est;
     TEMPUS_ASSIGN_OR_RETURN(
-        plan.stream, MakeParallelCoalesce(std::move(left.stream), Threads()));
-    plan.explain = "Coalesce" + ParallelNote() + "\n" + Indent(left.explain);
+        plan.stream, MakeParallelCoalesce(std::move(left.stream), Threads(),
+                                          BatchSize()));
+    plan.explain = "Coalesce" + ParallelNote() + BatchNote() + "\n" +
+                   Indent(left.explain);
     // Single-accumulator operator: workspace bound 1 (docs/ALGORITHMS.md);
     // output rows <= input rows (maximal intervals only).
     if (in_est.valid) {
@@ -1948,6 +2059,7 @@ Result<PlannedQuery> PlanBuilder::BuildSequenced() {
 
   StampLabel(&plan);
   out.root = std::move(plan.stream);
+  out.batch_size = RootBatchSize();
   std::string header;
   if (!notes_.empty()) header += "-- " + notes_;
   out.explain = header + plan.explain;
@@ -2017,6 +2129,7 @@ Result<PlannedQuery> PlanBuilder::Build() {
   StampLabel(&plan);
 
   out.root = std::move(plan.stream);
+  out.batch_size = RootBatchSize();
   std::string header;
   if (!analysis_.injected.empty()) {
     header += "-- integrity constraints used: " +
@@ -2040,6 +2153,9 @@ Result<PlannedQuery> PlanBuilder::Build() {
 }  // namespace
 
 Result<TemporalRelation> PlannedQuery::Execute() {
+  if (batch_size > 0) {
+    return MaterializeBatches(root.get(), into, batch_size);
+  }
   return Materialize(root.get(), into);
 }
 

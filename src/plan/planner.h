@@ -84,6 +84,12 @@ struct PlannedQuery {
   std::vector<std::string> rationale;
   /// Present iff planned with options.analyze; filled in by Execute().
   std::unique_ptr<TraceCollector> trace;
+  /// Effective plan-level batch size (options.batch_size resolved through
+  /// TEMPUS_BATCH_SIZE). Execute() drains the root through NextBatch()
+  /// when > 0, so batch-native operators — including the vectorized
+  /// expression kernels in filters/projections — run columnar even when
+  /// no batch consumer sits above them; 0 drains tuple-at-a-time.
+  size_t batch_size = 0;
 
   /// Runs the plan to completion, materializing the result relation.
   Result<TemporalRelation> Execute();

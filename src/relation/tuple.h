@@ -53,6 +53,15 @@ class Tuple {
     for (size_t i = 0; i < n; ++i) values_[i].CopyFrom(other.values_[i]);
   }
 
+  /// Replaces this tuple with src's attributes at `indices`, reusing the
+  /// existing storage — the projection form of AssignFrom, for batch
+  /// projection emission into recycled slots.
+  void AssignProject(const Tuple& src, const std::vector<size_t>& indices) {
+    const size_t n = indices.size();
+    if (values_.size() != n) values_.resize(n);
+    for (size_t i = 0; i < n; ++i) values_[i].CopyFrom(src.values_[indices[i]]);
+  }
+
   bool Equals(const Tuple& other) const;
   friend bool operator==(const Tuple& a, const Tuple& b) {
     return a.Equals(b);

@@ -27,19 +27,22 @@ Result<SortSpec> CoalesceSortSpec(const Schema& schema) {
 
 CoalesceStream::CoalesceStream(std::unique_ptr<TupleStream> child,
                                LifespanRef lifespan, SortSpec spec,
-                               bool verify_input_order)
+                               bool verify_input_order, size_t batch_size)
     : child_(std::move(child)),
       lifespan_(lifespan),
       spec_(std::move(spec)),
-      verify_input_order_(verify_input_order) {}
+      verify_input_order_(verify_input_order),
+      batch_size_(batch_size) {}
 
 Result<std::unique_ptr<CoalesceStream>> CoalesceStream::Create(
-    std::unique_ptr<TupleStream> child, bool verify_input_order) {
+    std::unique_ptr<TupleStream> child, bool verify_input_order,
+    size_t batch_size) {
   TEMPUS_ASSIGN_OR_RETURN(LifespanRef lifespan,
                           LifespanRef::ForSchema(child->schema()));
   TEMPUS_ASSIGN_OR_RETURN(SortSpec spec, CoalesceSortSpec(child->schema()));
-  return std::unique_ptr<CoalesceStream>(new CoalesceStream(
-      std::move(child), lifespan, std::move(spec), verify_input_order));
+  return std::unique_ptr<CoalesceStream>(
+      new CoalesceStream(std::move(child), lifespan, std::move(spec),
+                         verify_input_order, batch_size));
 }
 
 Status CoalesceStream::OpenImpl() {
@@ -49,6 +52,20 @@ Status CoalesceStream::OpenImpl() {
   have_acc_ = false;
   input_done_ = false;
   previous_.reset();
+  input_.Clear();
+  input_cursor_ = 0;
+  return Status::Ok();
+}
+
+Status CoalesceStream::CheckOrder(const Tuple& next) {
+  if (!verify_input_order_) return Status::Ok();
+  if (previous_.has_value() && spec_.Compare(*previous_, next) > 0) {
+    return Status::FailedPrecondition(
+        "coalesce input violates its promised order (" +
+        previous_->ToString() + " then " + next.ToString() +
+        "); insert a sort on the coalescing key");
+  }
+  previous_ = next;
   return Status::Ok();
 }
 
@@ -88,15 +105,7 @@ Result<bool> CoalesceStream::NextImpl(Tuple* out) {
       continue;
     }
     ++metrics_.tuples_read_left;
-    if (verify_input_order_) {
-      if (previous_.has_value() && spec_.Compare(*previous_, next) > 0) {
-        return Status::FailedPrecondition(
-            "coalesce input violates its promised order (" +
-            previous_->ToString() + " then " + next.ToString() +
-            "); insert a sort on the coalescing key");
-      }
-      previous_ = next;
-    }
+    TEMPUS_RETURN_IF_ERROR(CheckOrder(next));
     const Interval span = lifespan_.Of(next);
     if (!have_acc_) {
       acc_ = std::move(next);
@@ -119,6 +128,51 @@ Result<bool> CoalesceStream::NextImpl(Tuple* out) {
     metrics_.AddWorkspace();
     return true;
   }
+}
+
+Result<bool> CoalesceStream::NextBatchImpl(TupleBatch* out, size_t max_rows) {
+  if (batch_size_ == 0) return TupleStream::NextBatchImpl(out, max_rows);
+  while (out->size() < max_rows) {
+    if (input_done_) {
+      if (have_acc_) {
+        const Interval flushed = acc_span_;
+        out->PushOwned(Flush(), flushed);
+      }
+      break;
+    }
+    if (input_cursor_ >= input_.ActiveSize()) {
+      TEMPUS_ASSIGN_OR_RETURN(bool more,
+                              child_->NextBatch(&input_, batch_size_));
+      input_cursor_ = 0;
+      if (!more) input_done_ = true;
+      continue;
+    }
+    const Tuple& next = input_.row(input_.ActiveIndex(input_cursor_++));
+    ++metrics_.tuples_read_left;
+    TEMPUS_RETURN_IF_ERROR(CheckOrder(next));
+    const Interval span = lifespan_.Of(next);
+    if (!have_acc_) {
+      acc_.AssignFrom(next);
+      acc_span_ = span;
+      have_acc_ = true;
+      metrics_.AddWorkspace();
+      continue;
+    }
+    if (SameGroup(acc_, next) && span.start <= acc_span_.end) {
+      // Same value group, adjacent or overlapping: extend the accumulated
+      // maximal interval instead of emitting.
+      TEMPUS_FAULT_POINT("coalesce.merge");
+      acc_span_.end = std::max(acc_span_.end, span.end);
+      continue;
+    }
+    const Interval flushed = acc_span_;
+    out->PushOwned(Flush(), flushed);
+    acc_.AssignFrom(next);
+    acc_span_ = span;
+    have_acc_ = true;
+    metrics_.AddWorkspace();
+  }
+  return !out->empty();
 }
 
 }  // namespace tempus

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "relation/sort_spec.h"
+#include "stream/batch.h"
 #include "stream/stream.h"
 
 namespace tempus {
@@ -29,33 +30,44 @@ class CoalesceStream : public TupleStream {
  public:
   /// The child must produce tuples in CoalesceSortSpec order (verified
   /// incrementally when `verify_input_order`; mis-sorted input fails fast).
+  /// `batch_size` 0 keeps the tuple protocol; > 0 makes NextBatch() native
+  /// (child consumed in batches, maximal intervals emitted into recycled
+  /// owned slots), preserving the single-accumulator workspace bound.
   static Result<std::unique_ptr<CoalesceStream>> Create(
-      std::unique_ptr<TupleStream> child, bool verify_input_order = true);
+      std::unique_ptr<TupleStream> child, bool verify_input_order = true,
+      size_t batch_size = 0);
 
   const Schema& schema() const override { return child_->schema(); }
   Status OpenImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  Result<bool> NextBatchImpl(TupleBatch* out, size_t max_rows) override;
   std::vector<const TupleStream*> children() const override {
     return {child_.get()};
   }
 
  private:
   CoalesceStream(std::unique_ptr<TupleStream> child, LifespanRef lifespan,
-                 SortSpec spec, bool verify_input_order);
+                 SortSpec spec, bool verify_input_order, size_t batch_size);
 
   bool SameGroup(const Tuple& a, const Tuple& b);
   Tuple Flush();
+  /// Order-validation step shared by both protocols.
+  Status CheckOrder(const Tuple& next);
 
   std::unique_ptr<TupleStream> child_;
   LifespanRef lifespan_;
   SortSpec spec_;
   bool verify_input_order_;
+  size_t batch_size_;
 
   Tuple acc_;
   Interval acc_span_;
   bool have_acc_ = false;
   bool input_done_ = false;
   std::optional<Tuple> previous_;  // Order-validation witness.
+
+  TupleBatch input_;        // Batch-path scratch for child rows.
+  size_t input_cursor_ = 0;
 };
 
 }  // namespace tempus

@@ -23,15 +23,16 @@ std::string_view AggregateFunctionName(AggregateFunction fn) {
 
 GroupAggregateStream::GroupAggregateStream(
     std::unique_ptr<TupleStream> child, std::vector<size_t> group_attrs,
-    std::vector<AggregateSpec> aggregates, Schema schema)
+    std::vector<AggregateSpec> aggregates, Schema schema, size_t batch_size)
     : child_(std::move(child)),
       group_attrs_(std::move(group_attrs)),
       aggregates_(std::move(aggregates)),
-      schema_(std::move(schema)) {}
+      schema_(std::move(schema)),
+      batch_size_(batch_size) {}
 
 Result<std::unique_ptr<GroupAggregateStream>> GroupAggregateStream::Create(
     std::unique_ptr<TupleStream> child, std::vector<size_t> group_attrs,
-    std::vector<AggregateSpec> aggregates) {
+    std::vector<AggregateSpec> aggregates, size_t batch_size) {
   const Schema& in = child->schema();
   std::vector<AttributeDef> attrs;
   for (size_t ix : group_attrs) {
@@ -67,7 +68,7 @@ Result<std::unique_ptr<GroupAggregateStream>> GroupAggregateStream::Create(
   TEMPUS_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
   return std::unique_ptr<GroupAggregateStream>(new GroupAggregateStream(
       std::move(child), std::move(group_attrs), std::move(aggregates),
-      std::move(schema)));
+      std::move(schema), batch_size));
 }
 
 Status GroupAggregateStream::OpenImpl() {
@@ -75,7 +76,15 @@ Status GroupAggregateStream::OpenImpl() {
   has_group_ = false;
   done_ = false;
   metrics_.ResetWorkspace();
+  input_.Clear();
+  input_cursor_ = 0;
   return child_->Open();
+}
+
+void GroupAggregateStream::StartGroup(const Tuple& t) {
+  current_key_.clear();
+  for (size_t ix : group_attrs_) current_key_.push_back(t[ix]);
+  accumulators_.assign(aggregates_.size(), {});
 }
 
 bool GroupAggregateStream::SameGroup(const Tuple& t) const {
@@ -155,9 +164,7 @@ Result<bool> GroupAggregateStream::NextImpl(Tuple* out) {
     }
     ++metrics_.tuples_read_left;
     if (!has_group_) {
-      current_key_.clear();
-      for (size_t ix : group_attrs_) current_key_.push_back(t[ix]);
-      accumulators_.assign(aggregates_.size(), {});
+      StartGroup(t);
       has_group_ = true;
       metrics_.AddWorkspace();  // The group state (key + accumulators).
       TEMPUS_RETURN_IF_ERROR(Accumulate(t));
@@ -170,13 +177,60 @@ Result<bool> GroupAggregateStream::NextImpl(Tuple* out) {
     }
     // Group boundary: emit the finished group, start the new one.
     *out = EmitGroup();
-    current_key_.clear();
-    for (size_t ix : group_attrs_) current_key_.push_back(t[ix]);
-    accumulators_.assign(aggregates_.size(), {});
+    StartGroup(t);
     TEMPUS_RETURN_IF_ERROR(Accumulate(t));
     ++metrics_.tuples_emitted;
     return true;
   }
+}
+
+Result<bool> GroupAggregateStream::NextBatchImpl(TupleBatch* out,
+                                                 size_t max_rows) {
+  if (batch_size_ == 0) return TupleStream::NextBatchImpl(out, max_rows);
+  const LifespanRef* lifespan = BatchLifespan();
+  auto push_group = [&] {
+    Tuple row = EmitGroup();
+    const Interval span =
+        lifespan != nullptr ? lifespan->Of(row) : Interval();
+    out->PushOwned(std::move(row), span);
+    ++metrics_.tuples_emitted;
+  };
+  while (out->size() < max_rows) {
+    if (done_) {
+      if (has_group_) {
+        push_group();
+        has_group_ = false;
+        metrics_.SubWorkspace();
+      }
+      break;
+    }
+    if (input_cursor_ >= input_.ActiveSize()) {
+      TEMPUS_ASSIGN_OR_RETURN(bool more,
+                              child_->NextBatch(&input_, batch_size_));
+      input_cursor_ = 0;
+      if (!more) done_ = true;
+      continue;
+    }
+    const Tuple& t = input_.row(input_.ActiveIndex(input_cursor_++));
+    ++metrics_.tuples_read_left;
+    if (!has_group_) {
+      StartGroup(t);
+      has_group_ = true;
+      metrics_.AddWorkspace();  // The group state (key + accumulators).
+      TEMPUS_RETURN_IF_ERROR(Accumulate(t));
+      continue;
+    }
+    ++metrics_.comparisons;
+    if (SameGroup(t)) {
+      TEMPUS_RETURN_IF_ERROR(Accumulate(t));
+      continue;
+    }
+    // Group boundary: emit the finished group, start the new one.
+    push_group();
+    StartGroup(t);
+    TEMPUS_RETURN_IF_ERROR(Accumulate(t));
+  }
+  return !out->empty();
 }
 
 }  // namespace tempus

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "stream/batch.h"
 #include "stream/stream.h"
 
 namespace tempus {
@@ -35,13 +36,18 @@ struct AggregateSpec {
 /// followed by the aggregate columns, in group arrival order.
 class GroupAggregateStream : public TupleStream {
  public:
+  /// `batch_size` 0 keeps the tuple protocol; > 0 makes NextBatch() native
+  /// (child consumed in batches, one output row per group boundary pushed
+  /// into recycled owned slots). The group-state workspace bound of 1 is
+  /// unchanged.
   static Result<std::unique_ptr<GroupAggregateStream>> Create(
       std::unique_ptr<TupleStream> child, std::vector<size_t> group_attrs,
-      std::vector<AggregateSpec> aggregates);
+      std::vector<AggregateSpec> aggregates, size_t batch_size = 0);
 
   const Schema& schema() const override { return schema_; }
   Status OpenImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  Result<bool> NextBatchImpl(TupleBatch* out, size_t max_rows) override;
   std::vector<const TupleStream*> children() const override {
     return {child_.get()};
   }
@@ -65,21 +71,27 @@ class GroupAggregateStream : public TupleStream {
 
   GroupAggregateStream(std::unique_ptr<TupleStream> child,
                        std::vector<size_t> group_attrs,
-                       std::vector<AggregateSpec> aggregates, Schema schema);
+                       std::vector<AggregateSpec> aggregates, Schema schema,
+                       size_t batch_size);
 
   bool SameGroup(const Tuple& t) const;
   Status Accumulate(const Tuple& t);
   Tuple EmitGroup();
+  void StartGroup(const Tuple& t);
 
   std::unique_ptr<TupleStream> child_;
   std::vector<size_t> group_attrs_;
   std::vector<AggregateSpec> aggregates_;
   Schema schema_;
+  size_t batch_size_;
 
   std::vector<Value> current_key_;
   std::vector<Accumulator> accumulators_;
   bool has_group_ = false;
   bool done_ = false;
+
+  TupleBatch input_;        // Batch-path scratch for child rows.
+  size_t input_cursor_ = 0;
 };
 
 }  // namespace tempus

@@ -11,6 +11,14 @@ FilterStream::FilterStream(std::unique_ptr<TupleStream> child,
       predicate_(std::move(predicate)),
       comparison_weight_(comparison_weight) {}
 
+FilterStream::FilterStream(std::unique_ptr<TupleStream> child,
+                           CompiledPredicate predicate,
+                           uint64_t comparison_weight)
+    : child_(std::move(child)),
+      compiled_(std::move(predicate)),
+      compiled_mode_(true),
+      comparison_weight_(comparison_weight) {}
+
 Status FilterStream::OpenImpl() {
   ++metrics_.passes_left;
   return child_->Open();
@@ -22,7 +30,15 @@ Result<bool> FilterStream::NextImpl(Tuple* out) {
     if (!has) return false;
     ++metrics_.tuples_read_left;
     metrics_.comparisons += comparison_weight_;
-    TEMPUS_ASSIGN_OR_RETURN(bool keep, predicate_(*out));
+    bool keep;
+    if (compiled_mode_) {
+      keep = compiled_.kernel.EvalRow(*out);
+      if (keep && compiled_.residual != nullptr) {
+        TEMPUS_ASSIGN_OR_RETURN(keep, compiled_.residual(*out));
+      }
+    } else {
+      TEMPUS_ASSIGN_OR_RETURN(keep, predicate_(*out));
+    }
     if (keep) {
       ++metrics_.tuples_emitted;
       return true;
@@ -30,19 +46,60 @@ Result<bool> FilterStream::NextImpl(Tuple* out) {
   }
 }
 
+Result<bool> FilterStream::NextBatchImpl(TupleBatch* out, size_t max_rows) {
+  if (!compiled_mode_ || !compiled_.vectorized) {
+    // Legacy closure form / interpreted mode: the per-row adapter, exactly
+    // the pre-kernel behavior.
+    return TupleStream::NextBatchImpl(out, max_rows);
+  }
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out, max_rows));
+    if (!more) return false;
+    const size_t rows_in = out->ActiveSize();
+    metrics_.tuples_read_left += rows_in;
+    metrics_.comparisons += comparison_weight_ * rows_in;
+    metrics_.kernel_rows_in += rows_in;
+    TEMPUS_RETURN_IF_ERROR(compiled_.kernel.EvalBatch(out).status());
+    if (compiled_.residual != nullptr) {
+      residual_selection_.clear();
+      for (size_t i = 0; i < out->ActiveSize(); ++i) {
+        const size_t ix = out->ActiveIndex(i);
+        TEMPUS_ASSIGN_OR_RETURN(bool keep, compiled_.residual(out->row(ix)));
+        if (keep) residual_selection_.push_back(static_cast<uint32_t>(ix));
+      }
+      out->SetSelection(std::move(residual_selection_));
+    }
+    const size_t rows_out = out->ActiveSize();
+    metrics_.kernel_rows_out += rows_out;
+    metrics_.tuples_emitted += rows_out;
+    if (rows_out > 0) return true;
+    // Everything filtered out: pull the next child batch rather than
+    // handing an empty batch downstream.
+  }
+}
+
 Result<std::unique_ptr<ProjectStream>> ProjectStream::Create(
     std::unique_ptr<TupleStream> child, std::vector<size_t> indices) {
+  return Create(std::move(child), std::move(indices), VectorKernelsEnabled());
+}
+
+Result<std::unique_ptr<ProjectStream>> ProjectStream::Create(
+    std::unique_ptr<TupleStream> child, std::vector<size_t> indices,
+    bool vectorized) {
   TEMPUS_ASSIGN_OR_RETURN(Schema schema,
                           child->schema().Project(indices));
-  return std::unique_ptr<ProjectStream>(new ProjectStream(
-      std::move(child), std::move(indices), std::move(schema)));
+  return std::unique_ptr<ProjectStream>(
+      new ProjectStream(std::move(child), std::move(indices),
+                        std::move(schema), vectorized));
 }
 
 ProjectStream::ProjectStream(std::unique_ptr<TupleStream> child,
-                             std::vector<size_t> indices, Schema schema)
+                             std::vector<size_t> indices, Schema schema,
+                             bool vectorized)
     : child_(std::move(child)),
       indices_(std::move(indices)),
-      schema_(std::move(schema)) {}
+      schema_(std::move(schema)),
+      vectorized_(vectorized) {}
 
 Status ProjectStream::OpenImpl() {
   ++metrics_.passes_left;
@@ -64,6 +121,23 @@ Result<bool> ProjectStream::NextImpl(Tuple* out) {
   return true;
 }
 
+Result<bool> ProjectStream::NextBatchImpl(TupleBatch* out, size_t max_rows) {
+  if (!vectorized_) return TupleStream::NextBatchImpl(out, max_rows);
+  const LifespanRef* lifespan = BatchLifespan();
+  while (true) {
+    TEMPUS_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&input_, max_rows));
+    if (!more) return false;
+    const size_t n = input_.ActiveSize();
+    metrics_.tuples_read_left += n;
+    for (size_t i = 0; i < n; ++i) {
+      out->PushOwnedProject(input_.row(input_.ActiveIndex(i)), indices_,
+                            lifespan);
+    }
+    metrics_.tuples_emitted += n;
+    if (n > 0) return true;
+  }
+}
+
 SortStream::SortStream(std::unique_ptr<TupleStream> child, SortSpec spec)
     : child_(std::move(child)), spec_(std::move(spec)) {}
 
@@ -72,14 +146,15 @@ Status SortStream::OpenImpl() {
   sorted_.clear();
   metrics_.ResetWorkspace();
   TEMPUS_RETURN_IF_ERROR(child_->Open());
-  Tuple tuple;
+  TupleBatch batch;
   while (true) {
-    TEMPUS_ASSIGN_OR_RETURN(bool has, child_->Next(&tuple));
+    TEMPUS_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch));
     if (!has) break;
-    ++metrics_.tuples_read_left;
-    sorted_.push_back(std::move(tuple));
-    metrics_.AddWorkspace();
-    tuple = Tuple();
+    for (size_t i = 0; i < batch.ActiveSize(); ++i) {
+      ++metrics_.tuples_read_left;
+      sorted_.push_back(Tuple(batch.row(batch.ActiveIndex(i))));
+      metrics_.AddWorkspace();
+    }
   }
   SortTuples(&sorted_, spec_);
   next_index_ = 0;
@@ -93,11 +168,32 @@ Result<bool> SortStream::NextImpl(Tuple* out) {
   return true;
 }
 
+Result<bool> SortStream::NextBatchImpl(TupleBatch* out, size_t max_rows) {
+  const LifespanRef* lifespan = BatchLifespan();
+  const size_t begin = next_index_;
+  while (out->size() < max_rows && next_index_ < sorted_.size()) {
+    const Tuple& tuple = sorted_[next_index_++];
+    out->PushStable(&tuple,
+                    lifespan != nullptr ? lifespan->Of(tuple) : Interval());
+  }
+  metrics_.tuples_emitted += next_index_ - begin;
+  return !out->empty();
+}
+
 MapStream::MapStream(std::unique_ptr<TupleStream> child, Schema output_schema,
                      Transform transform)
     : child_(std::move(child)),
       schema_(std::move(output_schema)),
       transform_(std::move(transform)) {}
+
+std::unique_ptr<MapStream> MapStream::Rename(
+    std::unique_ptr<TupleStream> child, Schema output_schema) {
+  auto stream = std::make_unique<MapStream>(
+      std::move(child), std::move(output_schema),
+      [](const Tuple& t) -> Result<Tuple> { return t; });
+  stream->identity_ = true;
+  return stream;
+}
 
 Status MapStream::OpenImpl() {
   ++metrics_.passes_left;
@@ -111,6 +207,16 @@ Result<bool> MapStream::NextImpl(Tuple* out) {
   ++metrics_.tuples_read_left;
   TEMPUS_ASSIGN_OR_RETURN(*out, transform_(row));
   ++metrics_.tuples_emitted;
+  return true;
+}
+
+Result<bool> MapStream::NextBatchImpl(TupleBatch* out, size_t max_rows) {
+  if (!identity_) return TupleStream::NextBatchImpl(out, max_rows);
+  TEMPUS_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out, max_rows));
+  if (!more) return false;
+  const size_t n = out->ActiveSize();
+  metrics_.tuples_read_left += n;
+  metrics_.tuples_emitted += n;
   return true;
 }
 

@@ -90,6 +90,17 @@ class TupleBatch {
     slot.AssignFrom(tuple);
     Push(&slot, span, RowKind::kOwned);
   }
+  /// Appends an owned projection of `src` (the attributes at `indices`)
+  /// built in a recycled slot; the span is `lifespan->Of(row)` over the
+  /// projected row (Interval() when null, i.e. the projection dropped the
+  /// lifespan).
+  void PushOwnedProject(const Tuple& src, const std::vector<size_t>& indices,
+                        const LifespanRef* lifespan) {
+    Tuple& slot = NextOwnedSlot();
+    slot.AssignProject(src, indices);
+    Push(&slot, lifespan != nullptr ? lifespan->Of(slot) : Interval(),
+         RowKind::kOwned);
+  }
   /// Appends a borrowed row that outlives the producing stream.
   void PushStable(const Tuple* tuple, Interval span) {
     Push(tuple, span, RowKind::kStable);

@@ -1,0 +1,223 @@
+#include "stream/kernel.h"
+
+#include <cstdlib>
+#include <functional>
+#include <string_view>
+#include <utility>
+
+#include "common/fault.h"
+
+namespace tempus {
+namespace {
+
+/// Branch-free column-vs-constant mask loop. The comparison result is
+/// folded into the mask with integer arithmetic (no data-dependent
+/// branch), so the loop auto-vectorizes over the contiguous TimePoint
+/// stripe.
+template <typename Cmp>
+void MaskColConst(const TimePoint* v, TimePoint c, size_t n, uint8_t* m) {
+  Cmp cmp;
+  for (size_t k = 0; k < n; ++k) {
+    m[k] &= static_cast<uint8_t>(cmp(v[k], c));
+  }
+}
+
+/// Branch-free column-vs-column mask loop.
+template <typename Cmp>
+void MaskColCol(const TimePoint* a, const TimePoint* b, size_t n,
+                uint8_t* m) {
+  Cmp cmp;
+  for (size_t k = 0; k < n; ++k) {
+    m[k] &= static_cast<uint8_t>(cmp(a[k], b[k]));
+  }
+}
+
+void ApplyConst(KernelCmp cmp, const TimePoint* v, TimePoint c, size_t n,
+                uint8_t* m) {
+  switch (cmp) {
+    case KernelCmp::kEq:
+      return MaskColConst<std::equal_to<TimePoint>>(v, c, n, m);
+    case KernelCmp::kNe:
+      return MaskColConst<std::not_equal_to<TimePoint>>(v, c, n, m);
+    case KernelCmp::kLt:
+      return MaskColConst<std::less<TimePoint>>(v, c, n, m);
+    case KernelCmp::kLe:
+      return MaskColConst<std::less_equal<TimePoint>>(v, c, n, m);
+    case KernelCmp::kGt:
+      return MaskColConst<std::greater<TimePoint>>(v, c, n, m);
+    case KernelCmp::kGe:
+      return MaskColConst<std::greater_equal<TimePoint>>(v, c, n, m);
+  }
+}
+
+void ApplyCol(KernelCmp cmp, const TimePoint* a, const TimePoint* b, size_t n,
+              uint8_t* m) {
+  switch (cmp) {
+    case KernelCmp::kEq:
+      return MaskColCol<std::equal_to<TimePoint>>(a, b, n, m);
+    case KernelCmp::kNe:
+      return MaskColCol<std::not_equal_to<TimePoint>>(a, b, n, m);
+    case KernelCmp::kLt:
+      return MaskColCol<std::less<TimePoint>>(a, b, n, m);
+    case KernelCmp::kLe:
+      return MaskColCol<std::less_equal<TimePoint>>(a, b, n, m);
+    case KernelCmp::kGt:
+      return MaskColCol<std::greater<TimePoint>>(a, b, n, m);
+    case KernelCmp::kGe:
+      return MaskColCol<std::greater_equal<TimePoint>>(a, b, n, m);
+  }
+}
+
+int ThreeWay(TimePoint a, TimePoint b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+bool EvalAtomRow(const Tuple& t, const KernelAtom& atom) {
+  switch (atom.kind) {
+    case KernelAtom::Kind::kTimeConst:
+      return KernelCmpHolds(
+          atom.cmp, ThreeWay(t[atom.lhs].time_value(), atom.time_literal));
+    case KernelAtom::Kind::kTimeCol:
+      return KernelCmpHolds(
+          atom.cmp,
+          ThreeWay(t[atom.lhs].time_value(), t[atom.rhs].time_value()));
+    case KernelAtom::Kind::kValueConst:
+      return KernelCmpHolds(atom.cmp, t[atom.lhs].Compare(atom.literal));
+    case KernelAtom::Kind::kValueCol:
+      return KernelCmpHolds(atom.cmp, t[atom.lhs].Compare(t[atom.rhs]));
+  }
+  return false;
+}
+
+}  // namespace
+
+bool VectorKernelsEnabled() {
+  const char* env = std::getenv("TEMPUS_VECTOR_KERNELS");
+  if (env == nullptr) return true;
+  const std::string_view v(env);
+  return !(v == "off" || v == "0" || v == "false" || v == "no");
+}
+
+PredicateKernel::PredicateKernel(std::vector<KernelAtom> atoms)
+    : atoms_(std::move(atoms)) {
+  auto slot_for = [this](size_t column) {
+    for (size_t s = 0; s < time_columns_.size(); ++s) {
+      if (time_columns_[s] == column) return s;
+    }
+    time_columns_.push_back(column);
+    return time_columns_.size() - 1;
+  };
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    const KernelAtom& a = atoms_[i];
+    switch (a.kind) {
+      case KernelAtom::Kind::kTimeConst:
+        time_plans_.push_back({i, slot_for(a.lhs), 0});
+        break;
+      case KernelAtom::Kind::kTimeCol:
+        time_plans_.push_back({i, slot_for(a.lhs), slot_for(a.rhs)});
+        break;
+      default:
+        value_atoms_.push_back(i);
+        break;
+    }
+  }
+  gather_.resize(time_columns_.size());
+}
+
+bool PredicateKernel::EvalRow(const Tuple& t) const {
+  for (const KernelAtom& atom : atoms_) {
+    if (!EvalAtomRow(t, atom)) return false;
+  }
+  return true;
+}
+
+Result<size_t> PredicateKernel::EvalBatch(TupleBatch* batch) {
+  TEMPUS_FAULT_POINT("kernel.eval");
+  const size_t n = batch->ActiveSize();
+  active_.clear();
+  active_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    active_.push_back(static_cast<uint32_t>(batch->ActiveIndex(i)));
+  }
+  mask_.assign(n, 1);
+  // Gather each referenced time column once; the per-atom loops below then
+  // touch only the contiguous stripes.
+  for (size_t s = 0; s < time_columns_.size(); ++s) {
+    std::vector<TimePoint>& stripe = gather_[s];
+    stripe.resize(n);
+    const size_t column = time_columns_[s];
+    for (size_t k = 0; k < n; ++k) {
+      stripe[k] = batch->row(active_[k])[column].time_value();
+    }
+  }
+  for (const TimeAtomPlan& plan : time_plans_) {
+    const KernelAtom& atom = atoms_[plan.atom_index];
+    if (atom.kind == KernelAtom::Kind::kTimeConst) {
+      ApplyConst(atom.cmp, gather_[plan.lhs_slot].data(), atom.time_literal,
+                 n, mask_.data());
+    } else {
+      ApplyCol(atom.cmp, gather_[plan.lhs_slot].data(),
+               gather_[plan.rhs_slot].data(), n, mask_.data());
+    }
+  }
+  // Value atoms run per surviving row only.
+  for (size_t ai : value_atoms_) {
+    const KernelAtom& atom = atoms_[ai];
+    for (size_t k = 0; k < n; ++k) {
+      if (mask_[k] != 0 && !EvalAtomRow(batch->row(active_[k]), atom)) {
+        mask_[k] = 0;
+      }
+    }
+  }
+  std::vector<uint32_t> selection;
+  size_t survivors = 0;
+  for (size_t k = 0; k < n; ++k) survivors += mask_[k];
+  selection.reserve(survivors);
+  for (size_t k = 0; k < n; ++k) {
+    if (mask_[k] != 0) selection.push_back(active_[k]);
+  }
+  batch->SetSelection(std::move(selection));
+  return survivors;
+}
+
+std::vector<uint32_t> SelectionAnd(const std::vector<uint32_t>& a,
+                                   const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(a.size() < b.size() ? a.size() : b.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> SelectionOr(const std::vector<uint32_t>& a,
+                                  const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(a.size() + b.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      out.push_back(a[i++]);
+    } else if (b[j] < a[i]) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  out.insert(out.end(), a.begin() + i, a.end());
+  out.insert(out.end(), b.begin() + j, b.end());
+  return out;
+}
+
+}  // namespace tempus

@@ -1,0 +1,156 @@
+#ifndef TEMPUS_STREAM_KERNEL_H_
+#define TEMPUS_STREAM_KERNEL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/result.h"
+#include "relation/tuple.h"
+#include "relation/value.h"
+#include "stream/batch.h"
+
+namespace tempus {
+
+/// Whether the vectorized expression-kernel path is enabled: the
+/// TEMPUS_VECTOR_KERNELS environment variable, default on ("off", "0",
+/// "false", and "no" disable it). Read per call so harnesses can flip the
+/// knob between plans; operators sample it once at construction.
+bool VectorKernelsEnabled();
+
+/// Comparison operator of a kernel atom. Kernel-local so tempus_stream
+/// keeps its dependency surface at tempus_relation (the planner maps its
+/// CmpOp here); semantics follow Value::Compare's -1/0/+1 contract.
+enum class KernelCmp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// True iff `three_way` (a Value::Compare / manual three-way result)
+/// satisfies `cmp`.
+inline bool KernelCmpHolds(KernelCmp cmp, int three_way) {
+  switch (cmp) {
+    case KernelCmp::kEq:
+      return three_way == 0;
+    case KernelCmp::kNe:
+      return three_way != 0;
+    case KernelCmp::kLt:
+      return three_way < 0;
+    case KernelCmp::kLe:
+      return three_way <= 0;
+    case KernelCmp::kGt:
+      return three_way > 0;
+    case KernelCmp::kGe:
+      return three_way >= 0;
+  }
+  return false;
+}
+
+/// One conjunct of a compiled predicate. Time atoms name kTime attributes
+/// (ValidFrom/ValidTo endpoints and derived time columns); their batch
+/// evaluation gathers the named columns into contiguous TimePoint arrays
+/// once and then runs branch-free mask loops, so endpoint predicates —
+/// the gate of every temporal operator — evaluate columnar instead of
+/// through per-row variant dispatch. Value atoms fall back to
+/// Value::Compare per surviving row (identical to the interpreted path).
+struct KernelAtom {
+  enum class Kind : uint8_t {
+    kTimeConst,   ///< time column `lhs` vs `time_literal`
+    kTimeCol,     ///< time column `lhs` vs time column `rhs`
+    kValueConst,  ///< payload column `lhs` vs `literal` (Value::Compare)
+    kValueCol,    ///< payload column `lhs` vs payload column `rhs`
+  };
+
+  Kind kind = Kind::kValueConst;
+  KernelCmp cmp = KernelCmp::kEq;
+  size_t lhs = 0;
+  size_t rhs = 0;
+  TimePoint time_literal = 0;
+  Value literal;
+
+  static KernelAtom TimeConst(size_t col, KernelCmp cmp, TimePoint literal) {
+    KernelAtom a;
+    a.kind = Kind::kTimeConst;
+    a.cmp = cmp;
+    a.lhs = col;
+    a.time_literal = literal;
+    return a;
+  }
+  static KernelAtom TimeCol(size_t lhs, KernelCmp cmp, size_t rhs) {
+    KernelAtom a;
+    a.kind = Kind::kTimeCol;
+    a.cmp = cmp;
+    a.lhs = lhs;
+    a.rhs = rhs;
+    return a;
+  }
+  static KernelAtom ValueConst(size_t col, KernelCmp cmp, Value literal) {
+    KernelAtom a;
+    a.kind = Kind::kValueConst;
+    a.cmp = cmp;
+    a.lhs = col;
+    a.literal = std::move(literal);
+    return a;
+  }
+  static KernelAtom ValueCol(size_t lhs, KernelCmp cmp, size_t rhs) {
+    KernelAtom a;
+    a.kind = Kind::kValueCol;
+    a.cmp = cmp;
+    a.lhs = lhs;
+    a.rhs = rhs;
+    return a;
+  }
+};
+
+/// A conjunction of kernel atoms compiled against one schema. EvalBatch
+/// refines a batch's selection vector in place (no row materialization, no
+/// std::function dispatch); EvalRow is the per-row twin with identical
+/// semantics, used by tuple-at-a-time pulls and the interpreted fallback.
+///
+/// Not thread-safe: EvalBatch reuses internal gather/mask scratch, like
+/// the single-threaded stream operators that own kernels.
+class PredicateKernel {
+ public:
+  PredicateKernel() = default;
+  explicit PredicateKernel(std::vector<KernelAtom> atoms);
+
+  bool empty() const { return atoms_.empty(); }
+  size_t atom_count() const { return atoms_.size(); }
+
+  /// Evaluates the conjunction over one row.
+  bool EvalRow(const Tuple& t) const;
+
+  /// Restricts `batch`'s selection vector to the rows satisfying every
+  /// atom. Goes through the "kernel.eval" fault point once per batch.
+  /// Returns the number of surviving rows.
+  Result<size_t> EvalBatch(TupleBatch* batch);
+
+ private:
+  struct TimeAtomPlan {
+    size_t atom_index;   // Into atoms_.
+    size_t lhs_slot;     // Into gathered column stripes.
+    size_t rhs_slot;     // kTimeCol only.
+  };
+
+  std::vector<KernelAtom> atoms_;
+  std::vector<size_t> value_atoms_;   // Indices of the per-row atoms.
+  std::vector<size_t> time_columns_;  // Distinct columns gathered per batch.
+  std::vector<TimeAtomPlan> time_plans_;
+
+  // Batch scratch, reused across calls.
+  std::vector<std::vector<TimePoint>> gather_;
+  std::vector<uint8_t> mask_;
+  std::vector<uint32_t> active_;
+};
+
+/// Selection-vector combinators over sorted-ascending index vectors: the
+/// AND/OR composition primitives of the kernel layer. EvalBatch composes
+/// its conjunction through the mask directly; these are for operators that
+/// combine independently produced selections (and for disjunctive
+/// predicates once the grammar grows them).
+std::vector<uint32_t> SelectionAnd(const std::vector<uint32_t>& a,
+                                   const std::vector<uint32_t>& b);
+std::vector<uint32_t> SelectionOr(const std::vector<uint32_t>& a,
+                                  const std::vector<uint32_t>& b);
+
+}  // namespace tempus
+
+#endif  // TEMPUS_STREAM_KERNEL_H_

@@ -23,6 +23,8 @@ void OperatorMetrics::Absorb(const OperatorMetrics& child) {
       std::max(peak_workspace_tuples, child.peak_workspace_tuples);
   batches += child.batches;
   batch_rows += child.batch_rows;
+  kernel_rows_in += child.kernel_rows_in;
+  kernel_rows_out += child.kernel_rows_out;
   buffer_hits += child.buffer_hits;
   buffer_misses += child.buffer_misses;
   buffer_evictions += child.buffer_evictions;
@@ -51,6 +53,11 @@ std::string OperatorMetrics::ToString() const {
                      static_cast<unsigned long long>(batches),
                      static_cast<double>(batch_rows) /
                          static_cast<double>(batches));
+  }
+  if (kernel_rows_in > 0) {
+    out += StrFormat(" kernel=(in=%llu out=%llu)",
+                     static_cast<unsigned long long>(kernel_rows_in),
+                     static_cast<unsigned long long>(kernel_rows_out));
   }
   if (workers > 0) {
     out += StrFormat(" workers=%llu merge_cmps=%llu",

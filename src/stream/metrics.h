@@ -51,6 +51,12 @@ struct OperatorMetrics {
   /// operator was only ever pulled tuple-at-a-time.
   uint64_t batches = 0;
   uint64_t batch_rows = 0;
+  /// Vectorized expression kernels (docs/BATCH.md): rows entering and
+  /// surviving kernel evaluation over batch selection vectors. Zero when
+  /// the operator ran the interpreted per-row path (or was pulled
+  /// tuple-at-a-time).
+  uint64_t kernel_rows_in = 0;
+  uint64_t kernel_rows_out = 0;
   /// Buffer-pool traffic attributed to this operator (disk-backed scans
   /// and spills; zero for purely in-memory operators). docs/STORAGE.md.
   uint64_t buffer_hits = 0;

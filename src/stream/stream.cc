@@ -197,6 +197,8 @@ void CollectInto(const TupleStream& node, OperatorMetrics* total) {
   total->peak_workspace_tuples += m.peak_workspace_tuples;
   total->batches += m.batches;
   total->batch_rows += m.batch_rows;
+  total->kernel_rows_in += m.kernel_rows_in;
+  total->kernel_rows_out += m.kernel_rows_out;
   total->buffer_hits += m.buffer_hits;
   total->buffer_misses += m.buffer_misses;
   total->buffer_evictions += m.buffer_evictions;

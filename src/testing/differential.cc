@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include <algorithm>
+
 #include "buffer/buffer_manager.h"
 #include "common/string_util.h"
 #include "join/before_join.h"
@@ -12,6 +14,8 @@
 #include "relation/csv.h"
 #include "storage/paged_relation.h"
 #include "storage/paged_stream.h"
+#include "stream/basic_ops.h"
+#include "stream/kernel.h"
 #include "stream/stream.h"
 
 namespace tempus {
@@ -106,13 +110,16 @@ Result<std::unique_ptr<TupleStream>> BuildStreamOperator(
                                            options, threads);
     }
     case PairwiseOp::kBeforeJoin: {
+      BeforeJoinOptions options;
+      options.batch_size = c.batch_size;
       return MakeParallelBeforeJoin(left.Scan(),
                                     right.Scan(),
-                                    BeforeJoinOptions{}, threads);
+                                    std::move(options), threads);
     }
     case PairwiseOp::kBeforeSemijoin: {
       return MakeParallelBeforeSemijoin(left.Scan(),
-                                        right.Scan(), threads);
+                                        right.Scan(), threads,
+                                        c.batch_size);
     }
     case PairwiseOp::kSelfContainedSemijoin: {
       SelfSemijoinOptions options;
@@ -165,7 +172,7 @@ Result<std::unique_ptr<TupleStream>> BuildStreamOperator(
                                             threads);
     }
     case PairwiseOp::kCoalesce: {
-      return MakeParallelCoalesce(left.Scan(), threads);
+      return MakeParallelCoalesce(left.Scan(), threads, c.batch_size);
     }
   }
   return Status::InvalidArgument("unknown operator");
@@ -281,6 +288,66 @@ Result<std::unique_ptr<TupleStream>> BuildNoGcOperator(
   return Status::InvalidArgument("unknown operator");
 }
 
+/// The deterministic wrapper predicate of the kernel axis: first time
+/// column of the output schema, thresholded at the median of that column
+/// over the oracle output — nontrivial for most workloads (neither empty
+/// nor all-pass) yet identical on both sides of the comparison.
+struct KernelFilterSpec {
+  size_t column = 0;
+  TimePoint threshold = 0;
+};
+
+Result<KernelFilterSpec> MakeKernelFilterSpec(const Schema& schema,
+                                              const TemporalRelation& oracle) {
+  KernelFilterSpec spec;
+  bool found = false;
+  for (size_t i = 0; i < schema.attribute_count(); ++i) {
+    if (schema.attribute(i).type == ValueType::kTime) {
+      spec.column = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return Status::InvalidArgument(
+        "kernel axis needs a time column in the output schema");
+  }
+  std::vector<TimePoint> points;
+  points.reserve(oracle.size());
+  for (const Tuple& t : oracle.tuples()) {
+    points.push_back(t[spec.column].time_value());
+  }
+  if (!points.empty()) {
+    std::sort(points.begin(), points.end());
+    spec.threshold = points[points.size() / 2];
+  }
+  return spec;
+}
+
+/// Wraps `stream` in the compiled kernel filter; kVector takes the
+/// selection-vector batch path, kInterp the per-row path — both over the
+/// identical compiled atom, so outputs must agree byte for byte.
+std::unique_ptr<TupleStream> WrapKernelFilter(
+    std::unique_ptr<TupleStream> stream, KernelMode mode,
+    const KernelFilterSpec& spec) {
+  CompiledPredicate pred;
+  pred.kernel = PredicateKernel({KernelAtom::TimeConst(
+      spec.column, KernelCmp::kLe, spec.threshold)});
+  pred.vectorized = mode == KernelMode::kVector;
+  return std::make_unique<FilterStream>(std::move(stream), std::move(pred));
+}
+
+Result<TemporalRelation> FilterOracle(const TemporalRelation& oracle,
+                                      const KernelFilterSpec& spec) {
+  TemporalRelation out(oracle.name(), oracle.schema());
+  for (const Tuple& t : oracle.tuples()) {
+    if (t[spec.column].time_value() <= spec.threshold) {
+      TEMPUS_RETURN_IF_ERROR(out.Append(t));
+    }
+  }
+  return out;
+}
+
 /// All attributes ascending: a total order on tuples, so equal multisets
 /// serialize to byte-identical CSV.
 SortSpec CanonicalSortSpec(const Schema& schema) {
@@ -348,6 +415,23 @@ Result<StorageMode> StorageModeFromName(std::string_view name) {
   if (name == "memory") return StorageMode::kMemory;
   if (name == "disk") return StorageMode::kDisk;
   return Status::InvalidArgument("unknown storage mode: " +
+                                 std::string(name));
+}
+
+std::string_view KernelModeName(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kOff: return "off";
+    case KernelMode::kVector: return "vector";
+    case KernelMode::kInterp: return "interp";
+  }
+  return "unknown";
+}
+
+Result<KernelMode> KernelModeFromName(std::string_view name) {
+  if (name == "off") return KernelMode::kOff;
+  if (name == "vector") return KernelMode::kVector;
+  if (name == "interp") return KernelMode::kInterp;
+  return Status::InvalidArgument("unknown kernel mode: " +
                                  std::string(name));
 }
 
@@ -434,6 +518,17 @@ Result<DifferentialResult> RunDifferentialCase(const DifferentialCase& c) {
       TemporalRelation oracle,
       OracleEvaluate(c.op, left, single_operand ? left : right));
 
+  // Kernel axis: derive the wrapper filter from the unfiltered oracle,
+  // then restrict the oracle to the rows the wrapped plan may emit.
+  KernelFilterSpec kernel_spec;
+  if (c.kernel != KernelMode::kOff) {
+    TEMPUS_ASSIGN_OR_RETURN(kernel_spec,
+                            MakeKernelFilterSpec(oracle.schema(), oracle));
+    TEMPUS_ASSIGN_OR_RETURN(TemporalRelation filtered,
+                            FilterOracle(oracle, kernel_spec));
+    oracle = std::move(filtered);
+  }
+
   // Production inputs: sorted to the promised orders for the stream
   // operators, consumed as arranged for the order-free no-GC execution.
   // Coalescing promises its own composite order (value group, then
@@ -493,6 +588,9 @@ Result<DifferentialResult> RunDifferentialCase(const DifferentialCase& c) {
     const size_t threads = c.mode == ExecMode::kParallel ? c.threads : 1;
     TEMPUS_ASSIGN_OR_RETURN(
         stream, BuildStreamOperator(c, left_src, right_src, threads));
+  }
+  if (c.kernel != KernelMode::kOff) {
+    stream = WrapKernelFilter(std::move(stream), c.kernel, kernel_spec);
   }
 
   // Batch cases drain the plan through NextBatch() so the native batch
@@ -592,6 +690,9 @@ Result<DifferentialResult> RunDifferentialCase(const DifferentialCase& c) {
         std::unique_ptr<TupleStream> twin,
         BuildStreamOperator(twin_case, left_src, right_src,
                             c.mode == ExecMode::kParallel ? c.threads : 1));
+    if (c.kernel != KernelMode::kOff) {
+      twin = WrapKernelFilter(std::move(twin), c.kernel, kernel_spec);
+    }
     TEMPUS_ASSIGN_OR_RETURN(TemporalRelation twin_out,
                             Materialize(twin.get(), "tuple_out"));
     TEMPUS_ASSIGN_OR_RETURN(std::string twin_csv, CanonicalCsv(twin_out));
@@ -626,6 +727,10 @@ std::string ReproCommand(const DifferentialCase& c) {
   }
   if (c.batch_size > 0) {
     cmd += StrFormat(" --batch=%zu", c.batch_size);
+  }
+  if (c.kernel != KernelMode::kOff) {
+    cmd += StrFormat(" --kernel=%s",
+                     std::string(KernelModeName(c.kernel)).c_str());
   }
   return cmd;
 }

@@ -37,6 +37,20 @@ enum class StorageMode {
 std::string_view StorageModeName(StorageMode mode);
 Result<StorageMode> StorageModeFromName(std::string_view name);
 
+/// Kernel axis (docs/BATCH.md): when not kOff the harness wraps the
+/// case's plan in a compiled endpoint FilterStream whose threshold is the
+/// median of the output's first time column — a deterministic predicate
+/// that typically splits the output — and filters the oracle identically,
+/// so the comparison covers the expression-kernel layer end to end.
+enum class KernelMode {
+  kOff,     ///< No wrapper filter; the bare operator runs.
+  kVector,  ///< Compiled filter on the vectorized selection-vector path.
+  kInterp,  ///< Same compiled filter forced onto the per-row path.
+};
+
+std::string_view KernelModeName(KernelMode mode);
+Result<KernelMode> KernelModeFromName(std::string_view name);
+
 /// Stable CLI token for a sort order: "from-asc", "from-desc", "to-asc",
 /// "to-desc".
 std::string_view OrderToken(TemporalSortOrder order);
@@ -69,6 +83,10 @@ struct DifferentialCase {
   /// twin of the same case — the result then requires the batch output to
   /// be byte-identical to both the oracle and the tuple path.
   size_t batch_size = 0;
+  /// Kernel axis: kVector/kInterp wrap the plan (and the tuple twin) in
+  /// the deterministic compiled endpoint filter described at KernelMode
+  /// and filter the oracle identically.
+  KernelMode kernel = KernelMode::kOff;
 };
 
 struct DifferentialResult {

@@ -1,0 +1,174 @@
+// Chaos coverage for the expression-kernel layer (docs/BATCH.md): the
+// "kernel.eval" fault point fires inside PredicateKernel::EvalBatch, i.e.
+// once per batch the vectorized filter refines. An injected evaluation
+// failure must surface as a clean Status mid-batch — no partially
+// filtered batch reported as success — and the GC-ledger identity must
+// hold on the abandoned plan beneath the filter. The interpreted path
+// never reaches the point: per-row evaluation does not go through the
+// columnar kernel.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "join/batch_sweep.h"
+#include "join/containment_semijoin.h"
+#include "stream/basic_ops.h"
+#include "stream/kernel.h"
+#include "stream/stream.h"
+#include "testing/test_util.h"
+#include "testing/workload.h"
+
+namespace tempus {
+namespace {
+
+using testing::Arrangement;
+using testing::Distribution;
+using testing::MakeWorkloadRelation;
+using testing::SortedByOrder;
+using testing::WorkloadSpec;
+
+class ChaosKernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  void MakeSortedPair(TemporalRelation* left, TemporalRelation* right) {
+    WorkloadSpec spec;
+    spec.distribution = Distribution::kRandomMix;
+    spec.arrangement = Arrangement::kShuffled;
+    spec.count = 64;
+    spec.seed = 242;
+    Result<TemporalRelation> x = MakeWorkloadRelation("x", spec);
+    TEMPUS_ASSERT_OK(x.status());
+    spec.seed = 243;
+    Result<TemporalRelation> y = MakeWorkloadRelation("y", spec);
+    TEMPUS_ASSERT_OK(y.status());
+    *left = SortedByOrder(*x, kByValidFromAsc);
+    *right = SortedByOrder(*y, kByValidFromAsc);
+  }
+
+  /// A vectorized (or interpreted) kernel filter over a batch-native
+  /// contain join — real sweep workspace lives beneath the filter, so the
+  /// ledger check below is not vacuous.
+  std::unique_ptr<TupleStream> MakeFilteredJoin(const TemporalRelation& left,
+                                                const TemporalRelation& right,
+                                                bool vectorized) {
+    ContainJoinOptions options;
+    options.batch_size = 8;
+    Result<std::unique_ptr<TupleStream>> join = MakeContainJoin(
+        VectorStream::Scan(left), VectorStream::Scan(right), options);
+    EXPECT_TRUE(join.ok()) << join.status().ToString();
+    if (!join.ok()) return nullptr;
+    CompiledPredicate pred;
+    pred.kernel = PredicateKernel(
+        {KernelAtom::TimeCol(2, KernelCmp::kLt, 3)});  // x.TS < x.TE: all.
+    pred.vectorized = vectorized;
+    return std::make_unique<FilterStream>(std::move(join).value(),
+                                          std::move(pred));
+  }
+
+  void ExpectLedgerHolds(const TupleStream& root) {
+    const OperatorMetrics m = CollectPlanMetrics(root);
+    EXPECT_EQ(m.workspace_inserted, m.gc_discarded + m.workspace_tuples);
+  }
+};
+
+TEST_F(ChaosKernelTest, FirstEvalFaultFailsBeforeAnyRows) {
+  TemporalRelation left("l", Schema()), right("r", Schema());
+  MakeSortedPair(&left, &right);
+  std::unique_ptr<TupleStream> plan = MakeFilteredJoin(left, right, true);
+  ASSERT_NE(plan, nullptr);
+
+  FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.message = "kernel scratch exhausted";
+  FaultInjector::Global().Arm("kernel.eval", spec);
+
+  Result<TemporalRelation> out = MaterializeBatches(plan.get(), "out", 8);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(FaultInjector::Global().FireCount("kernel.eval"), 1u);
+  ExpectLedgerHolds(*plan);
+}
+
+TEST_F(ChaosKernelTest, MidDrainEvalFaultLeavesLedgerIntactAndRetries) {
+  TemporalRelation left("l", Schema()), right("r", Schema());
+  MakeSortedPair(&left, &right);
+
+  // Clean reference run.
+  std::unique_ptr<TupleStream> clean = MakeFilteredJoin(left, right, true);
+  ASSERT_NE(clean, nullptr);
+  Result<TemporalRelation> expected =
+      MaterializeBatches(clean.get(), "expected", 8);
+  TEMPUS_ASSERT_OK(expected.status());
+  ASSERT_GT(expected->size(), 0u);
+
+  // Fail the Nth kernel evaluation: mid-drain, with sweep state live
+  // beneath the filter and rows already emitted above it.
+  std::unique_ptr<TupleStream> plan = MakeFilteredJoin(left, right, true);
+  ASSERT_NE(plan, nullptr);
+  FaultSpec spec;
+  spec.trigger_at = 3;
+  FaultInjector::Global().Arm("kernel.eval", spec);
+
+  Result<TemporalRelation> out = MaterializeBatches(plan.get(), "out", 8);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(FaultInjector::Global().FireCount("kernel.eval"), 1u);
+  // The abandoned plan's GC ledger still balances: the join's workspace
+  // accounting survived the mid-batch unwind through the filter.
+  ExpectLedgerHolds(*plan);
+
+  // Recovery: disarm, reopen the same plan, full result.
+  FaultInjector::Global().Reset();
+  Result<TemporalRelation> retry = MaterializeBatches(plan.get(), "retry", 8);
+  TEMPUS_ASSERT_OK(retry.status());
+  testing::ExpectSameTuples(*retry, *expected);
+}
+
+TEST_F(ChaosKernelTest, InterpretedPathNeverReachesTheKernelPoint) {
+  TemporalRelation left("l", Schema()), right("r", Schema());
+  MakeSortedPair(&left, &right);
+  std::unique_ptr<TupleStream> plan = MakeFilteredJoin(left, right, false);
+  ASSERT_NE(plan, nullptr);
+
+  FaultSpec spec;
+  spec.repeat = true;
+  FaultInjector::Global().Arm("kernel.eval", spec);
+
+  Result<TemporalRelation> out = MaterializeBatches(plan.get(), "out", 8);
+  TEMPUS_ASSERT_OK(out.status());
+  EXPECT_GT(out->size(), 0u);
+  EXPECT_EQ(FaultInjector::Global().FireCount("kernel.eval"), 0u);
+}
+
+TEST_F(ChaosKernelTest, RepeatedEvalFaultNeverWedgesTheOperator) {
+  TemporalRelation left("l", Schema()), right("r", Schema());
+  MakeSortedPair(&left, &right);
+  std::unique_ptr<TupleStream> plan = MakeFilteredJoin(left, right, true);
+  ASSERT_NE(plan, nullptr);
+
+  FaultSpec spec;
+  spec.trigger_at = 2;
+  spec.repeat = true;
+  spec.code = StatusCode::kUnavailable;
+  FaultInjector::Global().Arm("kernel.eval", spec);
+
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    Result<TemporalRelation> out = MaterializeBatches(plan.get(), "out", 8);
+    EXPECT_FALSE(out.ok()) << "attempt " << attempt;
+    ExpectLedgerHolds(*plan);
+  }
+
+  FaultInjector::Global().Reset();
+  Result<TemporalRelation> ok = MaterializeBatches(plan.get(), "ok", 8);
+  TEMPUS_ASSERT_OK(ok.status());
+  EXPECT_GT(ok->size(), 0u);
+}
+
+}  // namespace
+}  // namespace tempus

@@ -84,6 +84,9 @@ class ExplainGoldenTest : public ::testing::Test {
     // differ between modes, and the goldens are recorded at the
     // cost-based default.
     setenv("TEMPUS_OPTIMIZER", "on", 1);
+    // Pin the kernel path: filter nodes carry a "[kernel=vector|interp]"
+    // annotation and the goldens are recorded at the vectorized default.
+    setenv("TEMPUS_VECTOR_KERNELS", "on", 1);
     // Same deterministic workload as the Section 5 integration tests:
     // continuous complete careers make the Superstar transformation legal.
     FacultyWorkloadConfig config;

@@ -92,6 +92,8 @@ TEST(MetricsJsonTest, StableKeyOrderAndValues) {
   m.buffer_bytes_written = 11;
   m.batches = 12;
   m.batch_rows = 13;
+  m.kernel_rows_in = 14;
+  m.kernel_rows_out = 15;
   const std::string json = MetricsToJson(m);
   EXPECT_EQ(json,
             "{\"tuples_read_left\":3,\"tuples_read_right\":0,"
@@ -101,7 +103,8 @@ TEST(MetricsJsonTest, StableKeyOrderAndValues) {
             "\"workspace_tuples\":1,\"peak_workspace_tuples\":2,"
             "\"buffer_hits\":7,\"buffer_misses\":8,\"buffer_evictions\":9,"
             "\"buffer_bytes_read\":10,\"buffer_bytes_written\":11,"
-            "\"batches\":12,\"batch_rows\":13}");
+            "\"batches\":12,\"batch_rows\":13,"
+            "\"kernel_rows_in\":14,\"kernel_rows_out\":15}");
 }
 
 TEST(MetricsJsonTest, EscapesStrings) {

@@ -1,0 +1,231 @@
+#include "stream/kernel.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "stream/basic_ops.h"
+#include "stream/stream.h"
+#include "testing/test_util.h"
+#include "testing/workload.h"
+
+namespace tempus {
+namespace {
+
+using ::tempus::testing::AllArrangements;
+using ::tempus::testing::AllDistributions;
+using ::tempus::testing::MakeIntervals;
+using ::tempus::testing::MakeWorkloadRelation;
+using ::tempus::testing::WorkloadSpec;
+
+// Exact-sequence equality: the filters under test are order-preserving, so
+// the vector and interpreted paths must agree row for row, not just as
+// multisets.
+void ExpectSameSequence(const TemporalRelation& a, const TemporalRelation& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const Tuple& ta = a.tuple(i);
+    const Tuple& tb = b.tuple(i);
+    ASSERT_EQ(ta.size(), tb.size()) << what << " row " << i;
+    for (size_t j = 0; j < ta.size(); ++j) {
+      EXPECT_TRUE(ta[j].Equals(tb[j]))
+          << what << " row " << i << " col " << j;
+    }
+  }
+}
+
+// The compiled predicate every property test uses: a time-vs-constant
+// endpoint atom, a time-vs-time column atom, and a per-row value atom —
+// one of each gather strategy the kernel implements.
+std::vector<KernelAtom> TestAtoms(TimePoint threshold, int64_t v_floor) {
+  return {KernelAtom::TimeConst(2, KernelCmp::kLe, threshold),
+          KernelAtom::TimeCol(2, KernelCmp::kLt, 3),
+          KernelAtom::ValueConst(1, KernelCmp::kGe, Value::Int(v_floor))};
+}
+
+TimePoint MedianStart(const TemporalRelation& rel) {
+  std::vector<TimePoint> starts;
+  starts.reserve(rel.size());
+  for (size_t i = 0; i < rel.size(); ++i) {
+    starts.push_back(rel.LifespanOf(i).start);
+  }
+  if (starts.empty()) return 0;
+  std::sort(starts.begin(), starts.end());
+  return starts[starts.size() / 2];
+}
+
+std::unique_ptr<FilterStream> MakeCompiledFilter(const TemporalRelation& rel,
+                                                 TimePoint threshold,
+                                                 int64_t v_floor,
+                                                 bool vectorized) {
+  CompiledPredicate pred;
+  pred.kernel = PredicateKernel(TestAtoms(threshold, v_floor));
+  pred.vectorized = vectorized;
+  return std::make_unique<FilterStream>(VectorStream::Scan(rel),
+                                        std::move(pred),
+                                        /*comparison_weight=*/3);
+}
+
+TEST(SelectionCombinatorTest, AndIntersectsSortedVectors) {
+  EXPECT_EQ(SelectionAnd({}, {1, 2, 3}), std::vector<uint32_t>{});
+  EXPECT_EQ(SelectionAnd({1, 2, 3}, {}), std::vector<uint32_t>{});
+  EXPECT_EQ(SelectionAnd({0, 2, 4, 6}, {1, 3, 5}), std::vector<uint32_t>{});
+  EXPECT_EQ(SelectionAnd({0, 1, 2, 3}, {1, 3, 7}),
+            (std::vector<uint32_t>{1, 3}));
+  EXPECT_EQ(SelectionAnd({5}, {5}), std::vector<uint32_t>{5});
+}
+
+TEST(SelectionCombinatorTest, OrMergesSortedVectorsWithoutDuplicates) {
+  EXPECT_EQ(SelectionOr({}, {}), std::vector<uint32_t>{});
+  EXPECT_EQ(SelectionOr({2}, {}), std::vector<uint32_t>{2});
+  EXPECT_EQ(SelectionOr({0, 2, 4}, {1, 3, 5}),
+            (std::vector<uint32_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(SelectionOr({0, 1, 2}, {1, 2, 3}),
+            (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+// EvalBatch must agree with EvalRow under every selection-vector shape:
+// empty, full (implicit), alternating, and a single surviving row.
+TEST(PredicateKernelTest, EvalBatchHonorsSelectionVectorShapes) {
+  const TemporalRelation rel = MakeIntervals(
+      "r", {{1, 4}, {2, 6}, {3, 5}, {4, 9}, {5, 7}, {6, 8}, {7, 10}, {8, 11}});
+  PredicateKernel kernel(
+      {KernelAtom::TimeConst(2, KernelCmp::kLe, 5),
+       KernelAtom::ValueConst(0, KernelCmp::kGe, Value::Int(1))});
+
+  auto fill = [&](TupleBatch* batch) {
+    batch->Clear();
+    ASSERT_TRUE(batch->Reserve(rel.size()).ok());
+    for (size_t i = 0; i < rel.size(); ++i) {
+      batch->PushStable(&rel.tuple(i), rel.LifespanOf(i));
+    }
+  };
+  auto expected_survivors =
+      [&](const std::vector<uint32_t>& selection) -> std::vector<uint32_t> {
+    std::vector<uint32_t> out;
+    for (uint32_t i : selection) {
+      if (kernel.EvalRow(rel.tuple(i))) out.push_back(i);
+    }
+    return out;
+  };
+  auto run = [&](std::vector<uint32_t> selection, bool implicit_full,
+                 const std::string& what) {
+    TupleBatch batch;
+    fill(&batch);
+    if (!implicit_full) batch.SetSelection(selection);
+    Result<size_t> survivors = kernel.EvalBatch(&batch);
+    ASSERT_TRUE(survivors.ok()) << what;
+    const std::vector<uint32_t> expected = expected_survivors(selection);
+    ASSERT_EQ(*survivors, expected.size()) << what;
+    ASSERT_EQ(batch.ActiveSize(), expected.size()) << what;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(batch.ActiveIndex(i), expected[i]) << what << " pos " << i;
+    }
+  };
+
+  std::vector<uint32_t> full(rel.size());
+  for (uint32_t i = 0; i < rel.size(); ++i) full[i] = i;
+  run(full, /*implicit_full=*/true, "implicit full selection");
+  run(full, /*implicit_full=*/false, "explicit full selection");
+  run({}, /*implicit_full=*/false, "empty selection");
+  run({0, 2, 4, 6}, /*implicit_full=*/false, "alternating selection");
+  run({3}, /*implicit_full=*/false, "single-row selection");
+  run({static_cast<uint32_t>(rel.size() - 1)}, /*implicit_full=*/false,
+      "tail row selection");
+}
+
+// The tentpole property: the vectorized filter is byte-identical to the
+// interpreted filter (and to a hand-rolled EvalRow oracle) over every
+// datagen distribution x arrangement, at batch sizes that force empty
+// batches, mid-batch suspends, and single-row tails.
+TEST(KernelDifferentialTest, VectorAndInterpretedAgreeOnEveryWorkload) {
+  uint64_t seed = 11;
+  for (testing::Distribution dist : AllDistributions()) {
+    for (testing::Arrangement arr : AllArrangements()) {
+      WorkloadSpec spec{dist, arr, 97, seed++};
+      Result<TemporalRelation> rel = MakeWorkloadRelation("w", spec);
+      ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+      const TimePoint threshold = MedianStart(*rel);
+      const int64_t v_floor = static_cast<int64_t>(rel->size() / 4);
+
+      // Per-row oracle straight off the relation.
+      PredicateKernel oracle_kernel(TestAtoms(threshold, v_floor));
+      TemporalRelation expected("expected", rel->schema());
+      for (size_t i = 0; i < rel->size(); ++i) {
+        if (oracle_kernel.EvalRow(rel->tuple(i))) {
+          TEMPUS_ASSERT_OK(expected.Append(rel->tuple(i)));
+        }
+      }
+
+      const std::string label =
+          std::string(DistributionName(dist)) + "/" +
+          std::string(ArrangementName(arr));
+      for (size_t batch : {size_t{1}, size_t{3}, size_t{64}}) {
+        auto vec =
+            MakeCompiledFilter(*rel, threshold, v_floor, /*vectorized=*/true);
+        Result<TemporalRelation> vec_out =
+            MaterializeBatches(vec.get(), "vec", batch);
+        ASSERT_TRUE(vec_out.ok()) << vec_out.status().ToString();
+
+        auto interp =
+            MakeCompiledFilter(*rel, threshold, v_floor, /*vectorized=*/false);
+        Result<TemporalRelation> interp_out =
+            MaterializeBatches(interp.get(), "interp", batch);
+        ASSERT_TRUE(interp_out.ok()) << interp_out.status().ToString();
+
+        ExpectSameSequence(*vec_out, expected,
+                           label + " vector vs oracle batch=" +
+                               std::to_string(batch));
+        ExpectSameSequence(*vec_out, *interp_out,
+                           label + " vector vs interp batch=" +
+                               std::to_string(batch));
+
+        // Comparison accounting is identical across the two paths; only
+        // the kernel row counters differ (zero on the interpreted path).
+        EXPECT_EQ(vec->metrics().comparisons, interp->metrics().comparisons)
+            << label;
+        EXPECT_EQ(vec->metrics().tuples_emitted,
+                  interp->metrics().tuples_emitted)
+            << label;
+        EXPECT_EQ(vec->metrics().kernel_rows_in, rel->size()) << label;
+        EXPECT_EQ(vec->metrics().kernel_rows_out, expected.size()) << label;
+        EXPECT_EQ(interp->metrics().kernel_rows_in, 0u) << label;
+      }
+
+      // Tuple-at-a-time drain of the compiled predicate: same rows again.
+      auto row_mode =
+          MakeCompiledFilter(*rel, threshold, v_floor, /*vectorized=*/true);
+      Result<TemporalRelation> row_out = Materialize(row_mode.get(), "rows");
+      ASSERT_TRUE(row_out.ok()) << row_out.status().ToString();
+      ExpectSameSequence(*row_out, expected, label + " Next() drain");
+    }
+  }
+}
+
+// An empty input and a predicate nothing satisfies are both clean no-rows
+// outcomes, not errors, on both paths.
+TEST(KernelDifferentialTest, DegenerateSelectionsProduceNoRows) {
+  const TemporalRelation empty_rel = MakeIntervals("empty", {});
+  const TemporalRelation rel = MakeIntervals("r", {{1, 3}, {2, 5}});
+  for (bool vectorized : {true, false}) {
+    auto over_empty = MakeCompiledFilter(empty_rel, 100, 0, vectorized);
+    Result<TemporalRelation> out1 =
+        MaterializeBatches(over_empty.get(), "o1", 4);
+    ASSERT_TRUE(out1.ok()) << out1.status().ToString();
+    EXPECT_EQ(out1->size(), 0u);
+
+    // ValidFrom <= -1 rejects every generated row.
+    auto reject_all = MakeCompiledFilter(rel, -1, 0, vectorized);
+    Result<TemporalRelation> out2 =
+        MaterializeBatches(reject_all.get(), "o2", 4);
+    ASSERT_TRUE(out2.ok()) << out2.status().ToString();
+    EXPECT_EQ(out2->size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace tempus
